@@ -1,0 +1,41 @@
+# Developer entry points. Everything is stdlib Go; no external tools needed.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/discovery/ ./internal/repair/
+
+# One benchmark per paper table/figure plus ablations (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Paper-style experiment tables with accuracy metrics.
+experiments:
+	$(GO) run ./cmd/benchrunner -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/senses
+	$(GO) run ./examples/monitor
+	$(GO) run ./examples/inheritance
+	$(GO) run ./examples/kiva
+	$(GO) run ./examples/clinical
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseExpList(t *testing.T) {
+	all, err := parseExpList("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 13; i++ {
+		if !all[i] {
+			t.Fatalf("all missing %d", i)
+		}
+	}
+	if !all[15] {
+		t.Fatal("all missing the qualitative experiment")
+	}
+
+	got, err := parseExpList("1,3,6-8, 14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []int{1, 3, 6, 7, 8, 10} { // 14 folds into 10
+		if !got[want] {
+			t.Fatalf("missing %d in %v", want, got)
+		}
+	}
+	if got[2] || got[5] {
+		t.Fatalf("unexpected ids in %v", got)
+	}
+
+	for _, bad := range []string{"x", "3-1", "1-x"} {
+		if _, err := parseExpList(bad); err == nil {
+			t.Errorf("parseExpList(%q) should error", bad)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command genworkload emits the synthetic evaluation workloads as files so
+// the fastofd / ofdclean / ofddetect tools can be driven end to end:
+//
+//	genworkload -out ./work -rows 5000 -preset clinical -err 0.03 -inc 0.04
+//
+// writes into ./work:
+//
+//	data.csv       the (dirty) instance I
+//	clean.csv      the pre-error ground truth
+//	ontology.json  the (possibly incomplete) ontology S
+//	full-ontology.json  the complete ground-truth ontology
+//	sigma.txt      the planted OFDs, one per line ("A,B -> C")
+//	errors.csv     injected error cells (row, attribute, original, injected)
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/fastofd/fastofd"
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/gen"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", ".", "output directory (created if missing)")
+		rows   = flag.Int("rows", 5000, "number of tuples")
+		seed   = flag.Int64("seed", 1, "random seed")
+		preset = flag.String("preset", "clinical", "schema preset: clinical or kiva")
+		senses = flag.Int("senses", 4, "number of senses |λ|")
+		errPct = flag.Float64("err", 0.0, "error rate (fraction of consequent cells)")
+		incPct = flag.Float64("inc", 0.0, "ontology incompleteness rate")
+		nOFDs  = flag.Int("ofds", 6, "number of planted OFDs |Σ|")
+	)
+	flag.Parse()
+
+	ds := gen.Generate(gen.Config{
+		Rows:    *rows,
+		Seed:    *seed,
+		Preset:  *preset,
+		Senses:  *senses,
+		ErrRate: *errPct,
+		IncRate: *incPct,
+		NumOFDs: *nOFDs,
+	})
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	write := func(name string, fn func(path string) error) {
+		path := filepath.Join(*out, name)
+		if err := fn(path); err != nil {
+			fail(fmt.Errorf("writing %s: %w", name, err))
+		}
+		fmt.Println("wrote", path)
+	}
+	write("data.csv", func(p string) error { return fastofd.WriteCSVFile(p, ds.Rel) })
+	write("clean.csv", func(p string) error { return fastofd.WriteCSVFile(p, ds.CleanRel) })
+	write("ontology.json", func(p string) error { return fastofd.WriteOntologyFile(p, ds.Ont) })
+	write("full-ontology.json", func(p string) error { return fastofd.WriteOntologyFile(p, ds.FullOnt) })
+	write("sigma.txt", func(p string) error {
+		return core.WriteSetFile(p, ds.Rel.Schema(), ds.Sigma)
+	})
+	write("inh-sigma.txt", func(p string) error {
+		return core.WriteSetFile(p, ds.Rel.Schema(), ds.InhSigma)
+	})
+	write("errors.csv", func(p string) error {
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		_ = w.Write([]string{"row", "attribute", "original", "injected"})
+		for _, e := range ds.Errors {
+			_ = w.Write([]string{
+				strconv.Itoa(e.Row), ds.Rel.Schema().Name(e.Col), e.Original, e.Injected,
+			})
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	})
+	fmt.Printf("%d tuples, %d errors, %d ontology removals, |Σ|=%d\n",
+		ds.Rel.NumRows(), len(ds.Errors), len(ds.Removals), len(ds.Sigma))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "genworkload:", err)
+	os.Exit(1)
+}

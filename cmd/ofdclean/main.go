@@ -1,0 +1,120 @@
+// Command ofdclean repairs a CSV relation and a JSON ontology with respect
+// to a set of OFDs, writing the repaired instance and ontology.
+//
+// Usage:
+//
+//	ofdclean -data trials.csv -ontology drugs.json \
+//	         -ofd "CC -> CTRY" -ofd "SYMP,DIAG -> MED" \
+//	         [-out repaired.csv] [-ontout repaired.json] \
+//	         [-beam 3] [-tau 0.65] [-theta 5] [-pareto]
+//
+// The tool prints the chosen repair (ontology additions and cell updates)
+// and, with -pareto, the whole Pareto frontier of (ontology, data) repair
+// combinations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/fastofd/fastofd"
+)
+
+type ofdList []string
+
+func (l *ofdList) String() string     { return fmt.Sprint(*l) }
+func (l *ofdList) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var ofds ofdList
+	var (
+		dataPath = flag.String("data", "", "CSV file with a header row (required)")
+		ontPath  = flag.String("ontology", "", "ontology JSON file (required)")
+		outPath  = flag.String("out", "", "write the repaired relation to this CSV file")
+		ontOut   = flag.String("ontout", "", "write the repaired ontology to this JSON file")
+		beam     = flag.Int("beam", 0, "beam size b (0 = secretary rule ⌊|Cand|/e⌋)")
+		tau      = flag.Float64("tau", 0.65, "τ: max fraction of cells repaired")
+		theta    = flag.Float64("theta", 5, "θ: EMD threshold for sense refinement")
+		isaTheta = flag.Int("isa-theta", 0, "clean toward INHERITANCE OFDs with this is-a path bound (0 = synonym semantics)")
+		pareto   = flag.Bool("pareto", false, "print the full Pareto frontier")
+		suggest  = flag.Bool("suggest-sigma", false, "also print minimal antecedent augmentations repairing the CONSTRAINTS")
+	)
+	flag.Var(&ofds, "ofd", "OFD as \"A,B -> C\" (repeatable; required)")
+	flag.Parse()
+	if *dataPath == "" || *ontPath == "" || len(ofds) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rel, err := fastofd.ReadCSVFile(*dataPath)
+	if err != nil {
+		fail(err)
+	}
+	ont, err := fastofd.ReadOntologyFile(*ontPath)
+	if err != nil {
+		fail(err)
+	}
+	sigma, err := fastofd.ParseOFDs(rel.Schema(), ofds)
+	if err != nil {
+		fail(err)
+	}
+
+	opts := fastofd.DefaultCleanOptions()
+	opts.Beam = *beam
+	opts.Tau = *tau
+	opts.Theta = *theta
+	opts.IsATheta = *isaTheta
+
+	res, err := fastofd.Clean(rel, ont, sigma, opts)
+	if err != nil {
+		fail(err)
+	}
+	if res.Best == nil {
+		fmt.Fprintln(os.Stderr, "ofdclean: no repair within τ; raise -tau")
+		os.Exit(1)
+	}
+	fmt.Printf("classes: %d  conflicts: %d  ontology candidates: %d  beam: %d\n",
+		res.ClassCount, res.EdgeCount, res.Candidates, res.BeamWidth)
+	fmt.Printf("chosen repair: %d ontology additions, %d cell updates\n",
+		res.Best.OntDist, res.Best.DataDist)
+	for _, ch := range res.Best.OntChanges {
+		fmt.Printf("  ontology: add %q to class %d (%s / %s)\n",
+			ch.Value, ch.Class, res.Ontology.Sense(ch.Class), res.Ontology.Name(ch.Class))
+	}
+	for _, ch := range res.Best.DataChanges {
+		fmt.Printf("  data: row %d %s: %q -> %q\n",
+			ch.Row, rel.Schema().Name(ch.Col), ch.From, ch.To)
+	}
+	if *pareto {
+		fmt.Println("Pareto frontier (ontology additions, cell updates):")
+		for _, opt := range res.Pareto {
+			fmt.Printf("  (%d, %d)\n", opt.OntDist, opt.DataDist)
+		}
+	}
+	if *suggest {
+		fmt.Println("constraint-repair suggestions (antecedent augmentations):")
+		srOpts := fastofd.SigmaRepairOptions{IsATheta: *isaTheta}
+		for _, sr := range fastofd.RepairSigma(rel, ont, sigma, srOpts) {
+			fmt.Printf("  violated: %s\n", sr.Original.Format(rel.Schema()))
+			for _, r := range sr.Repairs {
+				fmt.Printf("    holds as: %s\n", r.Format(rel.Schema()))
+			}
+		}
+	}
+	if *outPath != "" {
+		if err := fastofd.WriteCSVFile(*outPath, res.Instance); err != nil {
+			fail(err)
+		}
+	}
+	if *ontOut != "" {
+		if err := fastofd.WriteOntologyFile(*ontOut, res.Ontology); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ofdclean:", err)
+	os.Exit(1)
+}

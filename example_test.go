@@ -1,0 +1,90 @@
+package fastofd_test
+
+import (
+	"fmt"
+
+	"github.com/fastofd/fastofd"
+)
+
+// ExampleDiscover shows FastOFD on the paper's country-code example: the
+// FD CC → CTRY is violated syntactically but holds as a synonym OFD.
+func ExampleDiscover() {
+	schema := fastofd.MustSchema("CC", "CTRY")
+	rel, _ := fastofd.FromRows(schema, [][]string{
+		{"US", "USA"},
+		{"US", "America"},
+		{"IN", "India"},
+		{"IN", "Bharat"},
+		{"CA", "Canada"},
+	})
+	ont := fastofd.NewOntology()
+	ont.MustAddClass("United States of America", "GEO", fastofd.NoClass, "USA", "America")
+	ont.MustAddClass("India", "GEO", fastofd.NoClass, "India", "Bharat")
+
+	res := fastofd.Discover(rel, ont, fastofd.DefaultDiscoveryOptions())
+	for _, d := range res.OFDs {
+		if d.Format(schema) == "[CC] -> CTRY" {
+			fmt.Println("found:", d.Format(schema))
+		}
+	}
+	// Output:
+	// found: [CC] -> CTRY
+}
+
+// ExampleClosure demonstrates the linear-time inference procedure and the
+// absence of Transitivity in the OFD axiom system.
+func ExampleClosure() {
+	schema := fastofd.MustSchema("A", "B", "C")
+	sigma := fastofd.Set{
+		fastofd.MustParseOFD(schema, "A -> B"),
+		fastofd.MustParseOFD(schema, "B -> C"),
+	}
+	closure := fastofd.Closure(sigma, schema.MustSet("A"))
+	fmt.Println("A+ =", closure.Format(schema)) // no C: OFDs lack transitivity
+	// Output:
+	// A+ = [A, B]
+}
+
+// ExampleClean repairs the paper's Table 3 inconsistency, choosing between
+// updating cells and extending the ontology.
+func ExampleClean() {
+	schema := fastofd.MustSchema("SYMP", "DIAG", "MED")
+	rel, _ := fastofd.FromRows(schema, [][]string{
+		{"headache", "hypertension", "cartia"},
+		{"headache", "hypertension", "ASA"},
+		{"headache", "hypertension", "tiazac"},
+		{"headache", "hypertension", "adizem"},
+	})
+	ont := fastofd.NewOntology()
+	ont.MustAddClass("diltiazem", "FDA", fastofd.NoClass, "cartia", "tiazac")
+	ont.MustAddClass("aspirin", "MoH", fastofd.NoClass, "cartia", "ASA")
+
+	sigma, _ := fastofd.ParseOFDs(schema, []string{"SYMP,DIAG -> MED"})
+	res, _ := fastofd.Clean(rel, ont, sigma, fastofd.DefaultCleanOptions())
+	v := fastofd.NewVerifier(res.Instance, res.Ontology)
+	fmt.Println("satisfied after repair:", v.SatisfiesAll(sigma))
+	// Output:
+	// satisfied after repair: true
+}
+
+// ExampleDetect explains violations instead of repairing them.
+func ExampleDetect() {
+	schema := fastofd.MustSchema("K", "MED")
+	rel, _ := fastofd.FromRows(schema, [][]string{
+		{"a", "cartia"},
+		{"a", "tiazac"},
+		{"a", "adizem"},
+	})
+	ont := fastofd.NewOntology()
+	ont.MustAddClass("diltiazem", "FDA", fastofd.NoClass, "cartia", "tiazac")
+
+	sigma, _ := fastofd.ParseOFDs(schema, []string{"K -> MED"})
+	rep := fastofd.Detect(rel, ont, sigma)
+	for _, v := range rep.Violations {
+		fmt.Println("missing from best sense:", v.MissingValues)
+		fmt.Println("out of ontology:", v.OutOfOntology)
+	}
+	// Output:
+	// missing from best sense: [adizem]
+	// out of ontology: [adizem]
+}

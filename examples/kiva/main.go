@@ -1,0 +1,63 @@
+// Kiva: the paper's second workload — loans data where country codes and
+// country names drift across standards (ISO vs UN vs legacy spellings).
+// Compares OFDClean against the HoloClean-style statistical baseline: both
+// fix genuine errors, but only OFDClean leaves synonymous values alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/fastofd/fastofd"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/holoclean"
+	"github.com/fastofd/fastofd/internal/metrics"
+	"github.com/fastofd/fastofd/internal/repair"
+)
+
+func main() {
+	ds := gen.Generate(gen.Config{
+		Rows:    8000,
+		Seed:    7,
+		Preset:  "kiva",
+		Senses:  4,
+		ErrRate: 0.06,
+		IncRate: 0.04,
+		NumOFDs: 6,
+	})
+	fmt.Printf("kiva workload: %d tuples, %d injected errors, |Σ|=%d\n",
+		ds.Rel.NumRows(), len(ds.Errors), len(ds.Sigma))
+	for _, d := range ds.Sigma[:3] {
+		fmt.Println("  ", d.Format(ds.Rel.Schema()))
+	}
+
+	// --- OFDClean.
+	cres, err := fastofd.Clean(ds.Rel, ds.Ont, ds.Sigma, fastofd.DefaultCleanOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dpr := metrics.DataRepairAccuracy(ds, cres.Best.DataChanges, cres.Instance)
+	fmt.Printf("\nOFDClean:  %4d changes   P=%.1f%% R=%.1f%%\n",
+		len(cres.Best.DataChanges), 100*dpr.Precision, 100*dpr.Recall)
+
+	// --- HoloClean-style baseline: same dependencies read as syntactic
+	// denial constraints, the ontology flattened to a sense-less
+	// dictionary, plus frequency statistics.
+	var dict []string
+	for _, id := range ds.Ont.AllClasses() {
+		dict = append(dict, ds.Ont.Synonyms(id)...)
+	}
+	hres := holoclean.Repair(ds.Rel, ds.Sigma, holoclean.DictionaryFromValues(dict), holoclean.DefaultOptions())
+	hch := make([]repair.CellChange, len(hres.Changes))
+	for i, c := range hres.Changes {
+		hch[i] = repair.CellChange(c)
+	}
+	hpr := metrics.DataRepairAccuracy(ds, hch, hres.Instance)
+	fmt.Printf("HoloClean: %4d changes   P=%.1f%% R=%.1f%%   (%d cells flagged noisy)\n",
+		len(hres.Changes), 100*hpr.Precision, 100*hpr.Recall, hres.NoisyCells)
+
+	fmt.Printf("\nprecision gap: %+.1f points, recall gap: %+.1f points\n",
+		100*(dpr.Precision-hpr.Precision), 100*(dpr.Recall-hpr.Recall))
+	fmt.Println("\nHoloClean rewrites synonym variants (false positives) because it")
+	fmt.Println("cannot tell 'USA' from an error; OFDClean's senses keep them clean.")
+}

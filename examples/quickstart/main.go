@@ -1,0 +1,91 @@
+// Quickstart: the paper's running example end to end — build the clinical
+// sample of Table 1 and the medication/geography ontologies of Figure 1,
+// discover the OFDs that hold, then inject the Table 3 updates and let
+// OFDClean propose minimal (ontology, data) repairs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/fastofd/fastofd"
+)
+
+func main() {
+	schema := fastofd.MustSchema("CC", "CTRY", "SYMP", "TEST", "DIAG", "MED")
+	rel, err := fastofd.FromRows(schema, [][]string{
+		{"US", "USA", "joint pain", "CT", "osteoarthritis", "ibuprofen"},
+		{"IN", "India", "joint pain", "CT", "osteoarthritis", "NSAID"},
+		{"CA", "Canada", "joint pain", "CT", "osteoarthritis", "naproxen"},
+		{"IN", "Bharat", "nausea", "EEG", "migrane", "analgesic"},
+		{"US", "America", "nausea", "EEG", "migrane", "tylenol"},
+		{"US", "USA", "nausea", "EEG", "migrane", "acetaminophen"},
+		{"IN", "India", "chest pain", "X-ray", "hypertension", "morphine"},
+		{"US", "USA", "headache", "CT", "hypertension", "cartia"},
+		{"US", "USA", "headache", "MRI", "hypertension", "tiazac"},
+		{"US", "America", "headache", "MRI", "hypertension", "tiazac"},
+		{"US", "USA", "headache", "CT", "hypertension", "tiazac"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The ontologies of Figure 1: a geographic ontology (one sense) and a
+	// medication ontology with two interpretations — the US FDA and
+	// Israel's Ministry of Health (MoH).
+	ont := fastofd.NewOntology()
+	ont.MustAddClass("United States of America", "GEO", fastofd.NoClass, "US", "USA", "America", "United States")
+	ont.MustAddClass("India", "GEO", fastofd.NoClass, "IN", "Bharat")
+	ont.MustAddClass("Canada", "GEO", fastofd.NoClass, "CA")
+	ont.MustAddClass("NSAID", "FDA", fastofd.NoClass, "ibuprofen", "naproxen")
+	ont.MustAddClass("analgesic", "FDA", fastofd.NoClass, "tylenol", "acetaminophen")
+	ont.MustAddClass("diltiazem hydrochloride", "FDA", fastofd.NoClass, "cartia", "tiazac")
+	ont.MustAddClass("aspirin", "MoH", fastofd.NoClass, "cartia", "ASA")
+
+	// Discovery: under plain FDs, CC → CTRY fails (USA vs America); as a
+	// synonym OFD it holds.
+	found := fastofd.Discover(rel, ont, fastofd.DefaultDiscoveryOptions())
+	fmt.Printf("discovered %d OFDs, among them:\n", len(found.OFDs))
+	for _, d := range found.OFDs {
+		if d.LHS.Len() <= 2 {
+			fmt.Println(" ", d.Format(schema))
+		}
+	}
+
+	// Now apply the paper's Table 3 updates: t9[MED] := ASA and
+	// t11[MED] := adizem. No single sense covers {cartia, tiazac, ASA,
+	// adizem}, so the instance violates [SYMP, DIAG] →syn MED.
+	rel.SetString(8, schema.MustIndex("MED"), "ASA")
+	rel.SetString(10, schema.MustIndex("MED"), "adizem")
+
+	sigma, err := fastofd.ParseOFDs(schema, []string{
+		"CC -> CTRY",
+		"SYMP, DIAG -> MED",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := fastofd.NewVerifier(rel, ont)
+	fmt.Printf("\nafter the updates, [SYMP, DIAG] -> MED holds: %v\n", v.HoldsSyn(sigma[1]))
+
+	res, err := fastofd.Clean(rel, ont, sigma, fastofd.DefaultCleanOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPareto-optimal repairs (ontology additions, cell updates):")
+	for _, opt := range res.Pareto {
+		fmt.Printf("  (%d, %d)\n", opt.OntDist, opt.DataDist)
+	}
+	fmt.Printf("\nchosen repair — %d ontology additions, %d cell updates:\n",
+		res.Best.OntDist, res.Best.DataDist)
+	for _, ch := range res.Best.OntChanges {
+		fmt.Printf("  ontology: add %q under sense %s (class %q)\n",
+			ch.Value, res.Ontology.Sense(ch.Class), res.Ontology.Name(ch.Class))
+	}
+	for _, ch := range res.Best.DataChanges {
+		fmt.Printf("  data: t%d[%s]: %q -> %q\n", ch.Row+1, schema.Name(ch.Col), ch.From, ch.To)
+	}
+
+	v2 := fastofd.NewVerifier(res.Instance, res.Ontology)
+	fmt.Printf("\nrepaired instance satisfies Σ: %v\n", v2.SatisfiesAll(sigma))
+}

@@ -1,0 +1,238 @@
+// Package fastofd is a from-scratch Go implementation of Ontology
+// Functional Dependencies (OFDs) as described in "(Discovery and)
+// Contextual Data Cleaning with Ontology Functional Dependencies"
+// (EDBT 2018 and its extended version): dependencies whose consequent
+// values must agree up to synonym relationships defined by a sense-annotated
+// ontology, rather than up to syntactic equality.
+//
+// The package exposes the two systems from the paper plus everything they
+// stand on:
+//
+//   - FastOFD (Discover): lattice-based discovery of a complete, minimal
+//     set of synonym OFDs holding on a relation w.r.t. an ontology, with
+//     the paper's axiomatic pruning rules and approximate-OFD support.
+//   - OFDClean (Clean): contextual repair — per-equivalence-class sense
+//     assignment, Earth-Mover's-Distance-guided refinement, beam-search
+//     ontology repair, and conflict-graph data repair producing
+//     Pareto-optimal (ontology, data) repair combinations.
+//   - The OFD theory: sound & complete axioms, linear-time inference
+//     (Closure), implication, and minimal covers.
+//   - Relational substrate: column-store relations, partitions, CSV I/O.
+//   - Ontology substrate: sense-annotated synonym classes with is-a trees,
+//     JSON I/O.
+//
+// Quick start:
+//
+//	rel, _ := fastofd.ReadCSVFile("trials.csv")
+//	ont, _ := fastofd.ReadOntologyFile("drugs.json")
+//	found := fastofd.Discover(rel, ont, fastofd.DefaultDiscoveryOptions())
+//	res, _ := fastofd.Clean(rel, ont, found.OFDs, fastofd.DefaultCleanOptions())
+//	fmt.Println(res.Best.DataDist, "cell repairs,", res.Best.OntDist, "ontology additions")
+package fastofd
+
+import (
+	"io"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/discovery"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+	"github.com/fastofd/fastofd/internal/repair"
+)
+
+// Relational model.
+type (
+	// Relation is a column-oriented, dictionary-encoded relational instance.
+	Relation = relation.Relation
+	// Schema names a relation's attributes.
+	Schema = relation.Schema
+	// AttrSet is a bitset of attribute positions.
+	AttrSet = relation.AttrSet
+	// Partition is a set of equivalence classes over an attribute set.
+	Partition = relation.Partition
+)
+
+// Ontology model.
+type (
+	// Ontology is a sense-annotated synonym ontology.
+	Ontology = ontology.Ontology
+	// ClassID identifies one ontology class (a sense of an entity).
+	ClassID = ontology.ClassID
+)
+
+// NoClass marks the absence of an ontology class.
+const NoClass = ontology.NoClass
+
+// Dependencies.
+type (
+	// OFD is a synonym Ontology Functional Dependency X →syn A.
+	OFD = core.OFD
+	// Set is a set of OFDs (Σ).
+	Set = core.Set
+	// Verifier checks OFDs against a relation and ontology.
+	Verifier = core.Verifier
+	// Violation explains one violating equivalence class.
+	Violation = core.Violation
+	// Report is the output of Detect.
+	Report = core.Report
+	// Monitor maintains OFD satisfaction incrementally under updates.
+	Monitor = core.Monitor
+)
+
+// Discovery (FastOFD).
+type (
+	// DiscoveryOptions configure Discover.
+	DiscoveryOptions = discovery.Options
+	// DiscoveryResult is Discover's output.
+	DiscoveryResult = discovery.Result
+	// LevelStat records per-lattice-level effort.
+	LevelStat = discovery.LevelStat
+	// DiscoveryMode selects the ontological relationship for candidates.
+	DiscoveryMode = discovery.Mode
+	// RankedOFD pairs a discovered OFD with interestingness measures.
+	RankedOFD = discovery.RankedOFD
+)
+
+// Discovery modes.
+const (
+	// ModeSynonym discovers synonym OFDs (the paper's focus).
+	ModeSynonym = discovery.ModeSynonym
+	// ModeInheritance discovers inheritance (is-a) OFDs with a path bound.
+	ModeInheritance = discovery.ModeInheritance
+)
+
+// Cleaning (OFDClean).
+type (
+	// CleanOptions configure Clean.
+	CleanOptions = repair.Options
+	// CleanResult is Clean's output.
+	CleanResult = repair.Result
+	// RepairOption is one Pareto-optimal repair combination.
+	RepairOption = repair.RepairOption
+	// CellChange is one data repair.
+	CellChange = repair.CellChange
+	// OntChange is one ontology repair.
+	OntChange = repair.OntChange
+	// ClassKey identifies one equivalence class of one OFD.
+	ClassKey = repair.ClassKey
+	// Assignment maps equivalence classes to senses.
+	Assignment = repair.Assignment
+	// SigmaRepair proposes antecedent augmentations for a violated OFD.
+	SigmaRepair = repair.SigmaRepair
+	// SigmaRepairOptions configure RepairSigma.
+	SigmaRepairOptions = repair.SigmaRepairOptions
+)
+
+// NewSchema creates a schema from attribute names.
+func NewSchema(names ...string) (*Schema, error) { return relation.NewSchema(names...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(names ...string) *Schema { return relation.MustSchema(names...) }
+
+// NewRelation creates an empty relation over the schema.
+func NewRelation(schema *Schema) *Relation { return relation.New(schema) }
+
+// FromRows builds a relation from string rows.
+func FromRows(schema *Schema, rows [][]string) (*Relation, error) {
+	return relation.FromRows(schema, rows)
+}
+
+// ReadCSV parses a relation from CSV (header row = attribute names).
+func ReadCSV(r io.Reader) (*Relation, error) { return relation.ReadCSV(r) }
+
+// ReadCSVFile parses a relation from a CSV file.
+func ReadCSVFile(path string) (*Relation, error) { return relation.ReadCSVFile(path) }
+
+// WriteCSV serializes a relation as CSV.
+func WriteCSV(w io.Writer, rel *Relation) error { return relation.WriteCSV(w, rel) }
+
+// WriteCSVFile serializes a relation to a CSV file.
+func WriteCSVFile(path string, rel *Relation) error { return relation.WriteCSVFile(path, rel) }
+
+// NewOntology returns an empty ontology.
+func NewOntology() *Ontology { return ontology.New() }
+
+// ReadOntology parses an ontology from its JSON serialization.
+func ReadOntology(r io.Reader) (*Ontology, error) { return ontology.ReadJSON(r) }
+
+// ReadOntologyFile parses an ontology from a JSON file.
+func ReadOntologyFile(path string) (*Ontology, error) { return ontology.ReadJSONFile(path) }
+
+// WriteOntology serializes an ontology as JSON.
+func WriteOntology(w io.Writer, o *Ontology) error { return ontology.WriteJSON(w, o) }
+
+// WriteOntologyFile serializes an ontology to a JSON file.
+func WriteOntologyFile(path string, o *Ontology) error { return ontology.WriteJSONFile(path, o) }
+
+// ParseOFD parses "A,B -> C" using schema attribute names.
+func ParseOFD(schema *Schema, s string) (OFD, error) { return core.Parse(schema, s) }
+
+// MustParseOFD is ParseOFD that panics on error.
+func MustParseOFD(schema *Schema, s string) OFD { return core.MustParse(schema, s) }
+
+// ParseOFDs parses one dependency per element.
+func ParseOFDs(schema *Schema, specs []string) (Set, error) { return core.ParseSet(schema, specs) }
+
+// Closure computes X⁺ = {A | Σ ⊢ X → A} under the OFD axioms in linear
+// time (Algorithm 1).
+func Closure(sigma Set, x AttrSet) AttrSet { return core.Closure(sigma, x) }
+
+// Implies reports whether Σ ⊢ X → A.
+func Implies(sigma Set, d OFD) bool { return core.Implies(sigma, d) }
+
+// MinimalCover computes a minimal cover of Σ.
+func MinimalCover(sigma Set) Set { return core.MinimalCover(sigma) }
+
+// NewVerifier builds a verifier for checking OFDs on an instance.
+func NewVerifier(rel *Relation, ont *Ontology) *Verifier {
+	return core.NewVerifier(rel, ont, nil)
+}
+
+// Detect finds and explains every violation of Σ on the instance, also
+// counting the tuples only a syntactic FD would (falsely) flag.
+func Detect(rel *Relation, ont *Ontology, sigma Set) *Report {
+	return core.Detect(rel, ont, sigma)
+}
+
+// NewMonitor builds an incremental satisfaction monitor over the instance:
+// consequent-cell updates re-verify only the affected equivalence classes.
+func NewMonitor(rel *Relation, ont *Ontology, sigma Set) (*Monitor, error) {
+	return core.NewMonitor(rel, ont, sigma)
+}
+
+// DefaultDiscoveryOptions returns the paper's full FastOFD configuration
+// (all pruning optimizations on, exact OFDs).
+func DefaultDiscoveryOptions() DiscoveryOptions { return discovery.DefaultOptions() }
+
+// Discover runs FastOFD: it returns the complete, minimal set of synonym
+// OFDs holding on the relation w.r.t. the ontology.
+func Discover(rel *Relation, ont *Ontology, opts DiscoveryOptions) *DiscoveryResult {
+	return discovery.Discover(rel, ont, opts)
+}
+
+// Rank scores discovered OFDs by interestingness (compactness, evidence,
+// and how much of their satisfaction the ontology provides).
+func Rank(rel *Relation, ont *Ontology, ofds Set) []RankedOFD {
+	return discovery.Rank(rel, ont, ofds)
+}
+
+// Top returns the k highest-scoring ranked OFDs.
+func Top(ranked []RankedOFD, k int) []RankedOFD { return discovery.Top(ranked, k) }
+
+// DefaultCleanOptions returns the paper's OFDClean defaults (θ=5, beam 3,
+// τ=65%).
+func DefaultCleanOptions() CleanOptions { return repair.DefaultOptions() }
+
+// Clean runs OFDClean: sense assignment, beam-search ontology repair and
+// τ-constrained data repair, returning the Pareto-optimal repairs and a
+// repaired (instance, ontology) pair for the best one.
+func Clean(rel *Relation, ont *Ontology, sigma Set, opts CleanOptions) (*CleanResult, error) {
+	return repair.Clean(rel, ont, sigma, opts)
+}
+
+// RepairSigma proposes minimal antecedent augmentations for the violated
+// dependencies in Σ — repairing the constraints instead of the data or the
+// ontology.
+func RepairSigma(rel *Relation, ont *Ontology, sigma Set, opts SigmaRepairOptions) []SigmaRepair {
+	return repair.RepairSigma(rel, ont, sigma, opts)
+}

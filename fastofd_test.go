@@ -1,0 +1,105 @@
+package fastofd
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEndToEnd exercises the public facade on the paper's running example:
+// build, serialize/parse, discover, verify, clean.
+func TestEndToEnd(t *testing.T) {
+	schema := MustSchema("CC", "CTRY", "SYMP", "DIAG", "MED")
+	rel, err := FromRows(schema, [][]string{
+		{"US", "USA", "headache", "hypertension", "cartia"},
+		{"US", "USA", "headache", "hypertension", "ASA"},
+		{"US", "America", "headache", "hypertension", "tiazac"},
+		{"US", "United States", "headache", "hypertension", "adizem"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ont := NewOntology()
+	ont.MustAddClass("United States of America", "GEO", NoClass, "US", "USA", "America", "United States")
+	ont.MustAddClass("diltiazem", "FDA", NoClass, "cartia", "tiazac")
+	ont.MustAddClass("aspirin", "MoH", NoClass, "cartia", "ASA")
+
+	// CSV round trip through the facade.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := rel.DiffCells(rel2); d != 0 {
+		t.Fatal("CSV round trip lost data")
+	}
+
+	// Ontology round trip.
+	buf.Reset()
+	if err := WriteOntology(&buf, ont); err != nil {
+		t.Fatal(err)
+	}
+	ont2, err := ReadOntology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ont2.NumClasses() != ont.NumClasses() {
+		t.Fatal("ontology round trip lost classes")
+	}
+
+	// Discovery: CC ->syn CTRY must be implied by the result (here the
+	// even stronger ∅ -> CTRY holds, since every CTRY value shares the
+	// "United States of America" interpretation).
+	res := Discover(rel, ont, DefaultDiscoveryOptions())
+	target := MustParseOFD(schema, "CC -> CTRY")
+	implied := false
+	for _, d := range res.OFDs {
+		if d.RHS == target.RHS && d.LHS.SubsetOf(target.LHS) {
+			implied = true
+		}
+	}
+	if !implied {
+		t.Fatalf("CC -> CTRY not implied by discovery: %v", res.OFDs.Format(schema))
+	}
+
+	// Cleaning against the Table 3 Σ.
+	sigma, err := ParseOFDs(schema, []string{"CC -> CTRY", "SYMP,DIAG -> MED"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := Clean(rel, ont, sigma, DefaultCleanOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Best == nil {
+		t.Fatal("no repair")
+	}
+	v := NewVerifier(cres.Instance, cres.Ontology)
+	if !v.SatisfiesAll(sigma) {
+		t.Fatal("repaired instance violates Σ")
+	}
+}
+
+func TestFacadeInference(t *testing.T) {
+	schema := MustSchema("A", "B", "C")
+	sigma := Set{
+		MustParseOFD(schema, "A -> B"),
+		MustParseOFD(schema, "B -> C"),
+	}
+	if !Implies(sigma, MustParseOFD(schema, "A -> B")) {
+		t.Fatal("stated dependency not implied")
+	}
+	if Implies(sigma, MustParseOFD(schema, "A -> C")) {
+		t.Fatal("transitivity must not hold for OFDs")
+	}
+	cl := Closure(sigma, schema.MustSet("A"))
+	if cl != schema.MustSet("A", "B") {
+		t.Fatalf("closure = %v", cl)
+	}
+	cover := MinimalCover(append(sigma, MustParseOFD(schema, "A, B -> B")))
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v", cover)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/fastofd/fastofd
+
+go 1.22

@@ -1,0 +1,123 @@
+package fastofd_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/fastofd/fastofd"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/metrics"
+)
+
+// TestFilePipeline drives the full workflow through the file formats the
+// CLIs use: generate → write → read back → discover → detect → clean.
+func TestFilePipeline(t *testing.T) {
+	dir := t.TempDir()
+	ds := gen.Generate(gen.Config{Rows: 400, Seed: 77, ErrRate: 0.05, IncRate: 0.05, NumOFDs: 6})
+
+	dataPath := filepath.Join(dir, "data.csv")
+	ontPath := filepath.Join(dir, "ontology.json")
+	if err := fastofd.WriteCSVFile(dataPath, ds.Rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := fastofd.WriteOntologyFile(ontPath, ds.Ont); err != nil {
+		t.Fatal(err)
+	}
+
+	rel, err := fastofd.ReadCSVFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ont, err := fastofd.ReadOntologyFile(ontPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := rel.DiffCells(ds.Rel); d != 0 {
+		t.Fatal("relation changed through file round trip")
+	}
+	if !reflect.DeepEqual(rel.Schema().Names(), ds.Rel.Schema().Names()) {
+		t.Fatal("schema changed through file round trip")
+	}
+
+	// Discovery on the files equals discovery on the originals.
+	a := fastofd.Discover(rel, ont, fastofd.DefaultDiscoveryOptions()).OFDs
+	b := fastofd.Discover(ds.Rel, ds.Ont, fastofd.DefaultDiscoveryOptions()).OFDs
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("discovery differs after file round trip")
+	}
+
+	// Detection flags the injected errors' classes.
+	rep := fastofd.Detect(rel, ont, ds.Sigma)
+	if len(rep.Violations) == 0 {
+		t.Fatal("no violations detected on dirty data")
+	}
+
+	// Cleaning restores satisfaction and lands reasonable accuracy.
+	res, err := fastofd.Clean(rel, ont, ds.Sigma, fastofd.DefaultCleanOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := fastofd.NewVerifier(res.Instance, res.Ontology)
+	if !v.SatisfiesAll(ds.Sigma) {
+		t.Fatal("repair incomplete")
+	}
+	pr := metrics.DataRepairAccuracy(ds, res.Best.DataChanges, res.Instance)
+	if pr.Recall < 0.5 {
+		t.Errorf("suspiciously low repair recall %.2f", pr.Recall)
+	}
+	// The repaired output can itself be written and re-read.
+	outPath := filepath.Join(dir, "repaired.csv")
+	if err := fastofd.WriteCSVFile(outPath, res.Instance); err != nil {
+		t.Fatal(err)
+	}
+	ontOutPath := filepath.Join(dir, "repaired-ontology.json")
+	if err := fastofd.WriteOntologyFile(ontOutPath, res.Ontology); err != nil {
+		t.Fatal(err)
+	}
+	back, err := fastofd.ReadOntologyFile(ontOutPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumClasses() != res.Ontology.NumClasses() {
+		t.Fatal("repaired ontology lost classes in serialization")
+	}
+}
+
+// TestFacadeRepairSigma exercises constraint repair through the facade.
+func TestFacadeRepairSigma(t *testing.T) {
+	schema := fastofd.MustSchema("CTRY", "SYMP", "DIAG", "MED")
+	rel, _ := fastofd.FromRows(schema, [][]string{
+		{"USA", "headache", "hypertension", "cartia"},
+		{"USA", "headache", "hypertension", "ASA"},
+		{"America", "headache", "hypertension", "tiazac"},
+	})
+	ont := fastofd.NewOntology()
+	ont.MustAddClass("diltiazem", "FDA", fastofd.NoClass, "cartia", "tiazac")
+	ont.MustAddClass("aspirin", "MoH", fastofd.NoClass, "cartia", "ASA")
+	sigma := fastofd.Set{fastofd.MustParseOFD(schema, "SYMP,DIAG -> MED")}
+	out := fastofd.RepairSigma(rel, ont, sigma, fastofd.SigmaRepairOptions{})
+	if len(out) != 1 || len(out[0].Repairs) == 0 {
+		t.Fatalf("RepairSigma = %+v", out)
+	}
+	v := fastofd.NewVerifier(rel, ont)
+	for _, r := range out[0].Repairs {
+		if !v.HoldsSyn(r) {
+			t.Errorf("suggested repair %v does not hold", r)
+		}
+	}
+}
+
+// TestFacadeRankTop exercises ranking through the facade.
+func TestFacadeRankTop(t *testing.T) {
+	ds := gen.Clinical(300, 7)
+	res := fastofd.Discover(ds.CleanRel, ds.FullOnt, fastofd.DefaultDiscoveryOptions())
+	ranked := fastofd.Rank(ds.CleanRel, ds.FullOnt, res.OFDs)
+	top := fastofd.Top(ranked, 3)
+	if len(top) != 3 {
+		t.Fatalf("Top(3) = %d entries", len(top))
+	}
+	if top[0].Score < top[2].Score {
+		t.Fatal("Top not sorted")
+	}
+}

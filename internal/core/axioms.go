@@ -1,0 +1,136 @@
+package core
+
+import (
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// The OFD axiom system (Theorem 2 of the paper) is:
+//
+//	O1 Identity:      X → X for all X ⊆ R
+//	O2 Decomposition: X → Y and Z ⊆ Y  imply  X → Z
+//	O3 Composition:   X → Y and Z → W  imply  XZ → YW
+//
+// Notably, Transitivity does NOT hold for OFDs. The system is equivalent to
+// Lien's axioms for null functional dependencies (Theorem 3), so closure is
+// computed with the same linear-time procedure (Algorithm 1).
+
+// Closure computes X⁺ = {A | Σ ⊢ X → A} under the OFD axioms using the
+// single-pass-per-application procedure of Algorithm 1. Each dependency in
+// Σ is applied at most once, giving O(|Σ| · |R|) time with bitset attribute
+// sets — linear in the size of Σ.
+func Closure(sigma Set, x relation.AttrSet) relation.AttrSet {
+	closure := x
+	used := make([]bool, len(sigma))
+	for changed := true; changed; {
+		changed = false
+		for i, d := range sigma {
+			// Crucially, the antecedent must be within the ORIGINAL X, not
+			// the growing closure: OFDs lack Transitivity, so X → A and
+			// A → B do not yield X → B.
+			if !used[i] && d.LHS.SubsetOf(x) && !closure.Has(d.RHS) {
+				closure = closure.With(d.RHS)
+				used[i] = true
+				changed = true
+			}
+		}
+	}
+	return closure
+}
+
+// Implies reports whether Σ ⊢ X → A by Lemma 1: A ∈ X⁺.
+func Implies(sigma Set, d OFD) bool {
+	return Closure(sigma, d.LHS).Has(d.RHS)
+}
+
+// ImpliesAll reports whether Σ ⊢ X → Y for a multi-attribute consequent,
+// i.e. Y ⊆ X⁺ (Lemma 1).
+func ImpliesAll(sigma Set, lhs, rhs relation.AttrSet) bool {
+	return rhs.SubsetOf(Closure(sigma, lhs))
+}
+
+// Equivalent reports whether two OFD sets imply each other.
+func Equivalent(a, b Set) bool {
+	for _, d := range b {
+		if !Implies(a, d) {
+			return false
+		}
+	}
+	for _, d := range a {
+		if !Implies(b, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalCover computes a minimal cover of Σ (Definition 5): single
+// consequents (already enforced by the OFD type), no extraneous antecedent
+// attribute, and no redundant dependency. The result is equivalent to Σ.
+func MinimalCover(sigma Set) Set {
+	work := sigma.Clone()
+	// Drop trivial dependencies (implied by Identity + Decomposition).
+	out := work[:0]
+	for _, d := range work {
+		if !d.Trivial() {
+			out = append(out, d)
+		}
+	}
+	work = out
+
+	// Remove extraneous antecedent attributes: B ∈ X is extraneous for
+	// X → A when Σ ⊢ (X \ B) → A.
+	for i := range work {
+		for _, b := range work[i].LHS.Attrs() {
+			reduced := OFD{LHS: work[i].LHS.Without(b), RHS: work[i].RHS}
+			if Implies(work, reduced) {
+				work[i] = reduced
+			}
+		}
+	}
+
+	// Remove redundant dependencies: d is redundant when Σ \ {d} ⊢ d.
+	for i := 0; i < len(work); i++ {
+		rest := make(Set, 0, len(work)-1)
+		rest = append(rest, work[:i]...)
+		rest = append(rest, work[i+1:]...)
+		if Implies(rest, work[i]) {
+			work = rest
+			i--
+		}
+	}
+
+	// Deduplicate (extraneous-attribute removal can create duplicates that
+	// redundancy elimination then removes; keep a final dedup for safety).
+	seen := make(map[OFD]struct{}, len(work))
+	final := make(Set, 0, len(work))
+	for _, d := range work {
+		if _, dup := seen[d]; dup {
+			continue
+		}
+		seen[d] = struct{}{}
+		final = append(final, d)
+	}
+	final.Sort()
+	return final
+}
+
+// IsMinimalCover reports whether Σ already satisfies Definition 5.
+func IsMinimalCover(sigma Set) bool {
+	for i, d := range sigma {
+		if d.Trivial() {
+			return false
+		}
+		for _, b := range d.LHS.Attrs() {
+			if Implies(sigma, OFD{LHS: d.LHS.Without(b), RHS: d.RHS}) {
+				return false
+			}
+		}
+		rest := make(Set, 0, len(sigma)-1)
+		rest = append(rest, sigma[:i]...)
+		rest = append(rest, sigma[i+1:]...)
+		if Implies(rest, d) {
+			return false
+		}
+	}
+	return true
+}

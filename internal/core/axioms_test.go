@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// randomSigma builds a random OFD set over n attributes.
+func randomSigma(rng *rand.Rand, n, size int) Set {
+	var out Set
+	for i := 0; i < size; i++ {
+		lhs := relation.AttrSet(rng.Int63()) & relation.AttrSet(uint64(1)<<uint(n)-1)
+		rhs := rng.Intn(n)
+		out = append(out, OFD{LHS: lhs.Without(rhs), RHS: rhs})
+	}
+	return out
+}
+
+// naiveDerivable checks Σ ⊢ X → A by direct appeal to the axioms: with no
+// Transitivity, X → A is derivable exactly when A ∈ X (Identity +
+// Decomposition) or some V → A ∈ Σ has V ⊆ X (Composition with Identity,
+// then Decomposition). This is the independent oracle for Algorithm 1.
+func naiveDerivable(sigma Set, x relation.AttrSet, a int) bool {
+	if x.Has(a) {
+		return true
+	}
+	for _, d := range sigma {
+		if d.RHS == a && d.LHS.SubsetOf(x) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestClosureMatchesAxiomOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		sigma := randomSigma(rng, n, rng.Intn(8))
+		x := relation.AttrSet(rng.Int63()) & relation.AttrSet(uint64(1)<<uint(n)-1)
+		closure := Closure(sigma, x)
+		for a := 0; a < n; a++ {
+			if closure.Has(a) != naiveDerivable(sigma, x, a) {
+				t.Fatalf("trial %d: attr %d: closure=%v oracle=%v (Σ=%v, X=%v)",
+					trial, a, closure.Has(a), naiveDerivable(sigma, x, a), sigma, x)
+			}
+		}
+	}
+}
+
+func TestClosureProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seedS, seedX uint32) bool {
+		r := rand.New(rand.NewSource(int64(seedS)))
+		n := 2 + int(seedX%6)
+		sigma := randomSigma(r, n, int(seedS%7))
+		x := relation.AttrSet(uint64(seedX)) & relation.AttrSet(uint64(1)<<uint(n)-1)
+		cl := Closure(sigma, x)
+		// Extensive: X ⊆ X⁺.
+		if !x.SubsetOf(cl) {
+			return false
+		}
+		// Idempotent on the derivable part? NOT in general for OFDs (no
+		// Transitivity), but closure of a closure must contain the
+		// closure itself.
+		if !cl.SubsetOf(Closure(sigma, cl)) {
+			return false
+		}
+		// Monotone: X ⊆ Y ⇒ X⁺ ⊆ Y⁺.
+		y := x.With(rng.Intn(n))
+		if !cl.SubsetOf(Closure(sigma, y)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoTransitivity(t *testing.T) {
+	// Σ = {A→B, B→C}: OFD axioms must NOT derive A→C (the paper's
+	// three-tuple counterexample shows it is not sound).
+	sigma := Set{
+		{LHS: relation.Single(0), RHS: 1},
+		{LHS: relation.Single(1), RHS: 2},
+	}
+	if Implies(sigma, OFD{LHS: relation.Single(0), RHS: 2}) {
+		t.Fatal("OFD inference applied transitivity")
+	}
+	if !Implies(sigma, OFD{LHS: relation.Single(0), RHS: 1}) {
+		t.Fatal("stated dependency not implied")
+	}
+	// Reflexivity via Identity + Decomposition.
+	if !Implies(sigma, OFD{LHS: relation.Single(0).With(2), RHS: 2}) {
+		t.Fatal("trivial dependency not implied")
+	}
+	// Augmentation via Composition.
+	if !Implies(sigma, OFD{LHS: relation.Single(0).With(3), RHS: 1}) {
+		t.Fatal("augmented dependency not implied")
+	}
+}
+
+// nfdClosure implements Lien's NFD axiom system (N1–N4) as an independent
+// engine: by Theorem 3 it must agree with the OFD closure.
+func nfdClosure(sigma Set, x relation.AttrSet) relation.AttrSet {
+	// N1 Reflexivity gives x itself. N2 Append with N4 Simplification
+	// yields exactly {A | ∃ V→A ∈ Σ, V ⊆ X}; N3 Union collects them.
+	closure := x
+	for _, d := range sigma {
+		if d.LHS.SubsetOf(x) {
+			closure = closure.With(d.RHS)
+		}
+	}
+	return closure
+}
+
+func TestOFDAxiomsEquivalentToNFDAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		sigma := randomSigma(rng, n, rng.Intn(8))
+		x := relation.AttrSet(rng.Int63()) & relation.AttrSet(uint64(1)<<uint(n)-1)
+		if got, want := Closure(sigma, x), nfdClosure(sigma, x); got != want {
+			t.Fatalf("trial %d: OFD closure %v != NFD closure %v", trial, got, want)
+		}
+	}
+}
+
+func TestImpliesAllLemma1(t *testing.T) {
+	// Lemma 1: Σ ⊢ X → Y iff Y ⊆ X⁺.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(4)
+		sigma := randomSigma(rng, n, rng.Intn(6))
+		x := relation.AttrSet(rng.Int63()) & relation.AttrSet(uint64(1)<<uint(n)-1)
+		y := relation.AttrSet(rng.Int63()) & relation.AttrSet(uint64(1)<<uint(n)-1)
+		if ImpliesAll(sigma, x, y) != y.SubsetOf(Closure(sigma, x)) {
+			t.Fatalf("trial %d: ImpliesAll disagrees with Lemma 1", trial)
+		}
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	schema := relation.MustSchema("CC", "DIAG", "MED", "CTRY")
+	// The paper's Example 5: Σ3 follows from Σ1, Σ2 by Composition.
+	sigma := Set{
+		MustParse(schema, "CC -> CTRY"),
+		MustParse(schema, "CC, DIAG -> MED"),
+		MustParse(schema, "CC, DIAG -> MED"), // duplicate
+		MustParse(schema, "CC, DIAG -> CTRY"),
+	}
+	cover := MinimalCover(sigma)
+	if !Equivalent(cover, sigma) {
+		t.Fatal("cover not equivalent to original")
+	}
+	if !IsMinimalCover(cover) {
+		t.Fatalf("cover not minimal: %v", cover)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("cover size %d, want 2: %v", len(cover), cover)
+	}
+}
+
+func TestMinimalCoverProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(5)
+		sigma := randomSigma(rng, n, rng.Intn(10))
+		cover := MinimalCover(sigma)
+		if !Equivalent(cover, sigma) {
+			t.Fatalf("trial %d: cover not equivalent (Σ=%v, cover=%v)", trial, sigma, cover)
+		}
+		if !IsMinimalCover(cover) {
+			t.Fatalf("trial %d: cover not minimal (Σ=%v, cover=%v)", trial, sigma, cover)
+		}
+	}
+}
+
+func TestSetHelpers(t *testing.T) {
+	schema := relation.MustSchema("A", "B", "C")
+	s := Set{
+		MustParse(schema, "A -> C"),
+		MustParse(schema, "B -> C"),
+		MustParse(schema, "A -> B"),
+	}
+	if got := s.ConsequentAttrs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ConsequentAttrs = %v", got)
+	}
+	by := s.ByRHS()
+	if len(by[2]) != 2 || len(by[1]) != 1 {
+		t.Fatalf("ByRHS = %v", by)
+	}
+	if !s.Contains(MustParse(schema, "A -> B")) || s.Contains(MustParse(schema, "C -> B")) {
+		t.Fatal("Contains wrong")
+	}
+	d := MustParse(schema, "A, B -> C")
+	if got := d.Format(schema); got != "[A, B] -> C" {
+		t.Fatalf("Format = %q", got)
+	}
+	if d.Trivial() {
+		t.Fatal("A,B->C is not trivial")
+	}
+	if !(OFD{LHS: schema.MustSet("A", "C"), RHS: 2}).Trivial() {
+		t.Fatal("A,C->C is trivial")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	schema := relation.MustSchema("A", "B")
+	for _, bad := range []string{"A", "A -> X", "X -> A", "A -> B -> A"} {
+		if _, err := Parse(schema, bad); err == nil {
+			t.Errorf("Parse(%q) should error", bad)
+		}
+	}
+	d, err := Parse(schema, " A , B ->  B ")
+	if err != nil || d.RHS != 1 || d.LHS != schema.MustSet("A", "B") {
+		t.Fatalf("Parse with spaces: %v, %v", d, err)
+	}
+}
+
+func TestSetSerializationRoundTrip(t *testing.T) {
+	schema := relation.MustSchema("CC", "CTRY", "SYMP", "DIAG", "MED")
+	sigma := Set{
+		MustParse(schema, "CC -> CTRY"),
+		MustParse(schema, "SYMP, DIAG -> MED"),
+		{LHS: relation.EmptySet, RHS: 1}, // empty antecedent
+	}
+	var buf strings.Builder
+	if err := WriteSet(&buf, schema, sigma); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSet(strings.NewReader(buf.String()+"\n# comment\n\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sigma) {
+		t.Fatalf("round trip: %d vs %d", len(back), len(sigma))
+	}
+	for i := range sigma {
+		if back[i] != sigma[i] {
+			t.Fatalf("dependency %d changed: %v vs %v", i, back[i], sigma[i])
+		}
+	}
+	// Bad lines report their line number.
+	if _, err := ReadSet(strings.NewReader("CC -> CTRY\nZZZ -> CC\n"), schema); err == nil {
+		t.Fatal("bad line should error")
+	}
+}
+
+func TestSupportProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 40; trial++ {
+		cols := 2 + rng.Intn(3)
+		names := make([]string, cols)
+		for i := range names {
+			names[i] = string(rune('A' + i))
+		}
+		rel := relation.New(relation.MustSchema(names...))
+		row := make([]string, cols)
+		for r := 0; r < 1+rng.Intn(15); r++ {
+			for c := range row {
+				row[c] = string(rune('a' + rng.Intn(3)))
+			}
+			rel.AppendRow(row)
+		}
+		o := ontology.New()
+		if rng.Intn(2) == 0 {
+			o.MustAddClass("C", "S", ontology.NoClass, "a", "b")
+		}
+		v := NewVerifier(rel, o, nil)
+		for rhs := 0; rhs < cols; rhs++ {
+			for lhsA := 0; lhsA < cols; lhsA++ {
+				if lhsA == rhs {
+					continue
+				}
+				d := OFD{LHS: relation.Single(lhsA), RHS: rhs}
+				s := v.Support(d)
+				if s < 0 || s > 1 {
+					t.Fatalf("support out of range: %v", s)
+				}
+				// Exact satisfaction iff support 1... exact implies 1;
+				// support 1 implies each class fully covered by one sense
+				// or constant, which implies exact satisfaction.
+				if v.HoldsSyn(d) != (s == 1) {
+					t.Fatalf("trial %d: HoldsSyn=%v but support=%v (%v)", trial, v.HoldsSyn(d), s, d)
+				}
+				// Monotone in κ.
+				if v.HoldsApprox(d, 0.9) && !v.HoldsApprox(d, 0.5) {
+					t.Fatal("approx satisfaction not monotone in κ")
+				}
+				// Augmentation keeps or raises support.
+				for extra := 0; extra < cols; extra++ {
+					if extra == rhs || extra == lhsA {
+						continue
+					}
+					bigger := OFD{LHS: d.LHS.With(extra), RHS: rhs}
+					if v.Support(bigger) < s-1e-9 {
+						t.Fatalf("support not monotone under augmentation: %v vs %v", v.Support(bigger), s)
+					}
+				}
+			}
+		}
+	}
+}

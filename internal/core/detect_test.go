@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+func table3(t *testing.T) (*relation.Relation, *ontology.Ontology) {
+	t.Helper()
+	schema := relation.MustSchema("CC", "CTRY", "SYMP", "DIAG", "MED")
+	rel, err := relation.FromRows(schema, [][]string{
+		{"US", "USA", "headache", "hypertension", "cartia"},
+		{"US", "USA", "headache", "hypertension", "ASA"},
+		{"US", "America", "headache", "hypertension", "tiazac"},
+		{"US", "United States", "headache", "hypertension", "adizem"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ontology.New()
+	o.MustAddClass("United States of America", "GEO", ontology.NoClass, "US", "USA", "America", "United States")
+	o.MustAddClass("diltiazem", "FDA", ontology.NoClass, "cartia", "tiazac")
+	o.MustAddClass("aspirin", "MoH", ontology.NoClass, "cartia", "ASA")
+	return rel, o
+}
+
+func TestDetectPaperExample(t *testing.T) {
+	rel, ont := table3(t)
+	schema := rel.Schema()
+	sigma := Set{
+		MustParse(schema, "CC -> CTRY"),
+		MustParse(schema, "SYMP, DIAG -> MED"),
+	}
+	rep := Detect(rel, ont, sigma)
+	// CC -> CTRY holds semantically (all of {USA, America, United States}
+	// share one interpretation) but would be flagged by an FD.
+	if rep.FDOnlyFlagged != 4 {
+		t.Errorf("FD-only flagged = %d, want 4", rep.FDOnlyFlagged)
+	}
+	// [SYMP, DIAG] -> MED genuinely violates: {cartia, ASA, tiazac,
+	// adizem} share no sense.
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %d, want 1 (%+v)", len(rep.Violations), rep.Violations)
+	}
+	v := rep.Violations[0]
+	if len(v.Values) != 4 {
+		t.Fatalf("values = %v", v.Values)
+	}
+	// The best sense covers 2 of 4 values (either FDA {cartia, tiazac} or
+	// MoH {cartia, ASA}); adizem is out of the ontology entirely.
+	if v.Covered != 2 {
+		t.Errorf("covered = %d, want 2", v.Covered)
+	}
+	if len(v.OutOfOntology) != 1 || v.OutOfOntology[0] != "adizem" {
+		t.Errorf("out-of-ontology = %v", v.OutOfOntology)
+	}
+	if rep.TuplesFlagged != 4 {
+		t.Errorf("tuples flagged = %d", rep.TuplesFlagged)
+	}
+	// Formatting sanity.
+	line := v.Format(schema, ont)
+	if !strings.Contains(line, "adizem") || !strings.Contains(line, "MED") {
+		t.Errorf("explanation incomplete: %s", line)
+	}
+}
+
+func TestDetectCleanInstance(t *testing.T) {
+	rel, ont := table1(t)
+	sigma := Set{
+		MustParse(rel.Schema(), "CC -> CTRY"),
+		MustParse(rel.Schema(), "SYMP, DIAG -> MED"),
+	}
+	rep := Detect(rel, ont, sigma)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean instance has %d violations", len(rep.Violations))
+	}
+	if rep.FDOnlyFlagged == 0 {
+		t.Fatal("expected FD false positives on the synonym-rich instance")
+	}
+}
+
+func TestMonitorIncrementalMatchesFull(t *testing.T) {
+	rel, ont := table1(t)
+	schema := rel.Schema()
+	sigma := Set{
+		MustParse(schema, "CC -> CTRY"),
+		MustParse(schema, "SYMP, DIAG -> MED"),
+	}
+	m, err := NewMonitor(rel, ont, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Satisfied() {
+		t.Fatal("table 1 should satisfy Σ initially")
+	}
+
+	// Randomized update sequence on consequent columns; after each update
+	// the monitor's verdict must match full re-verification.
+	rng := rand.New(rand.NewSource(3))
+	medCol := schema.MustIndex("MED")
+	ctryCol := schema.MustIndex("CTRY")
+	values := []string{"cartia", "tiazac", "ASA", "adizem", "ibuprofen", "naproxen", "USA", "Bharat"}
+	for step := 0; step < 60; step++ {
+		col := medCol
+		if rng.Intn(2) == 0 {
+			col = ctryCol
+		}
+		row := rng.Intn(rel.NumRows())
+		if err := m.Update(row, col, values[rng.Intn(len(values))]); err != nil {
+			t.Fatal(err)
+		}
+		full := NewVerifier(rel, ont, nil).SatisfiesAll(sigma)
+		if m.Satisfied() != full {
+			t.Fatalf("step %d: monitor=%v full=%v", step, m.Satisfied(), full)
+		}
+	}
+}
+
+func TestMonitorRejectsAntecedentUpdates(t *testing.T) {
+	rel, ont := table1(t)
+	sigma := Set{MustParse(rel.Schema(), "CC -> CTRY")}
+	m, err := NewMonitor(rel, ont, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(0, rel.Schema().MustIndex("CC"), "CA"); err == nil {
+		t.Fatal("antecedent update must be rejected")
+	}
+	if err := m.Update(999, 0, "x"); err == nil {
+		t.Fatal("out-of-range update must be rejected")
+	}
+}
+
+func TestMonitorRejectsOverlappingSigma(t *testing.T) {
+	rel, ont := table1(t)
+	sigma := Set{
+		MustParse(rel.Schema(), "CC -> CTRY"),
+		MustParse(rel.Schema(), "CTRY -> MED"),
+	}
+	if _, err := NewMonitor(rel, ont, sigma); err == nil {
+		t.Fatal("overlapping Σ must be rejected")
+	}
+}
+
+func TestMonitorViolationBookkeeping(t *testing.T) {
+	rel, ont := table1(t)
+	schema := rel.Schema()
+	sigma := Set{MustParse(schema, "SYMP, DIAG -> MED")}
+	m, err := NewMonitor(rel, ont, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := schema.MustIndex("MED")
+	// Break the headache/hypertension class.
+	if err := m.Update(7, med, "unknown-drug"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Satisfied() || m.ViolationCount() != 1 {
+		t.Fatalf("expected 1 violation, got %d", m.ViolationCount())
+	}
+	vc := m.ViolatingClasses()
+	if len(vc[0]) != 1 {
+		t.Fatalf("violating classes = %v", vc)
+	}
+	// Fix it again.
+	if err := m.Update(7, med, "cartia"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Satisfied() {
+		t.Fatal("violation should have cleared")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// Inheritance OFDs (the second dependency class of the conference version
+// of the paper) replace the synonym relationship with is-a: a relation
+// satisfies X →_inh A when, for every equivalence class x ∈ Π_X, there is
+// an ontology class E such that every A-value of x belongs to E or to a
+// descendant of E within path length θ. Synonym OFDs are the special case
+// θ = 0.
+
+// ancestorsWithin returns the set of ancestor classes reachable from any
+// interpretation of value v in at most theta is-a steps (including the
+// value's own classes at distance 0).
+func ancestorsWithin(ont *ontology.Ontology, v string, theta int) map[ontology.ClassID]struct{} {
+	out := make(map[ontology.ClassID]struct{}, 4)
+	for _, cls := range ont.Names(v) {
+		c := cls
+		for depth := 0; depth <= theta && c != ontology.NoClass; depth++ {
+			out[c] = struct{}{}
+			c = ont.Parent(c)
+		}
+	}
+	return out
+}
+
+// classSatisfiedInh reports whether one equivalence class satisfies
+// X →_inh A under path-length bound theta: all values equal, or some
+// common ancestor within theta covers every distinct value.
+func (v *Verifier) classSatisfiedInh(class []int, rhs, theta int) bool {
+	col := v.rel.Column(rhs)
+	first := col[class[0]]
+	allEqual := true
+	distinct := make(map[relation.Value]struct{}, 4)
+	distinct[first] = struct{}{}
+	for _, t := range class[1:] {
+		if col[t] != first {
+			allEqual = false
+		}
+		distinct[col[t]] = struct{}{}
+	}
+	if allEqual {
+		return true
+	}
+	counts := make(map[ontology.ClassID]int, 8)
+	need := len(distinct)
+	dict := v.rel.Dict(rhs)
+	for val := range distinct {
+		for anc := range ancestorsWithin(v.ont, dict.String(val), theta) {
+			counts[anc]++
+			if counts[anc] == need {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HoldsInh reports whether the inheritance OFD X →_inh A holds with
+// path-length bound theta. theta = 0 coincides with HoldsSyn.
+func (v *Verifier) HoldsInh(d OFD, theta int) bool {
+	if d.Trivial() {
+		return true
+	}
+	if !v.covered[d.RHS] {
+		return v.HoldsFD(d)
+	}
+	p := v.pc.Get(d.LHS)
+	for _, class := range p.Classes {
+		if !v.classSatisfiedInh(class, d.RHS, theta) {
+			return false
+		}
+	}
+	return true
+}
+
+// SupportInh returns the fraction of tuples in the largest sub-relation
+// satisfying X →_inh A under theta — the approximate-OFD measure for
+// inheritance dependencies.
+func (v *Verifier) SupportInh(d OFD, theta int) float64 {
+	n := v.rel.NumRows()
+	if n == 0 || d.Trivial() {
+		return 1
+	}
+	p := v.pc.Get(d.LHS)
+	satisfied := n
+	dict := v.rel.Dict(d.RHS)
+	col := v.rel.Column(d.RHS)
+	for _, class := range p.Classes {
+		valCount := make(map[relation.Value]int, 4)
+		for _, t := range class {
+			valCount[col[t]]++
+		}
+		best := 0
+		for _, c := range valCount {
+			if c > best {
+				best = c
+			}
+		}
+		cover := make(map[ontology.ClassID]int, 8)
+		for val, c := range valCount {
+			for anc := range ancestorsWithin(v.ont, dict.String(val), theta) {
+				cover[anc] += c
+				if cover[anc] > best {
+					best = cover[anc]
+				}
+			}
+		}
+		satisfied -= len(class) - best
+	}
+	return float64(satisfied) / float64(n)
+}
+
+// ViolationsInh returns the equivalence classes violating the inheritance
+// OFD under theta.
+func (v *Verifier) ViolationsInh(d OFD, theta int) [][]int {
+	var out [][]int
+	p := v.pc.Get(d.LHS)
+	for _, class := range p.Classes {
+		if !v.classSatisfiedInh(class, d.RHS, theta) {
+			out = append(out, class)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// figure1Tree builds the medication is-a hierarchy of Figure 1 as a tree:
+// drugs at the leaves, drug families above them.
+func figure1Tree() *ontology.Ontology {
+	o := ontology.New()
+	root := o.MustAddClass("continuant drug", "FDA", ontology.NoClass)
+	nsaid := o.MustAddClass("NSAID", "FDA", root)
+	o.MustAddClass("ibuprofen", "FDA", nsaid)
+	o.MustAddClass("naproxen", "FDA", nsaid)
+	analgesic := o.MustAddClass("analgesic", "FDA", root)
+	acetaminophen := o.MustAddClass("acetaminophen", "FDA", analgesic)
+	o.MustAddClass("tylenol", "FDA", acetaminophen)
+	diltiazem := o.MustAddClass("diltiazem hydrochloride", "FDA", root)
+	o.MustAddClass("cartia", "FDA", diltiazem)
+	o.MustAddClass("tiazac", "FDA", diltiazem)
+	return o
+}
+
+func TestInheritanceOFDPaperExample(t *testing.T) {
+	schema := relation.MustSchema("SYMP", "DIAG", "MED")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"joint pain", "osteoarthritis", "ibuprofen"},
+		{"joint pain", "osteoarthritis", "NSAID"},
+		{"joint pain", "osteoarthritis", "naproxen"},
+		{"nausea", "migrane", "analgesic"},
+		{"nausea", "migrane", "tylenol"},
+		{"nausea", "migrane", "acetaminophen"},
+	})
+	ont := figure1Tree()
+	v := NewVerifier(rel, ont, nil)
+	d := MustParse(schema, "SYMP, DIAG -> MED")
+
+	// As a synonym OFD it fails: ibuprofen and naproxen are not synonyms.
+	if v.HoldsSyn(d) {
+		t.Fatal("should fail as synonym OFD")
+	}
+	// θ = 0 inheritance coincides with synonym semantics.
+	if v.HoldsInh(d, 0) {
+		t.Fatal("θ=0 must coincide with synonym semantics")
+	}
+	// θ = 1 covers {ibuprofen, NSAID, naproxen} via the NSAID family, but
+	// NOT {analgesic, tylenol, acetaminophen} (tylenol is 2 hops below
+	// analgesic).
+	if v.HoldsInh(d, 1) {
+		t.Fatal("θ=1 should still fail (tylenol is 2 hops below analgesic)")
+	}
+	if !v.HoldsInh(d, 2) {
+		for _, viol := range v.ViolationsInh(d, 2) {
+			t.Logf("violating class %v", viol)
+		}
+		t.Fatal("θ=2 should hold via drug families")
+	}
+}
+
+func TestInheritanceMonotoneInTheta(t *testing.T) {
+	schema := relation.MustSchema("SYMP", "MED")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"a", "ibuprofen"},
+		{"a", "tylenol"},
+		{"b", "cartia"},
+		{"b", "tiazac"},
+	})
+	ont := figure1Tree()
+	v := NewVerifier(rel, ont, nil)
+	d := MustParse(schema, "SYMP -> MED")
+	prev := false
+	for theta := 0; theta <= 4; theta++ {
+		cur := v.HoldsInh(d, theta)
+		if prev && !cur {
+			t.Fatalf("satisfaction not monotone in θ at %d", theta)
+		}
+		prev = cur
+	}
+	if !prev {
+		t.Fatal("at θ=4 everything shares the root ancestor")
+	}
+}
+
+func TestInheritanceSupport(t *testing.T) {
+	schema := relation.MustSchema("K", "MED")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"a", "ibuprofen"},
+		{"a", "naproxen"},
+		{"a", "unknown-drug"},
+		{"a", "NSAID"},
+	})
+	ont := figure1Tree()
+	v := NewVerifier(rel, ont, nil)
+	d := MustParse(schema, "K -> MED")
+	// 3 of 4 tuples covered by the NSAID family at θ=1.
+	if got := v.SupportInh(d, 1); got != 0.75 {
+		t.Fatalf("support = %v, want 0.75", got)
+	}
+	if v.HoldsInh(d, 1) {
+		t.Fatal("exact inheritance OFD should fail with the unknown drug")
+	}
+}
+
+func TestInheritanceThetaZeroEqualsSynonym(t *testing.T) {
+	// Property: θ=0 inheritance semantics = synonym semantics on random
+	// instances/ontologies.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		cols := 2 + rng.Intn(3)
+		names := make([]string, cols)
+		for i := range names {
+			names[i] = string(rune('A' + i))
+		}
+		rel := relation.New(relation.MustSchema(names...))
+		row := make([]string, cols)
+		for r := 0; r < 2+rng.Intn(10); r++ {
+			for c := range row {
+				row[c] = string(rune('a' + rng.Intn(4)))
+			}
+			rel.AppendRow(row)
+		}
+		o := ontology.New()
+		var parent ontology.ClassID = ontology.NoClass
+		for c := 0; c < rng.Intn(4); c++ {
+			var syn []string
+			for v := 0; v < 4; v++ {
+				if rng.Intn(2) == 0 {
+					syn = append(syn, string(rune('a'+v)))
+				}
+			}
+			id := o.MustAddClass(string(rune('P'+c)), "S", parent, syn...)
+			if rng.Intn(2) == 0 {
+				parent = id
+			}
+		}
+		v := NewVerifier(rel, o, nil)
+		for rhs := 0; rhs < cols; rhs++ {
+			for lhs := 0; lhs < cols; lhs++ {
+				if lhs == rhs {
+					continue
+				}
+				d := OFD{LHS: relation.Single(lhs), RHS: rhs}
+				if v.HoldsSyn(d) != v.HoldsInh(d, 0) {
+					t.Fatalf("trial %d: θ=0 mismatch for %v", trial, d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// Monitor maintains OFD satisfaction incrementally under consequent-cell
+// updates — the "data evolves" scenario of the paper's introduction. It
+// indexes, per OFD, which equivalence class each tuple belongs to; an
+// update to a consequent cell re-verifies only the affected classes
+// instead of the whole instance.
+//
+// Updates to antecedent attributes would move tuples between equivalence
+// classes and are rejected (matching the repair model's scope assumption
+// that antecedents and consequents are disjoint).
+type Monitor struct {
+	rel   *relation.Relation
+	v     *Verifier
+	sigma Set
+	// classOf[i][t] = class index of tuple t within sigma[i]'s stripped
+	// partition, or -1 when the tuple is in a singleton class.
+	classOf [][]int
+	classes [][][]int // classes[i] = sigma[i]'s stripped classes
+	// violating[i][c] marks class c of sigma[i] as currently violating.
+	violating []map[int]struct{}
+	lhsAttrs  relation.AttrSet
+}
+
+// NewMonitor builds a monitor over the instance and Σ, computing the
+// initial violation state.
+func NewMonitor(rel *relation.Relation, ont *ontology.Ontology, sigma Set) (*Monitor, error) {
+	var lhs, rhs relation.AttrSet
+	for _, d := range sigma {
+		lhs = lhs.Union(d.LHS)
+		rhs = rhs.With(d.RHS)
+	}
+	if inter := lhs.Intersect(rhs); !inter.IsEmpty() {
+		return nil, fmt.Errorf("core: monitor requires disjoint antecedents and consequents; %s overlaps", inter.Format(rel.Schema()))
+	}
+	m := &Monitor{
+		rel:       rel,
+		v:         NewVerifier(rel, ont, nil),
+		sigma:     sigma.Clone(),
+		classOf:   make([][]int, len(sigma)),
+		classes:   make([][][]int, len(sigma)),
+		violating: make([]map[int]struct{}, len(sigma)),
+		lhsAttrs:  lhs,
+	}
+	for i, d := range sigma {
+		p := m.v.Partitions().Get(d.LHS)
+		m.classes[i] = p.Classes
+		idx := make([]int, rel.NumRows())
+		for t := range idx {
+			idx[t] = -1
+		}
+		for ci, class := range p.Classes {
+			for _, t := range class {
+				idx[t] = ci
+			}
+		}
+		m.classOf[i] = idx
+		m.violating[i] = make(map[int]struct{})
+		for ci, class := range p.Classes {
+			if !m.v.classSatisfied(class, d.RHS) {
+				m.violating[i][ci] = struct{}{}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Update writes value into cell (row, col) and incrementally re-verifies
+// the equivalence classes containing the row for every OFD whose
+// consequent is col. Updating an antecedent attribute is an error.
+func (m *Monitor) Update(row, col int, value string) error {
+	if row < 0 || row >= m.rel.NumRows() || col < 0 || col >= m.rel.NumCols() {
+		return fmt.Errorf("core: cell (%d,%d) out of range", row, col)
+	}
+	if m.lhsAttrs.Has(col) {
+		return fmt.Errorf("core: attribute %s is an antecedent; monitored updates must touch consequents only", m.rel.Schema().Name(col))
+	}
+	m.rel.SetString(row, col, value)
+	for i, d := range m.sigma {
+		if d.RHS != col {
+			continue
+		}
+		ci := m.classOf[i][row]
+		if ci < 0 {
+			continue // singleton class; cannot violate
+		}
+		if m.v.classSatisfied(m.classes[i][ci], d.RHS) {
+			delete(m.violating[i], ci)
+		} else {
+			m.violating[i][ci] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Satisfied reports whether the instance currently satisfies every OFD.
+func (m *Monitor) Satisfied() bool {
+	for _, v := range m.violating {
+		if len(v) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ViolationCount returns the current number of violating equivalence
+// classes across all OFDs.
+func (m *Monitor) ViolationCount() int {
+	n := 0
+	for _, v := range m.violating {
+		n += len(v)
+	}
+	return n
+}
+
+// ViolatingClasses returns, for each OFD index, the violating classes'
+// tuple lists.
+func (m *Monitor) ViolatingClasses() map[int][][]int {
+	out := make(map[int][][]int)
+	for i, set := range m.violating {
+		for ci := range set {
+			out[i] = append(out[i], m.classes[i][ci])
+		}
+	}
+	return out
+}

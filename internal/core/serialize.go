@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// WriteSet serializes Σ one dependency per line ("A,B -> C") using schema
+// attribute names. Lines parse back with ReadSet/Parse.
+func WriteSet(w io.Writer, sch *relation.Schema, sigma Set) error {
+	bw := bufio.NewWriter(w)
+	for _, d := range sigma {
+		names := make([]string, 0, d.LHS.Len())
+		for _, a := range d.LHS.Attrs() {
+			names = append(names, sch.Name(a))
+		}
+		if _, err := fmt.Fprintf(bw, "%s -> %s\n", strings.Join(names, ","), sch.Name(d.RHS)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSet parses a dependency set written by WriteSet: one OFD per line,
+// blank lines and lines starting with '#' ignored.
+func ReadSet(r io.Reader, sch *relation.Schema) (Set, error) {
+	var out Set
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, err := Parse(sch, line)
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", lineNo, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteSetFile serializes Σ to the named file.
+func WriteSetFile(path string, sch *relation.Schema, sigma Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSet(f, sch, sigma); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSetFile parses a dependency set from the named file.
+func ReadSetFile(path string, sch *relation.Schema) (Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSet(f, sch)
+}

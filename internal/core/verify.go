@@ -1,0 +1,236 @@
+package core
+
+import (
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// Verifier checks candidate synonym OFDs against a relation instance and an
+// ontology. It precomputes, per attribute, the names(v) lookup for every
+// dictionary-encoded value so that verification is linear in the number of
+// tuples (paper §4.3): for each equivalence class of the stripped partition
+// Π*_X it maintains a hash table of sense frequencies and tests whether
+// some sense covers every distinct consequent value.
+type Verifier struct {
+	rel   *relation.Relation
+	ont   *ontology.Ontology
+	pc    *relation.PartitionCache
+	names [][][]ontology.ClassID // names[col][valueID] = classes containing the value
+	// covered[col] reports whether ANY value of the column appears in the
+	// ontology. For uncovered columns synonym semantics degenerate to
+	// syntactic equality, enabling the O(|Π|) partition-error test instead
+	// of per-class scans — most attributes of a real schema (keys, counts,
+	// free text) are uncovered, so this carries most of the verification.
+	covered []bool
+}
+
+// NewVerifier builds a verifier over the relation and ontology, sharing the
+// given partition cache (pass nil to create a private one).
+func NewVerifier(rel *relation.Relation, ont *ontology.Ontology, pc *relation.PartitionCache) *Verifier {
+	if pc == nil {
+		pc = relation.NewPartitionCache(rel)
+	}
+	v := &Verifier{
+		rel:     rel,
+		ont:     ont,
+		pc:      pc,
+		names:   make([][][]ontology.ClassID, rel.NumCols()),
+		covered: make([]bool, rel.NumCols()),
+	}
+	for c := 0; c < rel.NumCols(); c++ {
+		dict := rel.Dict(c)
+		tbl := make([][]ontology.ClassID, dict.Size())
+		for id := 0; id < dict.Size(); id++ {
+			tbl[id] = ont.Names(dict.String(relation.Value(id)))
+			if len(tbl[id]) > 0 {
+				v.covered[c] = true
+			}
+		}
+		v.names[c] = tbl
+	}
+	return v
+}
+
+// Relation returns the verified relation.
+func (v *Verifier) Relation() *relation.Relation { return v.rel }
+
+// Ontology returns the verifier's ontology.
+func (v *Verifier) Ontology() *ontology.Ontology { return v.ont }
+
+// Partitions returns the shared partition cache.
+func (v *Verifier) Partitions() *relation.PartitionCache { return v.pc }
+
+// namesOf returns names(t[col]) with a bounds guard for values interned
+// after the verifier was built (repairs may add new strings).
+func (v *Verifier) namesOf(col int, val relation.Value) []ontology.ClassID {
+	tbl := v.names[col]
+	if int(val) < len(tbl) {
+		return tbl[val]
+	}
+	return v.ont.Names(v.rel.Dict(col).String(val))
+}
+
+// classSatisfied reports whether one equivalence class satisfies X →_syn A
+// (Definition 1): either all A-values are syntactically equal (an OFD
+// subsumes the FD case), or the intersection of names(a) over the distinct
+// A-values is non-empty.
+func (v *Verifier) classSatisfied(class []int, rhs int) bool {
+	col := v.rel.Column(rhs)
+	first := col[class[0]]
+	allEqual := true
+	distinct := make(map[relation.Value]struct{}, 4)
+	distinct[first] = struct{}{}
+	for _, t := range class[1:] {
+		if col[t] != first {
+			allEqual = false
+		}
+		distinct[col[t]] = struct{}{}
+	}
+	if allEqual {
+		return true
+	}
+	// Sense-frequency hash: count, over distinct values, how many values
+	// each class (sense) covers; a sense covering all |distinct| values is
+	// a common interpretation.
+	counts := make(map[ontology.ClassID]int, 8)
+	need := len(distinct)
+	for val := range distinct {
+		for _, cls := range v.namesOf(rhs, val) {
+			counts[cls]++
+			if counts[cls] == need {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HoldsSyn reports whether the synonym OFD X →_syn A holds exactly on the
+// instance: every equivalence class of Π*_X has a common interpretation.
+// For consequents with no ontology coverage this is exactly the FD test.
+func (v *Verifier) HoldsSyn(d OFD) bool {
+	if d.Trivial() {
+		return true
+	}
+	if !v.covered[d.RHS] {
+		return v.HoldsFD(d)
+	}
+	p := v.pc.Get(d.LHS)
+	for _, class := range p.Classes {
+		if !v.classSatisfied(class, d.RHS) {
+			return false
+		}
+	}
+	return true
+}
+
+// HoldsFD reports whether the traditional FD X → A holds (syntactic
+// equality), used by the Opt-4 pruning rule and by the FD baselines.
+// It uses TANE's partition-error comparison e(X) = e(X ∪ A), which is
+// O(|Π|) given cached partitions.
+func (v *Verifier) HoldsFD(d OFD) bool {
+	if d.Trivial() {
+		return true
+	}
+	return v.pc.Get(d.LHS).Error() == v.pc.Get(d.LHS.With(d.RHS)).Error()
+}
+
+// classBestCoverage returns the maximum number of tuples in the class whose
+// A-value is covered by a single interpretation: the most frequent sense by
+// tuple coverage, or the most frequent single value, whichever is larger.
+// This is the quantity the paper's approximate-OFD verification sums.
+func (v *Verifier) classBestCoverage(class []int, rhs int) int {
+	col := v.rel.Column(rhs)
+	valCount := make(map[relation.Value]int, 4)
+	for _, t := range class {
+		valCount[col[t]]++
+	}
+	best := 0
+	for _, c := range valCount {
+		if c > best {
+			best = c // best single literal value
+		}
+	}
+	senseCover := make(map[ontology.ClassID]int, 8)
+	for val, c := range valCount {
+		for _, cls := range v.namesOf(rhs, val) {
+			senseCover[cls] += c
+			if senseCover[cls] > best {
+				best = senseCover[cls]
+			}
+		}
+	}
+	return best
+}
+
+// Support returns s(φ): the fraction of tuples in the largest sub-relation
+// r ⊆ I with r ⊨ φ. Singleton classes and tuples outside Π*_X always
+// satisfy; within each class the best single-sense (or single-value)
+// coverage counts.
+func (v *Verifier) Support(d OFD) float64 {
+	n := v.rel.NumRows()
+	if n == 0 || d.Trivial() {
+		return 1
+	}
+	p := v.pc.Get(d.LHS)
+	satisfied := n
+	for _, class := range p.Classes {
+		satisfied -= len(class) - v.classBestCoverage(class, d.RHS)
+	}
+	return float64(satisfied) / float64(n)
+}
+
+// HoldsApprox reports whether the OFD holds with minimum support κ ∈ [0,1].
+func (v *Verifier) HoldsApprox(d OFD, kappa float64) bool {
+	return v.Support(d) >= kappa
+}
+
+// Violations returns the equivalence classes of Π*_X that violate the OFD.
+func (v *Verifier) Violations(d OFD) [][]int {
+	var out [][]int
+	p := v.pc.Get(d.LHS)
+	for _, class := range p.Classes {
+		if !v.classSatisfied(class, d.RHS) {
+			out = append(out, class)
+		}
+	}
+	return out
+}
+
+// SatisfiesAll reports whether the instance satisfies every OFD in Σ.
+func (v *Verifier) SatisfiesAll(sigma Set) bool {
+	for _, d := range sigma {
+		if !v.HoldsSyn(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// NonEqualConsequentFraction returns, for a holding OFD, the fraction of
+// tuples in non-singleton classes whose consequent value differs from the
+// class's most frequent value — i.e. tuples a traditional FD would flag as
+// errors but a synonym OFD recognizes as clean (Exp-5).
+func (v *Verifier) NonEqualConsequentFraction(d OFD) float64 {
+	p := v.pc.Get(d.LHS)
+	col := v.rel.Column(d.RHS)
+	total, nonEqual := 0, 0
+	for _, class := range p.Classes {
+		valCount := make(map[relation.Value]int, 4)
+		for _, t := range class {
+			valCount[col[t]]++
+		}
+		mode := 0
+		for _, c := range valCount {
+			if c > mode {
+				mode = c
+			}
+		}
+		total += len(class)
+		nonEqual += len(class) - mode
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(nonEqual) / float64(total)
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// table1 builds the paper's Table 1 clinical-trials sample (t1..t11, the
+// original values) and the geographic + medication ontologies of Figure 1.
+func table1(t *testing.T) (*relation.Relation, *ontology.Ontology) {
+	t.Helper()
+	schema := relation.MustSchema("CC", "CTRY", "SYMP", "TEST", "DIAG", "MED")
+	rel, err := relation.FromRows(schema, [][]string{
+		{"US", "USA", "joint pain", "CT", "osteoarthritis", "ibuprofen"},
+		{"IN", "India", "joint pain", "CT", "osteoarthritis", "NSAID"},
+		{"CA", "Canada", "joint pain", "CT", "osteoarthritis", "naproxen"},
+		{"IN", "Bharat", "nausea", "EEG", "migrane", "analgesic"},
+		{"US", "America", "nausea", "EEG", "migrane", "tylenol"},
+		{"US", "USA", "nausea", "EEG", "migrane", "acetaminophen"},
+		{"IN", "India", "chest pain", "X-ray", "hypertension", "morphine"},
+		{"US", "USA", "headache", "CT", "hypertension", "cartia"},
+		{"US", "USA", "headache", "MRI", "hypertension", "tiazac"},
+		{"US", "America", "headache", "MRI", "hypertension", "tiazac"},
+		{"US", "USA", "headache", "CT", "hypertension", "tiazac"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ontology.New()
+	// Geography (single GEO sense).
+	o.MustAddClass("United States of America", "GEO", ontology.NoClass, "US", "USA", "America", "United States")
+	o.MustAddClass("India", "GEO", ontology.NoClass, "IN", "Bharat")
+	o.MustAddClass("Canada", "GEO", ontology.NoClass, "CA")
+	// Medication (FDA sense), following Figure 1: NSAID covers ibuprofen
+	// and naproxen; analgesic covers tylenol and acetaminophen; diltiazem
+	// hydrochloride covers cartia and tiazac.
+	o.MustAddClass("NSAID", "FDA", ontology.NoClass, "ibuprofen", "naproxen")
+	o.MustAddClass("analgesic", "FDA", ontology.NoClass, "tylenol", "acetaminophen")
+	o.MustAddClass("diltiazem hydrochloride", "FDA", ontology.NoClass, "cartia", "tiazac")
+	return rel, o
+}
+
+func TestPaperExample1(t *testing.T) {
+	rel, ont := table1(t)
+	schema := rel.Schema()
+	v := NewVerifier(rel, ont, nil)
+
+	// F1 as a traditional FD fails (USA vs America), but as a synonym OFD
+	// it holds (Example 3).
+	f1 := MustParse(schema, "CC -> CTRY")
+	if v.HoldsFD(f1) {
+		t.Fatal("CC -> CTRY should fail as a plain FD")
+	}
+	if !v.HoldsSyn(f1) {
+		t.Fatal("CC ->syn CTRY should hold with the geo ontology")
+	}
+
+	// F2: [SYMP, DIAG] -> MED fails as FD; as OFD the NSAID / analgesic /
+	// diltiazem classes make all equivalence classes consistent except the
+	// morphine singleton (which cannot violate).
+	f2 := MustParse(schema, "SYMP, DIAG -> MED")
+	if v.HoldsFD(f2) {
+		t.Fatal("SYMP,DIAG -> MED should fail as a plain FD")
+	}
+	if !v.HoldsSyn(f2) {
+		for _, viol := range v.Violations(f2) {
+			t.Logf("violating class: %v", viol)
+		}
+		t.Fatal("SYMP,DIAG ->syn MED should hold with the drug ontology")
+	}
+	if !v.SatisfiesAll(Set{f1, f2}) {
+		t.Fatal("SatisfiesAll inconsistent with individual checks")
+	}
+}
+
+func TestPairwiseVersusClassSemantics(t *testing.T) {
+	// The paper's Table 2: every pair of Y values shares a class, but the
+	// intersection over the whole equivalence class is empty, so the OFD
+	// must NOT hold — tuple-pair verification is insufficient for OFDs.
+	schema := relation.MustSchema("X", "Y")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"u", "v"},
+		{"u", "w"},
+		{"u", "z"},
+	})
+	o := ontology.New()
+	o.MustAddClass("C", "S", ontology.NoClass, "v", "z")
+	o.MustAddClass("D", "S", ontology.NoClass, "v", "w")
+	o.MustAddClass("F", "S", ontology.NoClass, "w", "z")
+	v := NewVerifier(rel, o, nil)
+	d := MustParse(schema, "X -> Y")
+	if v.HoldsSyn(d) {
+		t.Fatal("OFD must fail: pairwise senses exist but no common sense")
+	}
+	// Each two-tuple sub-instance satisfies the OFD.
+	for drop := 0; drop < 3; drop++ {
+		var rows [][]string
+		for i := 0; i < 3; i++ {
+			if i != drop {
+				rows = append(rows, rel.Row(i))
+			}
+		}
+		sub, _ := relation.FromRows(schema, rows)
+		if !NewVerifier(sub, o, nil).HoldsSyn(d) {
+			t.Fatalf("pair sub-instance (without %d) should satisfy", drop)
+		}
+	}
+}
+
+func TestOFDSubsumesFD(t *testing.T) {
+	// With an empty ontology, an OFD degenerates to a traditional FD.
+	schema := relation.MustSchema("A", "B")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"x", "1"}, {"x", "1"}, {"y", "2"},
+	})
+	v := NewVerifier(rel, ontology.New(), nil)
+	d := MustParse(schema, "A -> B")
+	if !v.HoldsSyn(d) || !v.HoldsFD(d) {
+		t.Fatal("holding FD must hold as OFD under empty ontology")
+	}
+	rel.SetString(1, 1, "9")
+	v2 := NewVerifier(rel, ontology.New(), nil)
+	if v2.HoldsSyn(d) || v2.HoldsFD(d) {
+		t.Fatal("broken FD must fail as OFD under empty ontology")
+	}
+}
+
+func TestSupportAndApprox(t *testing.T) {
+	schema := relation.MustSchema("A", "B")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"x", "u1"}, {"x", "u2"}, {"x", "bogus"},
+		{"y", "w"}, {"y", "w"},
+		{"z", "solo"},
+	})
+	o := ontology.New()
+	o.MustAddClass("U", "S", ontology.NoClass, "u1", "u2")
+	v := NewVerifier(rel, o, nil)
+	d := MustParse(schema, "A -> B")
+	// Class x: best coverage 2 of 3 (sense U); class y: equal values (2);
+	// class z: singleton. Support = (6 - (3-2)) / 6 = 5/6.
+	got := v.Support(d)
+	want := 5.0 / 6.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("support = %v, want %v", got, want)
+	}
+	if v.HoldsSyn(d) {
+		t.Fatal("exact OFD should fail")
+	}
+	if !v.HoldsApprox(d, 0.8) {
+		t.Fatal("approximate OFD at κ=0.8 should hold")
+	}
+	if v.HoldsApprox(d, 0.9) {
+		t.Fatal("approximate OFD at κ=0.9 should fail")
+	}
+	if len(v.Violations(d)) != 1 {
+		t.Fatalf("violations = %v", v.Violations(d))
+	}
+}
+
+func TestTrivialAlwaysHolds(t *testing.T) {
+	schema := relation.MustSchema("A", "B")
+	rel, _ := relation.FromRows(schema, [][]string{{"x", "1"}, {"x", "2"}})
+	v := NewVerifier(rel, ontology.New(), nil)
+	d := OFD{LHS: schema.MustSet("A", "B"), RHS: 1}
+	if !v.HoldsSyn(d) || !v.HoldsFD(d) || v.Support(d) != 1 {
+		t.Fatal("trivial OFD must hold with support 1")
+	}
+}
+
+func TestNonEqualConsequentFraction(t *testing.T) {
+	rel, ont := table1(t)
+	v := NewVerifier(rel, ont, nil)
+	f1 := MustParse(rel.Schema(), "CC -> CTRY")
+	// CC classes: US {USA×4, America×2 → hm t1,t5,t6,t8..t11: USA×5,
+	// America×2}, IN {India×2, Bharat}, CA singleton (stripped).
+	// Non-modal tuples: 2 (America) + 1 (Bharat) of 10 covered tuples.
+	got := v.NonEqualConsequentFraction(f1)
+	want := 3.0 / 10.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fraction = %v, want %v", got, want)
+	}
+}
+
+func TestVerifierHandlesValuesInternedAfterBuild(t *testing.T) {
+	// Repairs intern new strings after the verifier's names table was
+	// precomputed; the fallback path must consult the ontology directly.
+	schema := relation.MustSchema("A", "B")
+	rel, _ := relation.FromRows(schema, [][]string{{"x", "u1"}, {"x", "u2"}})
+	o := ontology.New()
+	o.MustAddClass("U", "S", ontology.NoClass, "u1", "u2", "u3")
+	v := NewVerifier(rel, o, nil)
+	rel.SetString(1, 1, "u3") // new dictionary entry
+	if !v.HoldsSyn(MustParse(schema, "A -> B")) {
+		t.Fatal("verifier must handle post-build interned values")
+	}
+}

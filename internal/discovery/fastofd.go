@@ -1,0 +1,315 @@
+// Package discovery implements FastOFD (Algorithms 2–4 of the paper): a
+// level-wise, Apriori-style traversal of the set-containment lattice of
+// attribute sets that discovers a complete and minimal set of synonym OFDs
+// holding on a relation instance w.r.t. an ontology. The axiomatization
+// yields the pruning rules Opt-1..Opt-4 (§3.2); each is individually
+// toggleable so the optimization-benefit experiment can ablate them.
+package discovery
+
+import (
+	"time"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// Options configure a discovery run. The zero value disables every
+// optimization; use DefaultOptions for the paper's full configuration.
+type Options struct {
+	// PruneAugmentation enables Opt-2: candidate sets C⁺(X) prune supersets
+	// of already-discovered antecedents, so non-minimal OFDs are never
+	// verified. When disabled, every candidate is verified and minimality
+	// is enforced by filtering against the discovered set.
+	PruneAugmentation bool
+	// PruneKeys enables Opt-3: once an attribute set is known to be a
+	// (super)key — its stripped partition is empty — candidates over it
+	// validate without verification and partition products for its
+	// supersets are skipped.
+	PruneKeys bool
+	// FDShortcut enables Opt-4: before per-class sense verification, test
+	// whether the traditional FD X → A holds using the partition-error
+	// comparison e(X) = e(X ∪ A); if so the OFD holds by subsumption.
+	FDShortcut bool
+	// MaxLevel caps the lattice depth (antecedent size ≤ MaxLevel−1).
+	// Zero means no cap. The paper's Exp-4 motivates capping: ~61% of OFDs
+	// appear in the top 6 levels for ~25% of the time.
+	MaxLevel int
+	// MinSupport is the approximate-OFD support threshold κ in (0, 1].
+	// A value of 0 or 1 requests exact OFDs.
+	MinSupport float64
+	// Mode selects the ontological relationship: synonym OFDs (default)
+	// or inheritance OFDs (is-a within Theta hops).
+	Mode Mode
+	// Theta is the inheritance path-length bound (only used with
+	// ModeInheritance; the paper's experiments use θ = 5).
+	Theta int
+	// Workers parallelizes candidate verification and partition products
+	// across goroutines. 0 or 1 runs serially; the output is identical
+	// for any worker count. Parallel verification requires
+	// PruneAugmentation (the ablation path reads evolving global state).
+	Workers int
+}
+
+// Mode selects which ontological relationship candidate dependencies use.
+type Mode int
+
+const (
+	// ModeSynonym discovers synonym OFDs (Definition 1).
+	ModeSynonym Mode = iota
+	// ModeInheritance discovers inheritance OFDs: consequent values must
+	// share an ancestor within Theta is-a steps.
+	ModeInheritance
+)
+
+// DefaultOptions is the configuration used in the paper's main experiments:
+// all optimizations on, exact OFDs, unbounded depth.
+func DefaultOptions() Options {
+	return Options{PruneAugmentation: true, PruneKeys: true, FDShortcut: true}
+}
+
+// LevelStat records per-lattice-level effort and yield (Exp-4).
+type LevelStat struct {
+	Level      int           // antecedent size + 1 (lattice level l)
+	Nodes      int           // attribute sets visited at this level
+	Candidates int           // candidate OFDs verified
+	Discovered int           // minimal OFDs found
+	Elapsed    time.Duration // wall time spent at this level
+}
+
+// Result is the output of a discovery run.
+type Result struct {
+	OFDs              core.Set    // complete, minimal set of discovered OFDs
+	Levels            []LevelStat // per-level statistics
+	CandidatesChecked int         // total validity checks performed
+	Elapsed           time.Duration
+}
+
+type node struct {
+	attrs    relation.AttrSet
+	cplus    relation.AttrSet // C⁺(X) as a bitset
+	part     *relation.Partition
+	superkey bool
+}
+
+type discoverer struct {
+	rel      *relation.Relation
+	verifier *core.Verifier
+	opts     Options
+	all      relation.AttrSet
+	sigma    core.Set
+	kappa    float64
+	result   *Result
+	prodBuf  relation.ProductBuffer
+}
+
+// Discover runs FastOFD over the relation and ontology and returns the
+// complete, minimal set of synonym OFDs that hold (with support ≥ κ when
+// Options.MinSupport is set).
+func Discover(rel *relation.Relation, ont *ontology.Ontology, opts Options) *Result {
+	start := time.Now()
+	d := &discoverer{
+		rel:      rel,
+		verifier: core.NewVerifier(rel, ont, nil),
+		opts:     opts,
+		all:      rel.Schema().All(),
+		kappa:    opts.MinSupport,
+		result:   &Result{},
+	}
+	if d.kappa <= 0 || d.kappa > 1 {
+		d.kappa = 1
+	}
+	d.run()
+	d.result.OFDs = d.sigma
+	d.result.OFDs.Sort()
+	d.result.Elapsed = time.Since(start)
+	return d.result
+}
+
+func (d *discoverer) run() {
+	n := d.rel.NumCols()
+	pc := d.verifier.Partitions()
+	// Pre-warm the empty-set partition: level-1 candidates have LHS = ∅,
+	// and parallel verification must never write the shared cache.
+	pc.Get(relation.EmptySet)
+
+	// Level 1: singleton attribute sets. C⁺(∅) = R, so C⁺({A}) = R.
+	buildStart := time.Now()
+	level := make(map[relation.AttrSet]*node, n)
+	for a := 0; a < n; a++ {
+		s := relation.Single(a)
+		p := pc.Get(s)
+		level[s] = &node{attrs: s, cplus: d.all, part: p, superkey: p.IsKeyOver()}
+	}
+	buildTime := time.Since(buildStart)
+
+	for l := 1; len(level) > 0; l++ {
+		if d.opts.MaxLevel > 0 && l > d.opts.MaxLevel {
+			break
+		}
+		lvlStart := time.Now()
+		stat := LevelStat{Level: l, Nodes: len(level)}
+		if d.workers() > 1 {
+			d.computeOFDsParallel(level, &stat)
+		} else {
+			d.computeOFDs(level, &stat)
+		}
+		// A level's cost includes building it (the partition products of
+		// calculateNextLevel) plus verifying its candidates.
+		stat.Elapsed = buildTime + time.Since(lvlStart)
+		d.result.Levels = append(d.result.Levels, stat)
+		buildStart = time.Now()
+		if d.workers() > 1 {
+			level = d.nextLevelParallel(level)
+		} else {
+			level = d.nextLevel(level)
+		}
+		buildTime = time.Since(buildStart)
+		// Level l+1 verification only touches partitions of sizes l and
+		// l+1; drop older levels (keep singles, the cache's rebuild base).
+		if l-1 >= 2 {
+			pc.Evict(l - 1)
+		}
+	}
+}
+
+// computeOFDs implements Algorithm 4: intersect parent candidate sets, then
+// verify each non-trivial candidate (X \ A) → A with A ∈ X ∩ C⁺(X).
+func (d *discoverer) computeOFDs(level map[relation.AttrSet]*node, stat *LevelStat) {
+	for _, nd := range level {
+		x := nd.attrs
+		for _, a := range x.Attrs() {
+			candidate := core.OFD{LHS: x.Without(a), RHS: a}
+			if d.opts.PruneAugmentation {
+				if !nd.cplus.Has(a) {
+					continue
+				}
+			} else if d.impliedByDiscovered(candidate) {
+				// Ablation path: still verify (paying the cost Opt-2
+				// avoids) but never emit a non-minimal OFD.
+				stat.Candidates++
+				d.result.CandidatesChecked++
+				d.valid(candidate, nd)
+				continue
+			}
+			stat.Candidates++
+			d.result.CandidatesChecked++
+			if d.valid(candidate, nd) {
+				d.sigma = append(d.sigma, candidate)
+				stat.Discovered++
+				nd.cplus = nd.cplus.Without(a)
+			}
+		}
+	}
+}
+
+// impliedByDiscovered reports whether some already-discovered Y → A with
+// Y ⊆ X makes the candidate non-minimal (Augmentation).
+func (d *discoverer) impliedByDiscovered(c core.OFD) bool {
+	for _, f := range d.sigma {
+		if f.RHS == c.RHS && f.LHS.SubsetOf(c.LHS) {
+			return true
+		}
+	}
+	return false
+}
+
+// valid checks whether (X \ A) → A holds on the instance, applying Opt-3
+// (keys) and Opt-4 (FD shortcut) when enabled. nd is the lattice node for X
+// whose partition enables the FD error test.
+func (d *discoverer) valid(c core.OFD, nd *node) bool {
+	pc := d.verifier.Partitions()
+	if d.opts.PruneKeys {
+		// Opt-3: an empty stripped partition over the antecedent means the
+		// antecedent is a superkey; the dependency holds vacuously.
+		if pc.Get(c.LHS).IsKeyOver() {
+			return true
+		}
+	}
+	if d.opts.FDShortcut && d.kappa >= 1 && nd.part != nil {
+		// Opt-4: X\A → A is a traditional FD iff e(X\A) = e(X); partition
+		// errors are O(#classes) to compare and already computed.
+		lhsPart := pc.Get(c.LHS)
+		if lhsPart.Error() == nd.part.Error() {
+			return true
+		}
+	}
+	if d.opts.Mode == ModeInheritance {
+		if d.kappa < 1 {
+			return d.verifier.SupportInh(c, d.opts.Theta) >= d.kappa
+		}
+		return d.verifier.HoldsInh(c, d.opts.Theta)
+	}
+	if d.kappa < 1 {
+		return d.verifier.HoldsApprox(c, d.kappa)
+	}
+	return d.verifier.HoldsSyn(c)
+}
+
+// nextLevel implements Algorithm 3 (calculateNextLevel): join pairs of
+// l-sets sharing an (l−1)-prefix, keep joins whose every l-subset survived
+// at the current level, and compute partitions via the stripped product.
+func (d *discoverer) nextLevel(level map[relation.AttrSet]*node) map[relation.AttrSet]*node {
+	next := make(map[relation.AttrSet]*node)
+	// Group by prefix (set minus its largest attribute) — the paper's
+	// singleAttrDiffBlocks: two sets are in one block iff they share an
+	// (l−1)-subset and differ in exactly one attribute.
+	blocks := make(map[relation.AttrSet][]*node)
+	for _, nd := range level {
+		attrs := nd.attrs.Attrs()
+		prefix := nd.attrs.Without(attrs[len(attrs)-1])
+		blocks[prefix] = append(blocks[prefix], nd)
+	}
+	for _, block := range blocks {
+		for i := 0; i < len(block); i++ {
+			for j := i + 1; j < len(block); j++ {
+				x := block[i].attrs.Union(block[j].attrs)
+				if _, done := next[x]; done {
+					continue
+				}
+				// Apriori condition: every l-subset of X must be in L_l.
+				ok := true
+				for _, a := range x.Attrs() {
+					if _, in := level[x.Without(a)]; !in {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				nd := &node{attrs: x, cplus: d.cplusOf(x, level)}
+				if d.opts.PruneAugmentation && nd.cplus.IsEmpty() {
+					// Node can contribute no candidate at any depth.
+					continue
+				}
+				superkeyParent := block[i].superkey || block[j].superkey
+				if d.opts.PruneKeys && superkeyParent {
+					// Supersets of keys stay keys; skip the product.
+					nd.superkey = true
+					nd.part = &relation.Partition{N: d.rel.NumRows(), Stripped: true}
+					d.verifier.Partitions().Put(x, nd.part)
+				} else {
+					nd.part = d.prodBuf.Product(block[i].part, block[j].part)
+					nd.superkey = nd.part.IsKeyOver()
+					d.verifier.Partitions().Put(x, nd.part)
+				}
+				next[x] = nd
+			}
+		}
+	}
+	return next
+}
+
+// cplusOf computes C⁺(X) = ∩_{A ∈ X} C⁺(X \ A) (Algorithm 4, line 2).
+func (d *discoverer) cplusOf(x relation.AttrSet, prev map[relation.AttrSet]*node) relation.AttrSet {
+	c := d.all
+	for _, a := range x.Attrs() {
+		parent, ok := prev[x.Without(a)]
+		if !ok {
+			return relation.EmptySet
+		}
+		c = c.Intersect(parent.cplus)
+	}
+	return c
+}

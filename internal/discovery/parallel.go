@@ -1,0 +1,177 @@
+package discovery
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// workers returns the effective worker count for parallel phases.
+func (d *discoverer) workers() int {
+	if d.opts.Workers > 1 && d.opts.PruneAugmentation {
+		return d.opts.Workers
+	}
+	return 1
+}
+
+// computeOFDsParallel is the multi-worker form of Algorithm 4: nodes are
+// verified concurrently (each node's candidate checks are independent once
+// C⁺ sets are fixed at node creation), then results are merged in a
+// deterministic order. Requires every antecedent partition to be cached
+// already, which the level-wise traversal guarantees, so the shared
+// partition cache is only read.
+func (d *discoverer) computeOFDsParallel(level map[relation.AttrSet]*node, stat *LevelStat) {
+	nodes := make([]*node, 0, len(level))
+	for _, nd := range level {
+		nodes = append(nodes, nd)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].attrs < nodes[j].attrs })
+
+	type nodeResult struct {
+		checked int
+		valid   relation.AttrSet // consequents whose candidate held
+	}
+	results := make([]nodeResult, len(nodes))
+	w := d.workers()
+	var wg sync.WaitGroup
+	chunk := (len(nodes) + w - 1) / w
+	for start := 0; start < len(nodes); start += chunk {
+		end := start + chunk
+		if end > len(nodes) {
+			end = len(nodes)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				nd := nodes[i]
+				var res nodeResult
+				for _, a := range nd.attrs.Intersect(nd.cplus).Attrs() {
+					candidate := core.OFD{LHS: nd.attrs.Without(a), RHS: a}
+					res.checked++
+					if d.valid(candidate, nd) {
+						res.valid = res.valid.With(a)
+					}
+				}
+				results[i] = res
+			}
+		}(start, end)
+	}
+	wg.Wait()
+
+	for i, nd := range nodes {
+		stat.Candidates += results[i].checked
+		d.result.CandidatesChecked += results[i].checked
+		for _, a := range results[i].valid.Attrs() {
+			d.sigma = append(d.sigma, core.OFD{LHS: nd.attrs.Without(a), RHS: a})
+			stat.Discovered++
+			nd.cplus = nd.cplus.Without(a)
+		}
+	}
+}
+
+// nextLevelParallel computes the next lattice level with partition products
+// distributed over workers (each with its own ProductBuffer). Candidate
+// enumeration and map insertion stay serial; only the products — the
+// dominant cost — run concurrently.
+func (d *discoverer) nextLevelParallel(level map[relation.AttrSet]*node) map[relation.AttrSet]*node {
+	type job struct {
+		x    relation.AttrSet
+		a, b *node
+		// skipProduct marks supersets of known superkeys (Opt-3).
+		skipProduct bool
+		cplus       relation.AttrSet
+		part        *relation.Partition
+	}
+	blocks := make(map[relation.AttrSet][]*node)
+	for _, nd := range level {
+		attrs := nd.attrs.Attrs()
+		prefix := nd.attrs.Without(attrs[len(attrs)-1])
+		blocks[prefix] = append(blocks[prefix], nd)
+	}
+	prefixes := make([]relation.AttrSet, 0, len(blocks))
+	for p := range blocks {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+
+	seen := make(map[relation.AttrSet]struct{})
+	var jobs []*job
+	for _, p := range prefixes {
+		block := blocks[p]
+		sort.Slice(block, func(i, j int) bool { return block[i].attrs < block[j].attrs })
+		for i := 0; i < len(block); i++ {
+			for j := i + 1; j < len(block); j++ {
+				x := block[i].attrs.Union(block[j].attrs)
+				if _, done := seen[x]; done {
+					continue
+				}
+				seen[x] = struct{}{}
+				ok := true
+				cplus := d.all
+				for _, a := range x.Attrs() {
+					sub, in := level[x.Without(a)]
+					if !in {
+						ok = false
+						break
+					}
+					cplus = cplus.Intersect(sub.cplus)
+				}
+				if !ok {
+					continue
+				}
+				if d.opts.PruneAugmentation && cplus.IsEmpty() {
+					continue
+				}
+				jb := &job{x: x, a: block[i], b: block[j], cplus: cplus}
+				if d.opts.PruneKeys && (block[i].superkey || block[j].superkey) {
+					jb.skipProduct = true
+				}
+				jobs = append(jobs, jb)
+			}
+		}
+	}
+
+	w := d.workers()
+	var wg sync.WaitGroup
+	chunk := (len(jobs) + w - 1) / w
+	if chunk == 0 {
+		chunk = 1
+	}
+	for start := 0; start < len(jobs); start += chunk {
+		end := start + chunk
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var buf relation.ProductBuffer
+			for i := lo; i < hi; i++ {
+				jb := jobs[i]
+				if jb.skipProduct {
+					jb.part = &relation.Partition{N: d.rel.NumRows(), Stripped: true}
+					continue
+				}
+				jb.part = buf.Product(jb.a.part, jb.b.part)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+
+	next := make(map[relation.AttrSet]*node, len(jobs))
+	pc := d.verifier.Partitions()
+	for _, jb := range jobs {
+		nd := &node{attrs: jb.x, cplus: jb.cplus, part: jb.part}
+		if jb.skipProduct {
+			nd.superkey = true
+		} else {
+			nd.superkey = jb.part.IsKeyOver()
+		}
+		pc.Put(jb.x, jb.part)
+		next[jb.x] = nd
+	}
+	return next
+}

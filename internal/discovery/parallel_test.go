@@ -1,0 +1,70 @@
+package discovery
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/gen"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		rel, ont := randomInstance(rng)
+		serial := Discover(rel, ont, DefaultOptions())
+		for _, w := range []int{2, 4, 8} {
+			opts := DefaultOptions()
+			opts.Workers = w
+			par := Discover(rel, ont, opts)
+			if !reflect.DeepEqual(par.OFDs, serial.OFDs) {
+				t.Fatalf("trial %d workers=%d: output differs\n got %v\nwant %v",
+					trial, w, par.OFDs, serial.OFDs)
+			}
+			if par.CandidatesChecked != serial.CandidatesChecked {
+				t.Fatalf("trial %d workers=%d: candidate counts differ: %d vs %d",
+					trial, w, par.CandidatesChecked, serial.CandidatesChecked)
+			}
+		}
+	}
+}
+
+func TestParallelOnWorkload(t *testing.T) {
+	ds := gen.Clinical(800, 43)
+	serial := Discover(ds.Rel, ds.FullOnt, DefaultOptions())
+	opts := DefaultOptions()
+	opts.Workers = 4
+	par := Discover(ds.Rel, ds.FullOnt, opts)
+	if !reflect.DeepEqual(par.OFDs, serial.OFDs) {
+		t.Fatalf("parallel output differs on workload: %d vs %d OFDs", len(par.OFDs), len(serial.OFDs))
+	}
+}
+
+func TestParallelInheritanceAndApprox(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 400, Seed: 44, ErrRate: 0.05})
+	for _, base := range []Options{
+		{PruneAugmentation: true, PruneKeys: true, FDShortcut: true, Mode: ModeInheritance, Theta: 2},
+		{PruneAugmentation: true, PruneKeys: true, FDShortcut: true, MinSupport: 0.9},
+	} {
+		serial := Discover(ds.Rel, ds.FullOnt, base)
+		par := base
+		par.Workers = 4
+		got := Discover(ds.Rel, ds.FullOnt, par)
+		if !reflect.DeepEqual(got.OFDs, serial.OFDs) {
+			t.Fatalf("mode %+v: parallel differs", base)
+		}
+	}
+}
+
+func TestWorkersIgnoredWithoutAugmentationPruning(t *testing.T) {
+	// The ablation path reads evolving global state; Workers must fall
+	// back to serial rather than race.
+	rng := rand.New(rand.NewSource(45))
+	rel, ont := randomInstance(rng)
+	opts := Options{Workers: 8} // PruneAugmentation off
+	got := Discover(rel, ont, opts)
+	want := Discover(rel, ont, Options{})
+	if !reflect.DeepEqual(got.OFDs, want.OFDs) {
+		t.Fatal("fallback-to-serial output differs")
+	}
+}

@@ -1,0 +1,70 @@
+package discovery
+
+import (
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// RankedOFD pairs a discovered dependency with interestingness measures,
+// supporting the paper's qualitative evaluation ("finding interesting
+// OFDs"): compact dependencies whose satisfaction genuinely relies on the
+// ontology are the interesting ones; wide antecedents overfit and
+// dependencies that hold syntactically are just FDs.
+type RankedOFD struct {
+	OFD core.OFD
+	// Compactness favours small antecedents: 1/(1+|X|).
+	Compactness float64
+	// SynonymShare is the fraction of covered tuples whose consequent
+	// differs from their class mode — the value the ontology adds (0 for
+	// plain FDs).
+	SynonymShare float64
+	// ClassCount is the number of non-singleton equivalence classes the
+	// dependency constrains (evidence).
+	ClassCount int
+	// Score is the combined interestingness (higher is better).
+	Score float64
+}
+
+// Rank scores and orders discovered OFDs by interestingness. Dependencies
+// whose antecedent is a key (singleton classes only) score zero evidence.
+func Rank(rel *relation.Relation, ont *ontology.Ontology, ofds core.Set) []RankedOFD {
+	v := core.NewVerifier(rel, ont, nil)
+	pc := v.Partitions()
+	out := make([]RankedOFD, 0, len(ofds))
+	for _, d := range ofds {
+		r := RankedOFD{OFD: d}
+		r.Compactness = 1.0 / float64(1+d.LHS.Len())
+		r.SynonymShare = v.NonEqualConsequentFraction(d)
+		r.ClassCount = pc.Get(d.LHS).NumClasses()
+		evidence := 0.0
+		if r.ClassCount > 0 {
+			// Saturating evidence: a handful of classes is already
+			// convincing; thousands add little.
+			evidence = float64(r.ClassCount) / float64(r.ClassCount+4)
+		}
+		r.Score = r.Compactness * (0.25 + r.SynonymShare) * evidence
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].OFD.RHS != out[j].OFD.RHS {
+			return out[i].OFD.RHS < out[j].OFD.RHS
+		}
+		return out[i].OFD.LHS < out[j].OFD.LHS
+	})
+	return out
+}
+
+// Top returns the k highest-scoring dependencies (all if k ≤ 0 or exceeds
+// the count).
+func Top(ranked []RankedOFD, k int) []RankedOFD {
+	if k <= 0 || k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}

@@ -1,0 +1,82 @@
+package discovery
+
+import (
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/gen"
+)
+
+func TestRankPrefersCompactSynonymRichOFDs(t *testing.T) {
+	ds := gen.Clinical(600, 9)
+	res := Discover(ds.CleanRel, ds.FullOnt, DefaultOptions())
+	ranked := Rank(ds.CleanRel, ds.FullOnt, res.OFDs)
+	if len(ranked) != len(res.OFDs) {
+		t.Fatalf("ranked %d of %d", len(ranked), len(res.OFDs))
+	}
+	// Scores must be non-increasing.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatalf("scores not sorted at %d", i)
+		}
+	}
+	// The top-ranked dependency should be synonym-backed and compact;
+	// specifically at least one planted single-antecedent OFD should beat
+	// every key-based dependency (which constrains no classes).
+	top := Top(ranked, 5)
+	sawSynonym := false
+	for _, r := range top {
+		if r.SynonymShare > 0 {
+			sawSynonym = true
+		}
+		if r.ClassCount == 0 && r.Score > 0 {
+			t.Errorf("evidence-free dependency has positive score: %+v", r)
+		}
+	}
+	if !sawSynonym {
+		t.Errorf("no synonym-backed OFD in the top 5: %+v", top)
+	}
+	// Every planted OFD's consequent appears among the synonym-backed
+	// ranked dependencies.
+	planted := make(map[int]bool)
+	for _, d := range ds.Sigma {
+		planted[d.RHS] = true
+	}
+	found := make(map[int]bool)
+	for _, r := range ranked {
+		if r.SynonymShare > 0 {
+			found[r.OFD.RHS] = true
+		}
+	}
+	for rhs := range planted {
+		if !found[rhs] {
+			t.Errorf("no synonym-backed dependency found for consequent %d", rhs)
+		}
+	}
+}
+
+func TestTopBounds(t *testing.T) {
+	ranked := []RankedOFD{{Score: 3}, {Score: 2}, {Score: 1}}
+	if got := Top(ranked, 2); len(got) != 2 || got[0].Score != 3 {
+		t.Fatalf("Top(2) = %+v", got)
+	}
+	if got := Top(ranked, 0); len(got) != 3 {
+		t.Fatalf("Top(0) = %+v", got)
+	}
+	if got := Top(ranked, 99); len(got) != 3 {
+		t.Fatalf("Top(99) = %+v", got)
+	}
+	if got := Top(nil, 5); len(got) != 0 {
+		t.Fatalf("Top(nil) = %+v", got)
+	}
+}
+
+func TestRankKeyDependenciesScoreZero(t *testing.T) {
+	ds := gen.Clinical(300, 10)
+	// A key-antecedent OFD constrains nothing: stripped partition empty.
+	keyOFD := core.OFD{LHS: ds.Rel.Schema().MustSet("NCTID"), RHS: 5}
+	ranked := Rank(ds.CleanRel, ds.FullOnt, core.Set{keyOFD})
+	if ranked[0].ClassCount != 0 || ranked[0].Score != 0 {
+		t.Fatalf("key OFD should carry no evidence: %+v", ranked[0])
+	}
+}

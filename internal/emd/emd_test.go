@@ -1,0 +1,139 @@
+package emd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randHist(rng *rand.Rand, maxKeys int) Hist {
+	h := make(Hist)
+	n := 1 + rng.Intn(maxKeys)
+	for i := 0; i < n; i++ {
+		h[string(rune('a'+rng.Intn(6)))] += float64(1 + rng.Intn(5))
+	}
+	return h
+}
+
+func TestDistanceBasics(t *testing.T) {
+	p := Hist{"a": 2, "b": 2}
+	q := Hist{"a": 2, "b": 2}
+	if d := Distance(p, q); d != 0 {
+		t.Fatalf("identical hists: %v", d)
+	}
+	r := Hist{"c": 4}
+	if d := Distance(p, r); d != 1 {
+		t.Fatalf("disjoint hists: %v", d)
+	}
+	s := Hist{"a": 4}
+	if d := Distance(p, s); math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("half-overlap: %v", d)
+	}
+	// Normalization invariance.
+	if d1, d2 := Distance(p, s), Distance(Hist{"a": 1, "b": 1}, Hist{"a": 7}); math.Abs(d1-d2) > 1e-9 {
+		t.Fatalf("not scale invariant: %v vs %v", d1, d2)
+	}
+}
+
+func TestDistanceEmptyCases(t *testing.T) {
+	if d := Distance(Hist{}, Hist{}); d != 0 {
+		t.Fatalf("both empty: %v", d)
+	}
+	if d := Distance(Hist{"a": 1}, Hist{}); d != 1 {
+		t.Fatalf("one empty: %v", d)
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, s := randHist(r, 4), randHist(r, 4), randHist(r, 4)
+		dpq, dqp := Distance(p, q), Distance(q, p)
+		if math.Abs(dpq-dqp) > 1e-9 {
+			return false // symmetry
+		}
+		if dpq < 0 || dpq > 1 {
+			return false // range
+		}
+		if Distance(p, p) > 1e-12 {
+			return false // identity
+		}
+		// Triangle inequality (total variation is a metric).
+		if Distance(p, s) > dpq+Distance(q, s)+1e-9 {
+			return false
+		}
+		return true
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkDistance(t *testing.T) {
+	// The paper-style absolute work: moving 3 tuples costs 3.
+	p := Hist{"c2": 5, "c4": 3}
+	q := Hist{"c2": 8}
+	if d := WorkDistance(p, q); d != 3 {
+		t.Fatalf("work = %v, want 3", d)
+	}
+	if d := WorkDistance(p, p); d != 0 {
+		t.Fatalf("self work = %v", d)
+	}
+	// Symmetric.
+	if WorkDistance(p, q) != WorkDistance(q, p) {
+		t.Fatal("work distance not symmetric")
+	}
+	// Unequal totals: max(surplus, deficit).
+	if d := WorkDistance(Hist{"a": 5}, Hist{"b": 2}); d != 5 {
+		t.Fatalf("work = %v, want 5", d)
+	}
+}
+
+func TestFromValuesAndCounts(t *testing.T) {
+	h := FromValues([]string{"a", "b", "a"})
+	if h["a"] != 2 || h["b"] != 1 || h.Total() != 3 {
+		t.Fatalf("FromValues: %v", h)
+	}
+	h2 := FromCounts(map[string]int{"x": 4})
+	if h2["x"] != 4 {
+		t.Fatalf("FromCounts: %v", h2)
+	}
+}
+
+func TestDistanceWithDiscreteGroundMatchesDistance(t *testing.T) {
+	ground := func(u, v string) float64 {
+		if u == v {
+			return 0
+		}
+		return 1
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		p, q := randHist(rng, 4), randHist(rng, 4)
+		d1 := Distance(p, q)
+		d2 := DistanceWith(p, q, ground)
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("trial %d: %v vs %v (p=%v q=%v)", trial, d1, d2, p, q)
+		}
+	}
+}
+
+func TestDistanceWithCustomGround(t *testing.T) {
+	// Ground distance 0.5 between a and b: EMD must use the cheap move.
+	ground := func(u, v string) float64 {
+		if u == v {
+			return 0
+		}
+		if (u == "a" && v == "b") || (u == "b" && v == "a") {
+			return 0.5
+		}
+		return 1
+	}
+	d := DistanceWith(Hist{"a": 1}, Hist{"b": 1}, ground)
+	if math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("custom ground: %v", d)
+	}
+}

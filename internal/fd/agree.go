@@ -1,0 +1,126 @@
+package fd
+
+import (
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// AgreeSets computes the set of agree sets ag(t1,t2) — the attribute sets
+// on which some pair of tuples agrees — deduplicated. Pairs are enumerated
+// within the classes of each single-attribute stripped partition (pairs
+// agreeing on nothing contribute the empty set only if requested by
+// includeEmpty). This is the quadratic pair-based computation used by
+// DepMiner, FastFDs and FDep, and is the reason those algorithms scale
+// quadratically with the number of tuples (paper Exp-1).
+func AgreeSets(rel *relation.Relation) []relation.AttrSet {
+	n := rel.NumRows()
+	cols := rel.NumCols()
+	seen := make(map[relation.AttrSet]struct{})
+	// For every pair of tuples that agree on at least one attribute,
+	// compute the full agree set. Enumerate candidate pairs from the
+	// classes of single-attribute partitions to skip fully-disagreeing
+	// pairs, deduplicating pairs via a visited matrix keyed by (i,j).
+	pairSeen := make(map[int64]struct{})
+	key := func(i, j int) int64 { return int64(i)*int64(n) + int64(j) }
+	for c := 0; c < cols; c++ {
+		p := relation.SingleColumnPartition(rel, c).Strip()
+		for _, class := range p.Classes {
+			for a := 0; a < len(class); a++ {
+				for b := a + 1; b < len(class); b++ {
+					i, j := class[a], class[b]
+					if _, done := pairSeen[key(i, j)]; done {
+						continue
+					}
+					pairSeen[key(i, j)] = struct{}{}
+					var ag relation.AttrSet
+					for col := 0; col < cols; col++ {
+						if rel.Value(i, col) == rel.Value(j, col) {
+							ag = ag.With(col)
+						}
+					}
+					seen[ag] = struct{}{}
+				}
+			}
+		}
+	}
+	// Pairs disagreeing on every attribute never appear in any class above
+	// but contribute the empty agree set, which matters: it rules out
+	// ∅ → A for every A. Detect them by counting enumerated pairs.
+	if int64(len(pairSeen)) < int64(n)*int64(n-1)/2 {
+		seen[relation.EmptySet] = struct{}{}
+	}
+	out := make([]relation.AttrSet, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	relation.SortSets(out)
+	return out
+}
+
+// MaximalSets filters sets to those maximal under ⊆.
+func MaximalSets(sets []relation.AttrSet) []relation.AttrSet {
+	var out []relation.AttrSet
+	for i, s := range sets {
+		maximal := true
+		for j, t := range sets {
+			if i != j && s.SubsetOf(t) && (s != t || j > i) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, s)
+		}
+	}
+	relation.SortSets(out)
+	return out
+}
+
+// MinimalHittingSets computes all minimal transversals of the given
+// collection: minimal attribute sets intersecting every set in the
+// collection. Sets must be non-empty; an empty collection yields {∅}.
+// Uses the classic incremental (Berge) algorithm with minimality filtering,
+// adequate for the small collections dependency discovery produces.
+func MinimalHittingSets(collection []relation.AttrSet) []relation.AttrSet {
+	transversals := []relation.AttrSet{relation.EmptySet}
+	for _, s := range collection {
+		var next []relation.AttrSet
+		for _, t := range transversals {
+			if !t.Intersect(s).IsEmpty() {
+				next = append(next, t)
+				continue
+			}
+			for _, a := range s.Attrs() {
+				next = append(next, t.With(a))
+			}
+		}
+		transversals = filterMinimal(next)
+	}
+	relation.SortSets(transversals)
+	return transversals
+}
+
+// filterMinimal removes supersets (and duplicates) from the collection.
+func filterMinimal(sets []relation.AttrSet) []relation.AttrSet {
+	sort.Slice(sets, func(i, j int) bool {
+		if li, lj := sets[i].Len(), sets[j].Len(); li != lj {
+			return li < lj
+		}
+		return sets[i] < sets[j]
+	})
+	var out []relation.AttrSet
+	for _, s := range sets {
+		keep := true
+		for _, m := range out {
+			if m.SubsetOf(s) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, s)
+		}
+	}
+	return out
+}

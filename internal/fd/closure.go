@@ -1,0 +1,43 @@
+package fd
+
+import (
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// FDClosure computes the attribute closure X⁺ under standard FD axioms
+// (Armstrong's, including Transitivity — which OFD closures lack).
+func FDClosure(sigma core.Set, x relation.AttrSet) relation.AttrSet {
+	closure := x
+	for changed := true; changed; {
+		changed = false
+		for _, d := range sigma {
+			if d.LHS.SubsetOf(closure) && !closure.Has(d.RHS) {
+				closure = closure.With(d.RHS)
+				changed = true
+			}
+		}
+	}
+	return closure
+}
+
+// FDImplies reports whether Σ ⊨ X → A under standard FD inference.
+func FDImplies(sigma core.Set, d FD) bool {
+	return FDClosure(sigma, d.LHS).Has(d.RHS)
+}
+
+// FDEquivalent reports whether two FD sets are equivalent covers under
+// standard FD inference.
+func FDEquivalent(a, b core.Set) bool {
+	for _, d := range b {
+		if !FDImplies(a, d) {
+			return false
+		}
+	}
+	for _, d := range a {
+		if !FDImplies(b, d) {
+			return false
+		}
+	}
+	return true
+}

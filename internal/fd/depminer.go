@@ -1,0 +1,41 @@
+package fd
+
+import (
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// DiscoverDepMiner implements DepMiner (Lopes et al., 2000): compute agree
+// sets from tuple pairs, derive per-attribute maximal sets max(A) (maximal
+// agree sets not containing A), and obtain the antecedents of minimal FDs
+// with consequent A as the minimal transversals of the complements of
+// max(A).
+func DiscoverDepMiner(rel *relation.Relation) *Result {
+	nAttrs := rel.NumCols()
+	all := rel.Schema().All()
+	agree := AgreeSets(rel)
+
+	var sigma core.Set
+	for a := 0; a < nAttrs; a++ {
+		// max(A): maximal agree sets not containing A.
+		var notA []relation.AttrSet
+		for _, s := range agree {
+			if !s.Has(a) {
+				notA = append(notA, s)
+			}
+		}
+		maxA := MaximalSets(notA)
+		// Complements within R \ {A}: every minimal FD antecedent must hit
+		// each complement (otherwise some pair agreeing on the antecedent
+		// disagrees on A).
+		complements := make([]relation.AttrSet, 0, len(maxA))
+		for _, s := range maxA {
+			complements = append(complements, all.Minus(s).Without(a))
+		}
+		for _, lhs := range MinimalHittingSets(complements) {
+			sigma = append(sigma, FD{LHS: lhs, RHS: a})
+		}
+	}
+	sigma.Sort()
+	return &Result{Algorithm: DepMiner, FDs: sigma, RawCount: len(sigma)}
+}

@@ -1,0 +1,240 @@
+package fd
+
+import (
+	"math/rand"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// DiscoverDFD implements DFD (Abedjan, Schulze, Naumann, 2014): for each
+// consequent attribute, random walks over the lattice of antecedent
+// candidates classify nodes as dependencies or non-dependencies, pruning by
+// the discovered minimal dependencies and maximal non-dependencies. A
+// completion phase exploits the hitting-set duality between minimal
+// dependencies and maximal non-dependencies to guarantee the result is
+// exactly the set of minimal FDs. Walks use a fixed seed, so runs are
+// deterministic.
+func DiscoverDFD(rel *relation.Relation) *Result {
+	return DiscoverDFDSeeded(rel, 1)
+}
+
+// node classification states.
+const (
+	unknown byte = iota
+	dependency
+	nonDependency
+)
+
+// DiscoverDFDSeeded is DiscoverDFD with an explicit random seed.
+func DiscoverDFDSeeded(rel *relation.Relation, seed int64) *Result {
+	rng := rand.New(rand.NewSource(seed))
+	nAttrs := rel.NumCols()
+	pc := relation.NewPartitionCache(rel)
+	var sigma core.Set
+
+	for a := 0; a < nAttrs; a++ {
+		w := &dfdWalker{
+			pc:         pc,
+			rhs:        a,
+			candidates: rel.Schema().All().Without(a),
+			status:     make(map[relation.AttrSet]byte),
+			rng:        rng,
+		}
+		for _, lhs := range w.run() {
+			sigma = append(sigma, FD{LHS: lhs, RHS: a})
+		}
+	}
+	sigma.Sort()
+	return &Result{Algorithm: DFD, FDs: sigma, RawCount: len(sigma)}
+}
+
+type dfdWalker struct {
+	pc         *relation.PartitionCache
+	rhs        int
+	candidates relation.AttrSet
+	status     map[relation.AttrSet]byte
+	minDeps    []relation.AttrSet
+	maxNonDeps []relation.AttrSet
+	rng        *rand.Rand
+}
+
+// classify determines a node's status: by inference from recorded minimal
+// dependencies / maximal non-dependencies when possible, by the
+// partition-error test otherwise.
+func (w *dfdWalker) classify(x relation.AttrSet) byte {
+	if s, ok := w.status[x]; ok && s != unknown {
+		return s
+	}
+	for _, d := range w.minDeps {
+		if d.SubsetOf(x) {
+			w.status[x] = dependency
+			return dependency
+		}
+	}
+	for _, nd := range w.maxNonDeps {
+		if x.SubsetOf(nd) {
+			w.status[x] = nonDependency
+			return nonDependency
+		}
+	}
+	var s byte
+	if holdsFD(w.pc, x, w.rhs) {
+		s = dependency
+	} else {
+		s = nonDependency
+	}
+	w.status[x] = s
+	return s
+}
+
+// run performs the random-walk phase from singleton seeds, then the
+// completion phase, and returns all minimal antecedents.
+func (w *dfdWalker) run() []relation.AttrSet {
+	seeds := make([]relation.AttrSet, 0, w.candidates.Len())
+	for _, a := range w.candidates.Attrs() {
+		seeds = append(seeds, relation.Single(a))
+	}
+	w.rng.Shuffle(len(seeds), func(i, j int) { seeds[i], seeds[j] = seeds[j], seeds[i] })
+	for _, s := range seeds {
+		w.walk(s)
+	}
+	w.complete()
+	out := filterMinimal(append([]relation.AttrSet(nil), w.minDeps...))
+	relation.SortSets(out)
+	return out
+}
+
+// walk performs one random walk: from a dependency descend while possible,
+// recording a minimal dependency at the bottom; from a non-dependency climb
+// randomly, recording a maximal non-dependency at the top.
+func (w *dfdWalker) walk(start relation.AttrSet) {
+	node := start
+	budget := 4 * (w.candidates.Len() + 1)
+	for hop := 0; hop < budget; hop++ {
+		if w.classify(node) == dependency {
+			sub, ok := w.descendStep(node)
+			if !ok {
+				w.recordMinDep(node)
+				return
+			}
+			node = sub
+		} else {
+			missing := w.candidates.Minus(node).Attrs()
+			if len(missing) == 0 {
+				w.recordMaxNonDep(node)
+				return
+			}
+			node = node.With(missing[w.rng.Intn(len(missing))])
+		}
+	}
+}
+
+// descendStep returns a maximal proper subset of node that is still a
+// dependency, or ok=false when node is a minimal dependency.
+func (w *dfdWalker) descendStep(node relation.AttrSet) (relation.AttrSet, bool) {
+	attrs := node.Attrs()
+	w.rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+	for _, a := range attrs {
+		if sub := node.Without(a); w.classify(sub) == dependency {
+			return sub, true
+		}
+	}
+	return relation.EmptySet, false
+}
+
+// descendToMinimal walks straight down from a dependency to some minimal
+// dependency and records it.
+func (w *dfdWalker) descendToMinimal(node relation.AttrSet) {
+	for {
+		sub, ok := w.descendStep(node)
+		if !ok {
+			w.recordMinDep(node)
+			return
+		}
+		node = sub
+	}
+}
+
+// climbToMaximal walks straight up from a non-dependency to some maximal
+// non-dependency and records it.
+func (w *dfdWalker) climbToMaximal(node relation.AttrSet) {
+	for {
+		grew := false
+		for _, a := range w.candidates.Minus(node).Attrs() {
+			if sup := node.With(a); w.classify(sup) == nonDependency {
+				node = sup
+				grew = true
+				break
+			}
+		}
+		if !grew {
+			w.recordMaxNonDep(node)
+			return
+		}
+	}
+}
+
+// complete drives the hitting-set duality to a fixpoint: the minimal
+// dependencies are exactly the minimal hitting sets of the complements of
+// the maximal non-dependencies once the latter cover every non-dependency.
+// Each round either records a new maximal non-dependency or a new minimal
+// dependency, so the loop terminates.
+func (w *dfdWalker) complete() {
+	for {
+		complements := make([]relation.AttrSet, 0, len(w.maxNonDeps))
+		for _, nd := range w.maxNonDeps {
+			complements = append(complements, w.candidates.Minus(nd))
+		}
+		progress := false
+		for _, cand := range MinimalHittingSets(complements) {
+			if w.classify(cand) == nonDependency {
+				// A hitting set that is a non-dependency exposes a region
+				// not yet covered by maxNonDeps.
+				w.climbToMaximal(cand)
+				progress = true
+				continue
+			}
+			// cand is a dependency; a minimal hitting set that is a
+			// dependency is either a new minimal dependency or descends to
+			// one strictly below (which known minDeps cannot be, since a
+			// known minDep inside cand would contradict cand's hitting-set
+			// minimality).
+			if w.isKnownMinDep(cand) {
+				continue
+			}
+			w.descendToMinimal(cand)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (w *dfdWalker) isKnownMinDep(x relation.AttrSet) bool {
+	for _, d := range w.minDeps {
+		if d == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *dfdWalker) recordMinDep(x relation.AttrSet) {
+	for _, d := range w.minDeps {
+		if d == x {
+			return
+		}
+	}
+	w.minDeps = append(w.minDeps, x)
+}
+
+func (w *dfdWalker) recordMaxNonDep(x relation.AttrSet) {
+	for _, d := range w.maxNonDeps {
+		if d == x {
+			return
+		}
+	}
+	w.maxNonDeps = append(w.maxNonDeps, x)
+}

@@ -1,0 +1,160 @@
+package fd
+
+import (
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// DiscoverFastFDs implements FastFDs (Wyss, Giannella, Robertson, 2001):
+// compute difference sets from tuple pairs, then for each consequent A find
+// all minimal covers of D_A = {D \ {A} | D a difference set, A ∈ D} with a
+// greedy-ordered depth-first search.
+func DiscoverFastFDs(rel *relation.Relation) *Result {
+	nAttrs := rel.NumCols()
+	all := rel.Schema().All()
+
+	// Difference sets are the complements of agree sets.
+	agree := AgreeSets(rel)
+	diffSeen := make(map[relation.AttrSet]struct{}, len(agree))
+	for _, s := range agree {
+		diffSeen[all.Minus(s)] = struct{}{}
+	}
+	diffs := make([]relation.AttrSet, 0, len(diffSeen))
+	for s := range diffSeen {
+		diffs = append(diffs, s)
+	}
+	relation.SortSets(diffs)
+
+	var sigma core.Set
+	for a := 0; a < nAttrs; a++ {
+		// D_A: difference sets containing A, with A removed; keep only the
+		// minimal ones (a cover of a subset covers the superset).
+		var dA []relation.AttrSet
+		for _, d := range diffs {
+			if d.Has(a) {
+				dA = append(dA, d.Without(a))
+			}
+		}
+		dA = minimalOnly(dA)
+		if len(dA) == 0 {
+			// No pair ever disagrees on A given agreement elsewhere — if
+			// there are no difference sets containing A at all, every pair
+			// agrees on A, so ∅ → A holds and is minimal.
+			sigma = append(sigma, FD{LHS: relation.EmptySet, RHS: a})
+			continue
+		}
+		if containsEmpty(dA) {
+			// Some pair disagrees ONLY on A: no X → A can hold.
+			continue
+		}
+		for _, lhs := range findCovers(dA, all.Without(a)) {
+			sigma = append(sigma, FD{LHS: lhs, RHS: a})
+		}
+	}
+	sigma.Sort()
+	return &Result{Algorithm: FastFDs, FDs: sigma, RawCount: len(sigma)}
+}
+
+func containsEmpty(sets []relation.AttrSet) bool {
+	for _, s := range sets {
+		if s.IsEmpty() {
+			return true
+		}
+	}
+	return false
+}
+
+// minimalOnly keeps sets minimal under ⊆.
+func minimalOnly(sets []relation.AttrSet) []relation.AttrSet {
+	return filterMinimal(append([]relation.AttrSet(nil), sets...))
+}
+
+// findCovers runs FastFDs' depth-first search for all minimal covers of the
+// difference-set collection, ordering attributes by descending coverage
+// count (the paper's heuristic) and pruning non-minimal branches.
+func findCovers(dA []relation.AttrSet, candidates relation.AttrSet) []relation.AttrSet {
+	var covers []relation.AttrSet
+	order := orderByCoverage(dA, candidates)
+	var dfs func(current relation.AttrSet, remaining []relation.AttrSet, allowed []int)
+	dfs = func(current relation.AttrSet, remaining []relation.AttrSet, allowed []int) {
+		if len(remaining) == 0 {
+			// current covers everything; record only irredundant covers.
+			for _, a := range current.Attrs() {
+				if coversAll(dA, current.Without(a)) {
+					return // non-minimal cover
+				}
+			}
+			covers = append(covers, current)
+			return
+		}
+		// Prune: the attributes still allowed must be able to cover what
+		// remains.
+		var pool relation.AttrSet
+		for _, a := range allowed {
+			pool = pool.With(a)
+		}
+		for _, d := range remaining {
+			if d.Intersect(pool).IsEmpty() {
+				return
+			}
+		}
+		// Branch over every allowed attribute in greedy order; excluding
+		// tried attributes from deeper branches enumerates each cover once
+		// (FastFDs' search-tree construction).
+		for i, a := range allowed {
+			covered := false
+			nextRemaining := remaining[:0:0]
+			for _, d := range remaining {
+				if d.Has(a) {
+					covered = true
+				} else {
+					nextRemaining = append(nextRemaining, d)
+				}
+			}
+			if !covered {
+				// In any minimal cover, each member privately covers some
+				// difference set still uncovered when it is chosen.
+				continue
+			}
+			dfs(current.With(a), nextRemaining, allowed[i+1:])
+		}
+	}
+	allowed := make([]int, 0, candidates.Len())
+	for _, a := range order {
+		if candidates.Has(a) {
+			allowed = append(allowed, a)
+		}
+	}
+	dfs(relation.EmptySet, dA, allowed)
+	return filterMinimal(covers)
+}
+
+func coversAll(dA []relation.AttrSet, x relation.AttrSet) bool {
+	for _, d := range dA {
+		if d.Intersect(x).IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// orderByCoverage sorts attributes by how many difference sets they cover
+// (descending), tie-broken by index — FastFDs' search heuristic.
+func orderByCoverage(dA []relation.AttrSet, candidates relation.AttrSet) []int {
+	counts := make(map[int]int)
+	for _, d := range dA {
+		for _, a := range d.Attrs() {
+			counts[a]++
+		}
+	}
+	attrs := candidates.Attrs()
+	sort.SliceStable(attrs, func(i, j int) bool {
+		if counts[attrs[i]] != counts[attrs[j]] {
+			return counts[attrs[i]] > counts[attrs[j]]
+		}
+		return attrs[i] < attrs[j]
+	})
+	return attrs
+}

@@ -1,0 +1,241 @@
+package fd
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+func randomRelation(rng *rand.Rand, rows, cols, domain int) *relation.Relation {
+	names := make([]string, cols)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%d", i)
+	}
+	rel := relation.New(relation.MustSchema(names...))
+	row := make([]string, cols)
+	for r := 0; r < rows; r++ {
+		for c := range row {
+			row[c] = fmt.Sprintf("v%d", rng.Intn(domain))
+		}
+		rel.AppendRow(row)
+	}
+	return rel
+}
+
+// exactAlgorithms are those whose output must equal the brute-force set of
+// minimal FDs. FDMine is checked separately: its output is a cover of the
+// minimal FDs but may omit some minimal antecedents due to equivalence
+// pruning.
+var exactAlgorithms = []string{TANE, FUN, DFD, DepMiner, FastFDs, FDep}
+
+func TestAlgorithmsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		rows := 2 + rng.Intn(14)
+		cols := 2 + rng.Intn(4)
+		domain := 1 + rng.Intn(3)
+		rel := randomRelation(rng, rows, cols, domain)
+		want := BruteForce(rel)
+		for _, alg := range exactAlgorithms {
+			res, err := Discover(alg, rel)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			got := res.FDs.Clone()
+			got.Sort()
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("trial %d (%d rows, %d cols, dom %d): %s mismatch\n got: %v\nwant: %v\nrows: %v",
+					trial, rows, cols, domain, alg, got, want, rel.Rows())
+			}
+		}
+	}
+}
+
+func TestFDMineCoversBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		rel := randomRelation(rng, 2+rng.Intn(14), 2+rng.Intn(4), 1+rng.Intn(3))
+		want := BruteForce(rel)
+		res := DiscoverFDMine(rel)
+		if !FDEquivalent(res.FDs, want) {
+			t.Errorf("trial %d: FDMine output not an equivalent cover\n got: %v\nwant: %v\nrows: %v",
+				trial, res.FDs, want, rel.Rows())
+		}
+		// Soundness: every raw FD must hold.
+		pc := relation.NewPartitionCache(rel)
+		for _, d := range res.FDs {
+			if !holdsFD(pc, d.LHS, d.RHS) {
+				t.Errorf("trial %d: FDMine emitted non-holding FD %v", trial, d)
+			}
+		}
+	}
+}
+
+func TestAlgorithmsOnKnownInstance(t *testing.T) {
+	// Classic example: A is a key; B → C; C and D free.
+	schema := relation.MustSchema("A", "B", "C", "D")
+	rel, err := relation.FromRows(schema, [][]string{
+		{"1", "x", "p", "m"},
+		{"2", "x", "p", "n"},
+		{"3", "y", "q", "m"},
+		{"4", "y", "q", "n"},
+		{"5", "z", "p", "m"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BruteForce(rel)
+	// Sanity: B→C must be among the minimal FDs.
+	bToC := FD{LHS: schema.MustSet("B"), RHS: schema.MustIndex("C")}
+	if !want.Contains(bToC) {
+		t.Fatalf("brute force missing B->C: %v", want)
+	}
+	for _, alg := range exactAlgorithms {
+		res, _ := Discover(alg, rel)
+		got := res.FDs.Clone()
+		got.Sort()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: got %v want %v", alg, got, want)
+		}
+	}
+}
+
+func TestDiscoverUnknownAlgorithm(t *testing.T) {
+	rel := randomRelation(rand.New(rand.NewSource(1)), 3, 2, 2)
+	if _, err := Discover("nope", rel); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestAgreeSetsIncludeEmptyWhenPairsDisagreeEverywhere(t *testing.T) {
+	schema := relation.MustSchema("A", "B")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"1", "x"},
+		{"2", "y"},
+	})
+	ag := AgreeSets(rel)
+	if len(ag) != 1 || !ag[0].IsEmpty() {
+		t.Fatalf("want [{}], got %v", ag)
+	}
+}
+
+func TestMinimalHittingSets(t *testing.T) {
+	s := func(is ...int) relation.AttrSet {
+		var a relation.AttrSet
+		for _, i := range is {
+			a = a.With(i)
+		}
+		return a
+	}
+	got := MinimalHittingSets([]relation.AttrSet{s(0, 1), s(1, 2), s(0, 2)})
+	want := []relation.AttrSet{s(0, 1), s(0, 2), s(1, 2)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Empty collection: the empty set is the only minimal transversal.
+	got = MinimalHittingSets(nil)
+	if len(got) != 1 || !got[0].IsEmpty() {
+		t.Fatalf("want [{}], got %v", got)
+	}
+	// A collection containing the empty set has no transversal.
+	got = MinimalHittingSets([]relation.AttrSet{s(0), relation.EmptySet})
+	if len(got) != 0 {
+		t.Fatalf("want none, got %v", got)
+	}
+}
+
+func TestMaximalSets(t *testing.T) {
+	s := func(is ...int) relation.AttrSet {
+		var a relation.AttrSet
+		for _, i := range is {
+			a = a.With(i)
+		}
+		return a
+	}
+	got := MaximalSets([]relation.AttrSet{s(0), s(0, 1), s(2), s(0, 1)})
+	want := []relation.AttrSet{s(2), s(0, 1)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestFDClosureTransitive(t *testing.T) {
+	schema := relation.MustSchema("A", "B", "C")
+	sigma := core.Set{
+		core.MustParse(schema, "A -> B"),
+		core.MustParse(schema, "B -> C"),
+	}
+	got := FDClosure(sigma, schema.MustSet("A"))
+	if got != schema.MustSet("A", "B", "C") {
+		t.Fatalf("FD closure must be transitive: got %v", got)
+	}
+	// OFD closure, by contrast, must NOT be transitive.
+	ofd := core.Closure(sigma, schema.MustSet("A"))
+	if ofd != schema.MustSet("A", "B") {
+		t.Fatalf("OFD closure must not apply transitivity: got %v", ofd)
+	}
+}
+
+func TestBruteForceConstantColumn(t *testing.T) {
+	schema := relation.MustSchema("A", "B")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"1", "k"},
+		{"2", "k"},
+		{"3", "k"},
+	})
+	want := core.Set{
+		{LHS: relation.EmptySet, RHS: 1},   // {} -> B (constant)
+		{LHS: schema.MustSet("A"), RHS: 0}, // trivialities excluded; A is key
+	}
+	_ = want
+	got := BruteForce(rel)
+	// {} -> B must be present; A -> B must be absent (non-minimal).
+	emptyToB := FD{LHS: relation.EmptySet, RHS: 1}
+	aToB := FD{LHS: schema.MustSet("A"), RHS: 1}
+	if !got.Contains(emptyToB) {
+		t.Fatalf("missing {}->B in %v", got)
+	}
+	if got.Contains(aToB) {
+		t.Fatalf("non-minimal A->B in %v", got)
+	}
+}
+
+func TestAlgorithmsAgreeOnWorkloads(t *testing.T) {
+	// Cross-algorithm agreement on realistic generated data (larger than
+	// the random instances, narrower than a benchmark).
+	for _, preset := range []string{"clinical", "kiva", "census"} {
+		ds := gen.Generate(gen.Config{Rows: 150, Seed: 5, Preset: preset})
+		// Project away the unique key column so FDs are non-trivial and
+		// the pair-based algorithms see agreeing pairs.
+		cols := make([]int, 0, ds.Rel.NumCols()-1)
+		for c := 1; c < ds.Rel.NumCols(); c++ {
+			cols = append(cols, c)
+		}
+		sub, err := ds.Rel.ProjectColumns(cols[:7])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want core.Set
+		for i, alg := range exactAlgorithms {
+			res, err := Discover(alg, sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.FDs.Clone()
+			got.Sort()
+			if i == 0 {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: %s disagrees with %s (%d vs %d FDs)",
+					preset, alg, exactAlgorithms[0], len(got), len(want))
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package fd
+
+import (
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// DiscoverFDep implements FDep (Flach & Savnik, 1999): build the negative
+// cover — the non-dependencies witnessed by every pair of tuples — then
+// specialize the most general hypotheses (∅ → A) against each violation to
+// obtain the positive cover of minimal FDs. Pairwise comparison makes it
+// quadratic in tuples and memory-hungry, matching the paper's observation
+// that FDep exceeds memory limits on larger data.
+func DiscoverFDep(rel *relation.Relation) *Result {
+	nAttrs := rel.NumCols()
+
+	// Negative cover: for each consequent A, the maximal agree sets of
+	// pairs that disagree on A. A candidate X → A is violated iff X fits
+	// inside one of those agree sets.
+	agree := AgreeSets(rel)
+
+	var sigma core.Set
+	for a := 0; a < nAttrs; a++ {
+		var witnesses []relation.AttrSet
+		for _, s := range agree {
+			if !s.Has(a) {
+				witnesses = append(witnesses, s)
+			}
+		}
+		witnesses = MaximalSets(witnesses)
+
+		// Positive cover by successive specialization, starting from the
+		// most general hypothesis ∅ → A.
+		hyps := []relation.AttrSet{relation.EmptySet}
+		for _, w := range witnesses {
+			var next []relation.AttrSet
+			for _, x := range hyps {
+				if !x.SubsetOf(w) {
+					next = append(next, x) // not violated by this witness
+					continue
+				}
+				// Specialize: add any attribute outside the witness (and
+				// not the consequent) so the hypothesis escapes it.
+				for b := 0; b < nAttrs; b++ {
+					if b == a || w.Has(b) || x.Has(b) {
+						continue
+					}
+					next = append(next, x.With(b))
+				}
+			}
+			hyps = filterMinimal(next)
+		}
+		for _, x := range hyps {
+			sigma = append(sigma, FD{LHS: x, RHS: a})
+		}
+	}
+	sigma.Sort()
+	return &Result{Algorithm: FDep, FDs: sigma, RawCount: len(sigma)}
+}

@@ -1,0 +1,82 @@
+package fd
+
+import (
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// DiscoverFUN implements FUN (Novelli & Cicchetti, 2001): a level-wise
+// traversal restricted to free sets — attribute sets whose partition
+// cardinality strictly exceeds that of every proper subset — using
+// cardinality comparisons both to detect FDs (|Π_X| = |Π_{X∪A}| iff X → A)
+// and to prune non-free sets, whose dependencies are all non-minimal.
+func DiscoverFUN(rel *relation.Relation) *Result {
+	nAttrs := rel.NumCols()
+	pc := relation.NewPartitionCache(rel)
+	nRows := rel.NumRows()
+
+	// card(X) = |Π_X| computed from the stripped partition: stripped
+	// classes plus the singletons they omit.
+	card := func(x relation.AttrSet) int {
+		p := pc.Get(x)
+		covered := p.Size()
+		return len(p.Classes) + (nRows - covered)
+	}
+
+	var sigma core.Set
+	type node struct {
+		attrs relation.AttrSet
+		card  int
+	}
+
+	// Level 0: the empty (free) set with cardinality 1 (or 0 on empty r).
+	emptyCard := 1
+	if nRows == 0 {
+		emptyCard = 0
+	}
+	level := []node{{attrs: relation.EmptySet, card: emptyCard}}
+	cards := map[relation.AttrSet]int{relation.EmptySet: emptyCard}
+
+	for len(level) > 0 {
+		var next []node
+		seen := make(map[relation.AttrSet]struct{})
+		for _, nd := range level {
+			for a := 0; a < nAttrs; a++ {
+				if nd.attrs.Has(a) {
+					continue
+				}
+				x := nd.attrs.With(a)
+				if _, dup := seen[x]; dup {
+					continue
+				}
+				seen[x] = struct{}{}
+				cx := card(x)
+				cards[x] = cx
+				// X is free iff |Π_X| > |Π_Y| for every maximal proper
+				// subset Y; equivalently no Y = X\b has equal cardinality.
+				free := true
+				for _, b := range x.Attrs() {
+					sub := x.Without(b)
+					csub, ok := cards[sub]
+					if !ok {
+						csub = card(sub)
+						cards[sub] = csub
+					}
+					if csub == cx {
+						free = false
+						// Y → b holds with Y = X\b; record when minimal.
+						sigma = append(sigma, FD{LHS: sub, RHS: b})
+					}
+				}
+				if free {
+					next = append(next, node{attrs: x, card: cx})
+				}
+			}
+		}
+		level = next
+	}
+
+	raw := len(sigma)
+	sigma = minimize(sigma)
+	return &Result{Algorithm: FUN, FDs: sigma, RawCount: raw}
+}

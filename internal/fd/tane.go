@@ -1,0 +1,127 @@
+package fd
+
+import (
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// DiscoverTANE implements TANE (Huhtala et al., 1999): level-wise lattice
+// traversal with rhs⁺ candidate sets, stripped-partition products, the
+// partition-error validity test, and key-based pruning.
+func DiscoverTANE(rel *relation.Relation) *Result {
+	n := rel.NumCols()
+	all := rel.Schema().All()
+	pc := relation.NewPartitionCache(rel)
+	var prodBuf relation.ProductBuffer
+	var sigma core.Set
+
+	type node struct {
+		attrs relation.AttrSet
+		cplus relation.AttrSet
+		part  *relation.Partition
+	}
+
+	level := make(map[relation.AttrSet]*node, n)
+	for a := 0; a < n; a++ {
+		s := relation.Single(a)
+		level[s] = &node{attrs: s, cplus: all, part: pc.Get(s)}
+	}
+
+	for l := 1; len(level) > 0; l++ {
+		// computeDependencies
+		for _, nd := range level {
+			x := nd.attrs
+			// C⁺(X) = ∩_{A∈X} C⁺(X\A) computed at node creation for l ≥ 2;
+			// level 1 uses R.
+			for _, a := range x.Intersect(nd.cplus).Attrs() {
+				lhs := x.Without(a)
+				if holdsFDParts(pc, lhs, x) {
+					sigma = append(sigma, FD{LHS: lhs, RHS: a})
+					nd.cplus = nd.cplus.Without(a)
+					// TANE rule: remove all B ∈ R \ X from C⁺(X). Valid for
+					// FDs (by transitivity-style reasoning) though not for
+					// OFDs — the distinction the paper highlights.
+					nd.cplus = nd.cplus.Intersect(x)
+				}
+			}
+		}
+		// prune: emit superkey dependencies first (the minimality test
+		// consults sibling nodes' C⁺ sets, so deletions must wait), then
+		// delete superkey nodes and nodes with empty C⁺.
+		var doomed []relation.AttrSet
+		for key, nd := range level {
+			if nd.cplus.IsEmpty() {
+				doomed = append(doomed, key)
+				continue
+			}
+			if !nd.part.IsKeyOver() {
+				continue
+			}
+			// X is a superkey: emit X → A for A ∈ C⁺(X)\X that pass the
+			// key-based minimality test A ∈ ∩_{B∈X} C⁺(X ∪ A \ B).
+			for _, a := range nd.cplus.Minus(nd.attrs).Attrs() {
+				inAll := true
+				for _, b := range nd.attrs.Attrs() {
+					sub := nd.attrs.With(a).Without(b)
+					// A sibling pruned from the level (superkey or empty
+					// C⁺) does not exclude A; emissions here are sound in
+					// any case (a superkey determines every attribute) and
+					// the final minimize() removes non-minimal output.
+					if other, ok := level[sub]; ok && !other.cplus.Has(a) {
+						inAll = false
+						break
+					}
+				}
+				if inAll {
+					sigma = append(sigma, FD{LHS: nd.attrs, RHS: a})
+				}
+			}
+			doomed = append(doomed, key)
+		}
+		for _, key := range doomed {
+			delete(level, key)
+		}
+		// generateNextLevel via prefix blocks.
+		next := make(map[relation.AttrSet]*node)
+		blocks := make(map[relation.AttrSet][]*node)
+		for _, nd := range level {
+			attrs := nd.attrs.Attrs()
+			prefix := nd.attrs.Without(attrs[len(attrs)-1])
+			blocks[prefix] = append(blocks[prefix], nd)
+		}
+		for _, block := range blocks {
+			for i := 0; i < len(block); i++ {
+				for j := i + 1; j < len(block); j++ {
+					x := block[i].attrs.Union(block[j].attrs)
+					if _, done := next[x]; done {
+						continue
+					}
+					ok := true
+					cplus := all
+					for _, a := range x.Attrs() {
+						sub, in := level[x.Without(a)]
+						if !in {
+							ok = false
+							break
+						}
+						cplus = cplus.Intersect(sub.cplus)
+					}
+					if !ok || cplus.IsEmpty() {
+						continue
+					}
+					p := prodBuf.Product(block[i].part, block[j].part)
+					pc.Put(x, p)
+					next[x] = &node{attrs: x, cplus: cplus, part: p}
+				}
+			}
+		}
+		level = next
+	}
+	sigma = minimize(sigma)
+	return &Result{Algorithm: TANE, FDs: sigma, RawCount: len(sigma)}
+}
+
+// holdsFDParts tests X\A → A via cached partitions of lhs and x = lhs ∪ A.
+func holdsFDParts(pc *relation.PartitionCache, lhs, x relation.AttrSet) bool {
+	return pc.Get(lhs).Error() == pc.Get(x).Error()
+}

@@ -1,0 +1,608 @@
+// Package gen generates the synthetic workloads used to reproduce the
+// paper's evaluation: clinical-trials-like and Kiva-loans-like relations
+// paired with multi-sense ontologies, with planted OFDs that hold by
+// construction, plus controlled error injection (err%) and ontology
+// incompleteness injection (inc%) with full ground-truth bookkeeping.
+//
+// Construction guarantees: a latent group id G assigns each row to an
+// entity (G mod entityCount) and each entity to a ground-truth sense.
+// Antecedent attributes are refinements of the entity grouping (their
+// partitions subdivide entity groups), so every planted OFD X →_syn A
+// holds: each equivalence class draws its consequent values from the
+// synonyms of a single (entity, sense) ontology class.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// Config controls dataset generation. Zero values select defaults.
+type Config struct {
+	Rows     int   // number of tuples (default 1000)
+	Seed     int64 // RNG seed (default 1)
+	Senses   int   // number of sense labels |λ| (default 4)
+	Entities int   // distinct entities per semantic attribute (default 20)
+	// SynonymsPerSense is the number of sense-specific variant values each
+	// (entity, sense) class carries in addition to the shared canonical
+	// value (default 3).
+	SynonymsPerSense int
+	// NumOFDs is the number of planted OFDs |Σ| (default 4). OFDs are
+	// spread across the semantic consequent attributes; several OFDs share
+	// a consequent, creating the interactions OFDClean refines over.
+	NumOFDs int
+	// ErrRate is the fraction of consequent cells corrupted (default 0).
+	ErrRate float64
+	// IncRate is the fraction of used ontology variant values omitted from
+	// the built ontology (default 0), simulating ontology staleness.
+	IncRate float64
+	// SharedSynonymRate is the probability, per ordered (sense, other
+	// sense) pair of an entity, that the sense's whole variant bundle is
+	// also listed under the other sense (the "jaguar" effect: one value,
+	// several interpretations). With more senses a class accumulates more
+	// plausible interpretations, which is what makes sense selection
+	// harder as |λ| grows (paper Exp-6). Default 0.05; set negative to
+	// disable sharing entirely.
+	SharedSynonymRate float64
+	// Preset selects the schema flavour: "clinical" (default) or "kiva".
+	Preset string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rows == 0 {
+		c.Rows = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Senses == 0 {
+		c.Senses = 4
+	}
+	if c.Entities == 0 {
+		c.Entities = 20
+	}
+	if c.SynonymsPerSense == 0 {
+		c.SynonymsPerSense = 3
+	}
+	if c.NumOFDs == 0 {
+		c.NumOFDs = 4
+	}
+	if c.Preset == "" {
+		c.Preset = "clinical"
+	}
+	if c.SharedSynonymRate == 0 {
+		c.SharedSynonymRate = 0.05
+	}
+	if c.SharedSynonymRate < 0 {
+		c.SharedSynonymRate = 0
+	}
+	return c
+}
+
+// CellError records one injected error.
+type CellError struct {
+	Row, Col int
+	Original string // ground-truth value before corruption
+	Injected string
+}
+
+// Removal records one value omitted from the ontology (ground truth for
+// ontology repair): the value and the class it should belong to.
+type Removal struct {
+	Class ontology.ClassID
+	Value string
+}
+
+// Dataset is a generated workload with ground truth.
+type Dataset struct {
+	Rel      *relation.Relation // possibly dirty instance I
+	CleanRel *relation.Relation // pre-error instance (ground truth)
+	Ont      *ontology.Ontology // possibly incomplete ontology S
+	FullOnt  *ontology.Ontology // complete ontology (ground truth)
+	Sigma    core.Set           // planted synonym OFDs, satisfied by CleanRel w.r.t. FullOnt
+	// InhSigma are planted INHERITANCE OFDs over the coarse family column:
+	// they hold at InhTheta w.r.t. FullOnt while their synonym versions
+	// fail (several entities share each family).
+	InhSigma core.Set
+	// InhTheta is the is-a path bound under which InhSigma holds.
+	InhTheta int
+	Errors   []CellError // injected data errors
+	Removals []Removal   // injected ontology omissions
+	cfg      Config
+	// groupOf[row] = latent group id G.
+	groupOf []int
+	// truthClass[col][entity*Senses+senseIdx] = ontology class for values
+	// of column col, entity, sense.
+	truthClass map[int][]ontology.ClassID
+	// truthSenseIdx[col][entity] = ground-truth sense index used to
+	// generate that entity's values in column col.
+	truthSenseIdx map[int][]int
+	// sampleValues[col][entity*Senses+senseIdx] = the values data cells
+	// draw from (canonical + the sense's original variants, excluding
+	// cross-sense shares).
+	sampleValues map[int][][]string
+}
+
+// Generate builds a dataset according to cfg.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := presetFor(cfg.Preset)
+
+	ds := &Dataset{
+		cfg:          cfg,
+		truthClass:   make(map[int][]ontology.ClassID),
+		sampleValues: make(map[int][][]string),
+	}
+
+	schema := relation.MustSchema(p.attrs...)
+
+	// --- Ontology (full): per semantic attribute, Entities × Senses
+	// classes. The canonical value of an entity is shared by all of its
+	// sense classes (so it is sense-ambiguous); each class additionally
+	// holds SynonymsPerSense sense-specific variants.
+	full := ontology.New()
+	famCount := familyCount(cfg)
+	for _, col := range p.semanticCols {
+		name := p.attrs[col]
+		// Is-a family roots: entities e with equal e mod famCount share a
+		// family parent, giving inheritance OFDs (θ=1) a common ancestor
+		// that synonym OFDs lack.
+		famNodes := make([]ontology.ClassID, famCount)
+		for f := range famNodes {
+			famNodes[f] = full.MustAddClass(fmt.Sprintf("%s_family%d", name, f), "FAMILY", ontology.NoClass)
+		}
+		classes := make([]ontology.ClassID, 0, cfg.Entities*cfg.Senses)
+		samples := make([][]string, cfg.Entities*cfg.Senses)
+		for e := 0; e < cfg.Entities; e++ {
+			canonical := fmt.Sprintf("%s_e%d", name, e)
+			// Original variant bundle per sense; data cells sample only
+			// from these (plus the canonical value).
+			orig := make([][]string, cfg.Senses)
+			for s := 0; s < cfg.Senses; s++ {
+				for v := 0; v < cfg.SynonymsPerSense; v++ {
+					orig[s] = append(orig[s], fmt.Sprintf("%s_e%d_s%d_v%d", name, e, s, v))
+				}
+				samples[e*cfg.Senses+s] = append([]string{canonical}, orig[s]...)
+			}
+			// Cross-sense bundle sharing: with probability
+			// SharedSynonymRate per ordered pair, a sense's whole bundle
+			// also appears under another sense, making that other sense a
+			// fully-covering (wrong) interpretation of the data.
+			shared := make([][]string, cfg.Senses)
+			for s := range shared {
+				shared[s] = append(shared[s], orig[s]...)
+			}
+			if cfg.Senses > 1 {
+				for s := 0; s < cfg.Senses; s++ {
+					for s2 := 0; s2 < cfg.Senses; s2++ {
+						if s2 != s && rng.Float64() < cfg.SharedSynonymRate {
+							shared[s2] = append(shared[s2], orig[s]...)
+						}
+					}
+				}
+			}
+			for s := 0; s < cfg.Senses; s++ {
+				id := full.MustAddClass(canonical, fmt.Sprintf("sense%d", s), famNodes[e%famCount], shared[s]...)
+				classes = append(classes, id)
+			}
+		}
+		ds.truthClass[col] = classes
+		ds.sampleValues[col] = samples
+	}
+
+	// Ground-truth sense per (semantic attribute, entity).
+	truthSense := make(map[int][]int) // col -> entity -> sense index
+	for _, col := range p.semanticCols {
+		senses := make([]int, cfg.Entities)
+		for e := range senses {
+			senses[e] = rng.Intn(cfg.Senses)
+		}
+		truthSense[col] = senses
+	}
+	ds.truthSenseIdx = truthSense
+
+	// --- Planted OFDs: round-robin over semantic consequents with
+	// antecedent sets of growing size over the category attributes.
+	sigma := plantOFDs(schema, p, cfg.NumOFDs)
+	if p.familyCol >= 0 && famCount > 1 {
+		ds.InhTheta = 1
+		for _, col := range p.semanticCols {
+			ds.InhSigma = append(ds.InhSigma, core.OFD{LHS: relation.Single(p.familyCol), RHS: col})
+		}
+	}
+
+	// --- Rows. Latent group G drives category attributes (refinements of
+	// the entity grouping) and entity/sense selection for consequents.
+	groups := cfg.Entities * 4 // each entity spans ~4 latent groups
+	rel := relation.New(schema)
+	ds.groupOf = make([]int, cfg.Rows)
+	row := make([]string, schema.Len())
+	for i := 0; i < cfg.Rows; i++ {
+		g := rng.Intn(groups)
+		ds.groupOf[i] = g
+		for c := range row {
+			row[c] = p.cell(rng, cfg, c, i, g, truthSense, ds.sampleValues)
+		}
+		rel.AppendRow(row)
+	}
+	ds.CleanRel = rel.Clone()
+	ds.Rel = rel
+	ds.Sigma = sigma
+	ds.FullOnt = full
+
+	// --- Error injection into consequent cells.
+	if cfg.ErrRate > 0 {
+		injectErrors(ds, rng, p)
+	}
+
+	// --- Ontology incompleteness: omit a fraction of the variant values
+	// that actually occur in the data.
+	ds.Ont = full
+	if cfg.IncRate > 0 {
+		ds.Ont = removeValues(ds, rng)
+	}
+	return ds
+}
+
+// TruthSenseOf returns the ontology class for the values of column col,
+// latent entity e, and sense index.
+func (ds *Dataset) TruthSenseOf(col, entity, senseIdx int) ontology.ClassID {
+	return ds.truthClass[col][entity*ds.cfg.Senses+senseIdx]
+}
+
+// TruthClass returns the ground-truth generating class for (col, entity):
+// the class whose synonyms populated that entity's cells in col.
+func (ds *Dataset) TruthClass(col, entity int) (ontology.ClassID, bool) {
+	senses, ok := ds.truthSenseIdx[col]
+	if !ok || entity < 0 || entity >= len(senses) {
+		return ontology.NoClass, false
+	}
+	return ds.truthClass[col][entity*ds.cfg.Senses+senses[entity]], true
+}
+
+// SemanticCols returns the ontology-backed consequent columns.
+func (ds *Dataset) SemanticCols() []int {
+	return ds.semanticColumns()
+}
+
+// EntityOfRow returns the latent entity id of a row for semantic columns.
+func (ds *Dataset) EntityOfRow(row int) int {
+	return ds.groupOf[row] % ds.cfg.Entities
+}
+
+// Config returns the (defaulted) generation config.
+func (ds *Dataset) Config() Config { return ds.cfg }
+
+// preset describes a schema flavour.
+type preset struct {
+	name  string
+	attrs []string
+	// semanticCols are consequent attributes with ontology-backed values.
+	semanticCols []int
+	// categoryCols are antecedent attributes (refinements of the entity
+	// grouping); refinement factor per column diversifies partitions.
+	categoryCols []int
+	keyCols      []int // unique / near-unique identifier columns
+	derivedCols  map[int]int
+	noiseCols    []int
+	// familyCol, when ≥ 0, is a COARSE antecedent grouping several
+	// entities of the same is-a family: inheritance OFDs
+	// familyCol →_inh A hold (θ=1) while the synonym versions fail.
+	familyCol int
+	cell      func(rng *rand.Rand, cfg Config, col, rowIdx, g int, truthSense map[int][]int, samples map[int][][]string) string
+}
+
+// familyCount is the number of is-a families entities are grouped into. It
+// is always a divisor of Entities so that the coarse family column (a
+// function of the latent group id) determines the family exactly.
+func familyCount(cfg Config) int {
+	for d := cfg.Entities / 4; d > 1; d-- {
+		if cfg.Entities%d == 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+func presetFor(name string) preset {
+	var p preset
+	switch name {
+	case "kiva":
+		p.name = "kiva"
+		p.attrs = []string{
+			"LOAN_ID", "PARTNER_ID", "CC", "SECTOR", "ACTIVITY", "REGION",
+			"CTRY", "CURRENCY", "USE_CAT", "AMOUNT_BIN", "TERM_BIN",
+			"REPAY_INTERVAL", "GENDER", "LOAN_THEME", "FUNDED_BIN",
+		}
+		p.keyCols = []int{0, 1}
+		p.categoryCols = []int{2, 3, 4, 5, 12}
+		p.semanticCols = []int{6, 7, 8}
+		p.derivedCols = map[int]int{9: 3, 10: 4, 11: 3} // FD sources
+		p.noiseCols = []int{14}
+		p.familyCol = 13
+	case "census":
+		// The conference version's second dataset: US census-style
+		// population properties, 11 attributes, with occupation title,
+		// salary band, and native country as the ontology-backed columns
+		// (the paper's qualitative OFD: OCCUP →syn SAL).
+		p.name = "census"
+		p.attrs = []string{
+			"PERSON_ID", "HH_ID", "AGE_BIN", "EDU", "WORKCLASS", "MARITAL",
+			"OCCUP", "SAL", "NATIVE_CTRY", "RELATIONSHIP", "SECTOR_GROUP",
+		}
+		p.keyCols = []int{0, 1}
+		p.categoryCols = []int{2, 3, 4, 5}
+		p.semanticCols = []int{6, 7, 8}
+		p.derivedCols = map[int]int{9: 3}
+		p.noiseCols = nil
+		p.familyCol = 10
+	default:
+		p.name = "clinical"
+		p.attrs = []string{
+			"NCTID", "ORG_STUDY_ID", "CC", "SYMP", "TEST", "PHASE",
+			"CTRY", "MED", "DIAG", "STUDY_TYPE", "MEASURE", "MIN_AGE",
+			"SEX", "DRUG_CLASS", "ENROLL_BIN",
+		}
+		p.keyCols = []int{0, 1}
+		p.categoryCols = []int{2, 3, 4, 5, 12}
+		p.semanticCols = []int{6, 7, 8}
+		p.derivedCols = map[int]int{9: 3, 10: 4, 11: 3}
+		p.noiseCols = []int{14}
+		p.familyCol = 13
+	}
+	p.cell = func(rng *rand.Rand, cfg Config, col, rowIdx, g int, truthSense map[int][]int, samples map[int][][]string) string {
+		switch {
+		case contains(p.keyCols, col):
+			if col == p.keyCols[0] {
+				return fmt.Sprintf("%s%07d", p.attrs[col][:2], rowIdx)
+			}
+			// Near-unique secondary id: unique for most rows, grouped for a
+			// few, so it is a key only sometimes.
+			return fmt.Sprintf("%s%07d", p.attrs[col][:2], rowIdx/2*2)
+		case contains(p.categoryCols, col):
+			// Refinement of the entity grouping: value determined by the
+			// latent group id at column-specific granularity. Granularity
+			// is a multiple of Entities so each partition class maps to a
+			// single entity.
+			idx := indexOf(p.categoryCols, col)
+			granularity := cfg.Entities * (idx + 1)
+			return fmt.Sprintf("%s_c%d", p.attrs[col], g%granularity)
+		case contains(p.semanticCols, col):
+			e := g % cfg.Entities
+			s := truthSense[col][e]
+			vals := samples[col][e*cfg.Senses+s]
+			// Canonical value (index 0) dominates, as in real data where
+			// one spelling is most common; original sense-specific
+			// variants share the rest.
+			if rng.Float64() < 0.5 {
+				return vals[0]
+			}
+			return vals[1+rng.Intn(len(vals)-1)]
+		case col == p.familyCol:
+			// Coarse family grouping: several entities share a value, so
+			// synonym OFDs over this antecedent fail while inheritance
+			// OFDs hold through the family's is-a parent.
+			return fmt.Sprintf("%s_f%d", p.attrs[col], g%familyCount(cfg))
+		default:
+			if src, ok := p.derivedCols[col]; ok {
+				// Functionally determined by a category column (plants
+				// traditional FDs for Opt-4 and baseline comparisons).
+				idx := indexOf(p.categoryCols, src)
+				granularity := cfg.Entities * (idx + 1)
+				return fmt.Sprintf("%s_d%d", p.attrs[col], (g%granularity)%7)
+			}
+			return fmt.Sprintf("%s_n%d", p.attrs[col], rng.Intn(50))
+		}
+	}
+	return p
+}
+
+// plantOFDs builds |Σ| dependencies over category antecedents and semantic
+// consequents. Consequents repeat so OFDs interact; antecedents grow from
+// single attributes to pairs and triples as more OFDs are requested.
+func plantOFDs(schema *relation.Schema, p preset, n int) core.Set {
+	var sigma core.Set
+	cats := p.categoryCols
+	var lhsChoices []relation.AttrSet
+	for _, c := range cats {
+		lhsChoices = append(lhsChoices, relation.Single(c))
+	}
+	for i := 0; i < len(cats); i++ {
+		for j := i + 1; j < len(cats); j++ {
+			lhsChoices = append(lhsChoices, relation.Single(cats[i]).With(cats[j]))
+		}
+	}
+	for i := 0; i < len(cats); i++ {
+		for j := i + 1; j < len(cats); j++ {
+			for k := j + 1; k < len(cats); k++ {
+				lhsChoices = append(lhsChoices, relation.Single(cats[i]).With(cats[j]).With(cats[k]))
+			}
+		}
+	}
+	for i := 0; len(sigma) < n; i++ {
+		// Rotate consequents fastest so interactions appear early.
+		d := core.OFD{
+			LHS: lhsChoices[(i/len(p.semanticCols))%len(lhsChoices)],
+			RHS: p.semanticCols[i%len(p.semanticCols)],
+		}
+		if !sigma.Contains(d) {
+			sigma = append(sigma, d)
+		}
+		if i > 3*n+3*len(lhsChoices) {
+			break // schema exhausted; fewer OFDs than requested
+		}
+	}
+	return sigma
+}
+
+// injectErrors corrupts ErrRate of the consequent cells with three error
+// kinds: fresh out-of-ontology values (typos), values of a different entity
+// (semantic errors), and clustered same-entity wrong-sense bursts
+// (interpretation errors). The bursts corrupt several cells of one latent
+// group with variants of a single wrong sense — the systematic mislabeling
+// that makes sense selection harder as the error rate grows (paper Exp-7).
+func injectErrors(ds *Dataset, rng *rand.Rand, p preset) {
+	cfg := ds.cfg
+	rows := ds.Rel.NumRows()
+	// rowsOfGroup enables burst injection.
+	rowsOfGroup := make(map[int][]int)
+	for r, g := range ds.groupOf {
+		rowsOfGroup[g] = append(rowsOfGroup[g], r)
+	}
+	groups := make([]int, 0, len(rowsOfGroup))
+	for g := range rowsOfGroup {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+
+	for _, col := range p.semanticCols {
+		target := int(float64(rows) * cfg.ErrRate)
+		corrupted := make(map[int]struct{}, target)
+		corrupt := func(r int, injected string) {
+			if _, dup := corrupted[r]; dup || injected == "" {
+				return
+			}
+			orig := ds.Rel.String(r, col)
+			if injected == orig {
+				return
+			}
+			corrupted[r] = struct{}{}
+			ds.Rel.SetString(r, col, injected)
+			ds.Errors = append(ds.Errors, CellError{Row: r, Col: col, Original: orig, Injected: injected})
+		}
+		for guard := 0; len(corrupted) < target && guard < 50*target+100; guard++ {
+			switch rng.Intn(3) {
+			case 0:
+				// Fresh out-of-ontology value (typo-like).
+				r := rng.Intn(rows)
+				corrupt(r, fmt.Sprintf("%s_err%d", p.attrs[col], rng.Intn(1<<30)))
+			case 1:
+				// Value of a different entity (semantic error).
+				r := rng.Intn(rows)
+				e := ds.EntityOfRow(r)
+				other := (e + 1 + rng.Intn(cfg.Entities-1)) % cfg.Entities
+				s := rng.Intn(cfg.Senses)
+				vals := ds.sampleValues[col][other*cfg.Senses+s]
+				corrupt(r, vals[rng.Intn(len(vals))])
+			default:
+				// Clustered interpretation errors: corrupt up to 40% of one
+				// latent group's rows with variants of one wrong sense.
+				if cfg.Senses <= 1 {
+					r := rng.Intn(rows)
+					corrupt(r, fmt.Sprintf("%s_err%d", p.attrs[col], rng.Intn(1<<30)))
+					continue
+				}
+				g := groups[rng.Intn(len(groups))]
+				members := rowsOfGroup[g]
+				if len(members) == 0 {
+					continue
+				}
+				e := g % cfg.Entities
+				s := (ds.truthSenseIdx[col][e] + 1 + rng.Intn(cfg.Senses-1)) % cfg.Senses
+				vals := ds.sampleValues[col][e*cfg.Senses+s]
+				burst := 1 + rng.Intn(len(members)*2/5+1)
+				for i := 0; i < burst && len(corrupted) < target; i++ {
+					r := members[rng.Intn(len(members))]
+					// Variants only: the canonical value is shared with
+					// the truth sense and would not be an error.
+					corrupt(r, vals[1+rng.Intn(len(vals)-1)])
+				}
+			}
+		}
+	}
+}
+
+// removeValues rebuilds the ontology omitting IncRate of the distinct
+// variant values that occur in the (clean) data. An omitted value is
+// removed from EVERY class listing it, so it is genuinely absent from S
+// (the "new drug not yet certified" scenario); every removed (class, value)
+// pair is recorded as ground truth for ontology repair.
+func removeValues(ds *Dataset, rng *rand.Rand) *ontology.Ontology {
+	full := ds.FullOnt
+	// Distinct non-canonical values that occur in the data.
+	canonical := make(map[string]struct{})
+	for _, id := range full.AllClasses() {
+		canonical[full.Name(id)] = struct{}{}
+	}
+	seen := make(map[string]struct{})
+	var used []string
+	for _, col := range ds.semanticColumns() {
+		for r := 0; r < ds.CleanRel.NumRows(); r++ {
+			v := ds.CleanRel.String(r, col)
+			if _, isCanon := canonical[v]; isCanon {
+				continue
+			}
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			used = append(used, v)
+		}
+	}
+	sort.Strings(used)
+	rng.Shuffle(len(used), func(i, j int) { used[i], used[j] = used[j], used[i] })
+	k := int(float64(len(used)) * ds.cfg.IncRate)
+	omit := make(map[string]struct{}, k)
+	for _, v := range used[:k] {
+		omit[v] = struct{}{}
+		for _, cls := range full.Names(v) {
+			ds.Removals = append(ds.Removals, Removal{Class: cls, Value: v})
+		}
+	}
+	// Rebuild without the omitted values.
+	out := ontology.New()
+	for _, id := range full.AllClasses() {
+		var keep []string
+		for _, v := range full.Synonyms(id) {
+			if _, drop := omit[v]; !drop {
+				keep = append(keep, v)
+			}
+		}
+		out.MustAddClass(full.Name(id), full.Sense(id), full.Parent(id), keep...)
+	}
+	return out
+}
+
+func (ds *Dataset) semanticColumns() []int {
+	cols := make([]int, 0, len(ds.truthClass))
+	for c := range ds.truthClass {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clinical generates the clinical-trials-flavoured dataset (LinkedCT
+// substitute) with n rows and the given seed; other knobs at defaults.
+func Clinical(n int, seed int64) *Dataset {
+	return Generate(Config{Rows: n, Seed: seed, Preset: "clinical"})
+}
+
+// Kiva generates the Kiva-loans-flavoured dataset with n rows.
+func Kiva(n int, seed int64) *Dataset {
+	return Generate(Config{Rows: n, Seed: seed, Preset: "kiva"})
+}

@@ -1,0 +1,131 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+)
+
+func TestCleanDataSatisfiesPlantedOFDs(t *testing.T) {
+	for _, preset := range []string{"clinical", "kiva"} {
+		for _, numOFDs := range []int{4, 10, 30, 50} {
+			ds := Generate(Config{Rows: 500, Seed: 42, Preset: preset, NumOFDs: numOFDs})
+			if len(ds.Sigma) != numOFDs {
+				t.Fatalf("%s: planted %d OFDs, want %d", preset, len(ds.Sigma), numOFDs)
+			}
+			v := core.NewVerifier(ds.CleanRel, ds.FullOnt, nil)
+			for _, d := range ds.Sigma {
+				if !v.HoldsSyn(d) {
+					t.Errorf("%s |Σ|=%d: planted OFD %s violated on clean data",
+						preset, numOFDs, d.Format(ds.CleanRel.Schema()))
+				}
+			}
+		}
+	}
+}
+
+func TestErrorInjectionCreatesViolationsAndGroundTruth(t *testing.T) {
+	ds := Generate(Config{Rows: 400, Seed: 7, ErrRate: 0.1})
+	if len(ds.Errors) == 0 {
+		t.Fatal("no errors injected at err rate 0.1")
+	}
+	// Ground truth restores cleanliness.
+	for _, e := range ds.Errors {
+		if ds.Rel.String(e.Row, e.Col) != e.Injected {
+			t.Fatalf("error record mismatch at (%d,%d)", e.Row, e.Col)
+		}
+		if ds.CleanRel.String(e.Row, e.Col) != e.Original {
+			t.Fatalf("clean relation does not hold original at (%d,%d)", e.Row, e.Col)
+		}
+	}
+	// The dirty instance must violate at least one OFD.
+	v := core.NewVerifier(ds.Rel, ds.FullOnt, nil)
+	if v.SatisfiesAll(ds.Sigma) {
+		t.Error("dirty instance unexpectedly satisfies all OFDs")
+	}
+}
+
+func TestIncompletenessRemovalsAreTracked(t *testing.T) {
+	ds := Generate(Config{Rows: 400, Seed: 9, IncRate: 0.1})
+	if len(ds.Removals) == 0 {
+		t.Fatal("no removals at inc rate 0.1")
+	}
+	for _, r := range ds.Removals {
+		if ds.Ont.HasSynonym(r.Class, r.Value) {
+			t.Fatalf("removed value %q still in class %d", r.Value, r.Class)
+		}
+		if !ds.FullOnt.HasSynonym(r.Class, r.Value) {
+			t.Fatalf("ground-truth ontology missing removed value %q", r.Value)
+		}
+	}
+	// The incomplete ontology must break at least one OFD on clean data.
+	v := core.NewVerifier(ds.CleanRel, ds.Ont, nil)
+	if v.SatisfiesAll(ds.Sigma) {
+		t.Error("clean data satisfies all OFDs despite incomplete ontology")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Rows: 100, Seed: 5, ErrRate: 0.05, IncRate: 0.05})
+	b := Generate(Config{Rows: 100, Seed: 5, ErrRate: 0.05, IncRate: 0.05})
+	if a.Rel.NumRows() != b.Rel.NumRows() {
+		t.Fatal("row count differs")
+	}
+	for i := 0; i < a.Rel.NumRows(); i++ {
+		for c := 0; c < a.Rel.NumCols(); c++ {
+			if a.Rel.String(i, c) != b.Rel.String(i, c) {
+				t.Fatalf("cell (%d,%d) differs across runs", i, c)
+			}
+		}
+	}
+	if len(a.Errors) != len(b.Errors) || len(a.Removals) != len(b.Removals) {
+		t.Fatal("ground truth differs across runs")
+	}
+}
+
+func TestPresetsDiffer(t *testing.T) {
+	c := Clinical(50, 3)
+	k := Kiva(50, 3)
+	if c.Rel.Schema().Name(0) == k.Rel.Schema().Name(0) {
+		t.Error("presets should have different schemas")
+	}
+	if c.Rel.Schema().Len() != 15 || k.Rel.Schema().Len() != 15 {
+		t.Error("both presets should have 15 attributes like the paper's datasets")
+	}
+}
+
+func TestInheritanceSigmaHolds(t *testing.T) {
+	for _, preset := range []string{"clinical", "kiva", "census"} {
+		ds := Generate(Config{Rows: 500, Seed: 51, Preset: preset})
+		if len(ds.InhSigma) == 0 {
+			t.Fatalf("%s: no inheritance OFDs planted", preset)
+		}
+		v := core.NewVerifier(ds.CleanRel, ds.FullOnt, nil)
+		for _, d := range ds.InhSigma {
+			if !v.HoldsInh(d, ds.InhTheta) {
+				t.Errorf("%s: planted inheritance OFD %s fails at θ=%d",
+					preset, d.Format(ds.CleanRel.Schema()), ds.InhTheta)
+			}
+			if v.HoldsSyn(d) {
+				t.Errorf("%s: %s unexpectedly holds as a SYNONYM OFD (families should mix entities)",
+					preset, d.Format(ds.CleanRel.Schema()))
+			}
+		}
+	}
+}
+
+func TestCensusPreset(t *testing.T) {
+	ds := Generate(Config{Rows: 300, Seed: 52, Preset: "census", NumOFDs: 4})
+	if ds.Rel.Schema().Len() != 11 {
+		t.Fatalf("census schema has %d attributes, want 11", ds.Rel.Schema().Len())
+	}
+	if _, ok := ds.Rel.Schema().Index("OCCUP"); !ok {
+		t.Fatal("census schema missing OCCUP")
+	}
+	v := core.NewVerifier(ds.CleanRel, ds.FullOnt, nil)
+	for _, d := range ds.Sigma {
+		if !v.HoldsSyn(d) {
+			t.Errorf("census planted OFD %s violated", d.Format(ds.Rel.Schema()))
+		}
+	}
+}

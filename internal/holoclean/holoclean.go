@@ -1,0 +1,186 @@
+// Package holoclean implements the comparative baseline of the paper's
+// Exp-10/14: a HoloClean-style holistic data repair engine. Like the
+// original system it combines three signal classes — integrity constraints
+// (denial constraints derived from the dependencies, treated syntactically),
+// an external dictionary of valid values, and statistical co-occurrence
+// profiles — and repairs each noisy cell to the candidate value maximizing
+// a weighted factor score. Crucially, and deliberately, it has no notion of
+// ontological senses: syntactically different synonyms are treated as
+// errors, which is precisely the false-positive behaviour OFDClean avoids.
+package holoclean
+
+import (
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// Options weight the repair signals.
+type Options struct {
+	WCooccur float64 // co-occurrence with the antecedent value
+	WFreq    float64 // global value frequency prior
+	WDict    float64 // external dictionary membership
+	// OutlierShare is the within-class support share below which a cell is
+	// considered noisy (error detection via statistical outliers, as
+	// HoloClean's pruned-domain construction does).
+	OutlierShare float64
+	// MinTargetShare is the support the winning candidate needs before a
+	// repair is applied; classes with no dominant value are left alone.
+	MinTargetShare float64
+}
+
+// DefaultOptions mirrors HoloClean's emphasis on constraint-driven
+// co-occurrence evidence over priors, with probabilistic thresholds tuned
+// so only low-support cells in dominated classes are rewritten.
+func DefaultOptions() Options {
+	return Options{
+		WCooccur:       1.0,
+		WFreq:          0.3,
+		WDict:          0.2,
+		OutlierShare:   0.04,
+		MinTargetShare: 0.3,
+	}
+}
+
+// CellChange is one applied repair.
+type CellChange struct {
+	Row, Col int
+	From, To string
+}
+
+// Result is the output of Repair.
+type Result struct {
+	Instance *relation.Relation
+	Changes  []CellChange
+	// NoisyCells is the number of cells flagged by denial-constraint
+	// violation detection (before inference decides what to repair).
+	NoisyCells int
+}
+
+// Repair runs the baseline: detect cells violating the dependencies (read
+// as syntactic FDs / denial constraints), build candidate domains from
+// co-occurring values plus the dictionary, and repair by maximum factor
+// score. The input relation is not modified.
+func Repair(rel *relation.Relation, sigma core.Set, dictionary map[string]struct{}, opts Options) *Result {
+	work := rel.Clone()
+	res := &Result{}
+	pc := relation.NewPartitionCache(work)
+
+	// Global frequency profile per column.
+	freq := make([]map[string]int, work.NumCols())
+	for c := range freq {
+		freq[c] = make(map[string]int)
+		for r := 0; r < work.NumRows(); r++ {
+			freq[c][work.String(r, c)]++
+		}
+	}
+
+	type plannedChange struct {
+		row, col int
+		to       string
+	}
+	var plan []plannedChange
+
+	for _, d := range sigma {
+		p := pc.Get(d.LHS)
+		for _, class := range p.Classes {
+			// Denial constraint ¬(t1[X]=t2[X] ∧ t1[A]≠t2[A]): any class
+			// with >1 distinct consequent value is in violation; every
+			// minority cell is noisy.
+			counts := make(map[string]int, 4)
+			for _, t := range class {
+				counts[work.String(t, d.RHS)]++
+			}
+			if len(counts) <= 1 {
+				continue
+			}
+			// Error detection: low-support values within a violating class
+			// are noisy; out-of-dictionary values are noisy regardless of
+			// support (the external-signal shortcut HoloClean gets from
+			// reference data).
+			values := make([]string, 0, len(counts))
+			noisy := make(map[string]bool, len(counts))
+			for v := range counts {
+				values = append(values, v)
+				share := float64(counts[v]) / float64(len(class))
+				_, inDict := dictionary[v]
+				if share < opts.OutlierShare || !inDict {
+					noisy[v] = true
+				}
+			}
+			sort.Strings(values)
+			for v := range noisy {
+				res.NoisyCells += counts[v]
+			}
+			// Candidate scoring over the class's non-noisy domain.
+			score := func(v string) float64 {
+				s := opts.WCooccur * float64(counts[v]) / float64(len(class))
+				s += opts.WFreq * float64(freq[d.RHS][v]) / float64(work.NumRows())
+				if _, ok := dictionary[v]; ok {
+					s += opts.WDict
+				}
+				return s
+			}
+			bestV, bestS := "", -1.0
+			for _, v := range values {
+				if noisy[v] {
+					continue
+				}
+				if s := score(v); s > bestS {
+					bestV, bestS = v, s
+				}
+			}
+			if bestV == "" || float64(counts[bestV])/float64(len(class)) < opts.MinTargetShare {
+				continue // no dominant repair target; abstain
+			}
+			for _, t := range class {
+				cur := work.String(t, d.RHS)
+				if cur == bestV || !noisy[cur] {
+					continue
+				}
+				plan = append(plan, plannedChange{row: t, col: d.RHS, to: bestV})
+			}
+		}
+	}
+
+	// Apply the plan; when several dependencies disagree about a cell, the
+	// last writer wins (HoloClean resolves this via joint inference; the
+	// sequential application approximates it deterministically).
+	finalVal := make(map[[2]int]string, len(plan))
+	for _, ch := range plan {
+		finalVal[[2]int{ch.row, ch.col}] = ch.to
+	}
+	cells := make([][2]int, 0, len(finalVal))
+	for c := range finalVal {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i][0] != cells[j][0] {
+			return cells[i][0] < cells[j][0]
+		}
+		return cells[i][1] < cells[j][1]
+	})
+	for _, c := range cells {
+		from := work.String(c[0], c[1])
+		to := finalVal[c]
+		if from == to {
+			continue
+		}
+		work.SetString(c[0], c[1], to)
+		res.Changes = append(res.Changes, CellChange{Row: c[0], Col: c[1], From: from, To: to})
+	}
+	res.Instance = work
+	return res
+}
+
+// DictionaryFromValues builds the external-dictionary signal from any value
+// collection (e.g. every value of an ontology, flattened without senses —
+// the National Drug Code Directory analogue of the paper's setup).
+func DictionaryFromValues(values []string) map[string]struct{} {
+	out := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		out[v] = struct{}{}
+	}
+	return out
+}

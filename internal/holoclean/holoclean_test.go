@@ -1,0 +1,123 @@
+package holoclean
+
+import (
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+func TestRepairFixesObviousOutlier(t *testing.T) {
+	schema := relation.MustSchema("K", "V")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"a", "x"}, {"a", "x"}, {"a", "x"}, {"a", "x"}, {"a", "x"},
+		{"a", "x"}, {"a", "x"}, {"a", "x"}, {"a", "x"}, {"a", "x"},
+		{"a", "x"}, {"a", "x"}, {"a", "x"}, {"a", "x"}, {"a", "x"},
+		{"a", "x"}, {"a", "x"}, {"a", "x"}, {"a", "x"}, {"a", "typo"},
+	})
+	sigma := core.Set{core.MustParse(schema, "K -> V")}
+	dict := DictionaryFromValues([]string{"x"})
+	res := Repair(rel, sigma, dict, DefaultOptions())
+	if len(res.Changes) != 1 {
+		t.Fatalf("changes = %+v", res.Changes)
+	}
+	ch := res.Changes[0]
+	if ch.Row != 19 || ch.From != "typo" || ch.To != "x" {
+		t.Fatalf("wrong repair: %+v", ch)
+	}
+	if res.Instance.String(19, 1) != "x" {
+		t.Fatal("instance not updated")
+	}
+	// The input must not be modified.
+	if rel.String(19, 1) != "typo" {
+		t.Fatal("input relation modified")
+	}
+}
+
+func TestRepairAbstainsWithoutDominantTarget(t *testing.T) {
+	// Two values split 50/50: no candidate reaches MinTargetShare, so the
+	// baseline must not touch the class.
+	schema := relation.MustSchema("K", "V")
+	rows := [][]string{}
+	for i := 0; i < 10; i++ {
+		v := "x"
+		if i%2 == 0 {
+			v = "y"
+		}
+		rows = append(rows, []string{"a", v})
+	}
+	rel, _ := relation.FromRows(schema, rows)
+	sigma := core.Set{core.MustParse(schema, "K -> V")}
+	dict := DictionaryFromValues([]string{"x", "y"})
+	opts := DefaultOptions()
+	opts.MinTargetShare = 0.6
+	res := Repair(rel, sigma, dict, opts)
+	if len(res.Changes) != 0 {
+		t.Fatalf("expected abstention, got %+v", res.Changes)
+	}
+}
+
+func TestRepairTreatsOutOfDictionaryAsNoisy(t *testing.T) {
+	schema := relation.MustSchema("K", "V")
+	rows := [][]string{}
+	for i := 0; i < 8; i++ {
+		rows = append(rows, []string{"a", "x"})
+	}
+	// In-dictionary minority with decent support survives; the
+	// out-of-dictionary value with identical support does not.
+	rows = append(rows, []string{"a", "legit"}, []string{"a", "legit"},
+		[]string{"a", "bogus"}, []string{"a", "bogus"})
+	rel, _ := relation.FromRows(schema, rows)
+	sigma := core.Set{core.MustParse(schema, "K -> V")}
+	dict := DictionaryFromValues([]string{"x", "legit"})
+	res := Repair(rel, sigma, dict, DefaultOptions())
+	for _, ch := range res.Changes {
+		if ch.From == "legit" {
+			t.Fatalf("in-dictionary value with support was rewritten: %+v", ch)
+		}
+	}
+	fixedBogus := 0
+	for _, ch := range res.Changes {
+		if ch.From == "bogus" && ch.To == "x" {
+			fixedBogus++
+		}
+	}
+	if fixedBogus != 2 {
+		t.Fatalf("bogus cells fixed = %d, want 2 (%+v)", fixedBogus, res.Changes)
+	}
+}
+
+func TestRepairHasNoSenses(t *testing.T) {
+	// The defining limitation: a class of genuine synonyms with a dominant
+	// canonical value gets its rare synonyms rewritten — OFD-aware
+	// cleaning would not.
+	schema := relation.MustSchema("K", "V")
+	rows := [][]string{}
+	for i := 0; i < 30; i++ {
+		rows = append(rows, []string{"a", "USA"})
+	}
+	rows = append(rows, []string{"a", "America"}) // share 1/31 < OutlierShare
+	rel, _ := relation.FromRows(schema, rows)
+	sigma := core.Set{core.MustParse(schema, "K -> V")}
+	dict := DictionaryFromValues([]string{"USA", "America"})
+	res := Repair(rel, sigma, dict, DefaultOptions())
+	if len(res.Changes) != 1 || res.Changes[0].From != "America" {
+		t.Fatalf("expected the synonym false positive, got %+v", res.Changes)
+	}
+}
+
+func TestRepairOnGeneratedWorkloadFindsErrors(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 500, Seed: 3, ErrRate: 0.05, NumOFDs: 4})
+	var dict []string
+	for _, id := range ds.Ont.AllClasses() {
+		dict = append(dict, ds.Ont.Synonyms(id)...)
+	}
+	res := Repair(ds.Rel, ds.Sigma, DictionaryFromValues(dict), DefaultOptions())
+	if len(res.Changes) == 0 {
+		t.Fatal("no repairs on an erroneous workload")
+	}
+	if res.NoisyCells == 0 {
+		t.Fatal("no noisy cells detected")
+	}
+}

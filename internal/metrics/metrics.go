@@ -1,0 +1,127 @@
+// Package metrics evaluates repair and sense-assignment quality against the
+// ground truth recorded by the workload generators: precision, recall, and
+// F1 for data repairs, ontology repairs, and sense selection, with both
+// exact (string-equal) and semantic (synonym-equivalent) matching.
+package metrics
+
+import (
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+	"github.com/fastofd/fastofd/internal/repair"
+)
+
+// PR is a precision/recall/F1 triple.
+type PR struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// Correct / Proposed / Expected are the raw counts behind the ratios.
+	Correct, Proposed, Expected int
+}
+
+func makePR(correct, proposed, expected int) PR {
+	pr := PR{Correct: correct, Proposed: proposed, Expected: expected}
+	if proposed > 0 {
+		pr.Precision = float64(correct) / float64(proposed)
+	}
+	if expected > 0 {
+		pr.Recall = float64(correct) / float64(expected)
+	}
+	if pr.Precision+pr.Recall > 0 {
+		pr.F1 = 2 * pr.Precision * pr.Recall / (pr.Precision + pr.Recall)
+	}
+	return pr
+}
+
+// SemanticEqual reports whether two values are the same string or share an
+// interpretation in the ontology (some class contains both).
+func SemanticEqual(ont *ontology.Ontology, a, b string) bool {
+	if a == b {
+		return true
+	}
+	return len(ont.SharedSense([]string{a, b})) > 0
+}
+
+// DataRepairAccuracy scores applied cell changes against injected errors:
+// a change is correct when it lands on an injected-error cell and restores
+// a value semantically equal to the clean original (judged against the
+// complete ground-truth ontology).
+func DataRepairAccuracy(ds *gen.Dataset, changes []repair.CellChange, repaired *relation.Relation) PR {
+	type cell struct{ r, c int }
+	truth := make(map[cell]string, len(ds.Errors))
+	for _, e := range ds.Errors {
+		truth[cell{e.Row, e.Col}] = e.Original
+	}
+	// Net effect per cell (later changes win).
+	final := make(map[cell]string, len(changes))
+	for _, ch := range changes {
+		final[cell{ch.Row, ch.Col}] = ch.To
+	}
+	correct := 0
+	for c, to := range final {
+		orig, isErr := truth[c]
+		if isErr && SemanticEqual(ds.FullOnt, to, orig) {
+			correct++
+		}
+	}
+	return makePR(correct, len(final), len(ds.Errors))
+}
+
+// OntologyRepairAccuracy scores applied ontology additions against the
+// values the generator omitted. A change is correct when it re-adds an
+// omitted value to one of its original classes (precision); a removed
+// value counts as recovered when at least one correct addition restores it
+// (recall over distinct removed values).
+func OntologyRepairAccuracy(ds *gen.Dataset, changes []repair.OntChange) PR {
+	truth := make(map[gen.Removal]struct{}, len(ds.Removals))
+	removedValues := make(map[string]struct{})
+	for _, r := range ds.Removals {
+		truth[r] = struct{}{}
+		removedValues[r.Value] = struct{}{}
+	}
+	correct := 0
+	recovered := make(map[string]struct{})
+	for _, ch := range changes {
+		if _, ok := truth[gen.Removal{Class: ch.Class, Value: ch.Value}]; ok {
+			correct++
+			recovered[ch.Value] = struct{}{}
+		}
+	}
+	pr := makePR(correct, len(changes), len(removedValues))
+	pr.Correct = correct
+	if len(removedValues) > 0 {
+		pr.Recall = float64(len(recovered)) / float64(len(removedValues))
+	}
+	if pr.Precision+pr.Recall > 0 {
+		pr.F1 = 2 * pr.Precision * pr.Recall / (pr.Precision + pr.Recall)
+	}
+	return pr
+}
+
+// SenseAccuracy scores the sense assignment: an equivalence class is
+// correctly interpreted when its assigned ontology class is the exact
+// generating class of (consequent column, latent entity). Classes keyed by
+// an OFD index outside Σ are ignored. Recall counts all classes (the
+// algorithm assigns every class, so recall differs from precision only when
+// assignment abstains with NoClass).
+func SenseAccuracy(ds *gen.Dataset, assignment repair.Assignment) PR {
+	correct, assigned, total := 0, 0, 0
+	for key, cls := range assignment {
+		if key.OFD < 0 || key.OFD >= len(ds.Sigma) {
+			continue
+		}
+		total++
+		if cls == ontology.NoClass {
+			continue
+		}
+		assigned++
+		col := ds.Sigma[key.OFD].RHS
+		entity := ds.EntityOfRow(key.Rep)
+		truth, ok := ds.TruthClass(col, entity)
+		if ok && truth == cls {
+			correct++
+		}
+	}
+	return makePR(correct, assigned, total)
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/repair"
+)
+
+func TestMakePRMath(t *testing.T) {
+	pr := makePR(3, 4, 6)
+	if math.Abs(pr.Precision-0.75) > 1e-9 || math.Abs(pr.Recall-0.5) > 1e-9 {
+		t.Fatalf("PR = %+v", pr)
+	}
+	wantF1 := 2 * 0.75 * 0.5 / (0.75 + 0.5)
+	if math.Abs(pr.F1-wantF1) > 1e-9 {
+		t.Fatalf("F1 = %v, want %v", pr.F1, wantF1)
+	}
+	zero := makePR(0, 0, 0)
+	if zero.Precision != 0 || zero.Recall != 0 || zero.F1 != 0 {
+		t.Fatalf("zero PR = %+v", zero)
+	}
+}
+
+func TestSemanticEqual(t *testing.T) {
+	o := ontology.New()
+	o.MustAddClass("diltiazem", "FDA", ontology.NoClass, "cartia", "tiazac")
+	if !SemanticEqual(o, "cartia", "cartia") {
+		t.Fatal("identity")
+	}
+	if !SemanticEqual(o, "cartia", "tiazac") {
+		t.Fatal("synonyms")
+	}
+	if SemanticEqual(o, "cartia", "aspirin") {
+		t.Fatal("non-synonyms")
+	}
+}
+
+func TestDataRepairAccuracyCounting(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 300, Seed: 5, ErrRate: 0.05, NumOFDs: 4})
+	// Perfect repair: restore every error cell to its original value.
+	var changes []repair.CellChange
+	for _, e := range ds.Errors {
+		changes = append(changes, repair.CellChange{Row: e.Row, Col: e.Col, From: e.Injected, To: e.Original})
+	}
+	pr := DataRepairAccuracy(ds, changes, nil)
+	if pr.Precision != 1 || pr.Recall != 1 {
+		t.Fatalf("perfect repair scored %+v", pr)
+	}
+	// A spurious change on a clean cell lowers precision, not recall.
+	spurious := append(changes, repair.CellChange{Row: 0, Col: 0, From: "a", To: "b"})
+	pr2 := DataRepairAccuracy(ds, spurious, nil)
+	if pr2.Precision >= 1 || pr2.Recall != 1 {
+		t.Fatalf("spurious change scored %+v", pr2)
+	}
+	// No changes: zero recall and precision.
+	pr3 := DataRepairAccuracy(ds, nil, nil)
+	if pr3.Precision != 0 || pr3.Recall != 0 {
+		t.Fatalf("empty repair scored %+v", pr3)
+	}
+}
+
+func TestDataRepairAccuracyAcceptsSemanticMatches(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 300, Seed: 6, ErrRate: 0.05, NumOFDs: 4})
+	// Repair every error cell to a SYNONYM of the original (the class's
+	// canonical value) rather than the exact string.
+	var changes []repair.CellChange
+	for _, e := range ds.Errors {
+		names := ds.FullOnt.Names(e.Original)
+		if len(names) == 0 {
+			changes = append(changes, repair.CellChange{Row: e.Row, Col: e.Col, To: e.Original})
+			continue
+		}
+		changes = append(changes, repair.CellChange{Row: e.Row, Col: e.Col, To: ds.FullOnt.Name(names[0])})
+	}
+	pr := DataRepairAccuracy(ds, changes, nil)
+	if pr.Precision != 1 || pr.Recall != 1 {
+		t.Fatalf("semantic repair scored %+v", pr)
+	}
+}
+
+func TestOntologyRepairAccuracy(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 400, Seed: 7, IncRate: 0.1, NumOFDs: 4})
+	if len(ds.Removals) == 0 {
+		t.Skip("no removals at this configuration")
+	}
+	// Re-add every removed pair: perfect score.
+	var changes []repair.OntChange
+	for _, r := range ds.Removals {
+		changes = append(changes, repair.OntChange{Class: r.Class, Value: r.Value})
+	}
+	pr := OntologyRepairAccuracy(ds, changes)
+	if pr.Precision != 1 || pr.Recall != 1 {
+		t.Fatalf("perfect ontology repair scored %+v", pr)
+	}
+	// Adding to a wrong class is imprecise.
+	wrong := []repair.OntChange{{Class: ds.Removals[0].Class + 1, Value: "nonsense"}}
+	pr2 := OntologyRepairAccuracy(ds, wrong)
+	if pr2.Precision != 0 || pr2.Recall != 0 {
+		t.Fatalf("wrong ontology repair scored %+v", pr2)
+	}
+}
+
+func TestSenseAccuracyPerfectAssignment(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 400, Seed: 8, NumOFDs: 4})
+	// Construct the ground-truth assignment directly.
+	assignment := make(repair.Assignment)
+	// Use the cleaner's own class enumeration via a quick Clean run, then
+	// overwrite each class with its ground truth.
+	res, err := repair.Clean(ds.Rel, ds.FullOnt, ds.Sigma, repair.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := range res.Assignment {
+		col := ds.Sigma[key.OFD].RHS
+		truth, ok := ds.TruthClass(col, ds.EntityOfRow(key.Rep))
+		if !ok {
+			t.Fatalf("no truth class for key %+v", key)
+		}
+		assignment[key] = truth
+	}
+	pr := SenseAccuracy(ds, assignment)
+	if pr.Precision != 1 || pr.Recall != 1 {
+		t.Fatalf("ground-truth assignment scored %+v", pr)
+	}
+	// NoClass assignments count against recall but not precision.
+	for key := range assignment {
+		assignment[key] = ontology.NoClass
+		break
+	}
+	pr2 := SenseAccuracy(ds, assignment)
+	if pr2.Precision != 1 || pr2.Recall >= 1 {
+		t.Fatalf("abstaining assignment scored %+v", pr2)
+	}
+}

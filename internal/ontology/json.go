@@ -1,0 +1,80 @@
+package ontology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonClass is the serialized form of one class.
+type jsonClass struct {
+	Name     string   `json:"name"`
+	Sense    string   `json:"sense"`
+	Parent   int32    `json:"parent"` // -1 for roots
+	Synonyms []string `json:"synonyms"`
+}
+
+type jsonOntology struct {
+	Classes []jsonClass `json:"classes"`
+}
+
+// WriteJSON serializes the ontology. Repairs already applied are serialized
+// as ordinary synonyms; the repair counter is not persisted.
+func WriteJSON(w io.Writer, o *Ontology) error {
+	doc := jsonOntology{Classes: make([]jsonClass, len(o.classes))}
+	for i, c := range o.classes {
+		doc.Classes[i] = jsonClass{
+			Name:     c.name,
+			Sense:    c.sense,
+			Parent:   int32(c.parent),
+			Synonyms: c.synonyms,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses an ontology serialized by WriteJSON. Parents must precede
+// children in the class list.
+func ReadJSON(r io.Reader) (*Ontology, error) {
+	var doc jsonOntology
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("ontology: decoding JSON: %w", err)
+	}
+	o := New()
+	for i, c := range doc.Classes {
+		parent := ClassID(c.Parent)
+		if parent != NoClass && int(parent) >= i {
+			return nil, fmt.Errorf("ontology: class %d references parent %d not yet defined", i, parent)
+		}
+		if _, err := o.AddClass(c.Name, c.Sense, parent, c.Synonyms...); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// ReadJSONFile parses an ontology from the named file.
+func ReadJSONFile(path string) (*Ontology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// WriteJSONFile serializes the ontology to the named file.
+func WriteJSONFile(path string, o *Ontology) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, o); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,300 @@
+// Package ontology implements the sense-annotated, tree-shaped ontology
+// model from the paper. An ontology is a forest of classes; each class E
+// carries a set of synonym values (synonyms(E)), belongs to a named sense
+// (interpretation, e.g. "FDA" vs "MoH"), and may have is-a children.
+// names(v) is the set of classes whose synonym set contains value v —
+// the lookup at the heart of synonym-OFD verification.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ClassID identifies a class (concept) within one Ontology. IDs are dense
+// and stable for the lifetime of the ontology; repairs append, never remove.
+type ClassID int32
+
+// NoClass is the invalid/absent ClassID (used for root parents).
+const NoClass ClassID = -1
+
+type class struct {
+	name     string // canonical value representing the class
+	sense    string // interpretation under which the class is defined
+	parent   ClassID
+	children []ClassID
+	synonyms []string // includes name; sorted for determinism
+	added    int      // number of synonyms inserted by repairs
+}
+
+// Ontology is a mutable sense-annotated ontology. The zero value is not
+// usable; construct with New or a Builder.
+type Ontology struct {
+	classes []class
+	names   map[string][]ClassID // value -> classes containing it
+	senses  map[string][]ClassID // sense -> classes defined under it
+	repairs int                  // total values added by repairs (dist(S, S'))
+}
+
+// New returns an empty ontology.
+func New() *Ontology {
+	return &Ontology{
+		names:  make(map[string][]ClassID),
+		senses: make(map[string][]ClassID),
+	}
+}
+
+// AddClass creates a class with a canonical name, a sense label, an optional
+// parent (NoClass for a root), and synonym values. The canonical name is
+// always a member of the synonym set.
+func (o *Ontology) AddClass(name, sense string, parent ClassID, synonyms ...string) (ClassID, error) {
+	if name == "" {
+		return NoClass, fmt.Errorf("ontology: class needs a name")
+	}
+	if parent != NoClass && (int(parent) < 0 || int(parent) >= len(o.classes)) {
+		return NoClass, fmt.Errorf("ontology: parent %d out of range", parent)
+	}
+	id := ClassID(len(o.classes))
+	syn := map[string]struct{}{name: {}}
+	for _, s := range synonyms {
+		if s != "" {
+			syn[s] = struct{}{}
+		}
+	}
+	list := make([]string, 0, len(syn))
+	for s := range syn {
+		list = append(list, s)
+	}
+	sort.Strings(list)
+	o.classes = append(o.classes, class{name: name, sense: sense, parent: parent, synonyms: list})
+	for _, s := range list {
+		o.names[s] = append(o.names[s], id)
+	}
+	o.senses[sense] = append(o.senses[sense], id)
+	if parent != NoClass {
+		o.classes[parent].children = append(o.classes[parent].children, id)
+	}
+	return id, nil
+}
+
+// MustAddClass is AddClass that panics on error.
+func (o *Ontology) MustAddClass(name, sense string, parent ClassID, synonyms ...string) ClassID {
+	id, err := o.AddClass(name, sense, parent, synonyms...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// NumClasses returns the number of classes.
+func (o *Ontology) NumClasses() int { return len(o.classes) }
+
+// Name returns the canonical value of class id.
+func (o *Ontology) Name(id ClassID) string { return o.classes[id].name }
+
+// Sense returns the sense label of class id.
+func (o *Ontology) Sense(id ClassID) string { return o.classes[id].sense }
+
+// Parent returns the parent of class id, or NoClass.
+func (o *Ontology) Parent(id ClassID) ClassID { return o.classes[id].parent }
+
+// Children returns the is-a children of class id.
+func (o *Ontology) Children(id ClassID) []ClassID {
+	return append([]ClassID(nil), o.classes[id].children...)
+}
+
+// Synonyms returns synonyms(E): all values of class id, sorted.
+func (o *Ontology) Synonyms(id ClassID) []string {
+	return append([]string(nil), o.classes[id].synonyms...)
+}
+
+// NumSynonyms returns |synonyms(E)| without copying.
+func (o *Ontology) NumSynonyms(id ClassID) int { return len(o.classes[id].synonyms) }
+
+// HasSynonym reports whether value v belongs to class id.
+func (o *Ontology) HasSynonym(id ClassID, v string) bool {
+	syn := o.classes[id].synonyms
+	i := sort.SearchStrings(syn, v)
+	return i < len(syn) && syn[i] == v
+}
+
+// Names returns names(v): the classes whose synonym set contains v, in
+// insertion order. The returned slice must not be modified.
+func (o *Ontology) Names(v string) []ClassID { return o.names[v] }
+
+// Contains reports whether value v appears anywhere in the ontology.
+func (o *Ontology) Contains(v string) bool { return len(o.names[v]) > 0 }
+
+// SenseLabels returns all distinct sense labels, sorted.
+func (o *Ontology) SenseLabels() []string {
+	out := make([]string, 0, len(o.senses))
+	for s := range o.senses {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassesOfSense returns the classes defined under sense label s.
+func (o *Ontology) ClassesOfSense(s string) []ClassID {
+	return append([]ClassID(nil), o.senses[s]...)
+}
+
+// AllClasses returns every ClassID in id order.
+func (o *Ontology) AllClasses() []ClassID {
+	out := make([]ClassID, len(o.classes))
+	for i := range out {
+		out[i] = ClassID(i)
+	}
+	return out
+}
+
+// Descendants returns descendants(E): every value of class id or any class
+// below it in the is-a tree (the paper's Definition of descendants).
+func (o *Ontology) Descendants(id ClassID) []string {
+	var out []string
+	var walk func(ClassID)
+	walk = func(c ClassID) {
+		out = append(out, o.classes[c].synonyms...)
+		for _, ch := range o.classes[c].children {
+			walk(ch)
+		}
+	}
+	walk(id)
+	sort.Strings(out)
+	return out
+}
+
+// IsAncestor reports whether a is an ancestor of (or equal to) b.
+func (o *Ontology) IsAncestor(a, b ClassID) bool {
+	for c := b; c != NoClass; c = o.classes[c].parent {
+		if c == a {
+			return true
+		}
+	}
+	return false
+}
+
+// LCA returns the least common ancestor of a and b, or NoClass if they are
+// in different trees. Used by inheritance-OFD verification.
+func (o *Ontology) LCA(a, b ClassID) ClassID {
+	depth := func(c ClassID) int {
+		d := 0
+		for x := c; x != NoClass; x = o.classes[x].parent {
+			d++
+		}
+		return d
+	}
+	da, db := depth(a), depth(b)
+	for da > db {
+		a, da = o.classes[a].parent, da-1
+	}
+	for db > da {
+		b, db = o.classes[b].parent, db-1
+	}
+	for a != b {
+		if a == NoClass || b == NoClass {
+			return NoClass
+		}
+		a, b = o.classes[a].parent, o.classes[b].parent
+	}
+	return a
+}
+
+// PathLen returns the number of is-a edges between a descendant class c and
+// its ancestor anc; -1 if anc is not an ancestor of c.
+func (o *Ontology) PathLen(anc, c ClassID) int {
+	d := 0
+	for x := c; x != NoClass; x = o.classes[x].parent {
+		if x == anc {
+			return d
+		}
+		d++
+	}
+	return -1
+}
+
+// AddValue performs an ontology repair: insert value v into class id under
+// its sense. It is a no-op if v is already a synonym of the class. Returns
+// whether the ontology changed.
+func (o *Ontology) AddValue(id ClassID, v string) bool {
+	if v == "" || o.HasSynonym(id, v) {
+		return false
+	}
+	c := &o.classes[id]
+	c.synonyms = append(c.synonyms, v)
+	sort.Strings(c.synonyms)
+	c.added++
+	o.names[v] = append(o.names[v], id)
+	o.repairs++
+	return true
+}
+
+// RepairDistance returns dist(S, S'): the number of values added by repairs
+// since construction (or since the Clone this ontology was made from).
+func (o *Ontology) RepairDistance() int { return o.repairs }
+
+// ResetRepairDistance zeroes the repair counter, marking the current state
+// as the new baseline S.
+func (o *Ontology) ResetRepairDistance() {
+	o.repairs = 0
+	for i := range o.classes {
+		o.classes[i].added = 0
+	}
+}
+
+// Clone returns a deep copy with the repair counter reset, so that
+// dist(S, S') of the copy counts only changes made after cloning.
+func (o *Ontology) Clone() *Ontology {
+	c := &Ontology{
+		classes: make([]class, len(o.classes)),
+		names:   make(map[string][]ClassID, len(o.names)),
+		senses:  make(map[string][]ClassID, len(o.senses)),
+	}
+	for i, cl := range o.classes {
+		c.classes[i] = class{
+			name:     cl.name,
+			sense:    cl.sense,
+			parent:   cl.parent,
+			children: append([]ClassID(nil), cl.children...),
+			synonyms: append([]string(nil), cl.synonyms...),
+		}
+	}
+	for v, ids := range o.names {
+		c.names[v] = append([]ClassID(nil), ids...)
+	}
+	for s, ids := range o.senses {
+		c.senses[s] = append([]ClassID(nil), ids...)
+	}
+	return c
+}
+
+// SharedSense returns the classes common to every value in vals — the
+// intersection ∩ names(v). An empty result means no single interpretation
+// covers all the values. A nil vals slice yields nil.
+func (o *Ontology) SharedSense(vals []string) []ClassID {
+	if len(vals) == 0 {
+		return nil
+	}
+	count := make(map[ClassID]int)
+	seen := make(map[string]struct{}, len(vals))
+	distinct := 0
+	for _, v := range vals {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		distinct++
+		for _, id := range o.names[v] {
+			count[id]++
+		}
+	}
+	var out []ClassID
+	for id, c := range count {
+		if c == distinct {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,192 @@
+package ontology
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// buildJaguar constructs the paper's motivating "jaguar" ontology: the
+// value jaguar is an animal under one sense and a vehicle under another.
+func buildJaguar(t *testing.T) (*Ontology, ClassID, ClassID, ClassID) {
+	t.Helper()
+	o := New()
+	vehicle := o.MustAddClass("vehicle", "AUTO", NoClass, "car", "auto")
+	jagCar := o.MustAddClass("jaguar land rover", "AUTO", vehicle, "jaguar")
+	animal := o.MustAddClass("panthera onca", "ZOO", NoClass, "jaguar")
+	o.MustAddClass("peruvian jaguar", "ZOO", animal)
+	o.MustAddClass("mexican jaguar", "ZOO", animal)
+	return o, vehicle, jagCar, animal
+}
+
+func TestNamesAndSynonyms(t *testing.T) {
+	o, _, jagCar, animal := buildJaguar(t)
+	names := o.Names("jaguar")
+	if len(names) != 2 {
+		t.Fatalf("names(jaguar) = %v", names)
+	}
+	if names[0] != jagCar || names[1] != animal {
+		t.Fatalf("names order: %v", names)
+	}
+	if !o.HasSynonym(animal, "jaguar") || o.HasSynonym(animal, "car") {
+		t.Fatal("HasSynonym wrong")
+	}
+	if got := o.Synonyms(jagCar); !reflect.DeepEqual(got, []string{"jaguar", "jaguar land rover"}) {
+		t.Fatalf("synonyms = %v", got)
+	}
+	if !o.Contains("auto") || o.Contains("bicycle") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestDescendantsAndTree(t *testing.T) {
+	o, vehicle, jagCar, animal := buildJaguar(t)
+	desc := o.Descendants(animal)
+	want := []string{"jaguar", "mexican jaguar", "panthera onca", "peruvian jaguar"}
+	if !reflect.DeepEqual(desc, want) {
+		t.Fatalf("descendants = %v", desc)
+	}
+	if !o.IsAncestor(vehicle, jagCar) || o.IsAncestor(jagCar, vehicle) {
+		t.Fatal("ancestry wrong")
+	}
+	if o.Parent(jagCar) != vehicle || o.Parent(vehicle) != NoClass {
+		t.Fatal("parents wrong")
+	}
+	if got := o.Children(animal); len(got) != 2 {
+		t.Fatalf("children = %v", got)
+	}
+}
+
+func TestLCAAndPathLen(t *testing.T) {
+	o := New()
+	root := o.MustAddClass("root", "S", NoClass)
+	a := o.MustAddClass("a", "S", root)
+	b := o.MustAddClass("b", "S", root)
+	aa := o.MustAddClass("aa", "S", a)
+	if got := o.LCA(aa, b); got != root {
+		t.Fatalf("LCA(aa,b) = %d", got)
+	}
+	if got := o.LCA(aa, a); got != a {
+		t.Fatalf("LCA(aa,a) = %d", got)
+	}
+	other := o.MustAddClass("island", "S", NoClass)
+	if got := o.LCA(aa, other); got != NoClass {
+		t.Fatalf("LCA across trees = %d", got)
+	}
+	if o.PathLen(root, aa) != 2 || o.PathLen(aa, root) != -1 || o.PathLen(a, a) != 0 {
+		t.Fatal("PathLen wrong")
+	}
+}
+
+func TestSharedSense(t *testing.T) {
+	o := New()
+	fda := o.MustAddClass("diltiazem", "FDA", NoClass, "cartia", "tiazac")
+	moh := o.MustAddClass("aspirin", "MoH", NoClass, "cartia", "ASA")
+	if got := o.SharedSense([]string{"cartia", "tiazac"}); len(got) != 1 || got[0] != fda {
+		t.Fatalf("SharedSense(cartia,tiazac) = %v", got)
+	}
+	if got := o.SharedSense([]string{"cartia", "ASA"}); len(got) != 1 || got[0] != moh {
+		t.Fatalf("SharedSense(cartia,ASA) = %v", got)
+	}
+	if got := o.SharedSense([]string{"tiazac", "ASA"}); got != nil {
+		t.Fatalf("SharedSense(tiazac,ASA) = %v, want none", got)
+	}
+	// Duplicates must not break the intersection count.
+	if got := o.SharedSense([]string{"cartia", "cartia", "tiazac"}); len(got) != 1 {
+		t.Fatalf("SharedSense with dups = %v", got)
+	}
+	if got := o.SharedSense(nil); got != nil {
+		t.Fatalf("SharedSense(nil) = %v", got)
+	}
+}
+
+func TestAddValueRepair(t *testing.T) {
+	o := New()
+	fda := o.MustAddClass("diltiazem", "FDA", NoClass, "cartia", "tiazac")
+	if o.RepairDistance() != 0 {
+		t.Fatal("fresh ontology has repairs")
+	}
+	if !o.AddValue(fda, "adizem") {
+		t.Fatal("AddValue should change the ontology")
+	}
+	if o.AddValue(fda, "adizem") {
+		t.Fatal("second AddValue should be a no-op")
+	}
+	if o.RepairDistance() != 1 {
+		t.Fatalf("repair distance = %d", o.RepairDistance())
+	}
+	if !o.HasSynonym(fda, "adizem") || len(o.Names("adizem")) != 1 {
+		t.Fatal("added value not indexed")
+	}
+	o.ResetRepairDistance()
+	if o.RepairDistance() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	o, _, jagCar, _ := buildJaguar(t)
+	c := o.Clone()
+	c.AddValue(jagCar, "xj220")
+	if o.Contains("xj220") {
+		t.Fatal("clone mutation leaked")
+	}
+	if c.RepairDistance() != 1 || o.RepairDistance() != 0 {
+		t.Fatal("repair counters wrong after clone")
+	}
+}
+
+func TestSenseLabels(t *testing.T) {
+	o, _, _, _ := buildJaguar(t)
+	if got := o.SenseLabels(); !reflect.DeepEqual(got, []string{"AUTO", "ZOO"}) {
+		t.Fatalf("labels = %v", got)
+	}
+	if got := o.ClassesOfSense("ZOO"); len(got) != 3 {
+		t.Fatalf("ZOO classes = %v", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	o, _, _, _ := buildJaguar(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumClasses() != o.NumClasses() {
+		t.Fatalf("class count %d vs %d", back.NumClasses(), o.NumClasses())
+	}
+	for _, id := range o.AllClasses() {
+		if !reflect.DeepEqual(back.Synonyms(id), o.Synonyms(id)) {
+			t.Fatalf("class %d synonyms differ", id)
+		}
+		if back.Sense(id) != o.Sense(id) || back.Parent(id) != o.Parent(id) {
+			t.Fatalf("class %d metadata differs", id)
+		}
+	}
+}
+
+func TestJSONForwardReferenceRejected(t *testing.T) {
+	payload := `{"classes":[{"name":"a","sense":"S","parent":5,"synonyms":[]}]}`
+	if _, err := ReadJSON(bytes.NewBufferString(payload)); err == nil {
+		t.Fatal("forward parent reference should error")
+	}
+}
+
+func TestAddClassValidation(t *testing.T) {
+	o := New()
+	if _, err := o.AddClass("", "S", NoClass); err == nil {
+		t.Error("empty name should error")
+	}
+	if _, err := o.AddClass("x", "S", ClassID(42)); err == nil {
+		t.Error("bad parent should error")
+	}
+	// Canonical name is always a synonym; empty synonyms are dropped.
+	id := o.MustAddClass("x", "S", NoClass, "", "y")
+	if got := o.Synonyms(id); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("synonyms = %v", got)
+	}
+}

@@ -1,0 +1,129 @@
+// Package profile computes single-column and schema-level statistics of a
+// relation — the data-profiling substrate that dependency discovery and
+// statistical repair build on: cardinalities, frequency distributions,
+// key/constant detection, entropy, and ontology coverage.
+package profile
+
+import (
+	"math"
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// ValueFreq is one value with its occurrence count.
+type ValueFreq struct {
+	Value string
+	Count int
+}
+
+// Column summarizes one attribute.
+type Column struct {
+	Name     string
+	Index    int
+	Distinct int
+	// IsKey reports whether every value is unique (a unique column key).
+	IsKey bool
+	// IsConstant reports whether at most one distinct value occurs.
+	IsConstant bool
+	// Entropy is the Shannon entropy of the value distribution in bits.
+	Entropy float64
+	// TopValues holds the most frequent values, descending, capped.
+	TopValues []ValueFreq
+	// Coverage is the fraction of cells whose value appears in the
+	// ontology (0 when profiled without one). The paper requires ≥90%
+	// coverage on consequent attributes for OFDs to be useful.
+	Coverage float64
+	// MultiSense is the fraction of cells whose value has MORE than one
+	// interpretation (|names(v)| > 1) — the sense-ambiguity measure.
+	MultiSense float64
+}
+
+// Profile summarizes a relation.
+type Profile struct {
+	Rows    int
+	Columns []Column
+}
+
+// TopK bounds the per-column most-frequent-value list.
+const TopK = 10
+
+// Relation profiles every column of rel; ont may be nil.
+func Relation(rel *relation.Relation, ont *ontology.Ontology) *Profile {
+	p := &Profile{Rows: rel.NumRows(), Columns: make([]Column, rel.NumCols())}
+	for c := 0; c < rel.NumCols(); c++ {
+		p.Columns[c] = column(rel, ont, c)
+	}
+	return p
+}
+
+func column(rel *relation.Relation, ont *ontology.Ontology, c int) Column {
+	n := rel.NumRows()
+	col := Column{Name: rel.Schema().Name(c), Index: c}
+	counts := make(map[relation.Value]int)
+	for _, v := range rel.Column(c) {
+		counts[v]++
+	}
+	col.Distinct = len(counts)
+	col.IsKey = n > 0 && col.Distinct == n
+	col.IsConstant = col.Distinct <= 1
+
+	dict := rel.Dict(c)
+	freqs := make([]ValueFreq, 0, len(counts))
+	covered, multi := 0, 0
+	for v, cnt := range counts {
+		s := dict.String(v)
+		freqs = append(freqs, ValueFreq{Value: s, Count: cnt})
+		if ont != nil {
+			if names := ont.Names(s); len(names) > 0 {
+				covered += cnt
+				if len(names) > 1 {
+					multi += cnt
+				}
+			}
+		}
+		if cnt > 0 && n > 0 {
+			pr := float64(cnt) / float64(n)
+			col.Entropy -= pr * math.Log2(pr)
+		}
+	}
+	sort.Slice(freqs, func(i, j int) bool {
+		if freqs[i].Count != freqs[j].Count {
+			return freqs[i].Count > freqs[j].Count
+		}
+		return freqs[i].Value < freqs[j].Value
+	})
+	if len(freqs) > TopK {
+		freqs = freqs[:TopK]
+	}
+	col.TopValues = freqs
+	if ont != nil && n > 0 {
+		col.Coverage = float64(covered) / float64(n)
+		col.MultiSense = float64(multi) / float64(n)
+	}
+	return col
+}
+
+// Keys returns the indexes of unique-valued columns.
+func (p *Profile) Keys() []int {
+	var out []int
+	for _, c := range p.Columns {
+		if c.IsKey {
+			out = append(out, c.Index)
+		}
+	}
+	return out
+}
+
+// OntologyBacked returns the indexes of columns whose ontology coverage
+// meets the threshold — the candidates for meaningful OFD consequents.
+func (p *Profile) OntologyBacked(minCoverage float64) []int {
+	var out []int
+	for _, c := range p.Columns {
+		if c.Coverage >= minCoverage {
+			out = append(out, c.Index)
+		}
+	}
+	return out
+}

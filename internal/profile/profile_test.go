@@ -1,0 +1,97 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+func TestColumnStatistics(t *testing.T) {
+	schema := relation.MustSchema("ID", "CONST", "VAL")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"1", "k", "a"},
+		{"2", "k", "a"},
+		{"3", "k", "b"},
+		{"4", "k", "b"},
+	})
+	p := Relation(rel, nil)
+	if p.Rows != 4 || len(p.Columns) != 3 {
+		t.Fatalf("profile shape wrong: %+v", p)
+	}
+	id, konst, val := p.Columns[0], p.Columns[1], p.Columns[2]
+	if !id.IsKey || id.Distinct != 4 {
+		t.Errorf("ID should be a key: %+v", id)
+	}
+	if !konst.IsConstant || konst.Entropy != 0 {
+		t.Errorf("CONST should be constant with zero entropy: %+v", konst)
+	}
+	if val.IsKey || val.IsConstant || val.Distinct != 2 {
+		t.Errorf("VAL stats wrong: %+v", val)
+	}
+	if math.Abs(val.Entropy-1.0) > 1e-9 { // 50/50 split = 1 bit
+		t.Errorf("VAL entropy = %v, want 1", val.Entropy)
+	}
+	if len(val.TopValues) != 2 || val.TopValues[0].Count != 2 {
+		t.Errorf("top values wrong: %+v", val.TopValues)
+	}
+	if got := p.Keys(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Keys = %v", got)
+	}
+}
+
+func TestOntologyCoverage(t *testing.T) {
+	schema := relation.MustSchema("MED")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"cartia"}, {"tiazac"}, {"cartia"}, {"mystery"},
+	})
+	o := ontology.New()
+	o.MustAddClass("diltiazem", "FDA", ontology.NoClass, "cartia", "tiazac")
+	o.MustAddClass("aspirin", "MoH", ontology.NoClass, "cartia")
+	p := Relation(rel, o)
+	med := p.Columns[0]
+	if math.Abs(med.Coverage-0.75) > 1e-9 {
+		t.Errorf("coverage = %v, want 0.75", med.Coverage)
+	}
+	// cartia appears twice and has two senses → multi-sense share 2/4.
+	if math.Abs(med.MultiSense-0.5) > 1e-9 {
+		t.Errorf("multi-sense = %v, want 0.5", med.MultiSense)
+	}
+	if got := p.OntologyBacked(0.7); len(got) != 1 {
+		t.Errorf("OntologyBacked = %v", got)
+	}
+	if got := p.OntologyBacked(0.9); len(got) != 0 {
+		t.Errorf("OntologyBacked(0.9) = %v", got)
+	}
+}
+
+func TestGeneratedWorkloadCoverage(t *testing.T) {
+	// The generator's semantic columns must be ontology-backed ≥90% (the
+	// paper's coverage requirement) and the rest must not be.
+	ds := gen.Clinical(500, 3)
+	p := Relation(ds.CleanRel, ds.FullOnt)
+	backed := p.OntologyBacked(0.9)
+	if len(backed) != len(ds.SemanticCols()) {
+		t.Fatalf("backed columns %v, want %v", backed, ds.SemanticCols())
+	}
+	for i, c := range backed {
+		if c != ds.SemanticCols()[i] {
+			t.Fatalf("backed columns %v, want %v", backed, ds.SemanticCols())
+		}
+	}
+	// Keys: NCTID unique.
+	if keys := p.Keys(); len(keys) == 0 || keys[0] != 0 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	rel := relation.New(relation.MustSchema("A"))
+	p := Relation(rel, nil)
+	c := p.Columns[0]
+	if c.IsKey || !c.IsConstant || c.Entropy != 0 || c.Coverage != 0 {
+		t.Errorf("empty column stats: %+v", c)
+	}
+}

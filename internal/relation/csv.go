@@ -1,0 +1,75 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV parses a relation from CSV with a header row naming the attributes.
+func ReadCSV(r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	schema, err := NewSchema(append([]string(nil), header...)...)
+	if err != nil {
+		return nil, err
+	}
+	rel := New(schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV row: %w", err)
+		}
+		if len(rec) != schema.Len() {
+			return nil, fmt.Errorf("relation: CSV row has %d cells, want %d", len(rec), schema.Len())
+		}
+		rel.AppendRow(rec)
+	}
+	return rel, nil
+}
+
+// ReadCSVFile parses a relation from the named CSV file.
+func ReadCSVFile(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// WriteCSV serializes the relation as CSV with a header row.
+func WriteCSV(w io.Writer, rel *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rel.Schema().Names()); err != nil {
+		return err
+	}
+	for i := 0; i < rel.NumRows(); i++ {
+		if err := cw.Write(rel.Row(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile serializes the relation to the named file.
+func WriteCSVFile(path string, rel *Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, rel); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

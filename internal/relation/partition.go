@@ -1,0 +1,271 @@
+package relation
+
+import (
+	"sort"
+)
+
+// Partition is the set of equivalence classes Π_X of tuples agreeing on an
+// attribute set X. A stripped partition Π*_X omits singleton classes, which
+// can never violate a dependency X → A (Lemma 6 of the paper).
+type Partition struct {
+	// Classes holds tuple ids per equivalence class. Within a class ids are
+	// ascending; classes are ordered by their smallest id (the class
+	// representative), giving a canonical form.
+	Classes [][]int
+	// N is the number of tuples in the underlying relation (not the number
+	// covered by Classes; stripped partitions cover fewer).
+	N int
+	// Stripped records whether singleton classes were removed.
+	Stripped bool
+}
+
+// NumClasses returns the number of equivalence classes.
+func (p *Partition) NumClasses() int { return len(p.Classes) }
+
+// Size returns the total number of tuples across classes.
+func (p *Partition) Size() int {
+	n := 0
+	for _, c := range p.Classes {
+		n += len(c)
+	}
+	return n
+}
+
+// Error returns ‖Π‖ − |Π|, the minimum number of tuples to remove so that X
+// becomes a key over the covered tuples — TANE's e(X) numerator, used by
+// key detection and approximate dependencies.
+func (p *Partition) Error() int {
+	e := 0
+	for _, c := range p.Classes {
+		e += len(c) - 1
+	}
+	return e
+}
+
+// IsKeyOver reports whether the partition certifies X as a (super)key: a
+// stripped partition with no classes means every class was a singleton.
+func (p *Partition) IsKeyOver() bool {
+	if p.Stripped {
+		return len(p.Classes) == 0
+	}
+	for _, c := range p.Classes {
+		if len(c) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Strip returns the stripped version of p (no singleton classes). If p is
+// already stripped it is returned unchanged.
+func (p *Partition) Strip() *Partition {
+	if p.Stripped {
+		return p
+	}
+	out := &Partition{N: p.N, Stripped: true}
+	for _, c := range p.Classes {
+		if len(c) > 1 {
+			out.Classes = append(out.Classes, c)
+		}
+	}
+	return out
+}
+
+// canonicalize sorts tuple ids within classes and classes by representative.
+func (p *Partition) canonicalize() {
+	for _, c := range p.Classes {
+		sort.Ints(c)
+	}
+	sort.Slice(p.Classes, func(i, j int) bool { return p.Classes[i][0] < p.Classes[j][0] })
+}
+
+// SingleColumnPartition computes Π_{A} for one attribute.
+func SingleColumnPartition(r *Relation, col int) *Partition {
+	groups := make(map[Value][]int)
+	colVals := r.Column(col)
+	for i, v := range colVals {
+		groups[v] = append(groups[v], i)
+	}
+	p := &Partition{N: r.NumRows()}
+	for _, g := range groups {
+		p.Classes = append(p.Classes, g)
+	}
+	p.canonicalize()
+	return p
+}
+
+// PartitionOf computes Π_X for an arbitrary attribute set by grouping on the
+// concatenation of encoded values. For the empty set it returns a single
+// class containing all tuples.
+func PartitionOf(r *Relation, attrs AttrSet) *Partition {
+	n := r.NumRows()
+	if attrs.IsEmpty() {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return &Partition{Classes: [][]int{all}, N: n}
+	}
+	cols := attrs.Attrs()
+	type key = string
+	groups := make(map[key][]int)
+	buf := make([]byte, 0, 8*len(cols))
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		for _, c := range cols {
+			v := r.Value(i, c)
+			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), '|')
+		}
+		groups[string(buf)] = append(groups[string(buf)], i)
+	}
+	p := &Partition{N: n}
+	for _, g := range groups {
+		p.Classes = append(p.Classes, g)
+	}
+	p.canonicalize()
+	return p
+}
+
+// ProductBuffer holds reusable scratch space for partition products over
+// one relation, avoiding the per-product probe-array allocation that
+// dominates lattice traversal. A zero ProductBuffer is usable; buffers are
+// not safe for concurrent use.
+type ProductBuffer struct {
+	probe   []int32
+	scratch [][]int
+	touched []int32
+}
+
+// Product computes the stripped partition Π*_{X∪Y} = Π*_X · Π*_Y in time
+// linear in the sizes of the inputs, using the probe-table method of TANE.
+// Both inputs must be partitions over the same relation.
+func Product(a, b *Partition) *Partition {
+	var buf ProductBuffer
+	return buf.Product(a, b)
+}
+
+// Product is the buffer-reusing form of the package-level Product.
+func (buf *ProductBuffer) Product(a, b *Partition) *Partition {
+	a, b = a.Strip(), b.Strip()
+	// probe[t] = index of a-class containing tuple t, or -1. The array is
+	// reset lazily: only slots written by the previous call are cleared.
+	if len(buf.probe) < a.N {
+		buf.probe = make([]int32, a.N)
+		for i := range buf.probe {
+			buf.probe[i] = -1
+		}
+	}
+	probe := buf.probe
+	for ci, class := range a.Classes {
+		for _, t := range class {
+			probe[t] = int32(ci)
+		}
+	}
+	if len(buf.scratch) < len(a.Classes) {
+		buf.scratch = make([][]int, len(a.Classes))
+	}
+	scratch := buf.scratch
+	touched := buf.touched[:0]
+	out := &Partition{N: a.N, Stripped: true}
+	// For each b-class, bucket its tuples by a-class id using slice
+	// scratch space (no per-class map allocations). Tuples within a
+	// b-class arrive in ascending order, so buckets are already sorted.
+	for _, class := range b.Classes {
+		for _, t := range class {
+			if ci := probe[t]; ci >= 0 {
+				if scratch[ci] == nil {
+					touched = append(touched, ci)
+				}
+				scratch[ci] = append(scratch[ci], t)
+			}
+		}
+		for _, ci := range touched {
+			if len(scratch[ci]) > 1 {
+				out.Classes = append(out.Classes, scratch[ci])
+			}
+			scratch[ci] = nil
+		}
+		touched = touched[:0]
+	}
+	buf.touched = touched
+	// Clear the probe slots we wrote so the next call starts clean.
+	for _, class := range a.Classes {
+		for _, t := range class {
+			probe[t] = -1
+		}
+	}
+	// Classes carry sorted tuples already; order classes canonically by
+	// representative.
+	sort.Slice(out.Classes, func(i, j int) bool { return out.Classes[i][0] < out.Classes[j][0] })
+	return out
+}
+
+// PartitionCache memoizes stripped partitions by attribute set, computing
+// single columns directly and larger sets via Product of cached parts.
+type PartitionCache struct {
+	r     *Relation
+	cache map[AttrSet]*Partition
+}
+
+// NewPartitionCache creates a cache over r and precomputes all
+// single-attribute stripped partitions.
+func NewPartitionCache(r *Relation) *PartitionCache {
+	pc := &PartitionCache{r: r, cache: make(map[AttrSet]*Partition)}
+	for c := 0; c < r.NumCols(); c++ {
+		pc.cache[Single(c)] = SingleColumnPartition(r, c).Strip()
+	}
+	return pc
+}
+
+// Relation returns the underlying relation.
+func (pc *PartitionCache) Relation() *Relation { return pc.r }
+
+// Get returns the stripped partition Π*_X, computing and caching it if
+// absent. Supersets are derived by multiplying a cached subset with the
+// missing single columns.
+func (pc *PartitionCache) Get(attrs AttrSet) *Partition {
+	if p, ok := pc.cache[attrs]; ok {
+		return p
+	}
+	if attrs.IsEmpty() {
+		p := PartitionOf(pc.r, attrs).Strip()
+		pc.cache[attrs] = p
+		return p
+	}
+	// Find the largest cached subset obtained by dropping one attribute;
+	// recurse (depth ≤ |attrs|).
+	var best AttrSet
+	found := false
+	for _, i := range attrs.Attrs() {
+		sub := attrs.Without(i)
+		if _, ok := pc.cache[sub]; ok {
+			best = sub
+			found = true
+			break
+		}
+	}
+	if !found {
+		// Build from the first attribute upward.
+		best = Single(attrs.First())
+	}
+	p := pc.Get(best)
+	for _, i := range attrs.Minus(best).Attrs() {
+		p = Product(p, pc.Get(Single(i)))
+	}
+	pc.cache[attrs] = p
+	return p
+}
+
+// Put stores a partition for attrs, typically one computed level-by-level
+// during lattice traversal.
+func (pc *PartitionCache) Put(attrs AttrSet, p *Partition) { pc.cache[attrs] = p.Strip() }
+
+// Evict removes cached partitions whose attribute sets have exactly size k;
+// lattice traversals call this to bound memory to two levels.
+func (pc *PartitionCache) Evict(k int) {
+	for a := range pc.cache {
+		if a.Len() == k {
+			delete(pc.cache, a)
+		}
+	}
+}

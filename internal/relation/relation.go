@@ -1,0 +1,227 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// Value is a dictionary-encoded cell value. Values are interned per column;
+// two cells in the same column are syntactically equal iff their Values are
+// equal. NullValue marks a missing cell.
+type Value int32
+
+// NullValue is the encoding of a missing (null) cell.
+const NullValue Value = -1
+
+// Dict interns the string domain of one column.
+type Dict struct {
+	byID  []string
+	byVal map[string]Value
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byVal: make(map[string]Value)}
+}
+
+// Intern returns the id for s, adding it to the dictionary if new.
+func (d *Dict) Intern(s string) Value {
+	if id, ok := d.byVal[s]; ok {
+		return id
+	}
+	id := Value(len(d.byID))
+	d.byID = append(d.byID, s)
+	d.byVal[s] = id
+	return id
+}
+
+// Lookup returns the id for s without interning.
+func (d *Dict) Lookup(s string) (Value, bool) {
+	id, ok := d.byVal[s]
+	return id, ok
+}
+
+// String returns the string for id; NullValue renders as the empty string.
+func (d *Dict) String(id Value) string {
+	if id == NullValue {
+		return ""
+	}
+	return d.byID[id]
+}
+
+// Size returns the number of distinct values interned.
+func (d *Dict) Size() int { return len(d.byID) }
+
+// Values returns all interned strings in id order.
+func (d *Dict) Values() []string { return append([]string(nil), d.byID...) }
+
+// Relation is a column-oriented relational instance. Each column stores
+// dictionary-encoded values; the dictionary is per column so value ids are
+// only comparable within a column.
+type Relation struct {
+	schema *Schema
+	cols   [][]Value
+	dicts  []*Dict
+	n      int
+}
+
+// New creates an empty relation over the schema.
+func New(schema *Schema) *Relation {
+	r := &Relation{
+		schema: schema,
+		cols:   make([][]Value, schema.Len()),
+		dicts:  make([]*Dict, schema.Len()),
+	}
+	for i := range r.dicts {
+		r.dicts[i] = NewDict()
+	}
+	return r
+}
+
+// FromRows builds a relation from string rows. Each row must have exactly
+// one cell per schema attribute.
+func FromRows(schema *Schema, rows [][]string) (*Relation, error) {
+	r := New(schema)
+	for i, row := range rows {
+		if len(row) != schema.Len() {
+			return nil, fmt.Errorf("relation: row %d has %d cells, schema has %d attributes", i, len(row), schema.Len())
+		}
+		r.AppendRow(row)
+	}
+	return r, nil
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// NumRows returns the number of tuples.
+func (r *Relation) NumRows() int { return r.n }
+
+// NumCols returns the number of attributes.
+func (r *Relation) NumCols() int { return r.schema.Len() }
+
+// Dict returns the dictionary of column col.
+func (r *Relation) Dict(col int) *Dict { return r.dicts[col] }
+
+// AppendRow appends one tuple given as strings in schema order.
+func (r *Relation) AppendRow(row []string) {
+	for c, s := range row {
+		r.cols[c] = append(r.cols[c], r.dicts[c].Intern(s))
+	}
+	r.n++
+}
+
+// Value returns the encoded value at (row, col).
+func (r *Relation) Value(row, col int) Value { return r.cols[col][row] }
+
+// SetValue overwrites the cell at (row, col) with an already-interned value.
+func (r *Relation) SetValue(row, col int, v Value) { r.cols[col][row] = v }
+
+// SetString overwrites the cell at (row, col), interning s as needed.
+func (r *Relation) SetString(row, col int, s string) {
+	r.cols[col][row] = r.dicts[col].Intern(s)
+}
+
+// String returns the string at (row, col).
+func (r *Relation) String(row, col int) string {
+	return r.dicts[col].String(r.cols[col][row])
+}
+
+// Column returns the raw encoded column; callers must not modify it.
+func (r *Relation) Column(col int) []Value { return r.cols[col] }
+
+// Row materializes tuple row as strings in schema order.
+func (r *Relation) Row(row int) []string {
+	out := make([]string, r.schema.Len())
+	for c := range out {
+		out[c] = r.String(row, c)
+	}
+	return out
+}
+
+// Rows materializes the whole relation as string rows.
+func (r *Relation) Rows() [][]string {
+	out := make([][]string, r.n)
+	for i := range out {
+		out[i] = r.Row(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the relation. The copy shares no mutable
+// state with the original, so repairs can be applied to the clone while the
+// original serves as ground truth.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{
+		schema: r.schema,
+		cols:   make([][]Value, len(r.cols)),
+		dicts:  make([]*Dict, len(r.dicts)),
+		n:      r.n,
+	}
+	for i := range r.cols {
+		c.cols[i] = append([]Value(nil), r.cols[i]...)
+		d := NewDict()
+		d.byID = append([]string(nil), r.dicts[i].byID...)
+		for s, id := range r.dicts[i].byVal {
+			d.byVal[s] = id
+		}
+		c.dicts[i] = d
+	}
+	return c
+}
+
+// Project returns the distinct string values appearing in column col.
+func (r *Relation) Project(col int) []string {
+	seen := make(map[Value]struct{})
+	var out []string
+	for _, v := range r.cols[col] {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, r.dicts[col].String(v))
+	}
+	return out
+}
+
+// ProjectColumns returns a new relation containing only the given columns
+// (in the given order), re-encoded with fresh dictionaries.
+func (r *Relation) ProjectColumns(cols []int) (*Relation, error) {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= r.schema.Len() {
+			return nil, fmt.Errorf("relation: column %d out of range", c)
+		}
+		names[i] = r.schema.Name(c)
+	}
+	schema, err := NewSchema(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(schema)
+	row := make([]string, len(cols))
+	for i := 0; i < r.n; i++ {
+		for j, c := range cols {
+			row[j] = r.String(i, c)
+		}
+		out.AppendRow(row)
+	}
+	return out, nil
+}
+
+// DiffCells counts the cells at which r and other differ. The relations
+// must have the same schema and row count; the comparison is by string
+// value so differing dictionaries do not matter.
+func (r *Relation) DiffCells(other *Relation) (int, error) {
+	if r.schema.Len() != other.schema.Len() || r.n != other.n {
+		return 0, fmt.Errorf("relation: shape mismatch %dx%d vs %dx%d", r.n, r.schema.Len(), other.n, other.schema.Len())
+	}
+	diff := 0
+	for c := 0; c < r.schema.Len(); c++ {
+		for i := 0; i < r.n; i++ {
+			if r.String(i, c) != other.String(i, c) {
+				diff++
+			}
+		}
+	}
+	return diff, nil
+}

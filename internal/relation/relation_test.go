@@ -1,0 +1,291 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s, err := NewSchema("A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if i, ok := s.Index("B"); !ok || i != 1 {
+		t.Fatalf("Index(B) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("Z"); ok {
+		t.Fatal("Index(Z) should miss")
+	}
+	if got := s.All(); got != AttrSet(0b111) {
+		t.Fatalf("All = %v", got)
+	}
+	if got := s.MustSet("A", "C"); got != AttrSet(0b101) {
+		t.Fatalf("Set(A,C) = %v", got)
+	}
+	if got := s.MustSet("A", "C").Format(s); got != "[A, C]" {
+		t.Fatalf("Format = %q", got)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema should error")
+	}
+	if _, err := NewSchema("A", "A"); err == nil {
+		t.Error("duplicate names should error")
+	}
+	if _, err := NewSchema("A", ""); err == nil {
+		t.Error("empty name should error")
+	}
+	names := make([]string, MaxAttrs+1)
+	for i := range names {
+		names[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	if _, err := NewSchema(names...); err == nil {
+		t.Error("too many attributes should error")
+	}
+}
+
+func TestAttrSetOps(t *testing.T) {
+	a := EmptySet.With(0).With(3).With(5)
+	if a.Len() != 3 || !a.Has(3) || a.Has(1) {
+		t.Fatalf("bad set %v", a)
+	}
+	if got := a.Without(3); got.Has(3) || got.Len() != 2 {
+		t.Fatalf("Without: %v", got)
+	}
+	b := EmptySet.With(3)
+	if !b.SubsetOf(a) || a.SubsetOf(b) {
+		t.Fatal("subset relations wrong")
+	}
+	if !b.ProperSubsetOf(a) || a.ProperSubsetOf(a) {
+		t.Fatal("proper subset relations wrong")
+	}
+	if got := a.Minus(b); got.Has(3) {
+		t.Fatal("minus failed")
+	}
+	if got := a.Attrs(); !reflect.DeepEqual(got, []int{0, 3, 5}) {
+		t.Fatalf("Attrs = %v", got)
+	}
+	if a.First() != 0 || EmptySet.First() != -1 {
+		t.Fatal("First wrong")
+	}
+	if a.String() != "{0,3,5}" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestAttrSetAlgebraQuick(t *testing.T) {
+	f := func(x, y, z uint16) bool {
+		a, b, c := AttrSet(x), AttrSet(y), AttrSet(z)
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Intersect(b.Union(c)) != a.Intersect(b).Union(a.Intersect(c)) {
+			return false
+		}
+		if !a.Minus(b).SubsetOf(a) {
+			return false
+		}
+		if a.Union(b).Len() != a.Len()+b.Len()-a.Intersect(b).Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func testRelation(t *testing.T) *Relation {
+	t.Helper()
+	rel, err := FromRows(MustSchema("CC", "CTRY", "SYMP"), [][]string{
+		{"US", "USA", "pain"},
+		{"IN", "India", "pain"},
+		{"CA", "Canada", "pain"},
+		{"IN", "Bharat", "nausea"},
+		{"US", "America", "nausea"},
+		{"US", "USA", "nausea"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestRelationAccessors(t *testing.T) {
+	rel := testRelation(t)
+	if rel.NumRows() != 6 || rel.NumCols() != 3 {
+		t.Fatalf("shape %dx%d", rel.NumRows(), rel.NumCols())
+	}
+	if rel.String(3, 1) != "Bharat" {
+		t.Fatalf("cell (3,1) = %q", rel.String(3, 1))
+	}
+	if got := rel.Row(0); !reflect.DeepEqual(got, []string{"US", "USA", "pain"}) {
+		t.Fatalf("row 0 = %v", got)
+	}
+	// Same-column equal strings share encoded values.
+	if rel.Value(0, 0) != rel.Value(5, 0) {
+		t.Fatal("dictionary should intern equal values")
+	}
+	if got := len(rel.Project(0)); got != 3 {
+		t.Fatalf("Project(CC) distinct = %d", got)
+	}
+}
+
+func TestRelationCloneIsolation(t *testing.T) {
+	rel := testRelation(t)
+	cl := rel.Clone()
+	cl.SetString(0, 1, "Estados Unidos")
+	if rel.String(0, 1) != "USA" {
+		t.Fatal("clone mutation leaked into original")
+	}
+	d, err := rel.DiffCells(cl)
+	if err != nil || d != 1 {
+		t.Fatalf("DiffCells = %d, %v", d, err)
+	}
+}
+
+func TestPartitionBasics(t *testing.T) {
+	rel := testRelation(t)
+	p := SingleColumnPartition(rel, 0)
+	if p.NumClasses() != 3 {
+		t.Fatalf("CC classes = %d", p.NumClasses())
+	}
+	// Π_CC = {{0,4,5},{1,3},{2}} — canonical order by representative.
+	want := [][]int{{0, 4, 5}, {1, 3}, {2}}
+	if !reflect.DeepEqual(p.Classes, want) {
+		t.Fatalf("classes = %v", p.Classes)
+	}
+	sp := p.Strip()
+	if sp.NumClasses() != 2 || sp.Size() != 5 {
+		t.Fatalf("stripped: %v", sp.Classes)
+	}
+	if p.Error() != 3 { // (3-1)+(2-1)+(1-1)
+		t.Fatalf("error = %d", p.Error())
+	}
+	if p.IsKeyOver() {
+		t.Fatal("CC is not a key")
+	}
+}
+
+func TestPartitionProductMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		cols := 2 + rng.Intn(3)
+		rows := 1 + rng.Intn(30)
+		names := make([]string, cols)
+		for i := range names {
+			names[i] = string(rune('A' + i))
+		}
+		rel := New(MustSchema(names...))
+		row := make([]string, cols)
+		for r := 0; r < rows; r++ {
+			for c := range row {
+				row[c] = string(rune('a' + rng.Intn(3)))
+			}
+			rel.AppendRow(row)
+		}
+		a, b := rng.Intn(cols), rng.Intn(cols)
+		pa := SingleColumnPartition(rel, a).Strip()
+		pb := SingleColumnPartition(rel, b).Strip()
+		got := Product(pa, pb)
+		want := PartitionOf(rel, Single(a).With(b)).Strip()
+		if !reflect.DeepEqual(got.Classes, want.Classes) {
+			t.Fatalf("trial %d: product %v != direct %v", trial, got.Classes, want.Classes)
+		}
+	}
+}
+
+func TestPartitionProductRefines(t *testing.T) {
+	// Π_XY must refine Π_X: every product class is inside some X class.
+	rng := rand.New(rand.NewSource(9))
+	rel := New(MustSchema("A", "B"))
+	for r := 0; r < 50; r++ {
+		rel.AppendRow([]string{string(rune('a' + rng.Intn(4))), string(rune('a' + rng.Intn(4)))})
+	}
+	pa := SingleColumnPartition(rel, 0).Strip()
+	pb := SingleColumnPartition(rel, 1).Strip()
+	prod := Product(pa, pb)
+	inClass := make(map[int]int)
+	for ci, class := range pa.Classes {
+		for _, t := range class {
+			inClass[t] = ci
+		}
+	}
+	for _, class := range prod.Classes {
+		first := inClass[class[0]]
+		for _, tup := range class {
+			if inClass[tup] != first {
+				t.Fatalf("product class %v spans multiple A-classes", class)
+			}
+		}
+	}
+}
+
+func TestPartitionCache(t *testing.T) {
+	rel := testRelation(t)
+	pc := NewPartitionCache(rel)
+	ab := Single(0).With(1)
+	p1 := pc.Get(ab)
+	p2 := pc.Get(ab)
+	if p1 != p2 {
+		t.Fatal("cache miss on second Get")
+	}
+	want := PartitionOf(rel, ab).Strip()
+	if !reflect.DeepEqual(p1.Classes, want.Classes) {
+		t.Fatalf("cached product wrong: %v vs %v", p1.Classes, want.Classes)
+	}
+	// Evict and recompute.
+	pc.Evict(2)
+	p3 := pc.Get(ab)
+	if !reflect.DeepEqual(p3.Classes, want.Classes) {
+		t.Fatalf("recomputed partition wrong")
+	}
+	// Empty attribute set: one class with everything (stripped keeps it).
+	pe := pc.Get(EmptySet)
+	if pe.Size() != rel.NumRows() {
+		t.Fatalf("empty-set partition size %d", pe.Size())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rel := testRelation(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := rel.DiffCells(back); d != 0 {
+		t.Fatalf("round trip differs in %d cells", d)
+	}
+	if !reflect.DeepEqual(back.Schema().Names(), rel.Schema().Names()) {
+		t.Fatal("schema lost in round trip")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Error("empty CSV should error")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("A,A\n1,2\n")); err == nil {
+		t.Error("duplicate header should error")
+	}
+}
+
+func TestSortSets(t *testing.T) {
+	sets := []AttrSet{7, 1, 3, 2}
+	SortSets(sets)
+	if !reflect.DeepEqual(sets, []AttrSet{1, 2, 3, 7}) {
+		t.Fatalf("sorted = %v", sets)
+	}
+}

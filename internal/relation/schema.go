@@ -1,0 +1,198 @@
+// Package relation implements the relational substrate used by OFD
+// discovery and repair: a column-oriented, dictionary-encoded relation,
+// attribute sets represented as bitsets, and equivalence-class partitions
+// (plain and stripped) with the linear-time partition product used by
+// lattice-based dependency discovery.
+package relation
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxAttrs is the maximum number of attributes a Schema may hold. Attribute
+// sets are packed into a single 64-bit word, which comfortably covers the
+// datasets used in dependency discovery (the paper's datasets have 15
+// attributes).
+const MaxAttrs = 64
+
+// Schema names the attributes of a relation and assigns each a stable
+// position used by AttrSet bitsets.
+type Schema struct {
+	names []string
+	index map[string]int
+}
+
+// NewSchema creates a schema from attribute names. Names must be unique,
+// non-empty, and at most MaxAttrs many.
+func NewSchema(names ...string) (*Schema, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("relation: schema needs at least one attribute")
+	}
+	if len(names) > MaxAttrs {
+		return nil, fmt.Errorf("relation: schema has %d attributes, max is %d", len(names), MaxAttrs)
+	}
+	s := &Schema{names: append([]string(nil), names...), index: make(map[string]int, len(names))}
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("relation: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[n]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute name %q", n)
+		}
+		s.index[n] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for tests and
+// static literals.
+func MustSchema(names ...string) *Schema {
+	s, err := NewSchema(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Name returns the name of attribute i.
+func (s *Schema) Name(i int) string { return s.names[i] }
+
+// Names returns a copy of all attribute names in positional order.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Index returns the position of the named attribute and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustIndex returns the position of the named attribute, panicking if absent.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: unknown attribute %q", name))
+	}
+	return i
+}
+
+// Set builds an AttrSet from attribute names; unknown names cause an error.
+func (s *Schema) Set(names ...string) (AttrSet, error) {
+	var a AttrSet
+	for _, n := range names {
+		i, ok := s.index[n]
+		if !ok {
+			return 0, fmt.Errorf("relation: unknown attribute %q", n)
+		}
+		a = a.With(i)
+	}
+	return a, nil
+}
+
+// MustSet is Set that panics on unknown names.
+func (s *Schema) MustSet(names ...string) AttrSet {
+	a, err := s.Set(names...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// All returns the set containing every attribute of the schema.
+func (s *Schema) All() AttrSet {
+	if len(s.names) == MaxAttrs {
+		return AttrSet(^uint64(0))
+	}
+	return AttrSet(uint64(1)<<uint(len(s.names)) - 1)
+}
+
+// AttrSet is a set of attribute positions packed into a 64-bit word.
+// The zero value is the empty set.
+type AttrSet uint64
+
+// EmptySet is the AttrSet containing no attributes.
+const EmptySet AttrSet = 0
+
+// Single returns the set containing only attribute i.
+func Single(i int) AttrSet { return AttrSet(1) << uint(i) }
+
+// With returns a with attribute i added.
+func (a AttrSet) With(i int) AttrSet { return a | Single(i) }
+
+// Without returns a with attribute i removed.
+func (a AttrSet) Without(i int) AttrSet { return a &^ Single(i) }
+
+// Has reports whether attribute i is in the set.
+func (a AttrSet) Has(i int) bool { return a&Single(i) != 0 }
+
+// Union returns the set union.
+func (a AttrSet) Union(b AttrSet) AttrSet { return a | b }
+
+// Intersect returns the set intersection.
+func (a AttrSet) Intersect(b AttrSet) AttrSet { return a & b }
+
+// Minus returns the set difference a \ b.
+func (a AttrSet) Minus(b AttrSet) AttrSet { return a &^ b }
+
+// SubsetOf reports whether a ⊆ b.
+func (a AttrSet) SubsetOf(b AttrSet) bool { return a&^b == 0 }
+
+// ProperSubsetOf reports whether a ⊂ b.
+func (a AttrSet) ProperSubsetOf(b AttrSet) bool { return a != b && a.SubsetOf(b) }
+
+// IsEmpty reports whether the set has no attributes.
+func (a AttrSet) IsEmpty() bool { return a == 0 }
+
+// Len returns the number of attributes in the set.
+func (a AttrSet) Len() int { return bits.OnesCount64(uint64(a)) }
+
+// Attrs returns the attribute positions in ascending order.
+func (a AttrSet) Attrs() []int {
+	out := make([]int, 0, a.Len())
+	for v := uint64(a); v != 0; v &= v - 1 {
+		out = append(out, bits.TrailingZeros64(v))
+	}
+	return out
+}
+
+// First returns the lowest attribute position in the set, or -1 if empty.
+func (a AttrSet) First() int {
+	if a == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(a))
+}
+
+// Format renders the set using schema names, e.g. "[CC, CTRY]".
+func (a AttrSet) Format(s *Schema) string {
+	names := make([]string, 0, a.Len())
+	for _, i := range a.Attrs() {
+		names = append(names, s.Name(i))
+	}
+	return "[" + strings.Join(names, ", ") + "]"
+}
+
+// String renders attribute positions, e.g. "{0,2,5}".
+func (a AttrSet) String() string {
+	parts := make([]string, 0, a.Len())
+	for _, i := range a.Attrs() {
+		parts = append(parts, fmt.Sprint(i))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// SortSets orders attribute sets by cardinality, then numerically; a
+// canonical order used for deterministic lattice traversal and test output.
+func SortSets(sets []AttrSet) {
+	sort.Slice(sets, func(i, j int) bool {
+		if li, lj := sets[i].Len(), sets[j].Len(); li != lj {
+			return li < lj
+		}
+		return sets[i] < sets[j]
+	})
+}

@@ -1,0 +1,155 @@
+// Package repair implements OFDClean, the paper's contextual repair
+// framework: sense assignment per equivalence class (greedy MAD-ranked
+// initialization plus EMD-guided local refinement over a dependency graph),
+// beam-search ontology repair, and conflict-graph data repair, producing a
+// Pareto-optimal set of (ontology, data) repairs that re-align an instance
+// with a set of OFDs.
+package repair
+
+import (
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+	"github.com/fastofd/fastofd/internal/stats"
+)
+
+// ClassKey identifies one equivalence class: the index of its OFD in Σ and
+// the class representative (smallest tuple id).
+type ClassKey struct {
+	OFD int
+	Rep int
+}
+
+// Assignment maps each equivalence class to its selected sense (an ontology
+// class), or ontology.NoClass when no value of the class appears in the
+// ontology.
+type Assignment map[ClassKey]ontology.ClassID
+
+// eqClass is one equivalence class x ∈ Π_X(I) for some φ: X →_syn A.
+type eqClass struct {
+	key    ClassKey
+	ofd    core.OFD
+	tuples []int
+	sense  ontology.ClassID
+}
+
+// classesOf materializes the non-singleton equivalence classes of every OFD
+// in Σ (singleton classes cannot violate and need no interpretation).
+func classesOf(rel *relation.Relation, sigma core.Set, pc *relation.PartitionCache) []*eqClass {
+	var out []*eqClass
+	for i, d := range sigma {
+		p := pc.Get(d.LHS)
+		for _, tuples := range p.Classes {
+			out = append(out, &eqClass{
+				key:    ClassKey{OFD: i, Rep: tuples[0]},
+				ofd:    d,
+				tuples: tuples,
+				sense:  ontology.NoClass,
+			})
+		}
+	}
+	return out
+}
+
+// valueCounts tallies the consequent values of the class's tuples.
+func (x *eqClass) valueCounts(rel *relation.Relation) map[string]int {
+	counts := make(map[string]int, 4)
+	for _, t := range x.tuples {
+		counts[rel.String(t, x.ofd.RHS)]++
+	}
+	return counts
+}
+
+// initialAssignment implements Algorithm 5 (Initial_Assignment): rank the
+// class's distinct consequent values by decreasing MAD score of their
+// frequencies, then find the largest k′ such that the top-k′ values share a
+// sense (a non-empty intersection of their sset indexes), and pick from
+// those senses the one covering the most tuples.
+func initialAssignment(rel *relation.Relation, cov coverage, x *eqClass) ontology.ClassID {
+	counts := x.valueCounts(rel)
+	values := make([]string, 0, len(counts))
+	for v := range counts {
+		values = append(values, v)
+	}
+	sort.Strings(values) // determinism before ranking
+	freqs := make([]float64, len(values))
+	for i, v := range values {
+		freqs[i] = float64(counts[v])
+	}
+	rank := stats.RankByMADScore(freqs)
+
+	for k := len(values); k >= 1; k-- {
+		// Intersect sset(v) across the top-k ranked values.
+		inter := make(map[ontology.ClassID]int)
+		for i := 0; i < k; i++ {
+			for _, cls := range cov.interpretations(values[rank[i]]) {
+				inter[cls]++
+			}
+		}
+		var potential []ontology.ClassID
+		for cls, c := range inter {
+			if c == k {
+				potential = append(potential, cls)
+			}
+		}
+		if len(potential) == 0 {
+			continue
+		}
+		// Among the shared senses pick maximal tuple coverage; break ties
+		// by smaller class id for determinism.
+		sort.Slice(potential, func(i, j int) bool { return potential[i] < potential[j] })
+		best, bestCover := ontology.NoClass, -1
+		for _, cls := range potential {
+			cover := 0
+			for v, c := range counts {
+				if cov.covers(cls, v) {
+					cover += c
+				}
+			}
+			if cover > bestCover {
+				best, bestCover = cls, cover
+			}
+		}
+		return best
+	}
+	return ontology.NoClass
+}
+
+// assignInitial computes the initial sense for every class.
+func assignInitial(rel *relation.Relation, cov coverage, classes []*eqClass) Assignment {
+	out := make(Assignment, len(classes))
+	for _, x := range classes {
+		x.sense = initialAssignment(rel, cov, x)
+		out[x.key] = x.sense
+	}
+	return out
+}
+
+// uncoveredValues returns ρ_{x,λ}: the distinct consequent values of x not
+// covered by sense λ. With λ = NoClass every distinct value is uncovered.
+func uncoveredValues(rel *relation.Relation, cov coverage, x *eqClass, sense ontology.ClassID) []string {
+	counts := x.valueCounts(rel)
+	var out []string
+	for v := range counts {
+		if !cov.covers(sense, v) {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// uncoveredTuples returns |R(x_λ)|: the number of tuples whose value λ does
+// not cover.
+func uncoveredTuples(rel *relation.Relation, cov coverage, x *eqClass, sense ontology.ClassID) int {
+	n := 0
+	for _, t := range x.tuples {
+		v := rel.String(t, x.ofd.RHS)
+		if !cov.covers(sense, v) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,291 @@
+package repair
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// Options configure OFDClean.
+type Options struct {
+	// Theta is the EMD threshold above which conflicting class pairs are
+	// refined (paper default 5 in the discovery experiments; repair uses a
+	// workload-relative weight, default 5).
+	Theta float64
+	// Beam is the beam width b; 0 selects the secretary rule ⌊|Cand(S)|/e⌋.
+	Beam int
+	// Tau bounds data repairs as a fraction of tuples (τ); repairs beyond
+	// the bound are excluded from the Pareto set. Default 0.65 (the paper's
+	// 65%). Set to 1 to allow unconstrained data repair.
+	Tau float64
+	// MaxOntologyRepairs caps the beam-search depth (k); 0 = |Cand(S)|.
+	MaxOntologyRepairs int
+	// SkipRefinement disables the EMD-guided local refinement (ablation).
+	SkipRefinement bool
+	// IsATheta switches the cleaner to INHERITANCE semantics: a sense E
+	// also covers values within IsATheta is-a steps below it, so classes
+	// are repaired toward inheritance OFD satisfaction (the paper's
+	// stated future work). 0 (default) keeps synonym semantics.
+	IsATheta int
+	// OntWeight is the relative cost of one ontology addition against one
+	// cell update when selecting Best from the Pareto set (the Pareto set
+	// itself is weight-free). Values above 1 keep single-tuple garbage out
+	// of the ontology: an addition must save more than OntWeight cell
+	// updates to pay for itself. 0 selects the default of 2.
+	OntWeight float64
+	// MaterializeLimit bounds how many beam levels are fully materialized
+	// into concrete repairs (level 0 and the deepest level always are;
+	// intermediate levels are sampled geometrically). 0 selects the
+	// default of 16.
+	MaterializeLimit int
+}
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options {
+	return Options{Theta: 5, Beam: 3, Tau: 0.65}
+}
+
+// RepairOption is one Pareto candidate: apply OntChanges to S and
+// DataChanges to I.
+type RepairOption struct {
+	OntChanges  []OntChange
+	DataChanges []CellChange
+	OntDist     int // dist(S, S')
+	DataDist    int // dist(I, I')
+	WithinTau   bool
+}
+
+// Result is the output of Clean.
+type Result struct {
+	// Assignment is the final sense per equivalence class.
+	Assignment Assignment
+	// Pareto holds the non-dominated (dist_S, dist_I) repairs within τ.
+	Pareto []RepairOption
+	// Best is the Pareto repair minimizing dist_S + dist_I (ties to fewer
+	// ontology changes); nil when no repair fits τ.
+	Best *RepairOption
+	// Instance and Ontology are the repaired I′ and S′ for Best (the input
+	// instance and ontology are not modified).
+	Instance *relation.Relation
+	Ontology *ontology.Ontology
+	// Stats.
+	Candidates    int // |Cand(S)|
+	BeamWidth     int
+	ClassCount    int
+	EdgeCount     int
+	AssignElapsed time.Duration
+	RepairElapsed time.Duration
+}
+
+// Clean runs OFDClean: sense assignment, ontology repair via beam search,
+// and τ-constrained data repair, returning a Pareto-optimal set of repairs
+// and the applied best repair. The inputs are not modified.
+func Clean(rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts Options) (*Result, error) {
+	if err := validateSigma(rel, sigma); err != nil {
+		return nil, err
+	}
+	if opts.Tau <= 0 {
+		opts.Tau = 0.65
+	}
+	if opts.Theta == 0 {
+		opts.Theta = 5
+	}
+	if opts.OntWeight <= 0 {
+		opts.OntWeight = 2
+	}
+	if opts.MaterializeLimit <= 0 {
+		opts.MaterializeLimit = 16
+	}
+	res := &Result{}
+
+	// --- Sense assignment (Algorithm 7).
+	assignStart := time.Now()
+	cov := coverage{ont: ont, theta: opts.IsATheta}
+	pc := relation.NewPartitionCache(rel)
+	classes := classesOf(rel, sigma, pc)
+	assignment := assignInitial(rel, cov, classes)
+	g := buildDepGraph(rel, cov, classes)
+	if !opts.SkipRefinement {
+		localRefinement(rel, cov, g, opts.Theta, assignment)
+	}
+	res.Assignment = assignment
+	res.ClassCount = len(classes)
+	res.EdgeCount = len(g.edges)
+	res.AssignElapsed = time.Since(assignStart)
+
+	// --- Ontology repair candidates and beam search (Algorithm 8).
+	repairStart := time.Now()
+	cands := ontologyCandidates(rel, cov, classes)
+	res.Candidates = len(cands)
+	beam := opts.Beam
+	if beam <= 0 {
+		beam = SecretaryBeam(len(cands))
+	}
+	res.BeamWidth = beam
+	levels := beamSearch(rel, cov, classes, cands, beam, opts.MaxOntologyRepairs)
+
+	// --- Materialize selected levels into full repairs and keep the
+	// Pareto frontier of (dist_S, dist_I) within τ. Level 0 and the
+	// deepest level always materialize; intermediate levels are sampled
+	// geometrically up to MaterializeLimit. At each selected level every
+	// surviving frontier node (up to b of them) is materialized and the
+	// one with the fewest actual repairs wins — the δ estimate is additive
+	// and ignores cross-OFD interactions, so this exact evaluation is
+	// where a wider beam buys accuracy.
+	tauLimit := int(opts.Tau * float64(rel.NumRows()) * float64(len(sigma.ConsequentAttrs())))
+	var options []RepairOption
+	for _, li := range selectLevels(len(levels), opts.MaterializeLimit) {
+		var best *RepairOption
+		for _, nd := range levels[li].frontier {
+			opt := materialize(rel, ont, classes, cands, nd.members, opts.IsATheta)
+			if best == nil || opt.DataDist < best.DataDist {
+				b := opt
+				best = &b
+			}
+		}
+		if best == nil {
+			continue
+		}
+		best.WithinTau = best.DataDist <= tauLimit
+		options = append(options, *best)
+	}
+	res.Pareto = paretoFilter(options)
+	res.RepairElapsed = time.Since(repairStart)
+
+	// --- Select and apply the best repair: minimize the weighted total
+	// cost; ties go to fewer ontology changes (data updates are local,
+	// ontology additions are global).
+	cost := func(o *RepairOption) float64 {
+		return opts.OntWeight*float64(o.OntDist) + float64(o.DataDist)
+	}
+	for i := range res.Pareto {
+		opt := &res.Pareto[i]
+		if res.Best == nil || cost(opt) < cost(res.Best) ||
+			(cost(opt) == cost(res.Best) && opt.OntDist < res.Best.OntDist) {
+			res.Best = opt
+		}
+	}
+	if res.Best != nil {
+		res.Instance, res.Ontology = applyRepair(rel, ont, res.Best)
+	} else {
+		res.Instance, res.Ontology = rel.Clone(), ont.Clone()
+	}
+	return res, nil
+}
+
+// validateSigma enforces the paper's scope assumption: no attribute occurs
+// on the left side of one OFD and the right side of another, so repairs to
+// consequents never change any equivalence class.
+func validateSigma(rel *relation.Relation, sigma core.Set) error {
+	var lhs, rhs relation.AttrSet
+	for _, d := range sigma {
+		lhs = lhs.Union(d.LHS)
+		rhs = rhs.With(d.RHS)
+	}
+	if inter := lhs.Intersect(rhs); !inter.IsEmpty() {
+		return fmt.Errorf("repair: attributes %s appear on both sides of Σ; OFDClean requires antecedents and consequents to be disjoint", inter.Format(rel.Schema()))
+	}
+	return nil
+}
+
+// selectLevels picks which beam levels to materialize: every level while
+// few, otherwise level 0, a geometric sample of intermediates, and the
+// deepest level.
+func selectLevels(n, limit int) []int {
+	if n <= limit {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := []int{0}
+	// Dense prefix for half the budget, geometric tail for the rest.
+	dense := limit / 2
+	for i := 1; i <= dense; i++ {
+		out = append(out, i)
+	}
+	last := dense
+	for len(out) < limit-1 {
+		next := last + last/2 + 1
+		if next >= n-1 {
+			break
+		}
+		out = append(out, next)
+		last = next
+	}
+	if out[len(out)-1] != n-1 {
+		out = append(out, n-1)
+	}
+	return out
+}
+
+// materialize applies the candidate ontology additions to a scratch
+// ontology, runs data repair on a scratch relation, and packages the
+// result.
+func materialize(rel *relation.Relation, ont *ontology.Ontology, classes []*eqClass, cands []ontCandidate, members []int, isaTheta int) RepairOption {
+	workOnt := ont.Clone()
+	var ontChanges []OntChange
+	for _, m := range members {
+		ch := cands[m].change
+		if workOnt.AddValue(ch.Class, ch.Value) {
+			ontChanges = append(ontChanges, ch)
+		}
+	}
+	workRel := rel.Clone()
+	// Rebind classes to the scratch relation (tuple ids are unchanged;
+	// only values move), reusing senses already assigned.
+	scratch := make([]*eqClass, len(classes))
+	for i, x := range classes {
+		scratch[i] = &eqClass{key: x.key, ofd: x.ofd, tuples: x.tuples, sense: x.sense}
+	}
+	dataChanges := dataRepair(workRel, coverage{ont: workOnt, theta: isaTheta}, scratch)
+	return RepairOption{
+		OntChanges:  ontChanges,
+		DataChanges: dataChanges,
+		OntDist:     len(ontChanges),
+		DataDist:    len(dataChanges),
+	}
+}
+
+// applyRepair produces the repaired (I′, S′) for a chosen option.
+func applyRepair(rel *relation.Relation, ont *ontology.Ontology, opt *RepairOption) (*relation.Relation, *ontology.Ontology) {
+	outRel := rel.Clone()
+	outOnt := ont.Clone()
+	for _, ch := range opt.OntChanges {
+		outOnt.AddValue(ch.Class, ch.Value)
+	}
+	for _, ch := range opt.DataChanges {
+		outRel.SetString(ch.Row, ch.Col, ch.To)
+	}
+	return outRel, outOnt
+}
+
+// paretoFilter keeps the non-dominated options within τ (Definition 7:
+// no other option improves one distance without worsening the other).
+func paretoFilter(options []RepairOption) []RepairOption {
+	var out []RepairOption
+	for i, a := range options {
+		if !a.WithinTau {
+			continue
+		}
+		dominated := false
+		for j, b := range options {
+			if i == j || !b.WithinTau {
+				continue
+			}
+			if b.OntDist <= a.OntDist && b.DataDist <= a.DataDist &&
+				(b.OntDist < a.OntDist || b.DataDist < a.DataDist) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package repair
+
+import (
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/ontology"
+)
+
+// coverage abstracts which ontology classes can "interpret" a value. At
+// theta = 0 this is exactly the synonym semantics of the paper's OFDClean;
+// with theta > 0 a class E also covers every value within theta is-a steps
+// below it, extending the framework to inheritance OFDs — the paper's
+// stated future work.
+type coverage struct {
+	ont   *ontology.Ontology
+	theta int
+}
+
+// covers reports whether class cls interprets value v: v is a synonym of
+// cls, or (theta > 0) v belongs to a class at most theta steps below cls.
+func (c coverage) covers(cls ontology.ClassID, v string) bool {
+	if cls == ontology.NoClass {
+		return false
+	}
+	if c.ont.HasSynonym(cls, v) {
+		return true
+	}
+	if c.theta == 0 {
+		return false
+	}
+	for _, d := range c.ont.Names(v) {
+		if pl := c.ont.PathLen(cls, d); pl >= 0 && pl <= c.theta {
+			return true
+		}
+	}
+	return false
+}
+
+// interpretations returns the classes that cover v (its sset under the
+// chosen semantics): names(v) plus, when theta > 0, every ancestor within
+// theta steps. Sorted and deduplicated.
+func (c coverage) interpretations(v string) []ontology.ClassID {
+	direct := c.ont.Names(v)
+	if c.theta == 0 {
+		return direct
+	}
+	seen := make(map[ontology.ClassID]struct{}, len(direct)*2)
+	for _, cls := range direct {
+		cur := cls
+		for depth := 0; depth <= c.theta && cur != ontology.NoClass; depth++ {
+			seen[cur] = struct{}{}
+			cur = c.ont.Parent(cur)
+		}
+	}
+	out := make([]ontology.ClassID, 0, len(seen))
+	for cls := range seen {
+		out = append(out, cls)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// shared returns the classes covering every value in vals (∩ of
+// interpretations over distinct values); empty when no common
+// interpretation exists.
+func (c coverage) shared(vals []string) []ontology.ClassID {
+	if len(vals) == 0 {
+		return nil
+	}
+	count := make(map[ontology.ClassID]int)
+	seen := make(map[string]struct{}, len(vals))
+	distinct := 0
+	for _, v := range vals {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		distinct++
+		for _, cls := range c.interpretations(v) {
+			count[cls]++
+		}
+	}
+	var out []ontology.ClassID
+	for cls, n := range count {
+		if n == distinct {
+			out = append(out, cls)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

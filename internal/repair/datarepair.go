@@ -1,0 +1,327 @@
+package repair
+
+import (
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// CellChange is one data repair: cell (Row, Col) updated From → To.
+type CellChange struct {
+	Row, Col int
+	From, To string
+}
+
+// conflictEdge connects two tuples that jointly violate an OFD: they are in
+// the same equivalence class and their consequent values are neither equal
+// nor both covered by the class's assigned sense.
+type conflictEdge struct {
+	t1, t2 int
+	class  *eqClass
+}
+
+// buildConflictGraph enumerates conflicting tuple pairs per class. To keep
+// the graph quadratic only in the number of *distinct conflicting values*
+// (not tuples), one representative tuple per distinct value participates.
+func buildConflictGraph(rel *relation.Relation, cov coverage, classes []*eqClass) []conflictEdge {
+	var edges []conflictEdge
+	for _, x := range classes {
+		// Representative tuple per distinct value, deterministic.
+		repOf := make(map[string]int, 4)
+		for _, t := range x.tuples {
+			v := rel.String(t, x.ofd.RHS)
+			if r, ok := repOf[v]; !ok || t < r {
+				repOf[v] = t
+			}
+		}
+		if len(repOf) < 2 {
+			continue
+		}
+		values := make([]string, 0, len(repOf))
+		for v := range repOf {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		for i := 0; i < len(values); i++ {
+			for j := i + 1; j < len(values); j++ {
+				vi, vj := values[i], values[j]
+				if pairConsistent(cov, x.sense, vi, vj) {
+					continue
+				}
+				edges = append(edges, conflictEdge{t1: repOf[vi], t2: repOf[vj], class: x})
+			}
+		}
+	}
+	return edges
+}
+
+// pairConsistent reports whether two distinct values can coexist in a class
+// interpreted under sense λ: both covered by λ, or — when no sense was
+// assignable — sharing any common interpretation.
+func pairConsistent(cov coverage, sense ontology.ClassID, v1, v2 string) bool {
+	if v1 == v2 {
+		return true
+	}
+	if sense != ontology.NoClass {
+		return cov.covers(sense, v1) && cov.covers(sense, v2)
+	}
+	return len(cov.shared([]string{v1, v2})) > 0
+}
+
+// vertexCover2Approx computes the classic 2-approximate minimum vertex
+// cover by greedy maximal matching over the conflict edges.
+func vertexCover2Approx(edges []conflictEdge) map[int]struct{} {
+	cover := make(map[int]struct{})
+	for _, e := range edges {
+		if _, in := cover[e.t1]; in {
+			continue
+		}
+		if _, in := cover[e.t2]; in {
+			continue
+		}
+		cover[e.t1] = struct{}{}
+		cover[e.t2] = struct{}{}
+	}
+	return cover
+}
+
+// repairTarget picks the value to which a class's uncovered tuples are
+// updated: the most frequent value covered by the assigned sense; if the
+// sense covers nothing (or none was assigned), the class's most frequent
+// value overall. Ties break lexicographically.
+func repairTarget(rel *relation.Relation, cov coverage, x *eqClass) string {
+	counts := x.valueCounts(rel)
+	bestCovered, bestCoveredN := "", -1
+	bestAny, bestAnyN := "", -1
+	keys := make([]string, 0, len(counts))
+	for v := range counts {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	for _, v := range keys {
+		n := counts[v]
+		if cov.covers(x.sense, v) && n > bestCoveredN {
+			bestCovered, bestCoveredN = v, n
+		}
+		if n > bestAnyN {
+			bestAny, bestAnyN = v, n
+		}
+	}
+	if bestCoveredN >= 0 {
+		return bestCovered
+	}
+	return bestAny
+}
+
+// classSatisfiedUnder reports whether the class currently satisfies its OFD
+// under the assigned sense or syntactic equality or any shared sense.
+func classSatisfiedUnder(rel *relation.Relation, cov coverage, x *eqClass) bool {
+	counts := x.valueCounts(rel)
+	if len(counts) <= 1 {
+		return true
+	}
+	values := make([]string, 0, len(counts))
+	for v := range counts {
+		values = append(values, v)
+	}
+	if x.sense != ontology.NoClass {
+		all := true
+		for _, v := range values {
+			if !cov.covers(x.sense, v) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return len(cov.shared(values)) > 0
+}
+
+// dataRepair computes cell updates that make every class satisfy its OFD
+// w.r.t. the (possibly repaired) ontology, adapting RepairData of Beskales
+// et al.: tuples in the 2-approximate vertex cover of the conflict graph
+// are cleaned one at a time, then residual violations caused by OFD
+// interactions are resolved with up to two escalation passes (class-mode
+// collapse, then connected-component collapse), which guarantees
+// convergence. The relation is modified in place; the changes are returned.
+func dataRepair(rel *relation.Relation, cov coverage, classes []*eqClass) []CellChange {
+	var changes []CellChange
+	apply := func(row, col int, to string) {
+		from := rel.String(row, col)
+		if from == to {
+			return
+		}
+		rel.SetString(row, col, to)
+		changes = append(changes, CellChange{Row: row, Col: col, From: from, To: to})
+	}
+
+	// Pass 1: vertex-cover guided, per-class sense-based repair. The cover
+	// identifies the tuples to clean; each is updated to its class's
+	// repair target (a value covered by the assigned sense).
+	edges := buildConflictGraph(rel, cov, classes)
+	cover := vertexCover2Approx(edges)
+	// A tuple may participate in several classes (shared consequents);
+	// repair it w.r.t. the class with the most tuples (strongest evidence).
+	classOfTuple := make(map[int]*eqClass)
+	for _, e := range edges {
+		for _, t := range []int{e.t1, e.t2} {
+			if _, in := cover[t]; !in {
+				continue
+			}
+			if cur, ok := classOfTuple[t]; !ok || len(e.class.tuples) > len(cur.tuples) {
+				classOfTuple[t] = e.class
+			}
+		}
+	}
+	coveredTuples := make([]int, 0, len(classOfTuple))
+	for t := range classOfTuple {
+		coveredTuples = append(coveredTuples, t)
+	}
+	sort.Ints(coveredTuples)
+	for _, t := range coveredTuples {
+		x := classOfTuple[t]
+		target := repairTarget(rel, cov, x)
+		v := rel.String(t, x.ofd.RHS)
+		if v == target {
+			continue
+		}
+		if cov.covers(x.sense, v) && cov.covers(x.sense, target) {
+			continue // already consistent with the target under the sense
+		}
+		apply(t, x.ofd.RHS, target)
+	}
+	// Cover representatives stand for all tuples sharing their value; any
+	// remaining uncovered tuple values are fixed per class below.
+
+	// Pass 2: per-class collapse — every tuple whose value the sense does
+	// not cover moves to the class's repair target.
+	for _, x := range classes {
+		if classSatisfiedUnder(rel, cov, x) {
+			continue
+		}
+		target := repairTarget(rel, cov, x)
+		for _, t := range x.tuples {
+			v := rel.String(t, x.ofd.RHS)
+			if v == target {
+				continue
+			}
+			if cov.covers(x.sense, v) && cov.covers(x.sense, target) {
+				continue
+			}
+			apply(t, x.ofd.RHS, target)
+		}
+	}
+
+	// Pass 3: interactions can still leave conflicts (a tuple repaired for
+	// φ1 may now disagree within a φ2 class). Compute the connected
+	// components of tuple-sharing classes per consequent attribute and
+	// collapse every component that still contains a violating class to a
+	// single value. Because any class intersecting a component belongs to
+	// it, collapsed classes become constant and the pass converges in one
+	// sweep.
+	var violating []*eqClass
+	for _, x := range classes {
+		if !classSatisfiedUnder(rel, cov, x) {
+			violating = append(violating, x)
+		}
+	}
+	if len(violating) > 0 {
+		for _, comp := range connectedComponents(classes) {
+			hasViolation := false
+			for _, x := range comp {
+				for _, v := range violating {
+					if x == v {
+						hasViolation = true
+						break
+					}
+				}
+				if hasViolation {
+					break
+				}
+			}
+			if !hasViolation {
+				continue
+			}
+			col := comp[0].ofd.RHS
+			tupleSet := make(map[int]struct{})
+			for _, x := range comp {
+				for _, t := range x.tuples {
+					tupleSet[t] = struct{}{}
+				}
+			}
+			counts := make(map[string]int)
+			for t := range tupleSet {
+				counts[rel.String(t, col)]++
+			}
+			target, best := "", -1
+			keys := make([]string, 0, len(counts))
+			for v := range counts {
+				keys = append(keys, v)
+			}
+			sort.Strings(keys)
+			for _, v := range keys {
+				if counts[v] > best {
+					target, best = v, counts[v]
+				}
+			}
+			tuples := make([]int, 0, len(tupleSet))
+			for t := range tupleSet {
+				tuples = append(tuples, t)
+			}
+			sort.Ints(tuples)
+			for _, t := range tuples {
+				apply(t, col, target)
+			}
+		}
+	}
+	return changes
+}
+
+// connectedComponents groups classes sharing a consequent attribute and at
+// least one tuple, using a tuple→class index so cost is linear in total
+// class size.
+func connectedComponents(classes []*eqClass) [][]*eqClass {
+	n := len(classes)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	// last class index seen per (rhs, tuple).
+	type tk struct{ rhs, tuple int }
+	lastSeen := make(map[tk]int)
+	for i, x := range classes {
+		for _, t := range x.tuples {
+			k := tk{x.ofd.RHS, t}
+			if j, ok := lastSeen[k]; ok {
+				union(i, j)
+			}
+			lastSeen[k] = i
+		}
+	}
+	groups := make(map[int][]*eqClass)
+	for i, x := range classes {
+		groups[find(i)] = append(groups[find(i)], x)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]*eqClass, 0, len(groups))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}

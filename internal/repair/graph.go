@@ -1,0 +1,235 @@
+package repair
+
+import (
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/emd"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// depEdge connects two equivalence classes from different OFDs that share a
+// consequent attribute and overlap in tuples; its weight is the EMD between
+// the overlap's value distributions under the two assigned senses.
+type depEdge struct {
+	a, b   int // indexes into the class slice
+	weight float64
+}
+
+// depGraph is the dependency graph of §5.2.2.
+type depGraph struct {
+	classes []*eqClass
+	adj     [][]int // class index -> incident edge indexes
+	edges   []depEdge
+}
+
+// buildDepGraph connects overlapping classes of OFDs with a common
+// consequent. Only pairs with a non-empty tuple intersection get an edge.
+func buildDepGraph(rel *relation.Relation, cov coverage, classes []*eqClass) *depGraph {
+	g := &depGraph{classes: classes, adj: make([][]int, len(classes))}
+	// Bucket classes by consequent attribute.
+	byRHS := make(map[int][]int)
+	for i, x := range classes {
+		byRHS[x.ofd.RHS] = append(byRHS[x.ofd.RHS], i)
+	}
+	for _, idxs := range byRHS {
+		for i := 0; i < len(idxs); i++ {
+			for j := i + 1; j < len(idxs); j++ {
+				xi, xj := classes[idxs[i]], classes[idxs[j]]
+				if xi.key.OFD == xj.key.OFD {
+					continue // same dependency: classes are disjoint
+				}
+				overlap := intersectTuples(xi.tuples, xj.tuples)
+				if len(overlap) == 0 {
+					continue
+				}
+				w := overlapEMD(rel, cov, xi, xj, overlap)
+				e := depEdge{a: idxs[i], b: idxs[j], weight: w}
+				g.adj[idxs[i]] = append(g.adj[idxs[i]], len(g.edges))
+				g.adj[idxs[j]] = append(g.adj[idxs[j]], len(g.edges))
+				g.edges = append(g.edges, e)
+			}
+		}
+	}
+	return g
+}
+
+// intersectTuples intersects two ascending tuple-id lists.
+func intersectTuples(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// senseHistogram builds D(Ω(λ)): the distribution of the overlap's
+// consequent values with every value covered by λ collapsed to λ's
+// canonical value.
+func senseHistogram(rel *relation.Relation, cov coverage, col int, tuples []int, sense ontology.ClassID) emd.Hist {
+	h := make(emd.Hist, 4)
+	for _, t := range tuples {
+		v := rel.String(t, col)
+		if cov.covers(sense, v) {
+			v = cov.ont.Name(sense)
+		}
+		h[v]++
+	}
+	return h
+}
+
+// overlapEMD is the edge weight: the work to transform D(Ω(λ_i)) into
+// D(Ω(λ_j)) measured as an absolute number of unit moves.
+func overlapEMD(rel *relation.Relation, cov coverage, xi, xj *eqClass, overlap []int) float64 {
+	hi := senseHistogram(rel, cov, xi.ofd.RHS, overlap, xi.sense)
+	hj := senseHistogram(rel, cov, xj.ofd.RHS, overlap, xj.sense)
+	return emd.WorkDistance(hi, hj)
+}
+
+// nodeWeight sums the weights of all edges incident to class i (the BFS
+// priority in Algorithm 7).
+func (g *depGraph) nodeWeight(i int) float64 {
+	w := 0.0
+	for _, e := range g.adj[i] {
+		w += g.edges[e].weight
+	}
+	return w
+}
+
+// refineOutcome reports what local refinement decided for one edge.
+type refineOutcome int
+
+const (
+	keepSenses refineOutcome = iota
+	reassigned
+	preferOntologyRepair
+	preferDataRepair
+)
+
+// refineEdge implements the cost comparison of §5.2.1 for one conflicting
+// edge: u1 is the class being visited (kept fixed), u2 the neighbour whose
+// sense may be reassigned. Returns the chosen option.
+func refineEdge(rel *relation.Relation, cov coverage, g *depGraph, ei, fixed int) refineOutcome {
+	e := &g.edges[ei]
+	a, b := e.a, e.b
+	if b == fixed {
+		a, b = b, a
+	}
+	x1, x2 := g.classes[a], g.classes[b]
+	overlap := intersectTuples(x1.tuples, x2.tuples)
+	if len(overlap) == 0 {
+		return keepSenses
+	}
+	rho1 := uncoveredValues(rel, cov, &eqClass{ofd: x1.ofd, tuples: overlap}, x1.sense)
+	rho2 := uncoveredValues(rel, cov, &eqClass{ofd: x2.ofd, tuples: overlap}, x2.sense)
+
+	// Option (i): ontology repair — add every outlier to S under the two
+	// senses; cost = |ρ_λ1| + |ρ_λ2|.
+	costOnt := len(rho1) + len(rho2)
+
+	// Option (ii): data repair — update the tuples carrying outlier values;
+	// cost = |R(Ω(λ1))| + |R(Ω(λ2))|.
+	costData := uncoveredTuples(rel, cov, &eqClass{ofd: x1.ofd, tuples: overlap}, x1.sense) +
+		uncoveredTuples(rel, cov, &eqClass{ofd: x2.ofd, tuples: overlap}, x2.sense)
+
+	// Option (iii): reassign u2's sense to some λ′ covering outlier values;
+	// delta cost = |R(x2_λ′)| − |R(x2_λ)| over the whole class.
+	baseUncovered := uncoveredTuples(rel, cov, x2, x2.sense)
+	bestSense, bestDelta := ontology.NoClass, int(^uint(0)>>1)
+	candidates := candidateSenses(cov, append(append([]string(nil), rho1...), rho2...))
+	for _, cand := range candidates {
+		if cand == x2.sense {
+			continue
+		}
+		delta := uncoveredTuples(rel, cov, x2, cand) - baseUncovered
+		if delta < bestDelta || (delta == bestDelta && cand < bestSense) {
+			bestSense, bestDelta = cand, delta
+		}
+	}
+
+	// Pick the locally cheapest option.
+	if bestSense != ontology.NoClass && bestDelta <= costOnt && bestDelta <= costData {
+		// Reassign only if the edge weight would actually decrease.
+		old := x2.sense
+		x2.sense = bestSense
+		newW := overlapEMD(rel, cov, x1, x2, overlap)
+		if newW < e.weight {
+			e.weight = newW
+			return reassigned
+		}
+		x2.sense = old
+		return keepSenses
+	}
+	if costOnt <= costData {
+		return preferOntologyRepair
+	}
+	return preferDataRepair
+}
+
+// candidateSenses returns the senses covering at least one of the values,
+// deduplicated and sorted.
+func candidateSenses(cov coverage, values []string) []ontology.ClassID {
+	seen := make(map[ontology.ClassID]struct{})
+	var out []ontology.ClassID
+	for _, v := range values {
+		for _, cls := range cov.interpretations(v) {
+			if _, dup := seen[cls]; dup {
+				continue
+			}
+			seen[cls] = struct{}{}
+			out = append(out, cls)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// localRefinement implements Algorithms 6/7: visit classes in decreasing
+// total-EMD order; for each incident edge above θ, evaluate the repair
+// options and reassign senses when that lowers the edge weight.
+func localRefinement(rel *relation.Relation, cov coverage, g *depGraph, theta float64, assignment Assignment) {
+	order := make([]int, len(g.classes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa, wb := g.nodeWeight(order[a]), g.nodeWeight(order[b])
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	for _, i := range order {
+		// Visit this node's edges heaviest-first.
+		edges := append([]int(nil), g.adj[i]...)
+		sort.SliceStable(edges, func(a, b int) bool {
+			if g.edges[edges[a]].weight != g.edges[edges[b]].weight {
+				return g.edges[edges[a]].weight > g.edges[edges[b]].weight
+			}
+			return edges[a] < edges[b]
+		})
+		for _, ei := range edges {
+			if g.edges[ei].weight <= theta {
+				continue
+			}
+			if refineEdge(rel, cov, g, ei, i) == reassigned {
+				// Keep the assignment view in sync.
+				other := g.edges[ei].a
+				if other == i {
+					other = g.edges[ei].b
+				}
+				assignment[g.classes[other].key] = g.classes[other].sense
+			}
+		}
+	}
+}

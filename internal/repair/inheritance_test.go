@@ -1,0 +1,144 @@
+package repair
+
+import (
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+func TestCoverageSemantics(t *testing.T) {
+	o := ontology.New()
+	fam := o.MustAddClass("NSAID", "FDA", ontology.NoClass)
+	ibu := o.MustAddClass("ibuprofen", "FDA", fam, "advil")
+	o.MustAddClass("naproxen", "FDA", fam)
+
+	syn := coverage{ont: o, theta: 0}
+	inh := coverage{ont: o, theta: 1}
+
+	// Synonym semantics: only direct membership.
+	if !syn.covers(ibu, "advil") || syn.covers(fam, "advil") {
+		t.Fatal("synonym coverage wrong")
+	}
+	// Inheritance semantics: the family covers its children's values.
+	if !inh.covers(fam, "advil") || !inh.covers(fam, "naproxen") {
+		t.Fatal("inheritance coverage wrong")
+	}
+	// But not beyond theta.
+	deep := o.MustAddClass("kids-advil", "FDA", ibu)
+	_ = deep
+	if inh.covers(fam, "kids-advil") {
+		t.Fatal("theta=1 must not cover depth-2 values")
+	}
+	if (coverage{ont: o, theta: 2}).covers(fam, "kids-advil") == false {
+		t.Fatal("theta=2 must cover depth-2 values")
+	}
+	// interpretations at theta=1 include the parent.
+	found := false
+	for _, cls := range inh.interpretations("advil") {
+		if cls == fam {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("interpretations must include ancestors within theta")
+	}
+	// shared: {advil, naproxen} share only the family (at theta=1).
+	sh := inh.shared([]string{"advil", "naproxen"})
+	if len(sh) != 1 || sh[0] != fam {
+		t.Fatalf("shared = %v", sh)
+	}
+	if got := syn.shared([]string{"advil", "naproxen"}); len(got) != 0 {
+		t.Fatalf("synonym shared = %v", got)
+	}
+	// NoClass covers nothing.
+	if syn.covers(ontology.NoClass, "advil") || inh.covers(ontology.NoClass, "advil") {
+		t.Fatal("NoClass must cover nothing")
+	}
+}
+
+func TestInheritanceCleanPaperExample(t *testing.T) {
+	// Figure 1 tree: the NSAID family. A class mixing ibuprofen/naproxen
+	// plus one typo should, under inheritance semantics, keep the family
+	// values and fix only the typo.
+	o := ontology.New()
+	fam := o.MustAddClass("NSAID", "FDA", ontology.NoClass)
+	o.MustAddClass("ibuprofen", "FDA", fam)
+	o.MustAddClass("naproxen", "FDA", fam)
+
+	schema := relation.MustSchema("SYMP", "MED")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"joint pain", "ibuprofen"},
+		{"joint pain", "naproxen"},
+		{"joint pain", "ibuprofen"},
+		{"joint pain", "ibuprofn"}, // typo
+	})
+	sigma := core.Set{core.MustParse(schema, "SYMP -> MED")}
+
+	opts := DefaultOptions()
+	opts.IsATheta = 1
+	opts.Tau = 1
+	res, err := Clean(rel, o, sigma, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.NewVerifier(res.Instance, res.Ontology, nil)
+	if !v.HoldsInh(sigma[0], 1) {
+		t.Fatal("repaired instance violates the inheritance OFD")
+	}
+	// naproxen must have survived (covered via the family); under synonym
+	// semantics it would have been rewritten.
+	foundNaproxen := false
+	for i := 0; i < res.Instance.NumRows(); i++ {
+		if res.Instance.String(i, 1) == "naproxen" {
+			foundNaproxen = true
+		}
+	}
+	if !foundNaproxen {
+		t.Errorf("inheritance repair rewrote naproxen: %+v", res.Best.DataChanges)
+	}
+	if res.Best.DataDist+res.Best.OntDist == 0 {
+		t.Fatal("the typo needed some repair")
+	}
+	// Contrast: synonym semantics needs more changes (no common sense).
+	synRes, err := Clean(rel, o, sigma, Options{Theta: 5, Beam: 3, Tau: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synRes.Best.DataDist < res.Best.DataDist {
+		t.Errorf("synonym repair (%d) cheaper than inheritance repair (%d)?",
+			synRes.Best.DataDist, res.Best.DataDist)
+	}
+}
+
+func TestInheritanceCleanOnGeneratedFamilies(t *testing.T) {
+	// The generator's InhSigma holds at θ=1 on clean data but fails as
+	// synonym OFDs. Cleaning the CLEAN instance under inheritance
+	// semantics must therefore be a no-op, while synonym semantics would
+	// rewrite heavily.
+	ds := gen.Generate(gen.Config{Rows: 300, Seed: 61})
+	opts := DefaultOptions()
+	opts.IsATheta = ds.InhTheta
+	res, err := Clean(ds.CleanRel, ds.FullOnt, ds.InhSigma, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.DataDist != 0 || res.Best.OntDist != 0 {
+		t.Fatalf("clean data under inheritance semantics needed %d+%d repairs",
+			res.Best.OntDist, res.Best.DataDist)
+	}
+	// And with injected errors, cleaning restores inheritance satisfaction.
+	ds2 := gen.Generate(gen.Config{Rows: 300, Seed: 62, ErrRate: 0.05})
+	res2, err := Clean(ds2.Rel, ds2.FullOnt, ds2.InhSigma, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.NewVerifier(res2.Instance, res2.Ontology, nil)
+	for _, d := range ds2.InhSigma {
+		if !v.HoldsInh(d, ds2.InhTheta) {
+			t.Errorf("inheritance OFD %s still violated after cleaning", d.Format(ds2.Rel.Schema()))
+		}
+	}
+}

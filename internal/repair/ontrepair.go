@@ -1,0 +1,201 @@
+package repair
+
+import (
+	"math"
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// OntChange is one ontology repair: value added to a class (sense).
+type OntChange struct {
+	Class ontology.ClassID
+	Value string
+}
+
+// ontCandidate is a candidate ontology repair: a data value absent from the
+// ontology, to be added under the sense assigned to the class it appears
+// in, weighted by how many tuples it would legitimize.
+type ontCandidate struct {
+	change OntChange
+	tuples int
+}
+
+// ontologyCandidates computes Cand(S): for every equivalence class, the
+// consequent values not present anywhere in S (under the class's assigned
+// sense). Values seen in multiple classes aggregate their tuple counts;
+// the sense of the class with the most affected tuples wins.
+func ontologyCandidates(rel *relation.Relation, cov coverage, classes []*eqClass) []ontCandidate {
+	type key struct {
+		cls ontology.ClassID
+		val string
+	}
+	counts := make(map[key]int)
+	for _, x := range classes {
+		if x.sense == ontology.NoClass {
+			continue // no interpretation to repair under
+		}
+		for _, t := range x.tuples {
+			v := rel.String(t, x.ofd.RHS)
+			if cov.ont.Contains(v) {
+				continue
+			}
+			counts[key{x.sense, v}]++
+		}
+	}
+	// Keep, per value, the sense with the highest tuple count.
+	best := make(map[string]ontCandidate)
+	for k, c := range counts {
+		cur, ok := best[k.val]
+		if !ok || c > cur.tuples || (c == cur.tuples && k.cls < cur.change.Class) {
+			best[k.val] = ontCandidate{change: OntChange{Class: k.cls, Value: k.val}, tuples: c}
+		}
+	}
+	out := make([]ontCandidate, 0, len(best))
+	for _, c := range best {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].tuples != out[j].tuples {
+			return out[i].tuples > out[j].tuples
+		}
+		return out[i].change.Value < out[j].change.Value
+	})
+	return out
+}
+
+// SecretaryBeam returns the beam size b = ⌊w/e⌋ recommended by the
+// secretary-problem analysis (§6.1), with a floor of 1.
+func SecretaryBeam(w int) int {
+	b := int(math.Floor(float64(w) / math.E))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// beamNode is a subset of candidate repairs under evaluation.
+type beamNode struct {
+	members []int // candidate indexes, ascending
+	delta   int   // estimated data repairs remaining after applying members
+}
+
+// repairEstimator scores candidate ontology-repair sets: δ(v_k) is the
+// number of tuples whose value the assigned sense does not cover after the
+// hypothetical additions. Candidate gains are independent (a candidate
+// covers exactly its own (sense, value) pair and candidates are
+// value-disjoint), so δ(members) = base − Σ gain(member); the estimator
+// precomputes the per-candidate gains once, making each node O(|members|).
+type repairEstimator struct {
+	base int
+	gain []int
+}
+
+func newRepairEstimator(rel *relation.Relation, cov coverage, classes []*eqClass, cands []ontCandidate) *repairEstimator {
+	est := &repairEstimator{gain: make([]int, len(cands))}
+	candIdx := make(map[OntChange]int, len(cands))
+	for i, c := range cands {
+		candIdx[c.change] = i
+	}
+	for _, x := range classes {
+		counts := x.valueCounts(rel)
+		if len(counts) == 1 {
+			continue // a constant class is satisfied regardless
+		}
+		for v, c := range counts {
+			if cov.covers(x.sense, v) {
+				continue
+			}
+			est.base += c
+			if i, ok := candIdx[OntChange{Class: x.sense, Value: v}]; ok {
+				est.gain[i] += c
+			}
+		}
+	}
+	return est
+}
+
+func (est *repairEstimator) delta(members []int) int {
+	d := est.base
+	for _, m := range members {
+		d -= est.gain[m]
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// beamLevel is the surviving frontier (top-b nodes by estimated δ) at one
+// lattice level.
+type beamLevel struct {
+	frontier []beamNode
+}
+
+// beamSearch implements Algorithm 8 (Ontology_Repair): traverse the
+// set-containment lattice of candidate ontology repairs level by level,
+// expanding only the top-b nodes with the smallest estimated data-repair
+// counts, and return each level's frontier (level 0 first). The caller
+// materializes frontier nodes with the exact repair procedure and keeps
+// the best — which is where beam width buys accuracy, since the estimate
+// ignores cross-OFD interactions. maxK caps the lattice depth; 0 means
+// |Cand(S)|. The search stops early once no remaining candidate reduces δ.
+func beamSearch(rel *relation.Relation, cov coverage, classes []*eqClass, cands []ontCandidate, b, maxK int) []beamLevel {
+	if maxK <= 0 || maxK > len(cands) {
+		maxK = len(cands)
+	}
+	if b < 1 {
+		b = SecretaryBeam(len(cands))
+	}
+	est := newRepairEstimator(rel, cov, classes, cands)
+	// Order candidates by decreasing estimated gain so that high-value
+	// subsets are reachable under ascending-index enumeration (expansion
+	// only appends candidates after a node's last member).
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return est.gain[order[a]] > est.gain[order[b]] })
+	pos := make([]int, len(cands)) // candidate -> position in order
+	for p, c := range order {
+		pos[c] = p
+	}
+
+	base := beamNode{delta: est.base}
+	perLevel := []beamLevel{{frontier: []beamNode{base}}}
+	frontier := []beamNode{base}
+	for k := 1; k <= maxK; k++ {
+		// Expand each frontier node with every candidate whose position
+		// follows the node's last member (set semantics, no duplicates).
+		var nextNodes []beamNode
+		for _, nd := range frontier {
+			start := 0
+			if len(nd.members) > 0 {
+				start = pos[nd.members[len(nd.members)-1]] + 1
+			}
+			for p := start; p < len(order); p++ {
+				c := order[p]
+				members := append(append([]int(nil), nd.members...), c)
+				nextNodes = append(nextNodes, beamNode{members: members, delta: est.delta(members)})
+			}
+		}
+		if len(nextNodes) == 0 {
+			break
+		}
+		sort.SliceStable(nextNodes, func(i, j int) bool { return nextNodes[i].delta < nextNodes[j].delta })
+		if len(nextNodes) > b {
+			nextNodes = nextNodes[:b]
+		}
+		prevBest := perLevel[len(perLevel)-1].frontier[0].delta
+		if nextNodes[0].delta >= prevBest {
+			break // no remaining candidate reduces the repair estimate
+		}
+		perLevel = append(perLevel, beamLevel{frontier: nextNodes})
+		frontier = nextNodes
+		if nextNodes[0].delta == 0 {
+			break // consistency reached; deeper levels only add ontology cost
+		}
+	}
+	return perLevel
+}

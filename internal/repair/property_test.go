@@ -1,0 +1,167 @@
+package repair
+
+import (
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// TestRepairInvariants runs Clean across a grid of workloads and checks
+// the structural invariants of Definition 7 and the τ constraint.
+func TestRepairInvariants(t *testing.T) {
+	grid := []gen.Config{
+		{Rows: 200, Seed: 11, ErrRate: 0.05, NumOFDs: 4},
+		{Rows: 200, Seed: 12, ErrRate: 0.10, IncRate: 0.10, NumOFDs: 8},
+		{Rows: 200, Seed: 13, Senses: 8, ErrRate: 0.05, IncRate: 0.05, NumOFDs: 6},
+		{Rows: 200, Seed: 14, Preset: "kiva", ErrRate: 0.08, NumOFDs: 10},
+	}
+	for _, cfg := range grid {
+		ds := gen.Generate(cfg)
+		opts := Options{Theta: 5, Beam: 3, Tau: 1}
+		res, err := Clean(ds.Rel, ds.Ont, ds.Sigma, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// (1) Pareto set is non-dominated.
+		for i, a := range res.Pareto {
+			for j, b := range res.Pareto {
+				if i == j {
+					continue
+				}
+				if b.OntDist <= a.OntDist && b.DataDist <= a.DataDist &&
+					(b.OntDist < a.OntDist || b.DataDist < a.DataDist) {
+					t.Errorf("seed %d: dominated Pareto element (%d,%d) by (%d,%d)",
+						cfg.Seed, a.OntDist, a.DataDist, b.OntDist, b.DataDist)
+				}
+			}
+		}
+		// (2) Every Pareto option's distances match its change lists.
+		for _, opt := range res.Pareto {
+			if opt.OntDist != len(opt.OntChanges) || opt.DataDist != len(opt.DataChanges) {
+				t.Errorf("seed %d: distance/change mismatch", cfg.Seed)
+			}
+		}
+		// (3) The chosen repair satisfies Σ w.r.t. the repaired ontology.
+		v := core.NewVerifier(res.Instance, res.Ontology, nil)
+		if !v.SatisfiesAll(ds.Sigma) {
+			t.Errorf("seed %d: repaired instance violates Σ", cfg.Seed)
+		}
+		// (4) Data changes only touch consequent attributes.
+		consequents := make(map[int]bool)
+		for _, d := range ds.Sigma {
+			consequents[d.RHS] = true
+		}
+		for _, ch := range res.Best.DataChanges {
+			if !consequents[ch.Col] {
+				t.Errorf("seed %d: repair touched non-consequent column %d", cfg.Seed, ch.Col)
+			}
+		}
+		// (5) Ontology changes only add values absent from S.
+		for _, ch := range res.Best.OntChanges {
+			if ds.Ont.Contains(ch.Value) {
+				t.Errorf("seed %d: ontology repair re-added existing value %q", cfg.Seed, ch.Value)
+			}
+		}
+		// (6) Inputs untouched.
+		if ds.Ont.RepairDistance() != 0 {
+			t.Errorf("seed %d: input ontology mutated", cfg.Seed)
+		}
+	}
+}
+
+func TestTauExcludesExpensiveRepairs(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 300, Seed: 21, ErrRate: 0.15, NumOFDs: 6})
+	tight, err := Clean(ds.Rel, ds.Ont, ds.Sigma, Options{Theta: 5, Beam: 3, Tau: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With an absurdly tight τ no (or almost no) repairs qualify.
+	for _, opt := range tight.Pareto {
+		if !opt.WithinTau {
+			t.Error("Pareto set contains an out-of-τ option")
+		}
+	}
+	loose, err := Clean(ds.Rel, ds.Ont, ds.Sigma, Options{Theta: 5, Beam: 3, Tau: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose.Pareto) < len(tight.Pareto) {
+		t.Errorf("loosening τ shrank the Pareto set: %d -> %d", len(tight.Pareto), len(loose.Pareto))
+	}
+}
+
+func TestOntWeightSteersBestChoice(t *testing.T) {
+	// The paper's Table 3/4 scenario: with cheap ontology repairs the
+	// chooser picks an ontology-heavy point; with expensive ones it
+	// prefers data repair.
+	ds := gen.Generate(gen.Config{Rows: 300, Seed: 23, ErrRate: 0.02, IncRate: 0.08, NumOFDs: 6})
+	cheap, err := Clean(ds.Rel, ds.Ont, ds.Sigma, Options{Theta: 5, Beam: 3, Tau: 1, OntWeight: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pricey, err := Clean(ds.Rel, ds.Ont, ds.Sigma, Options{Theta: 5, Beam: 3, Tau: 1, OntWeight: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.Best.OntDist < pricey.Best.OntDist {
+		t.Errorf("cheaper ontology weight used fewer ontology repairs: %d vs %d",
+			cheap.Best.OntDist, pricey.Best.OntDist)
+	}
+	if pricey.Best.OntDist != 0 {
+		t.Errorf("prohibitive ontology weight still used %d ontology repairs", pricey.Best.OntDist)
+	}
+}
+
+func TestSelectLevels(t *testing.T) {
+	// Small counts materialize everything.
+	got := selectLevels(5, 16)
+	if len(got) != 5 || got[0] != 0 || got[4] != 4 {
+		t.Fatalf("selectLevels(5,16) = %v", got)
+	}
+	// Large counts are capped, include 0 and the last level, ascending.
+	got = selectLevels(200, 16)
+	if len(got) > 17 {
+		t.Fatalf("too many levels: %v", got)
+	}
+	if got[0] != 0 || got[len(got)-1] != 199 {
+		t.Fatalf("missing endpoints: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not ascending: %v", got)
+		}
+	}
+}
+
+func TestEqClassHelpers(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 100, Seed: 31, NumOFDs: 2})
+	classes := classesOf(ds.Rel, ds.Sigma, relation.NewPartitionCache(ds.Rel))
+	if len(classes) == 0 {
+		t.Fatal("no classes")
+	}
+	for _, x := range classes {
+		if len(x.tuples) < 2 {
+			t.Fatal("stripped classes must have ≥ 2 tuples")
+		}
+		counts := x.valueCounts(ds.Rel)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != len(x.tuples) {
+			t.Fatal("value counts do not partition the class")
+		}
+	}
+	// uncoveredValues/uncoveredTuples agree with manual computation for
+	// NoClass (everything uncovered).
+	x := classes[0]
+	if got := uncoveredTuples(ds.Rel, coverage{ont: ds.Ont}, x, ontology.NoClass); got != len(x.tuples) {
+		t.Fatalf("NoClass uncovered tuples = %d", got)
+	}
+	if got := uncoveredValues(ds.Rel, coverage{ont: ds.Ont}, x, ontology.NoClass); len(got) != len(x.valueCounts(ds.Rel)) {
+		t.Fatalf("NoClass uncovered values = %v", got)
+	}
+}

@@ -1,0 +1,207 @@
+package repair
+
+import (
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// paperOntology builds the medication ontology of Fig. 1 / Table 3: under
+// the FDA sense cartia ≡ tiazac (diltiazem hydrochloride); under Israel's
+// MoH sense cartia ≡ ASA (aspirin brands).
+func paperOntology() *ontology.Ontology {
+	o := ontology.New()
+	o.MustAddClass("diltiazem", "FDA", ontology.NoClass, "cartia", "tiazac")
+	o.MustAddClass("aspirin", "MoH", ontology.NoClass, "cartia", "ASA")
+	o.MustAddClass("United States", "GEO", ontology.NoClass, "US", "USA", "America")
+	o.MustAddClass("India", "GEO", ontology.NoClass, "IN", "Bharat")
+	return o
+}
+
+// paperRelation is Table 3 (the t8–t11 subset with the updated values).
+func paperRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema("CC", "CTRY", "SYMP", "DIAG", "MED")
+	rel, err := relation.FromRows(schema, [][]string{
+		{"US", "USA", "headache", "hypertension", "cartia"},
+		{"US", "USA", "headache", "hypertension", "ASA"},
+		{"US", "America", "headache", "hypertension", "tiazac"},
+		{"US", "United States", "headache", "hypertension", "adizem"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestCleanPaperExample(t *testing.T) {
+	rel := paperRelation(t)
+	ont := paperOntology()
+	schema := rel.Schema()
+	sigma := core.Set{
+		core.MustParse(schema, "CC -> CTRY"),
+		core.MustParse(schema, "SYMP, DIAG -> MED"),
+	}
+	res, err := Clean(rel, ont, sigma, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no repair found within tau")
+	}
+	// The repaired instance must satisfy Σ w.r.t. the repaired ontology.
+	v := core.NewVerifier(res.Instance, res.Ontology, nil)
+	if !v.SatisfiesAll(sigma) {
+		t.Errorf("repaired instance violates Σ; repairs: %+v / %+v", res.Best.OntChanges, res.Best.DataChanges)
+	}
+	// The Pareto set must contain at least the k=0 (pure data repair) and
+	// some repair; none dominated.
+	if len(res.Pareto) == 0 {
+		t.Fatal("empty Pareto set")
+	}
+	for i, a := range res.Pareto {
+		for j, b := range res.Pareto {
+			if i == j {
+				continue
+			}
+			if b.OntDist <= a.OntDist && b.DataDist <= a.DataDist &&
+				(b.OntDist < a.OntDist || b.DataDist < a.DataDist) {
+				t.Errorf("Pareto set contains dominated element %d", i)
+			}
+		}
+	}
+}
+
+func TestCleanRejectsOverlappingSigma(t *testing.T) {
+	rel := paperRelation(t)
+	schema := rel.Schema()
+	sigma := core.Set{
+		core.MustParse(schema, "CC -> CTRY"),
+		core.MustParse(schema, "CTRY -> MED"), // CTRY on both sides
+	}
+	if _, err := Clean(rel, paperOntology(), sigma, DefaultOptions()); err == nil {
+		t.Fatal("expected error for overlapping antecedent/consequent attributes")
+	}
+}
+
+func TestCleanRepairedInstanceSatisfiesSigma(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		ds := gen.Generate(gen.Config{Rows: 300, Seed: seed, ErrRate: 0.05, IncRate: 0.05, NumOFDs: 6})
+		res, err := Clean(ds.Rel, ds.Ont, ds.Sigma, Options{Theta: 5, Beam: 3, Tau: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best == nil {
+			t.Fatal("no repair selected")
+		}
+		v := core.NewVerifier(res.Instance, res.Ontology, nil)
+		for _, d := range ds.Sigma {
+			if !v.HoldsSyn(d) {
+				t.Errorf("seed %d: repaired instance violates %s", seed, d.Format(ds.Rel.Schema()))
+			}
+		}
+		// Inputs must not have been modified.
+		if got := ds.Ont.RepairDistance(); got != 0 {
+			t.Errorf("seed %d: input ontology modified (%d repairs)", seed, got)
+		}
+	}
+}
+
+func TestCleanOnCleanDataIsNoop(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 200, Seed: 4, NumOFDs: 4})
+	res, err := Clean(ds.Rel, ds.FullOnt, ds.Sigma, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best option")
+	}
+	if res.Best.DataDist != 0 || res.Best.OntDist != 0 {
+		t.Errorf("clean data should need no repairs, got ont=%d data=%d (changes %+v)",
+			res.Best.OntDist, res.Best.DataDist, res.Best.DataChanges)
+	}
+}
+
+func TestInitialAssignmentPicksCoveringSense(t *testing.T) {
+	ont := paperOntology()
+	schema := relation.MustSchema("K", "MED")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"a", "cartia"},
+		{"a", "tiazac"},
+		{"a", "tiazac"},
+	})
+	x := &eqClass{ofd: core.MustParse(schema, "K -> MED"), tuples: []int{0, 1, 2}}
+	sense := initialAssignment(rel, coverage{ont: ont}, x)
+	if sense == ontology.NoClass {
+		t.Fatal("no sense assigned")
+	}
+	if ont.Sense(sense) != "FDA" {
+		t.Errorf("want FDA sense (covers cartia+tiazac), got %s/%s", ont.Sense(sense), ont.Name(sense))
+	}
+}
+
+func TestInitialAssignmentNoOntologyCoverage(t *testing.T) {
+	ont := paperOntology()
+	schema := relation.MustSchema("K", "MED")
+	rel, _ := relation.FromRows(schema, [][]string{
+		{"a", "unknown1"},
+		{"a", "unknown2"},
+	})
+	x := &eqClass{ofd: core.MustParse(schema, "K -> MED"), tuples: []int{0, 1}}
+	if sense := initialAssignment(rel, coverage{ont: ont}, x); sense != ontology.NoClass {
+		t.Errorf("expected NoClass for uncovered values, got %d", sense)
+	}
+}
+
+func TestSecretaryBeam(t *testing.T) {
+	if b := SecretaryBeam(0); b != 1 {
+		t.Errorf("SecretaryBeam(0) = %d, want 1", b)
+	}
+	if b := SecretaryBeam(10); b != 3 {
+		t.Errorf("SecretaryBeam(10) = %d, want 3", b)
+	}
+	if b := SecretaryBeam(30); b != 11 {
+		t.Errorf("SecretaryBeam(30) = %d, want 11", b)
+	}
+}
+
+func TestVertexCoverCoversAllEdges(t *testing.T) {
+	edges := []conflictEdge{{t1: 1, t2: 2}, {t1: 2, t2: 3}, {t1: 4, t2: 5}}
+	cover := vertexCover2Approx(edges)
+	for _, e := range edges {
+		_, in1 := cover[e.t1]
+		_, in2 := cover[e.t2]
+		if !in1 && !in2 {
+			t.Errorf("edge (%d,%d) not covered", e.t1, e.t2)
+		}
+	}
+	if len(cover) > 4 { // optimal is 2 ({2},{4 or 5}); 2-approx ≤ 4
+		t.Errorf("cover size %d exceeds 2-approximation bound", len(cover))
+	}
+}
+
+func TestOntologyRepairAddsMissingValue(t *testing.T) {
+	// ASA and adizem are absent under FDA; the minimal combined repair in
+	// Table 4 adds values to the ontology rather than rewriting all data.
+	rel := paperRelation(t)
+	ont := paperOntology()
+	sigma := core.Set{core.MustParse(rel.Schema(), "SYMP, DIAG -> MED")}
+	res, err := Clean(rel, ont, sigma, Options{Theta: 5, Beam: 5, Tau: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some Pareto option must use at least one ontology repair, and adding
+	// ontology repairs must not increase data repairs.
+	sawOnt := false
+	for _, opt := range res.Pareto {
+		if opt.OntDist > 0 {
+			sawOnt = true
+		}
+	}
+	if !sawOnt {
+		t.Errorf("expected an ontology-repair option in the Pareto set: %+v", res.Pareto)
+	}
+}

@@ -1,0 +1,110 @@
+package repair
+
+import (
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// SigmaRepair proposes a modification to one dependency rather than to the
+// data or ontology: augmenting a violated OFD's antecedent until it holds
+// — the "repair the constraints" alternative the paper attributes to
+// Chiang & Miller / Beskales et al. (relative trust). Appending attributes
+// makes the antecedent more selective, splitting offending equivalence
+// classes apart.
+type SigmaRepair struct {
+	// Original is the violated dependency.
+	Original core.OFD
+	// Repairs lists every minimal augmentation X∪Y → A that holds on the
+	// instance, cheapest (fewest added attributes) first.
+	Repairs []core.OFD
+}
+
+// SigmaRepairOptions configure RepairSigma.
+type SigmaRepairOptions struct {
+	// MaxAdd bounds how many attributes may be appended (default 2).
+	MaxAdd int
+	// IsATheta evaluates candidates under inheritance semantics with this
+	// is-a bound; 0 uses synonym semantics.
+	IsATheta int
+}
+
+// RepairSigma returns, for every violated dependency in Σ, the minimal
+// antecedent augmentations (up to MaxAdd added attributes) under which the
+// instance satisfies the repaired dependency. Dependencies that already
+// hold are omitted. Candidate attributes exclude the dependency's own
+// consequent; the consequents of other dependencies remain allowed (the
+// caller may prefer to avoid them to preserve the repair framework's
+// antecedent/consequent disjointness).
+func RepairSigma(rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts SigmaRepairOptions) []SigmaRepair {
+	if opts.MaxAdd <= 0 {
+		opts.MaxAdd = 2
+	}
+	v := core.NewVerifier(rel, ont, nil)
+	holds := func(d core.OFD) bool {
+		if opts.IsATheta > 0 {
+			return v.HoldsInh(d, opts.IsATheta)
+		}
+		return v.HoldsSyn(d)
+	}
+	var out []SigmaRepair
+	all := rel.Schema().All()
+	for _, d := range sigma {
+		if holds(d) {
+			continue
+		}
+		sr := SigmaRepair{Original: d}
+		candidates := all.Minus(d.LHS).Without(d.RHS).Attrs()
+		var minimal []relation.AttrSet
+		// Level-wise over added attribute sets Y, smallest first, pruning
+		// supersets of already-found augmentations (they cannot be
+		// minimal) — the Augmentation axiom guarantees they hold anyway.
+		var level []relation.AttrSet
+		for _, a := range candidates {
+			level = append(level, relation.Single(a))
+		}
+		for size := 1; size <= opts.MaxAdd && len(level) > 0; size++ {
+			var next []relation.AttrSet
+			for _, y := range level {
+				dominated := false
+				for _, m := range minimal {
+					if m.SubsetOf(y) {
+						dominated = true
+						break
+					}
+				}
+				if dominated {
+					continue
+				}
+				if holds(core.OFD{LHS: d.LHS.Union(y), RHS: d.RHS}) {
+					minimal = append(minimal, y)
+					continue
+				}
+				// Expand by attributes after y's largest member so each
+				// set is generated once.
+				attrs := y.Attrs()
+				last := attrs[len(attrs)-1]
+				for _, a := range candidates {
+					if a > last {
+						next = append(next, y.With(a))
+					}
+				}
+			}
+			level = next
+		}
+		relation.SortSets(minimal)
+		for _, y := range minimal {
+			sr.Repairs = append(sr.Repairs, core.OFD{LHS: d.LHS.Union(y), RHS: d.RHS})
+		}
+		sort.SliceStable(sr.Repairs, func(i, j int) bool {
+			if li, lj := sr.Repairs[i].LHS.Len(), sr.Repairs[j].LHS.Len(); li != lj {
+				return li < lj
+			}
+			return sr.Repairs[i].LHS < sr.Repairs[j].LHS
+		})
+		out = append(out, sr)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package repair
+
+import (
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/gen"
+)
+
+func TestRepairSigmaPaperExample(t *testing.T) {
+	// Table 3: [SYMP, DIAG] -> MED is violated ({cartia, ASA, tiazac,
+	// adizem} share no sense). Appending CTRY splits the class into
+	// {USA: cartia, ASA} (MoH sense), {America: tiazac}, {United States:
+	// adizem} — all satisfied — so CTRY must be proposed.
+	rel := paperRelation(t)
+	ont := paperOntology()
+	schema := rel.Schema()
+	sigma := core.Set{
+		core.MustParse(schema, "CC -> CTRY"), // holds; must be omitted
+		core.MustParse(schema, "SYMP, DIAG -> MED"),
+	}
+	out := RepairSigma(rel, ont, sigma, SigmaRepairOptions{})
+	if len(out) != 1 {
+		t.Fatalf("expected exactly the violated dependency, got %d entries", len(out))
+	}
+	sr := out[0]
+	if sr.Original != sigma[1] {
+		t.Fatalf("wrong original: %v", sr.Original)
+	}
+	want := core.MustParse(schema, "SYMP, DIAG, CTRY -> MED")
+	found := false
+	for _, r := range sr.Repairs {
+		if r == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("CTRY augmentation not proposed: %v", sr.Repairs)
+	}
+	// Every proposal must actually hold and be minimal.
+	v := core.NewVerifier(rel, ont, nil)
+	for i, r := range sr.Repairs {
+		if !v.HoldsSyn(r) {
+			t.Errorf("proposal %v does not hold", r)
+		}
+		for j, other := range sr.Repairs {
+			if i != j && other.LHS.ProperSubsetOf(r.LHS) {
+				t.Errorf("proposal %v is non-minimal (subsumed by %v)", r, other)
+			}
+		}
+	}
+}
+
+func TestRepairSigmaMaxAdd(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 300, Seed: 81, ErrRate: 0.1, NumOFDs: 4})
+	out := RepairSigma(ds.Rel, ds.Ont, ds.Sigma, SigmaRepairOptions{MaxAdd: 1})
+	v := core.NewVerifier(ds.Rel, ds.Ont, nil)
+	for _, sr := range out {
+		if v.HoldsSyn(sr.Original) {
+			t.Errorf("non-violated dependency reported: %v", sr.Original)
+		}
+		for _, r := range sr.Repairs {
+			if r.LHS.Len() > sr.Original.LHS.Len()+1 {
+				t.Errorf("MaxAdd=1 exceeded: %v", r)
+			}
+			if !v.HoldsSyn(r) {
+				t.Errorf("proposal %v does not hold", r)
+			}
+		}
+	}
+}
+
+func TestRepairSigmaInheritanceMode(t *testing.T) {
+	// Under inheritance semantics some dependencies stop being violated,
+	// so fewer (or cheaper) sigma repairs are needed.
+	ds := gen.Generate(gen.Config{Rows: 300, Seed: 82})
+	// The family OFDs are violated under synonym semantics…
+	synOut := RepairSigma(ds.CleanRel, ds.FullOnt, ds.InhSigma, SigmaRepairOptions{})
+	if len(synOut) != len(ds.InhSigma) {
+		t.Fatalf("family OFDs should all be synonym-violated: %d of %d", len(synOut), len(ds.InhSigma))
+	}
+	// …and satisfied under inheritance semantics (no repairs proposed).
+	inhOut := RepairSigma(ds.CleanRel, ds.FullOnt, ds.InhSigma, SigmaRepairOptions{IsATheta: ds.InhTheta})
+	if len(inhOut) != 0 {
+		t.Fatalf("inheritance semantics should clear the family OFDs: %v", inhOut)
+	}
+}

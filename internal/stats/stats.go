@@ -1,0 +1,87 @@
+// Package stats provides the small set of robust statistics the paper's
+// sense-assignment algorithm relies on: median and Median Absolute
+// Deviation (MAD), plus MAD-based outlier-resistant value ranking.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (mean of the two middle elements for even
+// length). It returns NaN for an empty slice and does not modify xs.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the Median Absolute Deviation: median(|x_i − median(x)|).
+// It returns NaN for an empty slice.
+func MAD(xs []float64) float64 {
+	m := Median(xs)
+	if math.IsNaN(m) {
+		return m
+	}
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return Median(dev)
+}
+
+// Deviations returns |x_i − median(x)| for each element.
+func Deviations(xs []float64) []float64 {
+	m := Median(xs)
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = math.Abs(x - m)
+	}
+	return out
+}
+
+// RankByMADScore orders the indices of xs by decreasing signed deviation
+// from the median (x_i − median), breaking ties by ascending index. Used
+// with value frequencies, this ranks the values a sense should cover first:
+// frequencies far ABOVE the median (the class's established values) come
+// first, while low-frequency outliers — the likely errors the paper's MAD
+// ranking is designed to be robust to — come last and are the first dropped
+// from the top-k′ window during sense selection.
+func RankByMADScore(xs []float64) []int {
+	m := Median(xs)
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		da, db := xs[idx[a]]-m, xs[idx[b]]-m
+		if da != db {
+			return da > db
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// RankByValue orders indices by decreasing value (plain frequency ranking),
+// the non-robust alternative ablated against MAD ranking.
+func RankByValue(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if xs[idx[a]] != xs[idx[b]] {
+			return xs[idx[a]] > xs[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}

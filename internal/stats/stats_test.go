@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{1, 3}, 2},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{9, 1, 5}
+	Median(in)
+	if !reflect.DeepEqual(in, []float64{9, 1, 5}) {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestMAD(t *testing.T) {
+	// Classic example: {1,1,2,2,4,6,9}: median 2; deviations
+	// {1,1,0,0,2,4,7}: median 1.
+	in := []float64{1, 1, 2, 2, 4, 6, 9}
+	if got := MAD(in); got != 1 {
+		t.Fatalf("MAD = %v, want 1", got)
+	}
+	if !math.IsNaN(MAD(nil)) {
+		t.Error("MAD(nil) should be NaN")
+	}
+}
+
+func TestMADRobustToOutlier(t *testing.T) {
+	base := []float64{5, 5, 5, 5, 5, 5, 5, 5, 5}
+	spiked := append(append([]float64(nil), base...), 1e6)
+	if MAD(spiked) > 1 {
+		t.Fatalf("MAD not robust: %v", MAD(spiked))
+	}
+}
+
+func TestRankByMADScoreDropsRareValuesLast(t *testing.T) {
+	// Frequencies: canonical 10, variants 4 and 3, error 1. The error
+	// (lowest frequency) must rank last so the top-k window sheds it
+	// first.
+	freqs := []float64{10, 4, 3, 1}
+	rank := RankByMADScore(freqs)
+	if rank[0] != 0 || rank[len(rank)-1] != 3 {
+		t.Fatalf("rank = %v", rank)
+	}
+}
+
+func TestRankByMADScoreIsPermutation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		// Frequencies in practice are small non-negative counts.
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			xs[i] = float64(x)
+		}
+		rank := RankByMADScore(xs)
+		if len(rank) != len(xs) {
+			return false
+		}
+		seen := make([]bool, len(xs))
+		for _, i := range rank {
+			if i < 0 || i >= len(xs) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		// Ordering: signed deviations non-increasing.
+		for k := 1; k < len(rank); k++ {
+			if xs[rank[k-1]] < xs[rank[k]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankByValue(t *testing.T) {
+	rank := RankByValue([]float64{2, 9, 9, 1})
+	if !reflect.DeepEqual(rank, []int{1, 2, 0, 3}) {
+		t.Fatalf("rank = %v", rank)
+	}
+}
+
+func TestDeviations(t *testing.T) {
+	got := Deviations([]float64{1, 2, 3})
+	if !reflect.DeepEqual(got, []float64{1, 0, 1}) {
+		t.Fatalf("deviations = %v", got)
+	}
+}
+
+func TestMedianAgainstSortOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(100))
+		}
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		var want float64
+		if n%2 == 1 {
+			want = s[n/2]
+		} else {
+			want = (s[n/2-1] + s[n/2]) / 2
+		}
+		if got := Median(xs); got != want {
+			t.Fatalf("trial %d: Median(%v) = %v, want %v", trial, xs, got, want)
+		}
+	}
+}
