@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/discovery/ ./internal/repair/
+	$(GO) test -race ./...
 
 # One benchmark per paper table/figure plus ablations (see EXPERIMENTS.md).
 bench:

@@ -23,12 +23,21 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "experiments to run: 'all' or comma list with ranges, e.g. 1,3,6-8")
-		rows     = flag.Int("rows", 4000, "base tuple count for repair experiments")
-		discRows = flag.Int("discrows", 4000, "base tuple count for discovery experiments")
-		seeds    = flag.Int("seeds", 3, "seeds to average accuracy metrics over")
+		expFlag   = flag.String("exp", "all", "experiments to run: 'all' or comma list with ranges, e.g. 1,3,6-8")
+		rows      = flag.Int("rows", 4000, "base tuple count for repair experiments")
+		discRows  = flag.Int("discrows", 4000, "base tuple count for discovery experiments")
+		seeds     = flag.Int("seeds", 3, "seeds to average accuracy metrics over")
+		partBench = flag.String("partitionbench", "", "run the partition-engine micro-benchmarks and write JSON results to this path (e.g. BENCH_partition.json), then exit")
 	)
 	flag.Parse()
+
+	if *partBench != "" {
+		if err := runPartitionBench(*partBench, *discRows); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want, err := parseExpList(*expFlag)
 	if err != nil {

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// benchResult is one machine-readable benchmark row. The fields mirror what
+// `go test -bench -benchmem` prints, so regressions can be diffed by CI or
+// scripts without parsing bench output.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	GOOS    string        `json:"goos"`
+	GOARCH  string        `json:"goarch"`
+	NumCPU  int           `json:"num_cpu"`
+	Rows    int           `json:"rows"`
+	Results []benchResult `json:"results"`
+}
+
+// runPartitionBench measures the partition-engine ablations (the
+// stripped-partition product vs direct recomputation, and synonym vs
+// FD-shortcut verification) via the testing.Benchmark harness and writes the
+// results as JSON to path. These are the same workloads as
+// BenchmarkAblationPartitionProduct / BenchmarkAblationVerify at the repo
+// root; this entry point exists so perf numbers land in a file that scripts
+// can compare across commits.
+func runPartitionBench(path string, rows int) error {
+	ds := gen.Clinical(rows, 1)
+	pa := relation.SingleColumnPartition(ds.Rel, 2).Strip()
+	pb := relation.SingleColumnPartition(ds.Rel, 3).Strip()
+	pairAttrs := relation.Single(2).With(3)
+
+	pc := relation.NewPartitionCache(ds.Rel)
+	v := core.NewVerifier(ds.Rel, ds.FullOnt, pc)
+	schema := ds.Rel.Schema()
+	synOFD := core.MustParse(schema, "CC -> CTRY")
+	fdOFD := core.MustParse(schema, "SYMP -> STUDY_TYPE")
+
+	report := benchReport{
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Rows:   rows,
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		report.Results = append(report.Results, benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	add("partition-product", func(b *testing.B) {
+		var buf relation.ProductBuffer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Product(pa, pb)
+		}
+	})
+	add("partition-direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			relation.PartitionOf(ds.Rel, pairAttrs)
+		}
+	})
+	add("verify-synonym-heavy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v.HoldsSyn(synOFD)
+		}
+	})
+	add("verify-fd-fastpath", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v.HoldsSyn(fdOFD)
+		}
+	})
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	for _, r := range report.Results {
+		fmt.Printf("%-22s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -63,7 +63,8 @@ func Detect(rel *relation.Relation, ont *ontology.Ontology, sigma Set) *Report {
 	fdOnly := make(map[int]struct{})
 	for _, d := range sigma {
 		p := v.pc.Get(d.LHS)
-		for _, class := range p.Classes {
+		for i := 0; i < p.NumClasses(); i++ {
+			class := p.Class(i)
 			col := rel.Column(d.RHS)
 			distinct := make(map[relation.Value]struct{}, 4)
 			for _, t := range class {
@@ -75,13 +76,13 @@ func Detect(rel *relation.Relation, ont *ontology.Ontology, sigma Set) *Report {
 			if v.classSatisfied(class, d.RHS) {
 				// An FD would flag this class; the OFD clears it.
 				for _, t := range class {
-					fdOnly[t] = struct{}{}
+					fdOnly[int(t)] = struct{}{}
 				}
 				continue
 			}
 			rep.Violations = append(rep.Violations, explain(rel, ont, d, class, distinct))
 			for _, t := range class {
-				flagged[t] = struct{}{}
+				flagged[int(t)] = struct{}{}
 			}
 		}
 	}
@@ -101,7 +102,7 @@ func Detect(rel *relation.Relation, ont *ontology.Ontology, sigma Set) *Report {
 }
 
 // explain builds the Violation record for one violating class.
-func explain(rel *relation.Relation, ont *ontology.Ontology, d OFD, class []int, distinct map[relation.Value]struct{}) Violation {
+func explain(rel *relation.Relation, ont *ontology.Ontology, d OFD, class []int32, distinct map[relation.Value]struct{}) Violation {
 	dict := rel.Dict(d.RHS)
 	values := make([]string, 0, len(distinct))
 	for val := range distinct {
@@ -127,9 +128,13 @@ func explain(rel *relation.Relation, ont *ontology.Ontology, d OFD, class []int,
 		}
 	}
 
+	tuples := make([]int, len(class))
+	for i, t := range class {
+		tuples[i] = int(t)
+	}
 	viol := Violation{
 		OFD:       d,
-		Tuples:    append([]int(nil), class...),
+		Tuples:    tuples,
 		Values:    values,
 		BestSense: best,
 		Covered:   bestCount,

@@ -30,7 +30,7 @@ func ancestorsWithin(ont *ontology.Ontology, v string, theta int) map[ontology.C
 // classSatisfiedInh reports whether one equivalence class satisfies
 // X →_inh A under path-length bound theta: all values equal, or some
 // common ancestor within theta covers every distinct value.
-func (v *Verifier) classSatisfiedInh(class []int, rhs, theta int) bool {
+func (v *Verifier) classSatisfiedInh(class []int32, rhs, theta int) bool {
 	col := v.rel.Column(rhs)
 	first := col[class[0]]
 	allEqual := true
@@ -69,8 +69,8 @@ func (v *Verifier) HoldsInh(d OFD, theta int) bool {
 		return v.HoldsFD(d)
 	}
 	p := v.pc.Get(d.LHS)
-	for _, class := range p.Classes {
-		if !v.classSatisfiedInh(class, d.RHS, theta) {
+	for i := 0; i < p.NumClasses(); i++ {
+		if !v.classSatisfiedInh(p.Class(i), d.RHS, theta) {
 			return false
 		}
 	}
@@ -89,7 +89,8 @@ func (v *Verifier) SupportInh(d OFD, theta int) float64 {
 	satisfied := n
 	dict := v.rel.Dict(d.RHS)
 	col := v.rel.Column(d.RHS)
-	for _, class := range p.Classes {
+	for i := 0; i < p.NumClasses(); i++ {
+		class := p.Class(i)
 		valCount := make(map[relation.Value]int, 4)
 		for _, t := range class {
 			valCount[col[t]]++
@@ -119,9 +120,9 @@ func (v *Verifier) SupportInh(d OFD, theta int) float64 {
 func (v *Verifier) ViolationsInh(d OFD, theta int) [][]int {
 	var out [][]int
 	p := v.pc.Get(d.LHS)
-	for _, class := range p.Classes {
-		if !v.classSatisfiedInh(class, d.RHS, theta) {
-			out = append(out, class)
+	for i := 0; i < p.NumClasses(); i++ {
+		if !v.classSatisfiedInh(p.Class(i), d.RHS, theta) {
+			out = append(out, p.ClassInts(i))
 		}
 	}
 	return out

@@ -23,7 +23,9 @@ type Monitor struct {
 	// classOf[i][t] = class index of tuple t within sigma[i]'s stripped
 	// partition, or -1 when the tuple is in a singleton class.
 	classOf [][]int
-	classes [][][]int // classes[i] = sigma[i]'s stripped classes
+	// classes[i] = sigma[i]'s stripped classes, as views into the flat
+	// partition arrays (no per-class copies).
+	classes [][][]int32
 	// violating[i][c] marks class c of sigma[i] as currently violating.
 	violating []map[int]struct{}
 	lhsAttrs  relation.AttrSet
@@ -45,25 +47,25 @@ func NewMonitor(rel *relation.Relation, ont *ontology.Ontology, sigma Set) (*Mon
 		v:         NewVerifier(rel, ont, nil),
 		sigma:     sigma.Clone(),
 		classOf:   make([][]int, len(sigma)),
-		classes:   make([][][]int, len(sigma)),
+		classes:   make([][][]int32, len(sigma)),
 		violating: make([]map[int]struct{}, len(sigma)),
 		lhsAttrs:  lhs,
 	}
 	for i, d := range sigma {
 		p := m.v.Partitions().Get(d.LHS)
-		m.classes[i] = p.Classes
+		m.classes[i] = p.ClassViews()
 		idx := make([]int, rel.NumRows())
 		for t := range idx {
 			idx[t] = -1
 		}
-		for ci, class := range p.Classes {
+		for ci, class := range m.classes[i] {
 			for _, t := range class {
 				idx[t] = ci
 			}
 		}
 		m.classOf[i] = idx
 		m.violating[i] = make(map[int]struct{})
-		for ci, class := range p.Classes {
+		for ci, class := range m.classes[i] {
 			if !m.v.classSatisfied(class, d.RHS) {
 				m.violating[i][ci] = struct{}{}
 			}
@@ -126,7 +128,12 @@ func (m *Monitor) ViolatingClasses() map[int][][]int {
 	out := make(map[int][][]int)
 	for i, set := range m.violating {
 		for ci := range set {
-			out[i] = append(out[i], m.classes[i][ci])
+			class := m.classes[i][ci]
+			tuples := make([]int, len(class))
+			for j, t := range class {
+				tuples[j] = int(t)
+			}
+			out[i] = append(out[i], tuples)
 		}
 	}
 	return out

@@ -70,28 +70,94 @@ func (v *Verifier) namesOf(col int, val relation.Value) []ontology.ClassID {
 	return v.ont.Names(v.rel.Dict(col).String(val))
 }
 
+// Scratch capacities for the allocation-free small-class fast paths in
+// classSatisfied and classBestCoverage. Classes exceeding them fall back
+// to map-based counting; real instances hit the stack path almost always
+// (classes with more than a couple dozen *distinct* consequent values are
+// rare even when the classes themselves are large).
+const (
+	smallDistinct = 24 // distinct consequent values held on the stack
+	smallSenses   = 48 // distinct senses held on the stack
+)
+
 // classSatisfied reports whether one equivalence class satisfies X →_syn A
 // (Definition 1): either all A-values are syntactically equal (an OFD
 // subsumes the FD case), or the intersection of names(a) over the distinct
 // A-values is non-empty.
-func (v *Verifier) classSatisfied(class []int, rhs int) bool {
+//
+// The verifier is shared across discovery workers, so scratch space lives
+// on the stack (fixed-size arrays) rather than on the receiver.
+func (v *Verifier) classSatisfied(class []int32, rhs int) bool {
 	col := v.rel.Column(rhs)
 	first := col[class[0]]
 	allEqual := true
-	distinct := make(map[relation.Value]struct{}, 4)
-	distinct[first] = struct{}{}
 	for _, t := range class[1:] {
 		if col[t] != first {
 			allEqual = false
+			break
 		}
-		distinct[col[t]] = struct{}{}
 	}
 	if allEqual {
 		return true
 	}
-	// Sense-frequency hash: count, over distinct values, how many values
-	// each class (sense) covers; a sense covering all |distinct| values is
-	// a common interpretation.
+	// Gather distinct consequent values by linear probe of a stack array.
+	var valArr [smallDistinct]relation.Value
+	distinct := valArr[:0]
+gather:
+	for _, t := range class {
+		val := col[t]
+		for _, seen := range distinct {
+			if seen == val {
+				continue gather
+			}
+		}
+		if len(distinct) == smallDistinct {
+			return v.classSatisfiedSlow(class, rhs)
+		}
+		distinct = append(distinct, val)
+	}
+	// Sense-frequency count: over distinct values, how many values each
+	// class (sense) covers; a sense covering all of them is a common
+	// interpretation. Senses per value are few, so linear probing beats a
+	// hash map and allocates nothing.
+	var idArr [smallSenses]ontology.ClassID
+	var ctArr [smallSenses]int32
+	ids, cts := idArr[:0], ctArr[:0]
+	need := int32(len(distinct))
+	for _, val := range distinct {
+		for _, cls := range v.namesOf(rhs, val) {
+			j := -1
+			for k, id := range ids {
+				if id == cls {
+					j = k
+					break
+				}
+			}
+			if j < 0 {
+				if len(ids) == smallSenses {
+					return v.classSatisfiedSlow(class, rhs)
+				}
+				ids = append(ids, cls)
+				cts = append(cts, 1)
+				continue
+			}
+			cts[j]++
+			if cts[j] == need {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// classSatisfiedSlow is the map-based fallback of classSatisfied for
+// classes whose distinct values or senses overflow the stack scratch.
+func (v *Verifier) classSatisfiedSlow(class []int32, rhs int) bool {
+	col := v.rel.Column(rhs)
+	distinct := make(map[relation.Value]struct{}, 32)
+	for _, t := range class {
+		distinct[col[t]] = struct{}{}
+	}
 	counts := make(map[ontology.ClassID]int, 8)
 	need := len(distinct)
 	for val := range distinct {
@@ -116,8 +182,8 @@ func (v *Verifier) HoldsSyn(d OFD) bool {
 		return v.HoldsFD(d)
 	}
 	p := v.pc.Get(d.LHS)
-	for _, class := range p.Classes {
-		if !v.classSatisfied(class, d.RHS) {
+	for i := 0; i < p.NumClasses(); i++ {
+		if !v.classSatisfied(p.Class(i), d.RHS) {
 			return false
 		}
 	}
@@ -139,9 +205,66 @@ func (v *Verifier) HoldsFD(d OFD) bool {
 // A-value is covered by a single interpretation: the most frequent sense by
 // tuple coverage, or the most frequent single value, whichever is larger.
 // This is the quantity the paper's approximate-OFD verification sums.
-func (v *Verifier) classBestCoverage(class []int, rhs int) int {
+// Like classSatisfied it counts in stack scratch for small classes.
+func (v *Verifier) classBestCoverage(class []int32, rhs int) int {
 	col := v.rel.Column(rhs)
-	valCount := make(map[relation.Value]int, 4)
+	var valArr [smallDistinct]relation.Value
+	var vcArr [smallDistinct]int32
+	vals, vcs := valArr[:0], vcArr[:0]
+count:
+	for _, t := range class {
+		val := col[t]
+		for k, seen := range vals {
+			if seen == val {
+				vcs[k]++
+				continue count
+			}
+		}
+		if len(vals) == smallDistinct {
+			return v.classBestCoverageSlow(class, rhs)
+		}
+		vals = append(vals, val)
+		vcs = append(vcs, 1)
+	}
+	best := int32(0)
+	for _, c := range vcs {
+		if c > best {
+			best = c // best single literal value
+		}
+	}
+	var idArr [smallSenses]ontology.ClassID
+	var coverArr [smallSenses]int32
+	ids, cover := idArr[:0], coverArr[:0]
+	for k, val := range vals {
+		for _, cls := range v.namesOf(rhs, val) {
+			j := -1
+			for i, id := range ids {
+				if id == cls {
+					j = i
+					break
+				}
+			}
+			if j < 0 {
+				if len(ids) == smallSenses {
+					return v.classBestCoverageSlow(class, rhs)
+				}
+				ids = append(ids, cls)
+				cover = append(cover, 0)
+				j = len(ids) - 1
+			}
+			cover[j] += vcs[k]
+			if cover[j] > best {
+				best = cover[j]
+			}
+		}
+	}
+	return int(best)
+}
+
+// classBestCoverageSlow is the map-based fallback of classBestCoverage.
+func (v *Verifier) classBestCoverageSlow(class []int32, rhs int) int {
+	col := v.rel.Column(rhs)
+	valCount := make(map[relation.Value]int, 32)
 	for _, t := range class {
 		valCount[col[t]]++
 	}
@@ -174,7 +297,8 @@ func (v *Verifier) Support(d OFD) float64 {
 	}
 	p := v.pc.Get(d.LHS)
 	satisfied := n
-	for _, class := range p.Classes {
+	for i := 0; i < p.NumClasses(); i++ {
+		class := p.Class(i)
 		satisfied -= len(class) - v.classBestCoverage(class, d.RHS)
 	}
 	return float64(satisfied) / float64(n)
@@ -189,9 +313,9 @@ func (v *Verifier) HoldsApprox(d OFD, kappa float64) bool {
 func (v *Verifier) Violations(d OFD) [][]int {
 	var out [][]int
 	p := v.pc.Get(d.LHS)
-	for _, class := range p.Classes {
-		if !v.classSatisfied(class, d.RHS) {
-			out = append(out, class)
+	for i := 0; i < p.NumClasses(); i++ {
+		if !v.classSatisfied(p.Class(i), d.RHS) {
+			out = append(out, p.ClassInts(i))
 		}
 	}
 	return out
@@ -215,7 +339,8 @@ func (v *Verifier) NonEqualConsequentFraction(d OFD) float64 {
 	p := v.pc.Get(d.LHS)
 	col := v.rel.Column(d.RHS)
 	total, nonEqual := 0, 0
-	for _, class := range p.Classes {
+	for i := 0; i < p.NumClasses(); i++ {
+		class := p.Class(i)
 		valCount := make(map[relation.Value]int, 4)
 		for _, t := range class {
 			valCount[col[t]]++

@@ -101,6 +101,9 @@ type discoverer struct {
 	kappa    float64
 	result   *Result
 	prodBuf  relation.ProductBuffer
+	// prodBufs are per-worker product buffers, retained across lattice
+	// levels so probe arrays are allocated once per worker, not per level.
+	prodBufs []relation.ProductBuffer
 }
 
 // Discover runs FastOFD over the relation and ontology and returns the
@@ -108,9 +111,12 @@ type discoverer struct {
 // Options.MinSupport is set).
 func Discover(rel *relation.Relation, ont *ontology.Ontology, opts Options) *Result {
 	start := time.Now()
+	// Build the initial single-column partitions with the same worker
+	// count the traversal will use.
+	pc := relation.NewPartitionCacheParallel(rel, opts.Workers)
 	d := &discoverer{
 		rel:      rel,
-		verifier: core.NewVerifier(rel, ont, nil),
+		verifier: core.NewVerifier(rel, ont, pc),
 		opts:     opts,
 		all:      rel.Schema().All(),
 		kappa:    opts.MinSupport,
@@ -129,9 +135,9 @@ func Discover(rel *relation.Relation, ont *ontology.Ontology, opts Options) *Res
 func (d *discoverer) run() {
 	n := d.rel.NumCols()
 	pc := d.verifier.Partitions()
-	// Pre-warm the empty-set partition: level-1 candidates have LHS = ∅,
-	// and parallel verification must never write the shared cache.
-	pc.Get(relation.EmptySet)
+	// Level-1 candidates have LHS = ∅; the first verification computes and
+	// caches the empty-set partition on demand (the cache is sharded and
+	// locked, so concurrent workers missing on it at once are safe).
 
 	// Level 1: singleton attribute sets. C⁺(∅) = R, so C⁺({A}) = R.
 	buildStart := time.Now()

@@ -3,6 +3,7 @@ package discovery
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/fastofd/fastofd/internal/core"
 	"github.com/fastofd/fastofd/internal/relation"
@@ -16,12 +17,24 @@ func (d *discoverer) workers() int {
 	return 1
 }
 
+// workerBufs returns w product buffers, allocating them on first use and
+// retaining them across lattice levels (probe arrays are relation-sized;
+// reallocating them per level would dominate small-level costs).
+func (d *discoverer) workerBufs(w int) []relation.ProductBuffer {
+	for len(d.prodBufs) < w {
+		d.prodBufs = append(d.prodBufs, relation.ProductBuffer{})
+	}
+	return d.prodBufs
+}
+
 // computeOFDsParallel is the multi-worker form of Algorithm 4: nodes are
 // verified concurrently (each node's candidate checks are independent once
 // C⁺ sets are fixed at node creation), then results are merged in a
-// deterministic order. Requires every antecedent partition to be cached
-// already, which the level-wise traversal guarantees, so the shared
-// partition cache is only read.
+// deterministic order. Workers claim nodes through a shared atomic index —
+// work-stealing rather than static chunking — so one expensive node (a
+// wide partition with many classes to verify) cannot strand the rest of a
+// precomputed chunk behind it. Cache misses during verification are safe:
+// the partition cache is sharded and locked.
 func (d *discoverer) computeOFDsParallel(level map[relation.AttrSet]*node, stat *LevelStat) {
 	nodes := make([]*node, 0, len(level))
 	for _, nd := range level {
@@ -35,17 +48,20 @@ func (d *discoverer) computeOFDsParallel(level map[relation.AttrSet]*node, stat 
 	}
 	results := make([]nodeResult, len(nodes))
 	w := d.workers()
+	if w > len(nodes) {
+		w = len(nodes)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	chunk := (len(nodes) + w - 1) / w
-	for start := 0; start < len(nodes); start += chunk {
-		end := start + chunk
-		if end > len(nodes) {
-			end = len(nodes)
-		}
+	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(nodes) {
+					return
+				}
 				nd := nodes[i]
 				var res nodeResult
 				for _, a := range nd.attrs.Intersect(nd.cplus).Attrs() {
@@ -57,7 +73,7 @@ func (d *discoverer) computeOFDsParallel(level map[relation.AttrSet]*node, stat 
 				}
 				results[i] = res
 			}
-		}(start, end)
+		}()
 	}
 	wg.Wait()
 
@@ -73,9 +89,10 @@ func (d *discoverer) computeOFDsParallel(level map[relation.AttrSet]*node, stat 
 }
 
 // nextLevelParallel computes the next lattice level with partition products
-// distributed over workers (each with its own ProductBuffer). Candidate
-// enumeration and map insertion stay serial; only the products — the
-// dominant cost — run concurrently.
+// distributed over workers. Candidate enumeration and map insertion stay
+// serial; only the products — the dominant cost — run concurrently, with
+// workers pulling jobs from a shared atomic index and each reusing its own
+// level-spanning ProductBuffer.
 func (d *discoverer) nextLevelParallel(level map[relation.AttrSet]*node) map[relation.AttrSet]*node {
 	type job struct {
 		x    relation.AttrSet
@@ -135,21 +152,24 @@ func (d *discoverer) nextLevelParallel(level map[relation.AttrSet]*node) map[rel
 	}
 
 	w := d.workers()
-	var wg sync.WaitGroup
-	chunk := (len(jobs) + w - 1) / w
-	if chunk == 0 {
-		chunk = 1
+	if w > len(jobs) {
+		w = len(jobs)
 	}
-	for start := 0; start < len(jobs); start += chunk {
-		end := start + chunk
-		if end > len(jobs) {
-			end = len(jobs)
-		}
+	if w < 1 {
+		w = 1
+	}
+	bufs := d.workerBufs(w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(buf *relation.ProductBuffer) {
 			defer wg.Done()
-			var buf relation.ProductBuffer
-			for i := lo; i < hi; i++ {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
 				jb := jobs[i]
 				if jb.skipProduct {
 					jb.part = &relation.Partition{N: d.rel.NumRows(), Stripped: true}
@@ -157,11 +177,11 @@ func (d *discoverer) nextLevelParallel(level map[relation.AttrSet]*node) map[rel
 				}
 				jb.part = buf.Product(jb.a.part, jb.b.part)
 			}
-		}(start, end)
+		}(&bufs[k])
 	}
 	wg.Wait()
 
-	next := make(map[relation.AttrSet]*node, len(jobs))
+	next2 := make(map[relation.AttrSet]*node, len(jobs))
 	pc := d.verifier.Partitions()
 	for _, jb := range jobs {
 		nd := &node{attrs: jb.x, cplus: jb.cplus, part: jb.part}
@@ -171,7 +191,7 @@ func (d *discoverer) nextLevelParallel(level map[relation.AttrSet]*node) map[rel
 			nd.superkey = jb.part.IsKeyOver()
 		}
 		pc.Put(jb.x, jb.part)
-		next[jb.x] = nd
+		next2[jb.x] = nd
 	}
-	return next
+	return next2
 }

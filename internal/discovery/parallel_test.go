@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/ontology"
 )
 
 func TestParallelMatchesSerial(t *testing.T) {
@@ -66,5 +67,29 @@ func TestWorkersIgnoredWithoutAugmentationPruning(t *testing.T) {
 	want := Discover(rel, ont, Options{})
 	if !reflect.DeepEqual(got.OFDs, want.OFDs) {
 		t.Fatal("fallback-to-serial output differs")
+	}
+}
+
+// TestParallelColdCacheMisses is the regression test for the data race the
+// partition cache used to have: with an empty ontology no consequent is
+// covered, so level-1 candidates ∅ → A cannot shortcut through Opt-3/Opt-4
+// without first fetching Π*_∅ — which is NOT pre-warmed. Four workers
+// therefore miss on the same cache key concurrently during the very first
+// verification wave. Under `go test -race` the old unguarded map faults
+// here; with the sharded cache the run is clean and deterministic.
+func TestParallelColdCacheMisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 10; trial++ {
+		rel, _ := randomInstance(rng)
+		ont := ontology.New() // nothing covered: every Get(∅) is a true miss
+		serial := Discover(rel, ont, DefaultOptions())
+		opts := DefaultOptions()
+		opts.Workers = 4
+		for rep := 0; rep < 3; rep++ {
+			par := Discover(rel, ont, opts)
+			if !reflect.DeepEqual(par.OFDs, serial.OFDs) {
+				t.Fatalf("trial %d rep %d: cold-cache parallel output differs", trial, rep)
+			}
+		}
 	}
 }

@@ -54,7 +54,10 @@ func TestDistanceMetricProperties(t *testing.T) {
 		if math.Abs(dpq-dqp) > 1e-9 {
 			return false // symmetry
 		}
-		if dpq < 0 || dpq > 1 {
+		if dpq < 0 || dpq > 1+1e-9 {
+			// Disjoint histograms can sum to 1 + a few ulps depending on
+			// map iteration order; tolerate the same epsilon as the other
+			// properties.
 			return false // range
 		}
 		if Distance(p, p) > 1e-12 {

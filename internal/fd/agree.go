@@ -25,10 +25,11 @@ func AgreeSets(rel *relation.Relation) []relation.AttrSet {
 	key := func(i, j int) int64 { return int64(i)*int64(n) + int64(j) }
 	for c := 0; c < cols; c++ {
 		p := relation.SingleColumnPartition(rel, c).Strip()
-		for _, class := range p.Classes {
+		for ci := 0; ci < p.NumClasses(); ci++ {
+			class := p.Class(ci)
 			for a := 0; a < len(class); a++ {
 				for b := a + 1; b < len(class); b++ {
-					i, j := class[a], class[b]
+					i, j := int(class[a]), int(class[b])
 					if _, done := pairSeen[key(i, j)]; done {
 						continue
 					}

@@ -20,7 +20,7 @@ func DiscoverFUN(rel *relation.Relation) *Result {
 	card := func(x relation.AttrSet) int {
 		p := pc.Get(x)
 		covered := p.Size()
-		return len(p.Classes) + (nRows - covered)
+		return p.NumClasses() + (nRows - covered)
 	}
 
 	var sigma core.Set

@@ -84,13 +84,14 @@ func Repair(rel *relation.Relation, sigma core.Set, dictionary map[string]struct
 
 	for _, d := range sigma {
 		p := pc.Get(d.LHS)
-		for _, class := range p.Classes {
+		for ci := 0; ci < p.NumClasses(); ci++ {
+			class := p.Class(ci)
 			// Denial constraint ¬(t1[X]=t2[X] ∧ t1[A]≠t2[A]): any class
 			// with >1 distinct consequent value is in violation; every
 			// minority cell is noisy.
 			counts := make(map[string]int, 4)
 			for _, t := range class {
-				counts[work.String(t, d.RHS)]++
+				counts[work.String(int(t), d.RHS)]++
 			}
 			if len(counts) <= 1 {
 				continue
@@ -135,11 +136,11 @@ func Repair(rel *relation.Relation, sigma core.Set, dictionary map[string]struct
 				continue // no dominant repair target; abstain
 			}
 			for _, t := range class {
-				cur := work.String(t, d.RHS)
+				cur := work.String(int(t), d.RHS)
 				if cur == bestV || !noisy[cur] {
 					continue
 				}
-				plan = append(plan, plannedChange{row: t, col: d.RHS, to: bestV})
+				plan = append(plan, plannedChange{row: int(t), col: d.RHS, to: bestV})
 			}
 		}
 	}

@@ -1,0 +1,220 @@
+package relation
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShardCount is the number of independently locked shards of a
+// PartitionCache. A power of two so the shard pick is a mask; 16 keeps
+// contention negligible for the worker counts lattice traversal uses
+// without bloating small caches.
+const cacheShardCount = 16
+
+// cacheShard is one lock domain of the cache. levels records, per
+// attribute-set cardinality, the keys inserted at that cardinality, so
+// Evict(k) walks only the level-k entries instead of the whole map.
+type cacheShard struct {
+	mu     sync.RWMutex
+	m      map[AttrSet]*Partition
+	levels map[int][]AttrSet
+}
+
+// PartitionCache memoizes stripped partitions by attribute set, computing
+// single columns directly and larger sets via Product of cached parts.
+//
+// The cache is safe for concurrent use: it is sharded by a mixed hash of
+// the attribute set, each shard guarded by its own RWMutex. Lookups take a
+// shard read lock; inserts take the shard write lock. Partition
+// computation happens outside any lock, so two goroutines missing on the
+// same set may both compute it — the canonical form makes the duplicate
+// insert idempotent. Memory is bounded by the two-level eviction the
+// lattice traversals drive via Evict, observable through Stats.
+type PartitionCache struct {
+	r      *Relation
+	shards [cacheShardCount]cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	bytes  atomic.Int64
+}
+
+// CacheStats is a snapshot of cache effectiveness and footprint counters.
+type CacheStats struct {
+	Hits    uint64 // lookups answered from the cache
+	Misses  uint64 // lookups that had to compute a partition
+	Entries int    // partitions currently cached
+	Bytes   int64  // approximate payload bytes of cached partitions
+}
+
+// partitionBytes approximates the heap payload of one cached partition.
+func partitionBytes(p *Partition) int64 {
+	return int64(4 * (len(p.Tuples) + len(p.Offsets)))
+}
+
+// shardOf picks the shard for an attribute set. AttrSets of one lattice
+// level differ in few bits, so mix before masking (splitmix64 finalizer).
+func (pc *PartitionCache) shardOf(a AttrSet) *cacheShard {
+	x := uint64(a)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return &pc.shards[x&(cacheShardCount-1)]
+}
+
+// NewPartitionCache creates a cache over r and precomputes all
+// single-attribute stripped partitions.
+func NewPartitionCache(r *Relation) *PartitionCache {
+	return NewPartitionCacheParallel(r, 1)
+}
+
+// NewPartitionCacheParallel is NewPartitionCache with the single-attribute
+// partition construction spread over up to workers goroutines.
+func NewPartitionCacheParallel(r *Relation, workers int) *PartitionCache {
+	pc := &PartitionCache{r: r}
+	for i := range pc.shards {
+		pc.shards[i].m = make(map[AttrSet]*Partition)
+		pc.shards[i].levels = make(map[int][]AttrSet)
+	}
+	nCols := r.NumCols()
+	parts := make([]*Partition, nCols)
+	if workers > nCols {
+		workers = nCols
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= nCols {
+						return
+					}
+					parts[c] = SingleColumnPartition(r, c).Strip()
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for c := 0; c < nCols; c++ {
+			parts[c] = SingleColumnPartition(r, c).Strip()
+		}
+	}
+	for c, p := range parts {
+		pc.store(Single(c), p)
+	}
+	return pc
+}
+
+// Relation returns the underlying relation.
+func (pc *PartitionCache) Relation() *Relation { return pc.r }
+
+// lookup returns the cached partition for attrs, if present.
+func (pc *PartitionCache) lookup(attrs AttrSet) (*Partition, bool) {
+	s := pc.shardOf(attrs)
+	s.mu.RLock()
+	p, ok := s.m[attrs]
+	s.mu.RUnlock()
+	return p, ok
+}
+
+// store inserts (or replaces) the partition for attrs, maintaining the
+// per-level eviction index and the byte counter.
+func (pc *PartitionCache) store(attrs AttrSet, p *Partition) {
+	s := pc.shardOf(attrs)
+	s.mu.Lock()
+	if old, present := s.m[attrs]; present {
+		pc.bytes.Add(-partitionBytes(old))
+	} else {
+		k := attrs.Len()
+		s.levels[k] = append(s.levels[k], attrs)
+	}
+	s.m[attrs] = p
+	pc.bytes.Add(partitionBytes(p))
+	s.mu.Unlock()
+}
+
+// Get returns the stripped partition Π*_X, computing and caching it if
+// absent. Supersets are derived by multiplying a cached subset with the
+// missing single columns. Safe for concurrent use; concurrent misses on
+// one set may compute it twice but converge on the canonical result.
+func (pc *PartitionCache) Get(attrs AttrSet) *Partition {
+	if p, ok := pc.lookup(attrs); ok {
+		pc.hits.Add(1)
+		return p
+	}
+	pc.misses.Add(1)
+	var p *Partition
+	if attrs.IsEmpty() {
+		p = PartitionOf(pc.r, attrs).Strip()
+	} else {
+		// Find a cached subset obtained by dropping one attribute;
+		// recurse (depth ≤ |attrs|), then multiply the gap back in.
+		var best AttrSet
+		found := false
+		for _, i := range attrs.Attrs() {
+			sub := attrs.Without(i)
+			if _, ok := pc.lookup(sub); ok {
+				best = sub
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Build from the first attribute upward.
+			best = Single(attrs.First())
+		}
+		p = pc.Get(best)
+		var buf ProductBuffer
+		for _, i := range attrs.Minus(best).Attrs() {
+			p = buf.Product(p, pc.Get(Single(i)))
+		}
+	}
+	pc.store(attrs, p)
+	return p
+}
+
+// Put stores a partition for attrs, typically one computed level-by-level
+// during lattice traversal. Safe for concurrent use.
+func (pc *PartitionCache) Put(attrs AttrSet, p *Partition) { pc.store(attrs, p.Strip()) }
+
+// Evict removes cached partitions whose attribute sets have exactly size k;
+// lattice traversals call this to bound memory to two levels. Cost is
+// proportional to the number of level-k entries (via the per-level index),
+// not the cache size.
+func (pc *PartitionCache) Evict(k int) {
+	for i := range pc.shards {
+		s := &pc.shards[i]
+		s.mu.Lock()
+		for _, a := range s.levels[k] {
+			if p, present := s.m[a]; present {
+				pc.bytes.Add(-partitionBytes(p))
+				delete(s.m, a)
+			}
+		}
+		delete(s.levels, k)
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the cache counters. Counters are updated
+// atomically, so a snapshot taken while other goroutines use the cache is
+// internally consistent enough for monitoring and tests.
+func (pc *PartitionCache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:   pc.hits.Load(),
+		Misses: pc.misses.Load(),
+		Bytes:  pc.bytes.Load(),
+	}
+	for i := range pc.shards {
+		s := &pc.shards[i]
+		s.mu.RLock()
+		st.Entries += len(s.m)
+		s.mu.RUnlock()
+	}
+	return st
+}

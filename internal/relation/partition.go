@@ -1,59 +1,92 @@
 package relation
 
-import (
-	"sort"
-)
-
 // Partition is the set of equivalence classes Π_X of tuples agreeing on an
 // attribute set X. A stripped partition Π*_X omits singleton classes, which
 // can never violate a dependency X → A (Lemma 6 of the paper).
+//
+// The representation is flat: one tuple array holding every class
+// back-to-back plus an offset index, rather than a slice per class. The
+// lattice traversal computes millions of partition products; the flat
+// layout makes a product cost two allocations (tuples + offsets) instead
+// of one per output class, and scans sequentially instead of chasing
+// per-class pointers. See DESIGN.md ("Flat partition memory layout").
 type Partition struct {
-	// Classes holds tuple ids per equivalence class. Within a class ids are
-	// ascending; classes are ordered by their smallest id (the class
-	// representative), giving a canonical form.
-	Classes [][]int
+	// Tuples holds the tuple ids of every equivalence class back-to-back.
+	// Within a class ids are ascending; classes are ordered by their
+	// smallest id (the class representative), giving a canonical form.
+	Tuples []int32
+	// Offsets indexes Tuples: class i is Tuples[Offsets[i]:Offsets[i+1]],
+	// so len(Offsets) is NumClasses+1. A partition with no classes may
+	// have a nil or single-element Offsets.
+	Offsets []int32
 	// N is the number of tuples in the underlying relation (not the number
-	// covered by Classes; stripped partitions cover fewer).
+	// covered by Tuples; stripped partitions cover fewer).
 	N int
 	// Stripped records whether singleton classes were removed.
 	Stripped bool
 }
 
 // NumClasses returns the number of equivalence classes.
-func (p *Partition) NumClasses() int { return len(p.Classes) }
+func (p *Partition) NumClasses() int {
+	if len(p.Offsets) < 2 {
+		return 0
+	}
+	return len(p.Offsets) - 1
+}
+
+// Class returns the tuple ids of class i as a view into the flat array;
+// callers must not modify it.
+func (p *Partition) Class(i int) []int32 {
+	return p.Tuples[p.Offsets[i]:p.Offsets[i+1]]
+}
+
+// ClassInts materializes class i as []int.
+func (p *Partition) ClassInts(i int) []int {
+	c := p.Class(i)
+	out := make([]int, len(c))
+	for j, t := range c {
+		out[j] = int(t)
+	}
+	return out
+}
+
+// ClassViews returns every class as a view into the flat array — the
+// zero-copy form for callers that index classes repeatedly (e.g. the
+// incremental monitor). Callers must not modify the views.
+func (p *Partition) ClassViews() [][]int32 {
+	out := make([][]int32, p.NumClasses())
+	for i := range out {
+		out[i] = p.Class(i)
+	}
+	return out
+}
+
+// ClassesAsInts materializes every class as []int — a convenience for
+// tests and cold paths; hot paths should iterate Class(i) views.
+func (p *Partition) ClassesAsInts() [][]int {
+	out := make([][]int, p.NumClasses())
+	for i := range out {
+		out[i] = p.ClassInts(i)
+	}
+	return out
+}
 
 // Size returns the total number of tuples across classes.
-func (p *Partition) Size() int {
-	n := 0
-	for _, c := range p.Classes {
-		n += len(c)
-	}
-	return n
-}
+func (p *Partition) Size() int { return len(p.Tuples) }
 
 // Error returns ‖Π‖ − |Π|, the minimum number of tuples to remove so that X
 // becomes a key over the covered tuples — TANE's e(X) numerator, used by
-// key detection and approximate dependencies.
-func (p *Partition) Error() int {
-	e := 0
-	for _, c := range p.Classes {
-		e += len(c) - 1
-	}
-	return e
-}
+// key detection and approximate dependencies. With the flat layout this is
+// arithmetic on lengths: Σ_c (|c|−1) = |Tuples| − |classes|.
+func (p *Partition) Error() int { return len(p.Tuples) - p.NumClasses() }
 
 // IsKeyOver reports whether the partition certifies X as a (super)key: a
 // stripped partition with no classes means every class was a singleton.
 func (p *Partition) IsKeyOver() bool {
 	if p.Stripped {
-		return len(p.Classes) == 0
+		return p.NumClasses() == 0
 	}
-	for _, c := range p.Classes {
-		if len(c) > 1 {
-			return false
-		}
-	}
-	return true
+	return len(p.Tuples) == p.NumClasses()
 }
 
 // Strip returns the stripped version of p (no singleton classes). If p is
@@ -62,53 +95,82 @@ func (p *Partition) Strip() *Partition {
 	if p.Stripped {
 		return p
 	}
+	kept, keptTuples := 0, 0
+	for i := 0; i < p.NumClasses(); i++ {
+		if sz := int(p.Offsets[i+1] - p.Offsets[i]); sz > 1 {
+			kept++
+			keptTuples += sz
+		}
+	}
 	out := &Partition{N: p.N, Stripped: true}
-	for _, c := range p.Classes {
-		if len(c) > 1 {
-			out.Classes = append(out.Classes, c)
+	if kept == 0 {
+		return out
+	}
+	out.Tuples = make([]int32, 0, keptTuples)
+	out.Offsets = make([]int32, 1, kept+1)
+	for i := 0; i < p.NumClasses(); i++ {
+		if p.Offsets[i+1]-p.Offsets[i] > 1 {
+			out.Tuples = append(out.Tuples, p.Class(i)...)
+			out.Offsets = append(out.Offsets, int32(len(out.Tuples)))
 		}
 	}
 	return out
 }
 
-// canonicalize sorts tuple ids within classes and classes by representative.
-func (p *Partition) canonicalize() {
-	for _, c := range p.Classes {
-		sort.Ints(c)
-	}
-	sort.Slice(p.Classes, func(i, j int) bool { return p.Classes[i][0] < p.Classes[j][0] })
-}
-
-// SingleColumnPartition computes Π_{A} for one attribute.
+// SingleColumnPartition computes Π_{A} for one attribute. Because column
+// values are dictionary-encoded, grouping is a counting pass over a dense
+// value→class table instead of a hash map; class ids are assigned in order
+// of first appearance, which is exactly canonical (representative) order.
 func SingleColumnPartition(r *Relation, col int) *Partition {
-	groups := make(map[Value][]int)
+	n := r.NumRows()
 	colVals := r.Column(col)
+	// Slot 0 is reserved for NullValue (-1); interned values map to v+1.
+	table := make([]int32, r.Dict(col).Size()+1)
+	for i := range table {
+		table[i] = -1
+	}
+	sizes := make([]int32, 0, 16)
+	for _, v := range colVals {
+		s := int(v) + 1
+		if table[s] < 0 {
+			table[s] = int32(len(sizes))
+			sizes = append(sizes, 0)
+		}
+		sizes[table[s]]++
+	}
+	nc := len(sizes)
+	offsets := make([]int32, nc+1)
+	for i, sz := range sizes {
+		offsets[i+1] = offsets[i] + sz
+	}
+	tuples := make([]int32, n)
+	cursor := sizes // reuse: cursor[i] = next write position of class i
+	copy(cursor, offsets[:nc])
 	for i, v := range colVals {
-		groups[v] = append(groups[v], i)
+		ci := table[int(v)+1]
+		tuples[cursor[ci]] = int32(i)
+		cursor[ci]++
 	}
-	p := &Partition{N: r.NumRows()}
-	for _, g := range groups {
-		p.Classes = append(p.Classes, g)
-	}
-	p.canonicalize()
-	return p
+	return &Partition{Tuples: tuples, Offsets: offsets, N: n}
 }
 
 // PartitionOf computes Π_X for an arbitrary attribute set by grouping on the
 // concatenation of encoded values. For the empty set it returns a single
-// class containing all tuples.
+// class containing all tuples. Class ids are assigned in first-appearance
+// order, which is canonical order.
 func PartitionOf(r *Relation, attrs AttrSet) *Partition {
 	n := r.NumRows()
 	if attrs.IsEmpty() {
-		all := make([]int, n)
+		all := make([]int32, n)
 		for i := range all {
-			all[i] = i
+			all[i] = int32(i)
 		}
-		return &Partition{Classes: [][]int{all}, N: n}
+		return &Partition{Tuples: all, Offsets: []int32{0, int32(n)}, N: n}
 	}
 	cols := attrs.Attrs()
-	type key = string
-	groups := make(map[key][]int)
+	groups := make(map[string]int32)
+	classOf := make([]int32, n)
+	sizes := make([]int32, 0, 16)
 	buf := make([]byte, 0, 8*len(cols))
 	for i := 0; i < n; i++ {
 		buf = buf[:0]
@@ -116,24 +178,50 @@ func PartitionOf(r *Relation, attrs AttrSet) *Partition {
 			v := r.Value(i, c)
 			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), '|')
 		}
-		groups[string(buf)] = append(groups[string(buf)], i)
+		ci, ok := groups[string(buf)]
+		if !ok {
+			ci = int32(len(sizes))
+			groups[string(buf)] = ci
+			sizes = append(sizes, 0)
+		}
+		classOf[i] = ci
+		sizes[ci]++
 	}
-	p := &Partition{N: n}
-	for _, g := range groups {
-		p.Classes = append(p.Classes, g)
+	nc := len(sizes)
+	offsets := make([]int32, nc+1)
+	for i, sz := range sizes {
+		offsets[i+1] = offsets[i] + sz
 	}
-	p.canonicalize()
-	return p
+	tuples := make([]int32, n)
+	cursor := sizes
+	copy(cursor, offsets[:nc])
+	for i := 0; i < n; i++ {
+		ci := classOf[i]
+		tuples[cursor[ci]] = int32(i)
+		cursor[ci]++
+	}
+	return &Partition{Tuples: tuples, Offsets: offsets, N: n}
 }
 
 // ProductBuffer holds reusable scratch space for partition products over
-// one relation, avoiding the per-product probe-array allocation that
-// dominates lattice traversal. A zero ProductBuffer is usable; buffers are
-// not safe for concurrent use.
+// one relation, avoiding the per-product scratch allocations that would
+// otherwise dominate lattice traversal. A zero ProductBuffer is usable;
+// buffers are not safe for concurrent use but may be reused across
+// relations (even of different row counts).
 type ProductBuffer struct {
-	probe   []int32
-	scratch [][]int
+	// probe[t] = index of the a-class containing tuple t, or -1. All slots
+	// are -1 between calls; Product resets only the slots it wrote.
+	probe []int32
+	// counts/cursor are indexed by a-class; counts is all-zero between
+	// calls (reset via touched).
+	counts  []int32
+	cursor  []int32
 	touched []int32
+	// tuples/starts stage the output classes in discovery order before the
+	// canonical reorder.
+	tuples []int32
+	starts []int32
+	order  []int32
 }
 
 // Product computes the stripped partition Π*_{X∪Y} = Π*_X · Π*_Y in time
@@ -147,8 +235,6 @@ func Product(a, b *Partition) *Partition {
 // Product is the buffer-reusing form of the package-level Product.
 func (buf *ProductBuffer) Product(a, b *Partition) *Partition {
 	a, b = a.Strip(), b.Strip()
-	// probe[t] = index of a-class containing tuple t, or -1. The array is
-	// reset lazily: only slots written by the previous call are cleared.
 	if len(buf.probe) < a.N {
 		buf.probe = make([]int32, a.N)
 		for i := range buf.probe {
@@ -156,116 +242,168 @@ func (buf *ProductBuffer) Product(a, b *Partition) *Partition {
 		}
 	}
 	probe := buf.probe
-	for ci, class := range a.Classes {
-		for _, t := range class {
+	for ci := 0; ci < a.NumClasses(); ci++ {
+		for _, t := range a.Class(ci) {
 			probe[t] = int32(ci)
 		}
 	}
-	if len(buf.scratch) < len(a.Classes) {
-		buf.scratch = make([][]int, len(a.Classes))
+	if len(buf.counts) < a.NumClasses() {
+		buf.counts = make([]int32, a.NumClasses())
+		buf.cursor = make([]int32, a.NumClasses())
 	}
-	scratch := buf.scratch
+	counts, cursor := buf.counts, buf.cursor
+	if cap(buf.tuples) < len(b.Tuples) {
+		buf.tuples = make([]int32, len(b.Tuples))
+	}
+	scratch := buf.tuples[:cap(buf.tuples)]
+	starts := buf.starts[:0]
 	touched := buf.touched[:0]
-	out := &Partition{N: a.N, Stripped: true}
-	// For each b-class, bucket its tuples by a-class id using slice
-	// scratch space (no per-class map allocations). Tuples within a
-	// b-class arrive in ascending order, so buckets are already sorted.
-	for _, class := range b.Classes {
+	// For each b-class, bucket its tuples by a-class id in two passes:
+	// count per a-class, assign each surviving (size ≥ 2) bucket a
+	// contiguous range of the scratch array, then fill. Tuples within a
+	// b-class arrive in ascending order, so buckets come out sorted.
+	pos := int32(0)
+	for bc := 0; bc < b.NumClasses(); bc++ {
+		class := b.Class(bc)
 		for _, t := range class {
 			if ci := probe[t]; ci >= 0 {
-				if scratch[ci] == nil {
+				if counts[ci] == 0 {
 					touched = append(touched, ci)
 				}
-				scratch[ci] = append(scratch[ci], t)
+				counts[ci]++
+			}
+		}
+		filled := false
+		for _, ci := range touched {
+			if counts[ci] > 1 {
+				cursor[ci] = pos
+				starts = append(starts, pos)
+				pos += counts[ci]
+				filled = true
+			} else {
+				cursor[ci] = -1
+			}
+		}
+		if filled {
+			for _, t := range class {
+				if ci := probe[t]; ci >= 0 && cursor[ci] >= 0 {
+					scratch[cursor[ci]] = t
+					cursor[ci]++
+				}
 			}
 		}
 		for _, ci := range touched {
-			if len(scratch[ci]) > 1 {
-				out.Classes = append(out.Classes, scratch[ci])
-			}
-			scratch[ci] = nil
+			counts[ci] = 0
 		}
 		touched = touched[:0]
 	}
 	buf.touched = touched
+	buf.starts = starts
 	// Clear the probe slots we wrote so the next call starts clean.
-	for _, class := range a.Classes {
-		for _, t := range class {
+	for ci := 0; ci < a.NumClasses(); ci++ {
+		for _, t := range a.Class(ci) {
 			probe[t] = -1
 		}
 	}
+	out := &Partition{N: a.N, Stripped: true}
+	nc := len(starts)
+	if nc == 0 {
+		return out
+	}
+	classEnd := func(k int32) int32 {
+		if int(k+1) < nc {
+			return starts[k+1]
+		}
+		return pos
+	}
+	out.Tuples = make([]int32, pos)
+	out.Offsets = make([]int32, nc+1)
 	// Classes carry sorted tuples already; order classes canonically by
-	// representative.
-	sort.Slice(out.Classes, func(i, j int) bool { return out.Classes[i][0] < out.Classes[j][0] })
-	return out
-}
-
-// PartitionCache memoizes stripped partitions by attribute set, computing
-// single columns directly and larger sets via Product of cached parts.
-type PartitionCache struct {
-	r     *Relation
-	cache map[AttrSet]*Partition
-}
-
-// NewPartitionCache creates a cache over r and precomputes all
-// single-attribute stripped partitions.
-func NewPartitionCache(r *Relation) *PartitionCache {
-	pc := &PartitionCache{r: r, cache: make(map[AttrSet]*Partition)}
-	for c := 0; c < r.NumCols(); c++ {
-		pc.cache[Single(c)] = SingleColumnPartition(r, c).Strip()
-	}
-	return pc
-}
-
-// Relation returns the underlying relation.
-func (pc *PartitionCache) Relation() *Relation { return pc.r }
-
-// Get returns the stripped partition Π*_X, computing and caching it if
-// absent. Supersets are derived by multiplying a cached subset with the
-// missing single columns.
-func (pc *PartitionCache) Get(attrs AttrSet) *Partition {
-	if p, ok := pc.cache[attrs]; ok {
-		return p
-	}
-	if attrs.IsEmpty() {
-		p := PartitionOf(pc.r, attrs).Strip()
-		pc.cache[attrs] = p
-		return p
-	}
-	// Find the largest cached subset obtained by dropping one attribute;
-	// recurse (depth ≤ |attrs|).
-	var best AttrSet
-	found := false
-	for _, i := range attrs.Attrs() {
-		sub := attrs.Without(i)
-		if _, ok := pc.cache[sub]; ok {
-			best = sub
-			found = true
+	// representative. Discovery order is usually close to canonical, so
+	// test sortedness before paying for the permutation.
+	sorted := true
+	for k := 1; k < nc; k++ {
+		if scratch[starts[k]] < scratch[starts[k-1]] {
+			sorted = false
 			break
 		}
 	}
-	if !found {
-		// Build from the first attribute upward.
-		best = Single(attrs.First())
+	if sorted {
+		copy(out.Tuples, scratch[:pos])
+		copy(out.Offsets, starts)
+		out.Offsets[nc] = pos
+		return out
 	}
-	p := pc.Get(best)
-	for _, i := range attrs.Minus(best).Attrs() {
-		p = Product(p, pc.Get(Single(i)))
+	order := buf.order[:0]
+	for k := 0; k < nc; k++ {
+		order = append(order, int32(k))
 	}
-	pc.cache[attrs] = p
-	return p
+	sortByRep(order, scratch, starts, pos)
+	buf.order = order
+	w := int32(0)
+	for i, k := range order {
+		out.Offsets[i] = w
+		w += int32(copy(out.Tuples[w:], scratch[starts[k]:classEnd(k)]))
+	}
+	out.Offsets[nc] = w
+	return out
 }
 
-// Put stores a partition for attrs, typically one computed level-by-level
-// during lattice traversal.
-func (pc *PartitionCache) Put(attrs AttrSet, p *Partition) { pc.cache[attrs] = p.Strip() }
-
-// Evict removes cached partitions whose attribute sets have exactly size k;
-// lattice traversals call this to bound memory to two levels.
-func (pc *PartitionCache) Evict(k int) {
-	for a := range pc.cache {
-		if a.Len() == k {
-			delete(pc.cache, a)
+// sortByRep orders class indices by their representative (first tuple),
+// i.e. by scratch[starts[k]]. A hand-rolled quicksort (with insertion sort
+// for small ranges) keeps the product allocation-free; sort.Slice would
+// allocate its closure on every product.
+func sortByRep(order []int32, scratch, starts []int32, end int32) {
+	rep := func(k int32) int32 { return scratch[starts[k]] }
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for hi-lo > 12 {
+			// Median-of-three pivot.
+			mid := lo + (hi-lo)/2
+			if rep(order[mid]) < rep(order[lo]) {
+				order[mid], order[lo] = order[lo], order[mid]
+			}
+			if rep(order[hi]) < rep(order[lo]) {
+				order[hi], order[lo] = order[lo], order[hi]
+			}
+			if rep(order[hi]) < rep(order[mid]) {
+				order[hi], order[mid] = order[mid], order[hi]
+			}
+			pivot := rep(order[mid])
+			i, j := lo, hi
+			for i <= j {
+				for rep(order[i]) < pivot {
+					i++
+				}
+				for rep(order[j]) > pivot {
+					j--
+				}
+				if i <= j {
+					order[i], order[j] = order[j], order[i]
+					i++
+					j--
+				}
+			}
+			// Recurse into the smaller half, loop on the larger.
+			if j-lo < hi-i {
+				qs(lo, j)
+				lo = i
+			} else {
+				qs(i, hi)
+				hi = j
+			}
 		}
+		for i := lo + 1; i <= hi; i++ {
+			k := order[i]
+			j := i - 1
+			for j >= lo && rep(order[j]) > rep(k) {
+				order[j+1] = order[j]
+				j--
+			}
+			order[j+1] = k
+		}
+	}
+	if len(order) > 1 {
+		qs(0, len(order)-1)
 	}
 }

@@ -160,12 +160,12 @@ func TestPartitionBasics(t *testing.T) {
 	}
 	// Π_CC = {{0,4,5},{1,3},{2}} — canonical order by representative.
 	want := [][]int{{0, 4, 5}, {1, 3}, {2}}
-	if !reflect.DeepEqual(p.Classes, want) {
-		t.Fatalf("classes = %v", p.Classes)
+	if !reflect.DeepEqual(p.ClassesAsInts(), want) {
+		t.Fatalf("classes = %v", p.ClassesAsInts())
 	}
 	sp := p.Strip()
 	if sp.NumClasses() != 2 || sp.Size() != 5 {
-		t.Fatalf("stripped: %v", sp.Classes)
+		t.Fatalf("stripped: %v", sp.ClassesAsInts())
 	}
 	if p.Error() != 3 { // (3-1)+(2-1)+(1-1)
 		t.Fatalf("error = %d", p.Error())
@@ -197,8 +197,8 @@ func TestPartitionProductMatchesDirect(t *testing.T) {
 		pb := SingleColumnPartition(rel, b).Strip()
 		got := Product(pa, pb)
 		want := PartitionOf(rel, Single(a).With(b)).Strip()
-		if !reflect.DeepEqual(got.Classes, want.Classes) {
-			t.Fatalf("trial %d: product %v != direct %v", trial, got.Classes, want.Classes)
+		if !reflect.DeepEqual(got.ClassesAsInts(), want.ClassesAsInts()) {
+			t.Fatalf("trial %d: product %v != direct %v", trial, got.ClassesAsInts(), want.ClassesAsInts())
 		}
 	}
 }
@@ -213,13 +213,14 @@ func TestPartitionProductRefines(t *testing.T) {
 	pa := SingleColumnPartition(rel, 0).Strip()
 	pb := SingleColumnPartition(rel, 1).Strip()
 	prod := Product(pa, pb)
-	inClass := make(map[int]int)
-	for ci, class := range pa.Classes {
-		for _, t := range class {
+	inClass := make(map[int32]int)
+	for ci := 0; ci < pa.NumClasses(); ci++ {
+		for _, t := range pa.Class(ci) {
 			inClass[t] = ci
 		}
 	}
-	for _, class := range prod.Classes {
+	for ci := 0; ci < prod.NumClasses(); ci++ {
+		class := prod.Class(ci)
 		first := inClass[class[0]]
 		for _, tup := range class {
 			if inClass[tup] != first {
@@ -239,13 +240,13 @@ func TestPartitionCache(t *testing.T) {
 		t.Fatal("cache miss on second Get")
 	}
 	want := PartitionOf(rel, ab).Strip()
-	if !reflect.DeepEqual(p1.Classes, want.Classes) {
-		t.Fatalf("cached product wrong: %v vs %v", p1.Classes, want.Classes)
+	if !reflect.DeepEqual(p1.ClassesAsInts(), want.ClassesAsInts()) {
+		t.Fatalf("cached product wrong: %v vs %v", p1.ClassesAsInts(), want.ClassesAsInts())
 	}
 	// Evict and recompute.
 	pc.Evict(2)
 	p3 := pc.Get(ab)
-	if !reflect.DeepEqual(p3.Classes, want.Classes) {
+	if !reflect.DeepEqual(p3.ClassesAsInts(), want.ClassesAsInts()) {
 		t.Fatalf("recomputed partition wrong")
 	}
 	// Empty attribute set: one class with everything (stripped keeps it).

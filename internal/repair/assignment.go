@@ -41,7 +41,8 @@ func classesOf(rel *relation.Relation, sigma core.Set, pc *relation.PartitionCac
 	var out []*eqClass
 	for i, d := range sigma {
 		p := pc.Get(d.LHS)
-		for _, tuples := range p.Classes {
+		for ci := 0; ci < p.NumClasses(); ci++ {
+			tuples := p.ClassInts(ci)
 			out = append(out, &eqClass{
 				key:    ClassKey{OFD: i, Rep: tuples[0]},
 				ofd:    d,
