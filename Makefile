@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fmt vet clean
+.PHONY: all build test race bench repairbench experiments examples fmt vet clean
 
 all: build test
 
@@ -18,6 +18,11 @@ race:
 # One benchmark per paper table/figure plus ablations (see EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Repair-engine benchmark report (BENCH_repair.json): baseline vs indexed
+# engine, per-stage timings, EMD micro-benchmarks.
+repairbench:
+	$(GO) run ./cmd/benchrunner -repairbench BENCH_repair.json -rows 4000
 
 # Paper-style experiment tables with accuracy metrics.
 experiments:

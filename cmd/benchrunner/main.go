@@ -28,11 +28,20 @@ func main() {
 		discRows  = flag.Int("discrows", 4000, "base tuple count for discovery experiments")
 		seeds     = flag.Int("seeds", 3, "seeds to average accuracy metrics over")
 		partBench = flag.String("partitionbench", "", "run the partition-engine micro-benchmarks and write JSON results to this path (e.g. BENCH_partition.json), then exit")
+		repBench  = flag.String("repairbench", "", "run the repair-engine benchmarks and write JSON results to this path (e.g. BENCH_repair.json), then exit")
+		smoke     = flag.Bool("benchsmoke", false, "single-iteration benchmark mode for CI smoke runs")
 	)
 	flag.Parse()
 
 	if *partBench != "" {
 		if err := runPartitionBench(*partBench, *discRows); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *repBench != "" {
+		if err := runRepairBench(*repBench, *rows, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/fastofd/fastofd/internal/emd"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/repair"
+)
+
+// repairReport is the machine-readable output of -repairbench. It follows
+// the BENCH_partition.json row format and adds end-to-end Clean timings,
+// per-stage breakdowns, and the headline speedup of the indexed engine over
+// the pre-index sequential baseline.
+type repairReport struct {
+	GOOS              string        `json:"goos"`
+	GOARCH            string        `json:"goarch"`
+	NumCPU            int           `json:"num_cpu"`
+	Rows              int           `json:"rows"`
+	Workers           int           `json:"workers"`
+	Iterations        int           `json:"iterations"`
+	SpeedupVsBaseline float64       `json:"speedup_vs_baseline"`
+	Results           []benchResult `json:"results"`
+}
+
+// cleanTiming is one measured Clean configuration: best-of-iters wall time
+// plus allocation deltas from runtime.MemStats (Clean runs once per
+// iteration — too slow for testing.Benchmark's auto-scaling at 4000 rows).
+type cleanTiming struct {
+	ns     float64
+	bytes  int64
+	allocs int64
+	res    *repair.Result
+}
+
+func measureClean(ds *gen.Dataset, opts repair.Options, iters int) (cleanTiming, error) {
+	best := cleanTiming{ns: 0}
+	for i := 0; i < iters; i++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := repair.Clean(ds.Rel, ds.Ont, ds.Sigma, opts)
+		elapsed := time.Since(start)
+		if err != nil {
+			return cleanTiming{}, err
+		}
+		runtime.ReadMemStats(&after)
+		t := cleanTiming{
+			ns:     float64(elapsed.Nanoseconds()),
+			bytes:  int64(after.TotalAlloc - before.TotalAlloc),
+			allocs: int64(after.Mallocs - before.Mallocs),
+			res:    res,
+		}
+		if best.res == nil || t.ns < best.ns {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// runRepairBench measures the OFDClean repair engine on the Clinical
+// workload and writes BENCH_repair.json. Three end-to-end configurations are
+// compared: the pre-index sequential baseline (NoCoverageIndex, Workers=1),
+// the indexed sequential engine, and the indexed engine at the default
+// worker count. smoke reduces iterations to one for CI.
+func runRepairBench(path string, rows int, smoke bool) error {
+	ds := gen.Generate(gen.Config{Rows: rows, Seed: 1, ErrRate: 0.06, IncRate: 0.04, NumOFDs: 6})
+	iters := 3
+	if smoke {
+		iters = 1
+	}
+	opts := func(workers int, noIndex bool) repair.Options {
+		return repair.Options{Theta: 5, Beam: 3, Tau: 1, Workers: workers, NoCoverageIndex: noIndex}
+	}
+
+	baseline, err := measureClean(ds, opts(1, true), iters)
+	if err != nil {
+		return err
+	}
+	seq, err := measureClean(ds, opts(1, false), iters)
+	if err != nil {
+		return err
+	}
+	par, err := measureClean(ds, opts(0, false), iters)
+	if err != nil {
+		return err
+	}
+
+	report := repairReport{
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		NumCPU:            runtime.NumCPU(),
+		Rows:              rows,
+		Workers:           par.res.Workers,
+		Iterations:        iters,
+		SpeedupVsBaseline: baseline.ns / par.ns,
+	}
+	addClean := func(name string, t cleanTiming) {
+		report.Results = append(report.Results, benchResult{
+			Name: name, Iterations: iters, NsPerOp: t.ns, BytesPerOp: t.bytes, AllocsPerOp: t.allocs,
+		})
+	}
+	addClean("clean-baseline-seq-noindex", baseline)
+	addClean("clean-indexed-seq", seq)
+	addClean("clean-indexed-parallel", par)
+
+	// Per-stage breakdown of the parallel run (durations from Result).
+	stage := func(name string, d time.Duration) {
+		report.Results = append(report.Results, benchResult{
+			Name: name, Iterations: 1, NsPerOp: float64(d.Nanoseconds()),
+		})
+	}
+	stage("stage-assign", par.res.AssignElapsed)
+	stage("stage-assign-refine", par.res.RefineElapsed)
+	stage("stage-repair", par.res.RepairElapsed)
+	stage("stage-repair-beam", par.res.BeamElapsed)
+	stage("stage-repair-materialize", par.res.MaterializeElapsed)
+
+	// EMD micro-benchmarks: the string-keyed hot path must be alloc-free and
+	// the int-keyed variant strictly cheaper.
+	addMicro := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		report.Results = append(report.Results, benchResult{
+			Name:       name,
+			Iterations: r.N,
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	p := emd.Hist{"cartia": 22, "tiazac": 11, "ASA": 7, "adizem": 3}
+	q := emd.Hist{"cartia": 14, "ASA": 19, "ibuprofen": 5}
+	addMicro("emd-workdistance", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			emd.WorkDistance(p, q)
+		}
+	})
+	pi := emd.IntHist{0: 22, 1: 11, 2: 7, 3: 3}
+	qi := emd.IntHist{0: 14, 2: 19, 4: 5}
+	addMicro("emd-workdistance-int", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			emd.WorkDistanceInt(pi, qi)
+		}
+	})
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	for _, r := range report.Results {
+		fmt.Printf("%-28s %14.0f ns/op %12d B/op %10d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("speedup vs baseline: %.2fx (workers=%d, rows=%d)\n",
+		report.SpeedupVsBaseline, report.Workers, rows)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

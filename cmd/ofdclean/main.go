@@ -37,6 +37,7 @@ func main() {
 		tau      = flag.Float64("tau", 0.65, "τ: max fraction of cells repaired")
 		theta    = flag.Float64("theta", 5, "θ: EMD threshold for sense refinement")
 		isaTheta = flag.Int("isa-theta", 0, "clean toward INHERITANCE OFDs with this is-a path bound (0 = synonym semantics)")
+		workers  = flag.Int("workers", 0, "repair worker-pool width (0 = NumCPU, 1 = sequential; output identical either way)")
 		pareto   = flag.Bool("pareto", false, "print the full Pareto frontier")
 		suggest  = flag.Bool("suggest-sigma", false, "also print minimal antecedent augmentations repairing the CONSTRAINTS")
 	)
@@ -65,6 +66,7 @@ func main() {
 	opts.Tau = *tau
 	opts.Theta = *theta
 	opts.IsATheta = *isaTheta
+	opts.Workers = *workers
 
 	res, err := fastofd.Clean(rel, ont, sigma, opts)
 	if err != nil {

@@ -54,16 +54,18 @@ func Distance(p, q Hist) float64 {
 	if tp == 0 || tq == 0 {
 		return 1
 	}
-	keys := make(map[string]struct{}, len(p)+len(q))
-	for v := range p {
-		keys[v] = struct{}{}
-	}
-	for v := range q {
-		keys[v] = struct{}{}
-	}
+	// Iterate p, then the q-only keys, instead of materializing the key
+	// union in a scratch map — this is on OFDClean's hot path and must not
+	// allocate.
 	sum := 0.0
-	for v := range keys {
-		sum += math.Abs(p[v]/tp - q[v]/tq)
+	for v, pm := range p {
+		sum += math.Abs(pm/tp - q[v]/tq)
+	}
+	for v, qm := range q {
+		if _, inP := p[v]; inP {
+			continue
+		}
+		sum += qm / tq
 	}
 	return sum / 2
 }
@@ -74,24 +76,50 @@ func Distance(p, q Hist) float64 {
 // usage where edge weights are absolute amounts of repair work (e.g. 22, 11,
 // 7) rather than [0,1] fractions.
 func WorkDistance(p, q Hist) float64 {
-	keys := make(map[string]struct{}, len(p)+len(q))
-	for v := range p {
-		keys[v] = struct{}{}
-	}
-	for v := range q {
-		keys[v] = struct{}{}
-	}
 	surplus, deficit := 0.0, 0.0
-	for v := range keys {
-		d := p[v] - q[v]
+	for v, pm := range p {
+		d := pm - q[v]
 		if d > 0 {
 			surplus += d
 		} else {
 			deficit -= d
 		}
 	}
+	for v, qm := range q {
+		if _, inP := p[v]; inP {
+			continue
+		}
+		deficit += qm
+	}
 	// Moving a unit covers one surplus and one deficit simultaneously; the
 	// imbalance (|p|−|q|) must be created/destroyed, each costing one move.
+	return math.Max(surplus, deficit)
+}
+
+// IntHist is a histogram keyed by dense interned value ids. The repair
+// engine builds sense histograms as IntHists in reusable buffers so that
+// edge weighing during dependency-graph construction and refinement is
+// alloc-free.
+type IntHist map[int32]float64
+
+// WorkDistanceInt is WorkDistance over int-keyed histograms. It allocates
+// nothing: p is swept first, then the q-only keys.
+func WorkDistanceInt(p, q IntHist) float64 {
+	surplus, deficit := 0.0, 0.0
+	for v, pm := range p {
+		d := pm - q[v]
+		if d > 0 {
+			surplus += d
+		} else {
+			deficit -= d
+		}
+	}
+	for v, qm := range q {
+		if _, inP := p[v]; inP {
+			continue
+		}
+		deficit += qm
+	}
 	return math.Max(surplus, deficit)
 }
 

@@ -140,3 +140,62 @@ func TestDistanceWithCustomGround(t *testing.T) {
 		t.Fatalf("custom ground: %v", d)
 	}
 }
+
+// The three hot-path distance functions run inside the repair engine's
+// dependency-graph and refinement loops; they must not allocate per call.
+func TestDistanceFunctionsDoNotAllocate(t *testing.T) {
+	p := Hist{"a": 3, "b": 2, "c": 1}
+	q := Hist{"b": 1, "c": 4, "d": 2}
+	pi := IntHist{0: 3, 1: 2, 2: 1}
+	qi := IntHist{1: 1, 2: 4, 3: 2}
+	for name, fn := range map[string]func(){
+		"Distance":        func() { Distance(p, q) },
+		"WorkDistance":    func() { WorkDistance(p, q) },
+		"WorkDistanceInt": func() { WorkDistanceInt(pi, qi) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, allocs)
+		}
+	}
+}
+
+func TestWorkDistanceIntMatchesStringPath(t *testing.T) {
+	// Both WorkDistance variants compute max(surplus, deficit); identical
+	// histogram shapes must give identical distances regardless of key type.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		p, q := Hist{}, Hist{}
+		pi, qi := IntHist{}, IntHist{}
+		for k := 0; k < 6; k++ {
+			if m := float64(rng.Intn(5)); m > 0 {
+				p[string(rune('a'+k))] = m
+				pi[int32(k)] = m
+			}
+			if m := float64(rng.Intn(5)); m > 0 {
+				q[string(rune('a'+k))] = m
+				qi[int32(k)] = m
+			}
+		}
+		if ds, di := WorkDistance(p, q), WorkDistanceInt(pi, qi); ds != di {
+			t.Fatalf("trial %d: string %v != int %v (p=%v q=%v)", trial, ds, di, p, q)
+		}
+	}
+}
+
+func BenchmarkWorkDistance(b *testing.B) {
+	p := Hist{"cartia": 22, "tiazac": 11, "ASA": 7, "adizem": 3}
+	q := Hist{"cartia": 14, "ASA": 19, "ibuprofen": 5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WorkDistance(p, q)
+	}
+}
+
+func BenchmarkWorkDistanceInt(b *testing.B) {
+	p := IntHist{0: 22, 1: 11, 2: 7, 3: 3}
+	q := IntHist{0: 14, 2: 19, 4: 5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WorkDistanceInt(p, q)
+	}
+}

@@ -131,6 +131,25 @@ func assignInitial(rel *relation.Relation, cov coverage, classes []*eqClass) Ass
 // uncoveredValues returns ρ_{x,λ}: the distinct consequent values of x not
 // covered by sense λ. With λ = NoClass every distinct value is uncovered.
 func uncoveredValues(rel *relation.Relation, cov coverage, x *eqClass, sense ontology.ClassID) []string {
+	if cov.idx != nil {
+		if cm := cov.idx.colVid[x.ofd.RHS]; cm != nil {
+			// Distinct-by-vid without a string-keyed map.
+			seen := make(map[int32]struct{}, 4)
+			var out []string
+			for _, t := range x.tuples {
+				vid := cm[rel.Value(t, x.ofd.RHS)]
+				if _, dup := seen[vid]; dup {
+					continue
+				}
+				seen[vid] = struct{}{}
+				if !cov.coversVid(sense, vid) {
+					out = append(out, cov.idx.strs[vid])
+				}
+			}
+			sort.Strings(out)
+			return out
+		}
+	}
 	counts := x.valueCounts(rel)
 	var out []string
 	for v := range counts {
@@ -146,6 +165,16 @@ func uncoveredValues(rel *relation.Relation, cov coverage, x *eqClass, sense ont
 // not cover.
 func uncoveredTuples(rel *relation.Relation, cov coverage, x *eqClass, sense ontology.ClassID) int {
 	n := 0
+	if cov.idx != nil {
+		if cm := cov.idx.colVid[x.ofd.RHS]; cm != nil {
+			for _, t := range x.tuples {
+				if !cov.coversVid(sense, cm[rel.Value(t, x.ofd.RHS)]) {
+					n++
+				}
+			}
+			return n
+		}
+	}
 	for _, t := range x.tuples {
 		v := rel.String(t, x.ofd.RHS)
 		if !cov.covers(sense, v) {

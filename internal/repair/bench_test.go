@@ -1,0 +1,30 @@
+package repair
+
+import (
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/gen"
+)
+
+func benchmarkClean(b *testing.B, opts Options) {
+	ds := gen.Generate(gen.Config{Rows: 1000, Seed: 1, ErrRate: 0.06, IncRate: 0.04, NumOFDs: 6})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Clean(ds.Rel, ds.Ont, ds.Sigma, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCleanBaseline(b *testing.B) {
+	benchmarkClean(b, Options{Theta: 5, Beam: 3, Tau: 1, Workers: 1, NoCoverageIndex: true})
+}
+
+func BenchmarkCleanIndexed(b *testing.B) {
+	benchmarkClean(b, Options{Theta: 5, Beam: 3, Tau: 1, Workers: 1})
+}
+
+func BenchmarkCleanIndexedParallel(b *testing.B) {
+	benchmarkClean(b, Options{Theta: 5, Beam: 3, Tau: 1, Workers: 0})
+}

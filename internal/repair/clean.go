@@ -2,6 +2,9 @@ package repair
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"github.com/fastofd/fastofd/internal/core"
@@ -41,6 +44,16 @@ type Options struct {
 	// intermediate levels are sampled geometrically). 0 selects the
 	// default of 16.
 	MaterializeLimit int
+	// Workers caps the repair engine's parallelism (dependency-graph
+	// construction, beam-search scoring, level materialization, and
+	// data-repair components). 0 selects runtime.NumCPU(); 1 forces the
+	// sequential path. The output is identical for every value.
+	Workers int
+	// NoCoverageIndex disables the interned coverage index, the refinement
+	// memo tables, and the per-component materialization memo, forcing the
+	// dynamic per-call ontology walks and full per-level data repair.
+	// Ablation/benchmark baseline only; results are unchanged either way.
+	NoCoverageIndex bool
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -72,12 +85,21 @@ type Result struct {
 	Instance *relation.Relation
 	Ontology *ontology.Ontology
 	// Stats.
-	Candidates    int // |Cand(S)|
-	BeamWidth     int
-	ClassCount    int
-	EdgeCount     int
-	AssignElapsed time.Duration
-	RepairElapsed time.Duration
+	Candidates int // |Cand(S)|
+	BeamWidth  int
+	ClassCount int
+	EdgeCount  int
+	Workers    int // worker-pool width actually used
+	// AssignElapsed covers the whole sense-assignment phase (coverage
+	// index + initial assignment + dependency graph + refinement);
+	// RefineElapsed is the EMD-guided local-refinement slice of it.
+	// RepairElapsed covers candidates + beam search + materialization;
+	// BeamElapsed and MaterializeElapsed are its two dominant slices.
+	AssignElapsed      time.Duration
+	RefineElapsed      time.Duration
+	RepairElapsed      time.Duration
+	BeamElapsed        time.Duration
+	MaterializeElapsed time.Duration
 }
 
 // Clean runs OFDClean: sense assignment, ontology repair via beam search,
@@ -99,17 +121,26 @@ func Clean(rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts 
 	if opts.MaterializeLimit <= 0 {
 		opts.MaterializeLimit = 16
 	}
-	res := &Result{}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	res := &Result{Workers: workers}
 
 	// --- Sense assignment (Algorithm 7).
 	assignStart := time.Now()
 	cov := coverage{ont: ont, theta: opts.IsATheta}
+	if !opts.NoCoverageIndex {
+		cov.idx = buildCovIndex(rel, ont, opts.IsATheta, sigma.ConsequentAttrs())
+	}
 	pc := relation.NewPartitionCache(rel)
 	classes := classesOf(rel, sigma, pc)
 	assignment := assignInitial(rel, cov, classes)
-	g := buildDepGraph(rel, cov, classes)
+	g := buildDepGraph(rel, cov, classes, workers)
 	if !opts.SkipRefinement {
-		localRefinement(rel, cov, g, opts.Theta, assignment)
+		refineStart := time.Now()
+		localRefinement(rel, cov, g, opts.Theta, opts.OntWeight, assignment)
+		res.RefineElapsed = time.Since(refineStart)
 	}
 	res.Assignment = assignment
 	res.ClassCount = len(classes)
@@ -125,7 +156,8 @@ func Clean(rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts 
 		beam = SecretaryBeam(len(cands))
 	}
 	res.BeamWidth = beam
-	levels := beamSearch(rel, cov, classes, cands, beam, opts.MaxOntologyRepairs)
+	levels := beamSearch(rel, cov, classes, cands, beam, opts.MaxOntologyRepairs, workers)
+	res.BeamElapsed = time.Since(repairStart)
 
 	// --- Materialize selected levels into full repairs and keep the
 	// Pareto frontier of (dist_S, dist_I) within τ. Level 0 and the
@@ -136,22 +168,48 @@ func Clean(rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts 
 	// and ignores cross-OFD interactions, so this exact evaluation is
 	// where a wider beam buys accuracy.
 	tauLimit := int(opts.Tau * float64(rel.NumRows()) * float64(len(sigma.ConsequentAttrs())))
-	var options []RepairOption
-	for _, li := range selectLevels(len(levels), opts.MaterializeLimit) {
+	matStart := time.Now()
+	selected := selectLevels(len(levels), opts.MaterializeLimit)
+	// Component dirty-filter: coverage only grows under candidate ontology
+	// additions and components never share writable cells, so a component
+	// whose classes all satisfy their OFDs under the base ontology needs no
+	// repair at any beam level. Filtering here — once — means each of the
+	// up-to-MaterializeLimit·b materializations repairs only the dirty
+	// components instead of rechecking every class.
+	var dirtyComps [][]*eqClass
+	for _, comp := range connectedComponents(classes) {
+		for _, x := range comp {
+			if !classSatisfiedUnder(rel, cov, x) {
+				dirtyComps = append(dirtyComps, comp)
+				break
+			}
+		}
+	}
+	// Every selected level is independent (each clones its own scratch
+	// relation and ontology), so levels fan out over the worker pool and
+	// land in per-level slots merged in level order.
+	mat := newMaterializer(rel, ont, cov, dirtyComps, cands, !opts.NoCoverageIndex)
+	bests := make([]*RepairOption, len(selected))
+	parallelFor(len(selected), workers, func(_, k int) {
 		var best *RepairOption
-		for _, nd := range levels[li].frontier {
-			opt := materialize(rel, ont, classes, cands, nd.members, opts.IsATheta)
+		for _, nd := range levels[selected[k]].frontier {
+			opt := mat.run(nd.members, workers)
 			if best == nil || opt.DataDist < best.DataDist {
 				b := opt
 				best = &b
 			}
 		}
+		bests[k] = best
+	})
+	var options []RepairOption
+	for _, best := range bests {
 		if best == nil {
 			continue
 		}
 		best.WithinTau = best.DataDist <= tauLimit
 		options = append(options, *best)
 	}
+	res.MaterializeElapsed = time.Since(matStart)
 	res.Pareto = paretoFilter(options)
 	res.RepairElapsed = time.Since(repairStart)
 
@@ -223,32 +281,107 @@ func selectLevels(n, limit int) []int {
 	return out
 }
 
-// materialize applies the candidate ontology additions to a scratch
-// ontology, runs data repair on a scratch relation, and packages the
-// result.
-func materialize(rel *relation.Relation, ont *ontology.Ontology, classes []*eqClass, cands []ontCandidate, members []int, isaTheta int) RepairOption {
-	workOnt := ont.Clone()
-	var ontChanges []OntChange
-	for _, m := range members {
-		ch := cands[m].change
-		if workOnt.AddValue(ch.Class, ch.Value) {
-			ontChanges = append(ontChanges, ch)
+// materializer evaluates beam nodes into concrete repairs. Across the
+// up-to-MaterializeLimit·b materializations most components face the same
+// effective overlay — a component's repair depends only on the candidate
+// additions whose value occurs among its own consequent values — so
+// per-component repairs are memoized under the relevant candidate subset,
+// and the scratch relation/ontology clones happen only on cache misses.
+// Data repair reads eqClass fields but never mutates them, so concurrent
+// materializations share the component slices safely.
+type materializer struct {
+	rel   *relation.Relation
+	ont   *ontology.Ontology
+	cov   coverage
+	comps [][]*eqClass
+	cands []ontCandidate
+	// compVals[ci] is component ci's set of consequent values in the input
+	// instance, the domain of the relevance test.
+	compVals []map[string]struct{}
+	memo     bool
+	mu       sync.Mutex
+	cache    map[string][]CellChange
+}
+
+func newMaterializer(rel *relation.Relation, ont *ontology.Ontology, cov coverage, comps [][]*eqClass, cands []ontCandidate, memo bool) *materializer {
+	m := &materializer{rel: rel, ont: ont, cov: cov, comps: comps, cands: cands, memo: memo}
+	if !memo {
+		return m
+	}
+	m.cache = make(map[string][]CellChange)
+	m.compVals = make([]map[string]struct{}, len(comps))
+	for ci, comp := range comps {
+		vals := make(map[string]struct{}, 8)
+		for _, x := range comp {
+			for _, t := range x.tuples {
+				vals[rel.String(t, x.ofd.RHS)] = struct{}{}
+			}
+		}
+		m.compVals[ci] = vals
+	}
+	return m
+}
+
+// run materializes one beam node. Candidate values are pairwise distinct
+// and absent from the base ontology, so every member addition applies.
+func (m *materializer) run(members []int, workers int) RepairOption {
+	ontChanges := make([]OntChange, 0, len(members))
+	for _, mi := range members {
+		ontChanges = append(ontChanges, m.cands[mi].change)
+	}
+	var dataChanges []CellChange
+	if !m.memo {
+		workRel, workCov := m.scratch(ontChanges)
+		dataChanges = dataRepairComps(workRel, workCov, m.comps, workers)
+	} else {
+		// Memoized path: look up each component's repair under the subset
+		// of additions relevant to it; clone scratch state only when some
+		// component actually needs recomputation. Concurrent misses on the
+		// same key recompute the same deterministic result, so the cache
+		// needs no per-key synchronization beyond the map lock.
+		var workRel *relation.Relation
+		var workCov coverage
+		var key strings.Builder
+		for ci, comp := range m.comps {
+			key.Reset()
+			fmt.Fprintf(&key, "%d", ci)
+			for _, mi := range members {
+				if _, ok := m.compVals[ci][m.cands[mi].change.Value]; ok {
+					fmt.Fprintf(&key, ",%d", mi)
+				}
+			}
+			m.mu.Lock()
+			ch, ok := m.cache[key.String()]
+			m.mu.Unlock()
+			if !ok {
+				if workRel == nil {
+					workRel, workCov = m.scratch(ontChanges)
+				}
+				ch = repairComponent(workRel, workCov, comp)
+				m.mu.Lock()
+				m.cache[key.String()] = ch
+				m.mu.Unlock()
+			}
+			dataChanges = append(dataChanges, ch...)
 		}
 	}
-	workRel := rel.Clone()
-	// Rebind classes to the scratch relation (tuple ids are unchanged;
-	// only values move), reusing senses already assigned.
-	scratch := make([]*eqClass, len(classes))
-	for i, x := range classes {
-		scratch[i] = &eqClass{key: x.key, ofd: x.ofd, tuples: x.tuples, sense: x.sense}
-	}
-	dataChanges := dataRepair(workRel, coverage{ont: workOnt, theta: isaTheta}, scratch)
 	return RepairOption{
 		OntChanges:  ontChanges,
 		DataChanges: dataChanges,
 		OntDist:     len(ontChanges),
 		DataDist:    len(dataChanges),
 	}
+}
+
+// scratch clones the instance and ontology and applies the candidate
+// additions; the shared coverage index is reused read-only with the
+// additions as a per-materialization overlay instead of a rebuilt index.
+func (m *materializer) scratch(ontChanges []OntChange) (*relation.Relation, coverage) {
+	workOnt := m.ont.Clone()
+	for _, ch := range ontChanges {
+		workOnt.AddValue(ch.Class, ch.Value)
+	}
+	return m.rel.Clone(), m.cov.withOverlay(workOnt, ontChanges)
 }
 
 // applyRepair produces the repaired (I′, S′) for a chosen option.

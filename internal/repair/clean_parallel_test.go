@@ -1,0 +1,148 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// resultFingerprint serializes every observable piece of a Result — sense
+// assignment, Pareto frontier, Best repair, repaired instance and ontology —
+// into one canonical string, so two Results can be compared byte-for-byte.
+func resultFingerprint(res *Result) string {
+	var b strings.Builder
+	keys := make([]ClassKey, 0, len(res.Assignment))
+	for k := range res.Assignment {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].OFD != keys[j].OFD {
+			return keys[i].OFD < keys[j].OFD
+		}
+		return keys[i].Rep < keys[j].Rep
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "assign %d/%d -> %d\n", k.OFD, k.Rep, res.Assignment[k])
+	}
+	writeOpt := func(tag string, o *RepairOption) {
+		fmt.Fprintf(&b, "%s ontDist=%d dataDist=%d tau=%v\n", tag, o.OntDist, o.DataDist, o.WithinTau)
+		for _, c := range o.OntChanges {
+			fmt.Fprintf(&b, "  ont +%d %q\n", c.Class, c.Value)
+		}
+		// Cell-change order within an option is an implementation detail of
+		// the per-component merge; compare the set, canonically sorted.
+		cells := append([]CellChange(nil), o.DataChanges...)
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].Row != cells[j].Row {
+				return cells[i].Row < cells[j].Row
+			}
+			return cells[i].Col < cells[j].Col
+		})
+		for _, c := range cells {
+			fmt.Fprintf(&b, "  cell (%d,%d) %q->%q\n", c.Row, c.Col, c.From, c.To)
+		}
+	}
+	for i := range res.Pareto {
+		writeOpt(fmt.Sprintf("pareto[%d]", i), &res.Pareto[i])
+	}
+	if res.Best != nil {
+		writeOpt("best", res.Best)
+	}
+	if res.Instance != nil {
+		for _, row := range res.Instance.Rows() {
+			fmt.Fprintf(&b, "row %q\n", row)
+		}
+	}
+	if res.Ontology != nil {
+		fmt.Fprintf(&b, "ontRepairs %d\n", res.Ontology.RepairDistance())
+		for _, cls := range res.Ontology.AllClasses() {
+			fmt.Fprintf(&b, "class %d %s/%s %q\n", cls, res.Ontology.Name(cls),
+				res.Ontology.Sense(cls), res.Ontology.Synonyms(cls))
+		}
+	}
+	fmt.Fprintf(&b, "stats cand=%d beam=%d classes=%d edges=%d\n",
+		res.Candidates, res.BeamWidth, res.ClassCount, res.EdgeCount)
+	return b.String()
+}
+
+func cleanFingerprint(t *testing.T, rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts Options) string {
+	t.Helper()
+	res, err := Clean(rel, ont, sigma, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resultFingerprint(res)
+}
+
+// TestCleanDeterministicAcrossWorkers is the golden determinism check: the
+// sequential path (Workers=1), a fixed multi-worker pool, the NumCPU default,
+// and the no-index ablation must all produce byte-identical Results.
+func TestCleanDeterministicAcrossWorkers(t *testing.T) {
+	type workload struct {
+		name  string
+		rel   *relation.Relation
+		ont   *ontology.Ontology
+		sigma core.Set
+	}
+	var loads []workload
+	{
+		rel := paperRelation(t)
+		schema := rel.Schema()
+		loads = append(loads, workload{"paper", rel, paperOntology(), core.Set{
+			core.MustParse(schema, "CC -> CTRY"),
+			core.MustParse(schema, "SYMP, DIAG -> MED"),
+		}})
+	}
+	for _, seed := range []int64{1, 2} {
+		ds := gen.Generate(gen.Config{Rows: 400, Seed: seed, ErrRate: 0.06, IncRate: 0.04, NumOFDs: 6})
+		loads = append(loads, workload{fmt.Sprintf("clinical-%d", seed), ds.Rel, ds.Ont, ds.Sigma})
+	}
+	for _, w := range loads {
+		t.Run(w.name, func(t *testing.T) {
+			base := Options{Theta: 5, Beam: 3, Tau: 1, Workers: 1}
+			golden := cleanFingerprint(t, w.rel, w.ont, w.sigma, base)
+			variants := []Options{
+				{Theta: 5, Beam: 3, Tau: 1, Workers: 4},
+				{Theta: 5, Beam: 3, Tau: 1, Workers: 0}, // NumCPU default
+				{Theta: 5, Beam: 3, Tau: 1, Workers: 1, NoCoverageIndex: true},
+				{Theta: 5, Beam: 3, Tau: 1, Workers: 4, NoCoverageIndex: true},
+			}
+			for _, opts := range variants {
+				got := cleanFingerprint(t, w.rel, w.ont, w.sigma, opts)
+				if got != golden {
+					t.Errorf("workers=%d noIndex=%v: Result differs from sequential golden\n--- golden ---\n%s\n--- got ---\n%s",
+						opts.Workers, opts.NoCoverageIndex, golden, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCleanParallelRace drives the fully parallel path (graph construction,
+// beam scoring, level materialization, per-component data repair) so that
+// `go test -race` exercises the worker pools on a real workload.
+func TestCleanParallelRace(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 500, Seed: 7, ErrRate: 0.08, IncRate: 0.05, NumOFDs: 6})
+	res, err := Clean(ds.Rel, ds.Ont, ds.Sigma, Options{Theta: 5, Beam: 4, Tau: 1, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no repair selected")
+	}
+	if res.Workers != 8 {
+		t.Errorf("Workers stat = %d, want 8", res.Workers)
+	}
+	v := core.NewVerifier(res.Instance, res.Ontology, nil)
+	for _, d := range ds.Sigma {
+		if !v.HoldsSyn(d) {
+			t.Errorf("repaired instance violates %s", d.Format(ds.Rel.Schema()))
+		}
+	}
+}

@@ -11,9 +11,48 @@ import (
 // with theta > 0 a class E also covers every value within theta is-a steps
 // below it, extending the framework to inheritance OFDs — the paper's
 // stated future work.
+//
+// When idx is set, lookups go through the interned coverage index built once
+// per Clean call; the dynamic ontology walks below remain as the fallback
+// for values the index has never seen (and for callers that construct a bare
+// coverage{ont: ...}). extra overlays the per-materialization ontology
+// additions on top of the shared immutable index, so scratch repairs never
+// rebuild or mutate it.
 type coverage struct {
 	ont   *ontology.Ontology
 	theta int
+	idx   *covIndex
+	// extra maps vid -> additional covering classes (sorted) introduced by
+	// a scratch ontology repair; nil when idx reflects ont exactly.
+	extra map[int32][]ontology.ClassID
+}
+
+// withOverlay derives a coverage for a scratch ontology that applied the
+// given repairs on top of the indexed base ontology.
+func (c coverage) withOverlay(scratch *ontology.Ontology, changes []OntChange) coverage {
+	out := coverage{ont: scratch, theta: c.theta, idx: c.idx}
+	if c.idx != nil {
+		out.extra = c.idx.overlayAdditions(changes)
+	}
+	return out
+}
+
+// coversVid reports whether cls interprets the interned value vid.
+func (c coverage) coversVid(cls ontology.ClassID, vid int32) bool {
+	if cls == ontology.NoClass {
+		return false
+	}
+	if c.idx.coversVid(cls, vid) {
+		return true
+	}
+	if c.extra != nil {
+		for _, e := range c.extra[vid] {
+			if e == cls {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // covers reports whether class cls interprets value v: v is a synonym of
@@ -21,6 +60,11 @@ type coverage struct {
 func (c coverage) covers(cls ontology.ClassID, v string) bool {
 	if cls == ontology.NoClass {
 		return false
+	}
+	if c.idx != nil {
+		if vid, ok := c.idx.vids[v]; ok {
+			return c.coversVid(cls, vid)
+		}
 	}
 	if c.ont.HasSynonym(cls, v) {
 		return true
@@ -36,10 +80,29 @@ func (c coverage) covers(cls ontology.ClassID, v string) bool {
 	return false
 }
 
+// interpsVid returns the classes covering the interned value vid (index
+// path only). The result is shared with the index and must not be modified.
+func (c coverage) interpsVid(vid int32) []ontology.ClassID {
+	base := c.idx.interps[vid]
+	if c.extra == nil {
+		return base
+	}
+	add := c.extra[vid]
+	if len(add) == 0 {
+		return base
+	}
+	return mergeClassIDs(base, add)
+}
+
 // interpretations returns the classes that cover v (its sset under the
 // chosen semantics): names(v) plus, when theta > 0, every ancestor within
-// theta steps. Sorted and deduplicated.
+// theta steps. The returned slice may be shared and must not be modified.
 func (c coverage) interpretations(v string) []ontology.ClassID {
+	if c.idx != nil {
+		if vid, ok := c.idx.vids[v]; ok {
+			return c.interpsVid(vid)
+		}
+	}
 	direct := c.ont.Names(v)
 	if c.theta == 0 {
 		return direct

@@ -1,0 +1,210 @@
+package repair
+
+import (
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// covIndex is the interned coverage index built once per Clean call. It maps
+// every distinct consequent value (plus every class's canonical name) to a
+// dense int32 id and precomputes, per id, the sorted list of classes that
+// cover it under the configured semantics. Coverage tests then become a
+// bitset probe (or a binary search over a handful of class ids) instead of
+// the HasSynonym/PathLen walks and map+sort allocations of the dynamic path,
+// and hot loops can go from cell to covering classes without materializing
+// strings at all via the per-column dictionary-id → vid tables.
+//
+// The index is immutable after construction, so the parallel repair stages
+// share it without locking. Scratch ontologies produced by materialize are
+// handled as overlays (coverage.extra), never by mutating the index.
+type covIndex struct {
+	ont   *ontology.Ontology
+	theta int
+
+	vids map[string]int32 // value -> dense id
+	strs []string         // vid -> value
+	// interps[vid] lists the classes covering the value, sorted ascending:
+	// names(v) plus, when theta > 0, every ancestor within theta is-a steps.
+	interps [][]ontology.ClassID
+	// colVid[col][dictID] translates a column's dictionary-encoded cell
+	// value to its vid; only the indexed consequent columns are present.
+	colVid map[int][]int32
+	// classVid[cls] is the vid of the class's canonical name, used to
+	// collapse covered values when building sense histograms.
+	classVid []int32
+
+	// bits is an optional |classes| × stride bitset: bit vid of row cls is
+	// set iff cls covers vid. Built only while the product stays small;
+	// otherwise coversVid binary-searches interps.
+	bits   []uint64
+	stride int
+}
+
+// maxCoverBits caps the bitset at 8 MiB; larger class×value products fall
+// back to binary search over the (short) per-value class lists.
+const maxCoverBits = 1 << 26
+
+// buildCovIndex interns the distinct values of the given consequent columns
+// and every class name, precomputing interpretations for each.
+func buildCovIndex(rel *relation.Relation, ont *ontology.Ontology, theta int, rhsCols []int) *covIndex {
+	ix := &covIndex{
+		ont:    ont,
+		theta:  theta,
+		vids:   make(map[string]int32),
+		colVid: make(map[int][]int32, len(rhsCols)),
+	}
+	intern := func(v string) int32 {
+		if id, ok := ix.vids[v]; ok {
+			return id
+		}
+		id := int32(len(ix.strs))
+		ix.vids[v] = id
+		ix.strs = append(ix.strs, v)
+		ix.interps = append(ix.interps, ix.computeInterps(v))
+		return id
+	}
+	for _, col := range rhsCols {
+		if _, dup := ix.colVid[col]; dup {
+			continue
+		}
+		vals := rel.Dict(col).Values()
+		m := make([]int32, len(vals))
+		for i, v := range vals {
+			m[i] = intern(v)
+		}
+		ix.colVid[col] = m
+	}
+	nc := ont.NumClasses()
+	ix.classVid = make([]int32, nc)
+	for c := 0; c < nc; c++ {
+		ix.classVid[c] = intern(ont.Name(ontology.ClassID(c)))
+	}
+
+	if nv := len(ix.strs); nc > 0 && nv > 0 && nc*nv <= maxCoverBits {
+		ix.stride = (nv + 63) / 64
+		ix.bits = make([]uint64, nc*ix.stride)
+		for vid, classes := range ix.interps {
+			for _, cls := range classes {
+				ix.bits[int(cls)*ix.stride+vid/64] |= 1 << (uint(vid) % 64)
+			}
+		}
+	}
+	return ix
+}
+
+// computeInterps mirrors coverage.interpretations on the dynamic path:
+// names(v), plus every ancestor within theta steps when theta > 0. Always
+// sorted and deduplicated (consumers are order-independent).
+func (ix *covIndex) computeInterps(v string) []ontology.ClassID {
+	direct := ix.ont.Names(v)
+	if ix.theta == 0 {
+		if len(direct) == 0 {
+			return nil
+		}
+		out := append([]ontology.ClassID(nil), direct...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	seen := make(map[ontology.ClassID]struct{}, len(direct)*2)
+	for _, cls := range direct {
+		cur := cls
+		for depth := 0; depth <= ix.theta && cur != ontology.NoClass; depth++ {
+			seen[cur] = struct{}{}
+			cur = ix.ont.Parent(cur)
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]ontology.ClassID, 0, len(seen))
+	for cls := range seen {
+		out = append(out, cls)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// coversVid reports whether cls covers the interned value vid.
+func (ix *covIndex) coversVid(cls ontology.ClassID, vid int32) bool {
+	if ix.bits != nil {
+		return ix.bits[int(cls)*ix.stride+int(vid)/64]&(1<<(uint(vid)%64)) != 0
+	}
+	s := ix.interps[vid]
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < cls {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == cls
+}
+
+// overlayAdditions builds the coverage.extra map for a scratch ontology that
+// applied the given repairs on top of the indexed base: vid → extra covering
+// classes (the repaired class plus, under inheritance semantics, its
+// ancestors within theta). Values never seen by the index (impossible for
+// real candidates, which are data values) are skipped; the dynamic fallback
+// against the scratch ontology handles them.
+func (ix *covIndex) overlayAdditions(changes []OntChange) map[int32][]ontology.ClassID {
+	if len(changes) == 0 {
+		return nil
+	}
+	extra := make(map[int32][]ontology.ClassID, len(changes))
+	for _, ch := range changes {
+		vid, ok := ix.vids[ch.Value]
+		if !ok {
+			continue
+		}
+		add := func(cls ontology.ClassID) {
+			for _, e := range extra[vid] {
+				if e == cls {
+					return
+				}
+			}
+			extra[vid] = append(extra[vid], cls)
+		}
+		add(ch.Class)
+		if ix.theta > 0 {
+			cur := ch.Class
+			for depth := 0; depth <= ix.theta && cur != ontology.NoClass; depth++ {
+				add(cur)
+				cur = ix.ont.Parent(cur)
+			}
+		}
+	}
+	for vid := range extra {
+		s := extra[vid]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	return extra
+}
+
+// mergeClassIDs merges two sorted, deduplicated class-id lists.
+func mergeClassIDs(a, b []ontology.ClassID) []ontology.ClassID {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]ontology.ClassID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

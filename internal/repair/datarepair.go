@@ -21,16 +21,43 @@ type conflictEdge struct {
 	class  *eqClass
 }
 
+// classValCounts counts a class's consequent values by dictionary id. The
+// ids are stable across Relation.Clone and in-place repair writes (repair
+// targets are always existing column values), so they serve as compact value
+// keys that avoid per-tuple string hashing on the materialization hot path.
+func classValCounts(rel *relation.Relation, x *eqClass) map[relation.Value]int {
+	counts := make(map[relation.Value]int, 4)
+	col := rel.Column(x.ofd.RHS)
+	for _, t := range x.tuples {
+		counts[col[t]]++
+	}
+	return counts
+}
+
+// coversVal is coverage.covers keyed by dictionary id: the index's
+// per-column vid table turns the probe into two array lookups. Falls back
+// to the string path when the index (or the column's table) is absent.
+func coversVal(cov coverage, rel *relation.Relation, col int, sense ontology.ClassID, v relation.Value) bool {
+	if cov.idx != nil {
+		if cm := cov.idx.colVid[col]; int(v) < len(cm) {
+			return cov.coversVid(sense, cm[v])
+		}
+	}
+	return cov.covers(sense, rel.Dict(col).String(v))
+}
+
 // buildConflictGraph enumerates conflicting tuple pairs per class. To keep
 // the graph quadratic only in the number of *distinct conflicting values*
 // (not tuples), one representative tuple per distinct value participates.
 func buildConflictGraph(rel *relation.Relation, cov coverage, classes []*eqClass) []conflictEdge {
 	var edges []conflictEdge
 	for _, x := range classes {
+		colAttr := x.ofd.RHS
+		col := rel.Column(colAttr)
 		// Representative tuple per distinct value, deterministic.
-		repOf := make(map[string]int, 4)
+		repOf := make(map[relation.Value]int, 4)
 		for _, t := range x.tuples {
-			v := rel.String(t, x.ofd.RHS)
+			v := col[t]
 			if r, ok := repOf[v]; !ok || t < r {
 				repOf[v] = t
 			}
@@ -38,15 +65,19 @@ func buildConflictGraph(rel *relation.Relation, cov coverage, classes []*eqClass
 		if len(repOf) < 2 {
 			continue
 		}
-		values := make([]string, 0, len(repOf))
+		// Dictionary ids order values by first appearance in the column —
+		// a property of the input instance, so the edge order (and the
+		// greedy vertex cover) is identical for any worker count and with
+		// or without the coverage index.
+		values := make([]relation.Value, 0, len(repOf))
 		for v := range repOf {
 			values = append(values, v)
 		}
-		sort.Strings(values)
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
 		for i := 0; i < len(values); i++ {
 			for j := i + 1; j < len(values); j++ {
 				vi, vj := values[i], values[j]
-				if pairConsistent(cov, x.sense, vi, vj) {
+				if pairConsistentVal(cov, rel, colAttr, x.sense, vi, vj) {
 					continue
 				}
 				edges = append(edges, conflictEdge{t1: repOf[vi], t2: repOf[vj], class: x})
@@ -56,17 +87,18 @@ func buildConflictGraph(rel *relation.Relation, cov coverage, classes []*eqClass
 	return edges
 }
 
-// pairConsistent reports whether two distinct values can coexist in a class
-// interpreted under sense λ: both covered by λ, or — when no sense was
-// assignable — sharing any common interpretation.
-func pairConsistent(cov coverage, sense ontology.ClassID, v1, v2 string) bool {
+// pairConsistentVal reports whether two distinct values can coexist in a
+// class interpreted under sense λ: both covered by λ, or — when no sense
+// was assigned — sharing any common interpretation.
+func pairConsistentVal(cov coverage, rel *relation.Relation, col int, sense ontology.ClassID, v1, v2 relation.Value) bool {
 	if v1 == v2 {
 		return true
 	}
 	if sense != ontology.NoClass {
-		return cov.covers(sense, v1) && cov.covers(sense, v2)
+		return coversVal(cov, rel, col, sense, v1) && coversVal(cov, rel, col, sense, v2)
 	}
-	return len(cov.shared([]string{v1, v2})) > 0
+	d := rel.Dict(col)
+	return len(cov.shared([]string{d.String(v1), d.String(v2)})) > 0
 }
 
 // vertexCover2Approx computes the classic 2-approximate minimum vertex
@@ -91,21 +123,27 @@ func vertexCover2Approx(edges []conflictEdge) map[int]struct{} {
 // sense covers nothing (or none was assigned), the class's most frequent
 // value overall. Ties break lexicographically.
 func repairTarget(rel *relation.Relation, cov coverage, x *eqClass) string {
-	counts := x.valueCounts(rel)
+	counts := classValCounts(rel, x)
+	col := x.ofd.RHS
+	dict := rel.Dict(col)
+	type vc struct {
+		s string
+		v relation.Value
+		n int
+	}
+	items := make([]vc, 0, len(counts))
+	for v, n := range counts {
+		items = append(items, vc{dict.String(v), v, n})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].s < items[j].s })
 	bestCovered, bestCoveredN := "", -1
 	bestAny, bestAnyN := "", -1
-	keys := make([]string, 0, len(counts))
-	for v := range counts {
-		keys = append(keys, v)
-	}
-	sort.Strings(keys)
-	for _, v := range keys {
-		n := counts[v]
-		if cov.covers(x.sense, v) && n > bestCoveredN {
-			bestCovered, bestCoveredN = v, n
+	for _, it := range items {
+		if it.n > bestCoveredN && coversVal(cov, rel, col, x.sense, it.v) {
+			bestCovered, bestCoveredN = it.s, it.n
 		}
-		if n > bestAnyN {
-			bestAny, bestAnyN = v, n
+		if it.n > bestAnyN {
+			bestAny, bestAnyN = it.s, it.n
 		}
 	}
 	if bestCoveredN >= 0 {
@@ -117,18 +155,15 @@ func repairTarget(rel *relation.Relation, cov coverage, x *eqClass) string {
 // classSatisfiedUnder reports whether the class currently satisfies its OFD
 // under the assigned sense or syntactic equality or any shared sense.
 func classSatisfiedUnder(rel *relation.Relation, cov coverage, x *eqClass) bool {
-	counts := x.valueCounts(rel)
+	counts := classValCounts(rel, x)
 	if len(counts) <= 1 {
 		return true
 	}
-	values := make([]string, 0, len(counts))
-	for v := range counts {
-		values = append(values, v)
-	}
+	col := x.ofd.RHS
 	if x.sense != ontology.NoClass {
 		all := true
-		for _, v := range values {
-			if !cov.covers(x.sense, v) {
+		for v := range counts {
+			if !coversVal(cov, rel, col, x.sense, v) {
 				all = false
 				break
 			}
@@ -137,17 +172,55 @@ func classSatisfiedUnder(rel *relation.Relation, cov coverage, x *eqClass) bool 
 			return true
 		}
 	}
+	// Shared-interpretation fallback only runs for violated-under-sense
+	// classes, so the string conversion stays off the common path.
+	dict := rel.Dict(col)
+	values := make([]string, 0, len(counts))
+	for v := range counts {
+		values = append(values, dict.String(v))
+	}
 	return len(cov.shared(values)) > 0
 }
 
 // dataRepair computes cell updates that make every class satisfy its OFD
 // w.r.t. the (possibly repaired) ontology, adapting RepairData of Beskales
-// et al.: tuples in the 2-approximate vertex cover of the conflict graph
-// are cleaned one at a time, then residual violations caused by OFD
-// interactions are resolved with up to two escalation passes (class-mode
-// collapse, then connected-component collapse), which guarantees
-// convergence. The relation is modified in place; the changes are returned.
-func dataRepair(rel *relation.Relation, cov coverage, classes []*eqClass) []CellChange {
+// et al. The classes are first grouped into connected components (classes
+// sharing a consequent attribute and at least one tuple); each component is
+// repaired independently — vertex-cover guided cleaning, per-class collapse,
+// then whole-component collapse if violations persist, which guarantees
+// convergence. Components never share a writable cell (a cell (t, A)
+// belongs to exactly the component owning (A, t)) and read only their own
+// tuples' consequent column, so they run on the worker pool; per-component
+// change lists are concatenated in canonical component order, making the
+// result identical for any worker count. The relation is modified in place;
+// the changes are returned.
+func dataRepair(rel *relation.Relation, cov coverage, classes []*eqClass, workers int) []CellChange {
+	return dataRepairComps(rel, cov, connectedComponents(classes), workers)
+}
+
+// dataRepairComps is dataRepair over pre-grouped components. Clean computes
+// the components once and filters out those already satisfied (coverage is
+// monotone under ontology additions, so a satisfied component stays
+// satisfied under every candidate repair set), so each materialization
+// repairs only the dirty components instead of re-deriving and re-checking
+// the full grouping per beam level.
+func dataRepairComps(rel *relation.Relation, cov coverage, comps [][]*eqClass, workers int) []CellChange {
+	perComp := make([][]CellChange, len(comps))
+	// Concurrency safety: repair targets are always existing values of the
+	// component's own column, so SetString only reads the column dictionary
+	// (Intern hits the present-value fast path) and writes disjoint cells.
+	parallelFor(len(comps), workers, func(_, ci int) {
+		perComp[ci] = repairComponent(rel, cov, comps[ci])
+	})
+	var changes []CellChange
+	for _, ch := range perComp {
+		changes = append(changes, ch...)
+	}
+	return changes
+}
+
+// repairComponent repairs one connected component of tuple-sharing classes.
+func repairComponent(rel *relation.Relation, cov coverage, comp []*eqClass) []CellChange {
 	var changes []CellChange
 	apply := func(row, col int, to string) {
 		from := rel.String(row, col)
@@ -161,7 +234,7 @@ func dataRepair(rel *relation.Relation, cov coverage, classes []*eqClass) []Cell
 	// Pass 1: vertex-cover guided, per-class sense-based repair. The cover
 	// identifies the tuples to clean; each is updated to its class's
 	// repair target (a value covered by the assigned sense).
-	edges := buildConflictGraph(rel, cov, classes)
+	edges := buildConflictGraph(rel, cov, comp)
 	cover := vertexCover2Approx(edges)
 	// A tuple may participate in several classes (shared consequents);
 	// repair it w.r.t. the class with the most tuples (strongest evidence).
@@ -183,98 +256,89 @@ func dataRepair(rel *relation.Relation, cov coverage, classes []*eqClass) []Cell
 	sort.Ints(coveredTuples)
 	for _, t := range coveredTuples {
 		x := classOfTuple[t]
+		col := x.ofd.RHS
 		target := repairTarget(rel, cov, x)
-		v := rel.String(t, x.ofd.RHS)
-		if v == target {
+		targetVal, _ := rel.Dict(col).Lookup(target) // target is an existing column value
+		v := rel.Value(t, col)
+		if v == targetVal {
 			continue
 		}
-		if cov.covers(x.sense, v) && cov.covers(x.sense, target) {
+		if coversVal(cov, rel, col, x.sense, v) && coversVal(cov, rel, col, x.sense, targetVal) {
 			continue // already consistent with the target under the sense
 		}
-		apply(t, x.ofd.RHS, target)
+		apply(t, col, target)
 	}
 	// Cover representatives stand for all tuples sharing their value; any
 	// remaining uncovered tuple values are fixed per class below.
 
 	// Pass 2: per-class collapse — every tuple whose value the sense does
 	// not cover moves to the class's repair target.
-	for _, x := range classes {
+	for _, x := range comp {
 		if classSatisfiedUnder(rel, cov, x) {
 			continue
 		}
+		col := x.ofd.RHS
 		target := repairTarget(rel, cov, x)
+		targetVal, _ := rel.Dict(col).Lookup(target)
+		targetCovered := coversVal(cov, rel, col, x.sense, targetVal)
 		for _, t := range x.tuples {
-			v := rel.String(t, x.ofd.RHS)
-			if v == target {
+			v := rel.Value(t, col)
+			if v == targetVal {
 				continue
 			}
-			if cov.covers(x.sense, v) && cov.covers(x.sense, target) {
+			if targetCovered && coversVal(cov, rel, col, x.sense, v) {
 				continue
 			}
-			apply(t, x.ofd.RHS, target)
+			apply(t, col, target)
 		}
 	}
 
 	// Pass 3: interactions can still leave conflicts (a tuple repaired for
-	// φ1 may now disagree within a φ2 class). Compute the connected
-	// components of tuple-sharing classes per consequent attribute and
-	// collapse every component that still contains a violating class to a
-	// single value. Because any class intersecting a component belongs to
-	// it, collapsed classes become constant and the pass converges in one
-	// sweep.
-	var violating []*eqClass
-	for _, x := range classes {
+	// φ1 may now disagree within a φ2 class). If any class in the component
+	// still violates, collapse the whole component to its modal value;
+	// collapsed classes become constant, so the pass converges in one sweep.
+	violated := false
+	for _, x := range comp {
 		if !classSatisfiedUnder(rel, cov, x) {
-			violating = append(violating, x)
+			violated = true
+			break
 		}
 	}
-	if len(violating) > 0 {
-		for _, comp := range connectedComponents(classes) {
-			hasViolation := false
-			for _, x := range comp {
-				for _, v := range violating {
-					if x == v {
-						hasViolation = true
-						break
-					}
-				}
-				if hasViolation {
-					break
-				}
+	if violated {
+		col := comp[0].ofd.RHS
+		column := rel.Column(col)
+		tupleSet := make(map[int]struct{})
+		for _, x := range comp {
+			for _, t := range x.tuples {
+				tupleSet[t] = struct{}{}
 			}
-			if !hasViolation {
-				continue
+		}
+		counts := make(map[relation.Value]int)
+		for t := range tupleSet {
+			counts[column[t]]++
+		}
+		dict := rel.Dict(col)
+		target, best := "", -1
+		keys := make([]string, 0, len(counts))
+		byStr := make(map[string]int, len(counts))
+		for v, n := range counts {
+			s := dict.String(v)
+			keys = append(keys, s)
+			byStr[s] = n
+		}
+		sort.Strings(keys)
+		for _, s := range keys {
+			if byStr[s] > best {
+				target, best = s, byStr[s]
 			}
-			col := comp[0].ofd.RHS
-			tupleSet := make(map[int]struct{})
-			for _, x := range comp {
-				for _, t := range x.tuples {
-					tupleSet[t] = struct{}{}
-				}
-			}
-			counts := make(map[string]int)
-			for t := range tupleSet {
-				counts[rel.String(t, col)]++
-			}
-			target, best := "", -1
-			keys := make([]string, 0, len(counts))
-			for v := range counts {
-				keys = append(keys, v)
-			}
-			sort.Strings(keys)
-			for _, v := range keys {
-				if counts[v] > best {
-					target, best = v, counts[v]
-				}
-			}
-			tuples := make([]int, 0, len(tupleSet))
-			for t := range tupleSet {
-				tuples = append(tuples, t)
-			}
-			sort.Ints(tuples)
-			for _, t := range tuples {
-				apply(t, col, target)
-			}
+		}
+		tuples := make([]int, 0, len(tupleSet))
+		for t := range tupleSet {
+			tuples = append(tuples, t)
+		}
+		sort.Ints(tuples)
+		for _, t := range tuples {
+			apply(t, col, target)
 		}
 	}
 	return changes

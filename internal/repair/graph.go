@@ -10,10 +10,13 @@ import (
 
 // depEdge connects two equivalence classes from different OFDs that share a
 // consequent attribute and overlap in tuples; its weight is the EMD between
-// the overlap's value distributions under the two assigned senses.
+// the overlap's value distributions under the two assigned senses. The
+// overlap is computed once at graph construction and kept on the edge so
+// refinement never re-intersects the tuple lists.
 type depEdge struct {
-	a, b   int // indexes into the class slice
-	weight float64
+	a, b    int // indexes into the class slice
+	weight  float64
+	overlap []int
 }
 
 // depGraph is the dependency graph of §5.2.2.
@@ -25,31 +28,58 @@ type depGraph struct {
 
 // buildDepGraph connects overlapping classes of OFDs with a common
 // consequent. Only pairs with a non-empty tuple intersection get an edge.
-func buildDepGraph(rel *relation.Relation, cov coverage, classes []*eqClass) *depGraph {
+// Candidate pairs are enumerated in canonical order (ascending consequent
+// attribute, then class index) and scored by a worker pool writing into
+// per-pair slots, so the edge list — and therefore every index-based
+// tie-break downstream — is identical for any worker count. (The previous
+// sequential version iterated the RHS bucket map directly, leaking map
+// iteration order into edge indexes.)
+func buildDepGraph(rel *relation.Relation, cov coverage, classes []*eqClass, workers int) *depGraph {
 	g := &depGraph{classes: classes, adj: make([][]int, len(classes))}
-	// Bucket classes by consequent attribute.
+	// Bucket classes by consequent attribute, keys in ascending order.
 	byRHS := make(map[int][]int)
+	var rhsOrder []int
 	for i, x := range classes {
+		if _, ok := byRHS[x.ofd.RHS]; !ok {
+			rhsOrder = append(rhsOrder, x.ofd.RHS)
+		}
 		byRHS[x.ofd.RHS] = append(byRHS[x.ofd.RHS], i)
 	}
-	for _, idxs := range byRHS {
+	sort.Ints(rhsOrder)
+	type classPair struct{ a, b int }
+	var pairs []classPair
+	for _, rhs := range rhsOrder {
+		idxs := byRHS[rhs]
 		for i := 0; i < len(idxs); i++ {
 			for j := i + 1; j < len(idxs); j++ {
-				xi, xj := classes[idxs[i]], classes[idxs[j]]
-				if xi.key.OFD == xj.key.OFD {
+				if classes[idxs[i]].key.OFD == classes[idxs[j]].key.OFD {
 					continue // same dependency: classes are disjoint
 				}
-				overlap := intersectTuples(xi.tuples, xj.tuples)
-				if len(overlap) == 0 {
-					continue
-				}
-				w := overlapEMD(rel, cov, xi, xj, overlap)
-				e := depEdge{a: idxs[i], b: idxs[j], weight: w}
-				g.adj[idxs[i]] = append(g.adj[idxs[i]], len(g.edges))
-				g.adj[idxs[j]] = append(g.adj[idxs[j]], len(g.edges))
-				g.edges = append(g.edges, e)
+				pairs = append(pairs, classPair{idxs[i], idxs[j]})
 			}
 		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	slots := make([]depEdge, len(pairs))
+	ws := make([]histWorkspace, workers)
+	parallelFor(len(pairs), workers, func(worker, k int) {
+		xi, xj := classes[pairs[k].a], classes[pairs[k].b]
+		overlap := intersectTuples(xi.tuples, xj.tuples)
+		if len(overlap) == 0 {
+			return
+		}
+		w := ws[worker].overlapEMD(rel, cov, xi, xj, overlap)
+		slots[k] = depEdge{a: pairs[k].a, b: pairs[k].b, weight: w, overlap: overlap}
+	})
+	for k := range slots {
+		if slots[k].overlap == nil {
+			continue
+		}
+		g.adj[slots[k].a] = append(g.adj[slots[k].a], len(g.edges))
+		g.adj[slots[k].b] = append(g.adj[slots[k].b], len(g.edges))
+		g.edges = append(g.edges, slots[k])
 	}
 	return g
 }
@@ -75,7 +105,8 @@ func intersectTuples(a, b []int) []int {
 
 // senseHistogram builds D(Ω(λ)): the distribution of the overlap's
 // consequent values with every value covered by λ collapsed to λ's
-// canonical value.
+// canonical value. Dynamic (string-keyed) path, used when no coverage index
+// is available.
 func senseHistogram(rel *relation.Relation, cov coverage, col int, tuples []int, sense ontology.ClassID) emd.Hist {
 	h := make(emd.Hist, 4)
 	for _, t := range tuples {
@@ -88,12 +119,44 @@ func senseHistogram(rel *relation.Relation, cov coverage, col int, tuples []int,
 	return h
 }
 
+// histWorkspace holds two reusable int-keyed histograms so that computing an
+// edge weight on the indexed path allocates nothing. Each worker of the
+// graph-construction pool owns one; local refinement (sequential) owns one.
+type histWorkspace struct {
+	p, q emd.IntHist
+}
+
+// fill populates h with the overlap's consequent-value distribution under
+// sense, by interned value id, collapsing covered values to the sense's
+// canonical vid.
+func (w *histWorkspace) fill(rel *relation.Relation, cov coverage, col int, tuples []int, sense ontology.ClassID, h emd.IntHist) {
+	cm := cov.idx.colVid[col]
+	for _, t := range tuples {
+		vid := cm[rel.Value(t, col)]
+		if sense != ontology.NoClass && cov.coversVid(sense, vid) {
+			vid = cov.idx.classVid[sense]
+		}
+		h[vid]++
+	}
+}
+
 // overlapEMD is the edge weight: the work to transform D(Ω(λ_i)) into
 // D(Ω(λ_j)) measured as an absolute number of unit moves.
-func overlapEMD(rel *relation.Relation, cov coverage, xi, xj *eqClass, overlap []int) float64 {
-	hi := senseHistogram(rel, cov, xi.ofd.RHS, overlap, xi.sense)
-	hj := senseHistogram(rel, cov, xj.ofd.RHS, overlap, xj.sense)
-	return emd.WorkDistance(hi, hj)
+func (w *histWorkspace) overlapEMD(rel *relation.Relation, cov coverage, xi, xj *eqClass, overlap []int) float64 {
+	if cov.idx == nil || cov.idx.colVid[xi.ofd.RHS] == nil || cov.idx.colVid[xj.ofd.RHS] == nil {
+		hi := senseHistogram(rel, cov, xi.ofd.RHS, overlap, xi.sense)
+		hj := senseHistogram(rel, cov, xj.ofd.RHS, overlap, xj.sense)
+		return emd.WorkDistance(hi, hj)
+	}
+	if w.p == nil {
+		w.p = make(emd.IntHist, 8)
+		w.q = make(emd.IntHist, 8)
+	}
+	clear(w.p)
+	clear(w.q)
+	w.fill(rel, cov, xi.ofd.RHS, overlap, xi.sense, w.p)
+	w.fill(rel, cov, xj.ofd.RHS, overlap, xj.sense, w.q)
+	return emd.WorkDistanceInt(w.p, w.q)
 }
 
 // nodeWeight sums the weights of all edges incident to class i (the BFS
@@ -116,53 +179,88 @@ const (
 	preferDataRepair
 )
 
+// uncKey keys the memoized whole-class uncovered-tuple counts: refinement
+// never modifies data values, only senses, so |R(x_λ)| depends solely on the
+// class and the candidate sense and is safe to cache for the whole phase.
+type uncKey struct {
+	class int
+	sense ontology.ClassID
+}
+
+// refineCtx carries the state local refinement reuses across edges: the
+// memoized per-(class, sense) uncovered counts that stop refineEdge from
+// rescanning a whole class for every candidate sense, and the histogram
+// workspace that makes edge re-weighing alloc-free.
+type refineCtx struct {
+	rel       *relation.Relation
+	cov       coverage
+	g         *depGraph
+	ontWeight float64
+	unc       map[uncKey]int
+	hist      histWorkspace
+}
+
+// uncoveredTuplesMemo returns |R(x_λ)| for the whole class at index i under
+// sense, computing it at most once per (class, sense).
+func (ctx *refineCtx) uncoveredTuplesMemo(i int, sense ontology.ClassID) int {
+	k := uncKey{i, sense}
+	if n, ok := ctx.unc[k]; ok {
+		return n
+	}
+	n := uncoveredTuples(ctx.rel, ctx.cov, ctx.g.classes[i], sense)
+	ctx.unc[k] = n
+	return n
+}
+
 // refineEdge implements the cost comparison of §5.2.1 for one conflicting
 // edge: u1 is the class being visited (kept fixed), u2 the neighbour whose
-// sense may be reassigned. Returns the chosen option.
-func refineEdge(rel *relation.Relation, cov coverage, g *depGraph, ei, fixed int) refineOutcome {
-	e := &g.edges[ei]
+// sense may be reassigned. Returns the chosen option. Ontology additions
+// are weighted by ontWeight cell updates (consistent with Best selection),
+// so a data repair can win when the outliers are rare one-off values.
+func (ctx *refineCtx) refineEdge(ei, fixed int) refineOutcome {
+	e := &ctx.g.edges[ei]
 	a, b := e.a, e.b
 	if b == fixed {
 		a, b = b, a
 	}
-	x1, x2 := g.classes[a], g.classes[b]
-	overlap := intersectTuples(x1.tuples, x2.tuples)
+	x1, x2 := ctx.g.classes[a], ctx.g.classes[b]
+	overlap := e.overlap
 	if len(overlap) == 0 {
 		return keepSenses
 	}
-	rho1 := uncoveredValues(rel, cov, &eqClass{ofd: x1.ofd, tuples: overlap}, x1.sense)
-	rho2 := uncoveredValues(rel, cov, &eqClass{ofd: x2.ofd, tuples: overlap}, x2.sense)
+	rho1 := uncoveredValues(ctx.rel, ctx.cov, &eqClass{ofd: x1.ofd, tuples: overlap}, x1.sense)
+	rho2 := uncoveredValues(ctx.rel, ctx.cov, &eqClass{ofd: x2.ofd, tuples: overlap}, x2.sense)
 
 	// Option (i): ontology repair — add every outlier to S under the two
-	// senses; cost = |ρ_λ1| + |ρ_λ2|.
-	costOnt := len(rho1) + len(rho2)
+	// senses; cost = ontWeight · (|ρ_λ1| + |ρ_λ2|).
+	costOnt := ctx.ontWeight * float64(len(rho1)+len(rho2))
 
 	// Option (ii): data repair — update the tuples carrying outlier values;
 	// cost = |R(Ω(λ1))| + |R(Ω(λ2))|.
-	costData := uncoveredTuples(rel, cov, &eqClass{ofd: x1.ofd, tuples: overlap}, x1.sense) +
-		uncoveredTuples(rel, cov, &eqClass{ofd: x2.ofd, tuples: overlap}, x2.sense)
+	costData := float64(uncoveredTuples(ctx.rel, ctx.cov, &eqClass{ofd: x1.ofd, tuples: overlap}, x1.sense) +
+		uncoveredTuples(ctx.rel, ctx.cov, &eqClass{ofd: x2.ofd, tuples: overlap}, x2.sense))
 
 	// Option (iii): reassign u2's sense to some λ′ covering outlier values;
 	// delta cost = |R(x2_λ′)| − |R(x2_λ)| over the whole class.
-	baseUncovered := uncoveredTuples(rel, cov, x2, x2.sense)
+	baseUncovered := ctx.uncoveredTuplesMemo(b, x2.sense)
 	bestSense, bestDelta := ontology.NoClass, int(^uint(0)>>1)
-	candidates := candidateSenses(cov, append(append([]string(nil), rho1...), rho2...))
+	candidates := candidateSenses(ctx.cov, append(append([]string(nil), rho1...), rho2...))
 	for _, cand := range candidates {
 		if cand == x2.sense {
 			continue
 		}
-		delta := uncoveredTuples(rel, cov, x2, cand) - baseUncovered
+		delta := ctx.uncoveredTuplesMemo(b, cand) - baseUncovered
 		if delta < bestDelta || (delta == bestDelta && cand < bestSense) {
 			bestSense, bestDelta = cand, delta
 		}
 	}
 
 	// Pick the locally cheapest option.
-	if bestSense != ontology.NoClass && bestDelta <= costOnt && bestDelta <= costData {
+	if bestSense != ontology.NoClass && float64(bestDelta) <= costOnt && float64(bestDelta) <= costData {
 		// Reassign only if the edge weight would actually decrease.
 		old := x2.sense
 		x2.sense = bestSense
-		newW := overlapEMD(rel, cov, x1, x2, overlap)
+		newW := ctx.hist.overlapEMD(ctx.rel, ctx.cov, x1, x2, overlap)
 		if newW < e.weight {
 			e.weight = newW
 			return reassigned
@@ -196,14 +294,19 @@ func candidateSenses(cov coverage, values []string) []ontology.ClassID {
 
 // localRefinement implements Algorithms 6/7: visit classes in decreasing
 // total-EMD order; for each incident edge above θ, evaluate the repair
-// options and reassign senses when that lowers the edge weight.
-func localRefinement(rel *relation.Relation, cov coverage, g *depGraph, theta float64, assignment Assignment) {
+// options and reassign senses when that lowers the edge weight. Node
+// weights are computed once before sorting (they only change after the sort
+// completes), not O(E) per comparison inside the comparator.
+func localRefinement(rel *relation.Relation, cov coverage, g *depGraph, theta, ontWeight float64, assignment Assignment) {
+	ctx := &refineCtx{rel: rel, cov: cov, g: g, ontWeight: ontWeight, unc: make(map[uncKey]int)}
+	weights := make([]float64, len(g.classes))
 	order := make([]int, len(g.classes))
 	for i := range order {
 		order[i] = i
+		weights[i] = g.nodeWeight(i)
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		wa, wb := g.nodeWeight(order[a]), g.nodeWeight(order[b])
+		wa, wb := weights[order[a]], weights[order[b]]
 		if wa != wb {
 			return wa > wb
 		}
@@ -222,7 +325,7 @@ func localRefinement(rel *relation.Relation, cov coverage, g *depGraph, theta fl
 			if g.edges[ei].weight <= theta {
 				continue
 			}
-			if refineEdge(rel, cov, g, ei, i) == reassigned {
+			if ctx.refineEdge(ei, i) == reassigned {
 				// Keep the assignment view in sync.
 				other := g.edges[ei].a
 				if other == i {

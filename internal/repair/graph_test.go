@@ -1,0 +1,202 @@
+package repair
+
+import (
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// refineFixture builds a two-class, one-edge dependency graph over a single
+// consequent column MED with hand-picked senses, so each refineEdge outcome
+// branch can be forced directly.
+type refineFixture struct {
+	rel    *relation.Relation
+	ont    *ontology.Ontology
+	fda    ontology.ClassID
+	moh    ontology.ClassID
+	g      *depGraph
+	x1, x2 *eqClass
+}
+
+func newRefineFixture(t *testing.T, medValues []string, edgeWeight float64, ontBuild func(o *ontology.Ontology) (fda, moh ontology.ClassID)) *refineFixture {
+	t.Helper()
+	ont := ontology.New()
+	fda, moh := ontBuild(ont)
+	schema := relation.MustSchema("K1", "K2", "MED")
+	rows := make([][]string, len(medValues))
+	for i, v := range medValues {
+		rows[i] = []string{"k1", "k2", v}
+	}
+	rel, err := relation.FromRows(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := make([]int, len(medValues))
+	for i := range tuples {
+		tuples[i] = i
+	}
+	x1 := &eqClass{key: ClassKey{OFD: 0, Rep: 0}, ofd: core.OFD{LHS: relation.Single(0), RHS: 2}, tuples: tuples, sense: fda}
+	x2 := &eqClass{key: ClassKey{OFD: 1, Rep: 0}, ofd: core.OFD{LHS: relation.Single(1), RHS: 2}, tuples: tuples, sense: moh}
+	g := &depGraph{
+		classes: []*eqClass{x1, x2},
+		adj:     [][]int{{0}, {0}},
+		edges:   []depEdge{{a: 0, b: 1, weight: edgeWeight, overlap: tuples}},
+	}
+	return &refineFixture{rel: rel, ont: ont, fda: fda, moh: moh, g: g, x1: x1, x2: x2}
+}
+
+// ctx builds a refineCtx over the fixture; indexed toggles the interned
+// coverage index so every branch is exercised on both lookup paths.
+func (f *refineFixture) ctx(indexed bool) *refineCtx {
+	cov := coverage{ont: f.ont}
+	if indexed {
+		cov.idx = buildCovIndex(f.rel, f.ont, 0, []int{2})
+	}
+	return &refineCtx{rel: f.rel, cov: cov, g: f.g, ontWeight: 2, unc: make(map[uncKey]int)}
+}
+
+// bothPaths runs the scenario with and without the coverage index and
+// requires identical outcomes.
+func bothPaths(t *testing.T, build func(t *testing.T) *refineFixture, want refineOutcome, check func(t *testing.T, f *refineFixture)) {
+	t.Helper()
+	for _, indexed := range []bool{false, true} {
+		f := build(t)
+		got := f.ctx(indexed).refineEdge(0, 0)
+		if got != want {
+			t.Errorf("indexed=%v: refineEdge = %d, want %d", indexed, got, want)
+		}
+		if check != nil {
+			check(t, f)
+		}
+	}
+}
+
+// sharedValueOntology: both senses cover "c"; nothing covers "z".
+func sharedValueOntology(o *ontology.Ontology) (ontology.ClassID, ontology.ClassID) {
+	fda := o.MustAddClass("fda-drug", "FDA", ontology.NoClass, "c")
+	moh := o.MustAddClass("moh-drug", "MoH", ontology.NoClass, "c")
+	return fda, moh
+}
+
+func TestRefineEdgePreferOntologyRepair(t *testing.T) {
+	// Outlier z occurs twice: costOnt = 2·(1+1) = 4 equals costData = 2+2,
+	// no sense covers z, so ontology repair wins the tie.
+	bothPaths(t,
+		func(t *testing.T) *refineFixture {
+			return newRefineFixture(t, []string{"c", "z", "z"}, 10, sharedValueOntology)
+		},
+		preferOntologyRepair, nil)
+}
+
+func TestRefineEdgePreferDataRepair(t *testing.T) {
+	// Outlier z occurs once: costOnt = 2·(1+1) = 4 exceeds costData = 1+1;
+	// updating the single dirty tuple is cheaper than two weighted
+	// ontology additions.
+	bothPaths(t,
+		func(t *testing.T) *refineFixture {
+			return newRefineFixture(t, []string{"c", "c", "z"}, 10, sharedValueOntology)
+		},
+		preferDataRepair, nil)
+}
+
+// disjointOntology: FDA covers only "a", MoH only "b" — each sense is a
+// reassignment candidate for the other's outlier.
+func disjointOntology(o *ontology.Ontology) (ontology.ClassID, ontology.ClassID) {
+	fda := o.MustAddClass("fda-drug", "FDA", ontology.NoClass, "a")
+	moh := o.MustAddClass("moh-drug", "MoH", ontology.NoClass, "b")
+	return fda, moh
+}
+
+func TestRefineEdgeReassigns(t *testing.T) {
+	// Reassigning x2 from MoH to FDA collapses both histograms to
+	// {fda-drug, b}: the new EMD 0 beats the edge weight 10, so the
+	// reassignment sticks and the edge weight drops.
+	bothPaths(t,
+		func(t *testing.T) *refineFixture {
+			return newRefineFixture(t, []string{"a", "b"}, 10, disjointOntology)
+		},
+		reassigned,
+		func(t *testing.T, f *refineFixture) {
+			if f.x2.sense != f.fda {
+				t.Errorf("x2 sense = %d, want reassigned to %d", f.x2.sense, f.fda)
+			}
+			if f.g.edges[0].weight != 0 {
+				t.Errorf("edge weight = %v, want 0 after reassignment", f.g.edges[0].weight)
+			}
+		})
+}
+
+func TestRefineEdgeReassignRevertsWhenEMDNotImproved(t *testing.T) {
+	// Same candidate reassignment, but the edge weight is already 0: the
+	// new EMD cannot improve on it, so the tentative sense flip must be
+	// rolled back and the original assignment kept.
+	bothPaths(t,
+		func(t *testing.T) *refineFixture {
+			return newRefineFixture(t, []string{"a", "b"}, 0, disjointOntology)
+		},
+		keepSenses,
+		func(t *testing.T, f *refineFixture) {
+			if f.x2.sense != f.moh {
+				t.Errorf("x2 sense = %d, want reverted to %d", f.x2.sense, f.moh)
+			}
+			if f.g.edges[0].weight != 0 {
+				t.Errorf("edge weight = %v, want unchanged 0", f.g.edges[0].weight)
+			}
+		})
+}
+
+func TestCoverageIndexMatchesDynamicPath(t *testing.T) {
+	// The interned index must agree with the dynamic ontology walks on
+	// covers/interpretations/shared for every (class, value) pair of a
+	// generated workload, under both synonym and inheritance semantics.
+	o := ontology.New()
+	root := o.MustAddClass("analgesic", "FAM", ontology.NoClass)
+	asp := o.MustAddClass("aspirin", "FDA", root, "ASA", "acetylsalicylic")
+	o.MustAddClass("ibuprofen", "FDA", root, "advil", "nurofen")
+	schema := relation.MustSchema("K", "MED")
+	rel, err := relation.FromRows(schema, [][]string{
+		{"k", "ASA"}, {"k", "advil"}, {"k", "aspirin"}, {"k", "unknown"}, {"k", "analgesic"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []int{0, 1, 2} {
+		dyn := coverage{ont: o, theta: theta}
+		idx := coverage{ont: o, theta: theta, idx: buildCovIndex(rel, o, theta, []int{1})}
+		for r := 0; r < rel.NumRows(); r++ {
+			v := rel.String(r, 1)
+			for _, cls := range o.AllClasses() {
+				if dyn.covers(cls, v) != idx.covers(cls, v) {
+					t.Errorf("theta=%d covers(%s/%d, %q): dynamic %v != indexed %v",
+						theta, o.Name(cls), cls, v, dyn.covers(cls, v), idx.covers(cls, v))
+				}
+			}
+			di, ii := dyn.interpretations(v), idx.interpretations(v)
+			if len(di) != len(ii) {
+				t.Errorf("theta=%d interpretations(%q): dynamic %v != indexed %v", theta, v, di, ii)
+			}
+		}
+		ds, is := dyn.shared([]string{"ASA", "aspirin"}), idx.shared([]string{"ASA", "aspirin"})
+		if len(ds) != len(is) {
+			t.Errorf("theta=%d shared: dynamic %v != indexed %v", theta, ds, is)
+		}
+	}
+	// Overlay: adding a value to a class must register on the indexed path
+	// exactly as on a freshly cloned dynamic ontology.
+	scratch := o.Clone()
+	scratch.AddValue(asp, "unknown")
+	base := coverage{ont: o, theta: 1, idx: buildCovIndex(rel, o, 1, []int{1})}
+	over := base.withOverlay(scratch, []OntChange{{Class: asp, Value: "unknown"}})
+	dyn := coverage{ont: scratch, theta: 1}
+	for _, cls := range scratch.AllClasses() {
+		if over.covers(cls, "unknown") != dyn.covers(cls, "unknown") {
+			t.Errorf("overlay covers(%s, unknown): indexed %v != dynamic %v",
+				scratch.Name(cls), over.covers(cls, "unknown"), dyn.covers(cls, "unknown"))
+		}
+	}
+	if got := over.covers(root, "unknown"); !got {
+		t.Errorf("overlay: inheritance theta=1 should lift the added value to the parent class")
+	}
+}

@@ -141,7 +141,13 @@ type beamLevel struct {
 // the best — which is where beam width buys accuracy, since the estimate
 // ignores cross-OFD interactions. maxK caps the lattice depth; 0 means
 // |Cand(S)|. The search stops early once no remaining candidate reduces δ.
-func beamSearch(rel *relation.Relation, cov coverage, classes []*eqClass, cands []ontCandidate, b, maxK int) []beamLevel {
+//
+// Candidate δ-scoring fans out over the frontier nodes: each node's
+// expansions land in a per-node slot and the slots are concatenated in
+// frontier order, which reproduces the sequential append order exactly, so
+// the stable sort — and the whole search — is identical for any worker
+// count.
+func beamSearch(rel *relation.Relation, cov coverage, classes []*eqClass, cands []ontCandidate, b, maxK, workers int) []beamLevel {
 	if maxK <= 0 || maxK > len(cands) {
 		maxK = len(cands)
 	}
@@ -168,17 +174,24 @@ func beamSearch(rel *relation.Relation, cov coverage, classes []*eqClass, cands 
 	for k := 1; k <= maxK; k++ {
 		// Expand each frontier node with every candidate whose position
 		// follows the node's last member (set semantics, no duplicates).
-		var nextNodes []beamNode
-		for _, nd := range frontier {
+		perNode := make([][]beamNode, len(frontier))
+		parallelFor(len(frontier), workers, func(_, fi int) {
+			nd := frontier[fi]
 			start := 0
 			if len(nd.members) > 0 {
 				start = pos[nd.members[len(nd.members)-1]] + 1
 			}
+			var out []beamNode
 			for p := start; p < len(order); p++ {
 				c := order[p]
-				members := append(append([]int(nil), nd.members...), c)
-				nextNodes = append(nextNodes, beamNode{members: members, delta: est.delta(members)})
+				members := append(append(make([]int, 0, len(nd.members)+1), nd.members...), c)
+				out = append(out, beamNode{members: members, delta: est.delta(members)})
 			}
+			perNode[fi] = out
+		})
+		var nextNodes []beamNode
+		for _, out := range perNode {
+			nextNodes = append(nextNodes, out...)
 		}
 		if len(nextNodes) == 0 {
 			break
