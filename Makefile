@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repairbench experiments examples fmt vet clean
+.PHONY: all build test race bench repairbench fdbench experiments examples fmt vet clean
 
 all: build test
 
@@ -23,6 +23,11 @@ bench:
 # engine, per-stage timings, EMD micro-benchmarks.
 repairbench:
 	$(GO) run ./cmd/benchrunner -repairbench BENCH_repair.json -rows 4000
+
+# FD-discovery benchmark report (BENCH_fd.json): the Exp-1 runtime curve for
+# all seven baselines plus agree-set engine-vs-baseline micro-benchmarks.
+fdbench:
+	$(GO) run ./cmd/benchrunner -fdbench BENCH_fd.json -discrows 4000
 
 # Paper-style experiment tables with accuracy metrics.
 experiments:

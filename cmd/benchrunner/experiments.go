@@ -16,8 +16,11 @@ import (
 
 // pairBasedLimit caps the tuple count for the quadratic, pair-based FD
 // algorithms (DepMiner, FastFDs, FDep), mirroring the paper's observation
-// that they time out / exhaust memory beyond modest sizes.
-const pairBasedLimit = 4000
+// that they time out / exhaust memory beyond modest sizes. The cluster-based
+// evidence engine removed the per-pair dedup map (memory is no longer the
+// binding constraint), so the cap sits one doubling higher than before —
+// the remaining cost is the inherently quadratic pair visiting.
+const pairBasedLimit = 8000
 
 func isPairBased(alg string) bool {
 	return alg == fd.DepMiner || alg == fd.FastFDs || alg == fd.FDep

@@ -29,6 +29,7 @@ func main() {
 		seeds     = flag.Int("seeds", 3, "seeds to average accuracy metrics over")
 		partBench = flag.String("partitionbench", "", "run the partition-engine micro-benchmarks and write JSON results to this path (e.g. BENCH_partition.json), then exit")
 		repBench  = flag.String("repairbench", "", "run the repair-engine benchmarks and write JSON results to this path (e.g. BENCH_repair.json), then exit")
+		fdBench   = flag.String("fdbench", "", "run the FD-discovery benchmarks (Exp-1 curve + agree-set micro-benches) and write JSON results to this path (e.g. BENCH_fd.json), then exit")
 		smoke     = flag.Bool("benchsmoke", false, "single-iteration benchmark mode for CI smoke runs")
 	)
 	flag.Parse()
@@ -42,6 +43,13 @@ func main() {
 	}
 	if *repBench != "" {
 		if err := runRepairBench(*repBench, *rows, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fdBench != "" {
+		if err := runFDBench(*fdBench, *discRows, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

@@ -28,6 +28,7 @@ func main() {
 		dataPath  = flag.String("data", "", "CSV file with a header row (required)")
 		ontPath   = flag.String("ontology", "", "ontology JSON file (required)")
 		sigmaFile = flag.String("sigma", "", "file with one OFD per line (alternative to -ofd)")
+		workers   = flag.Int("workers", 1, "partition-cache warm-up workers (0 = all CPUs)")
 	)
 	flag.Var(&ofds, "ofd", "OFD as \"A,B -> C\" (repeatable)")
 	flag.Parse()
@@ -59,7 +60,7 @@ func main() {
 		fail(fmt.Errorf("no OFDs given (use -ofd or -sigma)"))
 	}
 
-	rep := fastofd.Detect(rel, ont, sigma)
+	rep := fastofd.DetectWorkers(rel, ont, sigma, *workers)
 	for _, v := range rep.Violations {
 		fmt.Println(v.Format(rel.Schema(), ont))
 	}

@@ -194,6 +194,13 @@ func Detect(rel *Relation, ont *Ontology, sigma Set) *Report {
 	return core.Detect(rel, ont, sigma)
 }
 
+// DetectWorkers is Detect with the partition-cache warm-up spread over up to
+// workers goroutines (0 = all CPUs). The report is identical for every
+// worker count.
+func DetectWorkers(rel *Relation, ont *Ontology, sigma Set, workers int) *Report {
+	return core.DetectWorkers(rel, ont, sigma, workers)
+}
+
 // NewMonitor builds an incremental satisfaction monitor over the instance:
 // consequent-cell updates re-verify only the affected equivalence classes.
 func NewMonitor(rel *Relation, ont *Ontology, sigma Set) (*Monitor, error) {

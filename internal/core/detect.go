@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -57,7 +58,17 @@ type Report struct {
 // Detect finds all violations of Σ on the instance and explains each,
 // also counting the tuples that only a syntactic FD would flag.
 func Detect(rel *relation.Relation, ont *ontology.Ontology, sigma Set) *Report {
-	v := NewVerifier(rel, ont, nil)
+	return DetectWorkers(rel, ont, sigma, 1)
+}
+
+// DetectWorkers is Detect with the partition-cache construction spread over
+// up to workers goroutines (0 selects runtime.NumCPU()). The report is
+// identical for every worker count; only the cache warm-up parallelizes.
+func DetectWorkers(rel *relation.Relation, ont *ontology.Ontology, sigma Set, workers int) *Report {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	v := NewVerifier(rel, ont, relation.NewPartitionCacheParallel(rel, workers))
 	rep := &Report{}
 	flagged := make(map[int]struct{})
 	fdOnly := make(map[int]struct{})

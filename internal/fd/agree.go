@@ -7,13 +7,22 @@ import (
 )
 
 // AgreeSets computes the set of agree sets ag(t1,t2) — the attribute sets
-// on which some pair of tuples agrees — deduplicated. Pairs are enumerated
-// within the classes of each single-attribute stripped partition (pairs
-// agreeing on nothing contribute the empty set only if requested by
-// includeEmpty). This is the quadratic pair-based computation used by
-// DepMiner, FastFDs and FDep, and is the reason those algorithms scale
-// quadratically with the number of tuples (paper Exp-1).
+// on which some pair of tuples agrees — deduplicated, including the empty
+// set when some pair agrees on nothing. This is the quadratic pair-based
+// computation used by DepMiner, FastFDs and FDep, and the reason those
+// algorithms scale quadratically with the number of tuples (paper Exp-1).
+// It is a sequential convenience wrapper over ComputeEvidence, which visits
+// each agreeing pair exactly once via single-column clusters.
 func AgreeSets(rel *relation.Relation) []relation.AttrSet {
+	return ComputeEvidence(rel, Options{Workers: 1}).Sets()
+}
+
+// AgreeSetsBaseline is the pre-engine implementation: global pair
+// enumeration with a map[int64]-keyed pair-dedup and a per-pair column
+// rescan. Retained only as the ablation baseline for the agree-set
+// micro-benchmarks (benchrunner -fdbench) and as a cross-check oracle in
+// tests; all algorithms consume ComputeEvidence.
+func AgreeSetsBaseline(rel *relation.Relation) []relation.AttrSet {
 	n := rel.NumRows()
 	cols := rel.NumCols()
 	seen := make(map[relation.AttrSet]struct{})
@@ -45,9 +54,9 @@ func AgreeSets(rel *relation.Relation) []relation.AttrSet {
 			}
 		}
 	}
-	// Pairs disagreeing on every attribute never appear in any class above
-	// but contribute the empty agree set, which matters: it rules out
-	// ∅ → A for every A. Detect them by counting enumerated pairs.
+	// Pairs disagreeing on every attribute contribute the empty agree set.
+	// With global enumeration the pair count is exact, so the comparison
+	// against n(n-1)/2 is sound here (and only here).
 	if int64(len(pairSeen)) < int64(n)*int64(n-1)/2 {
 		seen[relation.EmptySet] = struct{}{}
 	}

@@ -6,17 +6,26 @@ import (
 )
 
 // DiscoverDepMiner implements DepMiner (Lopes et al., 2000): compute agree
-// sets from tuple pairs, derive per-attribute maximal sets max(A) (maximal
-// agree sets not containing A), and obtain the antecedents of minimal FDs
-// with consequent A as the minimal transversals of the complements of
-// max(A).
+// sets, derive per-attribute maximal sets max(A) (maximal agree sets not
+// containing A), and obtain the antecedents of minimal FDs with consequent A
+// as the minimal transversals of the complements of max(A).
 func DiscoverDepMiner(rel *relation.Relation) *Result {
+	return DiscoverDepMinerOpts(rel, DefaultOptions())
+}
+
+// DiscoverDepMinerOpts is DiscoverDepMiner with explicit options. Agree sets
+// come from the shared evidence engine (one cluster-parallel pass, no pair
+// enumeration); the per-consequent transversal computations are independent
+// and fan out over opts.Workers goroutines, merging in consequent order so
+// the output is byte-identical for any worker count.
+func DiscoverDepMinerOpts(rel *relation.Relation, opts Options) *Result {
 	nAttrs := rel.NumCols()
 	all := rel.Schema().All()
-	agree := AgreeSets(rel)
+	agree := ComputeEvidence(rel, opts).Sets()
 
-	var sigma core.Set
-	for a := 0; a < nAttrs; a++ {
+	workers := workerCount(opts.Workers)
+	perRHS := make([]core.Set, nAttrs)
+	parallelFor(nAttrs, workers, func(_, a int) {
 		// max(A): maximal agree sets not containing A.
 		var notA []relation.AttrSet
 		for _, s := range agree {
@@ -33,8 +42,12 @@ func DiscoverDepMiner(rel *relation.Relation) *Result {
 			complements = append(complements, all.Minus(s).Without(a))
 		}
 		for _, lhs := range MinimalHittingSets(complements) {
-			sigma = append(sigma, FD{LHS: lhs, RHS: a})
+			perRHS[a] = append(perRHS[a], FD{LHS: lhs, RHS: a})
 		}
+	})
+	var sigma core.Set
+	for _, fds := range perRHS {
+		sigma = append(sigma, fds...)
 	}
 	sigma.Sort()
 	return &Result{Algorithm: DepMiner, FDs: sigma, RawCount: len(sigma)}

@@ -13,35 +13,57 @@ import (
 // the discovered minimal dependencies and maximal non-dependencies. A
 // completion phase exploits the hitting-set duality between minimal
 // dependencies and maximal non-dependencies to guarantee the result is
-// exactly the set of minimal FDs. Walks use a fixed seed, so runs are
-// deterministic.
+// exactly the set of minimal FDs — so the output is independent of the walk
+// order, and per-consequent walkers can run in parallel with their own
+// deterministically derived RNGs.
 func DiscoverDFD(rel *relation.Relation) *Result {
 	return DiscoverDFDSeeded(rel, 1)
 }
 
-// node classification states.
+// DiscoverDFDOpts is DiscoverDFD with explicit options.
+func DiscoverDFDOpts(rel *relation.Relation, opts Options) *Result {
+	return dfdSeeded(rel, 1, opts)
+}
+
+// DiscoverDFDSeeded is DiscoverDFD with an explicit random seed.
+func DiscoverDFDSeeded(rel *relation.Relation, seed int64) *Result {
+	return dfdSeeded(rel, seed, DefaultOptions())
+}
+
+// node classification states. unknown doubles as the empty-slot marker of
+// the open-addressed status table, so stored states are never unknown.
 const (
 	unknown byte = iota
 	dependency
 	nonDependency
 )
 
-// DiscoverDFDSeeded is DiscoverDFD with an explicit random seed.
-func DiscoverDFDSeeded(rel *relation.Relation, seed int64) *Result {
-	rng := rand.New(rand.NewSource(seed))
+func dfdSeeded(rel *relation.Relation, seed int64, opts Options) *Result {
 	nAttrs := rel.NumCols()
-	pc := relation.NewPartitionCache(rel)
-	var sigma core.Set
+	workers := workerCount(opts.Workers)
+	pc := relation.NewPartitionCacheParallel(rel, workers)
+	bufs := make([]relation.ProductBuffer, workers)
+	all := rel.Schema().All()
 
-	for a := 0; a < nAttrs; a++ {
+	// Per-consequent walkers are independent: each gets its own RNG derived
+	// from (seed, rhs) — not from the worker schedule — so the walks, and a
+	// fortiori the (exact) output, never depend on the worker count.
+	const golden = 0x9E3779B97F4A7C15
+	perRHS := make([][]relation.AttrSet, nAttrs)
+	parallelFor(nAttrs, workers, func(wk, a int) {
 		w := &dfdWalker{
 			pc:         pc,
+			buf:        &bufs[wk],
 			rhs:        a,
-			candidates: rel.Schema().All().Without(a),
-			status:     make(map[relation.AttrSet]byte),
-			rng:        rng,
+			candidates: all.Without(a),
+			status:     newStatusTable(64),
+			rng:        rand.New(rand.NewSource(int64(uint64(seed) + uint64(a+1)*golden))),
 		}
-		for _, lhs := range w.run() {
+		perRHS[a] = w.run()
+	})
+	var sigma core.Set
+	for a, lhss := range perRHS {
+		for _, lhs := range lhss {
 			sigma = append(sigma, FD{LHS: lhs, RHS: a})
 		}
 	}
@@ -49,11 +71,82 @@ func DiscoverDFDSeeded(rel *relation.Relation, seed int64) *Result {
 	return &Result{Algorithm: DFD, FDs: sigma, RawCount: len(sigma)}
 }
 
+// statusTable is a flat open-addressed (linear probing) map from AttrSet to
+// a classification byte — the walk's visited structure, replacing the
+// allocation-heavy map[relation.AttrSet]byte. Slots with val==unknown are
+// empty, which is sound because classify never stores unknown.
+type statusTable struct {
+	keys []relation.AttrSet
+	vals []byte
+	n    int
+}
+
+func newStatusTable(capHint int) *statusTable {
+	size := 16
+	for size < capHint {
+		size *= 2
+	}
+	return &statusTable{keys: make([]relation.AttrSet, size), vals: make([]byte, size)}
+}
+
+func hashAttrSet(a relation.AttrSet) uint64 {
+	x := uint64(a)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (t *statusTable) get(k relation.AttrSet) byte {
+	mask := uint64(len(t.keys) - 1)
+	for i := hashAttrSet(k) & mask; ; i = (i + 1) & mask {
+		if t.vals[i] == unknown {
+			return unknown
+		}
+		if t.keys[i] == k {
+			return t.vals[i]
+		}
+	}
+}
+
+func (t *statusTable) put(k relation.AttrSet, v byte) {
+	mask := uint64(len(t.keys) - 1)
+	for i := hashAttrSet(k) & mask; ; i = (i + 1) & mask {
+		if t.vals[i] == unknown {
+			t.keys[i], t.vals[i] = k, v
+			t.n++
+			if t.n*4 >= len(t.keys)*3 {
+				t.grow()
+			}
+			return
+		}
+		if t.keys[i] == k {
+			t.vals[i] = v
+			return
+		}
+	}
+}
+
+func (t *statusTable) grow() {
+	old := *t
+	t.keys = make([]relation.AttrSet, 2*len(old.keys))
+	t.vals = make([]byte, 2*len(old.vals))
+	t.n = 0
+	for i, v := range old.vals {
+		if v != unknown {
+			t.put(old.keys[i], v)
+		}
+	}
+}
+
 type dfdWalker struct {
 	pc         *relation.PartitionCache
+	buf        *relation.ProductBuffer
 	rhs        int
 	candidates relation.AttrSet
-	status     map[relation.AttrSet]byte
+	status     *statusTable
 	minDeps    []relation.AttrSet
 	maxNonDeps []relation.AttrSet
 	rng        *rand.Rand
@@ -63,28 +156,28 @@ type dfdWalker struct {
 // dependencies / maximal non-dependencies when possible, by the
 // partition-error test otherwise.
 func (w *dfdWalker) classify(x relation.AttrSet) byte {
-	if s, ok := w.status[x]; ok && s != unknown {
+	if s := w.status.get(x); s != unknown {
 		return s
 	}
 	for _, d := range w.minDeps {
 		if d.SubsetOf(x) {
-			w.status[x] = dependency
+			w.status.put(x, dependency)
 			return dependency
 		}
 	}
 	for _, nd := range w.maxNonDeps {
 		if x.SubsetOf(nd) {
-			w.status[x] = nonDependency
+			w.status.put(x, nonDependency)
 			return nonDependency
 		}
 	}
 	var s byte
-	if holdsFD(w.pc, x, w.rhs) {
+	if holdsFD(w.pc, x, w.rhs, w.buf) {
 		s = dependency
 	} else {
 		s = nonDependency
 	}
-	w.status[x] = s
+	w.status.put(x, s)
 	return s
 }
 

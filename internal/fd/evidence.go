@@ -1,0 +1,204 @@
+package fd
+
+import (
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// Evidence is the shared input of the pair-based discovery algorithms
+// (DepMiner, FastFDs, FDep): the deduplicated agree sets of a relation plus
+// exact pair accounting. It is computed cluster-by-cluster from the flat
+// stripped single-column partitions instead of by enumerating global tuple
+// pairs, so every agreeing pair is visited exactly once by construction and
+// no per-pair dedup map is needed. See DESIGN.md ("Evidence-set engine").
+type Evidence struct {
+	// Agree holds the distinct non-empty agree sets in canonical order
+	// (cardinality, then numeric — relation.SortSets order).
+	Agree []relation.AttrSet
+	// HasEmpty reports that some tuple pair agrees on no attribute, i.e.
+	// the empty agree set belongs to the evidence. It matters: the empty
+	// set rules out ∅ → A for every A.
+	HasEmpty bool
+	// AgreeingPairs is the exact number of distinct tuple pairs that agree
+	// on at least one attribute. Together with n(n-1)/2 it derives
+	// HasEmpty without any global pair enumeration.
+	AgreeingPairs int64
+}
+
+// Sets returns the agree sets including the empty set when present, in
+// canonical order — the historical AgreeSets output shape.
+func (e *Evidence) Sets() []relation.AttrSet {
+	if !e.HasEmpty {
+		return e.Agree
+	}
+	out := make([]relation.AttrSet, 0, len(e.Agree)+1)
+	out = append(out, relation.EmptySet)
+	return append(out, e.Agree...)
+}
+
+// agreeAccum collects agree sets for one worker, deduplicating through a
+// sorted scratch slice: sets are appended (with a cheap last-value filter —
+// consecutive pairs of one cluster usually produce the same agree set) and
+// the slice is sorted + compacted in place whenever it reaches the limit.
+// Because the number of distinct agree sets is tiny compared to the number
+// of pairs, compaction keeps the scratch small and the amortized cost per
+// pair is O(1) with zero steady-state allocations.
+type agreeAccum struct {
+	scratch []relation.AttrSet
+	limit   int
+	last    relation.AttrSet
+	hasLast bool
+}
+
+func (acc *agreeAccum) add(s relation.AttrSet) {
+	if acc.hasLast && s == acc.last {
+		return
+	}
+	acc.last, acc.hasLast = s, true
+	acc.scratch = append(acc.scratch, s)
+	if acc.limit == 0 {
+		acc.limit = 4096
+	}
+	if len(acc.scratch) >= acc.limit {
+		acc.compact()
+		// If the scratch is mostly distinct sets, grow the limit so the
+		// sort stays amortized O(1) per appended set.
+		if len(acc.scratch)*2 >= acc.limit {
+			acc.limit *= 2
+		}
+	}
+}
+
+// compact sorts the scratch numerically and removes duplicates in place.
+func (acc *agreeAccum) compact() {
+	s := acc.scratch
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	acc.scratch = dedupSorted(s)
+}
+
+// dedupSorted removes adjacent duplicates from a numerically sorted slice.
+func dedupSorted(s []relation.AttrSet) []relation.AttrSet {
+	w := 0
+	for i, v := range s {
+		if i == 0 || v != s[w-1] {
+			s[w] = v
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// evCluster is one unit of evidence work: class `class` of the stripped
+// single-column partition of column `col`.
+type evCluster struct {
+	col   int
+	class int32
+}
+
+// ComputeEvidence builds the evidence set of the relation, fanning the
+// cluster work out over opts.Workers goroutines (0 = NumCPU). The result is
+// byte-identical for every worker count: per-worker scratches are merged
+// through one canonical sort+dedup, and the pair counter is a plain sum.
+//
+// The cluster technique: a pair of tuples agrees on attribute c iff both
+// sit in the same class of Π*_c, so every agreeing pair appears in at least
+// one single-column cluster. Materializing the class id of every tuple in
+// every column (the cid matrix, -1 for stripped singletons) makes the agree
+// set of a pair one dense row comparison, and lets the cluster of column c
+// own exactly the pairs whose *first* agreeing column is c — each pair is
+// visited once by construction, with no global pair-dedup map.
+func ComputeEvidence(rel *relation.Relation, opts Options) *Evidence {
+	n := rel.NumRows()
+	k := rel.NumCols()
+	ev := &Evidence{}
+	if n < 2 || k == 0 {
+		return ev
+	}
+	workers := workerCount(opts.Workers)
+
+	// Stripped single-column partitions, built in parallel.
+	parts := make([]*relation.Partition, k)
+	parallelFor(k, workers, func(_, c int) {
+		parts[c] = relation.SingleColumnPartition(rel, c).Strip()
+	})
+
+	// cid matrix, row-major: cid[t*k+c] = class id of tuple t in Π*_c, or
+	// -1 when t is a stripped singleton of column c. Two -1 entries never
+	// agree (their values are distinct by definition of a singleton).
+	cid := make([]int32, n*k)
+	for i := range cid {
+		cid[i] = -1
+	}
+	parallelFor(k, workers, func(_, c int) {
+		p := parts[c]
+		for ci := 0; ci < p.NumClasses(); ci++ {
+			for _, t := range p.Class(ci) {
+				cid[int(t)*k+c] = int32(ci)
+			}
+		}
+	})
+
+	// Flatten all clusters into one work list; order is irrelevant for the
+	// output (canonical merge) but stable for reproducible scheduling.
+	var clusters []evCluster
+	for c := 0; c < k; c++ {
+		for ci := 0; ci < parts[c].NumClasses(); ci++ {
+			clusters = append(clusters, evCluster{col: c, class: int32(ci)})
+		}
+	}
+
+	accs := make([]agreeAccum, workers)
+	pairCounts := make([]int64, workers)
+	parallelFor(len(clusters), workers, func(w, i int) {
+		cl := clusters[i]
+		c := cl.col
+		class := parts[c].Class(int(cl.class))
+		acc := &accs[w]
+		var pairs int64
+		for a := 0; a < len(class); a++ {
+			ra := cid[int(class[a])*k : int(class[a])*k+k]
+			for b := a + 1; b < len(class); b++ {
+				rb := cid[int(class[b])*k : int(class[b])*k+k]
+				// The cluster of the first agreeing column owns the pair;
+				// skip pairs already owned by an earlier column.
+				owned := true
+				for cc := 0; cc < c; cc++ {
+					if ra[cc] == rb[cc] && ra[cc] >= 0 {
+						owned = false
+						break
+					}
+				}
+				if !owned {
+					continue
+				}
+				pairs++
+				ag := relation.Single(c)
+				for cc := c + 1; cc < k; cc++ {
+					if ra[cc] == rb[cc] && ra[cc] >= 0 {
+						ag = ag.With(cc)
+					}
+				}
+				acc.add(ag)
+			}
+		}
+		pairCounts[w] += pairs
+	})
+
+	var total int64
+	sets := make([]relation.AttrSet, 0, 64)
+	for w := range accs {
+		accs[w].compact()
+		sets = append(sets, accs[w].scratch...)
+		total += pairCounts[w]
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
+	sets = dedupSorted(sets)
+	relation.SortSets(sets)
+	ev.Agree = sets
+	ev.AgreeingPairs = total
+	// Every pair not owned by any cluster agrees on no attribute; the
+	// count is exact by construction, unlike a global-enumeration check.
+	ev.HasEmpty = total < int64(n)*int64(n-1)/2
+	return ev
+}

@@ -1,0 +1,100 @@
+package fd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// The engine must reproduce the baseline pair-enumeration output exactly on
+// randomized relations, including duplicate rows, constant columns, and
+// relations whose pairs disagree everywhere.
+func TestEvidenceMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		rows := rng.Intn(30)
+		cols := 1 + rng.Intn(6)
+		domain := 1 + rng.Intn(4)
+		rel := randomRelation(rng, rows, cols, domain)
+		want := AgreeSetsBaseline(rel)
+		got := AgreeSets(rel)
+		if len(want) == 0 {
+			want = nil
+		}
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (%d rows, %d cols, dom %d):\n got: %v\nwant: %v\nrows: %v",
+				trial, rows, cols, domain, got, want, rel.Rows())
+		}
+	}
+}
+
+func TestEvidenceParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		rel := randomRelation(rng, 5+rng.Intn(40), 2+rng.Intn(6), 1+rng.Intn(4))
+		seq := ComputeEvidence(rel, Options{Workers: 1})
+		for _, w := range []int{2, 4, 0} {
+			par := ComputeEvidence(rel, Options{Workers: w})
+			if !reflect.DeepEqual(par, seq) {
+				t.Fatalf("trial %d workers=%d: parallel evidence differs\n got: %+v\nwant: %+v",
+					trial, w, par, seq)
+			}
+		}
+	}
+}
+
+func TestEvidencePairAccounting(t *testing.T) {
+	// 3 rows: (a,x) (a,y) (b,z). Pairs: {0,1} agree on A only; {0,2} and
+	// {1,2} agree nowhere. AgreeingPairs must be exactly 1 and the empty
+	// agree set present.
+	schema := relation.MustSchema("A", "B")
+	rel, err := relation.FromRows(schema, [][]string{
+		{"a", "x"},
+		{"a", "y"},
+		{"b", "z"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := ComputeEvidence(rel, Options{Workers: 1})
+	if ev.AgreeingPairs != 1 {
+		t.Fatalf("AgreeingPairs = %d, want 1", ev.AgreeingPairs)
+	}
+	if !ev.HasEmpty {
+		t.Fatal("HasEmpty = false, want true")
+	}
+	if want := []relation.AttrSet{relation.Single(0)}; !reflect.DeepEqual(ev.Agree, want) {
+		t.Fatalf("Agree = %v, want %v", ev.Agree, want)
+	}
+	// All pairs agreeing somewhere: duplicate rows.
+	rel2, _ := relation.FromRows(schema, [][]string{
+		{"a", "x"},
+		{"a", "x"},
+		{"a", "x"},
+	})
+	ev2 := ComputeEvidence(rel2, Options{Workers: 1})
+	if ev2.AgreeingPairs != 3 || ev2.HasEmpty {
+		t.Fatalf("duplicate rows: AgreeingPairs=%d HasEmpty=%v, want 3/false",
+			ev2.AgreeingPairs, ev2.HasEmpty)
+	}
+}
+
+func TestEvidenceDegenerateRelations(t *testing.T) {
+	schema := relation.MustSchema("A")
+	empty, _ := relation.FromRows(schema, nil)
+	one, _ := relation.FromRows(schema, [][]string{{"v"}})
+	for _, rel := range []*relation.Relation{empty, one} {
+		ev := ComputeEvidence(rel, Options{})
+		if len(ev.Agree) != 0 || ev.HasEmpty || ev.AgreeingPairs != 0 {
+			t.Fatalf("%d rows: want zero evidence, got %+v", rel.NumRows(), ev)
+		}
+		if got := AgreeSets(rel); len(got) != 0 {
+			t.Fatalf("%d rows: AgreeSets = %v, want none", rel.NumRows(), got)
+		}
+	}
+}

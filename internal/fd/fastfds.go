@@ -8,27 +8,32 @@ import (
 )
 
 // DiscoverFastFDs implements FastFDs (Wyss, Giannella, Robertson, 2001):
-// compute difference sets from tuple pairs, then for each consequent A find
-// all minimal covers of D_A = {D \ {A} | D a difference set, A ∈ D} with a
+// compute difference sets, then for each consequent A find all minimal
+// covers of D_A = {D \ {A} | D a difference set, A ∈ D} with a
 // greedy-ordered depth-first search.
 func DiscoverFastFDs(rel *relation.Relation) *Result {
+	return DiscoverFastFDsOpts(rel, DefaultOptions())
+}
+
+// DiscoverFastFDsOpts is DiscoverFastFDs with explicit options. Difference
+// sets are the complements of the evidence engine's agree sets (already
+// deduplicated, so complementing needs no map); the per-consequent cover
+// searches are independent and fan out over opts.Workers goroutines, merging
+// in consequent order so the output is byte-identical for any worker count.
+func DiscoverFastFDsOpts(rel *relation.Relation, opts Options) *Result {
 	nAttrs := rel.NumCols()
 	all := rel.Schema().All()
 
-	// Difference sets are the complements of agree sets.
-	agree := AgreeSets(rel)
-	diffSeen := make(map[relation.AttrSet]struct{}, len(agree))
-	for _, s := range agree {
-		diffSeen[all.Minus(s)] = struct{}{}
-	}
-	diffs := make([]relation.AttrSet, 0, len(diffSeen))
-	for s := range diffSeen {
-		diffs = append(diffs, s)
+	agree := ComputeEvidence(rel, opts).Sets()
+	diffs := make([]relation.AttrSet, len(agree))
+	for i, s := range agree {
+		diffs[i] = all.Minus(s)
 	}
 	relation.SortSets(diffs)
 
-	var sigma core.Set
-	for a := 0; a < nAttrs; a++ {
+	workers := workerCount(opts.Workers)
+	perRHS := make([]core.Set, nAttrs)
+	parallelFor(nAttrs, workers, func(_, a int) {
 		// D_A: difference sets containing A, with A removed; keep only the
 		// minimal ones (a cover of a subset covers the superset).
 		var dA []relation.AttrSet
@@ -42,16 +47,20 @@ func DiscoverFastFDs(rel *relation.Relation) *Result {
 			// No pair ever disagrees on A given agreement elsewhere — if
 			// there are no difference sets containing A at all, every pair
 			// agrees on A, so ∅ → A holds and is minimal.
-			sigma = append(sigma, FD{LHS: relation.EmptySet, RHS: a})
-			continue
+			perRHS[a] = core.Set{FD{LHS: relation.EmptySet, RHS: a}}
+			return
 		}
 		if containsEmpty(dA) {
 			// Some pair disagrees ONLY on A: no X → A can hold.
-			continue
+			return
 		}
 		for _, lhs := range findCovers(dA, all.Without(a)) {
-			sigma = append(sigma, FD{LHS: lhs, RHS: a})
+			perRHS[a] = append(perRHS[a], FD{LHS: lhs, RHS: a})
 		}
+	})
+	var sigma core.Set
+	for _, fds := range perRHS {
+		sigma = append(sigma, fds...)
 	}
 	sigma.Sort()
 	return &Result{Algorithm: FastFDs, FDs: sigma, RawCount: len(sigma)}

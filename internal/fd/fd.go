@@ -7,6 +7,12 @@
 // behaviour the paper observes). Dependencies reuse the core.OFD type,
 // since an FD is an OFD in which every value has a single literal
 // interpretation.
+//
+// The pair-based algorithms (DepMiner, FastFDs, FDep) consume one shared
+// parallel evidence-set engine (ComputeEvidence); the level-wise ones
+// (TANE, FUN, FDMine, DFD) run on sorted-slice lattice levels with
+// binary-search sibling lookup and per-worker ProductBuffers. Every
+// algorithm's output is byte-identical for every Options.Workers value.
 package fd
 
 import (
@@ -29,6 +35,18 @@ type Result struct {
 	RawCount int
 }
 
+// Options configure the discovery algorithms.
+type Options struct {
+	// Workers caps the parallelism of evidence-set construction, per-
+	// consequent cover searches, and level-wise partition products.
+	// 0 selects runtime.NumCPU(); 1 forces the sequential path. The
+	// output is byte-identical for every value (canonical-order merges).
+	Workers int
+}
+
+// DefaultOptions returns the default configuration (Workers = NumCPU).
+func DefaultOptions() Options { return Options{} }
+
 // Algorithm names accepted by Discover.
 const (
 	TANE     = "tane"
@@ -45,35 +63,42 @@ func Algorithms() []string {
 	return []string{TANE, FUN, FDMine, DFD, DepMiner, FastFDs, FDep}
 }
 
-// Discover runs the named algorithm on the relation.
+// Discover runs the named algorithm on the relation with default options.
 func Discover(name string, rel *relation.Relation) (*Result, error) {
+	return DiscoverOpts(name, rel, DefaultOptions())
+}
+
+// DiscoverOpts runs the named algorithm with explicit options.
+func DiscoverOpts(name string, rel *relation.Relation, opts Options) (*Result, error) {
 	switch name {
 	case TANE:
-		return DiscoverTANE(rel), nil
+		return DiscoverTANEOpts(rel, opts), nil
 	case FUN:
-		return DiscoverFUN(rel), nil
+		return DiscoverFUNOpts(rel, opts), nil
 	case FDMine:
-		return DiscoverFDMine(rel), nil
+		return DiscoverFDMineOpts(rel, opts), nil
 	case DFD:
-		return DiscoverDFD(rel), nil
+		return DiscoverDFDOpts(rel, opts), nil
 	case DepMiner:
-		return DiscoverDepMiner(rel), nil
+		return DiscoverDepMinerOpts(rel, opts), nil
 	case FastFDs:
-		return DiscoverFastFDs(rel), nil
+		return DiscoverFastFDsOpts(rel, opts), nil
 	case FDep:
-		return DiscoverFDep(rel), nil
+		return DiscoverFDepOpts(rel, opts), nil
 	default:
 		return nil, fmt.Errorf("fd: unknown algorithm %q", name)
 	}
 }
 
 // holdsFD reports whether X → A holds using stripped partitions:
-// e(X) = e(X ∪ A).
-func holdsFD(pc *relation.PartitionCache, lhs relation.AttrSet, rhs int) bool {
+// e(X) = e(X ∪ A). buf supplies scratch for any partition products a cache
+// miss needs; it may be nil (a fresh buffer per miss) but hot probe loops
+// should thread one per worker so probes stop allocating.
+func holdsFD(pc *relation.PartitionCache, lhs relation.AttrSet, rhs int, buf *relation.ProductBuffer) bool {
 	if lhs.Has(rhs) {
 		return true
 	}
-	return pc.Get(lhs).Error() == pc.Get(lhs.With(rhs)).Error()
+	return pc.GetWith(lhs, buf).Error() == pc.GetWith(lhs.With(rhs), buf).Error()
 }
 
 // minimize removes non-minimal dependencies: X → A is dropped when some
@@ -105,6 +130,7 @@ func minimize(fds core.Set) core.Set {
 // the ground truth oracle in tests. Exponential — only for tiny schemas.
 func BruteForce(rel *relation.Relation) core.Set {
 	pc := relation.NewPartitionCache(rel)
+	var buf relation.ProductBuffer
 	n := rel.NumCols()
 	var out core.Set
 	for rhs := 0; rhs < n; rhs++ {
@@ -132,7 +158,7 @@ func BruteForce(rel *relation.Relation) core.Set {
 				if dominated {
 					continue
 				}
-				if holdsFD(pc, s, rhs) {
+				if holdsFD(pc, s, rhs, &buf) {
 					minimalLHS = append(minimalLHS, s)
 					out = append(out, FD{LHS: s, RHS: rhs})
 				}

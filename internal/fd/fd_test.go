@@ -68,8 +68,9 @@ func TestFDMineCoversBruteForce(t *testing.T) {
 		}
 		// Soundness: every raw FD must hold.
 		pc := relation.NewPartitionCache(rel)
+		var buf relation.ProductBuffer
 		for _, d := range res.FDs {
-			if !holdsFD(pc, d.LHS, d.RHS) {
+			if !holdsFD(pc, d.LHS, d.RHS, &buf) {
 				t.Errorf("trial %d: FDMine emitted non-holding FD %v", trial, d)
 			}
 		}

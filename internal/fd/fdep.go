@@ -8,19 +8,29 @@ import (
 // DiscoverFDep implements FDep (Flach & Savnik, 1999): build the negative
 // cover — the non-dependencies witnessed by every pair of tuples — then
 // specialize the most general hypotheses (∅ → A) against each violation to
-// obtain the positive cover of minimal FDs. Pairwise comparison makes it
-// quadratic in tuples and memory-hungry, matching the paper's observation
-// that FDep exceeds memory limits on larger data.
+// obtain the positive cover of minimal FDs. The negative cover is inherently
+// pairwise and memory-hungry, matching the paper's observation that FDep
+// exceeds memory limits on larger data.
 func DiscoverFDep(rel *relation.Relation) *Result {
+	return DiscoverFDepOpts(rel, DefaultOptions())
+}
+
+// DiscoverFDepOpts is DiscoverFDep with explicit options. The negative cover
+// comes from the shared evidence engine's agree sets; the per-consequent
+// specialization chains are independent and fan out over opts.Workers
+// goroutines, merging in consequent order so the output is byte-identical
+// for any worker count.
+func DiscoverFDepOpts(rel *relation.Relation, opts Options) *Result {
 	nAttrs := rel.NumCols()
 
 	// Negative cover: for each consequent A, the maximal agree sets of
 	// pairs that disagree on A. A candidate X → A is violated iff X fits
 	// inside one of those agree sets.
-	agree := AgreeSets(rel)
+	agree := ComputeEvidence(rel, opts).Sets()
 
-	var sigma core.Set
-	for a := 0; a < nAttrs; a++ {
+	workers := workerCount(opts.Workers)
+	perRHS := make([]core.Set, nAttrs)
+	parallelFor(nAttrs, workers, func(_, a int) {
 		var witnesses []relation.AttrSet
 		for _, s := range agree {
 			if !s.Has(a) {
@@ -51,8 +61,12 @@ func DiscoverFDep(rel *relation.Relation) *Result {
 			hyps = filterMinimal(next)
 		}
 		for _, x := range hyps {
-			sigma = append(sigma, FD{LHS: x, RHS: a})
+			perRHS[a] = append(perRHS[a], FD{LHS: x, RHS: a})
 		}
+	})
+	var sigma core.Set
+	for _, fds := range perRHS {
+		sigma = append(sigma, fds...)
 	}
 	sigma.Sort()
 	return &Result{Algorithm: FDep, FDs: sigma, RawCount: len(sigma)}

@@ -1,6 +1,8 @@
 package fd
 
 import (
+	"sort"
+
 	"github.com/fastofd/fastofd/internal/core"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -12,91 +14,112 @@ import (
 // more than the minimal set, inflating its memory use — so RawCount reports
 // the unminimized output and FDs the minimized set.
 func DiscoverFDMine(rel *relation.Relation) *Result {
+	return DiscoverFDMineOpts(rel, DefaultOptions())
+}
+
+// DiscoverFDMineOpts is DiscoverFDMine with explicit options. Closures ride
+// on the level nodes (sorted slices, no map[AttrSet]), the per-node closure
+// computation fans out over opts.Workers goroutines with per-worker
+// ProductBuffers threaded into the cache probes, and raw FDs merge back in
+// node order so the output is byte-identical for any worker count.
+func DiscoverFDMineOpts(rel *relation.Relation, opts Options) *Result {
 	nAttrs := rel.NumCols()
 	all := rel.Schema().All()
-	pc := relation.NewPartitionCache(rel)
+	workers := workerCount(opts.Workers)
+	pc := relation.NewPartitionCacheParallel(rel, workers)
+	bufs := make([]relation.ProductBuffer, workers)
 
 	var raw core.Set
 
-	// closure[X] tracks X⁺ under discovered FDs (FD closures are
-	// transitive, unlike OFD closures).
-	closure := make(map[relation.AttrSet]relation.AttrSet)
+	// node carries X and its closure X⁺ under discovered FDs (FD closures
+	// are transitive, unlike OFD closures).
+	type node struct {
+		attrs   relation.AttrSet
+		closure relation.AttrSet
+	}
 
 	// Constant columns: ∅ → A holds and no larger antecedent is minimal.
 	var constants relation.AttrSet
 	for a := 0; a < nAttrs; a++ {
-		if holdsFD(pc, relation.EmptySet, a) {
+		if holdsFD(pc, relation.EmptySet, a, &bufs[0]) {
 			constants = constants.With(a)
 			raw = append(raw, FD{LHS: relation.EmptySet, RHS: a})
 		}
 	}
 
-	type node struct{ attrs relation.AttrSet }
 	var level []node
 	for a := 0; a < nAttrs; a++ {
 		s := relation.Single(a)
-		level = append(level, node{attrs: s})
-		closure[s] = s.Union(constants)
+		level = append(level, node{attrs: s, closure: s.Union(constants)})
 	}
 
 	for len(level) > 0 {
 		// Step 1: compute candidate closures — for each X and each A not
-		// yet in closure(X), test X → A by partition error.
-		for _, nd := range level {
-			x := nd.attrs
-			cl := closure[x]
+		// yet in closure(X), test X → A by partition error. Independent per
+		// node; found FDs land in per-node slots and merge in node order.
+		found := make([]core.Set, len(level))
+		parallelFor(len(level), workers, func(w, i int) {
+			nd := &level[i]
+			cl := nd.closure
 			for a := 0; a < nAttrs; a++ {
 				if cl.Has(a) {
 					continue
 				}
-				if holdsFD(pc, x, a) {
+				if holdsFD(pc, nd.attrs, a, &bufs[w]) {
 					cl = cl.With(a)
-					raw = append(raw, FD{LHS: x, RHS: a})
+					found[i] = append(found[i], FD{LHS: nd.attrs, RHS: a})
 				}
 			}
-			closure[x] = cl
+			nd.closure = cl
+		})
+		for _, fs := range found {
+			raw = append(raw, fs...)
 		}
-		// Step 2: equivalence pruning — drop X when some same-level Y with
-		// Y ⊂ closure(X) and X ⊂ closure(Y) exists (keep the smaller id).
+		// Step 2: equivalence pruning — drop X when some earlier same-level
+		// Y with Y ⊂ closure(X) and X ⊂ closure(Y) exists.
 		kept := level[:0]
-		for i, nd := range level {
+		for i := range level {
 			equivalentToEarlier := false
-			for j := 0; j < i; j++ {
-				y := level[j].attrs
-				if y.SubsetOf(closure[nd.attrs]) && nd.attrs.SubsetOf(closure[y]) {
+			for j := 0; j < len(kept); j++ {
+				y := kept[j]
+				if y.attrs.SubsetOf(level[i].closure) && level[i].attrs.SubsetOf(y.closure) {
 					equivalentToEarlier = true
 					break
 				}
 			}
 			if !equivalentToEarlier {
-				kept = append(kept, nd)
+				kept = append(kept, level[i])
 			}
 		}
 		level = kept
 		// Step 3: generate next level from surviving nodes, skipping
 		// candidates already determined (X ∪ A with A ∈ closure(X) adds
-		// nothing new) and candidates that are superkeys.
-		next := make(map[relation.AttrSet]struct{})
+		// nothing new) and candidates that are superkeys. Duplicates are
+		// removed by a stable sort keeping the first (lowest-node) parent,
+		// so closures are deterministic.
 		var nextNodes []node
 		for _, nd := range level {
-			x := nd.attrs
-			if x == all {
+			if nd.attrs == all {
 				continue
 			}
 			for a := 0; a < nAttrs; a++ {
-				if x.Has(a) || closure[x].Has(a) {
+				if nd.attrs.Has(a) || nd.closure.Has(a) {
 					continue
 				}
-				xa := x.With(a)
-				if _, dup := next[xa]; dup {
-					continue
-				}
-				next[xa] = struct{}{}
-				closure[xa] = closure[x].Union(relation.Single(a))
-				nextNodes = append(nextNodes, node{attrs: xa})
+				nextNodes = append(nextNodes, node{
+					attrs:   nd.attrs.With(a),
+					closure: nd.closure.Union(relation.Single(a)),
+				})
 			}
 		}
-		level = nextNodes
+		sort.SliceStable(nextNodes, func(i, j int) bool { return nextNodes[i].attrs < nextNodes[j].attrs })
+		dedup := nextNodes[:0]
+		for i := range nextNodes {
+			if len(dedup) == 0 || nextNodes[i].attrs != dedup[len(dedup)-1].attrs {
+				dedup = append(dedup, nextNodes[i])
+			}
+		}
+		level = dedup
 	}
 
 	return &Result{Algorithm: FDMine, FDs: minimize(raw), RawCount: len(raw)}

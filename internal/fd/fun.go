@@ -1,9 +1,26 @@
 package fd
 
 import (
+	"sort"
+
 	"github.com/fastofd/fastofd/internal/core"
 	"github.com/fastofd/fastofd/internal/relation"
 )
+
+// setCard records the partition cardinality of one examined attribute set;
+// kept in slices sorted by attrs so subset lookups are binary searches.
+type setCard struct {
+	attrs relation.AttrSet
+	card  int
+}
+
+func lookupCard(cards []setCard, x relation.AttrSet) (int, bool) {
+	i := sort.Search(len(cards), func(i int) bool { return cards[i].attrs >= x })
+	if i < len(cards) && cards[i].attrs == x {
+		return cards[i].card, true
+	}
+	return 0, false
+}
 
 // DiscoverFUN implements FUN (Novelli & Cicchetti, 2001): a level-wise
 // traversal restricted to free sets — attribute sets whose partition
@@ -11,22 +28,38 @@ import (
 // cardinality comparisons both to detect FDs (|Π_X| = |Π_{X∪A}| iff X → A)
 // and to prune non-free sets, whose dependencies are all non-minimal.
 func DiscoverFUN(rel *relation.Relation) *Result {
-	nAttrs := rel.NumCols()
-	pc := relation.NewPartitionCache(rel)
-	nRows := rel.NumRows()
+	return DiscoverFUNOpts(rel, DefaultOptions())
+}
 
-	// card(X) = |Π_X| computed from the stripped partition: stripped
-	// classes plus the singletons they omit.
-	card := func(x relation.AttrSet) int {
-		p := pc.Get(x)
-		covered := p.Size()
-		return p.NumClasses() + (nRows - covered)
+// DiscoverFUNOpts is DiscoverFUN with explicit options. Candidate
+// partitions are computed as parent-partition × single-column products over
+// per-worker ProductBuffers (never through cache probes); per-level
+// cardinalities live in sorted slices. Free sets are downward closed, so
+// every proper subset of a candidate was itself a candidate one level
+// earlier and its cardinality is one binary search away.
+func DiscoverFUNOpts(rel *relation.Relation, opts Options) *Result {
+	nAttrs := rel.NumCols()
+	nRows := rel.NumRows()
+	workers := workerCount(opts.Workers)
+	pc := relation.NewPartitionCacheParallel(rel, workers)
+	bufs := make([]relation.ProductBuffer, workers)
+
+	// card(X) = |Π_X| from the stripped partition: stripped classes plus
+	// the singletons they omit.
+	cardOf := func(p *relation.Partition) int {
+		return p.NumClasses() + (nRows - p.Size())
+	}
+
+	singles := make([]*relation.Partition, nAttrs)
+	for a := 0; a < nAttrs; a++ {
+		singles[a] = pc.Get(relation.Single(a))
 	}
 
 	var sigma core.Set
-	type node struct {
+	type funNode struct {
 		attrs relation.AttrSet
 		card  int
+		part  *relation.Partition
 	}
 
 	// Level 0: the empty (free) set with cardinality 1 (or 0 on empty r).
@@ -34,45 +67,76 @@ func DiscoverFUN(rel *relation.Relation) *Result {
 	if nRows == 0 {
 		emptyCard = 0
 	}
-	level := []node{{attrs: relation.EmptySet, card: emptyCard}}
-	cards := map[relation.AttrSet]int{relation.EmptySet: emptyCard}
+	level := []funNode{{attrs: relation.EmptySet, card: emptyCard, part: pc.Get(relation.EmptySet)}}
+	prevCards := []setCard{{attrs: relation.EmptySet, card: emptyCard}}
 
+	type funCand struct {
+		attrs  relation.AttrSet
+		parent int
+		added  int
+		card   int
+		part   *relation.Partition
+	}
 	for len(level) > 0 {
-		var next []node
-		seen := make(map[relation.AttrSet]struct{})
-		for _, nd := range level {
+		// Generate X = free ∪ {a} candidates, deduplicated by sorting and
+		// keeping the lowest parent (any parent yields the same canonical
+		// partition; the choice is fixed for determinism).
+		var cands []funCand
+		for pi := range level {
 			for a := 0; a < nAttrs; a++ {
-				if nd.attrs.Has(a) {
+				if level[pi].attrs.Has(a) {
 					continue
 				}
-				x := nd.attrs.With(a)
-				if _, dup := seen[x]; dup {
-					continue
-				}
-				seen[x] = struct{}{}
-				cx := card(x)
-				cards[x] = cx
-				// X is free iff |Π_X| > |Π_Y| for every maximal proper
-				// subset Y; equivalently no Y = X\b has equal cardinality.
-				free := true
-				for _, b := range x.Attrs() {
-					sub := x.Without(b)
-					csub, ok := cards[sub]
-					if !ok {
-						csub = card(sub)
-						cards[sub] = csub
-					}
-					if csub == cx {
-						free = false
-						// Y → b holds with Y = X\b; record when minimal.
-						sigma = append(sigma, FD{LHS: sub, RHS: b})
-					}
-				}
-				if free {
-					next = append(next, node{attrs: x, card: cx})
-				}
+				cands = append(cands, funCand{attrs: level[pi].attrs.With(a), parent: pi, added: a})
 			}
 		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].attrs != cands[j].attrs {
+				return cands[i].attrs < cands[j].attrs
+			}
+			return cands[i].parent < cands[j].parent
+		})
+		keep := 0
+		for i := range cands {
+			if i == 0 || cands[i].attrs != cands[keep-1].attrs {
+				cands[keep] = cands[i]
+				keep++
+			}
+		}
+		cands = cands[:keep]
+		parallelFor(len(cands), workers, func(w, i int) {
+			c := &cands[i]
+			c.part = bufs[w].Product(level[c.parent].part, singles[c.added])
+			c.card = cardOf(c.part)
+		})
+		// Free check + FD emission, sequential in sorted candidate order.
+		curCards := make([]setCard, len(cands))
+		var next []funNode
+		for i := range cands {
+			c := &cands[i]
+			curCards[i] = setCard{attrs: c.attrs, card: c.card}
+			// X is free iff |Π_X| > |Π_Y| for every maximal proper subset
+			// Y; equivalently no Y = X\b has equal cardinality.
+			free := true
+			for _, b := range c.attrs.Attrs() {
+				sub := c.attrs.Without(b)
+				csub, ok := lookupCard(prevCards, sub)
+				if !ok {
+					// Defensive only: subsets of free sets are free, so sub
+					// is always a previous-round candidate in practice.
+					csub = cardOf(pc.GetWith(sub, &bufs[0]))
+				}
+				if csub == c.card {
+					free = false
+					// Y → b holds with Y = X\b; record when minimal.
+					sigma = append(sigma, FD{LHS: sub, RHS: b})
+				}
+			}
+			if free {
+				next = append(next, funNode{attrs: c.attrs, card: c.card, part: c.part})
+			}
+		}
+		prevCards = curCards
 		level = next
 	}
 

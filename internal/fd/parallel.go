@@ -1,0 +1,56 @@
+package fd
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(worker, i) for every i in [0, n), fanning out over at
+// most `workers` goroutines. Iterations are claimed from a shared atomic
+// counter (work stealing), so uneven per-item costs — one huge cluster next
+// to many tiny ones, one consequent with a deep cover search — balance
+// automatically. Callers keep the output deterministic by writing results
+// into slot i and merging sequentially afterwards; worker ids (always <
+// workers) let them retain per-worker scratch such as ProductBuffers. With
+// workers <= 1 or n <= 1 everything runs inline on worker 0, so the
+// sequential path executes exactly the same code as the parallel one.
+func parallelFor(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// workerCount resolves an Options.Workers value: 0 selects NumCPU, anything
+// else is used as given (1 forces the sequential path).
+func workerCount(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.NumCPU()
+}

@@ -1,0 +1,97 @@
+package fd
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// Cross-algorithm property: on randomized relations all seven algorithms
+// must induce the same FD theory (pairwise FDEquivalent — the six exact ones
+// are byte-identical covers, FDMine an equivalent one), and every algorithm
+// must produce byte-identical results for any worker count. Runs under
+// `make race` to exercise the parallel paths.
+func TestAlgorithmsPairwiseEquivalentAndDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	algs := Algorithms()
+	for trial := 0; trial < 12; trial++ {
+		rows := 4 + rng.Intn(20)
+		cols := 2 + rng.Intn(5)
+		domain := 1 + rng.Intn(3)
+		rel := randomRelation(rng, rows, cols, domain)
+		results := make(map[string]*Result, len(algs))
+		for _, alg := range algs {
+			seq, err := DiscoverOpts(alg, rel, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[alg] = seq
+			for _, w := range []int{2, 4, 0} {
+				par, err := DiscoverOpts(alg, rel, Options{Workers: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(par.FDs, seq.FDs) || par.RawCount != seq.RawCount {
+					t.Fatalf("trial %d: %s with Workers=%d differs from sequential\n got: %v (raw %d)\nwant: %v (raw %d)",
+						trial, alg, w, par.FDs, par.RawCount, seq.FDs, seq.RawCount)
+				}
+			}
+		}
+		for i, a := range algs {
+			for _, b := range algs[i+1:] {
+				if !FDEquivalent(results[a].FDs, results[b].FDs) {
+					t.Errorf("trial %d (%d rows, %d cols, dom %d): %s and %s not equivalent\n%s: %v\n%s: %v",
+						trial, rows, cols, domain, a, b, a, results[a].FDs, b, results[b].FDs)
+				}
+			}
+		}
+	}
+}
+
+// DFD's completion phase makes its output exact, hence independent of the
+// seed driving the random walks.
+func TestDFDSeedIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		rel := randomRelation(rng, 4+rng.Intn(16), 2+rng.Intn(4), 1+rng.Intn(3))
+		base := DiscoverDFDSeeded(rel, 1)
+		for _, seed := range []int64{2, 99, -7} {
+			got := DiscoverDFDSeeded(rel, seed)
+			if !reflect.DeepEqual(got.FDs, base.FDs) {
+				t.Fatalf("trial %d: DFD seed %d differs\n got: %v\nwant: %v",
+					trial, seed, got.FDs, base.FDs)
+			}
+		}
+	}
+}
+
+// Duplicate-heavy relations stress the evidence engine's cluster ownership
+// (large classes in every column) and the level-wise key detection.
+func TestAlgorithmsOnDuplicateHeavyRelation(t *testing.T) {
+	schema := relation.MustSchema("A", "B", "C")
+	rows := make([][]string, 0, 24)
+	for i := 0; i < 24; i++ {
+		rows = append(rows, []string{
+			fmt.Sprint(i % 2), fmt.Sprint(i % 3), fmt.Sprint(i % 2),
+		})
+	}
+	rel, err := relation.FromRows(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BruteForce(rel)
+	for _, alg := range exactAlgorithms {
+		res, err := DiscoverOpts(alg, rel, Options{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.FDs.Clone()
+		got.Sort()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: got %v want %v", alg, got, want)
+		}
+	}
+}

@@ -1,41 +1,79 @@
 package fd
 
 import (
+	"sort"
+
 	"github.com/fastofd/fastofd/internal/core"
 	"github.com/fastofd/fastofd/internal/relation"
 )
+
+// taneNode is one lattice node: the attribute set, its rhs⁺ candidate set,
+// and its stripped partition (kept on the node so validity tests are pure
+// arithmetic on partition errors, with no cache probes).
+type taneNode struct {
+	attrs relation.AttrSet
+	cplus relation.AttrSet
+	part  *relation.Partition
+}
+
+// taneLevel is one lattice level, sorted ascending by attrs so sibling
+// lookup is a binary search instead of a map probe.
+type taneLevel []taneNode
+
+func (lv taneLevel) find(x relation.AttrSet) *taneNode {
+	i := sort.Search(len(lv), func(i int) bool { return lv[i].attrs >= x })
+	if i < len(lv) && lv[i].attrs == x {
+		return &lv[i]
+	}
+	return nil
+}
 
 // DiscoverTANE implements TANE (Huhtala et al., 1999): level-wise lattice
 // traversal with rhs⁺ candidate sets, stripped-partition products, the
 // partition-error validity test, and key-based pruning.
 func DiscoverTANE(rel *relation.Relation) *Result {
+	return DiscoverTANEOpts(rel, DefaultOptions())
+}
+
+// DiscoverTANEOpts is DiscoverTANE with explicit options. Levels live in
+// sorted slices; next-level partition products fan out over opts.Workers
+// goroutines with retained per-worker ProductBuffers, writing into
+// per-candidate slots so the result is byte-identical for any worker count.
+func DiscoverTANEOpts(rel *relation.Relation, opts Options) *Result {
 	n := rel.NumCols()
 	all := rel.Schema().All()
-	pc := relation.NewPartitionCache(rel)
-	var prodBuf relation.ProductBuffer
+	workers := workerCount(opts.Workers)
+	pc := relation.NewPartitionCacheParallel(rel, workers)
+	bufs := make([]relation.ProductBuffer, workers)
 	var sigma core.Set
 
-	type node struct {
-		attrs relation.AttrSet
-		cplus relation.AttrSet
-		part  *relation.Partition
-	}
+	emptyErr := pc.Get(relation.EmptySet).Error()
 
-	level := make(map[relation.AttrSet]*node, n)
+	level := make(taneLevel, 0, n)
 	for a := 0; a < n; a++ {
 		s := relation.Single(a)
-		level[s] = &node{attrs: s, cplus: all, part: pc.Get(s)}
+		level = append(level, taneNode{attrs: s, cplus: all, part: pc.Get(s)})
 	}
+	// prev is the previous level after pruning. Every node of the current
+	// level was generated only when all of its immediate subsets survived
+	// pruning, so the lhs of every validity test is found in prev (or is ∅
+	// at level 1) — holdsFD probes never touch the cache.
+	var prev taneLevel
 
-	for l := 1; len(level) > 0; l++ {
+	for len(level) > 0 {
 		// computeDependencies
-		for _, nd := range level {
+		for i := range level {
+			nd := &level[i]
 			x := nd.attrs
 			// C⁺(X) = ∩_{A∈X} C⁺(X\A) computed at node creation for l ≥ 2;
 			// level 1 uses R.
 			for _, a := range x.Intersect(nd.cplus).Attrs() {
 				lhs := x.Without(a)
-				if holdsFDParts(pc, lhs, x) {
+				lhsErr := emptyErr
+				if !lhs.IsEmpty() {
+					lhsErr = prev.find(lhs).part.Error()
+				}
+				if lhsErr == nd.part.Error() {
 					sigma = append(sigma, FD{LHS: lhs, RHS: a})
 					nd.cplus = nd.cplus.Without(a)
 					// TANE rule: remove all B ∈ R \ X from C⁺(X). Valid for
@@ -46,12 +84,13 @@ func DiscoverTANE(rel *relation.Relation) *Result {
 			}
 		}
 		// prune: emit superkey dependencies first (the minimality test
-		// consults sibling nodes' C⁺ sets, so deletions must wait), then
-		// delete superkey nodes and nodes with empty C⁺.
-		var doomed []relation.AttrSet
-		for key, nd := range level {
+		// consults sibling nodes' C⁺ sets, so removals must wait), then
+		// drop superkey nodes and nodes with empty C⁺.
+		doomed := make([]bool, len(level))
+		for i := range level {
+			nd := &level[i]
 			if nd.cplus.IsEmpty() {
-				doomed = append(doomed, key)
+				doomed[i] = true
 				continue
 			}
 			if !nd.part.IsKeyOver() {
@@ -67,7 +106,7 @@ func DiscoverTANE(rel *relation.Relation) *Result {
 					// C⁺) does not exclude A; emissions here are sound in
 					// any case (a superkey determines every attribute) and
 					// the final minimize() removes non-minimal output.
-					if other, ok := level[sub]; ok && !other.cplus.Has(a) {
+					if other := level.find(sub); other != nil && !other.cplus.Has(a) {
 						inAll = false
 						break
 					}
@@ -76,52 +115,72 @@ func DiscoverTANE(rel *relation.Relation) *Result {
 					sigma = append(sigma, FD{LHS: nd.attrs, RHS: a})
 				}
 			}
-			doomed = append(doomed, key)
+			doomed[i] = true
 		}
-		for _, key := range doomed {
-			delete(level, key)
+		pruned := level[:0]
+		for i := range level {
+			if !doomed[i] {
+				pruned = append(pruned, level[i])
+			}
 		}
-		// generateNextLevel via prefix blocks.
-		next := make(map[relation.AttrSet]*node)
-		blocks := make(map[relation.AttrSet][]*node)
-		for _, nd := range level {
-			attrs := nd.attrs.Attrs()
-			prefix := nd.attrs.Without(attrs[len(attrs)-1])
-			blocks[prefix] = append(blocks[prefix], nd)
+		// generateNextLevel via prefix blocks: two pruned nodes combine
+		// when they share all attributes but the largest. Sorting an index
+		// by (prefix, attrs) makes blocks contiguous.
+		order := make([]int, len(pruned))
+		prefixes := make([]relation.AttrSet, len(pruned))
+		for i := range pruned {
+			order[i] = i
+			prefixes[i] = pruned[i].attrs.Without(pruned[i].attrs.Last())
 		}
-		for _, block := range blocks {
-			for i := 0; i < len(block); i++ {
-				for j := i + 1; j < len(block); j++ {
-					x := block[i].attrs.Union(block[j].attrs)
-					if _, done := next[x]; done {
-						continue
-					}
+		sort.Slice(order, func(i, j int) bool {
+			pi, pj := prefixes[order[i]], prefixes[order[j]]
+			if pi != pj {
+				return pi < pj
+			}
+			return pruned[order[i]].attrs < pruned[order[j]].attrs
+		})
+		type taneCand struct {
+			attrs relation.AttrSet
+			cplus relation.AttrSet
+			pi    int
+			pj    int
+		}
+		var cands []taneCand
+		for start := 0; start < len(order); {
+			end := start + 1
+			for end < len(order) && prefixes[order[end]] == prefixes[order[start]] {
+				end++
+			}
+			for i := start; i < end; i++ {
+				for j := i + 1; j < end; j++ {
+					x := pruned[order[i]].attrs.Union(pruned[order[j]].attrs)
 					ok := true
 					cplus := all
 					for _, a := range x.Attrs() {
-						sub, in := level[x.Without(a)]
-						if !in {
+						sub := pruned.find(x.Without(a))
+						if sub == nil {
 							ok = false
 							break
 						}
 						cplus = cplus.Intersect(sub.cplus)
 					}
-					if !ok || cplus.IsEmpty() {
-						continue
+					if ok && !cplus.IsEmpty() {
+						cands = append(cands, taneCand{attrs: x, cplus: cplus, pi: order[i], pj: order[j]})
 					}
-					p := prodBuf.Product(block[i].part, block[j].part)
-					pc.Put(x, p)
-					next[x] = &node{attrs: x, cplus: cplus, part: p}
 				}
 			}
+			start = end
 		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].attrs < cands[j].attrs })
+		next := make(taneLevel, len(cands))
+		parallelFor(len(cands), workers, func(w, i int) {
+			c := cands[i]
+			p := bufs[w].Product(pruned[c.pi].part, pruned[c.pj].part)
+			next[i] = taneNode{attrs: c.attrs, cplus: c.cplus, part: p}
+		})
+		prev = append(taneLevel(nil), pruned...)
 		level = next
 	}
 	sigma = minimize(sigma)
 	return &Result{Algorithm: TANE, FDs: sigma, RawCount: len(sigma)}
-}
-
-// holdsFDParts tests X\A → A via cached partitions of lhs and x = lhs ∪ A.
-func holdsFDParts(pc *relation.PartitionCache, lhs, x relation.AttrSet) bool {
-	return pc.Get(lhs).Error() == pc.Get(x).Error()
 }

@@ -143,11 +143,23 @@ func (pc *PartitionCache) store(attrs AttrSet, p *Partition) {
 // missing single columns. Safe for concurrent use; concurrent misses on
 // one set may compute it twice but converge on the canonical result.
 func (pc *PartitionCache) Get(attrs AttrSet) *Partition {
+	return pc.GetWith(attrs, nil)
+}
+
+// GetWith is Get with a caller-supplied ProductBuffer for any partition
+// products a miss needs, so hot probe loops (the FD baselines' holdsFD
+// tests) stop paying per-call scratch allocations. buf may be nil, in
+// which case a transient buffer is used. Safe for concurrent use as long
+// as each goroutine passes its own buffer.
+func (pc *PartitionCache) GetWith(attrs AttrSet, buf *ProductBuffer) *Partition {
 	if p, ok := pc.lookup(attrs); ok {
 		pc.hits.Add(1)
 		return p
 	}
 	pc.misses.Add(1)
+	if buf == nil {
+		buf = &ProductBuffer{}
+	}
 	var p *Partition
 	if attrs.IsEmpty() {
 		p = PartitionOf(pc.r, attrs).Strip()
@@ -168,10 +180,9 @@ func (pc *PartitionCache) Get(attrs AttrSet) *Partition {
 			// Build from the first attribute upward.
 			best = Single(attrs.First())
 		}
-		p = pc.Get(best)
-		var buf ProductBuffer
+		p = pc.GetWith(best, buf)
 		for _, i := range attrs.Minus(best).Attrs() {
-			p = buf.Product(p, pc.Get(Single(i)))
+			p = buf.Product(p, pc.GetWith(Single(i), buf))
 		}
 	}
 	pc.store(attrs, p)

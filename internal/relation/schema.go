@@ -168,6 +168,14 @@ func (a AttrSet) First() int {
 	return bits.TrailingZeros64(uint64(a))
 }
 
+// Last returns the highest attribute position in the set, or -1 if empty.
+func (a AttrSet) Last() int {
+	if a == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(uint64(a))
+}
+
 // Format renders the set using schema names, e.g. "[CC, CTRY]".
 func (a AttrSet) Format(s *Schema) string {
 	names := make([]string, 0, a.Len())
