@@ -1,8 +1,9 @@
-# Developer entry points. Everything is stdlib Go; no external tools needed.
+# Developer entry points. Everything is stdlib Go; no external tools needed
+# (make lint additionally uses staticcheck when it is on PATH).
 
 GO ?= go
 
-.PHONY: all build test race bench repairbench fdbench experiments examples fmt vet clean
+.PHONY: all build test race bench repairbench fdbench experiments examples fmt vet lint smoke clean
 
 all: build test
 
@@ -46,6 +47,26 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. CI installs staticcheck; locally the target
+# degrades to vet-only with a notice when the tool is absent.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# End-to-end interrupt contract: a 1s-timeboxed discovery over a large
+# generated workload must exit 3 with a partial result and a stage table.
+smoke:
+	$(GO) run ./cmd/genworkload -out /tmp/fastofd-smokework -rows 200000 -err 0.05 -inc 0.04
+	$(GO) build -o /tmp/fastofd-smoke ./cmd/fastofd
+	/tmp/fastofd-smoke -data /tmp/fastofd-smokework/data.csv \
+		-ontology /tmp/fastofd-smokework/ontology.json \
+		-no-opt -workers 0 -timeout 1s > /tmp/fastofd-smoke.out 2> /tmp/fastofd-smoke.err; \
+	code=$$?; cat /tmp/fastofd-smoke.err; \
+	test $$code -eq 3 && grep -q "^stage" /tmp/fastofd-smoke.err && echo "smoke: exit 3 with stage table, OK"
 
 clean:
 	$(GO) clean ./...

@@ -1,7 +1,7 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"os"
 	"reflect"
@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/fd"
 	"github.com/fastofd/fastofd/internal/gen"
 )
@@ -32,12 +33,16 @@ type fdReport struct {
 	// results with Workers=1 and Workers=NumCPU at Rows tuples.
 	Deterministic bool          `json:"deterministic"`
 	Results       []benchResult `json:"results"`
+	// Stats holds the discovery engines' per-stage spans (fd.<algo>,
+	// evidence.*) accumulated across every run of the curve.
+	Stats *exec.Stats `json:"stats"`
 }
 
 // runFDBench measures the seven FD-discovery baselines on the Clinical
 // workload and writes BENCH_fd.json. smoke shrinks the curve to one small
-// size and single iterations for CI.
-func runFDBench(path string, rows int, smoke bool) error {
+// size and single iterations for CI. A cancelled ctx stops between runs;
+// the rows measured so far are still written before the error returns.
+func runFDBench(ctx context.Context, stats *exec.Stats, path string, rows int, smoke bool) error {
 	sizes := []int{rows / 8, rows / 4, rows / 2, rows}
 	iters := 3
 	if smoke {
@@ -50,9 +55,21 @@ func runFDBench(path string, rows int, smoke bool) error {
 		GOARCH: runtime.GOARCH,
 		NumCPU: runtime.NumCPU(),
 		Rows:   rows,
+		Stats:  stats,
+	}
+	// partial writes the rows measured before an interrupt, then hands the
+	// cause back so the caller exits with the interrupt status.
+	partial := func(err error) error {
+		if werr := writeBenchReport(path, report, report.Results, 28); werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote %s (partial)\n", path)
+		return err
 	}
 
 	// Exp-1 curve: per-algorithm wall time (best of iters) at each size.
+	discOpts := fd.DefaultOptions()
+	discOpts.Stats = stats
 	for _, n := range sizes {
 		if n < 2 {
 			continue
@@ -63,10 +80,10 @@ func runFDBench(path string, rows int, smoke bool) error {
 			var nFDs int
 			for it := 0; it < iters; it++ {
 				start := time.Now()
-				res, err := fd.DiscoverOpts(alg, ds.Rel, fd.DefaultOptions())
+				res, err := fd.DiscoverContext(ctx, alg, ds.Rel, discOpts)
 				elapsed := float64(time.Since(start).Nanoseconds())
 				if err != nil {
-					return err
+					return partial(err)
 				}
 				if it == 0 || elapsed < bestNs {
 					bestNs = elapsed
@@ -84,6 +101,9 @@ func runFDBench(path string, rows int, smoke bool) error {
 	// Agree-set micro-benchmarks at the base size: the cluster engine
 	// (sequential and parallel) against the pre-engine pair-enumeration
 	// baseline, with allocation accounting.
+	if err := exec.Interrupted(ctx, "fdbench"); err != nil {
+		return partial(err)
+	}
 	ds := gen.Clinical(rows, 1)
 	addMicro := func(name string, fn func(b *testing.B)) benchResult {
 		r := testing.Benchmark(fn)
@@ -124,13 +144,13 @@ func runFDBench(path string, rows int, smoke bool) error {
 	// every algorithm at the base size.
 	report.Deterministic = true
 	for _, alg := range fd.Algorithms() {
-		seq, err := fd.DiscoverOpts(alg, ds.Rel, fd.Options{Workers: 1})
+		seq, err := fd.DiscoverContext(ctx, alg, ds.Rel, fd.Options{Workers: 1, Stats: stats})
 		if err != nil {
-			return err
+			return partial(err)
 		}
-		par, err := fd.DiscoverOpts(alg, ds.Rel, fd.Options{Workers: 0})
+		par, err := fd.DiscoverContext(ctx, alg, ds.Rel, fd.Options{Workers: 0, Stats: stats})
 		if err != nil {
-			return err
+			return partial(err)
 		}
 		if !reflect.DeepEqual(seq.FDs, par.FDs) || seq.RawCount != par.RawCount {
 			report.Deterministic = false
@@ -138,17 +158,8 @@ func runFDBench(path string, rows int, smoke bool) error {
 		}
 	}
 
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
+	if err := writeBenchReport(path, report, report.Results, 28); err != nil {
 		return err
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		return err
-	}
-	for _, r := range report.Results {
-		fmt.Printf("%-28s %14.0f ns/op %12d B/op %10d allocs/op\n",
-			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
 	fmt.Printf("agree-set engine vs baseline: %.2fx faster, %.1fx fewer allocs (rows=%d)\n",
 		report.AgreeSpeedup, report.AgreeAllocRatio, rows)

@@ -6,11 +6,19 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|1,2,5-7] [-rows N] [-seeds K]
+//	benchrunner [-exp all|1,2,5-7] [-rows N] [-seeds K] [-timeout 10m]
 //
 // Experiment ids follow the paper: 1..5 are FastOFD (scalability in N and
 // n, optimizations, lattice levels, false positives), 6..8 sense selection,
 // 9..14 OFDClean (beam, err%, inc%, |Σ|, N, HoloClean comparison).
+//
+// SIGINT/SIGTERM or an elapsed -timeout stop the run cooperatively: the
+// experiment loop stops between experiments, the bench modes write their
+// report with the rows measured so far, a per-stage execution table goes to
+// stderr, and the process exits with status 3. The -partitionbench,
+// -repairbench and -fdbench reports embed the per-stage span registry as a
+// "stats" block, so CI artifacts carry stage-level timings alongside the
+// benchmark rows.
 package main
 
 import (
@@ -19,6 +27,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"github.com/fastofd/fastofd/internal/cli"
+	"github.com/fastofd/fastofd/internal/exec"
 )
 
 func main() {
@@ -31,28 +42,33 @@ func main() {
 		repBench  = flag.String("repairbench", "", "run the repair-engine benchmarks and write JSON results to this path (e.g. BENCH_repair.json), then exit")
 		fdBench   = flag.String("fdbench", "", "run the FD-discovery benchmarks (Exp-1 curve + agree-set micro-benches) and write JSON results to this path (e.g. BENCH_fd.json), then exit")
 		smoke     = flag.Bool("benchsmoke", false, "single-iteration benchmark mode for CI smoke runs")
+		timeout   = flag.Duration("timeout", 0, "abort after this duration, keeping partial results (0 = no timeout)")
 	)
 	flag.Parse()
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	stageStats := exec.NewStats()
+	finish := func(err error) {
+		if err == nil {
+			return
+		}
+		if cli.Interrupted(err) {
+			cli.ExitInterruptedWith("benchrunner", err, stageStats)
+		}
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
 
 	if *partBench != "" {
-		if err := runPartitionBench(*partBench, *discRows); err != nil {
-			fmt.Fprintln(os.Stderr, "benchrunner:", err)
-			os.Exit(1)
-		}
+		finish(runPartitionBench(ctx, stageStats, *partBench, *discRows))
 		return
 	}
 	if *repBench != "" {
-		if err := runRepairBench(*repBench, *rows, *smoke); err != nil {
-			fmt.Fprintln(os.Stderr, "benchrunner:", err)
-			os.Exit(1)
-		}
+		finish(runRepairBench(ctx, stageStats, *repBench, *rows, *smoke))
 		return
 	}
 	if *fdBench != "" {
-		if err := runFDBench(*fdBench, *discRows, *smoke); err != nil {
-			fmt.Fprintln(os.Stderr, "benchrunner:", err)
-			os.Exit(1)
-		}
+		finish(runFDBench(ctx, stageStats, *fdBench, *discRows, *smoke))
 		return
 	}
 
@@ -87,6 +103,9 @@ func main() {
 	for _, e := range experiments {
 		if !want[e.id] {
 			continue
+		}
+		if err := exec.Interrupted(ctx, "experiments"); err != nil {
+			finish(err)
 		}
 		fmt.Printf("\n=== %s ===\n", e.title)
 		e.run(cfg)

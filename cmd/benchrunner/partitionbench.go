@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/gen"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -29,6 +31,26 @@ type benchReport struct {
 	NumCPU  int           `json:"num_cpu"`
 	Rows    int           `json:"rows"`
 	Results []benchResult `json:"results"`
+	// Stats is the per-stage span registry of the engine calls the bench
+	// exercised, so CI artifacts carry stage-level timings next to the rows.
+	Stats *exec.Stats `json:"stats"`
+}
+
+// writeBenchReport marshals any report value to path and prints its rows.
+func writeBenchReport(path string, report any, results []benchResult, width int) error {
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-*s %14.0f ns/op %12d B/op %10d allocs/op\n",
+			width, r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return nil
 }
 
 // runPartitionBench measures the partition-engine ablations (the
@@ -37,8 +59,9 @@ type benchReport struct {
 // results as JSON to path. These are the same workloads as
 // BenchmarkAblationPartitionProduct / BenchmarkAblationVerify at the repo
 // root; this entry point exists so perf numbers land in a file that scripts
-// can compare across commits.
-func runPartitionBench(path string, rows int) error {
+// can compare across commits. A cancelled ctx stops between benchmark cases;
+// the rows measured so far are still written before the error returns.
+func runPartitionBench(ctx context.Context, stats *exec.Stats, path string, rows int) error {
 	ds := gen.Clinical(rows, 1)
 	pa := relation.SingleColumnPartition(ds.Rel, 2).Strip()
 	pb := relation.SingleColumnPartition(ds.Rel, 3).Strip()
@@ -55,9 +78,16 @@ func runPartitionBench(path string, rows int) error {
 		GOARCH: runtime.GOARCH,
 		NumCPU: runtime.NumCPU(),
 		Rows:   rows,
+		Stats:  stats,
 	}
 	add := func(name string, fn func(b *testing.B)) {
+		if exec.Interrupted(ctx, "partitionbench") != nil {
+			return // report whatever was measured before the interrupt
+		}
+		span := stats.Span("bench." + name)
 		r := testing.Benchmark(fn)
+		span.Items(r.N)
+		span.End()
 		report.Results = append(report.Results, benchResult{
 			Name:        name,
 			Iterations:  r.N,
@@ -93,18 +123,9 @@ func runPartitionBench(path string, rows int) error {
 		}
 	})
 
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
+	if err := writeBenchReport(path, report, report.Results, 22); err != nil {
 		return err
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		return err
-	}
-	for _, r := range report.Results {
-		fmt.Printf("%-22s %12.0f ns/op %10d B/op %8d allocs/op\n",
-			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
 	fmt.Printf("wrote %s\n", path)
-	return nil
+	return exec.Interrupted(ctx, "partitionbench")
 }

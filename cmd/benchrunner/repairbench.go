@@ -1,14 +1,14 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
-	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"github.com/fastofd/fastofd/internal/emd"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/gen"
 	"github.com/fastofd/fastofd/internal/repair"
 )
@@ -26,6 +26,9 @@ type repairReport struct {
 	Iterations        int           `json:"iterations"`
 	SpeedupVsBaseline float64       `json:"speedup_vs_baseline"`
 	Results           []benchResult `json:"results"`
+	// Stats holds the repair engine's per-stage spans (clean.assign,
+	// clean.beam, clean.materialize, ...) accumulated across the runs.
+	Stats *exec.Stats `json:"stats"`
 }
 
 // cleanTiming is one measured Clean configuration: best-of-iters wall time
@@ -38,14 +41,14 @@ type cleanTiming struct {
 	res    *repair.Result
 }
 
-func measureClean(ds *gen.Dataset, opts repair.Options, iters int) (cleanTiming, error) {
+func measureClean(ctx context.Context, ds *gen.Dataset, opts repair.Options, iters int) (cleanTiming, error) {
 	best := cleanTiming{ns: 0}
 	for i := 0; i < iters; i++ {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		res, err := repair.Clean(ds.Rel, ds.Ont, ds.Sigma, opts)
+		res, err := repair.CleanContext(ctx, ds.Rel, ds.Ont, ds.Sigma, opts)
 		elapsed := time.Since(start)
 		if err != nil {
 			return cleanTiming{}, err
@@ -68,47 +71,58 @@ func measureClean(ds *gen.Dataset, opts repair.Options, iters int) (cleanTiming,
 // workload and writes BENCH_repair.json. Three end-to-end configurations are
 // compared: the pre-index sequential baseline (NoCoverageIndex, Workers=1),
 // the indexed sequential engine, and the indexed engine at the default
-// worker count. smoke reduces iterations to one for CI.
-func runRepairBench(path string, rows int, smoke bool) error {
+// worker count. smoke reduces iterations to one for CI. A cancelled ctx
+// stops the measurements; the rows finished so far are still written.
+func runRepairBench(ctx context.Context, stats *exec.Stats, path string, rows int, smoke bool) error {
 	ds := gen.Generate(gen.Config{Rows: rows, Seed: 1, ErrRate: 0.06, IncRate: 0.04, NumOFDs: 6})
 	iters := 3
 	if smoke {
 		iters = 1
 	}
 	opts := func(workers int, noIndex bool) repair.Options {
-		return repair.Options{Theta: 5, Beam: 3, Tau: 1, Workers: workers, NoCoverageIndex: noIndex}
-	}
-
-	baseline, err := measureClean(ds, opts(1, true), iters)
-	if err != nil {
-		return err
-	}
-	seq, err := measureClean(ds, opts(1, false), iters)
-	if err != nil {
-		return err
-	}
-	par, err := measureClean(ds, opts(0, false), iters)
-	if err != nil {
-		return err
+		return repair.Options{Theta: 5, Beam: 3, Tau: 1, Workers: workers, NoCoverageIndex: noIndex, Stats: stats}
 	}
 
 	report := repairReport{
-		GOOS:              runtime.GOOS,
-		GOARCH:            runtime.GOARCH,
-		NumCPU:            runtime.NumCPU(),
-		Rows:              rows,
-		Workers:           par.res.Workers,
-		Iterations:        iters,
-		SpeedupVsBaseline: baseline.ns / par.ns,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Rows:       rows,
+		Iterations: iters,
+		Stats:      stats,
 	}
 	addClean := func(name string, t cleanTiming) {
 		report.Results = append(report.Results, benchResult{
 			Name: name, Iterations: iters, NsPerOp: t.ns, BytesPerOp: t.bytes, AllocsPerOp: t.allocs,
 		})
 	}
+	// partial writes the rows measured before an interrupt, then hands the
+	// cause back so the caller exits with the interrupt status.
+	partial := func(err error) error {
+		if werr := writeBenchReport(path, report, report.Results, 28); werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote %s (partial)\n", path)
+		return err
+	}
+
+	baseline, err := measureClean(ctx, ds, opts(1, true), iters)
+	if err != nil {
+		return partial(err)
+	}
 	addClean("clean-baseline-seq-noindex", baseline)
+	seq, err := measureClean(ctx, ds, opts(1, false), iters)
+	if err != nil {
+		return partial(err)
+	}
 	addClean("clean-indexed-seq", seq)
+	par, err := measureClean(ctx, ds, opts(0, false), iters)
+	if err != nil {
+		return partial(err)
+	}
 	addClean("clean-indexed-parallel", par)
+	report.Workers = par.res.Workers
+	report.SpeedupVsBaseline = baseline.ns / par.ns
 
 	// Per-stage breakdown of the parallel run (durations from Result).
 	stage := func(name string, d time.Duration) {
@@ -150,17 +164,8 @@ func runRepairBench(path string, rows int, smoke bool) error {
 		}
 	})
 
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
+	if err := writeBenchReport(path, report, report.Results, 28); err != nil {
 		return err
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		return err
-	}
-	for _, r := range report.Results {
-		fmt.Printf("%-28s %14.0f ns/op %12d B/op %10d allocs/op\n",
-			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
 	fmt.Printf("speedup vs baseline: %.2fx (workers=%d, rows=%d)\n",
 		report.SpeedupVsBaseline, report.Workers, rows)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	fastofd -data trials.csv -ontology drugs.json [-support 0.9]
-//	        [-maxlevel 6] [-stats] [-no-opt]
+//	        [-maxlevel 6] [-stats] [-no-opt] [-timeout 30s]
 //
 // The CSV's header row names the attributes; the ontology follows the JSON
 // schema written by the ofdclean tool or fastofd.WriteOntologyFile. With
@@ -16,6 +16,10 @@
 // fdmine, dfd, depminer, fastfds, fdep) runs instead of FastOFD; -workers
 // parallelizes its evidence-set construction and lattice products with
 // byte-identical output.
+//
+// SIGINT/SIGTERM or an elapsed -timeout stop the run cooperatively: the
+// dependencies discovered so far are printed, a per-stage execution table
+// goes to stderr, and the process exits with status 3.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"github.com/fastofd/fastofd"
+	"github.com/fastofd/fastofd/internal/cli"
 	"github.com/fastofd/fastofd/internal/fd"
 )
 
@@ -34,19 +39,23 @@ func main() {
 		ontPath  = flag.String("ontology", "", "ontology JSON file (optional; empty = plain FDs)")
 		support  = flag.Float64("support", 1.0, "minimum support κ for approximate OFDs (0 < κ ≤ 1)")
 		maxLevel = flag.Int("maxlevel", 0, "cap the lattice depth (0 = unbounded)")
-		stats    = flag.Bool("stats", false, "print per-level statistics")
+		stats    = flag.Bool("stats", false, "print per-level and per-stage statistics")
 		noOpt    = flag.Bool("no-opt", false, "disable the pruning optimizations (Opt-2/3/4)")
 		mode     = flag.String("mode", "synonym", "dependency mode: synonym or inheritance")
 		theta    = flag.Int("theta", 5, "is-a path bound for inheritance mode")
 		workers  = flag.Int("workers", 1, "parallel discovery workers (0 = all CPUs)")
 		top      = flag.Int("top", 0, "print only the k most interesting OFDs, with scores")
 		baseline = flag.String("baseline", "", "run a plain-FD baseline instead of FastOFD: tane, fun, fdmine, dfd, depminer, fastfds, or fdep")
+		timeout  = flag.Duration("timeout", 0, "abort after this duration, printing the partial result (0 = no timeout)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	stageStats := fastofd.NewStats()
 
 	rel, err := fastofd.ReadCSVFile(*dataPath)
 	if err != nil {
@@ -54,8 +63,8 @@ func main() {
 	}
 	if *baseline != "" {
 		start := time.Now()
-		res, err := fd.DiscoverOpts(*baseline, rel, fd.Options{Workers: *workers})
-		if err != nil {
+		res, err := fd.DiscoverContext(ctx, *baseline, rel, fd.Options{Workers: *workers, Stats: stageStats})
+		if err != nil && !cli.Interrupted(err) {
 			fail(err)
 		}
 		for _, d := range res.FDs {
@@ -63,6 +72,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%s: %d FDs over %d tuples x %d attributes in %s\n",
 			res.Algorithm, len(res.FDs), rel.NumRows(), rel.NumCols(), time.Since(start).Round(1e6))
+		if err != nil {
+			cli.ExitInterruptedWith("fastofd", err, stageStats)
+		}
+		if *stats {
+			fmt.Fprint(os.Stderr, stageStats.Table())
+		}
 		return
 	}
 	ont := fastofd.NewOntology()
@@ -80,6 +95,7 @@ func main() {
 	opts.MaxLevel = *maxLevel
 	opts.MinSupport = *support
 	opts.Workers = *workers
+	opts.Stats = stageStats
 	switch *mode {
 	case "synonym":
 		opts.Mode = fastofd.ModeSynonym
@@ -90,7 +106,10 @@ func main() {
 		fail(fmt.Errorf("unknown mode %q (want synonym or inheritance)", *mode))
 	}
 
-	res := fastofd.Discover(rel, ont, opts)
+	res, derr := fastofd.DiscoverContext(ctx, rel, ont, opts)
+	if derr != nil && !cli.Interrupted(derr) {
+		fail(derr)
+	}
 	if *top > 0 {
 		for _, r := range fastofd.Top(fastofd.Rank(rel, ont, res.OFDs), *top) {
 			fmt.Printf("%-40s score=%.3f synonym-share=%.0f%% classes=%d\n",
@@ -109,6 +128,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%-6d %8d %10d %10d %12s\n",
 				ls.Level, ls.Nodes, ls.Candidates, ls.Discovered, ls.Elapsed.Round(1e6))
 		}
+	}
+	if derr != nil {
+		cli.ExitInterruptedWith("fastofd", derr, stageStats)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, stageStats.Table())
 	}
 }
 

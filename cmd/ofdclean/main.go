@@ -6,11 +6,16 @@
 //	ofdclean -data trials.csv -ontology drugs.json \
 //	         -ofd "CC -> CTRY" -ofd "SYMP,DIAG -> MED" \
 //	         [-out repaired.csv] [-ontout repaired.json] \
-//	         [-beam 3] [-tau 0.65] [-theta 5] [-pareto]
+//	         [-beam 3] [-tau 0.65] [-theta 5] [-pareto] [-timeout 30s]
 //
 // The tool prints the chosen repair (ontology additions and cell updates)
 // and, with -pareto, the whole Pareto frontier of (ontology, data) repair
 // combinations.
+//
+// SIGINT/SIGTERM or an elapsed -timeout stop the repair cooperatively
+// between pipeline stages: the partial frontier found so far is printed
+// along with a per-stage execution table, no repair is applied or written,
+// and the process exits with status 3.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"os"
 
 	"github.com/fastofd/fastofd"
+	"github.com/fastofd/fastofd/internal/cli"
 )
 
 type ofdList []string
@@ -40,6 +46,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "repair worker-pool width (0 = NumCPU, 1 = sequential; output identical either way)")
 		pareto   = flag.Bool("pareto", false, "print the full Pareto frontier")
 		suggest  = flag.Bool("suggest-sigma", false, "also print minimal antecedent augmentations repairing the CONSTRAINTS")
+		stats    = flag.Bool("stats", false, "print the per-stage execution table")
+		timeout  = flag.Duration("timeout", 0, "abort after this duration, printing the partial frontier (0 = no timeout)")
 	)
 	flag.Var(&ofds, "ofd", "OFD as \"A,B -> C\" (repeatable; required)")
 	flag.Parse()
@@ -47,6 +55,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	stageStats := fastofd.NewStats()
 
 	rel, err := fastofd.ReadCSVFile(*dataPath)
 	if err != nil {
@@ -67,10 +78,20 @@ func main() {
 	opts.Theta = *theta
 	opts.IsATheta = *isaTheta
 	opts.Workers = *workers
+	opts.Stats = stageStats
 
-	res, err := fastofd.Clean(rel, ont, sigma, opts)
+	res, err := fastofd.CleanContext(ctx, rel, ont, sigma, opts)
 	if err != nil {
-		fail(err)
+		if !cli.Interrupted(err) {
+			fail(err)
+		}
+		fmt.Printf("classes: %d  conflicts: %d  ontology candidates: %d  beam: %d\n",
+			res.ClassCount, res.EdgeCount, res.Candidates, res.BeamWidth)
+		fmt.Printf("partial Pareto frontier (%d options; no repair applied):\n", len(res.Pareto))
+		for _, opt := range res.Pareto {
+			fmt.Printf("  (%d, %d)\n", opt.OntDist, opt.DataDist)
+		}
+		cli.ExitInterruptedWith("ofdclean", err, stageStats)
 	}
 	if res.Best == nil {
 		fmt.Fprintln(os.Stderr, "ofdclean: no repair within τ; raise -tau")
@@ -103,6 +124,9 @@ func main() {
 				fmt.Printf("    holds as: %s\n", r.Format(rel.Schema()))
 			}
 		}
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, stageStats.Table())
 	}
 	if *outPath != "" {
 		if err := fastofd.WriteCSVFile(*outPath, res.Instance); err != nil {

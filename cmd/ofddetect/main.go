@@ -6,6 +6,11 @@
 //
 //	ofddetect -data trials.csv -ontology drugs.json \
 //	          -ofd "CC -> CTRY" -ofd "SYMP,DIAG -> MED" [-sigma sigma.txt]
+//	          [-timeout 30s]
+//
+// SIGINT/SIGTERM or an elapsed -timeout stop detection cooperatively
+// between dependencies: the violations found so far are printed along with
+// a per-stage execution table, and the process exits with status 3.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"os"
 
 	"github.com/fastofd/fastofd"
+	"github.com/fastofd/fastofd/internal/cli"
 	"github.com/fastofd/fastofd/internal/core"
 )
 
@@ -29,6 +35,8 @@ func main() {
 		ontPath   = flag.String("ontology", "", "ontology JSON file (required)")
 		sigmaFile = flag.String("sigma", "", "file with one OFD per line (alternative to -ofd)")
 		workers   = flag.Int("workers", 1, "partition-cache warm-up workers (0 = all CPUs)")
+		stats     = flag.Bool("stats", false, "print the per-stage execution table")
+		timeout   = flag.Duration("timeout", 0, "abort after this duration, printing the partial report (0 = no timeout)")
 	)
 	flag.Var(&ofds, "ofd", "OFD as \"A,B -> C\" (repeatable)")
 	flag.Parse()
@@ -59,13 +67,25 @@ func main() {
 	if len(sigma) == 0 {
 		fail(fmt.Errorf("no OFDs given (use -ofd or -sigma)"))
 	}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	stageStats := fastofd.NewStats()
 
-	rep := fastofd.DetectWorkers(rel, ont, sigma, *workers)
+	rep, derr := fastofd.DetectContext(ctx, rel, ont, sigma, *workers, stageStats)
+	if derr != nil && !cli.Interrupted(derr) {
+		fail(derr)
+	}
 	for _, v := range rep.Violations {
 		fmt.Println(v.Format(rel.Schema(), ont))
 	}
 	fmt.Fprintf(os.Stderr, "%d violating classes; %d tuples flagged; %d tuples an FD would falsely flag\n",
 		len(rep.Violations), rep.TuplesFlagged, rep.FDOnlyFlagged)
+	if derr != nil {
+		cli.ExitInterruptedWith("ofddetect", derr, stageStats)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, stageStats.Table())
+	}
 	if len(rep.Violations) > 0 {
 		os.Exit(1)
 	}

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	ofdprofile -data trials.csv [-ontology drugs.json] [-top 5]
+//	ofdprofile -data trials.csv [-ontology drugs.json] [-top 5] [-timeout 30s]
+//
+// SIGINT/SIGTERM or an elapsed -timeout stop profiling cooperatively
+// between columns: the columns profiled so far are printed (later columns
+// zero-valued) and the process exits with status 3.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"strings"
 
 	"github.com/fastofd/fastofd"
+	"github.com/fastofd/fastofd/internal/cli"
 	"github.com/fastofd/fastofd/internal/profile"
 )
 
@@ -23,12 +28,15 @@ func main() {
 		dataPath = flag.String("data", "", "CSV file with a header row (required)")
 		ontPath  = flag.String("ontology", "", "ontology JSON file (optional)")
 		top      = flag.Int("top", 3, "top values to show per column")
+		timeout  = flag.Duration("timeout", 0, "abort after this duration, printing the partial profile (0 = no timeout)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 	rel, err := fastofd.ReadCSVFile(*dataPath)
 	if err != nil {
 		fail(err)
@@ -39,7 +47,7 @@ func main() {
 			fail(err)
 		}
 	}
-	p := profile.Relation(rel, ont)
+	p, perr := profile.RelationContext(ctx, rel, ont)
 	fmt.Printf("%d rows x %d columns\n\n", p.Rows, len(p.Columns))
 	fmt.Printf("%-16s %9s %5s %6s %8s %9s %10s  %s\n",
 		"column", "distinct", "key", "const", "entropy", "coverage", "ambiguous", "top values")
@@ -54,6 +62,9 @@ func main() {
 		fmt.Printf("%-16s %9d %5v %6v %8.2f %8.0f%% %9.0f%%  %s\n",
 			c.Name, c.Distinct, c.IsKey, c.IsConstant, c.Entropy,
 			100*c.Coverage, 100*c.MultiSense, strings.Join(tops, " "))
+	}
+	if perr != nil {
+		cli.ExitInterruptedWith("ofdprofile", perr, fastofd.NewStats())
 	}
 	if ont != nil {
 		backed := p.OntologyBacked(0.9)

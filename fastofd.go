@@ -31,10 +31,12 @@
 package fastofd
 
 import (
+	"context"
 	"io"
 
 	"github.com/fastofd/fastofd/internal/core"
 	"github.com/fastofd/fastofd/internal/discovery"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 	"github.com/fastofd/fastofd/internal/repair"
@@ -78,6 +80,19 @@ type (
 	// Monitor maintains OFD satisfaction incrementally under updates.
 	Monitor = core.Monitor
 )
+
+// Execution substrate.
+type (
+	// Stats is a registry of named per-stage execution spans; pass one via
+	// DiscoveryOptions.Stats / CleanOptions.Stats (or DetectContext) to
+	// observe where a run spends its time.
+	Stats = exec.Stats
+	// StageStat is one stage's accumulated counters.
+	StageStat = exec.StageStat
+)
+
+// NewStats returns an empty per-stage statistics registry.
+func NewStats() *Stats { return exec.NewStats() }
 
 // Discovery (FastOFD).
 type (
@@ -201,10 +216,25 @@ func DetectWorkers(rel *Relation, ont *Ontology, sigma Set, workers int) *Report
 	return core.DetectWorkers(rel, ont, sigma, workers)
 }
 
+// DetectContext is DetectWorkers with cooperative cancellation and optional
+// per-stage stats: a cancelled run returns the violations of the
+// dependencies examined so far plus an error satisfying
+// errors.Is(err, ctx.Err()). stats may be nil.
+func DetectContext(ctx context.Context, rel *Relation, ont *Ontology, sigma Set, workers int, stats *Stats) (*Report, error) {
+	return core.DetectContext(ctx, rel, ont, sigma, workers, stats)
+}
+
 // NewMonitor builds an incremental satisfaction monitor over the instance:
 // consequent-cell updates re-verify only the affected equivalence classes.
 func NewMonitor(rel *Relation, ont *Ontology, sigma Set) (*Monitor, error) {
 	return core.NewMonitor(rel, ont, sigma)
+}
+
+// NewMonitorContext is NewMonitor with cooperative cancellation of the
+// initial index build; a cancelled build returns nil plus the wrapped
+// context error.
+func NewMonitorContext(ctx context.Context, rel *Relation, ont *Ontology, sigma Set) (*Monitor, error) {
+	return core.NewMonitorContext(ctx, rel, ont, sigma)
 }
 
 // DefaultDiscoveryOptions returns the paper's full FastOFD configuration
@@ -215,6 +245,13 @@ func DefaultDiscoveryOptions() DiscoveryOptions { return discovery.DefaultOption
 // OFDs holding on the relation w.r.t. the ontology.
 func Discover(rel *Relation, ont *Ontology, opts DiscoveryOptions) *DiscoveryResult {
 	return discovery.Discover(rel, ont, opts)
+}
+
+// DiscoverContext is Discover with cooperative cancellation: the lattice
+// traversal stops between work items, returning the sorted OFDs of the
+// completed levels plus an error satisfying errors.Is(err, ctx.Err()).
+func DiscoverContext(ctx context.Context, rel *Relation, ont *Ontology, opts DiscoveryOptions) (*DiscoveryResult, error) {
+	return discovery.DiscoverContext(ctx, rel, ont, opts)
 }
 
 // Rank scores discovered OFDs by interestingness (compactness, evidence,
@@ -235,6 +272,13 @@ func DefaultCleanOptions() CleanOptions { return repair.DefaultOptions() }
 // repaired (instance, ontology) pair for the best one.
 func Clean(rel *Relation, ont *Ontology, sigma Set, opts CleanOptions) (*CleanResult, error) {
 	return repair.Clean(rel, ont, sigma, opts)
+}
+
+// CleanContext is Clean with cooperative cancellation: a cancelled run
+// returns the phases completed so far as a well-formed partial result plus
+// an error satisfying errors.Is(err, ctx.Err()).
+func CleanContext(ctx context.Context, rel *Relation, ont *Ontology, sigma Set, opts CleanOptions) (*CleanResult, error) {
+	return repair.CleanContext(ctx, rel, ont, sigma, opts)
 }
 
 // RepairSigma proposes minimal antecedent augmentations for the violated

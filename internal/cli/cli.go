@@ -1,0 +1,59 @@
+// Package cli holds the execution-context conventions shared by the
+// command-line tools: every long-running command derives its context from
+// Context (SIGINT/SIGTERM cancellation plus an optional -timeout), prints
+// whatever partial result the engines returned, renders the per-stage
+// execution table, and exits with ExitInterrupted — so scripted callers
+// can distinguish "interrupted but well-formed partial output" (exit 3)
+// from hard failures (exit 1) and flag errors (exit 2).
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/fastofd/fastofd/internal/exec"
+)
+
+// ExitInterrupted is the exit status after a SIGINT/SIGTERM or -timeout
+// interruption: the command printed a well-formed partial result before
+// exiting.
+const ExitInterrupted = 3
+
+// Context returns the root context for a command run: cancelled on SIGINT
+// or SIGTERM, and additionally deadline-bound when timeout > 0. The
+// returned stop function releases the signal registration (and timer); a
+// second SIGINT after cancellation kills the process with the default
+// handler, so a wedged run can still be terminated.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}
+
+// Interrupted reports whether err stems from context cancellation — the
+// engines wrap context.Canceled / context.DeadlineExceeded, so errors.Is
+// sees through the exec-layer wrapping.
+func Interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ExitInterruptedWith reports an interrupted run on stderr — the cause and
+// the per-stage execution table (never nil-prints; an empty registry
+// renders a placeholder) — and exits with ExitInterrupted. The caller
+// prints its partial result first.
+func ExitInterruptedWith(name string, err error, stats *exec.Stats) {
+	fmt.Fprintf(os.Stderr, "%s: interrupted: %v\n", name, err)
+	fmt.Fprint(os.Stderr, stats.Table())
+	os.Exit(ExitInterrupted)
+}

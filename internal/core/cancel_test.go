@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+)
+
+func TestDetectContextCancelled(t *testing.T) {
+	rel, ont := table3(t)
+	sigma := Set{
+		MustParse(rel.Schema(), "CC -> CTRY"),
+		MustParse(rel.Schema(), "SYMP, DIAG -> MED"),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := DetectContext(ctx, rel, ont, sigma, 2, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rep == nil {
+		t.Fatal("cancelled Detect must return a non-nil (partial) report")
+	}
+	sorted := sort.SliceIsSorted(rep.Violations, func(i, j int) bool {
+		a, b := rep.Violations[i], rep.Violations[j]
+		if a.OFD != b.OFD {
+			if a.OFD.RHS != b.OFD.RHS {
+				return a.OFD.RHS < b.OFD.RHS
+			}
+			return a.OFD.LHS < b.OFD.LHS
+		}
+		return a.Tuples[0] < b.Tuples[0]
+	})
+	if !sorted {
+		t.Fatal("partial report must still be canonically sorted")
+	}
+}
+
+func TestNewMonitorContextCancelled(t *testing.T) {
+	rel, ont := table3(t)
+	sigma := Set{
+		MustParse(rel.Schema(), "CC -> CTRY"),
+		MustParse(rel.Schema(), "SYMP, DIAG -> MED"),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := NewMonitorContext(ctx, rel, ont, sigma)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if m != nil {
+		t.Fatal("a partially indexed monitor must not be returned")
+	}
+}

@@ -1,11 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -65,14 +66,42 @@ func Detect(rel *relation.Relation, ont *ontology.Ontology, sigma Set) *Report {
 // up to workers goroutines (0 selects runtime.NumCPU()). The report is
 // identical for every worker count; only the cache warm-up parallelizes.
 func DetectWorkers(rel *relation.Relation, ont *ontology.Ontology, sigma Set, workers int) *Report {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	v := NewVerifier(rel, ont, relation.NewPartitionCacheParallel(rel, workers))
+	rep, _ := DetectContext(context.Background(), rel, ont, sigma, workers, nil)
+	return rep
+}
+
+// DetectContext is DetectWorkers with cooperative cancellation and optional
+// per-stage observability. Cancellation is checked between the dependencies
+// of Σ; a cancelled run returns the sorted violations of the dependencies
+// examined so far plus an error satisfying errors.Is(err, ctx.Err()).
+// stats, when non-nil, receives a "detect.verify" span.
+func DetectContext(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, sigma Set, workers int, stats *exec.Stats) (*Report, error) {
+	workers = exec.Workers(workers)
+	span := stats.Span("detect.verify")
+	span.Workers(workers)
+	span.Items(len(sigma))
+	defer span.End()
+	pc, err := relation.NewPartitionCacheContext(ctx, rel, workers)
+	v := NewVerifier(rel, ont, pc)
 	rep := &Report{}
 	flagged := make(map[int]struct{})
 	fdOnly := make(map[int]struct{})
+	finish := func() {
+		rep.TuplesFlagged = len(flagged)
+		rep.FDOnlyFlagged = len(fdOnly)
+		sortViolations(rep.Violations)
+		st := pc.Stats()
+		span.Cache(st.Hits, st.Misses)
+	}
+	if err != nil {
+		finish()
+		return rep, err
+	}
 	for _, d := range sigma {
+		if err := exec.Interrupted(ctx, "detect"); err != nil {
+			finish()
+			return rep, err
+		}
 		p := v.pc.Get(d.LHS)
 		for i := 0; i < p.NumClasses(); i++ {
 			class := p.Class(i)
@@ -97,10 +126,15 @@ func DetectWorkers(rel *relation.Relation, ont *ontology.Ontology, sigma Set, wo
 			}
 		}
 	}
-	rep.TuplesFlagged = len(flagged)
-	rep.FDOnlyFlagged = len(fdOnly)
-	sort.Slice(rep.Violations, func(i, j int) bool {
-		a, b := rep.Violations[i], rep.Violations[j]
+	finish()
+	return rep, nil
+}
+
+// sortViolations orders a report canonically: by consequent, antecedent,
+// then first tuple id.
+func sortViolations(violations []Violation) {
+	sort.Slice(violations, func(i, j int) bool {
+		a, b := violations[i], violations[j]
 		if a.OFD != b.OFD {
 			if a.OFD.RHS != b.OFD.RHS {
 				return a.OFD.RHS < b.OFD.RHS
@@ -109,7 +143,6 @@ func DetectWorkers(rel *relation.Relation, ont *ontology.Ontology, sigma Set, wo
 		}
 		return a.Tuples[0] < b.Tuples[0]
 	})
-	return rep
 }
 
 // explain builds the Violation record for one violating class.

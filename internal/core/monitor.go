@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -34,6 +36,14 @@ type Monitor struct {
 // NewMonitor builds a monitor over the instance and Σ, computing the
 // initial violation state.
 func NewMonitor(rel *relation.Relation, ont *ontology.Ontology, sigma Set) (*Monitor, error) {
+	return NewMonitorContext(context.Background(), rel, ont, sigma)
+}
+
+// NewMonitorContext is NewMonitor with cooperative cancellation: the index
+// build stops between dependencies. A cancelled build returns a nil
+// Monitor — a partially indexed monitor would report wrong violation
+// counts — together with an error satisfying errors.Is(err, ctx.Err()).
+func NewMonitorContext(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, sigma Set) (*Monitor, error) {
 	var lhs, rhs relation.AttrSet
 	for _, d := range sigma {
 		lhs = lhs.Union(d.LHS)
@@ -52,6 +62,9 @@ func NewMonitor(rel *relation.Relation, ont *ontology.Ontology, sigma Set) (*Mon
 		lhsAttrs:  lhs,
 	}
 	for i, d := range sigma {
+		if err := exec.Interrupted(ctx, "monitor rebuild"); err != nil {
+			return nil, err
+		}
 		p := m.v.Partitions().Get(d.LHS)
 		m.classes[i] = p.ClassViews()
 		idx := make([]int, rel.NumRows())

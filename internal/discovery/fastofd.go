@@ -7,9 +7,12 @@
 package discovery
 
 import (
+	"context"
+	"sort"
 	"time"
 
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -45,10 +48,20 @@ type Options struct {
 	// ModeInheritance; the paper's experiments use θ = 5).
 	Theta int
 	// Workers parallelizes candidate verification and partition products
-	// across goroutines. 0 or 1 runs serially; the output is identical
-	// for any worker count. Parallel verification requires
-	// PruneAugmentation (the ablation path reads evolving global state).
+	// across goroutines on the shared exec substrate. 0 selects NumCPU; 1
+	// runs serially; the output is byte-identical for any worker count.
+	// Constraint: candidate VERIFICATION parallelizes only when
+	// PruneAugmentation is on — the ablation path reads the evolving
+	// discovered set and must stay sequential. Partition products (the
+	// dominant cost) honor Workers in every configuration; when
+	// verification is forced sequential despite Workers > 1, the run
+	// records a note in its stage stats (Result.Stats) instead of
+	// silently ignoring the setting.
 	Workers int
+	// Stats, when non-nil, is the stage-stats registry the run reports
+	// into (per-level build/verify spans, cache hit rates, notes). When
+	// nil, Discover creates a private registry, exposed as Result.Stats.
+	Stats *exec.Stats
 }
 
 // Mode selects which ontological relationship candidate dependencies use.
@@ -77,12 +90,20 @@ type LevelStat struct {
 	Elapsed    time.Duration // wall time spent at this level
 }
 
-// Result is the output of a discovery run.
+// Result is the output of a discovery run. On a cancelled or timed-out
+// context it is a well-formed partial result: OFDs holds the (sorted)
+// dependencies verified before the interrupt, Levels the fully completed
+// levels, and the accompanying error wraps context.Canceled or
+// context.DeadlineExceeded.
 type Result struct {
 	OFDs              core.Set    // complete, minimal set of discovered OFDs
 	Levels            []LevelStat // per-level statistics
 	CandidatesChecked int         // total validity checks performed
 	Elapsed           time.Duration
+	// Stats is the run's per-stage observability registry (level build and
+	// verification spans, partition-cache hit rates, notes such as the
+	// sequential-verification fallback). Never nil.
+	Stats *exec.Stats
 }
 
 type node struct {
@@ -96,11 +117,11 @@ type discoverer struct {
 	rel      *relation.Relation
 	verifier *core.Verifier
 	opts     Options
+	pool     *exec.Pool
 	all      relation.AttrSet
 	sigma    core.Set
 	kappa    float64
 	result   *Result
-	prodBuf  relation.ProductBuffer
 	// prodBufs are per-worker product buffers, retained across lattice
 	// levels so probe arrays are allocated once per worker, not per level.
 	prodBufs []relation.ProductBuffer
@@ -108,31 +129,61 @@ type discoverer struct {
 
 // Discover runs FastOFD over the relation and ontology and returns the
 // complete, minimal set of synonym OFDs that hold (with support ≥ κ when
-// Options.MinSupport is set).
+// Options.MinSupport is set). It is DiscoverContext under a background
+// context, which cannot be interrupted, so the error is statically nil.
 func Discover(rel *relation.Relation, ont *ontology.Ontology, opts Options) *Result {
+	res, _ := DiscoverContext(context.Background(), rel, ont, opts)
+	return res
+}
+
+// DiscoverContext is Discover with cooperative cancellation: a cancelled or
+// deadline-exceeded ctx stops lattice traversal between nodes (verification)
+// and between partition products (level building), returning the partial
+// result accumulated so far — sorted OFDs, fully completed level stats —
+// together with an error wrapping the context error. For an uncancelled
+// run the result is byte-identical to Discover's for any worker count.
+func DiscoverContext(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, opts Options) (*Result, error) {
 	start := time.Now()
+	stats := opts.Stats
+	if stats == nil {
+		stats = exec.NewStats()
+	}
+	totalSpan := stats.Span("discover.total")
+	pool := exec.NewPool(opts.Workers, stats)
 	// Build the initial single-column partitions with the same worker
 	// count the traversal will use.
-	pc := relation.NewPartitionCacheParallel(rel, opts.Workers)
+	buildSpan := stats.Span("discover.partitions")
+	buildSpan.Workers(pool.Size())
+	pc, err := relation.NewPartitionCacheContext(ctx, rel, pool.Size())
+	buildSpan.Items(rel.NumCols())
+	buildSpan.End()
 	d := &discoverer{
 		rel:      rel,
 		verifier: core.NewVerifier(rel, ont, pc),
 		opts:     opts,
+		pool:     pool,
 		all:      rel.Schema().All(),
 		kappa:    opts.MinSupport,
-		result:   &Result{},
+		result:   &Result{Stats: stats},
 	}
 	if d.kappa <= 0 || d.kappa > 1 {
 		d.kappa = 1
 	}
-	d.run()
+	if err == nil {
+		err = d.run(ctx)
+	}
 	d.result.OFDs = d.sigma
 	d.result.OFDs.Sort()
 	d.result.Elapsed = time.Since(start)
-	return d.result
+	st := pc.Stats()
+	totalSpan.Cache(st.Hits, st.Misses)
+	totalSpan.Workers(pool.Size())
+	totalSpan.Items(d.result.CandidatesChecked)
+	totalSpan.End()
+	return d.result, err
 }
 
-func (d *discoverer) run() {
+func (d *discoverer) run(ctx context.Context) error {
 	n := d.rel.NumCols()
 	pc := d.verifier.Partitions()
 	// Level-1 candidates have LHS = ∅; the first verification computes and
@@ -155,21 +206,35 @@ func (d *discoverer) run() {
 		}
 		lvlStart := time.Now()
 		stat := LevelStat{Level: l, Nodes: len(level)}
-		if d.workers() > 1 {
-			d.computeOFDsParallel(level, &stat)
+		verifySpan := d.pool.Stats().Span("discover.verify")
+		verifySpan.Workers(d.verifyWorkers())
+		var err error
+		if d.verifyWorkers() > 1 {
+			err = d.computeOFDsParallel(ctx, level, &stat)
 		} else {
-			d.computeOFDs(level, &stat)
+			err = d.computeOFDs(ctx, level, &stat)
+		}
+		verifySpan.Items(stat.Candidates)
+		verifySpan.End()
+		if err != nil {
+			return err
 		}
 		// A level's cost includes building it (the partition products of
 		// calculateNextLevel) plus verifying its candidates.
 		stat.Elapsed = buildTime + time.Since(lvlStart)
 		d.result.Levels = append(d.result.Levels, stat)
 		buildStart = time.Now()
-		if d.workers() > 1 {
-			level = d.nextLevelParallel(level)
-		} else {
-			level = d.nextLevel(level)
+		buildSpan := d.pool.Stats().Span("discover.build")
+		buildSpan.Workers(d.pool.Size())
+		next, err := d.nextLevel(ctx, level)
+		if next != nil {
+			buildSpan.Items(len(next))
 		}
+		buildSpan.End()
+		if err != nil {
+			return err
+		}
+		level = next
 		buildTime = time.Since(buildStart)
 		// Level l+1 verification only touches partitions of sizes l and
 		// l+1; drop older levels (keep singles, the cache's rebuild base).
@@ -177,12 +242,24 @@ func (d *discoverer) run() {
 			pc.Evict(l - 1)
 		}
 	}
+	return nil
 }
 
-// computeOFDs implements Algorithm 4: intersect parent candidate sets, then
-// verify each non-trivial candidate (X \ A) → A with A ∈ X ∩ C⁺(X).
-func (d *discoverer) computeOFDs(level map[relation.AttrSet]*node, stat *LevelStat) {
+// computeOFDs implements Algorithm 4 sequentially: intersect parent
+// candidate sets, then verify each non-trivial candidate (X \ A) → A with
+// A ∈ X ∩ C⁺(X). The context is checked between nodes (the same work-item
+// granularity as the parallel path); on cancellation the level's
+// already-verified OFDs stay in Σ and the wrapped error is returned.
+func (d *discoverer) computeOFDs(ctx context.Context, level map[relation.AttrSet]*node, stat *LevelStat) error {
+	nodes := make([]*node, 0, len(level))
 	for _, nd := range level {
+		nodes = append(nodes, nd)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].attrs < nodes[j].attrs })
+	for _, nd := range nodes {
+		if err := exec.Interrupted(ctx, "discovery verification"); err != nil {
+			return err
+		}
 		x := nd.attrs
 		for _, a := range x.Attrs() {
 			candidate := core.OFD{LHS: x.Without(a), RHS: a}
@@ -207,6 +284,7 @@ func (d *discoverer) computeOFDs(level map[relation.AttrSet]*node, stat *LevelSt
 			}
 		}
 	}
+	return nil
 }
 
 // impliedByDiscovered reports whether some already-discovered Y → A with
@@ -250,72 +328,4 @@ func (d *discoverer) valid(c core.OFD, nd *node) bool {
 		return d.verifier.HoldsApprox(c, d.kappa)
 	}
 	return d.verifier.HoldsSyn(c)
-}
-
-// nextLevel implements Algorithm 3 (calculateNextLevel): join pairs of
-// l-sets sharing an (l−1)-prefix, keep joins whose every l-subset survived
-// at the current level, and compute partitions via the stripped product.
-func (d *discoverer) nextLevel(level map[relation.AttrSet]*node) map[relation.AttrSet]*node {
-	next := make(map[relation.AttrSet]*node)
-	// Group by prefix (set minus its largest attribute) — the paper's
-	// singleAttrDiffBlocks: two sets are in one block iff they share an
-	// (l−1)-subset and differ in exactly one attribute.
-	blocks := make(map[relation.AttrSet][]*node)
-	for _, nd := range level {
-		attrs := nd.attrs.Attrs()
-		prefix := nd.attrs.Without(attrs[len(attrs)-1])
-		blocks[prefix] = append(blocks[prefix], nd)
-	}
-	for _, block := range blocks {
-		for i := 0; i < len(block); i++ {
-			for j := i + 1; j < len(block); j++ {
-				x := block[i].attrs.Union(block[j].attrs)
-				if _, done := next[x]; done {
-					continue
-				}
-				// Apriori condition: every l-subset of X must be in L_l.
-				ok := true
-				for _, a := range x.Attrs() {
-					if _, in := level[x.Without(a)]; !in {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					continue
-				}
-				nd := &node{attrs: x, cplus: d.cplusOf(x, level)}
-				if d.opts.PruneAugmentation && nd.cplus.IsEmpty() {
-					// Node can contribute no candidate at any depth.
-					continue
-				}
-				superkeyParent := block[i].superkey || block[j].superkey
-				if d.opts.PruneKeys && superkeyParent {
-					// Supersets of keys stay keys; skip the product.
-					nd.superkey = true
-					nd.part = &relation.Partition{N: d.rel.NumRows(), Stripped: true}
-					d.verifier.Partitions().Put(x, nd.part)
-				} else {
-					nd.part = d.prodBuf.Product(block[i].part, block[j].part)
-					nd.superkey = nd.part.IsKeyOver()
-					d.verifier.Partitions().Put(x, nd.part)
-				}
-				next[x] = nd
-			}
-		}
-	}
-	return next
-}
-
-// cplusOf computes C⁺(X) = ∩_{A ∈ X} C⁺(X \ A) (Algorithm 4, line 2).
-func (d *discoverer) cplusOf(x relation.AttrSet, prev map[relation.AttrSet]*node) relation.AttrSet {
-	c := d.all
-	for _, a := range x.Attrs() {
-		parent, ok := prev[x.Without(a)]
-		if !ok {
-			return relation.EmptySet
-		}
-		c = c.Intersect(parent.cplus)
-	}
-	return c
 }

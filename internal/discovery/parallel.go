@@ -1,18 +1,26 @@
 package discovery
 
 import (
+	"context"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
-// workers returns the effective worker count for parallel phases.
-func (d *discoverer) workers() int {
-	if d.opts.Workers > 1 && d.opts.PruneAugmentation {
-		return d.opts.Workers
+// verifyWorkers returns the worker count for candidate verification.
+// Parallel verification requires PruneAugmentation: the ablation path
+// consults the evolving discovered set (impliedByDiscovered), which cannot
+// be read concurrently. The constraint is documented on Options.Workers and
+// logged once into the run's stage stats; partition products — the dominant
+// cost — honor Options.Workers in every configuration.
+func (d *discoverer) verifyWorkers() int {
+	if d.opts.PruneAugmentation {
+		return d.pool.Size()
+	}
+	if d.pool.Size() > 1 {
+		d.pool.Stats().Note("verification running sequentially: Workers=%d requested but PruneAugmentation is disabled (the ablation path reads the evolving discovered set); partition products still use %d workers", d.opts.Workers, d.pool.Size())
 	}
 	return 1
 }
@@ -30,12 +38,16 @@ func (d *discoverer) workerBufs(w int) []relation.ProductBuffer {
 // computeOFDsParallel is the multi-worker form of Algorithm 4: nodes are
 // verified concurrently (each node's candidate checks are independent once
 // C⁺ sets are fixed at node creation), then results are merged in a
-// deterministic order. Workers claim nodes through a shared atomic index —
-// work-stealing rather than static chunking — so one expensive node (a
-// wide partition with many classes to verify) cannot strand the rest of a
-// precomputed chunk behind it. Cache misses during verification are safe:
-// the partition cache is sharded and locked.
-func (d *discoverer) computeOFDsParallel(level map[relation.AttrSet]*node, stat *LevelStat) {
+// deterministic order. Workers claim nodes through the shared exec
+// substrate — work-stealing rather than static chunking — so one expensive
+// node (a wide partition with many classes to verify) cannot strand the
+// rest of a precomputed chunk behind it. Cache misses during verification
+// are safe: the partition cache is sharded and locked.
+//
+// A cancelled context stops the fan-out between nodes; the level's partial
+// verification results are discarded (Σ keeps only whole levels from this
+// path) and the wrapped context error is returned.
+func (d *discoverer) computeOFDsParallel(ctx context.Context, level map[relation.AttrSet]*node, stat *LevelStat) error {
 	nodes := make([]*node, 0, len(level))
 	for _, nd := range level {
 		nodes = append(nodes, nd)
@@ -47,35 +59,21 @@ func (d *discoverer) computeOFDsParallel(level map[relation.AttrSet]*node, stat 
 		valid   relation.AttrSet // consequents whose candidate held
 	}
 	results := make([]nodeResult, len(nodes))
-	w := d.workers()
-	if w > len(nodes) {
-		w = len(nodes)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(nodes) {
-					return
-				}
-				nd := nodes[i]
-				var res nodeResult
-				for _, a := range nd.attrs.Intersect(nd.cplus).Attrs() {
-					candidate := core.OFD{LHS: nd.attrs.Without(a), RHS: a}
-					res.checked++
-					if d.valid(candidate, nd) {
-						res.valid = res.valid.With(a)
-					}
-				}
-				results[i] = res
+	w := d.verifyWorkers()
+	if err := exec.For(ctx, len(nodes), w, func(_, i int) {
+		nd := nodes[i]
+		var res nodeResult
+		for _, a := range nd.attrs.Intersect(nd.cplus).Attrs() {
+			candidate := core.OFD{LHS: nd.attrs.Without(a), RHS: a}
+			res.checked++
+			if d.valid(candidate, nd) {
+				res.valid = res.valid.With(a)
 			}
-		}()
+		}
+		results[i] = res
+	}); err != nil {
+		return err
 	}
-	wg.Wait()
 
 	for i, nd := range nodes {
 		stat.Candidates += results[i].checked
@@ -86,14 +84,20 @@ func (d *discoverer) computeOFDsParallel(level map[relation.AttrSet]*node, stat 
 			nd.cplus = nd.cplus.Without(a)
 		}
 	}
+	return nil
 }
 
-// nextLevelParallel computes the next lattice level with partition products
-// distributed over workers. Candidate enumeration and map insertion stay
-// serial; only the products — the dominant cost — run concurrently, with
-// workers pulling jobs from a shared atomic index and each reusing its own
-// level-spanning ProductBuffer.
-func (d *discoverer) nextLevelParallel(level map[relation.AttrSet]*node) map[relation.AttrSet]*node {
+// nextLevel computes the next lattice level (Algorithm 3,
+// calculateNextLevel) with partition products distributed over the worker
+// pool. Candidate enumeration and map insertion stay serial; only the
+// products — the dominant cost — run concurrently, with workers pulling
+// jobs from the shared substrate and each reusing its own level-spanning
+// ProductBuffer. Unlike verification, the products are independent of the
+// discovered set, so they honor Options.Workers in every configuration
+// (including the PruneAugmentation ablation). A cancelled context stops
+// the product fan-out between jobs and surfaces the wrapped error; the
+// partially built level is discarded by the caller.
+func (d *discoverer) nextLevel(ctx context.Context, level map[relation.AttrSet]*node) (map[relation.AttrSet]*node, error) {
 	type job struct {
 		x    relation.AttrSet
 		a, b *node
@@ -151,37 +155,20 @@ func (d *discoverer) nextLevelParallel(level map[relation.AttrSet]*node) map[rel
 		}
 	}
 
-	w := d.workers()
-	if w > len(jobs) {
-		w = len(jobs)
-	}
-	if w < 1 {
-		w = 1
-	}
+	w := d.pool.Size()
 	bufs := d.workerBufs(w)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func(buf *relation.ProductBuffer) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				jb := jobs[i]
-				if jb.skipProduct {
-					jb.part = &relation.Partition{N: d.rel.NumRows(), Stripped: true}
-					continue
-				}
-				jb.part = buf.Product(jb.a.part, jb.b.part)
-			}
-		}(&bufs[k])
+	if err := exec.For(ctx, len(jobs), w, func(worker, i int) {
+		jb := jobs[i]
+		if jb.skipProduct {
+			jb.part = &relation.Partition{N: d.rel.NumRows(), Stripped: true}
+			return
+		}
+		jb.part = bufs[worker].Product(jb.a.part, jb.b.part)
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
-	next2 := make(map[relation.AttrSet]*node, len(jobs))
+	next := make(map[relation.AttrSet]*node, len(jobs))
 	pc := d.verifier.Partitions()
 	for _, jb := range jobs {
 		nd := &node{attrs: jb.x, cplus: jb.cplus, part: jb.part}
@@ -191,7 +178,7 @@ func (d *discoverer) nextLevelParallel(level map[relation.AttrSet]*node) map[rel
 			nd.superkey = jb.part.IsKeyOver()
 		}
 		pc.Put(jb.x, jb.part)
-		next2[jb.x] = nd
+		next[jb.x] = nd
 	}
-	return next2
+	return next, nil
 }

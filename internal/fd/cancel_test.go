@@ -1,0 +1,127 @@
+package fd
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/gen"
+)
+
+// cancelAfterPolls is a context.Context that cancels itself on its nth
+// Err() poll — a deterministic mid-run cancellation point, since the
+// algorithms poll between levels, clusters, and consequent slots.
+type cancelAfterPolls struct {
+	mu   sync.Mutex
+	left int
+	done chan struct{}
+}
+
+func newCancelAfterPolls(n int) *cancelAfterPolls {
+	return &cancelAfterPolls{left: n, done: make(chan struct{})}
+}
+
+func (c *cancelAfterPolls) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *cancelAfterPolls) Done() <-chan struct{}       { return c.done }
+func (c *cancelAfterPolls) Value(key any) any           { return nil }
+
+func (c *cancelAfterPolls) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	if c.left == 0 {
+		close(c.done)
+		return context.Canceled
+	}
+	return nil
+}
+
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestComputeEvidenceCancelled(t *testing.T) {
+	ds := gen.Clinical(300, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := runtime.NumGoroutine()
+	ev, err := ComputeEvidenceContext(ctx, ds.Rel, Options{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ev == nil {
+		t.Fatal("cancelled evidence computation must still return a non-nil Evidence")
+	}
+	waitGoroutines(t, before)
+}
+
+// TestBaselinesCancelPartial interrupts every FD algorithm at varying
+// depths. The contract: the error wraps context.Canceled, the result is
+// non-nil, every FD in the partial result is also in the full run's result
+// (whole-level / completed-slot semantics), and the worker pool does not
+// leak goroutines. Deadline-based cancellation must satisfy errors.Is with
+// context.DeadlineExceeded through the same wrapping.
+func TestBaselinesCancelPartial(t *testing.T) {
+	ds := gen.Clinical(250, 11)
+	for _, alg := range Algorithms() {
+		full, err := DiscoverOpts(alg, ds.Rel, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: full run failed: %v", alg, err)
+		}
+		inFull := make(map[core.OFD]bool, len(full.FDs))
+		for _, d := range full.FDs {
+			inFull[d] = true
+		}
+		for _, polls := range []int{1, 2, 4, 7} {
+			before := runtime.NumGoroutine()
+			res, err := DiscoverContext(newCancelAfterPolls(polls), alg, ds.Rel, Options{Workers: 4})
+			if err == nil {
+				if len(res.FDs) != len(full.FDs) {
+					t.Fatalf("%s polls=%d: uncancelled run differs from full run", alg, polls)
+				}
+				continue
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s polls=%d: want context.Canceled, got %v", alg, polls, err)
+			}
+			if res == nil {
+				t.Fatalf("%s polls=%d: cancelled discovery returned nil result", alg, polls)
+			}
+			for _, d := range res.FDs {
+				if !inFull[d] {
+					t.Fatalf("%s polls=%d: partial result contains %v, absent from the full run",
+						alg, polls, d.Format(ds.Rel.Schema()))
+				}
+			}
+			waitGoroutines(t, before)
+		}
+	}
+}
+
+func TestBaselineDeadlineExceeded(t *testing.T) {
+	ds := gen.Clinical(200, 11)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := DiscoverContext(ctx, TANE, ds.Rel, Options{Workers: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("expired deadline must still yield a non-nil result")
+	}
+}

@@ -1,7 +1,10 @@
 package fd
 
 import (
+	"context"
+
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
@@ -19,13 +22,32 @@ func DiscoverDepMiner(rel *relation.Relation) *Result {
 // and fan out over opts.Workers goroutines, merging in consequent order so
 // the output is byte-identical for any worker count.
 func DiscoverDepMinerOpts(rel *relation.Relation, opts Options) *Result {
+	res, _ := DiscoverDepMinerContext(context.Background(), rel, opts)
+	return res
+}
+
+// DiscoverDepMinerContext is DiscoverDepMinerOpts with cooperative
+// cancellation: evidence construction stops between clusters and the
+// transversal phase stops between consequents, returning the minimal FDs
+// of the completed consequents plus the wrapped context error. A run
+// cancelled during evidence construction returns no FDs — incomplete
+// agree sets would make the transversals unsound.
+func DiscoverDepMinerContext(ctx context.Context, rel *relation.Relation, opts Options) (*Result, error) {
 	nAttrs := rel.NumCols()
 	all := rel.Schema().All()
-	agree := ComputeEvidence(rel, opts).Sets()
+	ev, err := ComputeEvidenceContext(ctx, rel, opts)
+	if err != nil {
+		return &Result{Algorithm: DepMiner}, err
+	}
+	agree := ev.Sets()
 
-	workers := workerCount(opts.Workers)
+	workers := exec.Workers(opts.Workers)
+	span := opts.Stats.Span("fd.depminer")
+	span.Workers(workers)
+	span.Items(nAttrs)
+	defer span.End()
 	perRHS := make([]core.Set, nAttrs)
-	parallelFor(nAttrs, workers, func(_, a int) {
+	err = exec.For(ctx, nAttrs, workers, func(_, a int) {
 		// max(A): maximal agree sets not containing A.
 		var notA []relation.AttrSet
 		for _, s := range agree {
@@ -45,10 +67,6 @@ func DiscoverDepMinerOpts(rel *relation.Relation, opts Options) *Result {
 			perRHS[a] = append(perRHS[a], FD{LHS: lhs, RHS: a})
 		}
 	})
-	var sigma core.Set
-	for _, fds := range perRHS {
-		sigma = append(sigma, fds...)
-	}
-	sigma.Sort()
-	return &Result{Algorithm: DepMiner, FDs: sigma, RawCount: len(sigma)}
+	sigma := mergeSlots(perRHS)
+	return &Result{Algorithm: DepMiner, FDs: sigma, RawCount: len(sigma)}, err
 }

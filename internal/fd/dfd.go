@@ -1,9 +1,11 @@
 package fd
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
@@ -22,12 +24,22 @@ func DiscoverDFD(rel *relation.Relation) *Result {
 
 // DiscoverDFDOpts is DiscoverDFD with explicit options.
 func DiscoverDFDOpts(rel *relation.Relation, opts Options) *Result {
-	return dfdSeeded(rel, 1, opts)
+	res, _ := dfdSeeded(context.Background(), rel, 1, opts)
+	return res
+}
+
+// DiscoverDFDContext is DiscoverDFDOpts with cooperative cancellation: the
+// per-consequent walkers stop between consequents (each walker runs to
+// completion once started), returning the minimal FDs of the completed
+// consequents plus the wrapped context error.
+func DiscoverDFDContext(ctx context.Context, rel *relation.Relation, opts Options) (*Result, error) {
+	return dfdSeeded(ctx, rel, 1, opts)
 }
 
 // DiscoverDFDSeeded is DiscoverDFD with an explicit random seed.
 func DiscoverDFDSeeded(rel *relation.Relation, seed int64) *Result {
-	return dfdSeeded(rel, seed, DefaultOptions())
+	res, _ := dfdSeeded(context.Background(), rel, seed, DefaultOptions())
+	return res
 }
 
 // node classification states. unknown doubles as the empty-slot marker of
@@ -38,10 +50,17 @@ const (
 	nonDependency
 )
 
-func dfdSeeded(rel *relation.Relation, seed int64, opts Options) *Result {
+func dfdSeeded(ctx context.Context, rel *relation.Relation, seed int64, opts Options) (*Result, error) {
 	nAttrs := rel.NumCols()
-	workers := workerCount(opts.Workers)
-	pc := relation.NewPartitionCacheParallel(rel, workers)
+	workers := exec.Workers(opts.Workers)
+	span := opts.Stats.Span("fd.dfd")
+	span.Workers(workers)
+	span.Items(nAttrs)
+	defer span.End()
+	pc, err := relation.NewPartitionCacheContext(ctx, rel, workers)
+	if err != nil {
+		return &Result{Algorithm: DFD}, err
+	}
 	bufs := make([]relation.ProductBuffer, workers)
 	all := rel.Schema().All()
 
@@ -50,7 +69,7 @@ func dfdSeeded(rel *relation.Relation, seed int64, opts Options) *Result {
 	// fortiori the (exact) output, never depend on the worker count.
 	const golden = 0x9E3779B97F4A7C15
 	perRHS := make([][]relation.AttrSet, nAttrs)
-	parallelFor(nAttrs, workers, func(wk, a int) {
+	err = exec.For(ctx, nAttrs, workers, func(wk, a int) {
 		w := &dfdWalker{
 			pc:         pc,
 			buf:        &bufs[wk],
@@ -61,6 +80,8 @@ func dfdSeeded(rel *relation.Relation, seed int64, opts Options) *Result {
 		}
 		perRHS[a] = w.run()
 	})
+	// On cancellation, perRHS slots of completed consequents are exact and
+	// kept — the partial result is the minimal FDs of those consequents.
 	var sigma core.Set
 	for a, lhss := range perRHS {
 		for _, lhs := range lhss {
@@ -68,7 +89,7 @@ func dfdSeeded(rel *relation.Relation, seed int64, opts Options) *Result {
 		}
 	}
 	sigma.Sort()
-	return &Result{Algorithm: DFD, FDs: sigma, RawCount: len(sigma)}
+	return &Result{Algorithm: DFD, FDs: sigma, RawCount: len(sigma)}, err
 }
 
 // statusTable is a flat open-addressed (linear probing) map from AttrSet to

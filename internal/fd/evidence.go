@@ -1,8 +1,10 @@
 package fd
 
 import (
+	"context"
 	"sort"
 
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
@@ -109,19 +111,36 @@ type evCluster struct {
 // own exactly the pairs whose *first* agreeing column is c — each pair is
 // visited once by construction, with no global pair-dedup map.
 func ComputeEvidence(rel *relation.Relation, opts Options) *Evidence {
+	ev, _ := ComputeEvidenceContext(context.Background(), rel, opts)
+	return ev
+}
+
+// ComputeEvidenceContext is ComputeEvidence with cooperative cancellation:
+// a cancelled context stops the fan-out between clusters (in-flight
+// clusters finish) and returns the wrapped context error. The Evidence
+// returned on cancellation is incomplete — callers must treat it as
+// unusable for completeness-sensitive derivations — but is never nil.
+func ComputeEvidenceContext(ctx context.Context, rel *relation.Relation, opts Options) (*Evidence, error) {
 	n := rel.NumRows()
 	k := rel.NumCols()
 	ev := &Evidence{}
 	if n < 2 || k == 0 {
-		return ev
+		return ev, exec.Interrupted(ctx, "evidence")
 	}
-	workers := workerCount(opts.Workers)
+	workers := exec.Workers(opts.Workers)
 
 	// Stripped single-column partitions, built in parallel.
+	partSpan := opts.Stats.Span("evidence.partitions")
+	partSpan.Workers(workers)
+	partSpan.Items(k)
 	parts := make([]*relation.Partition, k)
-	parallelFor(k, workers, func(_, c int) {
+	err := exec.For(ctx, k, workers, func(_, c int) {
 		parts[c] = relation.SingleColumnPartition(rel, c).Strip()
 	})
+	partSpan.End()
+	if err != nil {
+		return ev, err
+	}
 
 	// cid matrix, row-major: cid[t*k+c] = class id of tuple t in Π*_c, or
 	// -1 when t is a stripped singleton of column c. Two -1 entries never
@@ -130,14 +149,16 @@ func ComputeEvidence(rel *relation.Relation, opts Options) *Evidence {
 	for i := range cid {
 		cid[i] = -1
 	}
-	parallelFor(k, workers, func(_, c int) {
+	if err := exec.For(ctx, k, workers, func(_, c int) {
 		p := parts[c]
 		for ci := 0; ci < p.NumClasses(); ci++ {
 			for _, t := range p.Class(ci) {
 				cid[int(t)*k+c] = int32(ci)
 			}
 		}
-	})
+	}); err != nil {
+		return ev, err
+	}
 
 	// Flatten all clusters into one work list; order is irrelevant for the
 	// output (canonical merge) but stable for reproducible scheduling.
@@ -148,9 +169,13 @@ func ComputeEvidence(rel *relation.Relation, opts Options) *Evidence {
 		}
 	}
 
+	clusterSpan := opts.Stats.Span("evidence.clusters")
+	clusterSpan.Workers(workers)
+	clusterSpan.Items(len(clusters))
+	defer clusterSpan.End()
 	accs := make([]agreeAccum, workers)
 	pairCounts := make([]int64, workers)
-	parallelFor(len(clusters), workers, func(w, i int) {
+	err = exec.For(ctx, len(clusters), workers, func(w, i int) {
 		cl := clusters[i]
 		c := cl.col
 		class := parts[c].Class(int(cl.class))
@@ -184,6 +209,9 @@ func ComputeEvidence(rel *relation.Relation, opts Options) *Evidence {
 		}
 		pairCounts[w] += pairs
 	})
+	if err != nil {
+		return ev, err
+	}
 
 	var total int64
 	sets := make([]relation.AttrSet, 0, 64)
@@ -200,5 +228,5 @@ func ComputeEvidence(rel *relation.Relation, opts Options) *Evidence {
 	// Every pair not owned by any cluster agrees on no attribute; the
 	// count is exact by construction, unlike a global-enumeration check.
 	ev.HasEmpty = total < int64(n)*int64(n-1)/2
-	return ev
+	return ev, nil
 }

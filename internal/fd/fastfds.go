@@ -1,9 +1,11 @@
 package fd
 
 import (
+	"context"
 	"sort"
 
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
@@ -21,19 +23,38 @@ func DiscoverFastFDs(rel *relation.Relation) *Result {
 // searches are independent and fan out over opts.Workers goroutines, merging
 // in consequent order so the output is byte-identical for any worker count.
 func DiscoverFastFDsOpts(rel *relation.Relation, opts Options) *Result {
+	res, _ := DiscoverFastFDsContext(context.Background(), rel, opts)
+	return res
+}
+
+// DiscoverFastFDsContext is DiscoverFastFDsOpts with cooperative
+// cancellation: evidence construction stops between clusters and the cover
+// searches stop between consequents, returning the minimal FDs of the
+// completed consequents plus the wrapped context error. A run cancelled
+// during evidence construction returns no FDs — incomplete difference
+// sets would make the covers unsound.
+func DiscoverFastFDsContext(ctx context.Context, rel *relation.Relation, opts Options) (*Result, error) {
 	nAttrs := rel.NumCols()
 	all := rel.Schema().All()
 
-	agree := ComputeEvidence(rel, opts).Sets()
+	ev, err := ComputeEvidenceContext(ctx, rel, opts)
+	if err != nil {
+		return &Result{Algorithm: FastFDs}, err
+	}
+	agree := ev.Sets()
 	diffs := make([]relation.AttrSet, len(agree))
 	for i, s := range agree {
 		diffs[i] = all.Minus(s)
 	}
 	relation.SortSets(diffs)
 
-	workers := workerCount(opts.Workers)
+	workers := exec.Workers(opts.Workers)
+	span := opts.Stats.Span("fd.fastfds")
+	span.Workers(workers)
+	span.Items(nAttrs)
+	defer span.End()
 	perRHS := make([]core.Set, nAttrs)
-	parallelFor(nAttrs, workers, func(_, a int) {
+	err = exec.For(ctx, nAttrs, workers, func(_, a int) {
 		// D_A: difference sets containing A, with A removed; keep only the
 		// minimal ones (a cover of a subset covers the superset).
 		var dA []relation.AttrSet
@@ -58,12 +79,8 @@ func DiscoverFastFDsOpts(rel *relation.Relation, opts Options) *Result {
 			perRHS[a] = append(perRHS[a], FD{LHS: lhs, RHS: a})
 		}
 	})
-	var sigma core.Set
-	for _, fds := range perRHS {
-		sigma = append(sigma, fds...)
-	}
-	sigma.Sort()
-	return &Result{Algorithm: FastFDs, FDs: sigma, RawCount: len(sigma)}
+	sigma := mergeSlots(perRHS)
+	return &Result{Algorithm: FastFDs, FDs: sigma, RawCount: len(sigma)}, err
 }
 
 func containsEmpty(sets []relation.AttrSet) bool {

@@ -16,9 +16,11 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
@@ -42,6 +44,10 @@ type Options struct {
 	// 0 selects runtime.NumCPU(); 1 forces the sequential path. The
 	// output is byte-identical for every value (canonical-order merges).
 	Workers int
+	// Stats, when non-nil, receives per-stage spans ("fd.tane",
+	// "evidence.clusters", …) recorded by the run. Nil disables
+	// instrumentation at zero cost (exec.Stats methods are nil-safe).
+	Stats *exec.Stats
 }
 
 // DefaultOptions returns the default configuration (Workers = NumCPU).
@@ -70,24 +76,48 @@ func Discover(name string, rel *relation.Relation) (*Result, error) {
 
 // DiscoverOpts runs the named algorithm with explicit options.
 func DiscoverOpts(name string, rel *relation.Relation, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), name, rel, opts)
+}
+
+// DiscoverContext runs the named algorithm under ctx. Cancellation is
+// cooperative at work-item granularity (between lattice-level products,
+// between evidence clusters, between per-consequent searches); a cancelled
+// run returns a well-formed partial Result — the sorted, minimal
+// dependencies established by the completed work — together with an error
+// satisfying errors.Is(err, ctx.Err()). The unknown-algorithm error keeps
+// a nil Result.
+func DiscoverContext(ctx context.Context, name string, rel *relation.Relation, opts Options) (*Result, error) {
 	switch name {
 	case TANE:
-		return DiscoverTANEOpts(rel, opts), nil
+		return DiscoverTANEContext(ctx, rel, opts)
 	case FUN:
-		return DiscoverFUNOpts(rel, opts), nil
+		return DiscoverFUNContext(ctx, rel, opts)
 	case FDMine:
-		return DiscoverFDMineOpts(rel, opts), nil
+		return DiscoverFDMineContext(ctx, rel, opts)
 	case DFD:
-		return DiscoverDFDOpts(rel, opts), nil
+		return DiscoverDFDContext(ctx, rel, opts)
 	case DepMiner:
-		return DiscoverDepMinerOpts(rel, opts), nil
+		return DiscoverDepMinerContext(ctx, rel, opts)
 	case FastFDs:
-		return DiscoverFastFDsOpts(rel, opts), nil
+		return DiscoverFastFDsContext(ctx, rel, opts)
 	case FDep:
-		return DiscoverFDepOpts(rel, opts), nil
+		return DiscoverFDepContext(ctx, rel, opts)
 	default:
 		return nil, fmt.Errorf("fd: unknown algorithm %q", name)
 	}
+}
+
+// mergeSlots folds per-slot partial outputs (one slot per consequent or
+// node, written only when that slot's work item completed) into one sorted
+// set — the merge every baseline uses so output order never depends on the
+// worker schedule. On a cancelled run the unwritten slots are simply empty.
+func mergeSlots(slots []core.Set) core.Set {
+	var sigma core.Set
+	for _, fds := range slots {
+		sigma = append(sigma, fds...)
+	}
+	sigma.Sort()
+	return sigma
 }
 
 // holdsFD reports whether X → A holds using stripped partitions:

@@ -1,7 +1,10 @@
 package fd
 
 import (
+	"context"
+
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
@@ -21,16 +24,35 @@ func DiscoverFDep(rel *relation.Relation) *Result {
 // goroutines, merging in consequent order so the output is byte-identical
 // for any worker count.
 func DiscoverFDepOpts(rel *relation.Relation, opts Options) *Result {
+	res, _ := DiscoverFDepContext(context.Background(), rel, opts)
+	return res
+}
+
+// DiscoverFDepContext is DiscoverFDepOpts with cooperative cancellation:
+// evidence construction stops between clusters and the specialization
+// chains stop between consequents, returning the minimal FDs of the
+// completed consequents plus the wrapped context error. A run cancelled
+// during evidence construction returns no FDs — an incomplete negative
+// cover would make the specializations unsound.
+func DiscoverFDepContext(ctx context.Context, rel *relation.Relation, opts Options) (*Result, error) {
 	nAttrs := rel.NumCols()
 
 	// Negative cover: for each consequent A, the maximal agree sets of
 	// pairs that disagree on A. A candidate X → A is violated iff X fits
 	// inside one of those agree sets.
-	agree := ComputeEvidence(rel, opts).Sets()
+	ev, err := ComputeEvidenceContext(ctx, rel, opts)
+	if err != nil {
+		return &Result{Algorithm: FDep}, err
+	}
+	agree := ev.Sets()
 
-	workers := workerCount(opts.Workers)
+	workers := exec.Workers(opts.Workers)
+	span := opts.Stats.Span("fd.fdep")
+	span.Workers(workers)
+	span.Items(nAttrs)
+	defer span.End()
 	perRHS := make([]core.Set, nAttrs)
-	parallelFor(nAttrs, workers, func(_, a int) {
+	err = exec.For(ctx, nAttrs, workers, func(_, a int) {
 		var witnesses []relation.AttrSet
 		for _, s := range agree {
 			if !s.Has(a) {
@@ -64,10 +86,6 @@ func DiscoverFDepOpts(rel *relation.Relation, opts Options) *Result {
 			perRHS[a] = append(perRHS[a], FD{LHS: x, RHS: a})
 		}
 	})
-	var sigma core.Set
-	for _, fds := range perRHS {
-		sigma = append(sigma, fds...)
-	}
-	sigma.Sort()
-	return &Result{Algorithm: FDep, FDs: sigma, RawCount: len(sigma)}
+	sigma := mergeSlots(perRHS)
+	return &Result{Algorithm: FDep, FDs: sigma, RawCount: len(sigma)}, err
 }

@@ -1,9 +1,11 @@
 package fd
 
 import (
+	"context"
 	"sort"
 
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
@@ -23,10 +25,25 @@ func DiscoverFDMine(rel *relation.Relation) *Result {
 // ProductBuffers threaded into the cache probes, and raw FDs merge back in
 // node order so the output is byte-identical for any worker count.
 func DiscoverFDMineOpts(rel *relation.Relation, opts Options) *Result {
+	res, _ := DiscoverFDMineContext(context.Background(), rel, opts)
+	return res
+}
+
+// DiscoverFDMineContext is DiscoverFDMineOpts with cooperative
+// cancellation: the traversal stops between levels and between per-node
+// closure computations, returning the minimized dependencies from
+// completed levels plus the wrapped context error.
+func DiscoverFDMineContext(ctx context.Context, rel *relation.Relation, opts Options) (*Result, error) {
 	nAttrs := rel.NumCols()
 	all := rel.Schema().All()
-	workers := workerCount(opts.Workers)
-	pc := relation.NewPartitionCacheParallel(rel, workers)
+	workers := exec.Workers(opts.Workers)
+	span := opts.Stats.Span("fd.fdmine")
+	span.Workers(workers)
+	defer span.End()
+	pc, err := relation.NewPartitionCacheContext(ctx, rel, workers)
+	if err != nil {
+		return &Result{Algorithm: FDMine}, err
+	}
 	bufs := make([]relation.ProductBuffer, workers)
 
 	var raw core.Set
@@ -58,7 +75,8 @@ func DiscoverFDMineOpts(rel *relation.Relation, opts Options) *Result {
 		// yet in closure(X), test X → A by partition error. Independent per
 		// node; found FDs land in per-node slots and merge in node order.
 		found := make([]core.Set, len(level))
-		parallelFor(len(level), workers, func(w, i int) {
+		span.Items(len(level))
+		err := exec.For(ctx, len(level), workers, func(w, i int) {
 			nd := &level[i]
 			cl := nd.closure
 			for a := 0; a < nAttrs; a++ {
@@ -72,6 +90,11 @@ func DiscoverFDMineOpts(rel *relation.Relation, opts Options) *Result {
 			}
 			nd.closure = cl
 		})
+		if err != nil {
+			// The interrupted level's partial closure slots are discarded;
+			// raw holds only dependencies from fully closed levels.
+			return &Result{Algorithm: FDMine, FDs: minimize(raw), RawCount: len(raw)}, err
+		}
 		for _, fs := range found {
 			raw = append(raw, fs...)
 		}
@@ -122,5 +145,5 @@ func DiscoverFDMineOpts(rel *relation.Relation, opts Options) *Result {
 		level = dedup
 	}
 
-	return &Result{Algorithm: FDMine, FDs: minimize(raw), RawCount: len(raw)}
+	return &Result{Algorithm: FDMine, FDs: minimize(raw), RawCount: len(raw)}, nil
 }

@@ -1,9 +1,11 @@
 package fd
 
 import (
+	"context"
 	"sort"
 
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
@@ -38,10 +40,25 @@ func DiscoverFUN(rel *relation.Relation) *Result {
 // every proper subset of a candidate was itself a candidate one level
 // earlier and its cardinality is one binary search away.
 func DiscoverFUNOpts(rel *relation.Relation, opts Options) *Result {
+	res, _ := DiscoverFUNContext(context.Background(), rel, opts)
+	return res
+}
+
+// DiscoverFUNContext is DiscoverFUNOpts with cooperative cancellation: the
+// free-set traversal stops between levels and between candidate-partition
+// products, returning the minimal FDs from completed levels plus the
+// wrapped context error.
+func DiscoverFUNContext(ctx context.Context, rel *relation.Relation, opts Options) (*Result, error) {
 	nAttrs := rel.NumCols()
 	nRows := rel.NumRows()
-	workers := workerCount(opts.Workers)
-	pc := relation.NewPartitionCacheParallel(rel, workers)
+	workers := exec.Workers(opts.Workers)
+	span := opts.Stats.Span("fd.fun")
+	span.Workers(workers)
+	defer span.End()
+	pc, err := relation.NewPartitionCacheContext(ctx, rel, workers)
+	if err != nil {
+		return &Result{Algorithm: FUN}, err
+	}
 	bufs := make([]relation.ProductBuffer, workers)
 
 	// card(X) = |Π_X| from the stripped partition: stripped classes plus
@@ -104,11 +121,16 @@ func DiscoverFUNOpts(rel *relation.Relation, opts Options) *Result {
 			}
 		}
 		cands = cands[:keep]
-		parallelFor(len(cands), workers, func(w, i int) {
+		span.Items(len(cands))
+		if err := exec.For(ctx, len(cands), workers, func(w, i int) {
 			c := &cands[i]
 			c.part = bufs[w].Product(level[c.parent].part, singles[c.added])
 			c.card = cardOf(c.part)
-		})
+		}); err != nil {
+			// The interrupted level's partial products are discarded; sigma
+			// holds only dependencies from fully examined levels.
+			return &Result{Algorithm: FUN, FDs: minimize(sigma)}, err
+		}
 		// Free check + FD emission, sequential in sorted candidate order.
 		curCards := make([]setCard, len(cands))
 		var next []funNode
@@ -142,5 +164,5 @@ func DiscoverFUNOpts(rel *relation.Relation, opts Options) *Result {
 
 	raw := len(sigma)
 	sigma = minimize(sigma)
-	return &Result{Algorithm: FUN, FDs: sigma, RawCount: raw}
+	return &Result{Algorithm: FUN, FDs: sigma, RawCount: raw}, nil
 }

@@ -1,9 +1,11 @@
 package fd
 
 import (
+	"context"
 	"sort"
 
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
@@ -40,12 +42,27 @@ func DiscoverTANE(rel *relation.Relation) *Result {
 // goroutines with retained per-worker ProductBuffers, writing into
 // per-candidate slots so the result is byte-identical for any worker count.
 func DiscoverTANEOpts(rel *relation.Relation, opts Options) *Result {
+	res, _ := DiscoverTANEContext(context.Background(), rel, opts)
+	return res
+}
+
+// DiscoverTANEContext is DiscoverTANEOpts with cooperative cancellation:
+// the lattice traversal stops between levels and between partition-product
+// jobs, returning the minimal FDs established by completed levels plus the
+// wrapped context error.
+func DiscoverTANEContext(ctx context.Context, rel *relation.Relation, opts Options) (*Result, error) {
 	n := rel.NumCols()
 	all := rel.Schema().All()
-	workers := workerCount(opts.Workers)
-	pc := relation.NewPartitionCacheParallel(rel, workers)
+	workers := exec.Workers(opts.Workers)
+	span := opts.Stats.Span("fd.tane")
+	span.Workers(workers)
+	defer span.End()
+	pc, err := relation.NewPartitionCacheContext(ctx, rel, workers)
 	bufs := make([]relation.ProductBuffer, workers)
 	var sigma core.Set
+	if err != nil {
+		return &Result{Algorithm: TANE, FDs: sigma}, err
+	}
 
 	emptyErr := pc.Get(relation.EmptySet).Error()
 
@@ -61,6 +78,9 @@ func DiscoverTANEOpts(rel *relation.Relation, opts Options) *Result {
 	var prev taneLevel
 
 	for len(level) > 0 {
+		if err := exec.Interrupted(ctx, "tane level"); err != nil {
+			return &Result{Algorithm: TANE, FDs: minimize(sigma)}, err
+		}
 		// computeDependencies
 		for i := range level {
 			nd := &level[i]
@@ -173,14 +193,19 @@ func DiscoverTANEOpts(rel *relation.Relation, opts Options) *Result {
 		}
 		sort.Slice(cands, func(i, j int) bool { return cands[i].attrs < cands[j].attrs })
 		next := make(taneLevel, len(cands))
-		parallelFor(len(cands), workers, func(w, i int) {
+		span.Items(len(cands))
+		if err := exec.For(ctx, len(cands), workers, func(w, i int) {
 			c := cands[i]
 			p := bufs[w].Product(pruned[c.pi].part, pruned[c.pj].part)
 			next[i] = taneNode{attrs: c.attrs, cplus: c.cplus, part: p}
-		})
+		}); err != nil {
+			// Partial next-level slots are discarded; sigma holds only
+			// dependencies from fully verified levels.
+			return &Result{Algorithm: TANE, FDs: minimize(sigma)}, err
+		}
 		prev = append(taneLevel(nil), pruned...)
 		level = next
 	}
 	sigma = minimize(sigma)
-	return &Result{Algorithm: TANE, FDs: sigma, RawCount: len(sigma)}
+	return &Result{Algorithm: TANE, FDs: sigma, RawCount: len(sigma)}, nil
 }

@@ -5,9 +5,11 @@
 package profile
 
 import (
+	"context"
 	"math"
 	"sort"
 
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -51,11 +53,22 @@ const TopK = 10
 
 // Relation profiles every column of rel; ont may be nil.
 func Relation(rel *relation.Relation, ont *ontology.Ontology) *Profile {
+	p, _ := RelationContext(context.Background(), rel, ont)
+	return p
+}
+
+// RelationContext is Relation with cooperative cancellation: profiling
+// stops between columns, returning the columns profiled so far (later
+// columns zero-valued) plus the wrapped context error.
+func RelationContext(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology) (*Profile, error) {
 	p := &Profile{Rows: rel.NumRows(), Columns: make([]Column, rel.NumCols())}
 	for c := 0; c < rel.NumCols(); c++ {
+		if err := exec.Interrupted(ctx, "profile"); err != nil {
+			return p, err
+		}
 		p.Columns[c] = column(rel, ont, c)
 	}
-	return p
+	return p, nil
 }
 
 func column(rel *relation.Relation, ont *ontology.Ontology, c int) Column {

@@ -1,8 +1,11 @@
 package relation
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+
+	"github.com/fastofd/fastofd/internal/exec"
 )
 
 // cacheShardCount is the number of independently locked shards of a
@@ -46,6 +49,12 @@ type CacheStats struct {
 	Bytes   int64  // approximate payload bytes of cached partitions
 }
 
+// Since returns the hit/miss deltas between two snapshots, the quantity
+// engines feed into their per-stage exec.Stats spans.
+func (s CacheStats) Since(prev CacheStats) (hits, misses uint64) {
+	return s.Hits - prev.Hits, s.Misses - prev.Misses
+}
+
 // partitionBytes approximates the heap payload of one cached partition.
 func partitionBytes(p *Partition) int64 {
 	return int64(4 * (len(p.Tuples) + len(p.Offsets)))
@@ -70,8 +79,19 @@ func NewPartitionCache(r *Relation) *PartitionCache {
 }
 
 // NewPartitionCacheParallel is NewPartitionCache with the single-attribute
-// partition construction spread over up to workers goroutines.
+// partition construction spread over up to workers goroutines (on the
+// shared exec substrate rather than a private pool).
 func NewPartitionCacheParallel(r *Relation, workers int) *PartitionCache {
+	pc, _ := NewPartitionCacheContext(context.Background(), r, workers)
+	return pc
+}
+
+// NewPartitionCacheContext is NewPartitionCacheParallel with cooperative
+// cancellation: a cancelled context stops the single-column builds between
+// columns and returns the wrapped context error. The cache returned on
+// cancellation is still safe to use — columns not yet built are simply not
+// pre-warmed and will be computed on first Get.
+func NewPartitionCacheContext(ctx context.Context, r *Relation, workers int) (*PartitionCache, error) {
 	pc := &PartitionCache{r: r}
 	for i := range pc.shards {
 		pc.shards[i].m = make(map[AttrSet]*Partition)
@@ -79,35 +99,15 @@ func NewPartitionCacheParallel(r *Relation, workers int) *PartitionCache {
 	}
 	nCols := r.NumCols()
 	parts := make([]*Partition, nCols)
-	if workers > nCols {
-		workers = nCols
-	}
-	if workers > 1 {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					c := int(next.Add(1)) - 1
-					if c >= nCols {
-						return
-					}
-					parts[c] = SingleColumnPartition(r, c).Strip()
-				}
-			}()
-		}
-		wg.Wait()
-	} else {
-		for c := 0; c < nCols; c++ {
-			parts[c] = SingleColumnPartition(r, c).Strip()
-		}
-	}
+	err := exec.For(ctx, nCols, exec.Workers(workers), func(_, c int) {
+		parts[c] = SingleColumnPartition(r, c).Strip()
+	})
 	for c, p := range parts {
-		pc.store(Single(c), p)
+		if p != nil {
+			pc.store(Single(c), p)
+		}
 	}
-	return pc
+	return pc, err
 }
 
 // Relation returns the underlying relation.

@@ -1,0 +1,109 @@
+package repair
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fastofd/fastofd/internal/gen"
+)
+
+// cancelAfterPolls is a context.Context that cancels itself on its nth
+// Err() poll — a deterministic cancellation point mid-pipeline, since the
+// repair stages poll between classes, beam levels, and components.
+type cancelAfterPolls struct {
+	mu   sync.Mutex
+	left int
+	done chan struct{}
+}
+
+func newCancelAfterPolls(n int) *cancelAfterPolls {
+	return &cancelAfterPolls{left: n, done: make(chan struct{})}
+}
+
+func (c *cancelAfterPolls) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *cancelAfterPolls) Done() <-chan struct{}       { return c.done }
+func (c *cancelAfterPolls) Value(key any) any           { return nil }
+
+func (c *cancelAfterPolls) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	if c.left == 0 {
+		close(c.done)
+		return context.Canceled
+	}
+	return nil
+}
+
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestCleanPreCancelled(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 300, Seed: 5, ErrRate: 0.06, IncRate: 0.04, NumOFDs: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := CleanContext(ctx, ds.Rel, ds.Ont, ds.Sigma, Options{Theta: 5, Beam: 3, Tau: 1, Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil || res.Instance == nil || res.Ontology == nil {
+		t.Fatalf("cancelled Clean must return a usable (unrepaired) instance and ontology, got %+v", res)
+	}
+	if res.Best != nil {
+		t.Fatal("a cancelled Clean must not claim a chosen repair")
+	}
+}
+
+// TestCleanCancelMidPipeline interrupts the repair pipeline at varying
+// depths — sense assignment, dependency graph, beam search, or
+// materialization, depending on the countdown — and checks the contract:
+// the error wraps context.Canceled, Instance and Ontology are always
+// non-nil (falling back to clones of the input), Best is never set from
+// under-counted repair distances, and the worker pool leaks no goroutines.
+func TestCleanCancelMidPipeline(t *testing.T) {
+	ds := gen.Generate(gen.Config{Rows: 400, Seed: 9, ErrRate: 0.06, IncRate: 0.04, NumOFDs: 5})
+	opts := Options{Theta: 5, Beam: 3, Tau: 1, Workers: 4}
+	full, err := Clean(ds.Rel, ds.Ont, ds.Sigma, opts)
+	if err != nil {
+		t.Fatalf("full run failed: %v", err)
+	}
+	for _, polls := range []int{1, 2, 3, 5, 9, 16} {
+		before := runtime.NumGoroutine()
+		res, err := CleanContext(newCancelAfterPolls(polls), ds.Rel, ds.Ont, ds.Sigma, opts)
+		if err == nil {
+			if res.Best == nil && full.Best != nil {
+				t.Fatalf("polls=%d: uncancelled run lost the chosen repair", polls)
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("polls=%d: want context.Canceled, got %v", polls, err)
+		}
+		if res == nil || res.Instance == nil || res.Ontology == nil {
+			t.Fatalf("polls=%d: cancelled Clean returned malformed result", polls)
+		}
+		if res.Best != nil {
+			t.Fatalf("polls=%d: cancelled Clean must not choose a repair", polls)
+		}
+		if res.Instance.NumRows() != ds.Rel.NumRows() {
+			t.Fatalf("polls=%d: partial instance has wrong shape", polls)
+		}
+		waitGoroutines(t, before)
+	}
+}

@@ -1,13 +1,14 @@
 package repair
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -54,6 +55,10 @@ type Options struct {
 	// dynamic per-call ontology walks and full per-level data repair.
 	// Ablation/benchmark baseline only; results are unchanged either way.
 	NoCoverageIndex bool
+	// Stats, when non-nil, receives per-stage spans ("clean.assign",
+	// "clean.beam", "clean.materialize", …) recorded by the run. Nil
+	// disables instrumentation (exec.Stats methods are nil-safe).
+	Stats *exec.Stats
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -106,6 +111,19 @@ type Result struct {
 // and τ-constrained data repair, returning a Pareto-optimal set of repairs
 // and the applied best repair. The inputs are not modified.
 func Clean(rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts Options) (*Result, error) {
+	return CleanContext(context.Background(), rel, ont, sigma, opts)
+}
+
+// CleanContext is Clean with cooperative cancellation. Cancellation is
+// checked at work-item granularity — between dependency-graph pairs,
+// between beam-search levels, between materializations, and between data-
+// repair components — so a cancelled run returns within one work item. The
+// partial Result is well-formed for the phases that completed: Assignment
+// and the counters are set once sense assignment finished, Pareto/Best
+// cover the levels materialized before the cancel, and Instance/Ontology
+// are never nil (the unrepaired clones when no repair was chosen). The
+// error satisfies errors.Is(err, ctx.Err()).
+func CleanContext(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts Options) (*Result, error) {
 	if err := validateSigma(rel, sigma); err != nil {
 		return nil, err
 	}
@@ -121,34 +139,52 @@ func Clean(rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts 
 	if opts.MaterializeLimit <= 0 {
 		opts.MaterializeLimit = 16
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
+	workers := exec.Workers(opts.Workers)
 	res := &Result{Workers: workers}
+	// fail finalizes a cancelled run: whatever phases completed stay in
+	// res, and the applied instance/ontology fall back to clones of the
+	// inputs so the partial result upholds Clean's non-nil guarantees.
+	fail := func(err error) (*Result, error) {
+		if res.Instance == nil {
+			res.Instance, res.Ontology = rel.Clone(), ont.Clone()
+		}
+		return res, err
+	}
 
 	// --- Sense assignment (Algorithm 7).
 	assignStart := time.Now()
+	assignSpan := opts.Stats.Span("clean.assign")
+	assignSpan.Workers(workers)
 	cov := coverage{ont: ont, theta: opts.IsATheta}
 	if !opts.NoCoverageIndex {
 		cov.idx = buildCovIndex(rel, ont, opts.IsATheta, sigma.ConsequentAttrs())
 	}
 	pc := relation.NewPartitionCache(rel)
 	classes := classesOf(rel, sigma, pc)
+	assignSpan.Items(len(classes))
 	assignment := assignInitial(rel, cov, classes)
-	g := buildDepGraph(rel, cov, classes, workers)
+	g, err := buildDepGraph(ctx, rel, cov, classes, workers)
+	if err != nil {
+		assignSpan.End()
+		return fail(err)
+	}
 	if !opts.SkipRefinement {
 		refineStart := time.Now()
+		refineSpan := opts.Stats.Span("clean.refine")
 		localRefinement(rel, cov, g, opts.Theta, opts.OntWeight, assignment)
+		refineSpan.End()
 		res.RefineElapsed = time.Since(refineStart)
 	}
 	res.Assignment = assignment
 	res.ClassCount = len(classes)
 	res.EdgeCount = len(g.edges)
 	res.AssignElapsed = time.Since(assignStart)
+	assignSpan.End()
 
 	// --- Ontology repair candidates and beam search (Algorithm 8).
 	repairStart := time.Now()
+	beamSpan := opts.Stats.Span("clean.beam")
+	beamSpan.Workers(workers)
 	cands := ontologyCandidates(rel, cov, classes)
 	res.Candidates = len(cands)
 	beam := opts.Beam
@@ -156,8 +192,13 @@ func Clean(rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts 
 		beam = SecretaryBeam(len(cands))
 	}
 	res.BeamWidth = beam
-	levels := beamSearch(rel, cov, classes, cands, beam, opts.MaxOntologyRepairs, workers)
+	levels, err := beamSearch(ctx, rel, cov, classes, cands, beam, opts.MaxOntologyRepairs, workers)
+	beamSpan.Items(len(levels))
+	beamSpan.End()
 	res.BeamElapsed = time.Since(repairStart)
+	if err != nil {
+		return fail(err)
+	}
 
 	// --- Materialize selected levels into full repairs and keep the
 	// Pareto frontier of (dist_S, dist_I) within τ. Level 0 and the
@@ -189,11 +230,20 @@ func Clean(rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts 
 	// relation and ontology), so levels fan out over the worker pool and
 	// land in per-level slots merged in level order.
 	mat := newMaterializer(rel, ont, cov, dirtyComps, cands, !opts.NoCoverageIndex)
+	matSpan := opts.Stats.Span("clean.materialize")
+	matSpan.Workers(workers)
+	matSpan.Items(len(selected))
 	bests := make([]*RepairOption, len(selected))
-	parallelFor(len(selected), workers, func(_, k int) {
+	matErr := exec.For(ctx, len(selected), workers, func(_, k int) {
 		var best *RepairOption
 		for _, nd := range levels[selected[k]].frontier {
-			opt := mat.run(nd.members, workers)
+			opt, err := mat.run(ctx, nd.members, workers)
+			if err != nil {
+				// A repair cut short by cancellation under-counts its cell
+				// changes; leave the level's slot nil rather than keep a
+				// best chosen from wrong distances.
+				return
+			}
 			if best == nil || opt.DataDist < best.DataDist {
 				b := opt
 				best = &b
@@ -201,6 +251,9 @@ func Clean(rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts 
 		}
 		bests[k] = best
 	})
+	matSpan.End()
+	// On cancellation only fully materialized levels wrote their slot, so
+	// the Pareto set below covers exactly the levels that finished.
 	var options []RepairOption
 	for _, best := range bests {
 		if best == nil {
@@ -212,6 +265,11 @@ func Clean(rel *relation.Relation, ont *ontology.Ontology, sigma core.Set, opts 
 	res.MaterializeElapsed = time.Since(matStart)
 	res.Pareto = paretoFilter(options)
 	res.RepairElapsed = time.Since(repairStart)
+	if matErr != nil {
+		// Keep the partial Pareto set but do not apply a best repair chosen
+		// from incomplete evidence.
+		return fail(matErr)
+	}
 
 	// --- Select and apply the best repair: minimize the weighted total
 	// cost; ties go to fewer ontology changes (data updates are local,
@@ -323,16 +381,19 @@ func newMaterializer(rel *relation.Relation, ont *ontology.Ontology, cov coverag
 }
 
 // run materializes one beam node. Candidate values are pairwise distinct
-// and absent from the base ontology, so every member addition applies.
-func (m *materializer) run(members []int, workers int) RepairOption {
+// and absent from the base ontology, so every member addition applies. A
+// cancelled context stops between data-repair components; the incomplete
+// option is returned with the wrapped error and must be discarded.
+func (m *materializer) run(ctx context.Context, members []int, workers int) (RepairOption, error) {
 	ontChanges := make([]OntChange, 0, len(members))
 	for _, mi := range members {
 		ontChanges = append(ontChanges, m.cands[mi].change)
 	}
 	var dataChanges []CellChange
+	var err error
 	if !m.memo {
 		workRel, workCov := m.scratch(ontChanges)
-		dataChanges = dataRepairComps(workRel, workCov, m.comps, workers)
+		dataChanges, err = dataRepairComps(ctx, workRel, workCov, m.comps, workers)
 	} else {
 		// Memoized path: look up each component's repair under the subset
 		// of additions relevant to it; clone scratch state only when some
@@ -343,6 +404,9 @@ func (m *materializer) run(members []int, workers int) RepairOption {
 		var workCov coverage
 		var key strings.Builder
 		for ci, comp := range m.comps {
+			if err = exec.Interrupted(ctx, "repair materialization"); err != nil {
+				break
+			}
 			key.Reset()
 			fmt.Fprintf(&key, "%d", ci)
 			for _, mi := range members {
@@ -370,7 +434,7 @@ func (m *materializer) run(members []int, workers int) RepairOption {
 		DataChanges: dataChanges,
 		OntDist:     len(ontChanges),
 		DataDist:    len(dataChanges),
-	}
+	}, err
 }
 
 // scratch clones the instance and ontology and applies the candidate

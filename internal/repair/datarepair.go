@@ -1,8 +1,10 @@
 package repair
 
 import (
+	"context"
 	"sort"
 
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -182,41 +184,39 @@ func classSatisfiedUnder(rel *relation.Relation, cov coverage, x *eqClass) bool 
 	return len(cov.shared(values)) > 0
 }
 
-// dataRepair computes cell updates that make every class satisfy its OFD
-// w.r.t. the (possibly repaired) ontology, adapting RepairData of Beskales
-// et al. The classes are first grouped into connected components (classes
-// sharing a consequent attribute and at least one tuple); each component is
-// repaired independently — vertex-cover guided cleaning, per-class collapse,
-// then whole-component collapse if violations persist, which guarantees
+// dataRepairComps computes cell updates that make every class satisfy its
+// OFD w.r.t. the (possibly repaired) ontology, adapting RepairData of
+// Beskales et al. over pre-grouped connected components (classes sharing a
+// consequent attribute and at least one tuple). Each component is repaired
+// independently — vertex-cover guided cleaning, per-class collapse, then
+// whole-component collapse if violations persist, which guarantees
 // convergence. Components never share a writable cell (a cell (t, A)
 // belongs to exactly the component owning (A, t)) and read only their own
 // tuples' consequent column, so they run on the worker pool; per-component
 // change lists are concatenated in canonical component order, making the
-// result identical for any worker count. The relation is modified in place;
-// the changes are returned.
-func dataRepair(rel *relation.Relation, cov coverage, classes []*eqClass, workers int) []CellChange {
-	return dataRepairComps(rel, cov, connectedComponents(classes), workers)
-}
-
-// dataRepairComps is dataRepair over pre-grouped components. Clean computes
+// result identical for any worker count. The relation is modified in
+// place; the changes are returned. Clean computes
 // the components once and filters out those already satisfied (coverage is
 // monotone under ontology additions, so a satisfied component stays
 // satisfied under every candidate repair set), so each materialization
 // repairs only the dirty components instead of re-deriving and re-checking
-// the full grouping per beam level.
-func dataRepairComps(rel *relation.Relation, cov coverage, comps [][]*eqClass, workers int) []CellChange {
+// the full grouping per beam level. A cancelled context stops between
+// components; the changes of completed components are returned with the
+// wrapped error, but the list is then incomplete and callers must not score
+// it as a full repair.
+func dataRepairComps(ctx context.Context, rel *relation.Relation, cov coverage, comps [][]*eqClass, workers int) ([]CellChange, error) {
 	perComp := make([][]CellChange, len(comps))
 	// Concurrency safety: repair targets are always existing values of the
 	// component's own column, so SetString only reads the column dictionary
 	// (Intern hits the present-value fast path) and writes disjoint cells.
-	parallelFor(len(comps), workers, func(_, ci int) {
+	err := exec.For(ctx, len(comps), workers, func(_, ci int) {
 		perComp[ci] = repairComponent(rel, cov, comps[ci])
 	})
 	var changes []CellChange
 	for _, ch := range perComp {
 		changes = append(changes, ch...)
 	}
-	return changes
+	return changes, err
 }
 
 // repairComponent repairs one connected component of tuple-sharing classes.

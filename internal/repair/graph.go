@@ -1,9 +1,11 @@
 package repair
 
 import (
+	"context"
 	"sort"
 
 	"github.com/fastofd/fastofd/internal/emd"
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -34,7 +36,7 @@ type depGraph struct {
 // tie-break downstream — is identical for any worker count. (The previous
 // sequential version iterated the RHS bucket map directly, leaking map
 // iteration order into edge indexes.)
-func buildDepGraph(rel *relation.Relation, cov coverage, classes []*eqClass, workers int) *depGraph {
+func buildDepGraph(ctx context.Context, rel *relation.Relation, cov coverage, classes []*eqClass, workers int) (*depGraph, error) {
 	g := &depGraph{classes: classes, adj: make([][]int, len(classes))}
 	// Bucket classes by consequent attribute, keys in ascending order.
 	byRHS := make(map[int][]int)
@@ -64,7 +66,7 @@ func buildDepGraph(rel *relation.Relation, cov coverage, classes []*eqClass, wor
 	}
 	slots := make([]depEdge, len(pairs))
 	ws := make([]histWorkspace, workers)
-	parallelFor(len(pairs), workers, func(worker, k int) {
+	if err := exec.For(ctx, len(pairs), workers, func(worker, k int) {
 		xi, xj := classes[pairs[k].a], classes[pairs[k].b]
 		overlap := intersectTuples(xi.tuples, xj.tuples)
 		if len(overlap) == 0 {
@@ -72,7 +74,9 @@ func buildDepGraph(rel *relation.Relation, cov coverage, classes []*eqClass, wor
 		}
 		w := ws[worker].overlapEMD(rel, cov, xi, xj, overlap)
 		slots[k] = depEdge{a: pairs[k].a, b: pairs[k].b, weight: w, overlap: overlap}
-	})
+	}); err != nil {
+		return g, err
+	}
 	for k := range slots {
 		if slots[k].overlap == nil {
 			continue
@@ -81,7 +85,7 @@ func buildDepGraph(rel *relation.Relation, cov coverage, classes []*eqClass, wor
 		g.adj[slots[k].b] = append(g.adj[slots[k].b], len(g.edges))
 		g.edges = append(g.edges, slots[k])
 	}
-	return g
+	return g, nil
 }
 
 // intersectTuples intersects two ascending tuple-id lists.

@@ -1,9 +1,11 @@
 package repair
 
 import (
+	"context"
 	"math"
 	"sort"
 
+	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -147,7 +149,11 @@ type beamLevel struct {
 // frontier order, which reproduces the sequential append order exactly, so
 // the stable sort — and the whole search — is identical for any worker
 // count.
-func beamSearch(rel *relation.Relation, cov coverage, classes []*eqClass, cands []ontCandidate, b, maxK, workers int) []beamLevel {
+// A cancelled context stops the search between levels (and between the
+// per-node expansions of one level); the levels completed so far are
+// returned with the wrapped error — each is a valid frontier, so partial
+// materialization stays sound.
+func beamSearch(ctx context.Context, rel *relation.Relation, cov coverage, classes []*eqClass, cands []ontCandidate, b, maxK, workers int) ([]beamLevel, error) {
 	if maxK <= 0 || maxK > len(cands) {
 		maxK = len(cands)
 	}
@@ -175,7 +181,7 @@ func beamSearch(rel *relation.Relation, cov coverage, classes []*eqClass, cands 
 		// Expand each frontier node with every candidate whose position
 		// follows the node's last member (set semantics, no duplicates).
 		perNode := make([][]beamNode, len(frontier))
-		parallelFor(len(frontier), workers, func(_, fi int) {
+		err := exec.For(ctx, len(frontier), workers, func(_, fi int) {
 			nd := frontier[fi]
 			start := 0
 			if len(nd.members) > 0 {
@@ -189,6 +195,11 @@ func beamSearch(rel *relation.Relation, cov coverage, classes []*eqClass, cands 
 			}
 			perNode[fi] = out
 		})
+		if err != nil {
+			// Keep only whole levels: the interrupted level's partial
+			// expansions are discarded.
+			return perLevel, err
+		}
 		var nextNodes []beamNode
 		for _, out := range perNode {
 			nextNodes = append(nextNodes, out...)
@@ -210,5 +221,5 @@ func beamSearch(rel *relation.Relation, cov coverage, classes []*eqClass, cands 
 			break // consistency reached; deeper levels only add ontology cost
 		}
 	}
-	return perLevel
+	return perLevel, nil
 }
