@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repairbench fdbench experiments examples fmt vet lint smoke clean
+.PHONY: all build test race bench repairbench fdbench monitorbench experiments examples fmt vet lint smoke clean
 
 all: build test
 
@@ -29,6 +29,12 @@ repairbench:
 # all seven baselines plus agree-set engine-vs-baseline micro-benchmarks.
 fdbench:
 	$(GO) run ./cmd/benchrunner -fdbench BENCH_fd.json -discrows 4000
+
+# Incremental-monitor benchmark report (BENCH_monitor.json): batched
+# violation maintenance vs full Detect rebuilds across Clinical sizes and
+# batch sizes, with a byte-identical-report check.
+monitorbench:
+	$(GO) run ./cmd/benchrunner -monitorbench BENCH_monitor.json -discrows 50000
 
 # Paper-style experiment tables with accuracy metrics.
 experiments:

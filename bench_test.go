@@ -408,7 +408,19 @@ func BenchmarkMonitorUpdate(b *testing.B) {
 	vals := ds.Rel.Project(col)
 	b.Run("incremental", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if err := m.Update(i%ds.Rel.NumRows(), col, vals[i%len(vals)]); err != nil {
+			if _, err := m.Update(i%ds.Rel.NumRows(), col, vals[i%len(vals)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		batch := make([]CellUpdate, 64)
+		for i := 0; i < b.N; i++ {
+			for j := range batch {
+				k := i*len(batch) + j
+				batch[j] = CellUpdate{Row: k % ds.Rel.NumRows(), Col: col, Value: vals[k%len(vals)]}
+			}
+			if err := m.ApplyBatch(batch); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -41,6 +41,7 @@ func main() {
 		partBench = flag.String("partitionbench", "", "run the partition-engine micro-benchmarks and write JSON results to this path (e.g. BENCH_partition.json), then exit")
 		repBench  = flag.String("repairbench", "", "run the repair-engine benchmarks and write JSON results to this path (e.g. BENCH_repair.json), then exit")
 		fdBench   = flag.String("fdbench", "", "run the FD-discovery benchmarks (Exp-1 curve + agree-set micro-benches) and write JSON results to this path (e.g. BENCH_fd.json), then exit")
+		monBench  = flag.String("monitorbench", "", "run the incremental-monitor benchmarks (batched maintenance vs full Detect rebuilds) and write JSON results to this path (e.g. BENCH_monitor.json), then exit")
 		smoke     = flag.Bool("benchsmoke", false, "single-iteration benchmark mode for CI smoke runs")
 		timeout   = flag.Duration("timeout", 0, "abort after this duration, keeping partial results (0 = no timeout)")
 	)
@@ -69,6 +70,10 @@ func main() {
 	}
 	if *fdBench != "" {
 		finish(runFDBench(ctx, stageStats, *fdBench, *discRows, *smoke))
+		return
+	}
+	if *monBench != "" {
+		finish(runMonitorBench(ctx, stageStats, *monBench, *discRows, *smoke))
 		return
 	}
 

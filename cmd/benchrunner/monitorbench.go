@@ -1,0 +1,267 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// monitorReport is the machine-readable output of -monitorbench: incremental
+// violation maintenance (Monitor.ApplyBatch + AppendRow) against full
+// DetectContext rebuilds on identical update streams over the Clinical
+// workload, across tuple counts and batch sizes.
+type monitorReport struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	NumCPU int    `json:"num_cpu"`
+	Rows   int    `json:"rows"`
+	// Speedup is the headline ratio: full-rebuild ns over incremental ns at
+	// the largest size with 1%-of-rows batches, parallel workers.
+	Speedup float64 `json:"speedup"`
+	// ReportsIdentical records that, for every configuration and worker
+	// count, the monitor's final report was byte-identical (as JSON) to a
+	// fresh Detect over the evolved instance.
+	ReportsIdentical bool          `json:"reports_identical"`
+	Results          []benchResult `json:"results"`
+	// Stats carries the monitor.build / monitor.reverify / detect.verify
+	// spans accumulated across the runs.
+	Stats *exec.Stats `json:"stats"`
+}
+
+// monitorOp is one element of a deterministic maintenance stream: either a
+// cell update (part of the surrounding batch) or an appended tuple.
+type monitorOp struct {
+	appendRow []string // non-nil: append this tuple
+	update    core.CellUpdate
+}
+
+// monitorStream builds a seeded stream of nBatches batches over the dataset:
+// each batch holds batchSize consequent-cell updates plus a few appends.
+// Values are drawn from the column's existing pool plus occasional novel
+// strings, so the stream exercises both re-verification outcomes and the
+// names-table extend-on-intern path. Row ids respect the growing instance,
+// so the same stream replays identically on any copy of the relation.
+func monitorStream(ds *gen.Dataset, sigma core.Set, nBatches, batchSize, appendsPerBatch int, seed int64) [][]monitorOp {
+	rng := rand.New(rand.NewSource(seed))
+	rhsCols := make([]int, 0, len(sigma))
+	for _, d := range sigma {
+		rhsCols = append(rhsCols, d.RHS)
+	}
+	pools := make(map[int][]string, len(rhsCols))
+	for _, c := range rhsCols {
+		pools[c] = ds.Rel.Project(c)
+	}
+	nRows := ds.Rel.NumRows()
+	batches := make([][]monitorOp, nBatches)
+	for b := range batches {
+		ops := make([]monitorOp, 0, batchSize+appendsPerBatch)
+		for k := 0; k < batchSize; k++ {
+			col := rhsCols[rng.Intn(len(rhsCols))]
+			val := pools[col][rng.Intn(len(pools[col]))]
+			if rng.Intn(50) == 0 { // novel, out-of-ontology value
+				val = fmt.Sprintf("bench-novel-%d-%d", b, k)
+			}
+			ops = append(ops, monitorOp{update: core.CellUpdate{Row: rng.Intn(nRows), Col: col, Value: val}})
+		}
+		for k := 0; k < appendsPerBatch; k++ {
+			row := ds.Rel.Row(rng.Intn(nRows))
+			col := rhsCols[rng.Intn(len(rhsCols))]
+			row[col] = pools[col][rng.Intn(len(pools[col]))]
+			ops = append(ops, monitorOp{appendRow: row})
+			nRows++
+		}
+		batches[b] = ops
+	}
+	return batches
+}
+
+// replayIncremental applies the stream through the monitor, flushing each
+// batch's updates through one ApplyBatchContext call.
+func replayIncremental(ctx context.Context, m *core.Monitor, batches [][]monitorOp) error {
+	var updates []core.CellUpdate
+	for _, ops := range batches {
+		updates = updates[:0]
+		for _, op := range ops {
+			if op.appendRow != nil {
+				if _, err := m.AppendRow(op.appendRow); err != nil {
+					return err
+				}
+				continue
+			}
+			updates = append(updates, op.update)
+		}
+		if err := m.ApplyBatchContext(ctx, updates); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayRebuild applies the stream to a bare relation and pays a full
+// DetectContext — fresh partitions, fresh verifier — after every batch,
+// which is what maintaining a live violation report costs without the
+// incremental engine. Returns the final report.
+func replayRebuild(ctx context.Context, rel *relation.Relation, ds *gen.Dataset, sigma core.Set, batches [][]monitorOp, workers int, stats *exec.Stats) (*core.Report, error) {
+	var rep *core.Report
+	for _, ops := range batches {
+		for _, op := range ops {
+			if op.appendRow != nil {
+				rel.AppendRow(op.appendRow)
+				continue
+			}
+			rel.SetString(op.update.Row, op.update.Col, op.update.Value)
+		}
+		var err error
+		rep, err = core.DetectContext(ctx, rel, ds.FullOnt, sigma, workers, stats)
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// monitorSigma narrows the planted Σ to monitorable dependencies (disjoint
+// antecedents and consequents — true for the Clinical generator, but keep
+// the bench robust to preset changes).
+func monitorSigma(ds *gen.Dataset) core.Set {
+	var lhs, rhs relation.AttrSet
+	out := make(core.Set, 0, len(ds.Sigma))
+	for _, d := range ds.Sigma {
+		if !d.LHS.Intersect(rhs).IsEmpty() || lhs.Has(d.RHS) || d.LHS.Has(d.RHS) {
+			continue
+		}
+		lhs = lhs.Union(d.LHS)
+		rhs = rhs.With(d.RHS)
+		out = append(out, d)
+	}
+	return out
+}
+
+// runMonitorBench measures incremental batch maintenance against full
+// rebuilds and writes BENCH_monitor.json. smoke shrinks the grid to one
+// small size with two batches for CI. A cancelled ctx stops between
+// configurations; the rows measured so far are still written before the
+// error returns.
+func runMonitorBench(ctx context.Context, stats *exec.Stats, path string, rows int, smoke bool) error {
+	sizes := []int{rows / 4, rows / 2, rows}
+	batchPcts := []float64{0.1, 1.0} // percent of rows updated per batch
+	nBatches := 4
+	if smoke {
+		sizes = []int{rows}
+		batchPcts = []float64{1.0}
+		nBatches = 2
+	}
+
+	report := monitorReport{
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		NumCPU:           runtime.NumCPU(),
+		Rows:             rows,
+		ReportsIdentical: true,
+		Stats:            stats,
+	}
+	partial := func(err error) error {
+		if werr := writeBenchReport(path, report, report.Results, 30); werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote %s (partial)\n", path)
+		return err
+	}
+
+	for _, n := range sizes {
+		if n < 16 {
+			continue
+		}
+		ds := gen.Clinical(n, 1)
+		sigma := monitorSigma(ds)
+		for _, pct := range batchPcts {
+			batchSize := int(float64(n) * pct / 100)
+			if batchSize < 1 {
+				batchSize = 1
+			}
+			appends := batchSize / 20
+			batches := monitorStream(ds, sigma, nBatches, batchSize, appends, 7)
+
+			// Incremental maintenance at each worker count, on its own copy
+			// of the instance; every run must converge to the same report.
+			var incNs float64
+			var incReports []string
+			for _, workers := range []int{1, 0} {
+				if err := exec.Interrupted(ctx, "monitorbench"); err != nil {
+					return partial(err)
+				}
+				m, err := core.NewMonitorWorkers(ctx, ds.Rel.Clone(), ds.FullOnt, sigma, workers, stats)
+				if err != nil {
+					return partial(err)
+				}
+				start := time.Now()
+				if err := replayIncremental(ctx, m, batches); err != nil {
+					return partial(err)
+				}
+				elapsed := float64(time.Since(start).Nanoseconds())
+				rep, err := json.Marshal(m.Report())
+				if err != nil {
+					return partial(err)
+				}
+				incReports = append(incReports, string(rep))
+				report.Results = append(report.Results, benchResult{
+					Name:       fmt.Sprintf("incremental-n%d-b%d-w%d", n, batchSize, workers),
+					Iterations: nBatches,
+					NsPerOp:    elapsed / float64(nBatches),
+				})
+				if workers == 0 {
+					incNs = elapsed / float64(nBatches)
+				}
+			}
+
+			// Full rebuild baseline (parallel partitions — its best case).
+			if err := exec.Interrupted(ctx, "monitorbench"); err != nil {
+				return partial(err)
+			}
+			rebuildRel := ds.Rel.Clone()
+			start := time.Now()
+			rep, err := replayRebuild(ctx, rebuildRel, ds, sigma, batches, 0, stats)
+			if err != nil {
+				return partial(err)
+			}
+			rebuildNs := float64(time.Since(start).Nanoseconds()) / float64(nBatches)
+			report.Results = append(report.Results, benchResult{
+				Name:       fmt.Sprintf("rebuild-n%d-b%d-w0", n, batchSize),
+				Iterations: nBatches,
+				NsPerOp:    rebuildNs,
+			})
+
+			rebuildJSON, err := json.Marshal(rep)
+			if err != nil {
+				return partial(err)
+			}
+			for _, r := range incReports {
+				if r != string(rebuildJSON) {
+					report.ReportsIdentical = false
+					fmt.Fprintf(os.Stderr, "monitorbench: n=%d batch=%d: incremental report differs from fresh Detect\n", n, batchSize)
+					break
+				}
+			}
+			if n == sizes[len(sizes)-1] && pct == 1.0 && incNs > 0 {
+				report.Speedup = rebuildNs / incNs
+			}
+		}
+	}
+
+	if err := writeBenchReport(path, report, report.Results, 30); err != nil {
+		return err
+	}
+	fmt.Printf("incremental vs rebuild at n=%d, 1%% batches: %.1fx faster\n", sizes[len(sizes)-1], report.Speedup)
+	fmt.Printf("reports identical to fresh Detect: %v\n", report.ReportsIdentical)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -6,17 +6,39 @@
 //
 //	ofddetect -data trials.csv -ontology drugs.json \
 //	          -ofd "CC -> CTRY" -ofd "SYMP,DIAG -> MED" [-sigma sigma.txt]
-//	          [-timeout 30s]
+//	          [-updates stream.csv] [-batch 64] [-timeout 30s]
 //
-// SIGINT/SIGTERM or an elapsed -timeout stop detection cooperatively
-// between dependencies: the violations found so far are printed along with
-// a per-stage execution table, and the process exits with status 3.
+// With -updates, ofddetect replays a maintenance stream on top of the
+// loaded instance through the incremental monitor instead of running a
+// one-shot detection. Each CSV record of the stream is either a cell write
+//
+//	row,attr,value       set cell (row, attr) to value (0-based row ids,
+//	                     attr by name)
+//
+// or an appended tuple
+//
+//	+,v1,v2,...,vk       append a full row (k = number of attributes)
+//
+// Lines starting with '#' are comments. Updates are flushed through the
+// monitor in batches of -batch cell writes (appends apply immediately);
+// the final violation report — identical to re-running detection from
+// scratch on the evolved instance — is printed as usual.
+//
+// SIGINT/SIGTERM or an elapsed -timeout stop detection (or the replay,
+// between batches) cooperatively: the violations found so far are printed
+// along with a per-stage execution table, and the process exits with
+// status 3. A batch interrupted mid-flight is rolled back, never
+// half-applied.
 package main
 
 import (
+	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 
 	"github.com/fastofd/fastofd"
 	"github.com/fastofd/fastofd/internal/cli"
@@ -35,6 +57,8 @@ func main() {
 		ontPath   = flag.String("ontology", "", "ontology JSON file (required)")
 		sigmaFile = flag.String("sigma", "", "file with one OFD per line (alternative to -ofd)")
 		workers   = flag.Int("workers", 1, "partition-cache warm-up workers (0 = all CPUs)")
+		updates   = flag.String("updates", "", "CSV update stream to replay through the incremental monitor (records: row,attr,value or +,v1,...,vk)")
+		batchSize = flag.Int("batch", 64, "cell updates per monitor batch when replaying -updates")
 		stats     = flag.Bool("stats", false, "print the per-stage execution table")
 		timeout   = flag.Duration("timeout", 0, "abort after this duration, printing the partial report (0 = no timeout)")
 	)
@@ -71,7 +95,13 @@ func main() {
 	defer stop()
 	stageStats := fastofd.NewStats()
 
-	rep, derr := fastofd.DetectContext(ctx, rel, ont, sigma, *workers, stageStats)
+	var rep *fastofd.Report
+	var derr error
+	if *updates != "" {
+		rep, derr = replayUpdates(ctx, rel, ont, sigma, *updates, *batchSize, *workers, stageStats)
+	} else {
+		rep, derr = fastofd.DetectContext(ctx, rel, ont, sigma, *workers, stageStats)
+	}
 	if derr != nil && !cli.Interrupted(derr) {
 		fail(derr)
 	}
@@ -89,6 +119,84 @@ func main() {
 	if len(rep.Violations) > 0 {
 		os.Exit(1)
 	}
+}
+
+// replayUpdates applies the update stream through the incremental monitor
+// and materializes the final violation report — byte-identical to running
+// detection from scratch on the evolved instance. Cell writes batch up to
+// batchSize before flushing through ApplyBatchContext; '+' records append
+// immediately (appends re-verify only the class the tuple joins). On
+// interrupt the report reflects the stream replayed so far: a cut batch
+// rolls back, so no half-applied batch is ever reported.
+func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Ontology, sigma fastofd.Set, path string, batchSize, workers int, stats *fastofd.Stats) (*fastofd.Report, error) {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := fastofd.NewMonitorWorkers(ctx, rel, ont, sigma, workers, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1 // cell writes and appends have different widths
+	r.Comment = '#'
+	schema := rel.Schema()
+	batch := make([]fastofd.CellUpdate, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := m.ApplyBatchContext(ctx, batch)
+		batch = batch[:0]
+		return err
+	}
+	line := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return m.Report(), err
+		}
+		line++
+		if len(rec) > 0 && rec[0] == "+" {
+			// Appends see the batched writes before them in stream order.
+			if err := flush(); err != nil {
+				return m.Report(), err
+			}
+			if _, err := m.AppendRow(rec[1:]); err != nil {
+				return m.Report(), fmt.Errorf("updates record %d: %w", line, err)
+			}
+			continue
+		}
+		if len(rec) != 3 {
+			return m.Report(), fmt.Errorf("updates record %d: want row,attr,value or +,v1,...,vk; got %d fields", line, len(rec))
+		}
+		row, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return m.Report(), fmt.Errorf("updates record %d: bad row id %q", line, rec[0])
+		}
+		col, ok := schema.Index(rec[1])
+		if !ok {
+			return m.Report(), fmt.Errorf("updates record %d: unknown attribute %q", line, rec[1])
+		}
+		batch = append(batch, fastofd.CellUpdate{Row: row, Col: col, Value: rec[2]})
+		if len(batch) == batchSize {
+			if err := flush(); err != nil {
+				return m.Report(), err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return m.Report(), err
+	}
+	return m.Report(), nil
 }
 
 func fail(err error) {

@@ -55,11 +55,30 @@ func main() {
 		{4, ctry, "India", "country name normalized"},
 	}
 	for _, u := range updates {
-		if err := m.Update(u.row, u.col, u.val); err != nil {
+		if _, err := m.Update(u.row, u.col, u.val); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("t%d[%s] := %-12q  %-45s violations: %d\n",
 			u.row+1, schema.Name(u.col), u.val, u.note, m.ViolationCount())
 	}
+
+	// New tuples join their equivalence classes through the LHS-key index —
+	// no partition rebuild.
+	if _, err := m.AppendRow([]string{"US", "America", "headache", "hypertension", "cartia"}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("appended a consistent prescription     violations: %d\n", m.ViolationCount())
+
+	// A monthly batch: dirty classes are deduped and re-verified once, in
+	// parallel, with a deterministic merge.
+	batch := []fastofd.CellUpdate{
+		{Row: 0, Col: med, Value: "cartia"},  // same drug family again
+		{Row: 2, Col: med, Value: "cartia"},  // normalize the synonym
+		{Row: 3, Col: med, Value: "tylenol"}, // no-op: already tylenol
+	}
+	if err := m.ApplyBatch(batch); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied a 3-update batch               violations: %d\n", m.ViolationCount())
 	fmt.Printf("finally satisfied: %v\n", m.Satisfied())
 }

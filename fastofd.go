@@ -79,6 +79,8 @@ type (
 	Report = core.Report
 	// Monitor maintains OFD satisfaction incrementally under updates.
 	Monitor = core.Monitor
+	// CellUpdate is one cell write of a batched Monitor update.
+	CellUpdate = core.CellUpdate
 )
 
 // Execution substrate.
@@ -235,6 +237,15 @@ func NewMonitor(rel *Relation, ont *Ontology, sigma Set) (*Monitor, error) {
 // context error.
 func NewMonitorContext(ctx context.Context, rel *Relation, ont *Ontology, sigma Set) (*Monitor, error) {
 	return core.NewMonitorContext(ctx, rel, ont, sigma)
+}
+
+// NewMonitorWorkers is NewMonitorContext with the index build — and the
+// monitor's subsequent ApplyBatch re-verification — spread over up to
+// workers goroutines (0 = all CPUs) and optional per-stage stats
+// ("monitor.build" and "monitor.reverify" spans). The violation state is
+// identical for every worker count.
+func NewMonitorWorkers(ctx context.Context, rel *Relation, ont *Ontology, sigma Set, workers int, stats *Stats) (*Monitor, error) {
+	return core.NewMonitorWorkers(ctx, rel, ont, sigma, workers, stats)
 }
 
 // DefaultDiscoveryOptions returns the paper's full FastOFD configuration

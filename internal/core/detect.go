@@ -103,14 +103,22 @@ func DetectContext(ctx context.Context, rel *relation.Relation, ont *ontology.On
 			return rep, err
 		}
 		p := v.pc.Get(d.LHS)
+		col := rel.Column(d.RHS)
 		for i := 0; i < p.NumClasses(); i++ {
 			class := p.Class(i)
-			col := rel.Column(d.RHS)
-			distinct := make(map[relation.Value]struct{}, 4)
-			for _, t := range class {
-				distinct[col[t]] = struct{}{}
+			// All-equal fast path: a syntactically constant class cannot
+			// violate and allocates nothing — on mostly-clean instances this
+			// clears almost every class, so the scan is allocation-free per
+			// class (guarded by TestDetectAllocsIndependentOfClassCount).
+			first := col[class[0]]
+			allEqual := true
+			for _, t := range class[1:] {
+				if col[t] != first {
+					allEqual = false
+					break
+				}
 			}
-			if len(distinct) <= 1 {
+			if allEqual {
 				continue // satisfied syntactically
 			}
 			if v.classSatisfied(class, d.RHS) {
@@ -120,7 +128,7 @@ func DetectContext(ctx context.Context, rel *relation.Relation, ont *ontology.On
 				}
 				continue
 			}
-			rep.Violations = append(rep.Violations, explain(rel, ont, d, class, distinct))
+			rep.Violations = append(rep.Violations, explain(rel, ont, d, class))
 			for _, t := range class {
 				flagged[int(t)] = struct{}{}
 			}
@@ -145,12 +153,20 @@ func sortViolations(violations []Violation) {
 	})
 }
 
-// explain builds the Violation record for one violating class.
-func explain(rel *relation.Relation, ont *ontology.Ontology, d OFD, class []int32, distinct map[relation.Value]struct{}) Violation {
+// explain builds the Violation record for one violating class. Violating
+// classes are rare, so the distinct-value gather may allocate freely here —
+// the detection scan itself stays allocation-free per class.
+func explain(rel *relation.Relation, ont *ontology.Ontology, d OFD, class []int32) Violation {
+	col := rel.Column(d.RHS)
 	dict := rel.Dict(d.RHS)
-	values := make([]string, 0, len(distinct))
-	for val := range distinct {
-		values = append(values, dict.String(val))
+	seen := make(map[relation.Value]struct{}, 4)
+	values := make([]string, 0, 4)
+	for _, t := range class {
+		if _, ok := seen[col[t]]; ok {
+			continue
+		}
+		seen[col[t]] = struct{}{}
+		values = append(values, dict.String(col[t]))
 	}
 	sort.Strings(values)
 

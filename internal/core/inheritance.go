@@ -65,7 +65,7 @@ func (v *Verifier) HoldsInh(d OFD, theta int) bool {
 	if d.Trivial() {
 		return true
 	}
-	if !v.covered[d.RHS] {
+	if !v.covered[d.RHS].Load() {
 		return v.HoldsFD(d)
 	}
 	p := v.pc.Get(d.LHS)

@@ -3,35 +3,116 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
-// Monitor maintains OFD satisfaction incrementally under consequent-cell
-// updates — the "data evolves" scenario of the paper's introduction. It
-// indexes, per OFD, which equivalence class each tuple belongs to; an
-// update to a consequent cell re-verifies only the affected classes
-// instead of the whole instance.
+// Monitor is the incremental detection engine: it maintains OFD violation
+// state under single-cell updates, batched updates, and appended tuples —
+// the "data evolves" scenario of the paper's introduction — without ever
+// rebuilding partitions or re-verifying untouched classes.
+//
+// Per OFD it keeps (1) the stripped partition of the antecedent as a
+// frozen base plus a growable relation.PartitionOverlay, so appended
+// tuples join their equivalence class without copying the PartitionCache's
+// flat arrays, (2) an LHS-key hash index over the dict-encoded antecedent
+// value tuple, so AppendRow locates the class of a new tuple in O(|X|)
+// instead of forcing a partition rebuild, and (3) a consequent-value
+// multiset per class, maintained on every write, so re-verifying a dirty
+// class costs O(distinct consequent values) — independent of class size.
+// Updates to a consequent cell re-verify only the classes containing the
+// row; ApplyBatch dedups the dirty (OFD, class) pairs across a whole batch
+// and re-verifies them in parallel with a canonical-order merge, so the
+// violation state — and Report — is byte-identical for every Workers value.
 //
 // Updates to antecedent attributes would move tuples between equivalence
 // classes and are rejected (matching the repair model's scope assumption
-// that antecedents and consequents are disjoint).
+// that antecedents and consequents are disjoint). A Monitor is not safe
+// for concurrent use; ApplyBatch parallelizes internally.
 type Monitor struct {
 	rel   *relation.Relation
 	v     *Verifier
 	sigma Set
-	// classOf[i][t] = class index of tuple t within sigma[i]'s stripped
-	// partition, or -1 when the tuple is in a singleton class.
-	classOf [][]int
-	// classes[i] = sigma[i]'s stripped classes, as views into the flat
-	// partition arrays (no per-class copies).
-	classes [][][]int32
-	// violating[i][c] marks class c of sigma[i] as currently violating.
+	// Workers bounds ApplyBatch's parallel re-verification and the initial
+	// index build (0 selects all CPUs, as everywhere on the exec substrate).
+	Workers int
+	// Stats, when non-nil, receives monitor.build and monitor.reverify
+	// stage spans.
+	Stats *exec.Stats
+
+	// classOf[i][t] = class id of tuple t within sigma[i]'s partition
+	// overlay, or -1 when the tuple is (still) in a singleton class.
+	classOf [][]int32
+	// parts[i] = sigma[i]'s stripped antecedent partition: cached base
+	// plus append deltas.
+	parts []*relation.PartitionOverlay
+	// lhsIdx[i] maps the dict-encoded antecedent value tuple to the class
+	// holding it: values >= 0 are class ids, values <= -2 encode a lone
+	// (singleton) row as -(row+2). Keys absent from the index have never
+	// been seen.
+	lhsIdx []map[string]int32
+	// lhsCols[i] = sigma[i].LHS.Attrs(), cached for key encoding.
+	lhsCols [][]int
+	// counts[i][c] is the multiset of consequent values of class c under
+	// sigma[i], as (value, multiplicity) pairs. Maintained on every write,
+	// it makes re-verification O(distinct values) — independent of class
+	// size — since OFD satisfaction is a property of the distinct consequent
+	// values alone.
+	counts [][][]valCount
+	// violating[i][c] marks class c of sigma[i] as currently violating;
+	// fdOnly[i][c] marks it as syntactically non-constant but cleared by
+	// the ontology (the false positives a plain FD would flag).
 	violating []map[int]struct{}
+	fdOnly    []map[int]struct{}
 	lhsAttrs  relation.AttrSet
+
+	reverified int              // classes re-verified since construction
+	vals       []relation.Value // distinct-value scratch for sequential paths
+	keyBuf     []byte           // LHS-key encoding scratch
 }
+
+// valCount is one distinct consequent value of an equivalence class with
+// its multiplicity. Classes keep their multisets as small linear-probed
+// slices: real classes have a handful of distinct consequent values even
+// when they span thousands of tuples.
+type valCount struct {
+	val relation.Value
+	n   int32
+}
+
+// bump adjusts v's multiplicity by delta, dropping the entry when it
+// reaches zero. delta must not take a count negative (the monitor adjusts
+// counts only from cell writes it performed, so multisets stay in sync).
+func bump(pairs []valCount, v relation.Value, delta int32) []valCount {
+	for k := range pairs {
+		if pairs[k].val == v {
+			pairs[k].n += delta
+			if pairs[k].n == 0 {
+				pairs[k] = pairs[len(pairs)-1]
+				pairs = pairs[:len(pairs)-1]
+			}
+			return pairs
+		}
+	}
+	return append(pairs, valCount{v, delta})
+}
+
+// CellUpdate is one cell write of a batched update: set cell (Row, Col) to
+// Value.
+type CellUpdate struct {
+	Row, Col int
+	Value    string
+}
+
+// class verification outcome; ordered so "worse" states are larger.
+const (
+	classOK        uint8 = iota // consequent syntactically constant
+	classFDOnly                 // an FD would flag it; the ontology clears it
+	classViolating              // no common interpretation
+)
 
 // NewMonitor builds a monitor over the instance and Σ, computing the
 // initial violation state.
@@ -44,6 +125,14 @@ func NewMonitor(rel *relation.Relation, ont *ontology.Ontology, sigma Set) (*Mon
 // Monitor — a partially indexed monitor would report wrong violation
 // counts — together with an error satisfying errors.Is(err, ctx.Err()).
 func NewMonitorContext(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, sigma Set) (*Monitor, error) {
+	return NewMonitorWorkers(ctx, rel, ont, sigma, 1, nil)
+}
+
+// NewMonitorWorkers is NewMonitorContext with the per-dependency index
+// build spread over up to workers goroutines (0 = all CPUs) and optional
+// per-stage stats. The resulting monitor keeps workers as its ApplyBatch
+// parallelism; the violation state is identical for every worker count.
+func NewMonitorWorkers(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, sigma Set, workers int, stats *exec.Stats) (*Monitor, error) {
 	var lhs, rhs relation.AttrSet
 	for _, d := range sigma {
 		lhs = lhs.Union(d.LHS)
@@ -52,66 +141,345 @@ func NewMonitorContext(ctx context.Context, rel *relation.Relation, ont *ontolog
 	if inter := lhs.Intersect(rhs); !inter.IsEmpty() {
 		return nil, fmt.Errorf("core: monitor requires disjoint antecedents and consequents; %s overlaps", inter.Format(rel.Schema()))
 	}
+	w := exec.Workers(workers)
+	span := stats.Span("monitor.build")
+	span.Workers(w)
+	span.Items(len(sigma))
+	defer span.End()
+	pc, err := relation.NewPartitionCacheContext(ctx, rel, w)
+	if err != nil {
+		return nil, err
+	}
 	m := &Monitor{
 		rel:       rel,
-		v:         NewVerifier(rel, ont, nil),
+		v:         NewVerifier(rel, ont, pc),
 		sigma:     sigma.Clone(),
-		classOf:   make([][]int, len(sigma)),
-		classes:   make([][][]int32, len(sigma)),
+		Workers:   workers,
+		Stats:     stats,
+		classOf:   make([][]int32, len(sigma)),
+		parts:     make([]*relation.PartitionOverlay, len(sigma)),
+		lhsIdx:    make([]map[string]int32, len(sigma)),
+		lhsCols:   make([][]int, len(sigma)),
+		counts:    make([][][]valCount, len(sigma)),
 		violating: make([]map[int]struct{}, len(sigma)),
+		fdOnly:    make([]map[int]struct{}, len(sigma)),
 		lhsAttrs:  lhs,
 	}
-	for i, d := range sigma {
-		if err := exec.Interrupted(ctx, "monitor rebuild"); err != nil {
-			return nil, err
-		}
-		p := m.v.Partitions().Get(d.LHS)
-		m.classes[i] = p.ClassViews()
-		idx := make([]int, rel.NumRows())
-		for t := range idx {
-			idx[t] = -1
-		}
-		for ci, class := range m.classes[i] {
-			for _, t := range class {
-				idx[t] = ci
-			}
-		}
-		m.classOf[i] = idx
-		m.violating[i] = make(map[int]struct{})
-		for ci, class := range m.classes[i] {
-			if !m.v.classSatisfied(class, d.RHS) {
-				m.violating[i][ci] = struct{}{}
-			}
-		}
+	// Each iteration touches only index i's slots, so the build fans out
+	// over dependencies; the shared partition cache is safe for concurrent
+	// Get and the names tables extend under their own locks.
+	err = exec.For(ctx, len(sigma), w, func(_, i int) {
+		m.buildIndex(i)
+	})
+	if err != nil {
+		return nil, err
 	}
+	st := pc.Stats()
+	span.Cache(st.Hits, st.Misses)
 	return m, nil
 }
 
-// Update writes value into cell (row, col) and incrementally re-verifies
-// the equivalence classes containing the row for every OFD whose
-// consequent is col. Updating an antecedent attribute is an error.
-func (m *Monitor) Update(row, col int, value string) error {
+// buildIndex computes dependency i's partition overlay, row→class table,
+// LHS-key index, and initial violation state.
+func (m *Monitor) buildIndex(i int) {
+	d := m.sigma[i]
+	base := m.v.Partitions().Get(d.LHS)
+	m.parts[i] = relation.NewPartitionOverlay(base)
+	m.lhsCols[i] = d.LHS.Attrs()
+
+	n := m.rel.NumRows()
+	classOf := make([]int32, n)
+	for t := range classOf {
+		classOf[t] = -1
+	}
+	for ci := 0; ci < base.NumClasses(); ci++ {
+		for _, t := range base.Class(ci) {
+			classOf[t] = int32(ci)
+		}
+	}
+	m.classOf[i] = classOf
+
+	// LHS-key index: one entry per class (keyed by the representative's
+	// antecedent values) plus one per singleton row. Two singletons can
+	// never share a key — they would be one class — so entries never clash.
+	idx := make(map[string]int32, base.NumClasses())
+	var buf []byte
+	for ci := 0; ci < base.NumClasses(); ci++ {
+		buf = m.encodeKey(buf[:0], i, int(base.Class(ci)[0]))
+		idx[string(buf)] = int32(ci)
+	}
+	for t := 0; t < n; t++ {
+		if classOf[t] >= 0 {
+			continue
+		}
+		buf = m.encodeKey(buf[:0], i, t)
+		idx[string(buf)] = loneRow(int32(t))
+	}
+	m.lhsIdx[i] = idx
+
+	// Consequent-value multisets per class, then the initial state from
+	// them: the one and only full scan a class ever pays.
+	col := m.rel.Column(d.RHS)
+	counts := make([][]valCount, base.NumClasses())
+	for ci := range counts {
+		pairs := make([]valCount, 0, 4)
+		for _, t := range base.Class(ci) {
+			pairs = bump(pairs, col[t], 1)
+		}
+		counts[ci] = pairs
+	}
+	m.counts[i] = counts
+
+	m.violating[i] = make(map[int]struct{})
+	m.fdOnly[i] = make(map[int]struct{})
+	var vals []relation.Value
+	for ci := 0; ci < base.NumClasses(); ci++ {
+		switch m.classState(i, ci, &vals) {
+		case classViolating:
+			m.violating[i][ci] = struct{}{}
+		case classFDOnly:
+			m.fdOnly[i][ci] = struct{}{}
+		}
+	}
+}
+
+// loneRow encodes a singleton row id for the LHS-key index (<= -2, so it
+// cannot collide with class ids or the -1 "no class" marker).
+func loneRow(t int32) int32 { return -(t + 2) }
+
+// encodeKey appends the dict-encoded antecedent value tuple of row t under
+// dependency i to buf (4 bytes per attribute; dictionaries make equal
+// antecedents byte-equal).
+func (m *Monitor) encodeKey(buf []byte, i, t int) []byte {
+	for _, c := range m.lhsCols[i] {
+		v := m.rel.Value(t, c)
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return buf
+}
+
+// classState verifies class ci of dependency i from its maintained
+// consequent-value multiset — O(distinct values), never a tuple scan.
+// scratch holds the distinct-value slice across calls.
+func (m *Monitor) classState(i, ci int, scratch *[]relation.Value) uint8 {
+	pairs := m.counts[i][ci]
+	if len(pairs) <= 1 {
+		return classOK // syntactically constant
+	}
+	vals := (*scratch)[:0]
+	for _, p := range pairs {
+		vals = append(vals, p.val)
+	}
+	*scratch = vals
+	if m.v.valuesSatisfied(m.sigma[i].RHS, vals) {
+		return classFDOnly
+	}
+	return classViolating
+}
+
+// adjustCounts maintains the multisets for one cell write from → to at
+// (row, col) across every dependency whose consequent is col.
+func (m *Monitor) adjustCounts(row, col int, from, to relation.Value) {
+	for i, d := range m.sigma {
+		if d.RHS != col {
+			continue
+		}
+		if ci := m.classOf[i][row]; ci >= 0 {
+			m.counts[i][ci] = bump(bump(m.counts[i][ci], from, -1), to, 1)
+		}
+	}
+}
+
+// applyState moves class ci of dependency i into the given state's set.
+func (m *Monitor) applyState(i, ci int, state uint8) {
+	delete(m.violating[i], ci)
+	delete(m.fdOnly[i], ci)
+	switch state {
+	case classViolating:
+		m.violating[i][ci] = struct{}{}
+	case classFDOnly:
+		m.fdOnly[i][ci] = struct{}{}
+	}
+}
+
+// reverifyClass re-verifies class ci of dependency i and records the
+// outcome.
+func (m *Monitor) reverifyClass(i, ci int) {
+	m.applyState(i, ci, m.classState(i, ci, &m.vals))
+	m.reverified++
+}
+
+// checkUpdate validates one cell write against the monitor's scope.
+func (m *Monitor) checkUpdate(row, col int) error {
 	if row < 0 || row >= m.rel.NumRows() || col < 0 || col >= m.rel.NumCols() {
 		return fmt.Errorf("core: cell (%d,%d) out of range", row, col)
 	}
 	if m.lhsAttrs.Has(col) {
 		return fmt.Errorf("core: attribute %s is an antecedent; monitored updates must touch consequents only", m.rel.Schema().Name(col))
 	}
-	m.rel.SetString(row, col, value)
+	return nil
+}
+
+// Update writes value into cell (row, col) and incrementally re-verifies
+// the equivalence classes containing the row for every OFD whose
+// consequent is col. Writing the value the cell already holds is a no-op:
+// it reports changed = false and skips re-verification entirely. Updating
+// an antecedent attribute is an error.
+func (m *Monitor) Update(row, col int, value string) (changed bool, err error) {
+	if err := m.checkUpdate(row, col); err != nil {
+		return false, err
+	}
+	id := m.rel.Dict(col).Intern(value)
+	old := m.rel.Value(row, col)
+	if id == old {
+		return false, nil
+	}
+	m.rel.SetValue(row, col, id)
+	m.adjustCounts(row, col, old, id)
 	for i, d := range m.sigma {
 		if d.RHS != col {
 			continue
 		}
-		ci := m.classOf[i][row]
-		if ci < 0 {
-			continue // singleton class; cannot violate
-		}
-		if m.v.classSatisfied(m.classes[i][ci], d.RHS) {
-			delete(m.violating[i], ci)
-		} else {
-			m.violating[i][ci] = struct{}{}
+		if ci := m.classOf[i][row]; ci >= 0 {
+			m.reverifyClass(i, int(ci))
 		}
 	}
+	return true, nil
+}
+
+// AppendRow appends one tuple (strings in schema order) to the monitored
+// relation and joins it to its equivalence class under every OFD via the
+// LHS-key index — O(|X|) per dependency, no partition rebuild. A tuple
+// whose antecedent key matches a formerly-singleton row births a new
+// two-tuple class in the overlay; a fresh key records a new singleton.
+// Only the joined classes are re-verified. Returns the new row id.
+func (m *Monitor) AppendRow(row []string) (int, error) {
+	if len(row) != m.rel.NumCols() {
+		return 0, fmt.Errorf("core: append of %d cells into %d attributes", len(row), m.rel.NumCols())
+	}
+	t := int32(m.rel.NumRows())
+	m.rel.AppendRow(row)
+	for i := range m.sigma {
+		rhs := m.sigma[i].RHS
+		col := m.rel.Column(rhs)
+		m.keyBuf = m.encodeKey(m.keyBuf[:0], i, int(t))
+		idx := m.lhsIdx[i]
+		enc, seen := idx[string(m.keyBuf)]
+		switch {
+		case !seen:
+			idx[string(m.keyBuf)] = loneRow(t)
+			m.classOf[i] = append(m.classOf[i], -1)
+		case enc <= -2: // lone row: birth a two-tuple class
+			r := -enc - 2
+			ci := m.parts[i].AddClass(r, t)
+			idx[string(m.keyBuf)] = int32(ci)
+			m.classOf[i][r] = int32(ci)
+			m.classOf[i] = append(m.classOf[i], int32(ci))
+			pairs := bump(bump(make([]valCount, 0, 2), col[r], 1), col[t], 1)
+			m.counts[i] = append(m.counts[i], pairs)
+			m.reverifyClass(i, ci)
+		default: // existing class
+			ci := int(enc)
+			m.parts[i].Add(ci, t)
+			m.classOf[i] = append(m.classOf[i], int32(ci))
+			m.counts[i][ci] = bump(m.counts[i][ci], col[t], 1)
+			m.reverifyClass(i, ci)
+		}
+	}
+	return int(t), nil
+}
+
+// ApplyBatch applies a batch of cell updates and re-verifies every
+// affected equivalence class exactly once. See ApplyBatchContext.
+func (m *Monitor) ApplyBatch(updates []CellUpdate) error {
+	return m.ApplyBatchContext(context.Background(), updates)
+}
+
+// ApplyBatchContext applies the updates in order, dedups the dirty
+// (OFD, class) pairs across the whole batch, and re-verifies them in
+// parallel over up to m.Workers goroutines with a canonical-order merge —
+// the violation state is byte-identical for every worker count. The batch
+// is atomic: every update is validated before any cell is written, and a
+// cancelled re-verification rolls the cell writes back and leaves the
+// violation state exactly as before the call, returning an error
+// satisfying errors.Is(err, ctx.Err()). Updates that rewrite a cell's
+// current value are skipped and dirty no classes.
+func (m *Monitor) ApplyBatchContext(ctx context.Context, updates []CellUpdate) error {
+	for _, u := range updates {
+		if err := m.checkUpdate(u.Row, u.Col); err != nil {
+			return err
+		}
+	}
+	type undo struct {
+		row, col int
+		old      relation.Value
+	}
+	undos := make([]undo, 0, len(updates))
+	dirty := make(map[int64]struct{}, len(updates))
+	for _, u := range updates {
+		old := m.rel.Value(u.Row, u.Col)
+		id := m.rel.Dict(u.Col).Intern(u.Value)
+		if id == old {
+			continue
+		}
+		m.rel.SetValue(u.Row, u.Col, id)
+		m.adjustCounts(u.Row, u.Col, old, id)
+		undos = append(undos, undo{u.Row, u.Col, old})
+		for i, d := range m.sigma {
+			if d.RHS != u.Col {
+				continue
+			}
+			if ci := m.classOf[i][u.Row]; ci >= 0 {
+				dirty[int64(i)<<32|int64(ci)] = struct{}{}
+			}
+		}
+	}
+	if len(dirty) == 0 {
+		return nil
+	}
+	// Roll the batch back on cancellation: cell writes and their multiset
+	// adjustments are undone in reverse order, and the violation maps were
+	// never touched, so the monitor is exactly in its pre-batch state
+	// (interned strings stay in the dictionaries and memoized names tables,
+	// which is harmless — both are monotone).
+	rollback := func() {
+		for k := len(undos) - 1; k >= 0; k-- {
+			u := undos[k]
+			cur := m.rel.Value(u.row, u.col)
+			m.rel.SetValue(u.row, u.col, u.old)
+			m.adjustCounts(u.row, u.col, cur, u.old)
+		}
+	}
+	keys := make([]int64, 0, len(dirty))
+	for k := range dirty {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+
+	w := exec.Workers(m.Workers)
+	span := m.Stats.Span("monitor.reverify")
+	span.Workers(w)
+	span.Items(len(keys))
+	defer span.End()
+
+	if err := exec.Interrupted(ctx, "monitor.reverify"); err != nil {
+		rollback()
+		return err
+	}
+	states := make([]uint8, len(keys))
+	scratches := make([][]relation.Value, w)
+	err := exec.For(ctx, len(keys), w, func(worker, k int) {
+		i, ci := int(keys[k]>>32), int(int32(keys[k]))
+		states[k] = m.classState(i, ci, &scratches[worker])
+	})
+	if err != nil {
+		rollback()
+		return err
+	}
+	for k, key := range keys {
+		m.applyState(int(key>>32), int(int32(key)), states[k])
+	}
+	m.reverified += len(keys)
 	return nil
 }
 
@@ -135,13 +503,32 @@ func (m *Monitor) ViolationCount() int {
 	return n
 }
 
+// Reverified returns the number of class re-verifications performed since
+// construction — the monitor's unit of incremental work (a no-op update
+// leaves it unchanged).
+func (m *Monitor) Reverified() int { return m.reverified }
+
+// NumRows returns the current number of monitored tuples.
+func (m *Monitor) NumRows() int { return m.rel.NumRows() }
+
+// sortedClasses returns the class ids of set in ascending order.
+func sortedClasses(set map[int]struct{}) []int {
+	out := make([]int, 0, len(set))
+	for ci := range set {
+		out = append(out, ci)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // ViolatingClasses returns, for each OFD index, the violating classes'
-// tuple lists.
+// tuple lists in ascending class order.
 func (m *Monitor) ViolatingClasses() map[int][][]int {
 	out := make(map[int][][]int)
+	var scratch []int32
 	for i, set := range m.violating {
-		for ci := range set {
-			class := m.classes[i][ci]
+		for _, ci := range sortedClasses(set) {
+			class := m.parts[i].View(ci, &scratch)
 			tuples := make([]int, len(class))
 			for j, t := range class {
 				tuples[j] = int(t)
@@ -150,4 +537,37 @@ func (m *Monitor) ViolatingClasses() map[int][][]int {
 		}
 	}
 	return out
+}
+
+// Report materializes the current violation state as a Detect-shaped
+// report: canonically sorted explained violations, distinct flagged
+// tuples, and the FD-only false-positive count. For any sequence of
+// updates, batches, and appends, the report is byte-identical to running
+// Detect from scratch on the final instance — the bench and the
+// equivalence property test assert exactly that. Cost is proportional to
+// the flagged classes, not the instance.
+func (m *Monitor) Report() *Report {
+	rep := &Report{}
+	flagged := make(map[int]struct{})
+	fdOnly := make(map[int]struct{})
+	var scratch []int32
+	for i, d := range m.sigma {
+		for _, ci := range sortedClasses(m.violating[i]) {
+			class := m.parts[i].View(ci, &scratch)
+			rep.Violations = append(rep.Violations, explain(m.rel, m.v.Ontology(), d, class))
+			for _, t := range class {
+				flagged[int(t)] = struct{}{}
+			}
+		}
+		for _, ci := range sortedClasses(m.fdOnly[i]) {
+			class := m.parts[i].View(ci, &scratch)
+			for _, t := range class {
+				fdOnly[int(t)] = struct{}{}
+			}
+		}
+	}
+	rep.TuplesFlagged = len(flagged)
+	rep.FDOnlyFlagged = len(fdOnly)
+	sortViolations(rep.Violations)
+	return rep
 }

@@ -1,9 +1,24 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
+
+// colNames is one column's names(v) table. The table is published through
+// an atomic pointer so the hot lookup path is a single load plus a slice
+// index; values interned after construction (repairs, monitored updates,
+// appends) are folded in by a copy-on-write extension under the mutex, so
+// every post-build value pays the ontology string lookup exactly once and
+// hits the memoized table on the second probe. The table is monotone: it
+// only ever grows, and published prefixes are immutable.
+type colNames struct {
+	mu  sync.Mutex
+	tbl atomic.Pointer[[][]ontology.ClassID]
+}
 
 // Verifier checks candidate synonym OFDs against a relation instance and an
 // ontology. It precomputes, per attribute, the names(v) lookup for every
@@ -15,13 +30,15 @@ type Verifier struct {
 	rel   *relation.Relation
 	ont   *ontology.Ontology
 	pc    *relation.PartitionCache
-	names [][][]ontology.ClassID // names[col][valueID] = classes containing the value
+	names []colNames // names[col] tables: names[col][valueID] = classes containing the value
 	// covered[col] reports whether ANY value of the column appears in the
 	// ontology. For uncovered columns synonym semantics degenerate to
 	// syntactic equality, enabling the O(|Π|) partition-error test instead
 	// of per-class scans — most attributes of a real schema (keys, counts,
 	// free text) are uncovered, so this carries most of the verification.
-	covered []bool
+	// Atomic because names-table extension may flip it concurrently with
+	// readers; it is monotone (false → true only).
+	covered []atomic.Bool
 }
 
 // NewVerifier builds a verifier over the relation and ontology, sharing the
@@ -34,8 +51,8 @@ func NewVerifier(rel *relation.Relation, ont *ontology.Ontology, pc *relation.Pa
 		rel:     rel,
 		ont:     ont,
 		pc:      pc,
-		names:   make([][][]ontology.ClassID, rel.NumCols()),
-		covered: make([]bool, rel.NumCols()),
+		names:   make([]colNames, rel.NumCols()),
+		covered: make([]atomic.Bool, rel.NumCols()),
 	}
 	for c := 0; c < rel.NumCols(); c++ {
 		dict := rel.Dict(c)
@@ -43,10 +60,10 @@ func NewVerifier(rel *relation.Relation, ont *ontology.Ontology, pc *relation.Pa
 		for id := 0; id < dict.Size(); id++ {
 			tbl[id] = ont.Names(dict.String(relation.Value(id)))
 			if len(tbl[id]) > 0 {
-				v.covered[c] = true
+				v.covered[c].Store(true)
 			}
 		}
-		v.names[c] = tbl
+		v.names[c].tbl.Store(&tbl)
 	}
 	return v
 }
@@ -60,14 +77,54 @@ func (v *Verifier) Ontology() *ontology.Ontology { return v.ont }
 // Partitions returns the shared partition cache.
 func (v *Verifier) Partitions() *relation.PartitionCache { return v.pc }
 
-// namesOf returns names(t[col]) with a bounds guard for values interned
-// after the verifier was built (repairs may add new strings).
+// namesOf returns names(t[col]). Values interned after the verifier was
+// built (repairs, monitored updates, appends) extend the memoized table on
+// first probe instead of re-resolving through the dictionary and ontology
+// on every class scan. Safe for concurrent use.
 func (v *Verifier) namesOf(col int, val relation.Value) []ontology.ClassID {
-	tbl := v.names[col]
+	cn := &v.names[col]
+	tbl := *cn.tbl.Load()
 	if int(val) < len(tbl) {
 		return tbl[val]
 	}
-	return v.ont.Names(v.rel.Dict(col).String(val))
+	return v.extendNames(col, val)
+}
+
+// extendNames is namesOf's slow path: grow column col's table to the
+// dictionary's current size (resolving every not-yet-seen value through the
+// ontology once), publish it, and answer the probe from the new table. The
+// copy-on-write extension keeps concurrent readers lock-free.
+func (v *Verifier) extendNames(col int, val relation.Value) []ontology.ClassID {
+	cn := &v.names[col]
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	tbl := *cn.tbl.Load()
+	if int(val) < len(tbl) {
+		return tbl[val] // another goroutine extended past val already
+	}
+	dict := v.rel.Dict(col)
+	n := dict.Size()
+	if int(val) >= n {
+		// Not a value of this column's dictionary; resolve without caching.
+		return v.ont.Names(dict.String(val))
+	}
+	grown := make([][]ontology.ClassID, n)
+	copy(grown, tbl)
+	for id := len(tbl); id < n; id++ {
+		names := v.ont.Names(dict.String(relation.Value(id)))
+		grown[id] = names
+		if len(names) > 0 {
+			v.covered[col].Store(true)
+		}
+	}
+	cn.tbl.Store(&grown)
+	return grown[val]
+}
+
+// namesTableLen reports how many value ids of column col are currently
+// memoized (test hook for the extend-on-intern contract).
+func (v *Verifier) namesTableLen(col int) int {
+	return len(*v.names[col].tbl.Load())
 }
 
 // Scratch capacities for the allocation-free small-class fast paths in
@@ -116,6 +173,21 @@ gather:
 		}
 		distinct = append(distinct, val)
 	}
+	return v.valuesSatisfied(rhs, distinct)
+}
+
+// valuesSatisfied reports whether some sense covers every one of the given
+// distinct consequent values — the class-size-independent core of
+// classSatisfied, shared with the incremental monitor (which maintains the
+// distinct values per class and so never rescans tuples). vals must be
+// distinct and non-empty; a single value is trivially satisfied.
+func (v *Verifier) valuesSatisfied(rhs int, vals []relation.Value) bool {
+	if len(vals) <= 1 {
+		return true
+	}
+	if len(vals) > smallDistinct {
+		return v.valuesSatisfiedSlow(rhs, vals)
+	}
 	// Sense-frequency count: over distinct values, how many values each
 	// class (sense) covers; a sense covering all of them is a common
 	// interpretation. Senses per value are few, so linear probing beats a
@@ -123,8 +195,8 @@ gather:
 	var idArr [smallSenses]ontology.ClassID
 	var ctArr [smallSenses]int32
 	ids, cts := idArr[:0], ctArr[:0]
-	need := int32(len(distinct))
-	for _, val := range distinct {
+	need := int32(len(vals))
+	for _, val := range vals {
 		for _, cls := range v.namesOf(rhs, val) {
 			j := -1
 			for k, id := range ids {
@@ -135,7 +207,7 @@ gather:
 			}
 			if j < 0 {
 				if len(ids) == smallSenses {
-					return v.classSatisfiedSlow(class, rhs)
+					return v.valuesSatisfiedSlow(rhs, vals)
 				}
 				ids = append(ids, cls)
 				cts = append(cts, 1)
@@ -150,17 +222,12 @@ gather:
 	return false
 }
 
-// classSatisfiedSlow is the map-based fallback of classSatisfied for
-// classes whose distinct values or senses overflow the stack scratch.
-func (v *Verifier) classSatisfiedSlow(class []int32, rhs int) bool {
-	col := v.rel.Column(rhs)
-	distinct := make(map[relation.Value]struct{}, 32)
-	for _, t := range class {
-		distinct[col[t]] = struct{}{}
-	}
+// valuesSatisfiedSlow is the map-based fallback of valuesSatisfied for
+// value or sense sets that overflow the stack scratch.
+func (v *Verifier) valuesSatisfiedSlow(rhs int, vals []relation.Value) bool {
 	counts := make(map[ontology.ClassID]int, 8)
-	need := len(distinct)
-	for val := range distinct {
+	need := len(vals)
+	for _, val := range vals {
 		for _, cls := range v.namesOf(rhs, val) {
 			counts[cls]++
 			if counts[cls] == need {
@@ -171,6 +238,22 @@ func (v *Verifier) classSatisfiedSlow(class []int32, rhs int) bool {
 	return false
 }
 
+// classSatisfiedSlow is the fallback of classSatisfied for classes whose
+// distinct values overflow the stack scratch.
+func (v *Verifier) classSatisfiedSlow(class []int32, rhs int) bool {
+	col := v.rel.Column(rhs)
+	seen := make(map[relation.Value]struct{}, 32)
+	vals := make([]relation.Value, 0, 32)
+	for _, t := range class {
+		if _, ok := seen[col[t]]; ok {
+			continue
+		}
+		seen[col[t]] = struct{}{}
+		vals = append(vals, col[t])
+	}
+	return v.valuesSatisfiedSlow(rhs, vals)
+}
+
 // HoldsSyn reports whether the synonym OFD X →_syn A holds exactly on the
 // instance: every equivalence class of Π*_X has a common interpretation.
 // For consequents with no ontology coverage this is exactly the FD test.
@@ -178,7 +261,7 @@ func (v *Verifier) HoldsSyn(d OFD) bool {
 	if d.Trivial() {
 		return true
 	}
-	if !v.covered[d.RHS] {
+	if !v.covered[d.RHS].Load() {
 		return v.HoldsFD(d)
 	}
 	p := v.pc.Get(d.LHS)

@@ -1,0 +1,89 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionOverlayViewsAndGrowth(t *testing.T) {
+	rel, err := FromRows(MustSchema("A", "B"), [][]string{
+		{"x", "1"}, {"x", "2"}, {"y", "3"}, {"y", "4"}, {"z", "5"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SingleColumnPartition(rel, 0).Strip() // classes {0,1}, {2,3}; z stripped
+	o := NewPartitionOverlay(base)
+	if o.NumClasses() != 2 || o.BaseClasses() != 2 {
+		t.Fatalf("classes = %d base = %d, want 2/2", o.NumClasses(), o.BaseClasses())
+	}
+
+	var scratch []int32
+	// Untouched base class: must be a zero-copy view into the flat array.
+	v := o.View(0, &scratch)
+	if &v[0] != &base.Tuples[0] {
+		t.Fatal("delta-free class must alias the base flat array")
+	}
+	if scratch != nil {
+		t.Fatal("scratch must stay untouched for zero-copy views")
+	}
+
+	// Add tuples to a base class: the view materializes base + delta.
+	o.Add(1, 5)
+	o.Add(1, 7)
+	got := o.View(1, &scratch)
+	if !reflect.DeepEqual(got, []int32{2, 3, 5, 7}) {
+		t.Fatalf("view = %v, want [2 3 5 7]", got)
+	}
+	if o.Len(1) != 4 {
+		t.Fatalf("Len(1) = %d, want 4", o.Len(1))
+	}
+
+	// Overlay-born class: zero-copy view of the delta itself.
+	ci := o.AddClass(4, 6)
+	if ci != 2 || o.NumClasses() != 3 {
+		t.Fatalf("AddClass id = %d classes = %d", ci, o.NumClasses())
+	}
+	if got := o.View(ci, &scratch); !reflect.DeepEqual(got, []int32{4, 6}) {
+		t.Fatalf("new class view = %v", got)
+	}
+	o.Add(ci, 8)
+	if got := o.View(ci, &scratch); !reflect.DeepEqual(got, []int32{4, 6, 8}) {
+		t.Fatalf("grown new class view = %v", got)
+	}
+	if o.Len(ci) != 3 {
+		t.Fatalf("Len(%d) = %d, want 3", ci, o.Len(ci))
+	}
+	if o.Added() != 5 {
+		t.Fatalf("Added = %d, want 5", o.Added())
+	}
+	if o.Base() != base {
+		t.Fatal("Base must return the wrapped partition")
+	}
+}
+
+func TestPartitionOverlayScratchReuse(t *testing.T) {
+	rel, err := FromRows(MustSchema("A"), [][]string{
+		{"x"}, {"x"}, {"y"}, {"y"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SingleColumnPartition(rel, 0).Strip()
+	o := NewPartitionOverlay(base)
+	o.Add(0, 9)
+	o.Add(1, 11)
+	var scratch []int32
+	a := o.View(0, &scratch)
+	if !reflect.DeepEqual(a, []int32{0, 1, 9}) {
+		t.Fatalf("a = %v", a)
+	}
+	b := o.View(1, &scratch)
+	if !reflect.DeepEqual(b, []int32{2, 3, 11}) {
+		t.Fatalf("b = %v", b)
+	}
+	// The scratch grew once and was reused; capacity must satisfy both.
+	if cap(scratch) < 3 {
+		t.Fatalf("scratch cap = %d", cap(scratch))
+	}
+}
