@@ -31,10 +31,11 @@ fdbench:
 	$(GO) run ./cmd/benchrunner -fdbench BENCH_fd.json -discrows 4000
 
 # Incremental-monitor benchmark report (BENCH_monitor.json): batched
-# violation maintenance vs full Detect rebuilds across Clinical sizes and
-# batch sizes, with a byte-identical-report check.
+# violation maintenance vs full Detect rebuilds across Clinical sizes up to
+# 1M rows, sweeping shard (-shards) and worker (-cpus) counts, with a
+# byte-identical-report check and a partition-cache stats block.
 monitorbench:
-	$(GO) run ./cmd/benchrunner -monitorbench BENCH_monitor.json -discrows 50000
+	$(GO) run ./cmd/benchrunner -monitorbench BENCH_monitor.json -rows 1000000 -shards 4,16 -cpus 1,0
 
 # Paper-style experiment tables with accuracy metrics.
 experiments:

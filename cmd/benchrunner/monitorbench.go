@@ -15,26 +15,66 @@ import (
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
-// monitorReport is the machine-readable output of -monitorbench: incremental
-// violation maintenance (Monitor.ApplyBatch + AppendRow) against full
-// DetectContext rebuilds on identical update streams over the Clinical
-// workload, across tuple counts and batch sizes.
+// rebuildCapRows caps the per-batch full-rebuild baseline: beyond this
+// size a DetectContext after every batch dominates the wall clock without
+// adding information (the incremental-vs-rebuild gap only grows with n).
+// Larger sizes still get one final Detect as the byte-identity reference.
+const rebuildCapRows = 250_000
+
+// monitorReport is the machine-readable output of -monitorbench:
+// incremental violation maintenance (Monitor.ApplyBatch + AppendRow)
+// against full DetectContext rebuilds on identical update streams over
+// the Clinical workload, swept across tuple counts, batch sizes, LHS-key
+// shard counts, and worker counts.
 type monitorReport struct {
 	GOOS   string `json:"goos"`
 	GOARCH string `json:"goarch"`
 	NumCPU int    `json:"num_cpu"`
 	Rows   int    `json:"rows"`
-	// Speedup is the headline ratio: full-rebuild ns over incremental ns at
-	// the largest size with 1%-of-rows batches, parallel workers.
+	// Shards and Cpus are the swept shard and worker counts (as given;
+	// series names carry the effective values).
+	Shards []int `json:"shards"`
+	Cpus   []int `json:"cpus"`
+	// Speedup is the incremental-vs-rebuild headline: full-rebuild ns over
+	// best incremental ns at the largest size with a measured rebuild
+	// baseline, 1%-of-rows batches.
 	Speedup float64 `json:"speedup"`
-	// ReportsIdentical records that, for every configuration and worker
-	// count, the monitor's final report was byte-identical (as JSON) to a
-	// fresh Detect over the evolved instance.
+	// ShardSpeedup compares the sharded monitor against the single-shard
+	// one: best s=1 ns over best s>1 ns at the largest size, largest
+	// batches (0 when the sweep has no multi-shard config). On a 1-CPU
+	// host this hovers near 1.0 — sharding pays off with cores.
+	ShardSpeedup float64 `json:"shard_speedup"`
+	// ReportsIdentical records that, for every configuration, shard count,
+	// and worker count, the monitor's final report was byte-identical (as
+	// JSON) to a fresh Detect over the evolved instance.
 	ReportsIdentical bool          `json:"reports_identical"`
 	Results          []benchResult `json:"results"`
-	// Stats carries the monitor.build / monitor.reverify / detect.verify
-	// spans accumulated across the runs.
+	// Cache aggregates the relation.PartitionCache counters across every
+	// monitor the bench built: total hits/misses, and the peak
+	// entries/bytes footprint of any single cache.
+	Cache cacheTotals `json:"cache"`
+	// Stats carries the monitor.build / monitor.route / monitor.apply /
+	// monitor.merge / detect.verify spans accumulated across the runs.
 	Stats *exec.Stats `json:"stats"`
+}
+
+// cacheTotals is the aggregated partition-cache block of monitorReport.
+type cacheTotals struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	PeakEntries int    `json:"peak_entries"`
+	PeakBytes   int64  `json:"peak_bytes"`
+}
+
+func (c *cacheTotals) add(st relation.CacheStats) {
+	c.Hits += st.Hits
+	c.Misses += st.Misses
+	if st.Entries > c.PeakEntries {
+		c.PeakEntries = st.Entries
+	}
+	if st.Bytes > c.PeakBytes {
+		c.PeakBytes = st.Bytes
+	}
 }
 
 // monitorOp is one element of a deterministic maintenance stream: either a
@@ -60,7 +100,8 @@ func monitorStream(ds *gen.Dataset, sigma core.Set, nBatches, batchSize, appends
 	for _, c := range rhsCols {
 		pools[c] = ds.Rel.Project(c)
 	}
-	nRows := ds.Rel.NumRows()
+	baseRows := ds.Rel.NumRows()
+	nRows := baseRows
 	batches := make([][]monitorOp, nBatches)
 	for b := range batches {
 		ops := make([]monitorOp, 0, batchSize+appendsPerBatch)
@@ -73,7 +114,10 @@ func monitorStream(ds *gen.Dataset, sigma core.Set, nBatches, batchSize, appends
 			ops = append(ops, monitorOp{update: core.CellUpdate{Row: rng.Intn(nRows), Col: col, Value: val}})
 		}
 		for k := 0; k < appendsPerBatch; k++ {
-			row := ds.Rel.Row(rng.Intn(nRows))
+			// Appended tuples clone the *base* relation's rows (the stream is
+			// generated before any op applies); update row ids may target the
+			// whole growing instance, tracked by nRows.
+			row := ds.Rel.Row(rng.Intn(baseRows))
 			col := rhsCols[rng.Intn(len(rhsCols))]
 			row[col] = pools[col][rng.Intn(len(pools[col]))]
 			ops = append(ops, monitorOp{appendRow: row})
@@ -129,6 +173,22 @@ func replayRebuild(ctx context.Context, rel *relation.Relation, ds *gen.Dataset,
 	return rep, nil
 }
 
+// detectEvolved applies the stream to a bare relation and runs one final
+// Detect — the byte-identity reference when the per-batch rebuild
+// baseline is capped out at large sizes.
+func detectEvolved(ctx context.Context, rel *relation.Relation, ds *gen.Dataset, sigma core.Set, batches [][]monitorOp, stats *exec.Stats) (*core.Report, error) {
+	for _, ops := range batches {
+		for _, op := range ops {
+			if op.appendRow != nil {
+				rel.AppendRow(op.appendRow)
+				continue
+			}
+			rel.SetString(op.update.Row, op.update.Col, op.update.Value)
+		}
+	}
+	return core.DetectContext(ctx, rel, ds.FullOnt, sigma, 0, stats)
+}
+
 // monitorSigma narrows the planted Σ to monitorable dependencies (disjoint
 // antecedents and consequents — true for the Clinical generator, but keep
 // the bench robust to preset changes).
@@ -146,12 +206,14 @@ func monitorSigma(ds *gen.Dataset) core.Set {
 	return out
 }
 
-// runMonitorBench measures incremental batch maintenance against full
-// rebuilds and writes BENCH_monitor.json. smoke shrinks the grid to one
-// small size with two batches for CI. A cancelled ctx stops between
+// runMonitorBench measures incremental batch maintenance — single-shard
+// vs sharded, across worker counts — against full rebuilds, and writes
+// BENCH_monitor.json. The shard sweep always includes 1 so the sharded
+// series has its single-shard baseline. smoke shrinks the grid to one
+// size with two batches for CI. A cancelled ctx stops between
 // configurations; the rows measured so far are still written before the
 // error returns.
-func runMonitorBench(ctx context.Context, stats *exec.Stats, path string, rows int, smoke bool) error {
+func runMonitorBench(ctx context.Context, stats *exec.Stats, path string, rows int, shardList, cpuList []int, smoke bool) error {
 	sizes := []int{rows / 4, rows / 2, rows}
 	batchPcts := []float64{0.1, 1.0} // percent of rows updated per batch
 	nBatches := 4
@@ -160,12 +222,21 @@ func runMonitorBench(ctx context.Context, stats *exec.Stats, path string, rows i
 		batchPcts = []float64{1.0}
 		nBatches = 2
 	}
+	// The single-shard baseline anchors the sharded series.
+	if !containsInt(shardList, 1) {
+		shardList = append([]int{1}, shardList...)
+	}
+	if len(cpuList) == 0 {
+		cpuList = []int{0}
+	}
 
 	report := monitorReport{
 		GOOS:             runtime.GOOS,
 		GOARCH:           runtime.GOARCH,
 		NumCPU:           runtime.NumCPU(),
 		Rows:             rows,
+		Shards:           shardList,
+		Cpus:             cpuList,
 		ReportsIdentical: true,
 		Stats:            stats,
 	}
@@ -191,68 +262,106 @@ func runMonitorBench(ctx context.Context, stats *exec.Stats, path string, rows i
 			appends := batchSize / 20
 			batches := monitorStream(ds, sigma, nBatches, batchSize, appends, 7)
 
-			// Incremental maintenance at each worker count, on its own copy
-			// of the instance; every run must converge to the same report.
-			var incNs float64
+			// Incremental maintenance for every (shards, workers) combo, on
+			// its own copy of the instance; every run must converge to the
+			// same report. Effective shard counts dedup the grid (e.g.
+			// shards=0 resolving to an explicit entry).
+			type combo struct{ s, w int }
+			seen := map[combo]bool{}
+			var singleNs, shardedNs float64 // best s=1 / best s>1 at this config
 			var incReports []string
-			for _, workers := range []int{1, 0} {
-				if err := exec.Interrupted(ctx, "monitorbench"); err != nil {
-					return partial(err)
-				}
-				m, err := core.NewMonitorWorkers(ctx, ds.Rel.Clone(), ds.FullOnt, sigma, workers, stats)
-				if err != nil {
-					return partial(err)
-				}
-				start := time.Now()
-				if err := replayIncremental(ctx, m, batches); err != nil {
-					return partial(err)
-				}
-				elapsed := float64(time.Since(start).Nanoseconds())
-				rep, err := json.Marshal(m.Report())
-				if err != nil {
-					return partial(err)
-				}
-				incReports = append(incReports, string(rep))
-				report.Results = append(report.Results, benchResult{
-					Name:       fmt.Sprintf("incremental-n%d-b%d-w%d", n, batchSize, workers),
-					Iterations: nBatches,
-					NsPerOp:    elapsed / float64(nBatches),
-				})
-				if workers == 0 {
-					incNs = elapsed / float64(nBatches)
+			for _, s := range shardList {
+				for _, w := range cpuList {
+					if err := exec.Interrupted(ctx, "monitorbench"); err != nil {
+						return partial(err)
+					}
+					m, err := core.NewMonitorSharded(ctx, ds.Rel.Clone(), ds.FullOnt, sigma, s, w, stats)
+					if err != nil {
+						return partial(err)
+					}
+					eff := combo{m.NumShards(), exec.Workers(w)}
+					if seen[eff] {
+						continue
+					}
+					seen[eff] = true
+					start := time.Now()
+					if err := replayIncremental(ctx, m, batches); err != nil {
+						return partial(err)
+					}
+					perBatch := float64(time.Since(start).Nanoseconds()) / float64(nBatches)
+					report.Cache.add(m.CacheStats())
+					rep, err := json.Marshal(m.Report())
+					if err != nil {
+						return partial(err)
+					}
+					incReports = append(incReports, string(rep))
+					report.Results = append(report.Results, benchResult{
+						Name:       fmt.Sprintf("incremental-n%d-b%d-s%d-w%d", n, batchSize, eff.s, eff.w),
+						Iterations: nBatches,
+						NsPerOp:    perBatch,
+					})
+					if eff.s == 1 {
+						if singleNs == 0 || perBatch < singleNs {
+							singleNs = perBatch
+						}
+					} else if shardedNs == 0 || perBatch < shardedNs {
+						shardedNs = perBatch
+					}
 				}
 			}
 
-			// Full rebuild baseline (parallel partitions — its best case).
+			// Full rebuild baseline (parallel partitions — its best case),
+			// capped at rebuildCapRows; larger sizes get one final Detect as
+			// the byte-identity reference only.
 			if err := exec.Interrupted(ctx, "monitorbench"); err != nil {
 				return partial(err)
 			}
-			rebuildRel := ds.Rel.Clone()
-			start := time.Now()
-			rep, err := replayRebuild(ctx, rebuildRel, ds, sigma, batches, 0, stats)
-			if err != nil {
-				return partial(err)
+			var refReport *core.Report
+			var rebuildNs float64
+			if n <= rebuildCapRows {
+				rebuildRel := ds.Rel.Clone()
+				start := time.Now()
+				rep, err := replayRebuild(ctx, rebuildRel, ds, sigma, batches, 0, stats)
+				if err != nil {
+					return partial(err)
+				}
+				rebuildNs = float64(time.Since(start).Nanoseconds()) / float64(nBatches)
+				refReport = rep
+				report.Results = append(report.Results, benchResult{
+					Name:       fmt.Sprintf("rebuild-n%d-b%d-w0", n, batchSize),
+					Iterations: nBatches,
+					NsPerOp:    rebuildNs,
+				})
+			} else {
+				rep, err := detectEvolved(ctx, ds.Rel.Clone(), ds, sigma, batches, stats)
+				if err != nil {
+					return partial(err)
+				}
+				refReport = rep
 			}
-			rebuildNs := float64(time.Since(start).Nanoseconds()) / float64(nBatches)
-			report.Results = append(report.Results, benchResult{
-				Name:       fmt.Sprintf("rebuild-n%d-b%d-w0", n, batchSize),
-				Iterations: nBatches,
-				NsPerOp:    rebuildNs,
-			})
 
-			rebuildJSON, err := json.Marshal(rep)
+			refJSON, err := json.Marshal(refReport)
 			if err != nil {
 				return partial(err)
 			}
 			for _, r := range incReports {
-				if r != string(rebuildJSON) {
+				if r != string(refJSON) {
 					report.ReportsIdentical = false
 					fmt.Fprintf(os.Stderr, "monitorbench: n=%d batch=%d: incremental report differs from fresh Detect\n", n, batchSize)
 					break
 				}
 			}
-			if n == sizes[len(sizes)-1] && pct == 1.0 && incNs > 0 {
-				report.Speedup = rebuildNs / incNs
+			if pct == batchPcts[len(batchPcts)-1] {
+				if rebuildNs > 0 && singleNs > 0 {
+					best := singleNs
+					if shardedNs > 0 && shardedNs < best {
+						best = shardedNs
+					}
+					report.Speedup = rebuildNs / best
+				}
+				if n == sizes[len(sizes)-1] && singleNs > 0 && shardedNs > 0 {
+					report.ShardSpeedup = singleNs / shardedNs
+				}
 			}
 		}
 	}
@@ -260,8 +369,20 @@ func runMonitorBench(ctx context.Context, stats *exec.Stats, path string, rows i
 	if err := writeBenchReport(path, report, report.Results, 30); err != nil {
 		return err
 	}
-	fmt.Printf("incremental vs rebuild at n=%d, 1%% batches: %.1fx faster\n", sizes[len(sizes)-1], report.Speedup)
+	fmt.Printf("incremental vs rebuild, 1%% batches: %.1fx faster\n", report.Speedup)
+	if report.ShardSpeedup > 0 {
+		fmt.Printf("sharded vs single-shard at n=%d: %.2fx (num_cpu=%d)\n", sizes[len(sizes)-1], report.ShardSpeedup, report.NumCPU)
+	}
 	fmt.Printf("reports identical to fresh Detect: %v\n", report.ReportsIdentical)
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }

@@ -6,11 +6,15 @@
 //
 //	ofddetect -data trials.csv -ontology drugs.json \
 //	          -ofd "CC -> CTRY" -ofd "SYMP,DIAG -> MED" [-sigma sigma.txt]
-//	          [-updates stream.csv] [-batch 64] [-timeout 30s]
+//	          [-updates stream.csv] [-batch 64] [-shards 8] [-timeout 30s]
 //
 // With -updates, ofddetect replays a maintenance stream on top of the
 // loaded instance through the incremental monitor instead of running a
-// one-shot detection. Each CSV record of the stream is either a cell write
+// one-shot detection. The stream is read incrementally — memory stays
+// O(batch) however long it is — and per-batch flush latency percentiles
+// are reported at the end; -shards controls the monitor's LHS-key shard
+// fan-out (0 derives it from -workers). Each CSV record of the stream is
+// either a cell write
 //
 //	row,attr,value       set cell (row, attr) to value (0-based row ids,
 //	                     attr by name)
@@ -32,13 +36,16 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
+	"time"
 
 	"github.com/fastofd/fastofd"
 	"github.com/fastofd/fastofd/internal/cli"
@@ -59,6 +66,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "partition-cache warm-up workers (0 = all CPUs)")
 		updates   = flag.String("updates", "", "CSV update stream to replay through the incremental monitor (records: row,attr,value or +,v1,...,vk)")
 		batchSize = flag.Int("batch", 64, "cell updates per monitor batch when replaying -updates")
+		shards    = flag.Int("shards", 0, "LHS-key shards for the incremental monitor (0 = derive from -workers)")
 		stats     = flag.Bool("stats", false, "print the per-stage execution table")
 		timeout   = flag.Duration("timeout", 0, "abort after this duration, printing the partial report (0 = no timeout)")
 	)
@@ -98,7 +106,7 @@ func main() {
 	var rep *fastofd.Report
 	var derr error
 	if *updates != "" {
-		rep, derr = replayUpdates(ctx, rel, ont, sigma, *updates, *batchSize, *workers, stageStats)
+		rep, derr = replayUpdates(ctx, rel, ont, sigma, *updates, *batchSize, *shards, *workers, stageStats)
 	} else {
 		rep, derr = fastofd.DetectContext(ctx, rel, ont, sigma, *workers, stageStats)
 	}
@@ -121,14 +129,18 @@ func main() {
 	}
 }
 
-// replayUpdates applies the update stream through the incremental monitor
-// and materializes the final violation report — byte-identical to running
-// detection from scratch on the evolved instance. Cell writes batch up to
-// batchSize before flushing through ApplyBatchContext; '+' records append
-// immediately (appends re-verify only the class the tuple joins). On
+// replayUpdates streams the update file through the incremental monitor
+// batch by batch and materializes the final violation report —
+// byte-identical to running detection from scratch on the evolved
+// instance. The stream is never loaded whole: records are decoded off a
+// buffered reader one at a time and cell writes batch up to batchSize
+// before flushing through ApplyBatchContext, so replay memory is O(batch)
+// regardless of stream length. '+' records append immediately (appends
+// re-verify only the class the tuple joins). Per-batch flush latencies
+// are summarized to stderr as percentiles when the stream ends. On
 // interrupt the report reflects the stream replayed so far: a cut batch
 // rolls back, so no half-applied batch is ever reported.
-func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Ontology, sigma fastofd.Set, path string, batchSize, workers int, stats *fastofd.Stats) (*fastofd.Report, error) {
+func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Ontology, sigma fastofd.Set, path string, batchSize, shards, workers int, stats *fastofd.Stats) (*fastofd.Report, error) {
 	if batchSize < 1 {
 		batchSize = 1
 	}
@@ -137,21 +149,28 @@ func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Onto
 		return nil, err
 	}
 	defer f.Close()
-	m, err := fastofd.NewMonitorWorkers(ctx, rel, ont, sigma, workers, stats)
+	m, err := fastofd.NewMonitorSharded(ctx, rel, ont, sigma, shards, workers, stats)
 	if err != nil {
 		return nil, err
 	}
 
-	r := csv.NewReader(f)
+	r := csv.NewReader(bufio.NewReaderSize(f, 1<<16))
 	r.FieldsPerRecord = -1 // cell writes and appends have different widths
 	r.Comment = '#'
+	r.ReuseRecord = false
 	schema := rel.Schema()
 	batch := make([]fastofd.CellUpdate, 0, batchSize)
+	var latencies []time.Duration
+	defer func() { reportLatencies(os.Stderr, m.NumShards(), latencies) }()
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
+		start := time.Now()
 		err := m.ApplyBatchContext(ctx, batch)
+		if err == nil {
+			latencies = append(latencies, time.Since(start))
+		}
 		batch = batch[:0]
 		return err
 	}
@@ -197,6 +216,24 @@ func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Onto
 		return m.Report(), err
 	}
 	return m.Report(), nil
+}
+
+// reportLatencies prints p50/p95/p99/max over the recorded per-batch
+// flush latencies, the live-replay health numbers an operator watches.
+func reportLatencies(w io.Writer, shards int, latencies []time.Duration) {
+	if len(latencies) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) time.Duration {
+		k := int(p * float64(len(sorted)-1))
+		return sorted[k]
+	}
+	fmt.Fprintf(w, "replayed %d batches over %d shards; batch latency p50=%s p95=%s p99=%s max=%s\n",
+		len(sorted), shards,
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), sorted[len(sorted)-1].Round(time.Microsecond))
 }
 
 func fail(err error) {

@@ -240,12 +240,24 @@ func NewMonitorContext(ctx context.Context, rel *Relation, ont *Ontology, sigma 
 }
 
 // NewMonitorWorkers is NewMonitorContext with the index build — and the
-// monitor's subsequent ApplyBatch re-verification — spread over up to
-// workers goroutines (0 = all CPUs) and optional per-stage stats
-// ("monitor.build" and "monitor.reverify" spans). The violation state is
-// identical for every worker count.
+// monitor's subsequent ApplyBatch fan-out — spread over up to workers
+// goroutines (0 = all CPUs) and optional per-stage stats
+// ("monitor.build", "monitor.route", "monitor.apply", "monitor.merge"
+// spans). The LHS-key shard count is derived from the worker count; the
+// violation state is identical for every worker count.
 func NewMonitorWorkers(ctx context.Context, rel *Relation, ont *Ontology, sigma Set, workers int, stats *Stats) (*Monitor, error) {
 	return core.NewMonitorWorkers(ctx, rel, ont, sigma, workers, stats)
+}
+
+// NewMonitorSharded is NewMonitorWorkers with an explicit LHS-key shard
+// count: every equivalence class is routed to one of `shards` independent
+// shards (0 derives the count from workers), so ApplyBatch fans appends,
+// multiset maintenance, and re-verification out shard-locally with no
+// shared write state, and Report reads epoch-stamped snapshots
+// concurrently with ingestion. Reports are byte-identical for every shard
+// and worker count.
+func NewMonitorSharded(ctx context.Context, rel *Relation, ont *Ontology, sigma Set, shards, workers int, stats *Stats) (*Monitor, error) {
+	return core.NewMonitorSharded(ctx, rel, ont, sigma, shards, workers, stats)
 }
 
 // DefaultDiscoveryOptions returns the paper's full FastOFD configuration

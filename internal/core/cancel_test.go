@@ -90,9 +90,10 @@ func (c *cancelOnPoll) Err() error {
 	return nil
 }
 
-// monitorBatchFixture builds a monitor over table1 with a batch that would
-// flip one class into violation, plus snapshots of the pre-batch state.
-func monitorBatchFixture(t *testing.T) (m *Monitor, batch []CellUpdate, cellsBefore []string, reportBefore string) {
+// monitorBatchFixture builds a monitor over table1 with the given shard
+// count and a batch that would flip one class into violation, plus
+// snapshots of the pre-batch state.
+func monitorBatchFixture(t *testing.T, shards int) (m *Monitor, batch []CellUpdate, cellsBefore []string, reportBefore string) {
 	t.Helper()
 	rel, ont := table1(t)
 	schema := rel.Schema()
@@ -100,7 +101,7 @@ func monitorBatchFixture(t *testing.T) (m *Monitor, batch []CellUpdate, cellsBef
 		MustParse(schema, "CC -> CTRY"),
 		MustParse(schema, "SYMP, DIAG -> MED"),
 	}
-	m, err := NewMonitor(rel, ont, sigma)
+	m, err := NewMonitorSharded(context.Background(), rel, ont, sigma, shards, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func assertBatchRolledBack(t *testing.T, m *Monitor, batch []CellUpdate, cellsBe
 }
 
 func TestApplyBatchPreCancelled(t *testing.T) {
-	m, batch, cellsBefore, reportBefore := monitorBatchFixture(t)
+	m, batch, cellsBefore, reportBefore := monitorBatchFixture(t, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if err := m.ApplyBatchContext(ctx, batch); !errors.Is(err, context.Canceled) {
@@ -154,22 +155,35 @@ func TestApplyBatchPreCancelled(t *testing.T) {
 }
 
 func TestApplyBatchCancelledAfterWrites(t *testing.T) {
-	for _, workers := range []int{1, 2, 0} {
-		m, batch, cellsBefore, reportBefore := monitorBatchFixture(t)
-		m.Workers = workers
-		// First Err() poll fires after the cell writes, before re-verification.
-		err := m.ApplyBatchContext(newCancelOnPoll(1), batch)
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
-		}
-		assertBatchRolledBack(t, m, batch, cellsBefore, reportBefore)
-		// The rolled-back monitor stays fully usable: the same batch applies
-		// cleanly afterwards.
-		if err := m.ApplyBatch(batch); err != nil {
-			t.Fatal(err)
-		}
-		if m.Satisfied() {
-			t.Fatalf("workers=%d: re-applied batch must violate", workers)
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 2, 0} {
+			m, batch, cellsBefore, reportBefore := monitorBatchFixture(t, shards)
+			m.Workers = workers
+			// First Err() poll fires after the cell writes, before the shard
+			// fan-out applies any multiset delta.
+			err := m.ApplyBatchContext(newCancelOnPoll(1), batch)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("shards=%d workers=%d: want context.Canceled, got %v", shards, workers, err)
+			}
+			assertBatchRolledBack(t, m, batch, cellsBefore, reportBefore)
+			// After the rollback the report still matches a fresh Detect —
+			// the acceptance criterion "byte-identical including after
+			// cancellation rollback".
+			want, err2 := json.Marshal(Detect(m.rel, m.v.Ontology(), m.sigma))
+			if err2 != nil {
+				t.Fatal(err2)
+			}
+			if got, _ := json.Marshal(m.Report()); string(got) != string(want) {
+				t.Fatalf("shards=%d workers=%d: rolled-back report diverged from Detect\n got %s\nwant %s", shards, workers, got, want)
+			}
+			// The rolled-back monitor stays fully usable: the same batch
+			// applies cleanly afterwards.
+			if err := m.ApplyBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			if m.Satisfied() {
+				t.Fatalf("shards=%d workers=%d: re-applied batch must violate", shards, workers)
+			}
 		}
 	}
 }

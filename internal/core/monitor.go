@@ -15,63 +15,71 @@ import (
 // the "data evolves" scenario of the paper's introduction — without ever
 // rebuilding partitions or re-verifying untouched classes.
 //
-// Per OFD it keeps (1) the stripped partition of the antecedent as a
-// frozen base plus a growable relation.PartitionOverlay, so appended
-// tuples join their equivalence class without copying the PartitionCache's
-// flat arrays, (2) an LHS-key hash index over the dict-encoded antecedent
-// value tuple, so AppendRow locates the class of a new tuple in O(|X|)
-// instead of forcing a partition rebuild, and (3) a consequent-value
-// multiset per class, maintained on every write, so re-verifying a dirty
-// class costs O(distinct consequent values) — independent of class size.
-// Updates to a consequent cell re-verify only the classes containing the
-// row; ApplyBatch dedups the dirty (OFD, class) pairs across a whole batch
-// and re-verifies them in parallel with a canonical-order merge, so the
-// violation state — and Report — is byte-identical for every Workers value.
+// The state is sharded by LHS-key hash: for each OFD, every equivalence
+// class (and lone row) is routed to one of NumShards() independent shards,
+// each owning its own relation.PartitionOverlay view of the cached base
+// partition, LHS-key index, consequent-value multisets, and violation
+// maps. ApplyBatch partitions the validated cell writes by (OFD, shard)
+// and fans the multiset maintenance and re-verification out over
+// exec.For with no shared write state — the three stages are observable
+// as monitor.route / monitor.apply / monitor.merge spans. Because a
+// tuple's antecedent never changes (antecedent updates are rejected), its
+// shard per OFD is fixed for its lifetime and routing is a table lookup.
 //
-// Updates to antecedent attributes would move tuples between equivalence
-// classes and are rejected (matching the repair model's scope assumption
-// that antecedents and consequents are disjoint). A Monitor is not safe
-// for concurrent use; ApplyBatch parallelizes internally.
+// Violation state is published as epoch-stamped immutable snapshots:
+// every mutating operation materializes the affected classes' Violation
+// records eagerly and swaps in a fresh snapshot, so Report (and
+// ReportAt) read only frozen data and may run concurrently with a
+// subsequent Update/AppendRow/ApplyBatch on the owner goroutine. The
+// cross-shard merge is canonical — for any shard count and any Workers
+// value, Report is byte-identical to running Detect from scratch on the
+// current instance.
+//
+// A Monitor is single-writer: mutating methods must be called from one
+// goroutine at a time. Report, ReportAt, Epoch, Satisfied, and
+// ViolationCount are safe to call concurrently with the writer.
 type Monitor struct {
 	rel   *relation.Relation
 	v     *Verifier
 	sigma Set
-	// Workers bounds ApplyBatch's parallel re-verification and the initial
-	// index build (0 selects all CPUs, as everywhere on the exec substrate).
+	// Workers bounds the parallel fan-out of ApplyBatch's apply/merge
+	// stages and the initial index build (0 selects all CPUs, as
+	// everywhere on the exec substrate).
 	Workers int
-	// Stats, when non-nil, receives monitor.build and monitor.reverify
-	// stage spans.
+	// Stats, when non-nil, receives monitor.build, monitor.route,
+	// monitor.apply, and monitor.merge stage spans.
 	Stats *exec.Stats
 
-	// classOf[i][t] = class id of tuple t within sigma[i]'s partition
-	// overlay, or -1 when the tuple is (still) in a singleton class.
-	classOf [][]int32
-	// parts[i] = sigma[i]'s stripped antecedent partition: cached base
-	// plus append deltas.
-	parts []*relation.PartitionOverlay
-	// lhsIdx[i] maps the dict-encoded antecedent value tuple to the class
-	// holding it: values >= 0 are class ids, values <= -2 encode a lone
-	// (singleton) row as -(row+2). Keys absent from the index have never
-	// been seen.
-	lhsIdx []map[string]int32
+	nShards int
+	shards  []*monitorShard
 	// lhsCols[i] = sigma[i].LHS.Attrs(), cached for key encoding.
 	lhsCols [][]int
-	// counts[i][c] is the multiset of consequent values of class c under
-	// sigma[i], as (value, multiplicity) pairs. Maintained on every write,
-	// it makes re-verification O(distinct values) — independent of class
-	// size — since OFD satisfaction is a property of the distinct consequent
-	// values alone.
-	counts [][][]valCount
-	// violating[i][c] marks class c of sigma[i] as currently violating;
-	// fdOnly[i][c] marks it as syntactically non-constant but cleared by
-	// the ontology (the false positives a plain FD would flag).
-	violating []map[int]struct{}
-	fdOnly    []map[int]struct{}
-	lhsAttrs  relation.AttrSet
+	// byRHS[col] lists the dependency indexes whose consequent is col.
+	byRHS [][]int32
+	// classOf[i][t] = shard-local class id of tuple t within shard
+	// rowShard[i][t] under sigma[i], or -1 when the tuple is (still) in a
+	// singleton class.
+	classOf [][]int32
+	// rowShard[i][t] = shard owning tuple t's antecedent key under
+	// sigma[i]. Fixed for the tuple's lifetime (antecedents never change).
+	rowShard [][]uint8
+	lhsAttrs relation.AttrSet
 
-	reverified int              // classes re-verified since construction
-	vals       []relation.Value // distinct-value scratch for sequential paths
-	keyBuf     []byte           // LHS-key encoding scratch
+	epoch   uint64
+	history historyPtr
+
+	keyBuf    []byte           // LHS-key encoding scratch (AppendRow)
+	vals      []relation.Value // distinct-value scratch for sequential paths
+	snapDirty []bool           // per-shard "snapshot stale" scratch
+	pending   map[int64]int    // batch cell→write dedup scratch
+	writes    []cellWrite      // batch effective-write scratch
+}
+
+// cellWrite is one deduplicated effective cell write of a batch, with the
+// pre-batch value retained for rollback.
+type cellWrite struct {
+	row, col int
+	old, new relation.Value
 }
 
 // valCount is one distinct consequent value of an equivalence class with
@@ -114,8 +122,33 @@ const (
 	classViolating              // no common interpretation
 )
 
-// NewMonitor builds a monitor over the instance and Σ, computing the
-// initial violation state.
+// maxShards bounds the shard count: rowShard stores shard ids as uint8.
+const maxShards = 256
+
+// resolveShards maps a requested shard count to the effective one:
+// positive counts are clamped to maxShards, zero selects the smallest
+// power of two covering the resolved worker count (capped at 64), and
+// negative counts fall back to a single shard.
+func resolveShards(shards, workers int) int {
+	if shards > 0 {
+		if shards > maxShards {
+			return maxShards
+		}
+		return shards
+	}
+	if shards < 0 {
+		return 1
+	}
+	w := exec.Workers(workers)
+	s := 1
+	for s < w && s < 64 {
+		s <<= 1
+	}
+	return s
+}
+
+// NewMonitor builds a single-shard monitor over the instance and Σ,
+// computing the initial violation state.
 func NewMonitor(rel *relation.Relation, ont *ontology.Ontology, sigma Set) (*Monitor, error) {
 	return NewMonitorContext(context.Background(), rel, ont, sigma)
 }
@@ -128,11 +161,20 @@ func NewMonitorContext(ctx context.Context, rel *relation.Relation, ont *ontolog
 	return NewMonitorWorkers(ctx, rel, ont, sigma, 1, nil)
 }
 
-// NewMonitorWorkers is NewMonitorContext with the per-dependency index
-// build spread over up to workers goroutines (0 = all CPUs) and optional
-// per-stage stats. The resulting monitor keeps workers as its ApplyBatch
-// parallelism; the violation state is identical for every worker count.
+// NewMonitorWorkers is NewMonitorContext with the index build and
+// ApplyBatch fan-out spread over up to workers goroutines (0 = all CPUs)
+// and optional per-stage stats. The shard count is derived from the
+// worker count (see NewMonitorSharded for explicit control); the
+// violation state is identical for every worker and shard count.
 func NewMonitorWorkers(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, sigma Set, workers int, stats *exec.Stats) (*Monitor, error) {
+	return NewMonitorSharded(ctx, rel, ont, sigma, 0, workers, stats)
+}
+
+// NewMonitorSharded is NewMonitorWorkers with an explicit shard count:
+// shards > 0 uses that many LHS-key shards (clamped to 256), shards == 0
+// derives the count from the worker count. More shards widen ApplyBatch's
+// parallel fan-out; every shard count yields byte-identical reports.
+func NewMonitorSharded(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, sigma Set, shards, workers int, stats *exec.Stats) (*Monitor, error) {
 	var lhs, rhs relation.AttrSet
 	for _, d := range sigma {
 		lhs = lhs.Union(d.LHS)
@@ -142,8 +184,10 @@ func NewMonitorWorkers(ctx context.Context, rel *relation.Relation, ont *ontolog
 		return nil, fmt.Errorf("core: monitor requires disjoint antecedents and consequents; %s overlaps", inter.Format(rel.Schema()))
 	}
 	w := exec.Workers(workers)
+	nShards := resolveShards(shards, workers)
 	span := stats.Span("monitor.build")
 	span.Workers(w)
+	span.Shards(nShards)
 	span.Items(len(sigma))
 	defer span.End()
 	pc, err := relation.NewPartitionCacheContext(ctx, rel, w)
@@ -156,157 +200,42 @@ func NewMonitorWorkers(ctx context.Context, rel *relation.Relation, ont *ontolog
 		sigma:     sigma.Clone(),
 		Workers:   workers,
 		Stats:     stats,
-		classOf:   make([][]int32, len(sigma)),
-		parts:     make([]*relation.PartitionOverlay, len(sigma)),
-		lhsIdx:    make([]map[string]int32, len(sigma)),
+		nShards:   nShards,
+		shards:    make([]*monitorShard, nShards),
 		lhsCols:   make([][]int, len(sigma)),
-		counts:    make([][][]valCount, len(sigma)),
-		violating: make([]map[int]struct{}, len(sigma)),
-		fdOnly:    make([]map[int]struct{}, len(sigma)),
+		byRHS:     make([][]int32, rel.NumCols()),
+		classOf:   make([][]int32, len(sigma)),
+		rowShard:  make([][]uint8, len(sigma)),
 		lhsAttrs:  lhs,
+		snapDirty: make([]bool, nShards),
 	}
-	// Each iteration touches only index i's slots, so the build fans out
-	// over dependencies; the shared partition cache is safe for concurrent
-	// Get and the names tables extend under their own locks.
-	err = exec.For(ctx, len(sigma), w, func(_, i int) {
-		m.buildIndex(i)
+	for i, d := range m.sigma {
+		m.byRHS[d.RHS] = append(m.byRHS[d.RHS], int32(i))
+	}
+	for s := range m.shards {
+		m.shards[s] = newMonitorShard(len(sigma))
+	}
+	// Phase 1 — route: each dependency's classes and lone rows are hashed
+	// to shards. Iteration i writes only index-i slots of per-shard
+	// slices/maps, so the fan-out over dependencies is race-free.
+	err = exec.For(ctx, len(m.sigma), w, func(_, i int) {
+		m.routeIndex(i)
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Phase 2 — per-shard state: multisets, initial class states, and
+	// materialized violation records, fully shard-local.
+	err = exec.For(ctx, nShards, w, func(_, s int) {
+		m.shards[s].buildState(m)
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.publishInit()
 	st := pc.Stats()
 	span.Cache(st.Hits, st.Misses)
 	return m, nil
-}
-
-// buildIndex computes dependency i's partition overlay, row→class table,
-// LHS-key index, and initial violation state.
-func (m *Monitor) buildIndex(i int) {
-	d := m.sigma[i]
-	base := m.v.Partitions().Get(d.LHS)
-	m.parts[i] = relation.NewPartitionOverlay(base)
-	m.lhsCols[i] = d.LHS.Attrs()
-
-	n := m.rel.NumRows()
-	classOf := make([]int32, n)
-	for t := range classOf {
-		classOf[t] = -1
-	}
-	for ci := 0; ci < base.NumClasses(); ci++ {
-		for _, t := range base.Class(ci) {
-			classOf[t] = int32(ci)
-		}
-	}
-	m.classOf[i] = classOf
-
-	// LHS-key index: one entry per class (keyed by the representative's
-	// antecedent values) plus one per singleton row. Two singletons can
-	// never share a key — they would be one class — so entries never clash.
-	idx := make(map[string]int32, base.NumClasses())
-	var buf []byte
-	for ci := 0; ci < base.NumClasses(); ci++ {
-		buf = m.encodeKey(buf[:0], i, int(base.Class(ci)[0]))
-		idx[string(buf)] = int32(ci)
-	}
-	for t := 0; t < n; t++ {
-		if classOf[t] >= 0 {
-			continue
-		}
-		buf = m.encodeKey(buf[:0], i, t)
-		idx[string(buf)] = loneRow(int32(t))
-	}
-	m.lhsIdx[i] = idx
-
-	// Consequent-value multisets per class, then the initial state from
-	// them: the one and only full scan a class ever pays.
-	col := m.rel.Column(d.RHS)
-	counts := make([][]valCount, base.NumClasses())
-	for ci := range counts {
-		pairs := make([]valCount, 0, 4)
-		for _, t := range base.Class(ci) {
-			pairs = bump(pairs, col[t], 1)
-		}
-		counts[ci] = pairs
-	}
-	m.counts[i] = counts
-
-	m.violating[i] = make(map[int]struct{})
-	m.fdOnly[i] = make(map[int]struct{})
-	var vals []relation.Value
-	for ci := 0; ci < base.NumClasses(); ci++ {
-		switch m.classState(i, ci, &vals) {
-		case classViolating:
-			m.violating[i][ci] = struct{}{}
-		case classFDOnly:
-			m.fdOnly[i][ci] = struct{}{}
-		}
-	}
-}
-
-// loneRow encodes a singleton row id for the LHS-key index (<= -2, so it
-// cannot collide with class ids or the -1 "no class" marker).
-func loneRow(t int32) int32 { return -(t + 2) }
-
-// encodeKey appends the dict-encoded antecedent value tuple of row t under
-// dependency i to buf (4 bytes per attribute; dictionaries make equal
-// antecedents byte-equal).
-func (m *Monitor) encodeKey(buf []byte, i, t int) []byte {
-	for _, c := range m.lhsCols[i] {
-		v := m.rel.Value(t, c)
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return buf
-}
-
-// classState verifies class ci of dependency i from its maintained
-// consequent-value multiset — O(distinct values), never a tuple scan.
-// scratch holds the distinct-value slice across calls.
-func (m *Monitor) classState(i, ci int, scratch *[]relation.Value) uint8 {
-	pairs := m.counts[i][ci]
-	if len(pairs) <= 1 {
-		return classOK // syntactically constant
-	}
-	vals := (*scratch)[:0]
-	for _, p := range pairs {
-		vals = append(vals, p.val)
-	}
-	*scratch = vals
-	if m.v.valuesSatisfied(m.sigma[i].RHS, vals) {
-		return classFDOnly
-	}
-	return classViolating
-}
-
-// adjustCounts maintains the multisets for one cell write from → to at
-// (row, col) across every dependency whose consequent is col.
-func (m *Monitor) adjustCounts(row, col int, from, to relation.Value) {
-	for i, d := range m.sigma {
-		if d.RHS != col {
-			continue
-		}
-		if ci := m.classOf[i][row]; ci >= 0 {
-			m.counts[i][ci] = bump(bump(m.counts[i][ci], from, -1), to, 1)
-		}
-	}
-}
-
-// applyState moves class ci of dependency i into the given state's set.
-func (m *Monitor) applyState(i, ci int, state uint8) {
-	delete(m.violating[i], ci)
-	delete(m.fdOnly[i], ci)
-	switch state {
-	case classViolating:
-		m.violating[i][ci] = struct{}{}
-	case classFDOnly:
-		m.fdOnly[i][ci] = struct{}{}
-	}
-}
-
-// reverifyClass re-verifies class ci of dependency i and records the
-// outcome.
-func (m *Monitor) reverifyClass(i, ci int) {
-	m.applyState(i, ci, m.classState(i, ci, &m.vals))
-	m.reverified++
 }
 
 // checkUpdate validates one cell write against the monitor's scope.
@@ -335,24 +264,30 @@ func (m *Monitor) Update(row, col int, value string) (changed bool, err error) {
 		return false, nil
 	}
 	m.rel.SetValue(row, col, id)
-	m.adjustCounts(row, col, old, id)
-	for i, d := range m.sigma {
-		if d.RHS != col {
+	for _, i := range m.byRHS[col] {
+		ci := m.classOf[i][row]
+		if ci < 0 {
 			continue
 		}
-		if ci := m.classOf[i][row]; ci >= 0 {
-			m.reverifyClass(i, int(ci))
+		s := m.rowShard[i][row]
+		sh := m.shards[s]
+		sh.counts[i][ci] = bump(bump(sh.counts[i][ci], old, -1), id, 1)
+		if sh.reverifyOne(m, int(i), ci) {
+			m.snapDirty[s] = true
 		}
 	}
+	m.refreshSnaps()
+	m.publish()
 	return true, nil
 }
 
 // AppendRow appends one tuple (strings in schema order) to the monitored
 // relation and joins it to its equivalence class under every OFD via the
-// LHS-key index — O(|X|) per dependency, no partition rebuild. A tuple
-// whose antecedent key matches a formerly-singleton row births a new
-// two-tuple class in the overlay; a fresh key records a new singleton.
-// Only the joined classes are re-verified. Returns the new row id.
+// owning shard's LHS-key index — O(|X|) per dependency, no partition
+// rebuild. A tuple whose antecedent key matches a formerly-singleton row
+// births a new two-tuple class in that shard's overlay; a fresh key
+// records a new singleton. Only the joined classes are re-verified.
+// Returns the new row id.
 func (m *Monitor) AppendRow(row []string) (int, error) {
 	if len(row) != m.rel.NumCols() {
 		return 0, fmt.Errorf("core: append of %d cells into %d attributes", len(row), m.rel.NumCols())
@@ -360,10 +295,12 @@ func (m *Monitor) AppendRow(row []string) (int, error) {
 	t := int32(m.rel.NumRows())
 	m.rel.AppendRow(row)
 	for i := range m.sigma {
-		rhs := m.sigma[i].RHS
-		col := m.rel.Column(rhs)
-		m.keyBuf = m.encodeKey(m.keyBuf[:0], i, int(t))
-		idx := m.lhsIdx[i]
+		col := m.rel.Column(m.sigma[i].RHS)
+		m.keyBuf = encodeLHSKey(m.rel, m.lhsCols[i], int(t), m.keyBuf)
+		s := shardOfKey(m.keyBuf, m.nShards)
+		sh := m.shards[s]
+		m.rowShard[i] = append(m.rowShard[i], s)
+		idx := sh.lhsIdx[i]
 		enc, seen := idx[string(m.keyBuf)]
 		switch {
 		case !seen:
@@ -371,21 +308,27 @@ func (m *Monitor) AppendRow(row []string) (int, error) {
 			m.classOf[i] = append(m.classOf[i], -1)
 		case enc <= -2: // lone row: birth a two-tuple class
 			r := -enc - 2
-			ci := m.parts[i].AddClass(r, t)
+			ci := sh.parts[i].AddClass(r, t)
 			idx[string(m.keyBuf)] = int32(ci)
 			m.classOf[i][r] = int32(ci)
 			m.classOf[i] = append(m.classOf[i], int32(ci))
 			pairs := bump(bump(make([]valCount, 0, 2), col[r], 1), col[t], 1)
-			m.counts[i] = append(m.counts[i], pairs)
-			m.reverifyClass(i, ci)
+			sh.counts[i] = append(sh.counts[i], pairs)
+			if sh.reverifyOne(m, i, int32(ci)) {
+				m.snapDirty[s] = true
+			}
 		default: // existing class
-			ci := int(enc)
-			m.parts[i].Add(ci, t)
-			m.classOf[i] = append(m.classOf[i], int32(ci))
-			m.counts[i][ci] = bump(m.counts[i][ci], col[t], 1)
-			m.reverifyClass(i, ci)
+			ci := enc
+			sh.parts[i].Add(int(ci), t)
+			m.classOf[i] = append(m.classOf[i], ci)
+			sh.counts[i][ci] = bump(sh.counts[i][ci], col[t], 1)
+			if sh.reverifyOne(m, i, ci) {
+				m.snapDirty[s] = true
+			}
 		}
 	}
+	m.refreshSnaps()
+	m.publish()
 	return int(t), nil
 }
 
@@ -395,179 +338,201 @@ func (m *Monitor) ApplyBatch(updates []CellUpdate) error {
 	return m.ApplyBatchContext(context.Background(), updates)
 }
 
-// ApplyBatchContext applies the updates in order, dedups the dirty
-// (OFD, class) pairs across the whole batch, and re-verifies them in
-// parallel over up to m.Workers goroutines with a canonical-order merge —
-// the violation state is byte-identical for every worker count. The batch
-// is atomic: every update is validated before any cell is written, and a
-// cancelled re-verification rolls the cell writes back and leaves the
-// violation state exactly as before the call, returning an error
-// satisfying errors.Is(err, ctx.Err()). Updates that rewrite a cell's
-// current value are skipped and dirty no classes.
+// ApplyBatchContext applies the updates in three stages. Route
+// (sequential) validates every update before any write, dedups same-cell
+// writes to their last value, applies the effective writes, and assigns
+// each dirtied (OFD, class) pair to its owning shard. Apply (parallel
+// over shards, up to m.Workers goroutines) replays the multiset deltas
+// and re-verifies each shard's dirty classes with no shared write state,
+// staging materialized violation records. Merge commits the staged state,
+// rebuilds the changed shards' snapshots, and publishes a new epoch. The
+// result is byte-identical for every worker and shard count.
+//
+// The batch is atomic: a cancelled apply stage rolls the cell writes and
+// multiset deltas back and leaves the violation state — and the published
+// snapshot — exactly as before the call, returning an error satisfying
+// errors.Is(err, ctx.Err()). Updates that rewrite a cell's current value
+// are skipped and dirty no classes.
 func (m *Monitor) ApplyBatchContext(ctx context.Context, updates []CellUpdate) error {
 	for _, u := range updates {
 		if err := m.checkUpdate(u.Row, u.Col); err != nil {
 			return err
 		}
 	}
-	type undo struct {
-		row, col int
-		old      relation.Value
+	routeSpan := m.Stats.Span("monitor.route")
+	routeSpan.Items(len(updates))
+	// Last-write-wins cell dedup: one effective write per cell, keyed by
+	// (row, col), keeping the pre-batch value for rollback.
+	if m.pending == nil {
+		m.pending = make(map[int64]int, len(updates))
 	}
-	undos := make([]undo, 0, len(updates))
-	dirty := make(map[int64]struct{}, len(updates))
+	clear(m.pending)
+	m.writes = m.writes[:0]
 	for _, u := range updates {
-		old := m.rel.Value(u.Row, u.Col)
 		id := m.rel.Dict(u.Col).Intern(u.Value)
-		if id == old {
+		key := int64(u.Row)<<32 | int64(u.Col)
+		if k, ok := m.pending[key]; ok {
+			m.writes[k].new = id
 			continue
 		}
-		m.rel.SetValue(u.Row, u.Col, id)
-		m.adjustCounts(u.Row, u.Col, old, id)
-		undos = append(undos, undo{u.Row, u.Col, old})
-		for i, d := range m.sigma {
-			if d.RHS != u.Col {
+		m.pending[key] = len(m.writes)
+		m.writes = append(m.writes, cellWrite{u.Row, u.Col, m.rel.Value(u.Row, u.Col), id})
+	}
+	// Apply the effective writes and route their multiset deltas and dirty
+	// classes to the owning shards.
+	eff := 0
+	for _, wr := range m.writes {
+		if wr.new == wr.old {
+			continue
+		}
+		m.writes[eff] = wr
+		eff++
+		m.rel.SetValue(wr.row, wr.col, wr.new)
+		for _, i := range m.byRHS[wr.col] {
+			ci := m.classOf[i][wr.row]
+			if ci < 0 {
 				continue
 			}
-			if ci := m.classOf[i][u.Row]; ci >= 0 {
-				dirty[int64(i)<<32|int64(ci)] = struct{}{}
-			}
+			sh := m.shards[m.rowShard[i][wr.row]]
+			sh.bumps = append(sh.bumps, shardBump{ofd: i, class: ci, from: wr.old, to: wr.new})
+			sh.dirty = append(sh.dirty, int64(i)<<32|int64(uint32(ci)))
 		}
 	}
-	if len(dirty) == 0 {
+	m.writes = m.writes[:eff]
+	var active []int
+	for s, sh := range m.shards {
+		if len(sh.bumps) > 0 || len(sh.dirty) > 0 {
+			active = append(active, s)
+		}
+	}
+	routeSpan.End()
+	if eff == 0 {
 		return nil
 	}
-	// Roll the batch back on cancellation: cell writes and their multiset
-	// adjustments are undone in reverse order, and the violation maps were
-	// never touched, so the monitor is exactly in its pre-batch state
-	// (interned strings stay in the dictionaries and memoized names tables,
-	// which is harmless — both are monotone).
 	rollback := func() {
-		for k := len(undos) - 1; k >= 0; k-- {
-			u := undos[k]
-			cur := m.rel.Value(u.row, u.col)
-			m.rel.SetValue(u.row, u.col, u.old)
-			m.adjustCounts(u.row, u.col, cur, u.old)
+		// Multiset deltas were staged per shard, not yet applied (or have
+		// been reversed shard-locally); only the cell writes need undoing.
+		// Interned strings stay in the dictionaries and memoized names
+		// tables, which is harmless — both are monotone.
+		for k := len(m.writes) - 1; k >= 0; k-- {
+			wr := m.writes[k]
+			m.rel.SetValue(wr.row, wr.col, wr.old)
+		}
+		for _, s := range active {
+			m.shards[s].clearBatch()
 		}
 	}
-	keys := make([]int64, 0, len(dirty))
-	for k := range dirty {
-		keys = append(keys, k)
+	// The one cancellation point between the cell writes and the shard
+	// fan-out: a context cancelled here (or before the call) rolls back
+	// with no multiset applied anywhere.
+	if err := exec.Interrupted(ctx, "monitor.apply"); err != nil {
+		rollback()
+		return err
 	}
-	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	if len(active) == 0 {
+		// Writes landed only on singleton classes: nothing to re-verify,
+		// but the instance changed, so publish a fresh epoch.
+		m.publish()
+		return nil
+	}
 
 	w := exec.Workers(m.Workers)
-	span := m.Stats.Span("monitor.reverify")
-	span.Workers(w)
-	span.Items(len(keys))
-	defer span.End()
-
-	if err := exec.Interrupted(ctx, "monitor.reverify"); err != nil {
-		rollback()
-		return err
-	}
-	states := make([]uint8, len(keys))
-	scratches := make([][]relation.Value, w)
-	err := exec.For(ctx, len(keys), w, func(worker, k int) {
-		i, ci := int(keys[k]>>32), int(int32(keys[k]))
-		states[k] = m.classState(i, ci, &scratches[worker])
+	applySpan := m.Stats.Span("monitor.apply")
+	applySpan.Workers(w)
+	applySpan.Shards(len(active))
+	applied := make([]bool, len(active))
+	err := exec.For(ctx, len(active), w, func(_, k int) {
+		sh := m.shards[active[k]]
+		sh.applyBatch(m)
+		applySpan.Items(len(sh.dirty))
+		applied[k] = true
 	})
+	applySpan.End()
 	if err != nil {
+		// Shards whose task ran to completion reverse their multiset
+		// deltas (exec.For finishes started items, and its WaitGroup
+		// ordering makes applied[k] safe to read here); the rest never
+		// applied anything.
+		for k, s := range active {
+			if applied[k] {
+				m.shards[s].rollbackBatch()
+			} else {
+				m.shards[s].clearBatch()
+			}
+		}
 		rollback()
 		return err
 	}
-	for k, key := range keys {
-		m.applyState(int(key>>32), int(int32(key)), states[k])
-	}
-	m.reverified += len(keys)
+
+	// Commit is not cancellable: every staged state lands, per shard in
+	// parallel, then one snapshot publish makes the epoch visible.
+	mergeSpan := m.Stats.Span("monitor.merge")
+	mergeSpan.Workers(w)
+	mergeSpan.Shards(len(active))
+	_ = exec.For(context.Background(), len(active), w, func(_, k int) {
+		sh := m.shards[active[k]]
+		mergeSpan.Items(len(sh.dirty))
+		sh.commitBatch()
+	})
+	m.publish()
+	mergeSpan.End()
 	return nil
 }
 
 // Satisfied reports whether the instance currently satisfies every OFD.
+// Safe to call concurrently with a writer (reads the latest snapshot).
 func (m *Monitor) Satisfied() bool {
-	for _, v := range m.violating {
-		if len(v) > 0 {
-			return false
-		}
-	}
-	return true
+	return m.latest().violations() == 0
 }
 
 // ViolationCount returns the current number of violating equivalence
-// classes across all OFDs.
+// classes across all OFDs. Safe to call concurrently with a writer.
 func (m *Monitor) ViolationCount() int {
-	n := 0
-	for _, v := range m.violating {
-		n += len(v)
-	}
-	return n
+	return m.latest().violations()
 }
 
 // Reverified returns the number of class re-verifications performed since
 // construction — the monitor's unit of incremental work (a no-op update
-// leaves it unchanged).
-func (m *Monitor) Reverified() int { return m.reverified }
+// leaves it unchanged). Not synchronized with a concurrent writer.
+func (m *Monitor) Reverified() int {
+	n := 0
+	for _, sh := range m.shards {
+		n += sh.reverified
+	}
+	return n
+}
 
 // NumRows returns the current number of monitored tuples.
 func (m *Monitor) NumRows() int { return m.rel.NumRows() }
 
-// sortedClasses returns the class ids of set in ascending order.
-func sortedClasses(set map[int]struct{}) []int {
-	out := make([]int, 0, len(set))
-	for ci := range set {
-		out = append(out, ci)
-	}
-	sort.Ints(out)
-	return out
+// NumShards returns the effective LHS-key shard count.
+func (m *Monitor) NumShards() int { return m.nShards }
+
+// CacheStats returns the partition cache counters behind the monitor's
+// base partitions (hits/misses/entries/bytes), for benchmark reports.
+func (m *Monitor) CacheStats() relation.CacheStats {
+	return m.v.Partitions().Stats()
 }
 
 // ViolatingClasses returns, for each OFD index, the violating classes'
-// tuple lists in ascending class order.
+// tuple lists ordered by first tuple id — a canonical order independent
+// of the shard count. Not safe to call concurrently with a writer.
 func (m *Monitor) ViolatingClasses() map[int][][]int {
 	out := make(map[int][][]int)
-	var scratch []int32
-	for i, set := range m.violating {
-		for _, ci := range sortedClasses(set) {
-			class := m.parts[i].View(ci, &scratch)
-			tuples := make([]int, len(class))
-			for j, t := range class {
-				tuples[j] = int(t)
+	for _, sh := range m.shards {
+		for i := range sh.viol {
+			for ci := range sh.viol[i] {
+				class := sh.parts[i].StableView(int(ci))
+				tuples := make([]int, len(class))
+				for j, t := range class {
+					tuples[j] = int(t)
+				}
+				out[i] = append(out[i], tuples)
 			}
-			out[i] = append(out[i], tuples)
 		}
+	}
+	for i := range out {
+		sort.Slice(out[i], func(a, b int) bool { return out[i][a][0] < out[i][b][0] })
 	}
 	return out
-}
-
-// Report materializes the current violation state as a Detect-shaped
-// report: canonically sorted explained violations, distinct flagged
-// tuples, and the FD-only false-positive count. For any sequence of
-// updates, batches, and appends, the report is byte-identical to running
-// Detect from scratch on the final instance — the bench and the
-// equivalence property test assert exactly that. Cost is proportional to
-// the flagged classes, not the instance.
-func (m *Monitor) Report() *Report {
-	rep := &Report{}
-	flagged := make(map[int]struct{})
-	fdOnly := make(map[int]struct{})
-	var scratch []int32
-	for i, d := range m.sigma {
-		for _, ci := range sortedClasses(m.violating[i]) {
-			class := m.parts[i].View(ci, &scratch)
-			rep.Violations = append(rep.Violations, explain(m.rel, m.v.Ontology(), d, class))
-			for _, t := range class {
-				flagged[int(t)] = struct{}{}
-			}
-		}
-		for _, ci := range sortedClasses(m.fdOnly[i]) {
-			class := m.parts[i].View(ci, &scratch)
-			for _, t := range class {
-				fdOnly[int(t)] = struct{}{}
-			}
-		}
-	}
-	rep.TuplesFlagged = len(flagged)
-	rep.FDOnlyFlagged = len(fdOnly)
-	sortViolations(rep.Violations)
-	return rep
 }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// epochRetention is how many published epochs stay readable through
+// ReportAt. A small window: snapshots alias materialized records, so
+// retained epochs cost only their slice headers, but an unbounded history
+// would pin every record ever published.
+const epochRetention = 8
+
+// shardSnap is one shard's frozen violation state: the materialized
+// records of its violating classes and the stable tuple lists of its
+// FD-only classes, in no particular order (the cross-shard merge imposes
+// the canonical one). A shardSnap is immutable once built.
+type shardSnap struct {
+	viol     []*Violation
+	fdTuples [][]int32
+}
+
+// epochSnap is one published monitor state: the epoch stamp and every
+// shard's snapshot at that point. Immutable once published.
+type epochSnap struct {
+	epoch  uint64
+	shards []*shardSnap
+}
+
+// violations returns the number of violating classes in the snapshot.
+func (es *epochSnap) violations() int {
+	n := 0
+	for _, ss := range es.shards {
+		n += len(ss.viol)
+	}
+	return n
+}
+
+// historyPtr is the atomically swapped retention window of published
+// epochs, ordered oldest to newest and never mutated in place.
+type historyPtr = atomic.Pointer[[]*epochSnap]
+
+// rebuildSnap freezes the shard's current violation maps into a fresh
+// snapshot. The old snapshot is never mutated — epochs already published
+// keep aliasing it.
+func (sh *monitorShard) rebuildSnap() {
+	snap := &shardSnap{}
+	for i := range sh.viol {
+		for _, v := range sh.viol[i] {
+			snap.viol = append(snap.viol, v)
+		}
+		for _, ts := range sh.fdOnly[i] {
+			snap.fdTuples = append(snap.fdTuples, ts)
+		}
+	}
+	sh.snap = snap
+}
+
+// refreshSnaps rebuilds the snapshots of shards the current operation
+// marked stale (sequential paths; batch commit rebuilds inside the
+// parallel merge stage).
+func (m *Monitor) refreshSnaps() {
+	for s, dirty := range m.snapDirty {
+		if dirty {
+			m.shards[s].rebuildSnap()
+			m.snapDirty[s] = false
+		}
+	}
+}
+
+// publishInit publishes epoch 0, the state right after construction.
+func (m *Monitor) publishInit() {
+	snaps := make([]*shardSnap, m.nShards)
+	for s, sh := range m.shards {
+		snaps[s] = sh.snap
+	}
+	hist := []*epochSnap{{epoch: 0, shards: snaps}}
+	m.history.Store(&hist)
+}
+
+// publish stamps the shards' current snapshots with the next epoch and
+// swaps them into the retention window (copy-on-write, so concurrent
+// readers holding the old window are unaffected).
+func (m *Monitor) publish() {
+	snaps := make([]*shardSnap, m.nShards)
+	for s, sh := range m.shards {
+		snaps[s] = sh.snap
+	}
+	m.epoch++
+	es := &epochSnap{epoch: m.epoch, shards: snaps}
+	hist := *m.history.Load()
+	next := make([]*epochSnap, 0, len(hist)+1)
+	next = append(next, hist...)
+	next = append(next, es)
+	if len(next) > epochRetention {
+		next = next[len(next)-epochRetention:]
+	}
+	m.history.Store(&next)
+}
+
+// latest returns the newest published epoch (always present).
+func (m *Monitor) latest() *epochSnap {
+	hist := *m.history.Load()
+	return hist[len(hist)-1]
+}
+
+// Epoch returns the stamp of the newest published state: 0 right after
+// construction, incremented by every mutating operation. Safe to call
+// concurrently with the writer.
+func (m *Monitor) Epoch() uint64 {
+	return m.latest().epoch
+}
+
+// Report materializes the current violation state as a Detect-shaped
+// report: canonically sorted explained violations, distinct flagged
+// tuples, and the FD-only false-positive count. For any sequence of
+// updates, batches, and appends — and any shard and worker count — the
+// report is byte-identical to running Detect from scratch on the final
+// instance; the bench and the equivalence property test assert exactly
+// that. Report reads only the latest immutable snapshot, so it is safe to
+// call concurrently with a subsequent ApplyBatch and never blocks the
+// writer. Cost is proportional to the flagged classes, not the instance.
+// The returned record slices alias the snapshot and must not be mutated.
+func (m *Monitor) Report() *Report {
+	return reportFrom(m.latest())
+}
+
+// ReportAt materializes the violation state as of the given epoch, which
+// must still be inside the retention window (the last 8 published
+// epochs). Safe to call concurrently with the writer.
+func (m *Monitor) ReportAt(epoch uint64) (*Report, error) {
+	hist := *m.history.Load()
+	for _, es := range hist {
+		if es.epoch == epoch {
+			return reportFrom(es), nil
+		}
+	}
+	return nil, fmt.Errorf("core: epoch %d not retained (window [%d, %d])", epoch, hist[0].epoch, hist[len(hist)-1].epoch)
+}
+
+// reportFrom merges one epoch's shard snapshots into the canonical
+// report. Shard snapshots are unordered, but sortViolations' comparator
+// (consequent, antecedent, first tuple) is a strict total order over
+// distinct classes, and the flagged/FD-only counters are set unions — so
+// the merge result is independent of shard count and iteration order.
+func reportFrom(es *epochSnap) *Report {
+	rep := &Report{}
+	flagged := make(map[int]struct{})
+	fdOnly := make(map[int]struct{})
+	for _, ss := range es.shards {
+		for _, v := range ss.viol {
+			rep.Violations = append(rep.Violations, *v)
+			for _, t := range v.Tuples {
+				flagged[t] = struct{}{}
+			}
+		}
+		for _, ts := range ss.fdTuples {
+			for _, t := range ts {
+				fdOnly[int(t)] = struct{}{}
+			}
+		}
+	}
+	rep.TuplesFlagged = len(flagged)
+	rep.FDOnlyFlagged = len(fdOnly)
+	sortViolations(rep.Violations)
+	return rep
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// encodeLHSKey appends the dict-encoded antecedent value tuple of row t
+// (projected on cols) to buf[:0] and returns it. Each attribute
+// contributes exactly 4 little-endian bytes, so keys over the same
+// attribute list are fixed-width and therefore prefix-free: two rows
+// encode equal iff their antecedent value ids are equal attribute by
+// attribute (dictionaries make equal strings id-equal). The injectivity
+// property test and fuzz target pin this down.
+func encodeLHSKey(rel *relation.Relation, cols []int, t int, buf []byte) []byte {
+	buf = buf[:0]
+	for _, c := range cols {
+		v := rel.Value(t, c)
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return buf
+}
+
+// shardOfKey hashes an encoded LHS key to its owning shard: FNV-1a over
+// the key bytes, finished with an avalanche mix so dictionary ids that
+// differ only in low bits still spread across shards.
+func shardOfKey(key []byte, nShards int) uint8 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return uint8(h % uint64(nShards))
+}
+
+// routeIndex routes dependency i's equivalence classes and lone rows to
+// their shards: every base class (keyed by its representative's
+// antecedent values) and every singleton row is hashed to a shard, which
+// records it in its LHS-key index and receives a mapped overlay view of
+// the shared base partition. Iteration i writes only index-i slots of the
+// per-shard slices and maps, so the monitor build fans routeIndex out
+// over dependencies race-free.
+func (m *Monitor) routeIndex(i int) {
+	d := m.sigma[i]
+	base := m.v.Partitions().Get(d.LHS)
+	m.lhsCols[i] = d.LHS.Attrs()
+
+	n := m.rel.NumRows()
+	classOf := make([]int32, n)
+	for t := range classOf {
+		classOf[t] = -1
+	}
+	rowShard := make([]uint8, n)
+
+	// Route base classes: ascending base order per shard keeps local ids
+	// canonical (first-appearance order within the shard).
+	owned := make([][]int32, m.nShards)
+	var buf []byte
+	for ci := 0; ci < base.NumClasses(); ci++ {
+		class := base.Class(ci)
+		buf = encodeLHSKey(m.rel, m.lhsCols[i], int(class[0]), buf)
+		s := shardOfKey(buf, m.nShards)
+		local := int32(len(owned[s]))
+		owned[s] = append(owned[s], int32(ci))
+		m.shards[s].lhsIdx[i][string(buf)] = local
+		for _, t := range class {
+			classOf[t] = local
+			rowShard[t] = s
+		}
+	}
+	for s := range m.shards {
+		m.shards[s].parts[i] = relation.NewPartitionOverlayShard(base, owned[s])
+	}
+
+	// Route singleton rows: one lone-row index entry each. Two singletons
+	// can never share a key — they would be one class — so entries never
+	// clash.
+	for t := 0; t < n; t++ {
+		if classOf[t] >= 0 {
+			continue
+		}
+		buf = encodeLHSKey(m.rel, m.lhsCols[i], t, buf)
+		s := shardOfKey(buf, m.nShards)
+		m.shards[s].lhsIdx[i][string(buf)] = loneRow(int32(t))
+		rowShard[t] = s
+	}
+
+	m.classOf[i] = classOf
+	m.rowShard[i] = rowShard
+}

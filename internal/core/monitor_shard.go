@@ -1,0 +1,232 @@
+package core
+
+import (
+	"slices"
+
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// monitorShard owns one LHS-key hash slice of the monitor's state: for
+// every OFD, the partition overlay over the base classes routed here, the
+// LHS-key index of those classes and lone rows, the consequent-value
+// multisets, and the violation maps with their eagerly materialized
+// records. Shards share no mutable state, so ApplyBatch's apply and merge
+// stages mutate all active shards in parallel without locks.
+type monitorShard struct {
+	// parts[i] = sigma[i]'s overlay over the base classes this shard owns
+	// (a mapped view of the shared PartitionCache base) plus append deltas.
+	parts []*relation.PartitionOverlay
+	// lhsIdx[i] maps the dict-encoded antecedent value tuple to the
+	// shard-local class holding it: values >= 0 are class ids, values
+	// <= -2 encode a lone (singleton) row as -(row+2). Keys absent from
+	// the index have never been routed here.
+	lhsIdx []map[string]int32
+	// counts[i][c] is the multiset of consequent values of local class c
+	// under sigma[i], as (value, multiplicity) pairs. Maintained on every
+	// write, it makes re-verification O(distinct values) — independent of
+	// class size.
+	counts [][][]valCount
+	// viol[i][c] holds the materialized Violation record of currently
+	// violating local class c; fdOnly[i][c] holds the stable tuple list of
+	// a class a plain FD would flag that the ontology clears. Records are
+	// immutable once stored — snapshots alias them.
+	viol   []map[int32]*Violation
+	fdOnly []map[int32][]int32
+
+	// snap is the shard's latest published snapshot; replaced wholesale
+	// (never mutated) when the violation maps change.
+	snap *shardSnap
+
+	reverified int // classes re-verified since construction
+
+	// Batch scratch, valid between route and commit/rollback of one
+	// ApplyBatch call.
+	bumps      []shardBump
+	dirty      []int64 // (ofd<<32 | class) keys, deduped in applyBatch
+	states     []uint8
+	stagedViol []*Violation
+	stagedFD   [][]int32
+	vals       []relation.Value // distinct-value scratch
+}
+
+// shardBump is one routed multiset delta: under OFD ofd, local class
+// class's consequent multiset loses one `from` and gains one `to`.
+type shardBump struct {
+	ofd, class int32
+	from, to   relation.Value
+}
+
+// loneRow encodes a singleton row id for the LHS-key index (<= -2, so it
+// cannot collide with class ids or the -1 "no class" marker).
+func loneRow(t int32) int32 { return -(t + 2) }
+
+func newMonitorShard(nOFDs int) *monitorShard {
+	sh := &monitorShard{
+		parts:  make([]*relation.PartitionOverlay, nOFDs),
+		lhsIdx: make([]map[string]int32, nOFDs),
+		counts: make([][][]valCount, nOFDs),
+		viol:   make([]map[int32]*Violation, nOFDs),
+		fdOnly: make([]map[int32][]int32, nOFDs),
+	}
+	for i := 0; i < nOFDs; i++ {
+		sh.lhsIdx[i] = make(map[string]int32)
+	}
+	return sh
+}
+
+// buildState computes the shard's multisets, initial class states, and
+// materialized violation records from the routed overlays. Fully
+// shard-local, so the monitor build fans it out over shards.
+func (sh *monitorShard) buildState(m *Monitor) {
+	for i := range m.sigma {
+		part := sh.parts[i]
+		col := m.rel.Column(m.sigma[i].RHS)
+		counts := make([][]valCount, part.NumClasses())
+		var scratch []int32
+		for ci := range counts {
+			pairs := make([]valCount, 0, 4)
+			for _, t := range part.View(ci, &scratch) {
+				pairs = bump(pairs, col[t], 1)
+			}
+			counts[ci] = pairs
+		}
+		sh.counts[i] = counts
+		sh.viol[i] = make(map[int32]*Violation)
+		sh.fdOnly[i] = make(map[int32][]int32)
+		for ci := range counts {
+			st := sh.classState(m, i, ci)
+			if st == classOK {
+				continue
+			}
+			v, fd := sh.materialize(m, i, int32(ci), st)
+			if st == classViolating {
+				sh.viol[i][int32(ci)] = v
+			} else {
+				sh.fdOnly[i][int32(ci)] = fd
+			}
+		}
+	}
+	sh.rebuildSnap()
+}
+
+// classState verifies local class ci of dependency i from its maintained
+// consequent-value multiset — O(distinct values), never a tuple scan.
+func (sh *monitorShard) classState(m *Monitor, i, ci int) uint8 {
+	pairs := sh.counts[i][ci]
+	if len(pairs) <= 1 {
+		return classOK // syntactically constant
+	}
+	vals := sh.vals[:0]
+	for _, p := range pairs {
+		vals = append(vals, p.val)
+	}
+	sh.vals = vals
+	if m.v.valuesSatisfied(m.sigma[i].RHS, vals) {
+		return classFDOnly
+	}
+	return classViolating
+}
+
+// materialize builds the immutable record for a non-OK class: the
+// explained Violation for a violating class, or the stable tuple list for
+// an FD-only class. StableView guarantees the tuple slices stay valid
+// under later overlay growth, so snapshots can alias them.
+func (sh *monitorShard) materialize(m *Monitor, i int, ci int32, state uint8) (*Violation, []int32) {
+	switch state {
+	case classViolating:
+		rec := explain(m.rel, m.v.Ontology(), m.sigma[i], sh.parts[i].StableView(int(ci)))
+		return &rec, nil
+	case classFDOnly:
+		return nil, sh.parts[i].StableView(int(ci))
+	}
+	return nil, nil
+}
+
+// commitClass moves local class ci of dependency i into the given state,
+// installing its materialized record. Reports whether the shard's
+// violation maps changed (requiring a snapshot rebuild).
+func (sh *monitorShard) commitClass(i int, ci int32, state uint8, v *Violation, fd []int32) bool {
+	_, wasViol := sh.viol[i][ci]
+	_, wasFD := sh.fdOnly[i][ci]
+	delete(sh.viol[i], ci)
+	delete(sh.fdOnly[i], ci)
+	switch state {
+	case classViolating:
+		sh.viol[i][ci] = v
+	case classFDOnly:
+		sh.fdOnly[i][ci] = fd
+	}
+	return wasViol || wasFD || state != classOK
+}
+
+// reverifyOne re-verifies one class on the sequential Update/AppendRow
+// path and commits the outcome, reporting whether the violation maps
+// changed.
+func (sh *monitorShard) reverifyOne(m *Monitor, i int, ci int32) bool {
+	st := sh.classState(m, i, int(ci))
+	v, fd := sh.materialize(m, i, ci, st)
+	sh.reverified++
+	return sh.commitClass(i, ci, st, v, fd)
+}
+
+// applyBatch runs one shard's apply stage: replay the routed multiset
+// deltas, dedup the dirty classes, and re-verify each into staged state
+// and materialized records. Nothing observable changes until commitBatch
+// — rollbackBatch reverses the deltas and discards the staging.
+func (sh *monitorShard) applyBatch(m *Monitor) {
+	for _, b := range sh.bumps {
+		c := sh.counts[b.ofd][b.class]
+		sh.counts[b.ofd][b.class] = bump(bump(c, b.from, -1), b.to, 1)
+	}
+	slices.Sort(sh.dirty)
+	sh.dirty = slices.Compact(sh.dirty)
+	sh.states = sh.states[:0]
+	sh.stagedViol = sh.stagedViol[:0]
+	sh.stagedFD = sh.stagedFD[:0]
+	for _, key := range sh.dirty {
+		i, ci := int(key>>32), int32(key)
+		st := sh.classState(m, i, int(ci))
+		v, fd := sh.materialize(m, i, ci, st)
+		sh.states = append(sh.states, st)
+		sh.stagedViol = append(sh.stagedViol, v)
+		sh.stagedFD = append(sh.stagedFD, fd)
+	}
+}
+
+// rollbackBatch reverses applyBatch's multiset deltas (in reverse routing
+// order) and discards the staged state, restoring the shard exactly to
+// its pre-batch state — the violation maps were never touched.
+func (sh *monitorShard) rollbackBatch() {
+	for k := len(sh.bumps) - 1; k >= 0; k-- {
+		b := sh.bumps[k]
+		c := sh.counts[b.ofd][b.class]
+		sh.counts[b.ofd][b.class] = bump(bump(c, b.to, -1), b.from, 1)
+	}
+	sh.clearBatch()
+}
+
+// commitBatch installs the staged class states and records, counts the
+// re-verifications, and rebuilds the shard snapshot if anything changed.
+func (sh *monitorShard) commitBatch() {
+	changed := false
+	for k, key := range sh.dirty {
+		i, ci := int(key>>32), int32(key)
+		if sh.commitClass(i, ci, sh.states[k], sh.stagedViol[k], sh.stagedFD[k]) {
+			changed = true
+		}
+	}
+	sh.reverified += len(sh.dirty)
+	if changed {
+		sh.rebuildSnap()
+	}
+	sh.clearBatch()
+}
+
+// clearBatch resets the batch scratch (keeping capacity).
+func (sh *monitorShard) clearBatch() {
+	sh.bumps = sh.bumps[:0]
+	sh.dirty = sh.dirty[:0]
+	sh.states = sh.states[:0]
+	sh.stagedViol = sh.stagedViol[:0]
+	sh.stagedFD = sh.stagedFD[:0]
+}

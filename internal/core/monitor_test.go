@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -280,9 +281,10 @@ func monitorStreamOntology() (*ontology.Ontology, []string, []string) {
 // TestMonitorStreamEquivalence is the equivalence property test: a seeded
 // random stream of appends, single updates, and batched updates must leave
 // the monitor's violation state byte-identical to a fresh Detect on the
-// final instance, for Workers ∈ {1, 2, 0}; all worker counts must also
-// agree with each other. Runs under -race via make race, which exercises
-// the parallel re-verification and concurrent names-table extension.
+// final instance, for every combination of shards ∈ {1, 4, 16} and
+// Workers ∈ {1, 2, 0}; all combinations must also agree with each other.
+// Runs under -race via make race, which exercises the parallel per-shard
+// re-verification and concurrent names-table extension.
 func TestMonitorStreamEquivalence(t *testing.T) {
 	ont, yPool, zPool := monitorStreamOntology()
 	schema := relation.MustSchema("P", "Q", "Y", "Z")
@@ -294,8 +296,15 @@ func TestMonitorStreamEquivalence(t *testing.T) {
 			zPool[rng.Intn(len(zPool))],
 		}
 	}
+	type combo struct{ shards, workers int }
+	var combos []combo
+	for _, s := range []int{1, 4, 16} {
+		for _, w := range []int{1, 2, 0} {
+			combos = append(combos, combo{s, w})
+		}
+	}
 	var reports []string
-	for _, workers := range []int{1, 2, 0} {
+	for _, c := range combos {
 		rng := rand.New(rand.NewSource(42))
 		rows := make([][]string, 0, 50)
 		for i := 0; i < 50; i++ {
@@ -309,11 +318,14 @@ func TestMonitorStreamEquivalence(t *testing.T) {
 			MustParse(schema, "P -> Y"),
 			MustParse(schema, "P, Q -> Z"),
 		}
-		m, err := NewMonitor(rel, ont, sigma)
+		m, err := NewMonitorSharded(context.Background(), rel, ont, sigma, c.shards, c.workers, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		m.Workers = workers
+		if m.NumShards() != c.shards {
+			t.Fatalf("shards = %d, want %d", m.NumShards(), c.shards)
+		}
+		workers := c.workers
 
 		yCol, zCol := schema.MustIndex("Y"), schema.MustIndex("Z")
 		randUpdate := func() CellUpdate {
@@ -345,7 +357,7 @@ func TestMonitorStreamEquivalence(t *testing.T) {
 			}
 			if step%50 == 0 {
 				if full := NewVerifier(rel, ont, nil).SatisfiesAll(sigma); m.Satisfied() != full {
-					t.Fatalf("workers=%d step %d: monitor=%v full=%v", workers, step, m.Satisfied(), full)
+					t.Fatalf("shards=%d workers=%d step %d: monitor=%v full=%v", c.shards, workers, step, m.Satisfied(), full)
 				}
 			}
 		}
@@ -359,13 +371,13 @@ func TestMonitorStreamEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		if string(got) != string(want) {
-			t.Fatalf("workers=%d: final report diverged from fresh Detect\n got %s\nwant %s", workers, got, want)
+			t.Fatalf("shards=%d workers=%d: final report diverged from fresh Detect\n got %s\nwant %s", c.shards, workers, got, want)
 		}
 		reports = append(reports, string(got))
 	}
 	for i := 1; i < len(reports); i++ {
 		if reports[i] != reports[0] {
-			t.Fatalf("reports differ across worker counts:\n%s\nvs\n%s", reports[0], reports[i])
+			t.Fatalf("reports differ across (shards, workers) combinations:\n%s\nvs\n%s", reports[0], reports[i])
 		}
 	}
 }

@@ -32,6 +32,7 @@ type stage struct {
 	wall        time.Duration
 	items       int64
 	workers     int
+	shards      int
 	cacheHits   uint64
 	cacheMisses uint64
 	spans       int64
@@ -44,6 +45,7 @@ type StageStat struct {
 	Wall        time.Duration `json:"wall_ns"`
 	Items       int64         `json:"items,omitempty"`
 	Workers     int           `json:"workers,omitempty"`
+	Shards      int           `json:"shards,omitempty"`
 	CacheHits   uint64        `json:"cache_hits,omitempty"`
 	CacheMisses uint64        `json:"cache_misses,omitempty"`
 	Spans       int64         `json:"spans,omitempty"`
@@ -76,6 +78,7 @@ type Span struct {
 	mu      sync.Mutex
 	items   int64
 	workers int
+	shards  int
 	hits    uint64
 	misses  uint64
 	ended   bool
@@ -114,6 +117,20 @@ func (sp *Span) Workers(w int) {
 	sp.mu.Unlock()
 }
 
+// Shards records the shard fan-out the stage ran with (maximum across
+// accumulated spans, like Workers — a stage that mixed single-shard and
+// sharded phases reports its widest partitioning).
+func (sp *Span) Shards(n int) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if n > sp.shards {
+		sp.shards = n
+	}
+	sp.mu.Unlock()
+}
+
 // Cache adds partition-cache hit/miss deltas observed during the stage.
 func (sp *Span) Cache(hits, misses uint64) {
 	if sp == nil {
@@ -139,7 +156,7 @@ func (sp *Span) End() {
 	}
 	sp.ended = true
 	wall := time.Since(sp.start)
-	items, workers, hits, misses := sp.items, sp.workers, sp.hits, sp.misses
+	items, workers, shards, hits, misses := sp.items, sp.workers, sp.shards, sp.hits, sp.misses
 	sp.mu.Unlock()
 
 	s := sp.stats
@@ -149,6 +166,9 @@ func (sp *Span) End() {
 	st.items += items
 	if workers > st.workers {
 		st.workers = workers
+	}
+	if shards > st.shards {
+		st.shards = shards
 	}
 	st.cacheHits += hits
 	st.cacheMisses += misses
@@ -191,6 +211,7 @@ func (s *Stats) Snapshot() ([]StageStat, []string) {
 			Wall:        st.wall,
 			Items:       st.items,
 			Workers:     st.workers,
+			Shards:      st.shards,
 			CacheHits:   st.cacheHits,
 			CacheMisses: st.cacheMisses,
 			Spans:       st.spans,
@@ -253,6 +274,9 @@ func (s *Stats) Merge(other *Stats) {
 		dst.items += st.Items
 		if st.Workers > dst.workers {
 			dst.workers = st.Workers
+		}
+		if st.Shards > dst.shards {
+			dst.shards = st.Shards
 		}
 		dst.cacheHits += st.CacheHits
 		dst.cacheMisses += st.CacheMisses

@@ -21,6 +21,11 @@ type PartitionOverlay struct {
 	// deltas[ci] holds the tuples added to class ci after the base was
 	// built; for ci >= nBase the slice is the whole class.
 	deltas [][]int32
+	// baseMap, when non-nil, maps local class ids to base class ids: the
+	// overlay covers only the listed subset of base classes (the sharded
+	// monitor's per-shard view of one PartitionCache base). nil means the
+	// identity mapping over every base class.
+	baseMap []int32
 	// added counts the tuples added across all classes (monitoring).
 	added int
 }
@@ -33,6 +38,29 @@ func NewPartitionOverlay(base *Partition) *PartitionOverlay {
 		nBase:  base.NumClasses(),
 		deltas: make([][]int32, base.NumClasses()),
 	}
+}
+
+// NewPartitionOverlayShard wraps base restricted to the given base class
+// ids: local class id k < len(baseClasses) denotes base class
+// baseClasses[k]; ids at or above it denote overlay-born classes. The
+// slice is retained (not copied) and must not be mutated afterwards. This
+// is the per-shard view of a shared PartitionCache base: S shard overlays
+// partition the base's classes without copying any of its flat arrays.
+func NewPartitionOverlayShard(base *Partition, baseClasses []int32) *PartitionOverlay {
+	return &PartitionOverlay{
+		base:    base,
+		nBase:   len(baseClasses),
+		deltas:  make([][]int32, len(baseClasses)),
+		baseMap: baseClasses,
+	}
+}
+
+// baseClass returns the base tuple view behind local class ci (< nBase).
+func (o *PartitionOverlay) baseClass(ci int) []int32 {
+	if o.baseMap != nil {
+		return o.base.Class(int(o.baseMap[ci]))
+	}
+	return o.base.Class(ci)
 }
 
 // Base returns the frozen base partition.
@@ -67,7 +95,7 @@ func (o *PartitionOverlay) AddClass(tuples ...int32) int {
 // Len returns the number of tuples in class ci.
 func (o *PartitionOverlay) Len(ci int) int {
 	if ci < o.nBase {
-		return int(o.base.Offsets[ci+1]-o.base.Offsets[ci]) + len(o.deltas[ci])
+		return len(o.baseClass(ci)) + len(o.deltas[ci])
 	}
 	return len(o.deltas[ci])
 }
@@ -81,7 +109,7 @@ func (o *PartitionOverlay) View(ci int, scratch *[]int32) []int32 {
 	if ci >= o.nBase {
 		return o.deltas[ci]
 	}
-	b := o.base.Class(ci)
+	b := o.baseClass(ci)
 	d := o.deltas[ci]
 	if len(d) == 0 {
 		return b
@@ -91,4 +119,25 @@ func (o *PartitionOverlay) View(ci int, scratch *[]int32) []int32 {
 	s = append(s, d...)
 	*scratch = s
 	return s
+}
+
+// StableView returns class ci's tuple ids in ascending order as a slice
+// that stays valid and immutable across later Add/AddClass calls on this
+// overlay (unlike View, whose result may alias reusable scratch or a
+// delta slice that a later Add extends in place). Pure-base classes alias
+// the frozen base arrays; classes touched by the overlay are copied. The
+// sharded monitor stages these in epoch snapshots read concurrently with
+// subsequent mutations.
+func (o *PartitionOverlay) StableView(ci int) []int32 {
+	if ci >= o.nBase {
+		return append([]int32(nil), o.deltas[ci]...)
+	}
+	b := o.baseClass(ci)
+	d := o.deltas[ci]
+	if len(d) == 0 {
+		return b
+	}
+	s := make([]int32, 0, len(b)+len(d))
+	s = append(s, b...)
+	return append(s, d...)
 }

@@ -87,3 +87,85 @@ func TestPartitionOverlayScratchReuse(t *testing.T) {
 		t.Fatalf("scratch cap = %d", cap(scratch))
 	}
 }
+
+// TestPartitionOverlayShard covers the mapped-base view the sharded
+// monitor uses: a shard overlay over a subset of base classes exposes
+// local ids over exactly those classes, and overlay-born classes stack on
+// top.
+func TestPartitionOverlayShard(t *testing.T) {
+	rel, err := FromRows(MustSchema("A"), [][]string{
+		{"x"}, {"x"}, {"y"}, {"y"}, {"z"}, {"z"}, {"w"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SingleColumnPartition(rel, 0).Strip() // {0,1}, {2,3}, {4,5}
+	o := NewPartitionOverlayShard(base, []int32{0, 2})
+	if o.NumClasses() != 2 || o.BaseClasses() != 2 {
+		t.Fatalf("classes = %d base = %d, want 2/2", o.NumClasses(), o.BaseClasses())
+	}
+	var scratch []int32
+	if got := o.View(0, &scratch); !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Fatalf("local 0 = %v, want base class 0", got)
+	}
+	if got := o.View(1, &scratch); !reflect.DeepEqual(got, []int32{4, 5}) {
+		t.Fatalf("local 1 = %v, want base class 2", got)
+	}
+	o.Add(1, 8)
+	if got := o.View(1, &scratch); !reflect.DeepEqual(got, []int32{4, 5, 8}) {
+		t.Fatalf("grown local 1 = %v", got)
+	}
+	if o.Len(0) != 2 || o.Len(1) != 3 {
+		t.Fatalf("lens = %d,%d", o.Len(0), o.Len(1))
+	}
+	ci := o.AddClass(6, 9)
+	if ci != 2 {
+		t.Fatalf("overlay-born id = %d, want 2", ci)
+	}
+	if got := o.View(ci, &scratch); !reflect.DeepEqual(got, []int32{6, 9}) {
+		t.Fatalf("overlay-born view = %v", got)
+	}
+}
+
+// TestPartitionOverlayStableView pins StableView's immutability contract:
+// the returned slices keep their contents across later Add/AddClass calls
+// (View's results may alias scratch or in-place-growing deltas).
+func TestPartitionOverlayStableView(t *testing.T) {
+	rel, err := FromRows(MustSchema("A"), [][]string{
+		{"x"}, {"x"}, {"y"}, {"y"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SingleColumnPartition(rel, 0).Strip()
+	o := NewPartitionOverlay(base)
+
+	// Pure base class: aliasing the frozen base is fine.
+	pure := o.StableView(0)
+	if !reflect.DeepEqual(pure, []int32{0, 1}) {
+		t.Fatalf("pure = %v", pure)
+	}
+
+	// Mixed class: the stable view is a copy, untouched by later growth.
+	o.Add(1, 9)
+	mixed := o.StableView(1)
+	if !reflect.DeepEqual(mixed, []int32{2, 3, 9}) {
+		t.Fatalf("mixed = %v", mixed)
+	}
+	// Overlay-born class grown after taking the stable view: the earlier
+	// slice must not change even though Add may extend deltas in place.
+	ci := o.AddClass(5)
+	born := o.StableView(ci)
+	o.Add(ci, 7)
+	o.Add(ci, 11)
+	if !reflect.DeepEqual(born, []int32{5}) {
+		t.Fatalf("stable view mutated by later Add: %v", born)
+	}
+	o.Add(1, 13)
+	if !reflect.DeepEqual(mixed, []int32{2, 3, 9}) {
+		t.Fatalf("mixed stable view mutated: %v", mixed)
+	}
+	if got := o.StableView(ci); !reflect.DeepEqual(got, []int32{5, 7, 11}) {
+		t.Fatalf("fresh stable view = %v", got)
+	}
+}
