@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repairbench fdbench monitorbench experiments examples fmt vet lint smoke clean
+.PHONY: all build test race bench repairbench fdbench monitorbench discoverybench experiments examples fmt vet lint smoke clean
 
 all: build test
 
@@ -36,6 +36,13 @@ fdbench:
 # byte-identical-report check and a partition-cache stats block.
 monitorbench:
 	$(GO) run ./cmd/benchrunner -monitorbench BENCH_monitor.json -rows 1000000 -shards 4,16 -cpus 1,0
+
+# Incremental-discovery benchmark report (BENCH_discovery.json): live
+# minimal-cover maintenance vs fresh per-batch FastOFD re-runs across
+# Clinical sizes up to 50k rows, sweeping worker (-cpus) counts, with a
+# byte-identical-cover check and the maintain.* stage-stats block.
+discoverybench:
+	$(GO) run ./cmd/benchrunner -discoverybench BENCH_discovery.json -rows 50000 -cpus 1,0
 
 # Paper-style experiment tables with accuracy metrics.
 experiments:

@@ -16,11 +16,12 @@
 // experiment loop stops between experiments, the bench modes write their
 // report with the rows measured so far, a per-stage execution table goes to
 // stderr, and the process exits with status 3. The -partitionbench,
-// -repairbench, -fdbench and -monitorbench reports embed the per-stage span
-// registry as a "stats" block, so CI artifacts carry stage-level timings
-// alongside the benchmark rows; -monitorbench additionally sweeps monitor
-// shard and worker counts (-shards, -cpus) and reports a partition-cache
-// block.
+// -repairbench, -fdbench, -monitorbench and -discoverybench reports embed
+// the per-stage span registry as a "stats" block, so CI artifacts carry
+// stage-level timings alongside the benchmark rows; -monitorbench
+// additionally sweeps monitor shard and worker counts (-shards, -cpus) and
+// reports a partition-cache block, and -discoverybench sweeps maintainer
+// worker counts (-cpus) against fresh per-batch FastOFD re-runs.
 package main
 
 import (
@@ -44,6 +45,7 @@ func main() {
 		repBench  = flag.String("repairbench", "", "run the repair-engine benchmarks and write JSON results to this path (e.g. BENCH_repair.json), then exit")
 		fdBench   = flag.String("fdbench", "", "run the FD-discovery benchmarks (Exp-1 curve + agree-set micro-benches) and write JSON results to this path (e.g. BENCH_fd.json), then exit")
 		monBench  = flag.String("monitorbench", "", "run the incremental-monitor benchmarks (batched maintenance vs full Detect rebuilds) and write JSON results to this path (e.g. BENCH_monitor.json), then exit")
+		discBench = flag.String("discoverybench", "", "run the incremental-discovery benchmarks (live cover maintenance vs fresh FastOFD re-runs) and write JSON results to this path (e.g. BENCH_discovery.json), then exit")
 		monShards = flag.String("shards", "4", "comma list of monitor shard counts to sweep in -monitorbench (1 is always included; 0 = derive from workers)")
 		monCpus   = flag.String("cpus", "1,0", "comma list of monitor worker counts to sweep in -monitorbench (0 = all CPUs)")
 		smoke     = flag.Bool("benchsmoke", false, "single-iteration benchmark mode for CI smoke runs")
@@ -86,6 +88,14 @@ func main() {
 			finish(fmt.Errorf("-cpus: %w", err))
 		}
 		finish(runMonitorBench(ctx, stageStats, *monBench, *rows, shardList, cpuList, *smoke))
+		return
+	}
+	if *discBench != "" {
+		cpuList, err := parseIntList(*monCpus)
+		if err != nil {
+			finish(fmt.Errorf("-cpus: %w", err))
+		}
+		finish(runDiscoveryBench(ctx, stageStats, *discBench, *rows, cpuList, *smoke))
 		return
 	}
 

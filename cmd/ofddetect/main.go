@@ -28,6 +28,14 @@
 // the final violation report — identical to re-running detection from
 // scratch on the evolved instance — is printed as usual.
 //
+// With -discover alongside -updates, ofddetect additionally feeds the
+// stream through the incremental discovery maintainer on its own copy of
+// the instance: every batch that changes the minimal OFD cover prints a
+// "cover @N: +... -..." diff line to stdout, separate maintain-latency
+// percentiles are reported at the end, and the final maintained cover —
+// identical to a fresh discovery over the evolved instance — is printed
+// to stderr.
+//
 // SIGINT/SIGTERM or an elapsed -timeout stop detection (or the replay,
 // between batches) cooperatively: the violations found so far are printed
 // along with a per-stage execution table, and the process exits with
@@ -67,6 +75,7 @@ func main() {
 		updates   = flag.String("updates", "", "CSV update stream to replay through the incremental monitor (records: row,attr,value or +,v1,...,vk)")
 		batchSize = flag.Int("batch", 64, "cell updates per monitor batch when replaying -updates")
 		shards    = flag.Int("shards", 0, "LHS-key shards for the incremental monitor (0 = derive from -workers)")
+		discover  = flag.Bool("discover", false, "with -updates: maintain the minimal OFD cover live over the stream, printing per-batch cover diffs")
 		stats     = flag.Bool("stats", false, "print the per-stage execution table")
 		timeout   = flag.Duration("timeout", 0, "abort after this duration, printing the partial report (0 = no timeout)")
 	)
@@ -103,10 +112,13 @@ func main() {
 	defer stop()
 	stageStats := fastofd.NewStats()
 
+	if *discover && *updates == "" {
+		fail(fmt.Errorf("-discover requires -updates (it maintains the cover over a replayed stream)"))
+	}
 	var rep *fastofd.Report
 	var derr error
 	if *updates != "" {
-		rep, derr = replayUpdates(ctx, rel, ont, sigma, *updates, *batchSize, *shards, *workers, stageStats)
+		rep, derr = replayUpdates(ctx, rel, ont, sigma, *updates, *batchSize, *shards, *workers, *discover, stageStats)
 	} else {
 		rep, derr = fastofd.DetectContext(ctx, rel, ont, sigma, *workers, stageStats)
 	}
@@ -140,13 +152,28 @@ func main() {
 // are summarized to stderr as percentiles when the stream ends. On
 // interrupt the report reflects the stream replayed so far: a cut batch
 // rolls back, so no half-applied batch is ever reported.
-func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Ontology, sigma fastofd.Set, path string, batchSize, shards, workers int, stats *fastofd.Stats) (*fastofd.Report, error) {
+func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Ontology, sigma fastofd.Set, path string, batchSize, shards, workers int, discover bool, stats *fastofd.Stats) (*fastofd.Report, error) {
 	if batchSize < 1 {
 		batchSize = 1
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
+	}
+	// The maintainer gets its own copy of the (still pristine) instance —
+	// monitor and maintainer each mutate their relation as the stream
+	// replays, and must stay independent.
+	var mtn *fastofd.Maintainer
+	if discover {
+		opts := fastofd.DefaultDiscoveryOptions()
+		opts.Workers = workers
+		opts.Stats = stats
+		mtn, err = fastofd.NewMaintainerContext(ctx, rel.Clone(), ont, opts)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "maintaining a cover of %d OFDs\n", len(mtn.Cover()))
 	}
 	defer f.Close()
 	m, err := fastofd.NewMonitorSharded(ctx, rel, ont, sigma, shards, workers, stats)
@@ -160,8 +187,23 @@ func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Onto
 	r.ReuseRecord = false
 	schema := rel.Schema()
 	batch := make([]fastofd.CellUpdate, 0, batchSize)
-	var latencies []time.Duration
-	defer func() { reportLatencies(os.Stderr, m.NumShards(), latencies) }()
+	var latencies, maintainLat []time.Duration
+	defer func() {
+		reportLatencies(os.Stderr, m.NumShards(), latencies)
+		if mtn != nil {
+			reportMaintain(os.Stderr, mtn, maintainLat)
+		}
+	}()
+	maintain := func(apply func() (fastofd.CoverDiff, error)) error {
+		start := time.Now()
+		diff, err := apply()
+		if err != nil {
+			return err
+		}
+		maintainLat = append(maintainLat, time.Since(start))
+		printDiff(os.Stdout, schema, diff)
+		return nil
+	}
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
@@ -170,6 +212,10 @@ func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Onto
 		err := m.ApplyBatchContext(ctx, batch)
 		if err == nil {
 			latencies = append(latencies, time.Since(start))
+			if mtn != nil {
+				b := batch
+				err = maintain(func() (fastofd.CoverDiff, error) { return mtn.ApplyBatchContext(ctx, b) })
+			}
 		}
 		batch = batch[:0]
 		return err
@@ -191,6 +237,12 @@ func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Onto
 			}
 			if _, err := m.AppendRow(rec[1:]); err != nil {
 				return m.Report(), fmt.Errorf("updates record %d: %w", line, err)
+			}
+			if mtn != nil {
+				row := rec[1:]
+				if err := maintain(func() (fastofd.CoverDiff, error) { return mtn.AppendRow(row) }); err != nil {
+					return m.Report(), fmt.Errorf("updates record %d: %w", line, err)
+				}
 			}
 			continue
 		}
@@ -216,6 +268,42 @@ func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Onto
 		return m.Report(), err
 	}
 	return m.Report(), nil
+}
+
+// printDiff writes one batch's cover changes as a single diff line
+// (silent when the cover is unchanged).
+func printDiff(w io.Writer, schema *fastofd.Schema, diff fastofd.CoverDiff) {
+	if diff.Empty() {
+		return
+	}
+	fmt.Fprintf(w, "cover @%d:", diff.Epoch)
+	for _, d := range diff.Added {
+		fmt.Fprintf(w, " +[%s]", d.Format(schema))
+	}
+	for _, d := range diff.Removed {
+		fmt.Fprintf(w, " -[%s]", d.Format(schema))
+	}
+	fmt.Fprintln(w)
+}
+
+// reportMaintain prints the final maintained cover and its per-batch
+// latency percentiles.
+func reportMaintain(w io.Writer, mtn *fastofd.Maintainer, latencies []time.Duration) {
+	cover := mtn.Cover()
+	fmt.Fprintf(w, "maintained cover: %d OFDs after %d batches (%d full candidate scans)\n",
+		len(cover), mtn.Epoch(), mtn.Scans())
+	if len(latencies) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) time.Duration {
+		k := int(p * float64(len(sorted)-1))
+		return sorted[k]
+	}
+	fmt.Fprintf(w, "maintain latency p50=%s p95=%s p99=%s max=%s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), sorted[len(sorted)-1].Round(time.Microsecond))
 }
 
 // reportLatencies prints p50/p95/p99/max over the recorded per-batch

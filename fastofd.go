@@ -108,6 +108,10 @@ type (
 	DiscoveryMode = discovery.Mode
 	// RankedOFD pairs a discovered OFD with interestingness measures.
 	RankedOFD = discovery.RankedOFD
+	// Maintainer keeps the minimal OFD cover live under update streams.
+	Maintainer = discovery.Maintainer
+	// CoverDiff is one batch's change to a maintained cover.
+	CoverDiff = discovery.Diff
 )
 
 // Discovery modes.
@@ -275,6 +279,24 @@ func Discover(rel *Relation, ont *Ontology, opts DiscoveryOptions) *DiscoveryRes
 // completed levels plus an error satisfying errors.Is(err, ctx.Err()).
 func DiscoverContext(ctx context.Context, rel *Relation, ont *Ontology, opts DiscoveryOptions) (*DiscoveryResult, error) {
 	return discovery.DiscoverContext(ctx, rel, ont, opts)
+}
+
+// NewMaintainer builds an incremental discovery engine: it runs one fresh
+// discovery for the initial cover, then keeps the complete minimal cover
+// live under the same cell-update batches and row appends the Monitor
+// consumes, emitting a CoverDiff per batch instead of re-running the
+// lattice. Supports exact synonym OFDs over the uncapped lattice (the
+// configuration the incremental soundness argument covers); other
+// DiscoveryOptions are rejected. The maintained cover is byte-identical
+// to Discover over the current instance for every worker count.
+func NewMaintainer(rel *Relation, ont *Ontology, opts DiscoveryOptions) (*Maintainer, error) {
+	return discovery.NewMaintainer(rel, ont, opts)
+}
+
+// NewMaintainerContext is NewMaintainer with cooperative cancellation of
+// the initial discovery and index build.
+func NewMaintainerContext(ctx context.Context, rel *Relation, ont *Ontology, opts DiscoveryOptions) (*Maintainer, error) {
+	return discovery.NewMaintainerContext(ctx, rel, ont, opts)
 }
 
 // Rank scores discovered OFDs by interestingness (compactness, evidence,

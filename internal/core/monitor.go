@@ -296,7 +296,7 @@ func (m *Monitor) AppendRow(row []string) (int, error) {
 	m.rel.AppendRow(row)
 	for i := range m.sigma {
 		col := m.rel.Column(m.sigma[i].RHS)
-		m.keyBuf = encodeLHSKey(m.rel, m.lhsCols[i], int(t), m.keyBuf)
+		m.keyBuf = EncodeLHSKey(m.rel, m.lhsCols[i], int(t), m.keyBuf)
 		s := shardOfKey(m.keyBuf, m.nShards)
 		sh := m.shards[s]
 		m.rowShard[i] = append(m.rowShard[i], s)

@@ -4,14 +4,17 @@ import (
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
-// encodeLHSKey appends the dict-encoded antecedent value tuple of row t
+// EncodeLHSKey appends the dict-encoded antecedent value tuple of row t
 // (projected on cols) to buf[:0] and returns it. Each attribute
 // contributes exactly 4 little-endian bytes, so keys over the same
 // attribute list are fixed-width and therefore prefix-free: two rows
 // encode equal iff their antecedent value ids are equal attribute by
 // attribute (dictionaries make equal strings id-equal). The injectivity
-// property test and fuzz target pin this down.
-func encodeLHSKey(rel *relation.Relation, cols []int, t int, buf []byte) []byte {
+// property test and fuzz target pin this down. Exported because the
+// incremental discovery maintainer shares the monitor's key encoding for
+// its candidate-class indexes (the "dirty-signal" contract: equal keys
+// name equal equivalence classes across both engines).
+func EncodeLHSKey(rel *relation.Relation, cols []int, t int, buf []byte) []byte {
 	buf = buf[:0]
 	for _, c := range cols {
 		v := rel.Value(t, c)
@@ -64,7 +67,7 @@ func (m *Monitor) routeIndex(i int) {
 	var buf []byte
 	for ci := 0; ci < base.NumClasses(); ci++ {
 		class := base.Class(ci)
-		buf = encodeLHSKey(m.rel, m.lhsCols[i], int(class[0]), buf)
+		buf = EncodeLHSKey(m.rel, m.lhsCols[i], int(class[0]), buf)
 		s := shardOfKey(buf, m.nShards)
 		local := int32(len(owned[s]))
 		owned[s] = append(owned[s], int32(ci))
@@ -85,7 +88,7 @@ func (m *Monitor) routeIndex(i int) {
 		if classOf[t] >= 0 {
 			continue
 		}
-		buf = encodeLHSKey(m.rel, m.lhsCols[i], t, buf)
+		buf = EncodeLHSKey(m.rel, m.lhsCols[i], t, buf)
 		s := shardOfKey(buf, m.nShards)
 		m.shards[s].lhsIdx[i][string(buf)] = loneRow(int32(t))
 		rowShard[t] = s

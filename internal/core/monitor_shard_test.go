@@ -34,8 +34,8 @@ func TestLHSKeyEncodingInjective(t *testing.T) {
 		t.Helper()
 		set(0, a)
 		set(1, b)
-		ka := string(encodeLHSKey(rel, cols, 0, nil))
-		kb := string(encodeLHSKey(rel, cols, 1, nil))
+		ka := string(EncodeLHSKey(rel, cols, 0, nil))
+		kb := string(EncodeLHSKey(rel, cols, 1, nil))
 		if (ka == kb) != (a == b) {
 			t.Fatalf("injectivity broken: %v vs %v, keys %x vs %x", a, b, ka, kb)
 		}

@@ -222,6 +222,17 @@ func (v *Verifier) valuesSatisfied(rhs int, vals []relation.Value) bool {
 	return false
 }
 
+// ValuesSatisfied is the exported form of valuesSatisfied, the
+// class-size-independent verification core: it reports whether some sense
+// covers every one of the given distinct consequent values of column rhs
+// (or there is at most one value). Callers that maintain per-class
+// distinct-value multisets — the incremental monitor and the discovery
+// maintainer — re-verify a class in O(distinct values) through it without
+// rescanning tuples. vals must be distinct; order is irrelevant.
+func (v *Verifier) ValuesSatisfied(rhs int, vals []relation.Value) bool {
+	return v.valuesSatisfied(rhs, vals)
+}
+
 // valuesSatisfiedSlow is the map-based fallback of valuesSatisfied for
 // value or sense sets that overflow the stack scratch.
 func (v *Verifier) valuesSatisfiedSlow(rhs int, vals []relation.Value) bool {
@@ -268,6 +279,35 @@ func (v *Verifier) HoldsSyn(d OFD) bool {
 	for i := 0; i < p.NumClasses(); i++ {
 		if !v.classSatisfied(p.Class(i), d.RHS) {
 			return false
+		}
+	}
+	return true
+}
+
+// HoldsSynOnePass is HoldsSyn computed from the antecedent partition
+// alone. For uncovered consequents HoldsSyn delegates to HoldsFD's
+// partition-error comparison, which materializes Π*_{X∪A}; here the FD
+// test instead walks the classes of Π*_X checking that each agrees on
+// the dict-encoded consequent — the same cost as the product it avoids,
+// with no second partition built or cached. The lattice keeps HoldsSyn
+// (its level ordering reuses Π*_{X∪A} as a next-level node); callers
+// probing scattered nodes — the maintainer's repair regions — use this.
+func (v *Verifier) HoldsSynOnePass(d OFD) bool {
+	if d.Trivial() {
+		return true
+	}
+	if v.covered[d.RHS].Load() {
+		return v.HoldsSyn(d)
+	}
+	p := v.pc.Get(d.LHS)
+	col := v.rel.Column(d.RHS)
+	for i := 0; i < p.NumClasses(); i++ {
+		class := p.Class(i)
+		first := col[class[0]]
+		for _, t := range class[1:] {
+			if col[t] != first {
+				return false
+			}
 		}
 	}
 	return true

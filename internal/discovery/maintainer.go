@@ -1,0 +1,588 @@
+package discovery
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
+	"github.com/fastofd/fastofd/internal/fd"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// Diff is one batch's change to the maintained minimal cover: the OFDs
+// that entered and left it, each sorted in canonical core.Set order.
+// Epoch is the maintainer's state version after the batch; an unchanged
+// cover still advances the epoch, so consumers can correlate diffs with
+// the monitor's per-batch reports.
+type Diff struct {
+	Epoch   uint64
+	Added   core.Set
+	Removed core.Set
+}
+
+// Empty reports whether the batch left the cover unchanged.
+func (d Diff) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// rhsState is the maintained lattice state for one consequent attribute:
+// the minimal cover antichain (full class trackers), the negative border
+// — the maximal invalid antecedents, each carrying a violating-class
+// certificate — and the minimal transversals of the cover the border is
+// derived from (border node = space minus transversal). Both slices are
+// kept in canonical SortSets order so every traversal is deterministic.
+type rhsState struct {
+	rhs    int
+	cover  []*coverTracker
+	border []*witnessTracker
+	trans  []relation.AttrSet
+}
+
+func (rs *rhsState) coverSets() []relation.AttrSet {
+	out := make([]relation.AttrSet, len(rs.cover))
+	for i, ct := range rs.cover {
+		out[i] = ct.d.LHS
+	}
+	return out
+}
+
+// Maintainer keeps the complete minimal synonym-OFD cover of a mutating
+// relation live: it consumes the same cell-update batches and row appends
+// as core.Monitor and emits a per-batch Diff of the cover, re-verifying
+// only lattice nodes a batch could have flipped instead of re-running
+// discovery. The incremental argument has two halves, both resting on the
+// upward closure of exact synonym-OFD validity in the antecedent lattice:
+//
+//   - Demotions (valid → invalid) can only strike minimal valid nodes
+//     first, and the maintainer holds full equivalence-class state for
+//     exactly those — the cover elements — so a batch detects them in
+//     O(touched rows) per tracker.
+//   - Promotions (invalid → valid) must lift some maximal invalid node —
+//     the negative border — and each border node carries a pinned
+//     violating class whose certificate a promoting batch provably
+//     breaks, so the (rare) full rescans are confined to border nodes
+//     whose certificate broke.
+//
+// Every flip re-opens a bounded repair region (repairer) rather than the
+// lattice: BFS up from demotions through the invalidated region, descent
+// down from promotions through the newly valid one, both answering most
+// nodes from the old cover plus the batch's touched-column set.
+//
+// Batches are atomic: a cancelled batch rolls the relation and every
+// tracker back to the pre-batch state and leaves the cover untouched.
+// The cover is byte-identical to a fresh Discover over the final instance
+// for every worker count and batch partitioning.
+//
+// The maintainer supports the configuration the incremental argument is
+// sound for: exact synonym OFDs over the full lattice (MinSupport 0 or 1,
+// ModeSynonym, MaxLevel 0). NewMaintainer rejects anything else —
+// approximate support breaks upward closure, and a depth cap makes the
+// border ill-defined.
+type Maintainer struct {
+	rel     *relation.Relation
+	v       *core.Verifier
+	workers int
+	stats   *exec.Stats
+
+	all   relation.AttrSet
+	rhs   []*rhsState
+	flat  []batchTracker // all trackers, for batch fan-out
+	epoch uint64
+
+	pending map[int64]int // (row,col) → writes index, batch scratch
+	writes  []cellWrite
+	scans   int64 // cumulative full-candidate verifications
+}
+
+// NewMaintainer builds a maintainer, running a fresh discovery for the
+// initial cover. See NewMaintainerContext.
+func NewMaintainer(rel *relation.Relation, ont *ontology.Ontology, opts Options) (*Maintainer, error) {
+	return NewMaintainerContext(context.Background(), rel, ont, opts)
+}
+
+// NewMaintainerContext builds a maintainer with cooperative cancellation
+// of the initial discovery and index build. A cancelled build returns a
+// nil maintainer and an error satisfying errors.Is(err, ctx.Err()).
+func NewMaintainerContext(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, opts Options) (*Maintainer, error) {
+	if opts.Mode != ModeSynonym {
+		return nil, fmt.Errorf("discovery: maintainer supports synonym OFDs only")
+	}
+	if opts.MinSupport != 0 && opts.MinSupport != 1 {
+		return nil, fmt.Errorf("discovery: maintainer requires exact OFDs (MinSupport 0 or 1), got %v", opts.MinSupport)
+	}
+	if opts.MaxLevel != 0 {
+		return nil, fmt.Errorf("discovery: maintainer requires an uncapped lattice (MaxLevel 0), got %d", opts.MaxLevel)
+	}
+	res, err := DiscoverContext(ctx, rel, ont, opts)
+	if err != nil {
+		return nil, err
+	}
+	mt := &Maintainer{
+		rel:     rel,
+		v:       core.NewVerifier(rel, ont, nil),
+		workers: opts.Workers,
+		stats:   opts.Stats,
+		all:     rel.Schema().All(),
+		rhs:     make([]*rhsState, rel.NumCols()),
+	}
+	w := exec.Workers(opts.Workers)
+	span := mt.stats.Span("maintain.build")
+	span.Workers(w)
+	defer span.End()
+	for c := 0; c < rel.NumCols(); c++ {
+		mt.rhs[c] = &rhsState{rhs: c}
+	}
+	cover := res.OFDs.Clone()
+	cover.Sort()
+	// Full class trackers for every cover element, built in parallel (each
+	// tracker is self-contained) against a build-time partition-backed
+	// verifier — cover and border antecedents overlap heavily, so cached
+	// subset products compound across the whole build. The cache is
+	// released with pv when the build returns.
+	pv := core.NewVerifier(rel, ont, relation.NewPartitionCacheParallel(rel, opts.Workers))
+	trackers := make([]*coverTracker, len(cover))
+	err = exec.For(ctx, len(cover), w, func(_, i int) {
+		trackers[i] = newCoverTrackerParts(pv, mt.v, cover[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	span.Items(len(cover))
+	for i, d := range cover {
+		mt.rhs[d.RHS].cover = append(mt.rhs[d.RHS].cover, trackers[i])
+	}
+	for _, rs := range mt.rhs {
+		sortCoverTrackers(rs.cover)
+		rs.trans = fd.MinimalHittingSets(lhsSets(rs.cover))
+		if err := mt.buildBorder(ctx, pv, rs, nil); err != nil {
+			return nil, err
+		}
+		span.Items(len(rs.border))
+	}
+	mt.rebuildFlat()
+	return mt, nil
+}
+
+// sortCoverTrackers orders trackers canonically (length, then bit
+// pattern — the SortSets order).
+func sortCoverTrackers(cover []*coverTracker) {
+	sort.Slice(cover, func(i, j int) bool {
+		a, b := cover[i].d.LHS, cover[j].d.LHS
+		if la, lb := a.Len(), b.Len(); la != lb {
+			return la < lb
+		}
+		return a < b
+	})
+}
+
+func lhsSets(cover []*coverTracker) []relation.AttrSet {
+	out := make([]relation.AttrSet, len(cover))
+	for i, ct := range cover {
+		out[i] = ct.d.LHS
+	}
+	return out
+}
+
+// buildBorder materializes rs.border from rs.trans: one witness tracker
+// per maximal invalid node, reusing entries from keep (the previous
+// border, keyed by antecedent) and scanning the rest in parallel. Every
+// border node is invalid by construction — each transversal hits every
+// cover element, so its complement contains none — and the defensive
+// check turns a violated invariant into a panic rather than silent
+// cover corruption.
+func (mt *Maintainer) buildBorder(ctx context.Context, pv *core.Verifier, rs *rhsState, keep map[relation.AttrSet]*witnessTracker) error {
+	space := mt.all.Without(rs.rhs)
+	rs.border = make([]*witnessTracker, len(rs.trans))
+	var scanIdx []int
+	for i, tr := range rs.trans {
+		w := space.Minus(tr)
+		if wt := keep[w]; wt != nil {
+			rs.border[i] = wt
+		} else {
+			scanIdx = append(scanIdx, i)
+		}
+	}
+	err := exec.For(ctx, len(scanIdx), exec.Workers(mt.workers), func(_, k int) {
+		i := scanIdx[k]
+		d := core.OFD{LHS: space.Minus(rs.trans[i]), RHS: rs.rhs}
+		res := witnessScanParts(pv, d)
+		if res.valid {
+			panic(fmt.Sprintf("discovery: border node %v is valid; cover for attribute %d is not a cover",
+				d.LHS.Format(mt.rel.Schema()), rs.rhs))
+		}
+		rs.border[i] = newWitnessTracker(d, res.witKey, res.witSize, res.witVals)
+	})
+	return err
+}
+
+// rebuildFlat regenerates the batch fan-out list over all trackers.
+func (mt *Maintainer) rebuildFlat() {
+	mt.flat = mt.flat[:0]
+	for _, rs := range mt.rhs {
+		for _, ct := range rs.cover {
+			mt.flat = append(mt.flat, ct)
+		}
+		for _, wt := range rs.border {
+			mt.flat = append(mt.flat, wt)
+		}
+	}
+}
+
+// Cover returns the maintained minimal cover in canonical core.Set order.
+// The returned set is a fresh copy.
+func (mt *Maintainer) Cover() core.Set {
+	var out core.Set
+	for _, rs := range mt.rhs {
+		for _, ct := range rs.cover {
+			out = append(out, ct.d)
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// Epoch returns the number of successfully applied batches and appends.
+func (mt *Maintainer) Epoch() uint64 { return mt.epoch }
+
+// NumRows returns the maintained relation's current row count.
+func (mt *Maintainer) NumRows() int { return mt.rel.NumRows() }
+
+// Scans returns the cumulative number of full candidate verifications the
+// maintainer has performed since construction (the work a fresh discovery
+// would redo per node; the oracle-answered remainder is reported as
+// Skipped on the maintain.verify stage).
+func (mt *Maintainer) Scans() int64 { return mt.scans }
+
+// ApplyBatch applies a batch of cell updates and returns the cover diff.
+// See ApplyBatchContext.
+func (mt *Maintainer) ApplyBatch(updates []core.CellUpdate) (Diff, error) {
+	return mt.ApplyBatchContext(context.Background(), updates)
+}
+
+// ApplyBatchContext applies a batch of cell updates, re-verifies exactly
+// the lattice region the batch dirtied, and returns the cover diff. The
+// batch is atomic: a cancelled context rolls the relation and all tracker
+// state back to the pre-batch snapshot and returns an error satisfying
+// errors.Is(err, ctx.Err()) with a zero Diff. Unlike the monitor, updates
+// may touch any attribute — the maintainer has no antecedent/consequent
+// split to protect. Same-cell writes dedup to the last value; writes of a
+// cell's current value are dropped, and an all-no-op batch returns an
+// empty diff at the current epoch without touching any state.
+func (mt *Maintainer) ApplyBatchContext(ctx context.Context, updates []core.CellUpdate) (Diff, error) {
+	for _, u := range updates {
+		if u.Row < 0 || u.Row >= mt.rel.NumRows() || u.Col < 0 || u.Col >= mt.rel.NumCols() {
+			return Diff{}, fmt.Errorf("discovery: cell (%d,%d) out of range", u.Row, u.Col)
+		}
+	}
+	dirtySpan := mt.stats.Span("maintain.dirty")
+	dirtySpan.Items(len(updates))
+	w := exec.Workers(mt.workers)
+	dirtySpan.Workers(w)
+	// Last-write-wins dedup to one effective write per cell, keeping the
+	// pre-batch value for rollback.
+	if mt.pending == nil {
+		mt.pending = make(map[int64]int, len(updates))
+	}
+	clear(mt.pending)
+	mt.writes = mt.writes[:0]
+	for _, u := range updates {
+		id := mt.rel.Dict(u.Col).Intern(u.Value)
+		key := int64(u.Row)<<32 | int64(u.Col)
+		if k, ok := mt.pending[key]; ok {
+			mt.writes[k].new = id
+			continue
+		}
+		mt.pending[key] = len(mt.writes)
+		mt.writes = append(mt.writes, cellWrite{u.Row, u.Col, mt.rel.Value(u.Row, u.Col), id})
+	}
+	eff := 0
+	var touched relation.AttrSet
+	for _, wr := range mt.writes {
+		if wr.new == wr.old {
+			continue
+		}
+		mt.writes[eff] = wr
+		eff++
+		touched = touched.With(wr.col)
+	}
+	mt.writes = mt.writes[:eff]
+	if eff == 0 {
+		dirtySpan.End()
+		return Diff{Epoch: mt.epoch}, nil
+	}
+	sort.Slice(mt.writes, func(i, j int) bool {
+		if mt.writes[i].row != mt.writes[j].row {
+			return mt.writes[i].row < mt.writes[j].row
+		}
+		return mt.writes[i].col < mt.writes[j].col
+	})
+	// Move the relation to the target state, then fold the write log into
+	// every tracker the batch can affect. The fan-out is uncancellable —
+	// it is O(touched rows) per tracker and leaving it half-applied would
+	// require per-tracker undo logs; cancellation lands on the boundaries
+	// around it instead.
+	for _, wr := range mt.writes {
+		mt.rel.SetValue(wr.row, wr.col, wr.new)
+	}
+	active := mt.activeTrackers(touched)
+	_ = exec.For(context.Background(), len(active), w, func(_, i int) {
+		active[i].applyWrites(mt.rel, mt.v, mt.writes)
+	})
+	dirtySpan.End()
+	rollback := func() {
+		// Revert the relation to the source state, then replay the
+		// inverted log through the same trackers: applyWrites transitions
+		// are symmetric, so tracker state is restored exactly (interned
+		// values linger in dictionaries and names tables — both monotone,
+		// harmless). Staged witness certificates are discarded.
+		inv := make([]cellWrite, len(mt.writes))
+		for k, wr := range mt.writes {
+			mt.rel.SetValue(wr.row, wr.col, wr.old)
+			inv[k] = cellWrite{wr.row, wr.col, wr.new, wr.old}
+		}
+		_ = exec.For(context.Background(), len(active), w, func(_, i int) {
+			active[i].applyWrites(mt.rel, mt.v, inv)
+		})
+		mt.clearPendings()
+	}
+	if err := exec.Interrupted(ctx, "maintain.dirty"); err != nil {
+		rollback()
+		return Diff{}, err
+	}
+	return mt.verifyAndCommit(ctx, touched, false, rollback)
+}
+
+// activeTrackers filters the fan-out list to trackers whose scope a
+// batch's touched columns intersect.
+func (mt *Maintainer) activeTrackers(touched relation.AttrSet) []batchTracker {
+	active := make([]batchTracker, 0, len(mt.flat))
+	for _, tr := range mt.flat {
+		if !tr.scope().Intersect(touched).IsEmpty() {
+			active = append(active, tr)
+		}
+	}
+	return active
+}
+
+func (mt *Maintainer) clearPendings() {
+	for _, rs := range mt.rhs {
+		for _, wt := range rs.border {
+			wt.clearPending()
+		}
+	}
+}
+
+// AppendRow appends one tuple (strings in schema order) and returns the
+// cover diff. See AppendRows.
+func (mt *Maintainer) AppendRow(row []string) (Diff, error) {
+	return mt.AppendRows([][]string{row})
+}
+
+// AppendRows appends a batch of tuples (strings in schema order) and
+// returns the combined cover diff. Appends only demote — growing an
+// equivalence class grows its distinct consequent set, and sense
+// satisfiability is antitone in it — so the repair runs without border
+// rescans or promotion descents, and the whole operation is
+// uncancellable-fast (no rollback surface). Batching matters: the repair
+// pass — and any cover-tracker and border rebuilds it causes — runs once
+// for the whole batch instead of once per row, and the resulting cover
+// is identical to appending the rows one at a time.
+func (mt *Maintainer) AppendRows(rows [][]string) (Diff, error) {
+	for _, row := range rows {
+		if len(row) != mt.rel.NumCols() {
+			return Diff{}, fmt.Errorf("discovery: append of %d cells into %d attributes", len(row), mt.rel.NumCols())
+		}
+	}
+	if len(rows) == 0 {
+		return Diff{Epoch: mt.epoch}, nil
+	}
+	dirtySpan := mt.stats.Span("maintain.dirty")
+	dirtySpan.Items(len(rows))
+	w := exec.Workers(mt.workers)
+	dirtySpan.Workers(w)
+	t0 := int32(mt.rel.NumRows())
+	for _, row := range rows {
+		mt.rel.AppendRow(row)
+	}
+	end := int32(mt.rel.NumRows())
+	_ = exec.For(context.Background(), len(mt.flat), w, func(_, i int) {
+		for t := t0; t < end; t++ {
+			mt.flat[i].appendRow(mt.rel, mt.v, t)
+		}
+	})
+	dirtySpan.End()
+	return mt.verifyAndCommit(context.Background(), relation.EmptySet, true, nil)
+}
+
+// stagedRHS is one consequent's repair outcome awaiting commit.
+type stagedRHS struct {
+	rhs       int
+	newCover  []relation.AttrSet
+	triggered []*witnessTracker
+}
+
+// verifyAndCommit reads the flip signals off the trackers, repairs every
+// affected consequent's cover (cancellable; all effects staged), then
+// commits: installs new covers and certificates, rebuilds changed
+// borders, advances the epoch, and assembles the diff. rollback, when
+// non-nil, undoes the already-applied batch on cancellation.
+func (mt *Maintainer) verifyAndCommit(ctx context.Context, touched relation.AttrSet, hasAppend bool, rollback func()) (Diff, error) {
+	verifySpan := mt.stats.Span("maintain.verify")
+	verifySpan.Workers(exec.Workers(mt.workers))
+	var staged []stagedRHS
+	scans, skips := 0, 0
+	// Repair verification runs on a partition-backed verifier over the
+	// post-batch instance, built lazily on the first consequent that needs
+	// repair and shared by all of them (antecedent sets repeat across
+	// consequents, so cached subset partitions compound). It must be fresh
+	// per batch: partition caches are snapshots, invalid once the relation
+	// mutates — unlike the long-lived mt.v, whose names tables are monotone
+	// and mutation-safe.
+	var pv *core.Verifier
+	for _, rs := range mt.rhs {
+		var survivors, demoted []relation.AttrSet
+		for _, ct := range rs.cover {
+			if ct.valid() {
+				survivors = append(survivors, ct.d.LHS)
+			} else {
+				demoted = append(demoted, ct.d.LHS)
+			}
+		}
+		var triggered []*witnessTracker
+		for _, wt := range rs.border {
+			if !wt.violating(mt.v) {
+				triggered = append(triggered, wt)
+			}
+		}
+		if len(demoted) == 0 && len(triggered) == 0 {
+			continue
+		}
+		if pv == nil {
+			pv = core.NewVerifier(mt.rel, mt.v.Ontology(),
+				relation.NewPartitionCacheParallel(mt.rel, mt.workers))
+		}
+		r := &repairer{
+			mt:        mt,
+			pv:        pv,
+			rhs:       rs.rhs,
+			space:     mt.all.Without(rs.rhs),
+			oldCover:  lhsSets(rs.cover),
+			survivors: survivors,
+			demoted:   demoted,
+			touched:   touched,
+			hasAppend: hasAppend,
+			memo:      make(map[relation.AttrSet]bool),
+		}
+		newCover, err := r.run(ctx, triggered)
+		scans += r.scans
+		skips += r.skips
+		if err != nil {
+			verifySpan.Items(scans)
+			verifySpan.Skipped(skips)
+			verifySpan.End()
+			if rollback != nil {
+				rollback()
+			}
+			return Diff{}, err
+		}
+		staged = append(staged, stagedRHS{rhs: rs.rhs, newCover: newCover, triggered: triggered})
+	}
+	verifySpan.Items(scans)
+	verifySpan.Skipped(skips)
+	mt.scans += int64(scans)
+	verifySpan.End()
+	// Commit — uncancellable: the batch's writes are already in, every
+	// remaining effect is deterministic bookkeeping.
+	diffSpan := mt.stats.Span("maintain.diff")
+	defer diffSpan.End()
+	var diff Diff
+	for _, st := range staged {
+		rs := mt.rhs[st.rhs]
+		for _, wt := range st.triggered {
+			wt.commitPending()
+		}
+		oldSets := lhsSets(rs.cover)
+		added, removed := diffSetSlices(oldSets, st.newCover)
+		if len(added) == 0 && len(removed) == 0 {
+			continue // certificates refreshed, cover intact
+		}
+		for _, x := range added {
+			diff.Added = append(diff.Added, core.OFD{LHS: x, RHS: st.rhs})
+		}
+		for _, x := range removed {
+			diff.Removed = append(diff.Removed, core.OFD{LHS: x, RHS: st.rhs})
+		}
+		// New cover tracker list: surviving elements keep their state, new
+		// elements are built fresh in parallel.
+		prev := make(map[relation.AttrSet]*coverTracker, len(rs.cover))
+		for _, ct := range rs.cover {
+			prev[ct.d.LHS] = ct
+		}
+		next := make([]*coverTracker, len(st.newCover))
+		var buildIdx []int
+		for i, x := range st.newCover {
+			if ct := prev[x]; ct != nil {
+				next[i] = ct
+			} else {
+				buildIdx = append(buildIdx, i)
+			}
+		}
+		newCover := st.newCover
+		_ = exec.For(context.Background(), len(buildIdx), exec.Workers(mt.workers), func(_, k int) {
+			i := buildIdx[k]
+			next[i] = newCoverTrackerParts(pv, mt.v, core.OFD{LHS: newCover[i], RHS: st.rhs})
+		})
+		rs.cover = next
+		// Transversals: pure additions extend incrementally (one Berge
+		// step per new element); any removal falls back to a fresh
+		// computation over the small antichain.
+		if len(removed) == 0 {
+			for _, x := range added {
+				rs.trans = fd.ExtendTransversals(rs.trans, x)
+			}
+			relation.SortSets(rs.trans)
+		} else {
+			rs.trans = fd.MinimalHittingSets(st.newCover)
+		}
+		keep := make(map[relation.AttrSet]*witnessTracker, len(rs.border))
+		for _, wt := range rs.border {
+			keep[wt.d.LHS] = wt
+		}
+		// Uncancellable by the same commit contract; exec.For on a
+		// background context cannot fail, and buildBorder's only error
+		// path is context cancellation.
+		_ = mt.buildBorder(context.Background(), pv, rs, keep)
+		diffSpan.Items(len(added) + len(removed))
+	}
+	if len(diff.Added) > 0 || len(diff.Removed) > 0 {
+		mt.rebuildFlat()
+	}
+	mt.epoch++
+	diff.Epoch = mt.epoch
+	diff.Added.Sort()
+	diff.Removed.Sort()
+	return diff, nil
+}
+
+// diffSetSlices compares two canonical-order antichains and returns the
+// sets only in b (added) and only in a (removed).
+func diffSetSlices(a, b []relation.AttrSet) (added, removed []relation.AttrSet) {
+	inA := make(map[relation.AttrSet]bool, len(a))
+	for _, x := range a {
+		inA[x] = true
+	}
+	inB := make(map[relation.AttrSet]bool, len(b))
+	for _, x := range b {
+		inB[x] = true
+		if !inA[x] {
+			added = append(added, x)
+		}
+	}
+	for _, x := range a {
+		if !inB[x] {
+			removed = append(removed, x)
+		}
+	}
+	return added, removed
+}

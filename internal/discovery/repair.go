@@ -1,0 +1,338 @@
+package discovery
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// repairer computes one consequent attribute's post-batch minimal cover
+// from the flip signals: a joint upward BFS over the invalidated region
+// above demoted cover elements, and a downward level-wise descent through
+// the newly valid region below promoted border nodes. Both searches
+// consult a memoized post-state validity oracle that answers most nodes
+// without verification — this is the incremental C⁺(X) repair: an
+// invalidation re-opens exactly the supersets the BFS reaches (the nodes
+// Opt-2 had pruned under the demoted element), and a validation re-prunes
+// by the final antichain step plus the ⊇-survivor short-circuit.
+//
+// Correctness rests on the monotonicity of exact synonym OFDs (refining
+// an equivalence partition preserves per-class satisfaction, so validity
+// is upward-closed per consequent):
+//
+//   - pre-batch validity of ANY node is decidable from the old cover
+//     alone (valid ⇔ ⊇ some cover element), and a node whose scope
+//     X ∪ {A} the batch did not touch keeps its pre-batch validity —
+//     that is the oracle's free answer;
+//   - every minimal valid node of the post state is either a survivor, or
+//     reachable by the BFS from a demoted seed (all its subsets down to
+//     the seed are invalid), or a subset of a maximal invalid node W
+//     whose certificate necessarily broke (W ⊇ a now-valid node is
+//     itself valid, and validity requires its pinned violating class to
+//     have become satisfied), in which case the descent from W finds it;
+//   - therefore the minimal antichain of survivors ∪ BFS boundary ∪
+//     descent results is exactly the post-state minimal cover.
+type repairer struct {
+	mt        *Maintainer
+	pv        *core.Verifier // per-batch partition-backed verifier (post state)
+	rhs       int
+	space     relation.AttrSet   // all attributes minus rhs
+	oldCover  []relation.AttrSet // pre-batch cover antichain (canonical order)
+	survivors []relation.AttrSet // old cover elements still valid
+	demoted   []relation.AttrSet // old cover elements now invalid
+	touched   relation.AttrSet   // columns the batch updated
+	hasAppend bool               // batch appended rows (demote-only signal)
+	memo      map[relation.AttrSet]bool
+	scans     int // one-shot verifications performed
+	skips     int // nodes answered by the oracle without verification
+}
+
+// oracleAnswer classifies a node without scanning: (valid, known). The
+// free rules: a superset of a surviving cover element is valid (upward
+// closure from a post-state fact); a pre-valid node is valid if the batch
+// cannot have touched it (a node above only demoted elements always tests
+// dirty, because the demoted element's scope is contained in its own); a
+// pre-invalid node stays invalid unless an update touched its scope —
+// appends never promote, because joining a class only grows its
+// distinct-value set.
+func (r *repairer) oracleAnswer(x relation.AttrSet) (bool, bool) {
+	if val, ok := r.memo[x]; ok {
+		return val, true
+	}
+	for _, s := range r.survivors {
+		if s.SubsetOf(x) {
+			return true, true
+		}
+	}
+	preValid := false
+	for _, y := range r.oldCover {
+		if y.SubsetOf(x) {
+			preValid = true
+			break
+		}
+	}
+	updDirty := !r.touched.Intersect(x.With(r.rhs)).IsEmpty()
+	if preValid {
+		if !r.hasAppend && !updDirty {
+			return true, true
+		}
+		return false, false
+	}
+	if !updDirty {
+		return false, true
+	}
+	return false, false
+}
+
+// resolve verifies the given nodes (deduplicated, sorted by the caller)
+// in parallel and memoizes the results. Verification goes through the
+// batch's partition-backed verifier — stripped-partition products answer a
+// node in microseconds where a raw candidate scan pays O(N·|X|), and the
+// cache shares subset partitions across the whole repair pass (every
+// consequent, every level). Cancellation leaves the memo untouched for
+// unfinished nodes; the caller aborts the repair.
+func (r *repairer) resolve(ctx context.Context, nodes []relation.AttrSet) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	results := make([]bool, len(nodes))
+	w := exec.Workers(r.mt.workers)
+	err := exec.For(ctx, len(nodes), w, func(_, i int) {
+		results[i] = r.pv.HoldsSynOnePass(core.OFD{LHS: nodes[i], RHS: r.rhs})
+	})
+	if err != nil {
+		return err
+	}
+	for i, x := range nodes {
+		r.memo[x] = results[i]
+	}
+	r.scans += len(nodes)
+	return nil
+}
+
+// classify resolves a level's worth of candidate nodes: oracle first,
+// then one parallel scan round for the unknowns. It returns a lookup for
+// the level. nodes must be deduplicated; order is canonicalized here.
+func (r *repairer) classify(ctx context.Context, nodes []relation.AttrSet) (map[relation.AttrSet]bool, error) {
+	relation.SortSets(nodes)
+	out := make(map[relation.AttrSet]bool, len(nodes))
+	var unknown []relation.AttrSet
+	for _, x := range nodes {
+		if val, known := r.oracleAnswer(x); known {
+			out[x] = val
+			r.skips++
+		} else {
+			unknown = append(unknown, x)
+		}
+	}
+	if err := r.resolve(ctx, unknown); err != nil {
+		return nil, err
+	}
+	for _, x := range unknown {
+		out[x] = r.memo[x]
+	}
+	return out, nil
+}
+
+// bfsUp explores the invalid region above the demoted seeds level by
+// level, returning every valid node found on its upper boundary. By
+// upward closure the boundary contains all minimal valid supersets of the
+// seeds; non-minimal boundary nodes are dropped by the final antichain.
+func (r *repairer) bfsUp(ctx context.Context) ([]relation.AttrSet, error) {
+	if len(r.demoted) == 0 {
+		return nil, nil
+	}
+	frontier := append([]relation.AttrSet(nil), r.demoted...)
+	visited := make(map[relation.AttrSet]bool, 4*len(frontier))
+	for _, x := range frontier {
+		visited[x] = true
+	}
+	var boundary []relation.AttrSet
+	for len(frontier) > 0 {
+		var children []relation.AttrSet
+		for _, x := range frontier {
+			for _, b := range r.space.Minus(x).Attrs() {
+				c := x.With(b)
+				if !visited[c] {
+					visited[c] = true
+					children = append(children, c)
+				}
+			}
+		}
+		verdicts, err := r.classify(ctx, children)
+		if err != nil {
+			return nil, err
+		}
+		frontier = frontier[:0]
+		for _, c := range children {
+			if verdicts[c] {
+				boundary = append(boundary, c)
+			} else {
+				frontier = append(frontier, c)
+			}
+		}
+	}
+	return boundary, nil
+}
+
+// descend explores the valid region below the promoted node w level by
+// level, returning its minimal valid subsets: valid nodes none of whose
+// direct subsets are valid. w itself must already be known valid.
+func (r *repairer) descend(ctx context.Context, w relation.AttrSet) ([]relation.AttrSet, error) {
+	// Floor check first: if even the empty antecedent holds (a near-constant
+	// consequent), ∅ is the unique minimal valid node — upward closure makes
+	// everything below w valid, and the level-wise walk would visit all of
+	// it just to discover that.
+	floor, err := r.classify(ctx, []relation.AttrSet{relation.EmptySet})
+	if err != nil {
+		return nil, err
+	}
+	if floor[relation.EmptySet] {
+		return []relation.AttrSet{relation.EmptySet}, nil
+	}
+	frontier := []relation.AttrSet{w}
+	visited := map[relation.AttrSet]bool{w: true}
+	var minimal []relation.AttrSet
+	for len(frontier) > 0 {
+		seen := make(map[relation.AttrSet]bool, 2*len(frontier))
+		var children []relation.AttrSet
+		for _, x := range frontier {
+			for _, a := range x.Attrs() {
+				p := x.Without(a)
+				if !seen[p] {
+					seen[p] = true
+					children = append(children, p)
+				}
+			}
+		}
+		verdicts, err := r.classify(ctx, children)
+		if err != nil {
+			return nil, err
+		}
+		// A fresh slice each level: next must not alias frontier's backing
+		// array, because a node can contribute several valid children and
+		// overrun the not-yet-read part of the frontier mid-range.
+		next := make([]relation.AttrSet, 0, len(frontier))
+		for _, x := range frontier {
+			hasValidChild := false
+			for _, a := range x.Attrs() {
+				p := x.Without(a)
+				if verdicts[p] {
+					hasValidChild = true
+					if !visited[p] {
+						visited[p] = true
+						next = append(next, p)
+					}
+				}
+			}
+			if !hasValidChild {
+				minimal = append(minimal, x)
+			}
+		}
+		frontier = next
+	}
+	return minimal, nil
+}
+
+// run performs the full repair for one consequent: re-probe triggered
+// border nodes (staging fresh certificates on the still-invalid ones,
+// descending from the promoted ones), BFS up from the demotions, and
+// reduce. It returns the post-state minimal cover in canonical order.
+func (r *repairer) run(ctx context.Context, triggered []*witnessTracker) ([]relation.AttrSet, error) {
+	for _, s := range r.survivors {
+		r.memo[s] = true
+	}
+	for _, d := range r.demoted {
+		r.memo[d] = false
+	}
+	var candidates []relation.AttrSet
+	candidates = append(candidates, r.survivors...)
+	// Wipe-out short-circuit: with no survivors, one probe of the full
+	// antecedent space decides everything — if even that node fails, upward
+	// closure empties the cover, and the BFS from the demotions would
+	// otherwise enumerate the entire invalid upper lattice to conclude it.
+	// Triggered border certificates need no restaging here: the commit
+	// rebuilds the border as the single all-attributes node with a fresh
+	// certificate.
+	if len(r.survivors) == 0 && len(r.demoted) > 0 {
+		top, err := r.classify(ctx, []relation.AttrSet{r.space})
+		if err != nil {
+			return nil, err
+		}
+		if !top[r.space] {
+			return nil, nil
+		}
+	}
+	// Cheap partition-backed validity probe over every triggered node; only
+	// the still-invalid ones pay a full scan, which is what produces their
+	// next certificate anyway.
+	w := exec.Workers(r.mt.workers)
+	nowValid := make([]bool, len(triggered))
+	if err := exec.For(ctx, len(triggered), w, func(_, i int) {
+		nowValid[i] = r.pv.HoldsSynOnePass(triggered[i].d)
+	}); err != nil {
+		return nil, err
+	}
+	r.scans += len(triggered)
+	var rescan []int
+	for i, wt := range triggered {
+		r.memo[wt.d.LHS] = nowValid[i]
+		if !nowValid[i] {
+			rescan = append(rescan, i)
+		}
+	}
+	wits := make([]scanResult, len(rescan))
+	if err := exec.For(ctx, len(rescan), w, func(_, k int) {
+		wits[k] = witnessScanParts(r.pv, triggered[rescan[k]].d)
+	}); err != nil {
+		return nil, err
+	}
+	r.scans += len(rescan)
+	for k, i := range rescan {
+		if wits[k].valid {
+			panic(fmt.Sprintf("discovery: partition and scan verification disagree on %v", triggered[i].d))
+		}
+		// Still invalid through some other class: pin that class as the
+		// next certificate (committed only if the batch lands).
+		triggered[i].stagePending(wits[k].witKey, wits[k].witSize, wits[k].witVals)
+	}
+	for i, wt := range triggered {
+		if !nowValid[i] {
+			continue
+		}
+		mins, err := r.descend(ctx, wt.d.LHS)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, mins...)
+	}
+	boundary, err := r.bfsUp(ctx)
+	if err != nil {
+		return nil, err
+	}
+	candidates = append(candidates, boundary...)
+	return minimalAntichain(candidates), nil
+}
+
+// minimalAntichain returns the minimal elements of the given sets,
+// deduplicated, in canonical order.
+func minimalAntichain(sets []relation.AttrSet) []relation.AttrSet {
+	relation.SortSets(sets)
+	out := sets[:0]
+	for _, s := range sets {
+		keep := true
+		for _, m := range out {
+			if m == s || m.SubsetOf(s) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, s)
+		}
+	}
+	return out
+}

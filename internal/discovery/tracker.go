@@ -1,0 +1,615 @@
+package discovery
+
+import (
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// cellWrite is one deduplicated effective cell write of a maintained
+// batch: old is the source-state value, new the target-state value. The
+// maintainer applies batches forward with the relation already in target
+// state, and rolls them back by re-applying the inverted log after
+// reverting the relation — trackers therefore read "target" values from
+// the relation and "source" values from the log, in both directions.
+type cellWrite struct {
+	row, col int
+	old, new relation.Value
+}
+
+// forEachRowSegment calls fn once per touched row with that row's write
+// segment. writes must be sorted by (row, col).
+func forEachRowSegment(writes []cellWrite, fn func(t int, seg []cellWrite)) {
+	for i := 0; i < len(writes); {
+		j := i + 1
+		for j < len(writes) && writes[j].row == writes[i].row {
+			j++
+		}
+		fn(writes[i].row, writes[i:j])
+		i = j
+	}
+}
+
+// vc is one distinct consequent value of a tracked class with its
+// multiplicity — the same linear-probed multiset shape the monitor keeps
+// per class, so re-verification is O(distinct values), never O(class size).
+type vc struct {
+	val relation.Value
+	n   int32
+}
+
+// bumpVC adjusts v's multiplicity by delta, dropping the entry at zero.
+func bumpVC(pairs []vc, v relation.Value, delta int32) []vc {
+	for k := range pairs {
+		if pairs[k].val == v {
+			pairs[k].n += delta
+			if pairs[k].n == 0 {
+				pairs[k] = pairs[len(pairs)-1]
+				pairs = pairs[:len(pairs)-1]
+			}
+			return pairs
+		}
+	}
+	return append(pairs, vc{v, delta})
+}
+
+// distinctVals extracts the multiset's distinct values into scratch.
+func distinctVals(pairs []vc, scratch []relation.Value) []relation.Value {
+	scratch = scratch[:0]
+	for _, p := range pairs {
+		scratch = append(scratch, p.val)
+	}
+	return scratch
+}
+
+// lone encodes row t as a lone-row LHS-index entry, mirroring the
+// monitor's encoding: class ids are ≥ 0, lone rows ≤ −2 as −(t+2).
+func lone(t int32) int32 { return -t - 2 }
+
+// batchTracker is the per-candidate incremental state the maintainer fans
+// a batch out over: cover trackers (full class state) and witness trackers
+// (one pinned violating class). Both fold a sorted effective-write log or
+// an appended row into their state with no shared writes, so the fan-out
+// parallelizes freely.
+type batchTracker interface {
+	// scope returns the attribute set whose writes can affect the tracker
+	// (LHS ∪ {RHS}); the maintainer skips trackers disjoint from a batch.
+	scope() relation.AttrSet
+	applyWrites(rel *relation.Relation, v *core.Verifier, writes []cellWrite)
+	appendRow(rel *relation.Relation, v *core.Verifier, t int32)
+}
+
+// coverTracker maintains the exact equivalence-class state of one cover
+// element X → A: an LHS-key index over the antecedent projection, per-row
+// class assignment, and per-class consequent multisets, so a batch's
+// effect on the candidate's validity is known from O(touched rows) work.
+// The candidate is valid ⇔ unsat == 0. Singleton keys use the monitor's
+// lone-row encoding and carry no class state (they cannot violate), which
+// keeps superkey-shaped trackers at one index entry per row and nothing
+// else.
+type coverTracker struct {
+	d      core.OFD
+	cols   []int
+	colSet relation.AttrSet // X ∪ {A}
+
+	keyIdx   map[string]int32 // ≥ 0 class id; ≤ −2 lone row −(t+2)
+	rowClass []int32          // ≥ 0 class id; −1 lone (or floating mid-batch)
+	size     []int32
+	vals     [][]vc
+	sat      []bool
+	unsat    int
+
+	dirty    []int32 // class ids touched by the in-flight batch
+	floating []int32 // rows between the leave and join phases
+	keyBuf   []byte
+	valBuf   []relation.Value
+}
+
+// newCoverTrackerParts builds the same tracker state as newCoverTracker
+// from a partition-backed verifier over the current instance: the classes
+// of Π*_X arrive from a (typically cached) product, so only one key per
+// class plus each singleton row pays the encode-and-hash that the from-
+// scratch build pays for every row. Class ids follow partition order
+// instead of second-occurrence order — internal numbering only, invisible
+// outside the tracker.
+func newCoverTrackerParts(pv *core.Verifier, v *core.Verifier, d core.OFD) *coverTracker {
+	rel := pv.Relation()
+	ct := &coverTracker{
+		d:      d,
+		cols:   d.LHS.Attrs(),
+		colSet: d.LHS.With(d.RHS),
+	}
+	p := pv.Partitions().Get(d.LHS)
+	n := rel.NumRows()
+	nc := p.NumClasses()
+	ct.keyIdx = make(map[string]int32, nc+(n-p.Size())+1)
+	ct.rowClass = make([]int32, n)
+	for t := range ct.rowClass {
+		ct.rowClass[t] = -1
+	}
+	col := rel.Column(d.RHS)
+	ct.size = make([]int32, nc)
+	ct.vals = make([][]vc, nc)
+	ct.sat = make([]bool, nc)
+	covered := make([]bool, n)
+	for i := 0; i < nc; i++ {
+		class := p.Class(i)
+		ct.keyBuf = core.EncodeLHSKey(rel, ct.cols, int(class[0]), ct.keyBuf)
+		ct.keyIdx[string(ct.keyBuf)] = int32(i)
+		ct.size[i] = int32(len(class))
+		vals := make([]vc, 0, 2)
+		for _, t := range class {
+			ct.rowClass[t] = int32(i)
+			covered[t] = true
+			vals = bumpVC(vals, col[t], 1)
+		}
+		ct.vals[i] = vals
+	}
+	// Rows outside every stripped class are singleton keys: lone entries
+	// with no class state, and no two of them can collide on a key.
+	for t := 0; t < n; t++ {
+		if covered[t] {
+			continue
+		}
+		ct.keyBuf = core.EncodeLHSKey(rel, ct.cols, t, ct.keyBuf)
+		ct.keyIdx[string(ct.keyBuf)] = lone(int32(t))
+	}
+	for ci := range ct.size {
+		ct.sat[ci] = ct.classSatisfied(v, int32(ci))
+		if !ct.sat[ci] {
+			ct.unsat++
+		}
+	}
+	return ct
+}
+
+func newCoverTracker(rel *relation.Relation, v *core.Verifier, d core.OFD) *coverTracker {
+	ct := &coverTracker{
+		d:      d,
+		cols:   d.LHS.Attrs(),
+		colSet: d.LHS.With(d.RHS),
+	}
+	n := rel.NumRows()
+	ct.keyIdx = make(map[string]int32, n/2+1)
+	ct.rowClass = make([]int32, 0, n)
+	col := rel.Column(d.RHS)
+	for t := 0; t < n; t++ {
+		ct.keyBuf = core.EncodeLHSKey(rel, ct.cols, t, ct.keyBuf)
+		enc, seen := ct.keyIdx[string(ct.keyBuf)]
+		switch {
+		case !seen:
+			ct.keyIdx[string(ct.keyBuf)] = lone(int32(t))
+			ct.rowClass = append(ct.rowClass, -1)
+		case enc <= -2:
+			r := -enc - 2
+			ci := int32(len(ct.size))
+			ct.keyIdx[string(ct.keyBuf)] = ci
+			ct.rowClass[r] = ci
+			ct.rowClass = append(ct.rowClass, ci)
+			ct.size = append(ct.size, 2)
+			ct.vals = append(ct.vals, bumpVC(bumpVC(make([]vc, 0, 2), col[r], 1), col[int32(t)], 1))
+			ct.sat = append(ct.sat, true)
+		default:
+			ct.rowClass = append(ct.rowClass, enc)
+			ct.size[enc]++
+			ct.vals[enc] = bumpVC(ct.vals[enc], col[t], 1)
+		}
+	}
+	for ci := range ct.size {
+		ct.sat[ci] = ct.classSatisfied(v, int32(ci))
+		if !ct.sat[ci] {
+			ct.unsat++
+		}
+	}
+	return ct
+}
+
+func (ct *coverTracker) scope() relation.AttrSet { return ct.colSet }
+
+// valid reports the tracked candidate's current validity.
+func (ct *coverTracker) valid() bool { return ct.unsat == 0 }
+
+func (ct *coverTracker) classSatisfied(v *core.Verifier, ci int32) bool {
+	if ct.size[ci] <= 1 || len(ct.vals[ci]) <= 1 {
+		return true // singleton, empty, or syntactically constant (FD case)
+	}
+	ct.valBuf = distinctVals(ct.vals[ci], ct.valBuf)
+	return v.ValuesSatisfied(ct.d.RHS, ct.valBuf)
+}
+
+// sourceKey encodes row t's antecedent projection in the batch's source
+// state: written cells read their logged old value, untouched cells the
+// (target-state) relation, which coincides with the source state for them.
+func (ct *coverTracker) sourceKey(rel *relation.Relation, seg []cellWrite, t int) string {
+	ct.keyBuf = ct.keyBuf[:0]
+	for _, c := range ct.cols {
+		val := rel.Value(t, c)
+		for _, wr := range seg {
+			if wr.col == c {
+				val = wr.old
+				break
+			}
+		}
+		ct.keyBuf = append(ct.keyBuf, byte(val), byte(val>>8), byte(val>>16), byte(val>>24))
+	}
+	return string(ct.keyBuf)
+}
+
+// applyWrites folds one batch of effective cell writes into the tracker.
+// The relation must already hold the target state; writes carry the source
+// value per cell and must be sorted by (row, col). Re-applying the
+// inverted log after reverting the relation rolls the batch back: the
+// transitions are symmetric, so validity state is restored exactly (a
+// class born and emptied along the way lingers at size zero, which is
+// semantically a non-class).
+func (ct *coverTracker) applyWrites(rel *relation.Relation, v *core.Verifier, writes []cellWrite) {
+	ct.dirty = ct.dirty[:0]
+	ct.floating = ct.floating[:0]
+	// Phase 1 — leave: rows whose antecedent projection changed exit their
+	// source-state key group; consequent-only changes adjust multisets in
+	// place.
+	forEachRowSegment(writes, func(t int, seg []cellWrite) {
+		xChanged, hadA := false, false
+		var aOld relation.Value
+		for _, wr := range seg {
+			if wr.col == ct.d.RHS {
+				hadA, aOld = true, wr.old
+			} else if ct.d.LHS.Has(wr.col) {
+				xChanged = true
+			}
+		}
+		if !xChanged {
+			if !hadA {
+				return
+			}
+			if ci := ct.rowClass[t]; ci >= 0 {
+				ct.vals[ci] = bumpVC(bumpVC(ct.vals[ci], aOld, -1), rel.Value(t, ct.d.RHS), 1)
+				ct.dirty = append(ct.dirty, ci)
+			}
+			return
+		}
+		preA := rel.Value(t, ct.d.RHS)
+		if hadA {
+			preA = aOld
+		}
+		if ci := ct.rowClass[t]; ci >= 0 {
+			ct.size[ci]--
+			ct.vals[ci] = bumpVC(ct.vals[ci], preA, -1)
+			ct.dirty = append(ct.dirty, ci)
+			ct.rowClass[t] = -1
+		} else {
+			// Lone row: its index entry points at t and is now stale.
+			delete(ct.keyIdx, ct.sourceKey(rel, seg, t))
+		}
+		ct.floating = append(ct.floating, int32(t))
+	})
+	// Phase 2 — join: floating rows enter their target-state key group.
+	// All reads are target-state (the relation), so ordering within the
+	// phase only affects internal ids, never class contents.
+	for _, t32 := range ct.floating {
+		t := int(t32)
+		ct.keyBuf = core.EncodeLHSKey(rel, ct.cols, t, ct.keyBuf)
+		postA := rel.Value(t, ct.d.RHS)
+		enc, seen := ct.keyIdx[string(ct.keyBuf)]
+		switch {
+		case !seen:
+			ct.keyIdx[string(ct.keyBuf)] = lone(t32)
+		case enc <= -2:
+			r := -enc - 2
+			ci := int32(len(ct.size))
+			ct.keyIdx[string(ct.keyBuf)] = ci
+			ct.rowClass[r] = ci
+			ct.rowClass[t] = ci
+			ct.size = append(ct.size, 2)
+			ct.vals = append(ct.vals, bumpVC(bumpVC(make([]vc, 0, 2), rel.Value(int(r), ct.d.RHS), 1), postA, 1))
+			ct.sat = append(ct.sat, true)
+			ct.dirty = append(ct.dirty, ci)
+		default:
+			ct.rowClass[t] = enc
+			ct.size[enc]++
+			ct.vals[enc] = bumpVC(ct.vals[enc], postA, 1)
+			ct.dirty = append(ct.dirty, enc)
+		}
+	}
+	ct.recheckDirty(v)
+}
+
+// recheckDirty re-verifies the batch's dirty classes (deduplicated) and
+// maintains the unsat counter.
+func (ct *coverTracker) recheckDirty(v *core.Verifier) {
+	if len(ct.dirty) == 0 {
+		return
+	}
+	// Sort + unique: a class touched several times re-verifies once.
+	for i := 1; i < len(ct.dirty); i++ {
+		for j := i; j > 0 && ct.dirty[j] < ct.dirty[j-1]; j-- {
+			ct.dirty[j], ct.dirty[j-1] = ct.dirty[j-1], ct.dirty[j]
+		}
+	}
+	prev := int32(-1)
+	for _, ci := range ct.dirty {
+		if ci == prev {
+			continue
+		}
+		prev = ci
+		now := ct.classSatisfied(v, ci)
+		if now != ct.sat[ci] {
+			ct.sat[ci] = now
+			if now {
+				ct.unsat--
+			} else {
+				ct.unsat++
+			}
+		}
+	}
+}
+
+func (ct *coverTracker) appendRow(rel *relation.Relation, v *core.Verifier, t int32) {
+	ct.keyBuf = core.EncodeLHSKey(rel, ct.cols, int(t), ct.keyBuf)
+	postA := rel.Value(int(t), ct.d.RHS)
+	enc, seen := ct.keyIdx[string(ct.keyBuf)]
+	ct.dirty = ct.dirty[:0]
+	switch {
+	case !seen:
+		ct.keyIdx[string(ct.keyBuf)] = lone(t)
+		ct.rowClass = append(ct.rowClass, -1)
+	case enc <= -2:
+		r := -enc - 2
+		ci := int32(len(ct.size))
+		ct.keyIdx[string(ct.keyBuf)] = ci
+		ct.rowClass[r] = ci
+		ct.rowClass = append(ct.rowClass, ci)
+		ct.size = append(ct.size, 2)
+		ct.vals = append(ct.vals, bumpVC(bumpVC(make([]vc, 0, 2), rel.Value(int(r), ct.d.RHS), 1), postA, 1))
+		ct.sat = append(ct.sat, true)
+		ct.dirty = append(ct.dirty, ci)
+	default:
+		ct.rowClass = append(ct.rowClass, enc)
+		ct.size[enc]++
+		ct.vals[enc] = bumpVC(ct.vals[enc], postA, 1)
+		ct.dirty = append(ct.dirty, enc)
+	}
+	ct.recheckDirty(v)
+}
+
+// witnessTracker pins one violating equivalence class — a certificate of
+// invalidity — of a negative-border node W → A (a maximal invalid
+// candidate). It maintains the exact consequent multiset of the rows
+// matching the witness key, so a batch leaves the candidate provably
+// invalid for O(touched rows) work whenever the certificate class still
+// violates; only a broken certificate (the class became satisfied, shrank
+// below two tuples, or collapsed to one value) forces a full rescan.
+// Appends can never break a certificate: joining a violating class can
+// only grow its distinct-value set, and satisfiability is antitone in it.
+type witnessTracker struct {
+	d      core.OFD
+	cols   []int
+	colSet relation.AttrSet // W ∪ {A}
+
+	key  string // encoded antecedent key of the witness class
+	size int32
+	vals []vc
+
+	keyBuf []byte
+	valBuf []relation.Value
+
+	// Staged replacement certificate: a batch that broke the witness but
+	// left the node invalid found a new violating class during the verify
+	// phase; it lands in commit, never inside the cancellable window.
+	pendingKey  string
+	pendingSize int32
+	pendingVals []vc
+	hasPending  bool
+}
+
+func newWitnessTracker(d core.OFD, key string, size int32, vals []vc) *witnessTracker {
+	return &witnessTracker{
+		d:      d,
+		cols:   d.LHS.Attrs(),
+		colSet: d.LHS.With(d.RHS),
+		key:    key,
+		size:   size,
+		vals:   vals,
+	}
+}
+
+func (wt *witnessTracker) scope() relation.AttrSet { return wt.colSet }
+
+// violating reports whether the certificate class still violates W → A.
+func (wt *witnessTracker) violating(v *core.Verifier) bool {
+	if wt.size <= 1 || len(wt.vals) <= 1 {
+		return false
+	}
+	wt.valBuf = distinctVals(wt.vals, wt.valBuf)
+	return !v.ValuesSatisfied(wt.d.RHS, wt.valBuf)
+}
+
+// stagePending stages a replacement certificate found by a full rescan.
+func (wt *witnessTracker) stagePending(key string, size int32, vals []vc) {
+	wt.pendingKey, wt.pendingSize, wt.pendingVals = key, size, vals
+	wt.hasPending = true
+}
+
+// commitPending installs the staged certificate (no-op without one).
+func (wt *witnessTracker) commitPending() {
+	if !wt.hasPending {
+		return
+	}
+	wt.key, wt.size, wt.vals = wt.pendingKey, wt.pendingSize, wt.pendingVals
+	wt.clearPending()
+}
+
+func (wt *witnessTracker) clearPending() {
+	wt.pendingKey, wt.pendingSize, wt.pendingVals = "", 0, nil
+	wt.hasPending = false
+}
+
+// sourceInClass reports whether row t's source-state antecedent projection
+// matches the witness key (written cells read logged old values).
+func (wt *witnessTracker) sourceInClass(rel *relation.Relation, seg []cellWrite, t int) bool {
+	for k, c := range wt.cols {
+		val := rel.Value(t, c)
+		for _, wr := range seg {
+			if wr.col == c {
+				val = wr.old
+				break
+			}
+		}
+		off := k * 4
+		if wt.key[off] != byte(val) || wt.key[off+1] != byte(val>>8) ||
+			wt.key[off+2] != byte(val>>16) || wt.key[off+3] != byte(val>>24) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyWrites maintains the witness class's membership and consequent
+// multiset under one effective-write log (same conventions and rollback
+// symmetry as coverTracker.applyWrites).
+func (wt *witnessTracker) applyWrites(rel *relation.Relation, v *core.Verifier, writes []cellWrite) {
+	forEachRowSegment(writes, func(t int, seg []cellWrite) {
+		relevant := false
+		hadA := false
+		var aOld relation.Value
+		for _, wr := range seg {
+			if wr.col == wt.d.RHS {
+				hadA, aOld = true, wr.old
+				relevant = true
+			} else if wt.d.LHS.Has(wr.col) {
+				relevant = true
+			}
+		}
+		if !relevant {
+			return
+		}
+		srcIn := wt.sourceInClass(rel, seg, t)
+		wt.keyBuf = core.EncodeLHSKey(rel, wt.cols, t, wt.keyBuf)
+		tgtIn := string(wt.keyBuf) == wt.key
+		preA := rel.Value(t, wt.d.RHS)
+		if hadA {
+			preA = aOld
+		}
+		switch {
+		case srcIn && tgtIn:
+			if hadA {
+				wt.vals = bumpVC(bumpVC(wt.vals, preA, -1), rel.Value(t, wt.d.RHS), 1)
+			}
+		case srcIn && !tgtIn:
+			wt.size--
+			wt.vals = bumpVC(wt.vals, preA, -1)
+		case !srcIn && tgtIn:
+			wt.size++
+			wt.vals = bumpVC(wt.vals, rel.Value(t, wt.d.RHS), 1)
+		}
+	})
+}
+
+func (wt *witnessTracker) appendRow(rel *relation.Relation, v *core.Verifier, t int32) {
+	wt.keyBuf = core.EncodeLHSKey(rel, wt.cols, int(t), wt.keyBuf)
+	if string(wt.keyBuf) != wt.key {
+		return
+	}
+	wt.size++
+	wt.vals = bumpVC(wt.vals, rel.Value(int(t), wt.d.RHS), 1)
+}
+
+// scanResult is a one-shot verification of a candidate against the
+// current relation: overall validity plus, when invalid and requested, the
+// violating class with the smallest representative row — the
+// deterministic certificate choice.
+type scanResult struct {
+	valid   bool
+	witKey  string
+	witSize int32
+	witVals []vc
+}
+
+// witnessScanParts is scanCandidate(needWitness=true) answered from the
+// verifier's partition cache: the classes of Π*_X come from a (typically
+// cached) product instead of re-hashing every row. Partition classes are
+// ordered by smallest representative, so the first violating class found
+// is exactly the one scanCandidate pins, and the walk stops there.
+func witnessScanParts(pv *core.Verifier, d core.OFD) scanResult {
+	rel := pv.Relation()
+	p := pv.Partitions().Get(d.LHS)
+	col := rel.Column(d.RHS)
+	res := scanResult{valid: true}
+	var vals []vc
+	var scratch []relation.Value
+	for i := 0; i < p.NumClasses(); i++ {
+		class := p.Class(i)
+		vals = vals[:0]
+		for _, t := range class {
+			vals = bumpVC(vals, col[t], 1)
+		}
+		if len(vals) <= 1 {
+			continue
+		}
+		scratch = distinctVals(vals, scratch)
+		if pv.ValuesSatisfied(d.RHS, scratch) {
+			continue
+		}
+		res.valid = false
+		res.witKey = string(core.EncodeLHSKey(rel, d.LHS.Attrs(), int(class[0]), nil))
+		res.witSize = int32(len(class))
+		res.witVals = append([]vc(nil), vals...)
+		return res
+	}
+	return res
+}
+
+// scanCandidate verifies X → A from scratch in one pass over the
+// relation: group rows by encoded antecedent key, then test each
+// multi-tuple, multi-value group for a common interpretation. This is the
+// maintainer's untracked-node verifier; it reads only the relation and the
+// verifier's monotone names tables, so it is safe under any sequence of
+// prior in-place mutations (no partition cache involved). The lattice
+// optimizations degenerate into it naturally: a superkey antecedent
+// produces only singleton groups (Opt-3) and an FD-satisfying class has a
+// single distinct value (Opt-4), both skipped without touching the
+// ontology.
+func scanCandidate(rel *relation.Relation, v *core.Verifier, d core.OFD, needWitness bool) scanResult {
+	type grp struct {
+		size int32
+		vals []vc
+		rep  int32
+	}
+	cols := d.LHS.Attrs()
+	groups := make(map[string]*grp, 64)
+	col := rel.Column(d.RHS)
+	n := rel.NumRows()
+	var buf []byte
+	for t := 0; t < n; t++ {
+		buf = core.EncodeLHSKey(rel, cols, t, buf)
+		g := groups[string(buf)]
+		if g == nil {
+			g = &grp{rep: int32(t)}
+			groups[string(buf)] = g
+		}
+		g.size++
+		g.vals = bumpVC(g.vals, col[t], 1)
+	}
+	res := scanResult{valid: true}
+	var scratch []relation.Value
+	bestRep := int32(-1)
+	for key, g := range groups {
+		if g.size <= 1 || len(g.vals) <= 1 {
+			continue
+		}
+		scratch = distinctVals(g.vals, scratch)
+		if v.ValuesSatisfied(d.RHS, scratch) {
+			continue
+		}
+		res.valid = false
+		if !needWitness {
+			return res
+		}
+		if bestRep < 0 || g.rep < bestRep {
+			bestRep = g.rep
+			res.witKey = key
+			res.witSize = g.size
+			res.witVals = g.vals
+		}
+	}
+	return res
+}

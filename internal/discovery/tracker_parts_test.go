@@ -1,0 +1,104 @@
+package discovery
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// sortedVC returns a canonical copy of a consequent multiset for
+// comparison across trackers with different class numbering.
+func sortedVC(pairs []vc) []vc {
+	out := append([]vc(nil), pairs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].val < out[j].val })
+	return out
+}
+
+// TestPartitionBackedBuildersMatchScan pins the partition-backed fast
+// paths to the from-scratch reference implementations: the cover tracker
+// built from Π*_X must agree with the row-at-a-time build on every key
+// (class size, consequent multiset, lone rows) and on validity, and the
+// border certificate picked by witnessScanParts must be byte-identical to
+// the one scanCandidate pins — the repair's determinism depends on both
+// paths choosing the same violating class.
+func TestPartitionBackedBuildersMatchScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 60; trial++ {
+		rel, ont := randomInstance(rng)
+		v := core.NewVerifier(rel, ont, nil)
+		pv := core.NewVerifier(rel, ont, relation.NewPartitionCacheParallel(rel, 1))
+		n := rel.NumCols()
+		all := relation.AttrSet(uint64(1)<<uint(n) - 1)
+		for rhs := 0; rhs < n; rhs++ {
+			space := all.Without(rhs)
+			limit := relation.AttrSet(uint64(1)<<uint(n) - 1)
+			for lhs := relation.AttrSet(0); lhs <= limit; lhs++ {
+				if !lhs.SubsetOf(space) {
+					continue
+				}
+				d := core.OFD{LHS: lhs, RHS: rhs}
+
+				ref := newCoverTracker(rel, v, d)
+				got := newCoverTrackerParts(pv, v, d)
+				if got.valid() != ref.valid() {
+					t.Fatalf("trial %d %v: parts valid=%v, scan valid=%v", trial, d, got.valid(), ref.valid())
+				}
+				if len(got.keyIdx) != len(ref.keyIdx) {
+					t.Fatalf("trial %d %v: parts has %d keys, scan %d", trial, d, len(got.keyIdx), len(ref.keyIdx))
+				}
+				for key, refEnc := range ref.keyIdx {
+					gotEnc, ok := got.keyIdx[key]
+					if !ok {
+						t.Fatalf("trial %d %v: key %q missing from parts build", trial, d, key)
+					}
+					if refEnc <= -2 || gotEnc <= -2 {
+						if refEnc != gotEnc {
+							t.Fatalf("trial %d %v: key %q lone mismatch: parts %d, scan %d", trial, d, key, gotEnc, refEnc)
+						}
+						continue
+					}
+					if got.size[gotEnc] != ref.size[refEnc] {
+						t.Fatalf("trial %d %v: key %q size mismatch: parts %d, scan %d",
+							trial, d, key, got.size[gotEnc], ref.size[refEnc])
+					}
+					gv, rv := sortedVC(got.vals[gotEnc]), sortedVC(ref.vals[refEnc])
+					if len(gv) != len(rv) {
+						t.Fatalf("trial %d %v: key %q multiset mismatch: parts %v, scan %v", trial, d, key, gv, rv)
+					}
+					for k := range gv {
+						if gv[k] != rv[k] {
+							t.Fatalf("trial %d %v: key %q multiset mismatch: parts %v, scan %v", trial, d, key, gv, rv)
+						}
+					}
+					if got.sat[gotEnc] != ref.sat[refEnc] {
+						t.Fatalf("trial %d %v: key %q sat mismatch", trial, d, key)
+					}
+				}
+
+				refScan := scanCandidate(rel, v, d, true)
+				gotScan := witnessScanParts(pv, d)
+				if gotScan.valid != refScan.valid {
+					t.Fatalf("trial %d %v: witness valid mismatch: parts %v, scan %v", trial, d, gotScan.valid, refScan.valid)
+				}
+				if !refScan.valid {
+					if gotScan.witKey != refScan.witKey || gotScan.witSize != refScan.witSize {
+						t.Fatalf("trial %d %v: certificate mismatch: parts (%q,%d), scan (%q,%d)",
+							trial, d, gotScan.witKey, gotScan.witSize, refScan.witKey, refScan.witSize)
+					}
+					gv, rv := sortedVC(gotScan.witVals), sortedVC(refScan.witVals)
+					if len(gv) != len(rv) {
+						t.Fatalf("trial %d %v: certificate multiset mismatch: parts %v, scan %v", trial, d, gv, rv)
+					}
+					for k := range gv {
+						if gv[k] != rv[k] {
+							t.Fatalf("trial %d %v: certificate multiset mismatch: parts %v, scan %v", trial, d, gv, rv)
+						}
+					}
+				}
+			}
+		}
+	}
+}

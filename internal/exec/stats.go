@@ -31,6 +31,7 @@ type Stats struct {
 type stage struct {
 	wall        time.Duration
 	items       int64
+	skipped     int64
 	workers     int
 	shards      int
 	cacheHits   uint64
@@ -44,6 +45,7 @@ type StageStat struct {
 	Name        string        `json:"name"`
 	Wall        time.Duration `json:"wall_ns"`
 	Items       int64         `json:"items,omitempty"`
+	Skipped     int64         `json:"skipped,omitempty"`
 	Workers     int           `json:"workers,omitempty"`
 	Shards      int           `json:"shards,omitempty"`
 	CacheHits   uint64        `json:"cache_hits,omitempty"`
@@ -77,6 +79,7 @@ type Span struct {
 
 	mu      sync.Mutex
 	items   int64
+	skipped int64
 	workers int
 	shards  int
 	hits    uint64
@@ -100,6 +103,20 @@ func (sp *Span) Items(n int) {
 	}
 	sp.mu.Lock()
 	sp.items += int64(n)
+	sp.mu.Unlock()
+}
+
+// Skipped adds n work items the stage answered without doing the work —
+// candidates resolved by a pruning oracle, cache-satisfied lookups, nodes
+// excluded by a dirtiness test. Together with Items it makes skip rates
+// first-class observability: the incremental engines' whole value
+// proposition is a high skipped/(items+skipped) ratio.
+func (sp *Span) Skipped(n int) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.skipped += int64(n)
 	sp.mu.Unlock()
 }
 
@@ -156,7 +173,7 @@ func (sp *Span) End() {
 	}
 	sp.ended = true
 	wall := time.Since(sp.start)
-	items, workers, shards, hits, misses := sp.items, sp.workers, sp.shards, sp.hits, sp.misses
+	items, skipped, workers, shards, hits, misses := sp.items, sp.skipped, sp.workers, sp.shards, sp.hits, sp.misses
 	sp.mu.Unlock()
 
 	s := sp.stats
@@ -164,6 +181,7 @@ func (sp *Span) End() {
 	st := s.stageLocked(sp.name)
 	st.wall += wall
 	st.items += items
+	st.skipped += skipped
 	if workers > st.workers {
 		st.workers = workers
 	}
@@ -210,6 +228,7 @@ func (s *Stats) Snapshot() ([]StageStat, []string) {
 			Name:        name,
 			Wall:        st.wall,
 			Items:       st.items,
+			Skipped:     st.skipped,
 			Workers:     st.workers,
 			Shards:      st.shards,
 			CacheHits:   st.cacheHits,
@@ -272,6 +291,7 @@ func (s *Stats) Merge(other *Stats) {
 		dst := s.stageLocked(st.Name)
 		dst.wall += st.Wall
 		dst.items += st.Items
+		dst.skipped += st.Skipped
 		if st.Workers > dst.workers {
 			dst.workers = st.Workers
 		}

@@ -229,3 +229,38 @@ func TestStatsShardsCounter(t *testing.T) {
 		t.Fatalf("merged shards = %d, want 16", stages[0].Shards)
 	}
 }
+
+// TestStatsSkippedCounter: the Skipped span counter accumulates (like
+// Items), serializes as "skipped", and survives Merge — it is the
+// incremental engines' skip-rate observability.
+func TestStatsSkippedCounter(t *testing.T) {
+	s := NewStats()
+	sp := s.Span("maintain.verify")
+	sp.Items(3)
+	sp.Skipped(5)
+	sp.Skipped(2)
+	sp.End()
+	stages, _ := s.Snapshot()
+	if len(stages) != 1 || stages[0].Skipped != 7 || stages[0].Items != 3 {
+		t.Fatalf("stages = %+v, want one stage with items=3 skipped=7", stages)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"skipped":7`) {
+		t.Fatalf("JSON missing skipped counter: %s", raw)
+	}
+	var nilSpan *Span
+	nilSpan.Skipped(3) // nil-safe like every Span method
+
+	other := NewStats()
+	osp := other.Span("maintain.verify")
+	osp.Skipped(4)
+	osp.End()
+	s.Merge(other)
+	stages, _ = s.Snapshot()
+	if stages[0].Skipped != 11 {
+		t.Fatalf("merged skipped = %d, want 11", stages[0].Skipped)
+	}
+}

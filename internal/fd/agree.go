@@ -95,20 +95,32 @@ func MaximalSets(sets []relation.AttrSet) []relation.AttrSet {
 func MinimalHittingSets(collection []relation.AttrSet) []relation.AttrSet {
 	transversals := []relation.AttrSet{relation.EmptySet}
 	for _, s := range collection {
-		var next []relation.AttrSet
-		for _, t := range transversals {
-			if !t.Intersect(s).IsEmpty() {
-				next = append(next, t)
-				continue
-			}
-			for _, a := range s.Attrs() {
-				next = append(next, t.With(a))
-			}
-		}
-		transversals = filterMinimal(next)
+		transversals = ExtendTransversals(transversals, s)
 	}
 	relation.SortSets(transversals)
 	return transversals
+}
+
+// ExtendTransversals performs one Berge step: given the minimal
+// transversals of a collection, it returns the minimal transversals of the
+// collection extended by the non-empty set s. Exported so incremental
+// consumers — the discovery maintainer growing a cover's negative border
+// as new minimal OFDs are added — can update transversals in O(|s|·|T|)
+// per added set instead of recomputing the whole collection. The result
+// is in canonical minimal-first order but not fully sorted; callers that
+// need canonical order apply relation.SortSets.
+func ExtendTransversals(transversals []relation.AttrSet, s relation.AttrSet) []relation.AttrSet {
+	next := make([]relation.AttrSet, 0, len(transversals))
+	for _, t := range transversals {
+		if !t.Intersect(s).IsEmpty() {
+			next = append(next, t)
+			continue
+		}
+		for _, a := range s.Attrs() {
+			next = append(next, t.With(a))
+		}
+	}
+	return filterMinimal(next)
 }
 
 // filterMinimal removes supersets (and duplicates) from the collection.

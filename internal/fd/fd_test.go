@@ -240,3 +240,31 @@ func TestAlgorithmsAgreeOnWorkloads(t *testing.T) {
 		}
 	}
 }
+
+// TestExtendTransversals: one Berge step over existing transversals equals
+// recomputing the extended collection from scratch (modulo sort order).
+func TestExtendTransversals(t *testing.T) {
+	s := func(is ...int) relation.AttrSet {
+		var a relation.AttrSet
+		for _, i := range is {
+			a = a.With(i)
+		}
+		return a
+	}
+	collection := []relation.AttrSet{s(0, 1), s(1, 2)}
+	base := MinimalHittingSets(collection)
+	added := s(3, 4)
+	got := ExtendTransversals(base, added)
+	relation.SortSets(got)
+	want := MinimalHittingSets(append(collection, added))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental %v, from scratch %v", got, want)
+	}
+	// Extending with a set already in the collection is the identity:
+	// every transversal hits it by definition.
+	got = ExtendTransversals(want, s(0, 1))
+	relation.SortSets(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("extend with hit set changed transversals: %v vs %v", got, want)
+	}
+}
