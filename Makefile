@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repairbench fdbench monitorbench discoverybench experiments examples fmt vet lint smoke clean
+.PHONY: all build test race bench repairbench fdbench monitorbench discoverybench storagebench experiments examples fmt vet lint smoke clean
 
 all: build test
 
@@ -43,6 +43,13 @@ monitorbench:
 # byte-identical-cover check and the maintain.* stage-stats block.
 discoverybench:
 	$(GO) run ./cmd/benchrunner -discoverybench BENCH_discovery.json -rows 50000 -cpus 1,0
+
+# Storage-tier benchmark report (BENCH_storage.json): snapshot reopen vs
+# cold monitor+maintainer rebuild at up to 1M rows (with byte-identity
+# gates on reports and cover, before and after replaying an update
+# stream), plus the byte-budgeted cache's eviction-policy sweep.
+storagebench:
+	$(GO) run ./cmd/benchrunner -storagebench BENCH_storage.json -rows 1000000
 
 # Paper-style experiment tables with accuracy metrics.
 experiments:

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"time"
 
 	"github.com/fastofd/fastofd/internal/core"
@@ -27,11 +26,9 @@ const rediscoverCapRows = 100_000
 // FastOFD re-runs on identical update streams over the Clinical
 // workload, swept across tuple counts, batch sizes, and worker counts.
 type discoveryReport struct {
-	GOOS   string `json:"goos"`
-	GOARCH string `json:"goarch"`
-	NumCPU int    `json:"num_cpu"`
-	Rows   int    `json:"rows"`
-	Cpus   []int  `json:"cpus"`
+	benchEnv
+	Rows int   `json:"rows"`
+	Cpus []int `json:"cpus"`
 	// IncrementalSpeedup is the headline: fresh-rediscovery ns per batch
 	// over best maintained ns per batch at the largest size with a
 	// measured baseline, 1%-of-rows batches.
@@ -214,21 +211,13 @@ func runDiscoveryBench(ctx context.Context, stats *exec.Stats, path string, rows
 	}
 
 	report := discoveryReport{
-		GOOS:           runtime.GOOS,
-		GOARCH:         runtime.GOARCH,
-		NumCPU:         runtime.NumCPU(),
+		benchEnv:       newBenchEnv(),
 		Rows:           rows,
 		Cpus:           cpuList,
 		CoverIdentical: true,
 		Stats:          stats,
 	}
-	partial := func(err error) error {
-		if werr := writeBenchReport(path, report, report.Results, 34); werr != nil {
-			return werr
-		}
-		fmt.Printf("wrote %s (partial)\n", path)
-		return err
-	}
+	partial := partialWriter(path, &report, &report.Results, 34)
 
 	for _, n := range sizes {
 		if n < 16 {

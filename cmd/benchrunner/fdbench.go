@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"reflect"
-	"runtime"
 	"testing"
 	"time"
 
@@ -20,10 +19,8 @@ import (
 // micro-benchmarks against the pre-engine pair-enumeration baseline, and a
 // determinism check of parallel vs sequential discovery.
 type fdReport struct {
-	GOOS   string `json:"goos"`
-	GOARCH string `json:"goarch"`
-	NumCPU int    `json:"num_cpu"`
-	Rows   int    `json:"rows"`
+	benchEnv
+	Rows int `json:"rows"`
 	// AgreeSpeedup / AgreeAllocRatio are the headline engine-vs-baseline
 	// ratios on the agree-set micro-bench at Rows tuples (sequential engine,
 	// so the factor is algorithmic, not parallelism).
@@ -51,21 +48,11 @@ func runFDBench(ctx context.Context, stats *exec.Stats, path string, rows int, s
 	}
 
 	report := fdReport{
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
-		NumCPU: runtime.NumCPU(),
-		Rows:   rows,
-		Stats:  stats,
+		benchEnv: newBenchEnv(),
+		Rows:     rows,
+		Stats:    stats,
 	}
-	// partial writes the rows measured before an interrupt, then hands the
-	// cause back so the caller exits with the interrupt status.
-	partial := func(err error) error {
-		if werr := writeBenchReport(path, report, report.Results, 28); werr != nil {
-			return werr
-		}
-		fmt.Printf("wrote %s (partial)\n", path)
-		return err
-	}
+	partial := partialWriter(path, &report, &report.Results, 28)
 
 	// Exp-1 curve: per-algorithm wall time (best of iters) at each size.
 	discOpts := fd.DefaultOptions()

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"time"
 
 	"github.com/fastofd/fastofd/internal/core"
@@ -27,10 +26,8 @@ const rebuildCapRows = 250_000
 // the Clinical workload, swept across tuple counts, batch sizes, LHS-key
 // shard counts, and worker counts.
 type monitorReport struct {
-	GOOS   string `json:"goos"`
-	GOARCH string `json:"goarch"`
-	NumCPU int    `json:"num_cpu"`
-	Rows   int    `json:"rows"`
+	benchEnv
+	Rows int `json:"rows"`
 	// Shards and Cpus are the swept shard and worker counts (as given;
 	// series names carry the effective values).
 	Shards []int `json:"shards"`
@@ -231,22 +228,14 @@ func runMonitorBench(ctx context.Context, stats *exec.Stats, path string, rows i
 	}
 
 	report := monitorReport{
-		GOOS:             runtime.GOOS,
-		GOARCH:           runtime.GOARCH,
-		NumCPU:           runtime.NumCPU(),
+		benchEnv:         newBenchEnv(),
 		Rows:             rows,
 		Shards:           shardList,
 		Cpus:             cpuList,
 		ReportsIdentical: true,
 		Stats:            stats,
 	}
-	partial := func(err error) error {
-		if werr := writeBenchReport(path, report, report.Results, 30); werr != nil {
-			return werr
-		}
-		fmt.Printf("wrote %s (partial)\n", path)
-		return err
-	}
+	partial := partialWriter(path, &report, &report.Results, 30)
 
 	for _, n := range sizes {
 		if n < 16 {

@@ -2,10 +2,7 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
-	"runtime"
 	"testing"
 
 	"github.com/fastofd/fastofd/internal/core"
@@ -14,43 +11,13 @@ import (
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
-// benchResult is one machine-readable benchmark row. The fields mirror what
-// `go test -bench -benchmem` prints, so regressions can be diffed by CI or
-// scripts without parsing bench output.
-type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
 type benchReport struct {
-	GOOS    string        `json:"goos"`
-	GOARCH  string        `json:"goarch"`
-	NumCPU  int           `json:"num_cpu"`
+	benchEnv
 	Rows    int           `json:"rows"`
 	Results []benchResult `json:"results"`
 	// Stats is the per-stage span registry of the engine calls the bench
 	// exercised, so CI artifacts carry stage-level timings next to the rows.
 	Stats *exec.Stats `json:"stats"`
-}
-
-// writeBenchReport marshals any report value to path and prints its rows.
-func writeBenchReport(path string, report any, results []benchResult, width int) error {
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		return err
-	}
-	for _, r := range results {
-		fmt.Printf("%-*s %14.0f ns/op %12d B/op %10d allocs/op\n",
-			width, r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
-	}
-	return nil
 }
 
 // runPartitionBench measures the partition-engine ablations (the
@@ -74,11 +41,9 @@ func runPartitionBench(ctx context.Context, stats *exec.Stats, path string, rows
 	fdOFD := core.MustParse(schema, "SYMP -> STUDY_TYPE")
 
 	report := benchReport{
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
-		NumCPU: runtime.NumCPU(),
-		Rows:   rows,
-		Stats:  stats,
+		benchEnv: newBenchEnv(),
+		Rows:     rows,
+		Stats:    stats,
 	}
 	add := func(name string, fn func(b *testing.B)) {
 		if exec.Interrupted(ctx, "partitionbench") != nil {

@@ -18,9 +18,7 @@ import (
 // per-stage breakdowns, and the headline speedup of the indexed engine over
 // the pre-index sequential baseline.
 type repairReport struct {
-	GOOS              string        `json:"goos"`
-	GOARCH            string        `json:"goarch"`
-	NumCPU            int           `json:"num_cpu"`
+	benchEnv
 	Rows              int           `json:"rows"`
 	Workers           int           `json:"workers"`
 	Iterations        int           `json:"iterations"`
@@ -84,9 +82,7 @@ func runRepairBench(ctx context.Context, stats *exec.Stats, path string, rows in
 	}
 
 	report := repairReport{
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
+		benchEnv:   newBenchEnv(),
 		Rows:       rows,
 		Iterations: iters,
 		Stats:      stats,
@@ -96,15 +92,7 @@ func runRepairBench(ctx context.Context, stats *exec.Stats, path string, rows in
 			Name: name, Iterations: iters, NsPerOp: t.ns, BytesPerOp: t.bytes, AllocsPerOp: t.allocs,
 		})
 	}
-	// partial writes the rows measured before an interrupt, then hands the
-	// cause back so the caller exits with the interrupt status.
-	partial := func(err error) error {
-		if werr := writeBenchReport(path, report, report.Results, 28); werr != nil {
-			return werr
-		}
-		fmt.Printf("wrote %s (partial)\n", path)
-		return err
-	}
+	partial := partialWriter(path, &report, &report.Results, 28)
 
 	baseline, err := measureClean(ctx, ds, opts(1, true), iters)
 	if err != nil {

@@ -1,0 +1,395 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/discovery"
+	"github.com/fastofd/fastofd/internal/exec"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/relation"
+	"github.com/fastofd/fastofd/internal/snapshot"
+)
+
+// sweepCapRows caps the eviction-policy sweep size: partition Gets are
+// linear in the row count, so beyond this the sweep dominates the bench
+// wall clock while the budget/policy behaviour it measures is unchanged.
+const sweepCapRows = 100_000
+
+// storageReport is the machine-readable output of -storagebench: the
+// instant-restart headline (cold Monitor + Maintainer build vs snapshot
+// reopen, with byte-identity of the first post-reopen Report and cover)
+// and the byte-budgeted partition-cache sweep (cost-model vs level-sweep
+// eviction at several budgets over one deterministic access trace).
+type storageReport struct {
+	benchEnv
+	Rows int `json:"rows"`
+	// SnapshotBytes is the on-disk size of the saved state: relation
+	// blocks, ontology, cached partitions, monitor indexes, cover.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// ColdBuildNs is the restart cost without snapshots: NewMonitorSharded
+	// plus NewMaintainerContext (a full discovery) over the generated
+	// instance. SaveNs/ReopenNs are the snapshot path; ReopenSpeedup is
+	// the headline ColdBuildNs / ReopenNs.
+	ColdBuildNs   float64 `json:"cold_build_ns"`
+	SaveNs        float64 `json:"save_ns"`
+	ReopenNs      float64 `json:"reopen_ns"`
+	ReopenSpeedup float64 `json:"reopen_speedup"`
+	// SnapshotIdentical records that the reopened monitor's first Report
+	// and the reopened maintainer's cover were byte-identical (as JSON) to
+	// the live ones, and that replaying one identical update stream on the
+	// live and reopened monitors kept the reports byte-identical.
+	SnapshotIdentical bool `json:"snapshot_identical"`
+	// SweepRows is the instance size of the eviction sweep (rows capped at
+	// sweepCapRows); Sweep holds one row per (budget, policy) pair over the
+	// shared deterministic trace.
+	SweepRows int        `json:"sweep_rows"`
+	Sweep     []sweepRow `json:"sweep"`
+	// BudgetRespected records that every budgeted configuration kept the
+	// cache payload within budget + one in-flight partition after every
+	// Get. CostModelNoWorse records that at every budget the cost-model
+	// policy's hit rate was at least the level-sweep baseline's.
+	BudgetRespected  bool          `json:"budget_respected"`
+	CostModelNoWorse bool          `json:"cost_model_no_worse"`
+	Results          []benchResult `json:"results"`
+	// Cache aggregates the monitor partition-cache counters of the restart
+	// experiment (the sweep caches are reported per-row in Sweep).
+	Cache cacheTotals `json:"cache"`
+	// Stats carries the monitor.build / maintain.build / discovery spans
+	// accumulated across the runs.
+	Stats *exec.Stats `json:"stats"`
+}
+
+// sweepRow is one (budget, policy) cell of the eviction sweep. Hits and
+// Misses are top-level trace outcomes — whether each requested set
+// answered from cache — so the rate compares policies fairly regardless
+// of how deep their miss-path rebuilds recurse; Evictions is the
+// trace-only delta (CacheStats.Since from the post-warmup snapshot).
+type sweepRow struct {
+	Policy      string  `json:"policy"`
+	BudgetBytes int64   `json:"budget_bytes"`
+	BudgetFrac  float64 `json:"budget_frac"` // of the unbounded trace footprint
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	HitRate     float64 `json:"hit_rate"`
+	Evictions   uint64  `json:"evictions"`
+	// PeakBytes is the largest payload observed after any Get of the
+	// trace; WithinBudget asserts it never exceeded budget + the largest
+	// single partition (the one in-flight insert the contract allows).
+	PeakBytes    int64 `json:"peak_bytes"`
+	WithinBudget bool  `json:"within_budget"`
+}
+
+// storageTrace builds the deterministic partition-access trace the
+// eviction sweep replays: a small hot set of multi-attribute sets
+// dominates (~70% of accesses, skewed), the rest are colder uniform
+// draws over levels 1–3. The same seed always yields the same trace, so
+// policy comparisons are exact.
+func storageTrace(cols, ops int, seed int64) []relation.AttrSet {
+	rng := rand.New(rand.NewSource(seed))
+	randomSet := func(k int) relation.AttrSet {
+		s := relation.EmptySet
+		for _, c := range rng.Perm(cols)[:k] {
+			s = s.With(c)
+		}
+		return s
+	}
+	hot := make([]relation.AttrSet, 4)
+	for i := range hot {
+		hot[i] = randomSet(2 + i%2)
+	}
+	trace := make([]relation.AttrSet, 0, ops)
+	for i := 0; i < ops; i++ {
+		if rng.Intn(10) < 7 {
+			// Skewed: hot[0] twice as likely as hot[3].
+			trace = append(trace, hot[rng.Intn(len(hot))*(1+rng.Intn(2))/2])
+		} else {
+			trace = append(trace, randomSet(1+rng.Intn(3)))
+		}
+	}
+	return trace
+}
+
+// traceRun is one replayed trace's outcome: top-level hit/miss counts
+// (per trace op — recursive subset rebuilds inside a miss are excluded,
+// so the rate is comparable across policies with different rebuild
+// depths), the trace-only counter deltas, the observed post-Get payload
+// peak, and the wall time.
+type traceRun struct {
+	hits, misses uint64
+	delta        relation.CacheStats
+	peak         int64
+	ns           float64
+}
+
+// replayTrace replays the trace against a fresh cache configured with the
+// given budget and policy. A zero budget leaves the cache unbounded (the
+// footprint-reference run).
+func replayTrace(rel *relation.Relation, trace []relation.AttrSet, budget int64, policy relation.EvictionPolicy) traceRun {
+	pc := relation.NewPartitionCacheParallel(rel, 0)
+	pc.SetPolicy(policy)
+	if budget > 0 {
+		pc.SetBudget(budget)
+	}
+	prev := pc.Stats()
+	var run traceRun
+	var buf relation.ProductBuffer
+	lastMisses := prev.Misses
+	start := time.Now()
+	for _, attrs := range trace {
+		pc.GetWith(attrs, &buf)
+		st := pc.Stats()
+		// A trace op hit at the top level iff the Get caused no miss at
+		// all (a top-level hit never recurses).
+		if st.Misses == lastMisses {
+			run.hits++
+		} else {
+			run.misses++
+		}
+		lastMisses = st.Misses
+		if st.Bytes > run.peak {
+			run.peak = st.Bytes
+		}
+	}
+	run.ns = float64(time.Since(start).Nanoseconds())
+	run.delta = pc.Stats().Since(prev)
+	return run
+}
+
+// runStorageBench measures the storage tier and writes BENCH_storage.json:
+// a cold Monitor+Maintainer build vs snapshot Save/Open at rows tuples
+// (asserting byte-identical reports and cover, and identical evolution
+// under one replayed update stream), then the eviction-policy sweep at
+// several byte budgets. smoke shrinks the trace and budget grid for CI. A
+// cancelled ctx stops between stages; the rows measured so far are still
+// written before the error returns.
+func runStorageBench(ctx context.Context, stats *exec.Stats, path string, rows int, smoke bool) error {
+	report := storageReport{
+		benchEnv:          newBenchEnv(),
+		Rows:              rows,
+		SnapshotIdentical: true,
+		BudgetRespected:   true,
+		CostModelNoWorse:  true,
+		Stats:             stats,
+	}
+	partial := partialWriter(path, &report, &report.Results, 30)
+	addRow := func(name string, ns float64) {
+		report.Results = append(report.Results, benchResult{Name: name, Iterations: 1, NsPerOp: ns})
+	}
+
+	// --- Instant restart: cold build vs snapshot reopen -----------------
+	ds := gen.Clinical(rows, 1)
+	sigma := monitorSigma(ds)
+
+	start := time.Now()
+	m, err := core.NewMonitorSharded(ctx, ds.Rel, ds.FullOnt, sigma, 4, 0, stats)
+	if err != nil {
+		return partial(err)
+	}
+	monitorNs := float64(time.Since(start).Nanoseconds())
+	addRow("cold-monitor-build", monitorNs)
+
+	dopts := discovery.DefaultOptions()
+	dopts.Stats = stats
+	start = time.Now()
+	mt, err := discovery.NewMaintainerContext(ctx, ds.Rel, ds.FullOnt, dopts)
+	if err != nil {
+		return partial(err)
+	}
+	maintainerNs := float64(time.Since(start).Nanoseconds())
+	addRow("cold-maintainer-build", maintainerNs)
+	report.ColdBuildNs = monitorNs + maintainerNs
+
+	liveReport, err := json.Marshal(m.Report())
+	if err != nil {
+		return partial(err)
+	}
+	liveCover, err := json.Marshal(mt.Cover())
+	if err != nil {
+		return partial(err)
+	}
+
+	dir, err := os.MkdirTemp("", "storagebench-")
+	if err != nil {
+		return partial(err)
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "state.snapshot")
+	st := &snapshot.State{Relation: ds.Rel, Ontology: ds.FullOnt, Cache: m.Partitions(), Monitor: m, Maintainer: mt}
+	start = time.Now()
+	if err := snapshot.Save(snapPath, st); err != nil {
+		return partial(err)
+	}
+	report.SaveNs = float64(time.Since(start).Nanoseconds())
+	addRow("snapshot-save", report.SaveNs)
+	if fi, err := os.Stat(snapPath); err == nil {
+		report.SnapshotBytes = fi.Size()
+	}
+
+	start = time.Now()
+	re, err := snapshot.Open(snapPath, snapshot.Options{Workers: 0, Stats: stats})
+	if err != nil {
+		return partial(err)
+	}
+	report.ReopenNs = float64(time.Since(start).Nanoseconds())
+	addRow("snapshot-reopen", report.ReopenNs)
+	report.ReopenSpeedup = report.ColdBuildNs / report.ReopenNs
+
+	// First post-reopen report and cover must be byte-identical to the
+	// live ones.
+	reReport, err := json.Marshal(re.Monitor.Report())
+	if err != nil {
+		return partial(err)
+	}
+	reCover, err := json.Marshal(re.Maintainer.Cover())
+	if err != nil {
+		return partial(err)
+	}
+	if string(reReport) != string(liveReport) {
+		report.SnapshotIdentical = false
+		fmt.Fprintln(os.Stderr, "storagebench: reopened monitor report differs from live report")
+	}
+	if string(reCover) != string(liveCover) {
+		report.SnapshotIdentical = false
+		fmt.Fprintln(os.Stderr, "storagebench: reopened maintainer cover differs from live cover")
+	}
+
+	// The reopened monitor must also evolve identically: replay one
+	// identical update stream on both instances and compare again. (The
+	// maintainers are not touched past this point — the stream mutates the
+	// shared relations through the monitors.)
+	evolveBatch := rows / 100
+	if evolveBatch > 500 {
+		evolveBatch = 500
+	}
+	if evolveBatch < 10 {
+		evolveBatch = 10
+	}
+	stream := monitorStream(ds, sigma, 1, evolveBatch, 20, 7)
+	reDS := &gen.Dataset{Rel: re.Relation}
+	reStream := monitorStream(reDS, sigma, 1, evolveBatch, 20, 7)
+	if err := replayIncremental(ctx, m, stream); err != nil {
+		return partial(err)
+	}
+	if err := replayIncremental(ctx, re.Monitor, reStream); err != nil {
+		return partial(err)
+	}
+	liveEvolved, err := json.Marshal(m.Report())
+	if err != nil {
+		return partial(err)
+	}
+	reEvolved, err := json.Marshal(re.Monitor.Report())
+	if err != nil {
+		return partial(err)
+	}
+	if string(liveEvolved) != string(reEvolved) || m.Epoch() != re.Monitor.Epoch() {
+		report.SnapshotIdentical = false
+		fmt.Fprintln(os.Stderr, "storagebench: post-reopen evolution diverged between live and reopened monitors")
+	}
+	report.Cache.add(m.Partitions().Stats())
+	report.Cache.add(re.Cache.Stats())
+
+	if err := exec.Interrupted(ctx, "storagebench"); err != nil {
+		return partial(err)
+	}
+
+	// --- Eviction-policy sweep ------------------------------------------
+	sweepRows := rows
+	if sweepRows > sweepCapRows {
+		sweepRows = sweepCapRows
+	}
+	report.SweepRows = sweepRows
+	sds := ds
+	if sweepRows != rows {
+		sds = gen.Clinical(sweepRows, 1)
+	}
+	ops := 600
+	fracs := []float64{0.5, 0.25, 0.1}
+	if smoke {
+		ops = 200
+		fracs = []float64{0.5, 0.1}
+	}
+	trace := storageTrace(sds.Rel.NumCols(), ops, 7)
+
+	// Unbounded reference run: its steady-state footprint anchors the
+	// budget fractions, and its largest single partition is the allowed
+	// one-in-flight overshoot.
+	ref := replayTrace(sds.Rel, trace, 0, relation.EvictCostModel)
+	addRow("sweep-unbounded", ref.ns)
+	var maxEntry int64
+	{
+		pc := relation.NewPartitionCacheParallel(sds.Rel, 0)
+		var buf relation.ProductBuffer
+		for _, attrs := range trace {
+			p := pc.GetWith(attrs, &buf)
+			if b := int64(4 * (len(p.Tuples) + len(p.Offsets))); b > maxEntry {
+				maxEntry = b
+			}
+		}
+	}
+
+	policies := []struct {
+		name string
+		p    relation.EvictionPolicy
+	}{
+		{"cost-model", relation.EvictCostModel},
+		{"level-sweep", relation.EvictLevelSweep},
+	}
+	for _, frac := range fracs {
+		if err := exec.Interrupted(ctx, "storagebench"); err != nil {
+			return partial(err)
+		}
+		budget := int64(float64(ref.peak) * frac)
+		if budget < maxEntry {
+			budget = maxEntry
+		}
+		var rates [2]float64
+		for pi, pol := range policies {
+			run := replayTrace(sds.Rel, trace, budget, pol.p)
+			rate := 0.0
+			if run.hits+run.misses > 0 {
+				rate = float64(run.hits) / float64(run.hits+run.misses)
+			}
+			rates[pi] = rate
+			within := run.peak <= budget+maxEntry
+			if !within {
+				report.BudgetRespected = false
+				fmt.Fprintf(os.Stderr, "storagebench: %s at %d bytes peaked at %d (> budget + %d)\n",
+					pol.name, budget, run.peak, maxEntry)
+			}
+			report.Sweep = append(report.Sweep, sweepRow{
+				Policy:       pol.name,
+				BudgetBytes:  budget,
+				BudgetFrac:   frac,
+				Hits:         run.hits,
+				Misses:       run.misses,
+				HitRate:      rate,
+				Evictions:    run.delta.Evictions,
+				PeakBytes:    run.peak,
+				WithinBudget: within,
+			})
+			addRow(fmt.Sprintf("sweep-%s-b%02.0f", pol.name, frac*100), run.ns)
+		}
+		if rates[0] < rates[1] {
+			report.CostModelNoWorse = false
+			fmt.Fprintf(os.Stderr, "storagebench: cost-model hit rate %.3f below level-sweep %.3f at %d bytes\n",
+				rates[0], rates[1], budget)
+		}
+	}
+
+	if err := writeBenchReport(path, report, report.Results, 30); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot reopen: %.1fx faster than cold build (%.0fms vs %.0fms, %d rows, %d snapshot bytes)\n",
+		report.ReopenSpeedup, report.ReopenNs/1e6, report.ColdBuildNs/1e6, rows, report.SnapshotBytes)
+	fmt.Printf("snapshot identical: %v; budget respected: %v; cost-model no worse: %v\n",
+		report.SnapshotIdentical, report.BudgetRespected, report.CostModelNoWorse)
+	fmt.Printf("wrote %s\n", path)
+	return exec.Interrupted(ctx, "storagebench")
+}

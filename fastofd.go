@@ -40,6 +40,7 @@ import (
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 	"github.com/fastofd/fastofd/internal/repair"
+	"github.com/fastofd/fastofd/internal/snapshot"
 )
 
 // Relational model.
@@ -297,6 +298,39 @@ func NewMaintainer(rel *Relation, ont *Ontology, opts DiscoveryOptions) (*Mainta
 // the initial discovery and index build.
 func NewMaintainerContext(ctx context.Context, rel *Relation, ont *Ontology, opts DiscoveryOptions) (*Maintainer, error) {
 	return discovery.NewMaintainerContext(ctx, rel, ont, opts)
+}
+
+// NewMaintainerFromCover builds a maintainer around an already-known
+// minimal cover (for example a saved maintainer's Cover()), skipping the
+// initial discovery — the instant-restart path the Snapshot layer uses.
+// The cover must be the exact minimal synonym-OFD cover of the instance.
+func NewMaintainerFromCover(ctx context.Context, rel *Relation, ont *Ontology, cover Set, opts DiscoveryOptions) (*Maintainer, error) {
+	return discovery.NewMaintainerFromCover(ctx, rel, ont, cover, opts)
+}
+
+// Persistence (snapshots).
+type (
+	// SnapshotState is the content of one snapshot: the relation instance
+	// plus any engines built over it (partition cache, monitor,
+	// maintainer). All present components must share one relation and
+	// ontology.
+	SnapshotState = snapshot.State
+	// SnapshotOptions configure OpenSnapshot (restore workers and stats).
+	SnapshotOptions = snapshot.Options
+)
+
+// SaveSnapshot atomically writes the state to a single versioned,
+// checksummed snapshot file. Reopening with OpenSnapshot restores the
+// relation, cache, monitor, and maintainer without recomputing their
+// indexes: the monitor's first Report and the maintainer's Cover are
+// byte-identical to the saved ones.
+func SaveSnapshot(path string, st *SnapshotState) error { return snapshot.Save(path, st) }
+
+// OpenSnapshot reads a snapshot file written by SaveSnapshot. Reopen cost
+// scales with the flagged violation state, not the instance: bulk arrays
+// decode as zero-copy views and index maps hydrate lazily on first write.
+func OpenSnapshot(path string, opts SnapshotOptions) (*SnapshotState, error) {
+	return snapshot.Open(path, opts)
 }
 
 // Rank scores discovered OFDs by interestingness (compactness, evidence,

@@ -110,10 +110,10 @@ func DetectContext(ctx context.Context, rel *relation.Relation, ont *ontology.On
 			// violate and allocates nothing — on mostly-clean instances this
 			// clears almost every class, so the scan is allocation-free per
 			// class (guarded by TestDetectAllocsIndependentOfClassCount).
-			first := col[class[0]]
+			first := col.At(int(class[0]))
 			allEqual := true
 			for _, t := range class[1:] {
-				if col[t] != first {
+				if col.At(int(t)) != first {
 					allEqual = false
 					break
 				}
@@ -162,11 +162,11 @@ func explain(rel *relation.Relation, ont *ontology.Ontology, d OFD, class []int3
 	seen := make(map[relation.Value]struct{}, 4)
 	values := make([]string, 0, 4)
 	for _, t := range class {
-		if _, ok := seen[col[t]]; ok {
+		if _, ok := seen[col.At(int(t))]; ok {
 			continue
 		}
-		seen[col[t]] = struct{}{}
-		values = append(values, dict.String(col[t]))
+		seen[col.At(int(t))] = struct{}{}
+		values = append(values, dict.String(col.At(int(t))))
 	}
 	sort.Strings(values)
 

@@ -32,15 +32,15 @@ func ancestorsWithin(ont *ontology.Ontology, v string, theta int) map[ontology.C
 // common ancestor within theta covers every distinct value.
 func (v *Verifier) classSatisfiedInh(class []int32, rhs, theta int) bool {
 	col := v.rel.Column(rhs)
-	first := col[class[0]]
+	first := col.At(int(class[0]))
 	allEqual := true
 	distinct := make(map[relation.Value]struct{}, 4)
 	distinct[first] = struct{}{}
 	for _, t := range class[1:] {
-		if col[t] != first {
+		if col.At(int(t)) != first {
 			allEqual = false
 		}
-		distinct[col[t]] = struct{}{}
+		distinct[col.At(int(t))] = struct{}{}
 	}
 	if allEqual {
 		return true
@@ -93,7 +93,7 @@ func (v *Verifier) SupportInh(d OFD, theta int) float64 {
 		class := p.Class(i)
 		valCount := make(map[relation.Value]int, 4)
 		for _, t := range class {
-			valCount[col[t]]++
+			valCount[col.At(int(t))]++
 		}
 		best := 0
 		for _, c := range valCount {

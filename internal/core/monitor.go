@@ -68,6 +68,11 @@ type Monitor struct {
 	epoch   uint64
 	history historyPtr
 
+	// needHydrate marks a snapshot-restored monitor whose LHS-key index
+	// maps are still in frozen array form; the first AppendRow hydrates
+	// them (no other operation consults the indexes).
+	needHydrate bool
+
 	keyBuf    []byte           // LHS-key encoding scratch (AppendRow)
 	vals      []relation.Value // distinct-value scratch for sequential paths
 	snapDirty []bool           // per-shard "snapshot stale" scratch
@@ -292,6 +297,9 @@ func (m *Monitor) AppendRow(row []string) (int, error) {
 	if len(row) != m.rel.NumCols() {
 		return 0, fmt.Errorf("core: append of %d cells into %d attributes", len(row), m.rel.NumCols())
 	}
+	if m.needHydrate {
+		m.hydrateIndexes()
+	}
 	t := int32(m.rel.NumRows())
 	m.rel.AppendRow(row)
 	for i := range m.sigma {
@@ -312,7 +320,7 @@ func (m *Monitor) AppendRow(row []string) (int, error) {
 			idx[string(m.keyBuf)] = int32(ci)
 			m.classOf[i][r] = int32(ci)
 			m.classOf[i] = append(m.classOf[i], int32(ci))
-			pairs := bump(bump(make([]valCount, 0, 2), col[r], 1), col[t], 1)
+			pairs := bump(bump(make([]valCount, 0, 2), col.At(int(r)), 1), col.At(int(t)), 1)
 			sh.counts[i] = append(sh.counts[i], pairs)
 			if sh.reverifyOne(m, i, int32(ci)) {
 				m.snapDirty[s] = true
@@ -321,7 +329,7 @@ func (m *Monitor) AppendRow(row []string) (int, error) {
 			ci := enc
 			sh.parts[i].Add(int(ci), t)
 			m.classOf[i] = append(m.classOf[i], ci)
-			sh.counts[i][ci] = bump(sh.counts[i][ci], col[t], 1)
+			sh.counts[i][ci] = bump(sh.counts[i][ci], col.At(int(t)), 1)
 			if sh.reverifyOne(m, i, ci) {
 				m.snapDirty[s] = true
 			}

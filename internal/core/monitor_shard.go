@@ -37,6 +37,12 @@ type monitorShard struct {
 	// (never mutated) when the violation maps change.
 	snap *shardSnap
 
+	// frozen, set only on a snapshot-restored monitor, holds each lhsIdx
+	// in serialized array form until the first AppendRow hydrates the maps
+	// (see Monitor.hydrateIndexes). nil on built monitors and after
+	// hydration.
+	frozen []frozenIdx
+
 	reverified int // classes re-verified since construction
 
 	// Batch scratch, valid between route and commit/rollback of one
@@ -86,7 +92,7 @@ func (sh *monitorShard) buildState(m *Monitor) {
 		for ci := range counts {
 			pairs := make([]valCount, 0, 4)
 			for _, t := range part.View(ci, &scratch) {
-				pairs = bump(pairs, col[t], 1)
+				pairs = bump(pairs, col.At(int(t)), 1)
 			}
 			counts[ci] = pairs
 		}

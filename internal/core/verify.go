@@ -146,10 +146,10 @@ const (
 // on the stack (fixed-size arrays) rather than on the receiver.
 func (v *Verifier) classSatisfied(class []int32, rhs int) bool {
 	col := v.rel.Column(rhs)
-	first := col[class[0]]
+	first := col.At(int(class[0]))
 	allEqual := true
 	for _, t := range class[1:] {
-		if col[t] != first {
+		if col.At(int(t)) != first {
 			allEqual = false
 			break
 		}
@@ -162,7 +162,7 @@ func (v *Verifier) classSatisfied(class []int32, rhs int) bool {
 	distinct := valArr[:0]
 gather:
 	for _, t := range class {
-		val := col[t]
+		val := col.At(int(t))
 		for _, seen := range distinct {
 			if seen == val {
 				continue gather
@@ -256,11 +256,11 @@ func (v *Verifier) classSatisfiedSlow(class []int32, rhs int) bool {
 	seen := make(map[relation.Value]struct{}, 32)
 	vals := make([]relation.Value, 0, 32)
 	for _, t := range class {
-		if _, ok := seen[col[t]]; ok {
+		if _, ok := seen[col.At(int(t))]; ok {
 			continue
 		}
-		seen[col[t]] = struct{}{}
-		vals = append(vals, col[t])
+		seen[col.At(int(t))] = struct{}{}
+		vals = append(vals, col.At(int(t)))
 	}
 	return v.valuesSatisfiedSlow(rhs, vals)
 }
@@ -303,9 +303,9 @@ func (v *Verifier) HoldsSynOnePass(d OFD) bool {
 	col := v.rel.Column(d.RHS)
 	for i := 0; i < p.NumClasses(); i++ {
 		class := p.Class(i)
-		first := col[class[0]]
+		first := col.At(int(class[0]))
 		for _, t := range class[1:] {
-			if col[t] != first {
+			if col.At(int(t)) != first {
 				return false
 			}
 		}
@@ -336,7 +336,7 @@ func (v *Verifier) classBestCoverage(class []int32, rhs int) int {
 	vals, vcs := valArr[:0], vcArr[:0]
 count:
 	for _, t := range class {
-		val := col[t]
+		val := col.At(int(t))
 		for k, seen := range vals {
 			if seen == val {
 				vcs[k]++
@@ -389,7 +389,7 @@ func (v *Verifier) classBestCoverageSlow(class []int32, rhs int) int {
 	col := v.rel.Column(rhs)
 	valCount := make(map[relation.Value]int, 32)
 	for _, t := range class {
-		valCount[col[t]]++
+		valCount[col.At(int(t))]++
 	}
 	best := 0
 	for _, c := range valCount {
@@ -466,7 +466,7 @@ func (v *Verifier) NonEqualConsequentFraction(d OFD) float64 {
 		class := p.Class(i)
 		valCount := make(map[relation.Value]int, 4)
 		for _, t := range class {
-			valCount[col[t]]++
+			valCount[col.At(int(t))]++
 		}
 		mode := 0
 		for _, c := range valCount {

@@ -62,6 +62,14 @@ type Options struct {
 	// into (per-level build/verify spans, cache hit rates, notes). When
 	// nil, Discover creates a private registry, exposed as Result.Stats.
 	Stats *exec.Stats
+	// Cache, when non-nil, is a pre-warmed partition cache over the same
+	// relation for maintainer construction to verify against instead of
+	// building a fresh one. This is the snapshot-restore path: the cache
+	// restored alongside the relation is snapshot-consistent with it, so
+	// its partitions (and any the build adds) stay valid until the first
+	// mutation. Discover itself ignores this field — a discovery run
+	// drives its own level-by-level cache eviction.
+	Cache *relation.PartitionCache
 }
 
 // Mode selects which ontological relationship candidate dependencies use.

@@ -93,6 +93,27 @@ type Maintainer struct {
 	pending map[int64]int // (row,col) → writes index, batch scratch
 	writes  []cellWrite
 	scans   int64 // cumulative full-candidate verifications
+
+	// needHydrate marks a snapshot-restored maintainer whose cover-tracker
+	// key indexes are still in frozen array form; the first mutating
+	// operation hydrates them (Cover and Epoch never consult them).
+	needHydrate bool
+}
+
+// hydrate materializes every cover tracker's LHS-key map from its frozen
+// snapshot form — called once, by the first batch or append after a
+// restore (the only operations that consult the maps).
+func (mt *Maintainer) hydrate() {
+	span := mt.stats.Span("maintain.hydrate")
+	w := exec.Workers(mt.workers)
+	span.Workers(w)
+	defer span.End()
+	_ = exec.For(context.Background(), len(mt.flat), w, func(_, i int) {
+		if ct, ok := mt.flat[i].(*coverTracker); ok {
+			ct.hydrate()
+		}
+	})
+	mt.needHydrate = false
 }
 
 // NewMaintainer builds a maintainer, running a fresh discovery for the
@@ -105,19 +126,50 @@ func NewMaintainer(rel *relation.Relation, ont *ontology.Ontology, opts Options)
 // of the initial discovery and index build. A cancelled build returns a
 // nil maintainer and an error satisfying errors.Is(err, ctx.Err()).
 func NewMaintainerContext(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, opts Options) (*Maintainer, error) {
-	if opts.Mode != ModeSynonym {
-		return nil, fmt.Errorf("discovery: maintainer supports synonym OFDs only")
-	}
-	if opts.MinSupport != 0 && opts.MinSupport != 1 {
-		return nil, fmt.Errorf("discovery: maintainer requires exact OFDs (MinSupport 0 or 1), got %v", opts.MinSupport)
-	}
-	if opts.MaxLevel != 0 {
-		return nil, fmt.Errorf("discovery: maintainer requires an uncapped lattice (MaxLevel 0), got %d", opts.MaxLevel)
+	if err := checkMaintainerOptions(opts); err != nil {
+		return nil, err
 	}
 	res, err := DiscoverContext(ctx, rel, ont, opts)
 	if err != nil {
 		return nil, err
 	}
+	return buildFromCover(ctx, rel, ont, res.OFDs, opts)
+}
+
+// NewMaintainerFromCover builds a maintainer around an already-known
+// minimal cover — the snapshot-restore path — skipping the initial
+// discovery entirely. The cover must be the exact minimal synonym-OFD
+// cover of the instance (a saved maintainer's Cover() qualifies; the
+// border build panics on a non-cover, exactly as a corrupted live
+// maintainer would). Tracker and border state is deterministic given the
+// instance and the cover, so the rebuilt maintainer's Cover() and diffs
+// are byte-identical to the saved one's.
+func NewMaintainerFromCover(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, cover core.Set, opts Options) (*Maintainer, error) {
+	if err := checkMaintainerOptions(opts); err != nil {
+		return nil, err
+	}
+	return buildFromCover(ctx, rel, ont, cover, opts)
+}
+
+// checkMaintainerOptions rejects configurations the incremental argument
+// is not sound for (see the Maintainer doc comment).
+func checkMaintainerOptions(opts Options) error {
+	if opts.Mode != ModeSynonym {
+		return fmt.Errorf("discovery: maintainer supports synonym OFDs only")
+	}
+	if opts.MinSupport != 0 && opts.MinSupport != 1 {
+		return fmt.Errorf("discovery: maintainer requires exact OFDs (MinSupport 0 or 1), got %v", opts.MinSupport)
+	}
+	if opts.MaxLevel != 0 {
+		return fmt.Errorf("discovery: maintainer requires an uncapped lattice (MaxLevel 0), got %d", opts.MaxLevel)
+	}
+	return nil
+}
+
+// buildFromCover is the shared tail of maintainer construction: given the
+// minimal cover (freshly discovered or restored), build the full tracker
+// and border state.
+func buildFromCover(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, initial core.Set, opts Options) (*Maintainer, error) {
 	mt := &Maintainer{
 		rel:     rel,
 		v:       core.NewVerifier(rel, ont, nil),
@@ -133,16 +185,21 @@ func NewMaintainerContext(ctx context.Context, rel *relation.Relation, ont *onto
 	for c := 0; c < rel.NumCols(); c++ {
 		mt.rhs[c] = &rhsState{rhs: c}
 	}
-	cover := res.OFDs.Clone()
+	cover := initial.Clone()
 	cover.Sort()
 	// Full class trackers for every cover element, built in parallel (each
 	// tracker is self-contained) against a build-time partition-backed
 	// verifier — cover and border antecedents overlap heavily, so cached
 	// subset products compound across the whole build. The cache is
-	// released with pv when the build returns.
-	pv := core.NewVerifier(rel, ont, relation.NewPartitionCacheParallel(rel, opts.Workers))
+	// released with pv when the build returns, unless the caller supplied
+	// a pre-warmed snapshot-consistent one (opts.Cache).
+	bpc := opts.Cache
+	if bpc == nil {
+		bpc = relation.NewPartitionCacheParallel(rel, opts.Workers)
+	}
+	pv := core.NewVerifier(rel, ont, bpc)
 	trackers := make([]*coverTracker, len(cover))
-	err = exec.For(ctx, len(cover), w, func(_, i int) {
+	err := exec.For(ctx, len(cover), w, func(_, i int) {
 		trackers[i] = newCoverTrackerParts(pv, mt.v, cover[i])
 	})
 	if err != nil {
@@ -248,6 +305,12 @@ func (mt *Maintainer) Epoch() uint64 { return mt.epoch }
 // NumRows returns the maintained relation's current row count.
 func (mt *Maintainer) NumRows() int { return mt.rel.NumRows() }
 
+// Relation returns the maintained relation.
+func (mt *Maintainer) Relation() *relation.Relation { return mt.rel }
+
+// Ontology returns the maintainer's ontology.
+func (mt *Maintainer) Ontology() *ontology.Ontology { return mt.v.Ontology() }
+
 // Scans returns the cumulative number of full candidate verifications the
 // maintainer has performed since construction (the work a fresh discovery
 // would redo per node; the oracle-answered remainder is reported as
@@ -274,6 +337,9 @@ func (mt *Maintainer) ApplyBatchContext(ctx context.Context, updates []core.Cell
 		if u.Row < 0 || u.Row >= mt.rel.NumRows() || u.Col < 0 || u.Col >= mt.rel.NumCols() {
 			return Diff{}, fmt.Errorf("discovery: cell (%d,%d) out of range", u.Row, u.Col)
 		}
+	}
+	if mt.needHydrate {
+		mt.hydrate()
 	}
 	dirtySpan := mt.stats.Span("maintain.dirty")
 	dirtySpan.Items(len(updates))
@@ -396,6 +462,9 @@ func (mt *Maintainer) AppendRows(rows [][]string) (Diff, error) {
 	}
 	if len(rows) == 0 {
 		return Diff{Epoch: mt.epoch}, nil
+	}
+	if mt.needHydrate {
+		mt.hydrate()
 	}
 	dirtySpan := mt.stats.Span("maintain.dirty")
 	dirtySpan.Items(len(rows))

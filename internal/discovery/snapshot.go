@@ -1,0 +1,258 @@
+package discovery
+
+import (
+	"fmt"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+	"github.com/fastofd/fastofd/internal/wire"
+)
+
+// This file is the maintainer's side of the snapshot format. A maintainer
+// snapshot captures the full incremental state — the cover trackers'
+// per-row class assignments, class sizes, consequent multisets, and
+// satisfaction flags, plus every negative-border node's pinned violating
+// class — so reopening skips both the discovery lattice walk and the
+// per-cover-element tracker construction a NewMaintainerFromCover rebuild
+// pays. The transversal list is not stored: border node i is the
+// complement of transversal i by construction, so decode derives one from
+// the other and the pair can never disagree.
+//
+// Cover-tracker LHS-key indexes restore in frozen key/value array form
+// and hydrate into hash maps only when the maintainer mutates again,
+// exactly like the monitor's shard indexes — a restored maintainer that
+// only answers Cover() never builds a map.
+
+// AppendMaintainer encodes mt. Must not run concurrently with mutations.
+// Restored-and-not-yet-hydrated tracker indexes re-encode from their
+// frozen form directly, so save → open → save round-trips without ever
+// building the maps.
+func AppendMaintainer(w *wire.Writer, mt *Maintainer) {
+	w.Uvarint(mt.epoch)
+	w.Uvarint(uint64(mt.scans))
+	core.AppendVerifier(w, mt.v)
+	w.Int(len(mt.rhs))
+	for _, rs := range mt.rhs {
+		w.Int(len(rs.cover))
+		for _, ct := range rs.cover {
+			w.Uvarint(uint64(ct.d.LHS))
+			if ct.keyIdx == nil && (ct.frozenKeys != nil || ct.frozenVals != nil) {
+				w.Int(len(ct.frozenVals))
+				w.Int(4 * len(ct.cols))
+				w.Blob(ct.frozenKeys)
+				w.Int32s(ct.frozenVals)
+			} else {
+				core.AppendLHSIndex(w, ct.keyIdx, 4*len(ct.cols))
+			}
+			w.Int32s(ct.rowClass)
+			w.Int32s(ct.size)
+			appendVCTable(w, ct.vals)
+			sat := make([]uint8, len(ct.sat))
+			for ci, s := range ct.sat {
+				if s {
+					sat[ci] = 1
+				}
+			}
+			w.Uint8s(sat)
+		}
+		w.Int(len(rs.border))
+		for _, wt := range rs.border {
+			w.Uvarint(uint64(wt.d.LHS))
+			w.Blob([]byte(wt.key))
+			w.Int(int(wt.size))
+			appendVCList(w, wt.vals)
+		}
+	}
+}
+
+// appendVCTable encodes per-class consequent multisets as three bulk
+// arrays — pairs-per-class, then the flattened values and multiplicities
+// (the monitor's counts encoding).
+func appendVCTable(w *wire.Writer, vals [][]vc) {
+	lens := make([]int32, len(vals))
+	total := 0
+	for ci, pairs := range vals {
+		lens[ci] = int32(len(pairs))
+		total += len(pairs)
+	}
+	flatV := make([]int32, 0, total)
+	flatN := make([]int32, 0, total)
+	for _, pairs := range vals {
+		for _, p := range pairs {
+			flatV = append(flatV, int32(p.val))
+			flatN = append(flatN, p.n)
+		}
+	}
+	w.Int32s(lens)
+	w.Int32s(flatV)
+	w.Int32s(flatN)
+}
+
+// decodeVCTable is the inverse of appendVCTable. The per-class slices are
+// freshly allocated (bumpVC mutates and appends), the bulk reads zero-copy.
+func decodeVCTable(r *wire.Reader) [][]vc {
+	lens := r.Int32s()
+	flatV := r.Int32s()
+	flatN := r.Int32s()
+	if len(flatV) != len(flatN) {
+		return nil
+	}
+	out := make([][]vc, len(lens))
+	pos := 0
+	for ci, l := range lens {
+		n := int(l)
+		if n < 0 || pos+n > len(flatV) {
+			return nil
+		}
+		pairs := make([]vc, n)
+		for k := 0; k < n; k++ {
+			pairs[k] = vc{val: relation.Value(flatV[pos+k]), n: flatN[pos+k]}
+		}
+		out[ci] = pairs
+		pos += n
+	}
+	return out
+}
+
+// appendVCList encodes one class's multiset as parallel value and
+// multiplicity arrays.
+func appendVCList(w *wire.Writer, pairs []vc) {
+	flatV := make([]int32, len(pairs))
+	flatN := make([]int32, len(pairs))
+	for k, p := range pairs {
+		flatV[k] = int32(p.val)
+		flatN[k] = p.n
+	}
+	w.Int32s(flatV)
+	w.Int32s(flatN)
+}
+
+func decodeVCList(r *wire.Reader) ([]vc, error) {
+	flatV := r.Int32s()
+	flatN := r.Int32s()
+	if len(flatV) != len(flatN) {
+		return nil, fmt.Errorf("discovery: snapshot multiset arrays disagree (%d values, %d counts)", len(flatV), len(flatN))
+	}
+	pairs := make([]vc, len(flatV))
+	for k := range flatV {
+		pairs[k] = vc{val: relation.Value(flatV[k]), n: flatN[k]}
+	}
+	return pairs, nil
+}
+
+// DecodeMaintainer rebuilds a maintainer over rel/ont from a snapshot
+// written by AppendMaintainer. No discovery, tracker construction, or
+// candidate scan runs: the restored state is byte-for-byte the saved
+// trackers, so Cover() and all subsequent diffs are identical to the saved
+// maintainer's. workers and stats configure the restored maintainer
+// exactly as the construction-time parameters would.
+func DecodeMaintainer(r *wire.Reader, rel *relation.Relation, ont *ontology.Ontology, workers int, stats *exec.Stats) (*Maintainer, error) {
+	span := stats.Span("maintain.restore")
+	defer span.End()
+	epoch := r.Uvarint()
+	scans := r.Uvarint()
+	v, err := core.DecodeVerifier(r, rel, ont, nil)
+	if err != nil {
+		return nil, err
+	}
+	nCols := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nCols != rel.NumCols() {
+		return nil, fmt.Errorf("discovery: snapshot maintainer has %d columns, relation has %d", nCols, rel.NumCols())
+	}
+	mt := &Maintainer{
+		rel:         rel,
+		v:           v,
+		workers:     workers,
+		stats:       stats,
+		all:         rel.Schema().All(),
+		rhs:         make([]*rhsState, nCols),
+		epoch:       epoch,
+		scans:       int64(scans),
+		needHydrate: true,
+	}
+	nRows := rel.NumRows()
+	for c := 0; c < nCols; c++ {
+		rs := &rhsState{rhs: c}
+		nCover := r.Int()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		for k := 0; k < nCover; k++ {
+			lhs := relation.AttrSet(r.Uvarint())
+			ct := &coverTracker{
+				d:      core.OFD{LHS: lhs, RHS: c},
+				cols:   lhs.Attrs(),
+				colSet: lhs.With(c),
+			}
+			count := r.Int()
+			width := r.Int()
+			ct.frozenKeys = r.Blob()
+			ct.frozenVals = r.Int32s()
+			ct.rowClass = r.Int32s()
+			ct.size = r.Int32s()
+			ct.vals = decodeVCTable(r)
+			satBytes := r.Uint8s()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if width != 4*len(ct.cols) {
+				return nil, fmt.Errorf("discovery: snapshot tracker key width %d for %d antecedent columns", width, len(ct.cols))
+			}
+			if len(ct.frozenVals) != count || len(ct.frozenKeys) != count*width {
+				return nil, fmt.Errorf("discovery: snapshot tracker index shape mismatch (count %d, width %d)", count, width)
+			}
+			if len(ct.rowClass) != nRows {
+				return nil, fmt.Errorf("discovery: snapshot tracker sized for %d rows, relation has %d", len(ct.rowClass), nRows)
+			}
+			if ct.vals == nil || len(ct.vals) != len(ct.size) || len(satBytes) != len(ct.size) {
+				return nil, fmt.Errorf("discovery: snapshot tracker class state inconsistent")
+			}
+			ct.sat = make([]bool, len(satBytes))
+			for ci, b := range satBytes {
+				ct.sat[ci] = b != 0
+				if b == 0 {
+					ct.unsat++
+				}
+			}
+			rs.cover = append(rs.cover, ct)
+		}
+		nBorder := r.Int()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		space := mt.all.Without(c)
+		for k := 0; k < nBorder; k++ {
+			lhs := relation.AttrSet(r.Uvarint())
+			key := r.Blob()
+			size := r.Int()
+			vals, err := decodeVCList(r)
+			if err != nil {
+				return nil, err
+			}
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			d := core.OFD{LHS: lhs, RHS: c}
+			if len(key) != 4*lhs.Len() {
+				return nil, fmt.Errorf("discovery: snapshot witness key of %d bytes for %d antecedent columns", len(key), lhs.Len())
+			}
+			rs.border = append(rs.border, newWitnessTracker(d, string(key), int32(size), vals))
+			// Border node i is the complement of transversal i by
+			// construction; deriving trans keeps the pair consistent and
+			// preserves the canonical order the border was saved in.
+			rs.trans = append(rs.trans, space.Minus(lhs))
+		}
+		mt.rhs[c] = rs
+		span.Items(nCover + nBorder)
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	mt.rebuildFlat()
+	return mt, nil
+}

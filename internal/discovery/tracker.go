@@ -98,6 +98,13 @@ type coverTracker struct {
 	sat      []bool
 	unsat    int
 
+	// frozen* hold the snapshot-restored key index (sorted concatenated
+	// fixed-width keys plus parallel encoded values) until the first batch
+	// hydrates keyIdx — restore stays O(memcpy) and a read-only restored
+	// maintainer never pays the map build. Nil on live-built trackers.
+	frozenKeys []byte
+	frozenVals []int32
+
 	dirty    []int32 // class ids touched by the in-flight batch
 	floating []int32 // rows between the leave and join phases
 	keyBuf   []byte
@@ -140,7 +147,7 @@ func newCoverTrackerParts(pv *core.Verifier, v *core.Verifier, d core.OFD) *cove
 		for _, t := range class {
 			ct.rowClass[t] = int32(i)
 			covered[t] = true
-			vals = bumpVC(vals, col[t], 1)
+			vals = bumpVC(vals, col.At(int(t)), 1)
 		}
 		ct.vals[i] = vals
 	}
@@ -186,12 +193,12 @@ func newCoverTracker(rel *relation.Relation, v *core.Verifier, d core.OFD) *cove
 			ct.rowClass[r] = ci
 			ct.rowClass = append(ct.rowClass, ci)
 			ct.size = append(ct.size, 2)
-			ct.vals = append(ct.vals, bumpVC(bumpVC(make([]vc, 0, 2), col[r], 1), col[int32(t)], 1))
+			ct.vals = append(ct.vals, bumpVC(bumpVC(make([]vc, 0, 2), col.At(int(r)), 1), col.At(t), 1))
 			ct.sat = append(ct.sat, true)
 		default:
 			ct.rowClass = append(ct.rowClass, enc)
 			ct.size[enc]++
-			ct.vals[enc] = bumpVC(ct.vals[enc], col[t], 1)
+			ct.vals[enc] = bumpVC(ct.vals[enc], col.At(int(t)), 1)
 		}
 	}
 	for ci := range ct.size {
@@ -204,6 +211,22 @@ func newCoverTracker(rel *relation.Relation, v *core.Verifier, d core.OFD) *cove
 }
 
 func (ct *coverTracker) scope() relation.AttrSet { return ct.colSet }
+
+// hydrate builds the live key index from the frozen snapshot form: one
+// string conversion for the whole key blob, map keys sliced out of it.
+// No-op on live-built (or already hydrated) trackers.
+func (ct *coverTracker) hydrate() {
+	if ct.frozenKeys == nil && ct.frozenVals == nil {
+		return
+	}
+	width := 4 * len(ct.cols)
+	blob := string(ct.frozenKeys)
+	ct.keyIdx = make(map[string]int32, len(ct.frozenVals))
+	for i, v := range ct.frozenVals {
+		ct.keyIdx[blob[i*width:(i+1)*width]] = v
+	}
+	ct.frozenKeys, ct.frozenVals = nil, nil
+}
 
 // valid reports the tracked candidate's current validity.
 func (ct *coverTracker) valid() bool { return ct.unsat == 0 }
@@ -540,7 +563,7 @@ func witnessScanParts(pv *core.Verifier, d core.OFD) scanResult {
 		class := p.Class(i)
 		vals = vals[:0]
 		for _, t := range class {
-			vals = bumpVC(vals, col[t], 1)
+			vals = bumpVC(vals, col.At(int(t)), 1)
 		}
 		if len(vals) <= 1 {
 			continue
@@ -587,7 +610,7 @@ func scanCandidate(rel *relation.Relation, v *core.Verifier, d core.OFD, needWit
 			groups[string(buf)] = g
 		}
 		g.size++
-		g.vals = bumpVC(g.vals, col[t], 1)
+		g.vals = bumpVC(g.vals, col.At(int(t)), 1)
 	}
 	res := scanResult{valid: true}
 	var scratch []relation.Value

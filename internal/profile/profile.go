@@ -75,8 +75,11 @@ func column(rel *relation.Relation, ont *ontology.Ontology, c int) Column {
 	n := rel.NumRows()
 	col := Column{Name: rel.Schema().Name(c), Index: c}
 	counts := make(map[relation.Value]int)
-	for _, v := range rel.Column(c) {
-		counts[v]++
+	codes := rel.Column(c)
+	for b := 0; b < codes.NumBlocks(); b++ {
+		for _, v := range codes.Block(b) {
+			counts[v]++
+		}
 	}
 	col.Distinct = len(counts)
 	col.IsKey = n > 0 && col.Distinct == n

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -14,14 +15,43 @@ import (
 // without bloating small caches.
 const cacheShardCount = 16
 
+// cacheEntry is one cached partition with its accounting: exact payload
+// bytes, the logical time of its last hit, and its hit count — the inputs
+// of the cost-model eviction score. lastUse and hits are atomics because
+// lookups touch them under the shard's read lock.
+type cacheEntry struct {
+	p       *Partition
+	bytes   int64
+	lastUse atomic.Uint64
+	hits    atomic.Uint64
+}
+
 // cacheShard is one lock domain of the cache. levels records, per
 // attribute-set cardinality, the keys inserted at that cardinality, so
 // Evict(k) walks only the level-k entries instead of the whole map.
 type cacheShard struct {
 	mu     sync.RWMutex
-	m      map[AttrSet]*Partition
+	m      map[AttrSet]*cacheEntry
 	levels map[int][]AttrSet
 }
+
+// EvictionPolicy selects how a budgeted cache sheds entries when it
+// exceeds its byte budget.
+type EvictionPolicy int32
+
+const (
+	// EvictCostModel scores every entry by bytes × coldness ÷ (rebuild
+	// cost × hit frequency) — the greedy-dual-size-frequency family — and
+	// evicts the highest scores first: large, long-unused, rarely-hit
+	// partitions that are cheap to recompute go before small, hot,
+	// expensive ones. This is the default for budgeted caches.
+	EvictCostModel EvictionPolicy = iota
+	// EvictLevelSweep is the blind baseline: sweep whole lattice levels
+	// (lowest multi-attribute level first, single columns last) until the
+	// cache fits, ignoring per-entry heat and size — the policy the
+	// pre-budget Evict(k) call sites approximated.
+	EvictLevelSweep
+)
 
 // PartitionCache memoizes stripped partitions by attribute set, computing
 // single columns directly and larger sets via Product of cached parts.
@@ -31,31 +61,57 @@ type cacheShard struct {
 // shard read lock; inserts take the shard write lock. Partition
 // computation happens outside any lock, so two goroutines missing on the
 // same set may both compute it — the canonical form makes the duplicate
-// insert idempotent. Memory is bounded by the two-level eviction the
-// lattice traversals drive via Evict, observable through Stats.
+// insert idempotent.
+//
+// Memory is bounded two ways: lattice traversals still drive the two-level
+// Evict sweeps, and SetBudget arms a global byte budget enforced on every
+// insert — when the payload exceeds it, the eviction policy (cost-model by
+// default) sheds entries until the cache fits again, leaving at most the
+// one in-flight partition over budget. Both are observable through Stats.
 type PartitionCache struct {
-	r      *Relation
-	shards [cacheShardCount]cacheShard
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	bytes  atomic.Int64
+	r         *Relation
+	shards    [cacheShardCount]cacheShard
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	bytes     atomic.Int64
+	peakBytes atomic.Int64
+	evictions atomic.Uint64
+	budget    atomic.Int64  // 0 = unbounded
+	policy    atomic.Int32  // EvictionPolicy
+	clock     atomic.Uint64 // logical time: ticks once per lookup
+	evictMu   sync.Mutex    // serializes budget enforcement passes
 }
 
 // CacheStats is a snapshot of cache effectiveness and footprint counters.
 type CacheStats struct {
-	Hits    uint64 // lookups answered from the cache
-	Misses  uint64 // lookups that had to compute a partition
-	Entries int    // partitions currently cached
-	Bytes   int64  // approximate payload bytes of cached partitions
+	Hits      uint64 // lookups answered from the cache
+	Misses    uint64 // lookups that had to compute a partition
+	Entries   int    // partitions currently cached
+	Bytes     int64  // exact payload bytes of cached partitions
+	PeakBytes int64  // high-water payload bytes since construction
+	Evictions uint64 // entries dropped (Evict sweeps + budget enforcement)
+	Budget    int64  // configured byte budget (0 = unbounded)
 }
 
-// Since returns the hit/miss deltas between two snapshots, the quantity
-// engines feed into their per-stage exec.Stats spans.
-func (s CacheStats) Since(prev CacheStats) (hits, misses uint64) {
-	return s.Hits - prev.Hits, s.Misses - prev.Misses
+// Since returns the per-field change from prev to s: monotone counters
+// (Hits, Misses, Evictions) and the gauges (Entries, Bytes) subtract —
+// gauges may go negative across an eviction — while PeakBytes and Budget
+// carry s's current values. This is the quantity bench reports and
+// per-stage exec.Stats spans want, replacing hand-subtraction at every
+// call site.
+func (s CacheStats) Since(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Entries:   s.Entries - prev.Entries,
+		Bytes:     s.Bytes - prev.Bytes,
+		PeakBytes: s.PeakBytes,
+		Evictions: s.Evictions - prev.Evictions,
+		Budget:    s.Budget,
+	}
 }
 
-// partitionBytes approximates the heap payload of one cached partition.
+// partitionBytes reports the exact heap payload of one cached partition.
 func partitionBytes(p *Partition) int64 {
 	return int64(4 * (len(p.Tuples) + len(p.Offsets)))
 }
@@ -94,7 +150,7 @@ func NewPartitionCacheParallel(r *Relation, workers int) *PartitionCache {
 func NewPartitionCacheContext(ctx context.Context, r *Relation, workers int) (*PartitionCache, error) {
 	pc := &PartitionCache{r: r}
 	for i := range pc.shards {
-		pc.shards[i].m = make(map[AttrSet]*Partition)
+		pc.shards[i].m = make(map[AttrSet]*cacheEntry)
 		pc.shards[i].levels = make(map[int][]AttrSet)
 	}
 	nCols := r.NumCols()
@@ -113,29 +169,201 @@ func NewPartitionCacheContext(ctx context.Context, r *Relation, workers int) (*P
 // Relation returns the underlying relation.
 func (pc *PartitionCache) Relation() *Relation { return pc.r }
 
-// lookup returns the cached partition for attrs, if present.
+// SetBudget arms (or, with 0, disarms) the global byte budget. Enforcement
+// happens on the insert path: the cache may transiently exceed the budget
+// by the one partition being inserted, never by more. Safe to call
+// concurrently with cache traffic.
+func (pc *PartitionCache) SetBudget(bytes int64) {
+	pc.budget.Store(bytes)
+	if bytes > 0 {
+		pc.enforceBudget(EmptySet)
+	}
+}
+
+// Budget returns the configured byte budget (0 = unbounded).
+func (pc *PartitionCache) Budget() int64 { return pc.budget.Load() }
+
+// SetPolicy selects the budget-eviction policy. The default is
+// EvictCostModel; EvictLevelSweep exists as the blind baseline the
+// storage benchmarks compare against.
+func (pc *PartitionCache) SetPolicy(p EvictionPolicy) { pc.policy.Store(int32(p)) }
+
+// Policy returns the configured budget-eviction policy.
+func (pc *PartitionCache) Policy() EvictionPolicy { return EvictionPolicy(pc.policy.Load()) }
+
+// lookup returns the cached partition for attrs, if present, stamping the
+// entry's recency and hit counters.
 func (pc *PartitionCache) lookup(attrs AttrSet) (*Partition, bool) {
+	now := pc.clock.Add(1)
 	s := pc.shardOf(attrs)
 	s.mu.RLock()
-	p, ok := s.m[attrs]
+	e, ok := s.m[attrs]
+	var p *Partition
+	if ok {
+		p = e.p
+		e.lastUse.Store(now)
+		e.hits.Add(1)
+	}
 	s.mu.RUnlock()
 	return p, ok
 }
 
 // store inserts (or replaces) the partition for attrs, maintaining the
-// per-level eviction index and the byte counter.
+// per-level eviction index and the byte counter, then enforces the budget
+// (the just-inserted entry is protected, so the cache never thrashes the
+// partition it is about to return).
 func (pc *PartitionCache) store(attrs AttrSet, p *Partition) {
 	s := pc.shardOf(attrs)
+	nb := partitionBytes(p)
+	e := &cacheEntry{p: p, bytes: nb}
+	e.lastUse.Store(pc.clock.Load())
 	s.mu.Lock()
 	if old, present := s.m[attrs]; present {
-		pc.bytes.Add(-partitionBytes(old))
+		pc.bytes.Add(-old.bytes)
 	} else {
 		k := attrs.Len()
 		s.levels[k] = append(s.levels[k], attrs)
 	}
-	s.m[attrs] = p
-	pc.bytes.Add(partitionBytes(p))
+	s.m[attrs] = e
+	total := pc.bytes.Add(nb)
 	s.mu.Unlock()
+	for {
+		peak := pc.peakBytes.Load()
+		if total <= peak || pc.peakBytes.CompareAndSwap(peak, total) {
+			break
+		}
+	}
+	if b := pc.budget.Load(); b > 0 && total > b {
+		pc.enforceBudget(attrs)
+	}
+}
+
+// evictLocked removes attrs from shard s (whose write lock the caller
+// holds), keeping the byte counter and the per-level index exact.
+func (pc *PartitionCache) evictLocked(s *cacheShard, attrs AttrSet) bool {
+	e, present := s.m[attrs]
+	if !present {
+		return false
+	}
+	delete(s.m, attrs)
+	pc.bytes.Add(-e.bytes)
+	pc.evictions.Add(1)
+	k := attrs.Len()
+	lv := s.levels[k]
+	for i, a := range lv {
+		if a == attrs {
+			lv[i] = lv[len(lv)-1]
+			s.levels[k] = lv[:len(lv)-1]
+			break
+		}
+	}
+	return true
+}
+
+// rebuildCost estimates what recomputing the entry would cost on a miss:
+// level-k sets reassemble through k−1 partition products, each linear in
+// the partition payload; single columns are one counting pass over the
+// relation. The estimate only needs to rank entries, not predict
+// nanoseconds.
+func rebuildCost(attrs AttrSet, bytes int64, nRows int) float64 {
+	k := attrs.Len()
+	if k <= 1 {
+		return float64(nRows) + 1
+	}
+	return float64(k-1)*float64(bytes) + float64(nRows) + 1
+}
+
+// evictCandidate is one entry considered by a budget-enforcement pass.
+type evictCandidate struct {
+	attrs AttrSet
+	shard *cacheShard
+	bytes int64
+	score float64
+}
+
+// enforceBudget sheds entries until the payload fits the budget again,
+// protecting the just-inserted set. One pass runs at a time (evictMu);
+// concurrent inserts that find the budget exceeded either run the next
+// pass or are covered by the one in flight. The scan takes each shard's
+// read lock briefly, scores outside any lock, then evicts per shard under
+// its write lock, re-checking the running total so a pass never over-evicts
+// after concurrent deletes.
+func (pc *PartitionCache) enforceBudget(protect AttrSet) {
+	pc.evictMu.Lock()
+	defer pc.evictMu.Unlock()
+	budget := pc.budget.Load()
+	if budget <= 0 || pc.bytes.Load() <= budget {
+		return
+	}
+	if EvictionPolicy(pc.policy.Load()) == EvictLevelSweep {
+		pc.levelSweep(budget, protect)
+		return
+	}
+	now := pc.clock.Load()
+	nRows := pc.r.NumRows()
+	var cands []evictCandidate
+	for i := range pc.shards {
+		s := &pc.shards[i]
+		s.mu.RLock()
+		for attrs, e := range s.m {
+			if attrs == protect {
+				continue
+			}
+			coldness := float64(now-e.lastUse.Load()) + 1
+			freq := float64(e.hits.Load()) + 1
+			score := float64(e.bytes) * coldness / (rebuildCost(attrs, e.bytes, nRows) * freq)
+			cands = append(cands, evictCandidate{attrs: attrs, shard: s, bytes: e.bytes, score: score})
+		}
+		s.mu.RUnlock()
+	}
+	// Highest score evicts first: big, cold, rarely-hit, cheap-to-rebuild.
+	sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+	for _, c := range cands {
+		if pc.bytes.Load() <= budget {
+			return
+		}
+		c.shard.mu.Lock()
+		pc.evictLocked(c.shard, c.attrs)
+		c.shard.mu.Unlock()
+	}
+}
+
+// levelSweep is the blind baseline policy: drop whole lattice levels —
+// lowest multi-attribute level first, single columns only as a last
+// resort — until the cache fits.
+func (pc *PartitionCache) levelSweep(budget int64, protect AttrSet) {
+	maxLevel := 0
+	for i := range pc.shards {
+		s := &pc.shards[i]
+		s.mu.RLock()
+		for k := range s.levels {
+			if k > maxLevel {
+				maxLevel = k
+			}
+		}
+		s.mu.RUnlock()
+	}
+	order := make([]int, 0, maxLevel+1)
+	for k := 2; k <= maxLevel; k++ {
+		order = append(order, k)
+	}
+	order = append(order, 1, 0)
+	for _, k := range order {
+		if pc.bytes.Load() <= budget {
+			return
+		}
+		for i := range pc.shards {
+			s := &pc.shards[i]
+			s.mu.Lock()
+			for _, a := range append([]AttrSet(nil), s.levels[k]...) {
+				if a == protect {
+					continue
+				}
+				pc.evictLocked(s, a)
+			}
+			s.mu.Unlock()
+		}
+	}
 }
 
 // Get returns the stripped partition Π*_X, computing and caching it if
@@ -161,9 +389,15 @@ func (pc *PartitionCache) GetWith(attrs AttrSet, buf *ProductBuffer) *Partition 
 		buf = &ProductBuffer{}
 	}
 	var p *Partition
-	if attrs.IsEmpty() {
+	switch {
+	case attrs.IsEmpty():
 		p = PartitionOf(pc.r, attrs).Strip()
-	} else {
+	case attrs.Len() == 1:
+		// Rebuilt directly: under a byte budget single columns are
+		// evictable like anything else, and recursing through subsets
+		// would bottom out here anyway.
+		p = SingleColumnPartition(pc.r, attrs.First()).Strip()
+	default:
 		// Find a cached subset obtained by dropping one attribute;
 		// recurse (depth ≤ |attrs|), then multiply the gap back in.
 		var best AttrSet
@@ -202,8 +436,9 @@ func (pc *PartitionCache) Evict(k int) {
 		s := &pc.shards[i]
 		s.mu.Lock()
 		for _, a := range s.levels[k] {
-			if p, present := s.m[a]; present {
-				pc.bytes.Add(-partitionBytes(p))
+			if e, present := s.m[a]; present {
+				pc.bytes.Add(-e.bytes)
+				pc.evictions.Add(1)
 				delete(s.m, a)
 			}
 		}
@@ -217,9 +452,12 @@ func (pc *PartitionCache) Evict(k int) {
 // internally consistent enough for monitoring and tests.
 func (pc *PartitionCache) Stats() CacheStats {
 	st := CacheStats{
-		Hits:   pc.hits.Load(),
-		Misses: pc.misses.Load(),
-		Bytes:  pc.bytes.Load(),
+		Hits:      pc.hits.Load(),
+		Misses:    pc.misses.Load(),
+		Bytes:     pc.bytes.Load(),
+		PeakBytes: pc.peakBytes.Load(),
+		Evictions: pc.evictions.Load(),
+		Budget:    pc.budget.Load(),
 	}
 	for i := range pc.shards {
 		s := &pc.shards[i]

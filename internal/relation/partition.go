@@ -130,13 +130,15 @@ func SingleColumnPartition(r *Relation, col int) *Partition {
 		table[i] = -1
 	}
 	sizes := make([]int32, 0, 16)
-	for _, v := range colVals {
-		s := int(v) + 1
-		if table[s] < 0 {
-			table[s] = int32(len(sizes))
-			sizes = append(sizes, 0)
+	for b := 0; b < colVals.NumBlocks(); b++ {
+		for _, v := range colVals.Block(b) {
+			s := int(v) + 1
+			if table[s] < 0 {
+				table[s] = int32(len(sizes))
+				sizes = append(sizes, 0)
+			}
+			sizes[table[s]]++
 		}
-		sizes[table[s]]++
 	}
 	nc := len(sizes)
 	offsets := make([]int32, nc+1)
@@ -146,10 +148,14 @@ func SingleColumnPartition(r *Relation, col int) *Partition {
 	tuples := make([]int32, n)
 	cursor := sizes // reuse: cursor[i] = next write position of class i
 	copy(cursor, offsets[:nc])
-	for i, v := range colVals {
-		ci := table[int(v)+1]
-		tuples[cursor[ci]] = int32(i)
-		cursor[ci]++
+	row := 0
+	for b := 0; b < colVals.NumBlocks(); b++ {
+		for _, v := range colVals.Block(b) {
+			ci := table[int(v)+1]
+			tuples[cursor[ci]] = int32(row)
+			cursor[ci]++
+			row++
+		}
 	}
 	return &Partition{Tuples: tuples, Offsets: offsets, N: n}
 }

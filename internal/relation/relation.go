@@ -25,6 +25,9 @@ func NewDict() *Dict {
 
 // Intern returns the id for s, adding it to the dictionary if new.
 func (d *Dict) Intern(s string) Value {
+	if d.byVal == nil {
+		d.hydrate()
+	}
 	if id, ok := d.byVal[s]; ok {
 		return id
 	}
@@ -36,8 +39,23 @@ func (d *Dict) Intern(s string) Value {
 
 // Lookup returns the id for s without interning.
 func (d *Dict) Lookup(s string) (Value, bool) {
+	if d.byVal == nil {
+		d.hydrate()
+	}
 	id, ok := d.byVal[s]
 	return id, ok
+}
+
+// hydrate builds the string→id map from the id-ordered domain. Restored
+// dictionaries defer this until the first Intern/Lookup: snapshot reopen
+// followed by read-only work (Report, verification) never pays the map
+// build, and ids are positional so hydration at any later point yields the
+// identical mapping.
+func (d *Dict) hydrate() {
+	d.byVal = make(map[string]Value, len(d.byID))
+	for i, s := range d.byID {
+		d.byVal[s] = Value(i)
+	}
 }
 
 // String returns the string for id; NullValue renders as the empty string.
@@ -54,12 +72,21 @@ func (d *Dict) Size() int { return len(d.byID) }
 // Values returns all interned strings in id order.
 func (d *Dict) Values() []string { return append([]string(nil), d.byID...) }
 
+// restoreDict rebuilds a dictionary from its id-ordered string domain (the
+// snapshot decode path): ids are assigned positionally, so a round-tripped
+// dictionary encodes every string to the same Value it did before. The
+// string→id map is hydrated lazily on first Intern/Lookup.
+func restoreDict(byID []string) *Dict {
+	return &Dict{byID: byID}
+}
+
 // Relation is a column-oriented relational instance. Each column stores
-// dictionary-encoded values; the dictionary is per column so value ids are
-// only comparable within a column.
+// dictionary-encoded values in a sealed-block chain (see blocks.go); the
+// dictionary is per column so value ids are only comparable within a
+// column.
 type Relation struct {
 	schema *Schema
-	cols   [][]Value
+	cols   []*Col
 	dicts  []*Dict
 	n      int
 }
@@ -68,10 +95,11 @@ type Relation struct {
 func New(schema *Schema) *Relation {
 	r := &Relation{
 		schema: schema,
-		cols:   make([][]Value, schema.Len()),
+		cols:   make([]*Col, schema.Len()),
 		dicts:  make([]*Dict, schema.Len()),
 	}
 	for i := range r.dicts {
+		r.cols[i] = &Col{}
 		r.dicts[i] = NewDict()
 	}
 	return r
@@ -105,29 +133,30 @@ func (r *Relation) Dict(col int) *Dict { return r.dicts[col] }
 // AppendRow appends one tuple given as strings in schema order.
 func (r *Relation) AppendRow(row []string) {
 	for c, s := range row {
-		r.cols[c] = append(r.cols[c], r.dicts[c].Intern(s))
+		r.cols[c].Append(r.dicts[c].Intern(s))
 	}
 	r.n++
 }
 
 // Value returns the encoded value at (row, col).
-func (r *Relation) Value(row, col int) Value { return r.cols[col][row] }
+func (r *Relation) Value(row, col int) Value { return r.cols[col].At(row) }
 
 // SetValue overwrites the cell at (row, col) with an already-interned value.
-func (r *Relation) SetValue(row, col int, v Value) { r.cols[col][row] = v }
+func (r *Relation) SetValue(row, col int, v Value) { r.cols[col].Set(row, v) }
 
 // SetString overwrites the cell at (row, col), interning s as needed.
 func (r *Relation) SetString(row, col int, s string) {
-	r.cols[col][row] = r.dicts[col].Intern(s)
+	r.cols[col].Set(row, r.dicts[col].Intern(s))
 }
 
 // String returns the string at (row, col).
 func (r *Relation) String(row, col int) string {
-	return r.dicts[col].String(r.cols[col][row])
+	return r.dicts[col].String(r.cols[col].At(row))
 }
 
-// Column returns the raw encoded column; callers must not modify it.
-func (r *Relation) Column(col int) []Value { return r.cols[col] }
+// Column returns column col's code chain; callers must not mutate it
+// except through the owning relation's write methods.
+func (r *Relation) Column(col int) *Col { return r.cols[col] }
 
 // Row materializes tuple row as strings in schema order.
 func (r *Relation) Row(row int) []string {
@@ -153,16 +182,18 @@ func (r *Relation) Rows() [][]string {
 func (r *Relation) Clone() *Relation {
 	c := &Relation{
 		schema: r.schema,
-		cols:   make([][]Value, len(r.cols)),
+		cols:   make([]*Col, len(r.cols)),
 		dicts:  make([]*Dict, len(r.dicts)),
 		n:      r.n,
 	}
 	for i := range r.cols {
-		c.cols[i] = append([]Value(nil), r.cols[i]...)
-		d := NewDict()
-		d.byID = append([]string(nil), r.dicts[i].byID...)
-		for s, id := range r.dicts[i].byVal {
-			d.byVal[s] = id
+		c.cols[i] = r.cols[i].clone()
+		d := &Dict{byID: append([]string(nil), r.dicts[i].byID...)}
+		if r.dicts[i].byVal != nil {
+			d.byVal = make(map[string]Value, len(d.byID))
+			for s, id := range r.dicts[i].byVal {
+				d.byVal[s] = id
+			}
 		}
 		c.dicts[i] = d
 	}
@@ -173,12 +204,15 @@ func (r *Relation) Clone() *Relation {
 func (r *Relation) Project(col int) []string {
 	seen := make(map[Value]struct{})
 	var out []string
-	for _, v := range r.cols[col] {
-		if _, ok := seen[v]; ok {
-			continue
+	c := r.cols[col]
+	for b := 0; b < c.NumBlocks(); b++ {
+		for _, v := range c.Block(b) {
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, r.dicts[col].String(v))
 		}
-		seen[v] = struct{}{}
-		out = append(out, r.dicts[col].String(v))
 	}
 	return out
 }

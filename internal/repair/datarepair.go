@@ -31,7 +31,7 @@ func classValCounts(rel *relation.Relation, x *eqClass) map[relation.Value]int {
 	counts := make(map[relation.Value]int, 4)
 	col := rel.Column(x.ofd.RHS)
 	for _, t := range x.tuples {
-		counts[col[t]]++
+		counts[col.At(int(t))]++
 	}
 	return counts
 }
@@ -59,7 +59,7 @@ func buildConflictGraph(rel *relation.Relation, cov coverage, classes []*eqClass
 		// Representative tuple per distinct value, deterministic.
 		repOf := make(map[relation.Value]int, 4)
 		for _, t := range x.tuples {
-			v := col[t]
+			v := col.At(int(t))
 			if r, ok := repOf[v]; !ok || t < r {
 				repOf[v] = t
 			}
@@ -315,7 +315,7 @@ func repairComponent(rel *relation.Relation, cov coverage, comp []*eqClass) []Ce
 		}
 		counts := make(map[relation.Value]int)
 		for t := range tupleSet {
-			counts[column[t]]++
+			counts[column.At(t)]++
 		}
 		dict := rel.Dict(col)
 		target, best := "", -1
