@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repairbench fdbench monitorbench discoverybench storagebench experiments examples fmt vet lint smoke clean
+.PHONY: all build test race bench repairbench fdbench monitorbench discoverybench storagebench pipelinebench experiments examples fmt vet lint smoke clean
 
 all: build test
 
@@ -50,6 +50,13 @@ discoverybench:
 # stream), plus the byte-budgeted cache's eviction-policy sweep.
 storagebench:
 	$(GO) run ./cmd/benchrunner -storagebench BENCH_storage.json -rows 1000000
+
+# Merged-pipeline benchmark report (BENCH_pipeline.json): the one-index
+# discover→detect pipeline (shared cache, verifier, live overlay registry)
+# vs the separate monitor+maintainer pair on identical Clinical streams,
+# with byte-identity gates on both the report and the cover.
+pipelinebench:
+	$(GO) run ./cmd/benchrunner -pipelinebench BENCH_pipeline.json -rows 50000 -cpus 1,0
 
 # Paper-style experiment tables with accuracy metrics.
 experiments:

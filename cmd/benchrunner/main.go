@@ -47,6 +47,7 @@ func main() {
 		monBench  = flag.String("monitorbench", "", "run the incremental-monitor benchmarks (batched maintenance vs full Detect rebuilds) and write JSON results to this path (e.g. BENCH_monitor.json), then exit")
 		discBench = flag.String("discoverybench", "", "run the incremental-discovery benchmarks (live cover maintenance vs fresh FastOFD re-runs) and write JSON results to this path (e.g. BENCH_discovery.json), then exit")
 		storBench = flag.String("storagebench", "", "run the storage-tier benchmarks (snapshot reopen vs cold rebuild, byte-budgeted cache eviction sweep) and write JSON results to this path (e.g. BENCH_storage.json), then exit")
+		pipeBench = flag.String("pipelinebench", "", "run the merged-pipeline benchmarks (one shared live-index substrate vs separate monitor+maintainer) and write JSON results to this path (e.g. BENCH_pipeline.json), then exit")
 		monShards = flag.String("shards", "4", "comma list of monitor shard counts to sweep in -monitorbench (1 is always included; 0 = derive from workers)")
 		monCpus   = flag.String("cpus", "1,0", "comma list of monitor worker counts to sweep in -monitorbench (0 = all CPUs)")
 		smoke     = flag.Bool("benchsmoke", false, "single-iteration benchmark mode for CI smoke runs")
@@ -93,6 +94,14 @@ func main() {
 	}
 	if *storBench != "" {
 		finish(runStorageBench(ctx, stageStats, *storBench, *rows, *smoke))
+		return
+	}
+	if *pipeBench != "" {
+		cpuList, err := parseIntList(*monCpus)
+		if err != nil {
+			finish(fmt.Errorf("-cpus: %w", err))
+		}
+		finish(runPipelineBench(ctx, stageStats, *pipeBench, *rows, cpuList, *smoke))
 		return
 	}
 	if *discBench != "" {

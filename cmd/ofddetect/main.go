@@ -28,13 +28,17 @@
 // the final violation report — identical to re-running detection from
 // scratch on the evolved instance — is printed as usual.
 //
-// With -discover alongside -updates, ofddetect additionally feeds the
-// stream through the incremental discovery maintainer on its own copy of
-// the instance: every batch that changes the minimal OFD cover prints a
-// "cover @N: +... -..." diff line to stdout, separate maintain-latency
-// percentiles are reported at the end, and the final maintained cover —
-// identical to a fresh discovery over the evolved instance — is printed
-// to stderr.
+// With -discover alongside -updates, ofddetect runs the merged pipeline
+// instead: the discovery maintainer and the sharded monitor share one
+// relation, one partition cache, and one live-index substrate, so -shards
+// composes with -discover (the monitor's fan-out applies inside the
+// pipeline). -ofd/-sigma are optional here: when given, the monitor
+// watches that pinned set; when omitted, it follows the maintained cover
+// itself. Every batch that changes the minimal OFD cover prints a
+// "cover @N: +... -..." diff line to stdout; per-batch maintain and
+// detect latency percentiles are reported separately at the end, and the
+// final maintained cover — identical to a fresh discovery over the
+// evolved instance — is summarized to stderr.
 //
 // SIGINT/SIGTERM or an elapsed -timeout stop detection (or the replay,
 // between batches) cooperatively: the violations found so far are printed
@@ -105,7 +109,7 @@ func main() {
 		}
 		sigma = append(sigma, fromFile...)
 	}
-	if len(sigma) == 0 {
+	if len(sigma) == 0 && !*discover {
 		fail(fmt.Errorf("no OFDs given (use -ofd or -sigma)"))
 	}
 	ctx, stop := cli.Context(*timeout)
@@ -117,8 +121,10 @@ func main() {
 	}
 	var rep *fastofd.Report
 	var derr error
-	if *updates != "" {
-		rep, derr = replayUpdates(ctx, rel, ont, sigma, *updates, *batchSize, *shards, *workers, *discover, stageStats)
+	if *updates != "" && *discover {
+		rep, derr = replayPipeline(ctx, rel, ont, sigma, *updates, *batchSize, *shards, *workers, stageStats)
+	} else if *updates != "" {
+		rep, derr = replayUpdates(ctx, rel, ont, sigma, *updates, *batchSize, *shards, *workers, stageStats)
 	} else {
 		rep, derr = fastofd.DetectContext(ctx, rel, ont, sigma, *workers, stageStats)
 	}
@@ -152,28 +158,13 @@ func main() {
 // are summarized to stderr as percentiles when the stream ends. On
 // interrupt the report reflects the stream replayed so far: a cut batch
 // rolls back, so no half-applied batch is ever reported.
-func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Ontology, sigma fastofd.Set, path string, batchSize, shards, workers int, discover bool, stats *fastofd.Stats) (*fastofd.Report, error) {
+func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Ontology, sigma fastofd.Set, path string, batchSize, shards, workers int, stats *fastofd.Stats) (*fastofd.Report, error) {
 	if batchSize < 1 {
 		batchSize = 1
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
-	}
-	// The maintainer gets its own copy of the (still pristine) instance —
-	// monitor and maintainer each mutate their relation as the stream
-	// replays, and must stay independent.
-	var mtn *fastofd.Maintainer
-	if discover {
-		opts := fastofd.DefaultDiscoveryOptions()
-		opts.Workers = workers
-		opts.Stats = stats
-		mtn, err = fastofd.NewMaintainerContext(ctx, rel.Clone(), ont, opts)
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		fmt.Fprintf(os.Stderr, "maintaining a cover of %d OFDs\n", len(mtn.Cover()))
 	}
 	defer f.Close()
 	m, err := fastofd.NewMonitorSharded(ctx, rel, ont, sigma, shards, workers, stats)
@@ -187,23 +178,10 @@ func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Onto
 	r.ReuseRecord = false
 	schema := rel.Schema()
 	batch := make([]fastofd.CellUpdate, 0, batchSize)
-	var latencies, maintainLat []time.Duration
+	var latencies []time.Duration
 	defer func() {
 		reportLatencies(os.Stderr, m.NumShards(), latencies)
-		if mtn != nil {
-			reportMaintain(os.Stderr, mtn, maintainLat)
-		}
 	}()
-	maintain := func(apply func() (fastofd.CoverDiff, error)) error {
-		start := time.Now()
-		diff, err := apply()
-		if err != nil {
-			return err
-		}
-		maintainLat = append(maintainLat, time.Since(start))
-		printDiff(os.Stdout, schema, diff)
-		return nil
-	}
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
@@ -212,10 +190,6 @@ func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Onto
 		err := m.ApplyBatchContext(ctx, batch)
 		if err == nil {
 			latencies = append(latencies, time.Since(start))
-			if mtn != nil {
-				b := batch
-				err = maintain(func() (fastofd.CoverDiff, error) { return mtn.ApplyBatchContext(ctx, b) })
-			}
 		}
 		batch = batch[:0]
 		return err
@@ -237,12 +211,6 @@ func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Onto
 			}
 			if _, err := m.AppendRow(rec[1:]); err != nil {
 				return m.Report(), fmt.Errorf("updates record %d: %w", line, err)
-			}
-			if mtn != nil {
-				row := rec[1:]
-				if err := maintain(func() (fastofd.CoverDiff, error) { return mtn.AppendRow(row) }); err != nil {
-					return m.Report(), fmt.Errorf("updates record %d: %w", line, err)
-				}
 			}
 			continue
 		}
@@ -270,6 +238,121 @@ func replayUpdates(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Onto
 	return m.Report(), nil
 }
 
+// replayPipeline streams the update file through the merged
+// discover→detect pipeline: the maintainer and the sharded monitor share
+// one relation, one partition cache, and one live-index substrate, so
+// each batch is validated, deduplicated, and applied exactly once and
+// both engines absorb it from the same index — no second copy of the
+// instance, and -shards fans the detect side out inside the pipeline.
+// The monitored set is the user's sigma (pinned); the cover is
+// discovered at startup and maintained live, printing a diff line per
+// batch that changes it. Each batch's maintain and detect phases are
+// timed separately by the pipeline (BatchResult.MaintainNanos /
+// DetectNanos) and summarized as percentiles when the stream ends. On
+// interrupt the report reflects the stream replayed so far: a cut batch
+// rolls back in both engines, so no half-applied batch is ever reported.
+func replayPipeline(ctx context.Context, rel *fastofd.Relation, ont *fastofd.Ontology, sigma fastofd.Set, path string, batchSize, shards, workers int, stats *fastofd.Stats) (*fastofd.Report, error) {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := fastofd.NewPipeline(ctx, rel, ont, fastofd.PipelineOptions{
+		Sigma:   sigma,
+		Shards:  shards,
+		Workers: workers,
+		Stats:   stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	monitored := len(sigma)
+	if monitored == 0 {
+		monitored = len(p.Cover()) // no pinned sigma: the monitor follows the cover
+	}
+	fmt.Fprintf(os.Stderr, "pipeline: maintaining a cover of %d OFDs and monitoring %d on one shared index (%d shards)\n",
+		len(p.Cover()), monitored, p.Monitor().NumShards())
+
+	r := csv.NewReader(bufio.NewReaderSize(f, 1<<16))
+	r.FieldsPerRecord = -1 // cell writes and appends have different widths
+	r.Comment = '#'
+	r.ReuseRecord = false
+	schema := rel.Schema()
+	batch := make([]fastofd.CellUpdate, 0, batchSize)
+	var maintainLat, detectLat []time.Duration
+	defer func() {
+		if len(detectLat) > 0 {
+			fmt.Fprintf(os.Stderr, "replayed %d batches through the pipeline over %d shards\n",
+				len(detectLat), p.Monitor().NumShards())
+			fmt.Fprintf(os.Stderr, "detect latency %s\n", fmtLatencies(detectLat))
+		}
+		reportMaintain(os.Stderr, p.Maintainer(), maintainLat)
+	}()
+	record := func(res fastofd.PipelineBatchResult) {
+		maintainLat = append(maintainLat, time.Duration(res.MaintainNanos))
+		detectLat = append(detectLat, time.Duration(res.DetectNanos))
+		printDiff(os.Stdout, schema, res.Diff)
+	}
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		res, err := p.ApplyBatch(ctx, batch)
+		if err == nil {
+			record(res)
+		}
+		batch = batch[:0]
+		return err
+	}
+	line := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return p.Report(), err
+		}
+		line++
+		if len(rec) > 0 && rec[0] == "+" {
+			// Appends see the batched writes before them in stream order.
+			if err := flush(); err != nil {
+				return p.Report(), err
+			}
+			res, err := p.AppendRows([][]string{rec[1:]})
+			if err != nil {
+				return p.Report(), fmt.Errorf("updates record %d: %w", line, err)
+			}
+			record(res)
+			continue
+		}
+		if len(rec) != 3 {
+			return p.Report(), fmt.Errorf("updates record %d: want row,attr,value or +,v1,...,vk; got %d fields", line, len(rec))
+		}
+		row, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return p.Report(), fmt.Errorf("updates record %d: bad row id %q", line, rec[0])
+		}
+		col, ok := schema.Index(rec[1])
+		if !ok {
+			return p.Report(), fmt.Errorf("updates record %d: unknown attribute %q", line, rec[1])
+		}
+		batch = append(batch, fastofd.CellUpdate{Row: row, Col: col, Value: rec[2]})
+		if len(batch) == batchSize {
+			if err := flush(); err != nil {
+				return p.Report(), err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return p.Report(), err
+	}
+	return p.Report(), nil
+}
+
 // printDiff writes one batch's cover changes as a single diff line
 // (silent when the cover is unchanged).
 func printDiff(w io.Writer, schema *fastofd.Schema, diff fastofd.CoverDiff) {
@@ -295,15 +378,7 @@ func reportMaintain(w io.Writer, mtn *fastofd.Maintainer, latencies []time.Durat
 	if len(latencies) == 0 {
 		return
 	}
-	sorted := append([]time.Duration(nil), latencies...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	pct := func(p float64) time.Duration {
-		k := int(p * float64(len(sorted)-1))
-		return sorted[k]
-	}
-	fmt.Fprintf(w, "maintain latency p50=%s p95=%s p99=%s max=%s\n",
-		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), sorted[len(sorted)-1].Round(time.Microsecond))
+	fmt.Fprintf(w, "maintain latency %s\n", fmtLatencies(latencies))
 }
 
 // reportLatencies prints p50/p95/p99/max over the recorded per-batch
@@ -312,14 +387,19 @@ func reportLatencies(w io.Writer, shards int, latencies []time.Duration) {
 	if len(latencies) == 0 {
 		return
 	}
+	fmt.Fprintf(w, "replayed %d batches over %d shards; batch latency %s\n",
+		len(latencies), shards, fmtLatencies(latencies))
+}
+
+// fmtLatencies renders a latency series as p50/p95/p99/max percentiles.
+func fmtLatencies(latencies []time.Duration) string {
 	sorted := append([]time.Duration(nil), latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	pct := func(p float64) time.Duration {
 		k := int(p * float64(len(sorted)-1))
 		return sorted[k]
 	}
-	fmt.Fprintf(w, "replayed %d batches over %d shards; batch latency p50=%s p95=%s p99=%s max=%s\n",
-		len(sorted), shards,
+	return fmt.Sprintf("p50=%s p95=%s p99=%s max=%s",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), sorted[len(sorted)-1].Round(time.Microsecond))
 }

@@ -38,6 +38,7 @@ import (
 	"github.com/fastofd/fastofd/internal/discovery"
 	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/pipeline"
 	"github.com/fastofd/fastofd/internal/relation"
 	"github.com/fastofd/fastofd/internal/repair"
 	"github.com/fastofd/fastofd/internal/snapshot"
@@ -306,6 +307,31 @@ func NewMaintainerContext(ctx context.Context, rel *Relation, ont *Ontology, opt
 // The cover must be the exact minimal synonym-OFD cover of the instance.
 func NewMaintainerFromCover(ctx context.Context, rel *Relation, ont *Ontology, cover Set, opts DiscoveryOptions) (*Maintainer, error) {
 	return discovery.NewMaintainerFromCover(ctx, rel, ont, cover, opts)
+}
+
+// Merged pipeline (discover → detect → repair on one shared index).
+type (
+	// Pipeline runs the Maintainer and the Monitor on one shared live-index
+	// substrate: one relation, one verifier, one partition cache, and one
+	// overlay registry serve cover maintenance, violation detection, and
+	// repair verification together. A single ApplyBatch feeds all three.
+	Pipeline = pipeline.Pipeline
+	// PipelineOptions configure NewPipeline.
+	PipelineOptions = pipeline.Options
+	// PipelineBatchResult is one batch's combined outcome: the cover diff,
+	// the monitor epoch observing the batch, and per-phase latencies.
+	PipelineBatchResult = pipeline.BatchResult
+)
+
+// NewPipeline builds the merged pipeline: the initial cover is discovered
+// once, both engines index it off one shared substrate, and every batch
+// thereafter maintains the cover and the violation report together.
+// Everything observable is byte-identical to running the engines
+// separately — the cover matches a fresh Discover and reports match a
+// fresh Detect over the final instance, for any shard and worker count.
+// With FollowCover, the monitored set tracks the cover as it drifts.
+func NewPipeline(ctx context.Context, rel *Relation, ont *Ontology, opts PipelineOptions) (*Pipeline, error) {
+	return pipeline.New(ctx, rel, ont, opts)
 }
 
 // Persistence (snapshots).

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/fastofd/fastofd/internal/exec"
+	"github.com/fastofd/fastofd/internal/live"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -77,40 +78,25 @@ type Monitor struct {
 	vals      []relation.Value // distinct-value scratch for sequential paths
 	snapDirty []bool           // per-shard "snapshot stale" scratch
 	pending   map[int64]int    // batch cell→write dedup scratch
-	writes    []cellWrite      // batch effective-write scratch
+	writes    []CellWrite      // batch effective-write scratch
+
+	// relaxed, set by NewMonitorLive, skips the global LHS∩RHS
+	// disjointness requirement across dependencies (a discovered cover
+	// routinely chains A→B, B→C). Per-update validation is unchanged:
+	// updates touching any monitored antecedent are still rejected — the
+	// merged pipeline routes those through AbsorbBatch, which re-routes
+	// the affected dependencies instead.
+	relaxed bool
 }
 
-// cellWrite is one deduplicated effective cell write of a batch, with the
-// pre-batch value retained for rollback.
-type cellWrite struct {
-	row, col int
-	old, new relation.Value
-}
-
-// valCount is one distinct consequent value of an equivalence class with
-// its multiplicity. Classes keep their multisets as small linear-probed
-// slices: real classes have a handful of distinct consequent values even
-// when they span thousands of tuples.
-type valCount struct {
-	val relation.Value
-	n   int32
-}
-
-// bump adjusts v's multiplicity by delta, dropping the entry when it
-// reaches zero. delta must not take a count negative (the monitor adjusts
-// counts only from cell writes it performed, so multisets stay in sync).
-func bump(pairs []valCount, v relation.Value, delta int32) []valCount {
-	for k := range pairs {
-		if pairs[k].val == v {
-			pairs[k].n += delta
-			if pairs[k].n == 0 {
-				pairs[k] = pairs[len(pairs)-1]
-				pairs = pairs[:len(pairs)-1]
-			}
-			return pairs
-		}
-	}
-	return append(pairs, valCount{v, delta})
+// CellWrite is one deduplicated effective cell write of a batch, with the
+// pre-batch value retained for rollback. Both incremental engines speak
+// it: the monitor's batch protocol produces them, and the maintainer
+// exposes its effective batch as []CellWrite so the merged pipeline can
+// feed one engine's writes to the other without re-validating.
+type CellWrite struct {
+	Row, Col int
+	Old, New relation.Value
 }
 
 // CellUpdate is one cell write of a batched update: set cell (Row, Col) to
@@ -180,12 +166,23 @@ func NewMonitorWorkers(ctx context.Context, rel *relation.Relation, ont *ontolog
 // derives the count from the worker count. More shards widen ApplyBatch's
 // parallel fan-out; every shard count yields byte-identical reports.
 func NewMonitorSharded(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, sigma Set, shards, workers int, stats *exec.Stats) (*Monitor, error) {
+	return newMonitorBuild(ctx, rel, ont, sigma, shards, workers, stats, nil, false)
+}
+
+// newMonitorBuild is the shared constructor body. v, when non-nil, is an
+// existing partition-cache-backed verifier to share (the merged pipeline
+// runs maintainer, monitor, and repair verification off one verifier and
+// one cache); nil builds a private cache. relaxed skips the global LHS∩RHS
+// disjointness check — only the pipeline sets it, because a discovered
+// cover routinely chains dependencies (A→B, B→C), which standalone
+// monitoring rejects so single-cell Update stays sound.
+func newMonitorBuild(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, sigma Set, shards, workers int, stats *exec.Stats, v *Verifier, relaxed bool) (*Monitor, error) {
 	var lhs, rhs relation.AttrSet
 	for _, d := range sigma {
 		lhs = lhs.Union(d.LHS)
 		rhs = rhs.With(d.RHS)
 	}
-	if inter := lhs.Intersect(rhs); !inter.IsEmpty() {
+	if inter := lhs.Intersect(rhs); !inter.IsEmpty() && !relaxed {
 		return nil, fmt.Errorf("core: monitor requires disjoint antecedents and consequents; %s overlaps", inter.Format(rel.Schema()))
 	}
 	w := exec.Workers(workers)
@@ -195,14 +192,18 @@ func NewMonitorSharded(ctx context.Context, rel *relation.Relation, ont *ontolog
 	span.Shards(nShards)
 	span.Items(len(sigma))
 	defer span.End()
-	pc, err := relation.NewPartitionCacheContext(ctx, rel, w)
-	if err != nil {
-		return nil, err
+	if v == nil {
+		pc, err := relation.NewPartitionCacheContext(ctx, rel, w)
+		if err != nil {
+			return nil, err
+		}
+		v = NewVerifier(rel, ont, pc)
 	}
 	m := &Monitor{
 		rel:       rel,
-		v:         NewVerifier(rel, ont, pc),
+		v:         v,
 		sigma:     sigma.Clone(),
+		relaxed:   relaxed,
 		Workers:   workers,
 		Stats:     stats,
 		nShards:   nShards,
@@ -223,22 +224,20 @@ func NewMonitorSharded(ctx context.Context, rel *relation.Relation, ont *ontolog
 	// Phase 1 — route: each dependency's classes and lone rows are hashed
 	// to shards. Iteration i writes only index-i slots of per-shard
 	// slices/maps, so the fan-out over dependencies is race-free.
-	err = exec.For(ctx, len(m.sigma), w, func(_, i int) {
+	if err := exec.For(ctx, len(m.sigma), w, func(_, i int) {
 		m.routeIndex(i)
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
 	// Phase 2 — per-shard state: multisets, initial class states, and
 	// materialized violation records, fully shard-local.
-	err = exec.For(ctx, nShards, w, func(_, s int) {
+	if err := exec.For(ctx, nShards, w, func(_, s int) {
 		m.shards[s].buildState(m)
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
 	m.publishInit()
-	st := pc.Stats()
+	st := m.v.Partitions().Stats()
 	span.Cache(st.Hits, st.Misses)
 	return m, nil
 }
@@ -276,7 +275,7 @@ func (m *Monitor) Update(row, col int, value string) (changed bool, err error) {
 		}
 		s := m.rowShard[i][row]
 		sh := m.shards[s]
-		sh.counts[i][ci] = bump(bump(sh.counts[i][ci], old, -1), id, 1)
+		sh.idx[i].BumpVal(ci, old, id)
 		if sh.reverifyOne(m, int(i), ci) {
 			m.snapDirty[s] = true
 		}
@@ -302,42 +301,36 @@ func (m *Monitor) AppendRow(row []string) (int, error) {
 	}
 	t := int32(m.rel.NumRows())
 	m.rel.AppendRow(row)
+	m.absorbRow(t)
+	m.refreshSnaps()
+	m.publish()
+	return int(t), nil
+}
+
+// absorbRow joins already-appended row t to its equivalence class under
+// every OFD via the owning shard's live class index, re-verifying only the
+// joined classes and marking their shards' snapshots dirty. The caller
+// refreshes snapshots and publishes (AppendRow per row; AbsorbAppends once
+// per batch).
+func (m *Monitor) absorbRow(t int32) {
 	for i := range m.sigma {
-		col := m.rel.Column(m.sigma[i].RHS)
 		m.keyBuf = EncodeLHSKey(m.rel, m.lhsCols[i], int(t), m.keyBuf)
 		s := shardOfKey(m.keyBuf, m.nShards)
 		sh := m.shards[s]
 		m.rowShard[i] = append(m.rowShard[i], s)
-		idx := sh.lhsIdx[i]
-		enc, seen := idx[string(m.keyBuf)]
-		switch {
-		case !seen:
-			idx[string(m.keyBuf)] = loneRow(t)
+		ci, partner, kind := sh.idx[i].JoinKey(m.rel, m.keyBuf, t)
+		switch kind {
+		case live.JoinLone:
 			m.classOf[i] = append(m.classOf[i], -1)
-		case enc <= -2: // lone row: birth a two-tuple class
-			r := -enc - 2
-			ci := sh.parts[i].AddClass(r, t)
-			idx[string(m.keyBuf)] = int32(ci)
-			m.classOf[i][r] = int32(ci)
-			m.classOf[i] = append(m.classOf[i], int32(ci))
-			pairs := bump(bump(make([]valCount, 0, 2), col.At(int(r)), 1), col.At(int(t)), 1)
-			sh.counts[i] = append(sh.counts[i], pairs)
-			if sh.reverifyOne(m, i, int32(ci)) {
-				m.snapDirty[s] = true
-			}
-		default: // existing class
-			ci := enc
-			sh.parts[i].Add(int(ci), t)
-			m.classOf[i] = append(m.classOf[i], ci)
-			sh.counts[i][ci] = bump(sh.counts[i][ci], col.At(int(t)), 1)
-			if sh.reverifyOne(m, i, ci) {
-				m.snapDirty[s] = true
-			}
+			continue
+		case live.JoinBirth:
+			m.classOf[i][partner] = ci
+		}
+		m.classOf[i] = append(m.classOf[i], ci)
+		if sh.reverifyOne(m, i, ci) {
+			m.snapDirty[s] = true
 		}
 	}
-	m.refreshSnaps()
-	m.publish()
-	return int(t), nil
 }
 
 // ApplyBatch applies a batch of cell updates and re-verifies every
@@ -380,29 +373,29 @@ func (m *Monitor) ApplyBatchContext(ctx context.Context, updates []CellUpdate) e
 		id := m.rel.Dict(u.Col).Intern(u.Value)
 		key := int64(u.Row)<<32 | int64(u.Col)
 		if k, ok := m.pending[key]; ok {
-			m.writes[k].new = id
+			m.writes[k].New = id
 			continue
 		}
 		m.pending[key] = len(m.writes)
-		m.writes = append(m.writes, cellWrite{u.Row, u.Col, m.rel.Value(u.Row, u.Col), id})
+		m.writes = append(m.writes, CellWrite{u.Row, u.Col, m.rel.Value(u.Row, u.Col), id})
 	}
 	// Apply the effective writes and route their multiset deltas and dirty
 	// classes to the owning shards.
 	eff := 0
 	for _, wr := range m.writes {
-		if wr.new == wr.old {
+		if wr.New == wr.Old {
 			continue
 		}
 		m.writes[eff] = wr
 		eff++
-		m.rel.SetValue(wr.row, wr.col, wr.new)
-		for _, i := range m.byRHS[wr.col] {
-			ci := m.classOf[i][wr.row]
+		m.rel.SetValue(wr.Row, wr.Col, wr.New)
+		for _, i := range m.byRHS[wr.Col] {
+			ci := m.classOf[i][wr.Row]
 			if ci < 0 {
 				continue
 			}
-			sh := m.shards[m.rowShard[i][wr.row]]
-			sh.bumps = append(sh.bumps, shardBump{ofd: i, class: ci, from: wr.old, to: wr.new})
+			sh := m.shards[m.rowShard[i][wr.Row]]
+			sh.bumps = append(sh.bumps, shardBump{ofd: i, class: ci, from: wr.Old, to: wr.New})
 			sh.dirty = append(sh.dirty, int64(i)<<32|int64(uint32(ci)))
 		}
 	}
@@ -424,7 +417,7 @@ func (m *Monitor) ApplyBatchContext(ctx context.Context, updates []CellUpdate) e
 		// tables, which is harmless — both are monotone.
 		for k := len(m.writes) - 1; k >= 0; k-- {
 			wr := m.writes[k]
-			m.rel.SetValue(wr.row, wr.col, wr.old)
+			m.rel.SetValue(wr.Row, wr.Col, wr.Old)
 		}
 		for _, s := range active {
 			m.shards[s].clearBatch()
@@ -530,7 +523,7 @@ func (m *Monitor) ViolatingClasses() map[int][][]int {
 	for _, sh := range m.shards {
 		for i := range sh.viol {
 			for ci := range sh.viol[i] {
-				class := sh.parts[i].StableView(int(ci))
+				class := sh.idx[i].Part.StableView(int(ci))
 				tuples := make([]int, len(class))
 				for j, t := range class {
 					tuples[j] = int(t)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/fastofd/fastofd/internal/live"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
@@ -10,17 +11,12 @@ import (
 // attribute list are fixed-width and therefore prefix-free: two rows
 // encode equal iff their antecedent value ids are equal attribute by
 // attribute (dictionaries make equal strings id-equal). The injectivity
-// property test and fuzz target pin this down. Exported because the
-// incremental discovery maintainer shares the monitor's key encoding for
-// its candidate-class indexes (the "dirty-signal" contract: equal keys
-// name equal equivalence classes across both engines).
+// property test and fuzz target pin this down. The encoding itself lives
+// in the shared live-index substrate (live.EncodeKey) — this wrapper
+// remains the core-level name both engines' callers use, and the
+// cross-engine property test asserts the two stay byte-identical.
 func EncodeLHSKey(rel *relation.Relation, cols []int, t int, buf []byte) []byte {
-	buf = buf[:0]
-	for _, c := range cols {
-		v := rel.Value(t, c)
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return buf
+	return live.EncodeKey(rel, cols, t, buf)
 }
 
 // shardOfKey hashes an encoded LHS key to its owning shard: FNV-1a over
@@ -51,8 +47,12 @@ func shardOfKey(key []byte, nShards int) uint8 {
 // over dependencies race-free.
 func (m *Monitor) routeIndex(i int) {
 	d := m.sigma[i]
-	base := m.v.Partitions().Get(d.LHS)
+	base := m.v.Partitions().GetOverlay(d.LHS)
 	m.lhsCols[i] = d.LHS.Attrs()
+
+	for s := range m.shards {
+		m.shards[s].idx[i] = live.NewClassIndex(m.lhsCols[i], d.RHS)
+	}
 
 	n := m.rel.NumRows()
 	classOf := make([]int32, n)
@@ -71,14 +71,14 @@ func (m *Monitor) routeIndex(i int) {
 		s := shardOfKey(buf, m.nShards)
 		local := int32(len(owned[s]))
 		owned[s] = append(owned[s], int32(ci))
-		m.shards[s].lhsIdx[i][string(buf)] = local
+		m.shards[s].idx[i].Keys[string(buf)] = local
 		for _, t := range class {
 			classOf[t] = local
 			rowShard[t] = s
 		}
 	}
 	for s := range m.shards {
-		m.shards[s].parts[i] = relation.NewPartitionOverlayShard(base, owned[s])
+		m.shards[s].idx[i].Part = relation.NewPartitionOverlayShard(base, owned[s])
 	}
 
 	// Route singleton rows: one lone-row index entry each. Two singletons
@@ -90,7 +90,7 @@ func (m *Monitor) routeIndex(i int) {
 		}
 		buf = EncodeLHSKey(m.rel, m.lhsCols[i], t, buf)
 		s := shardOfKey(buf, m.nShards)
-		m.shards[s].lhsIdx[i][string(buf)] = loneRow(int32(t))
+		m.shards[s].idx[i].Keys[string(buf)] = live.LoneRow(int32(t))
 		rowShard[t] = s
 	}
 

@@ -3,29 +3,23 @@ package core
 import (
 	"slices"
 
+	"github.com/fastofd/fastofd/internal/live"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
 // monitorShard owns one LHS-key hash slice of the monitor's state: for
-// every OFD, the partition overlay over the base classes routed here, the
-// LHS-key index of those classes and lone rows, the consequent-value
-// multisets, and the violation maps with their eagerly materialized
-// records. Shards share no mutable state, so ApplyBatch's apply and merge
-// stages mutate all active shards in parallel without locks.
+// every OFD, a live.ClassIndex bundling the partition overlay over the
+// base classes routed here, the LHS-key index of those classes and lone
+// rows, and the consequent-value multisets — plus the violation maps with
+// their eagerly materialized records. Shards share no mutable state, so
+// ApplyBatch's apply and merge stages mutate all active shards in
+// parallel without locks.
 type monitorShard struct {
-	// parts[i] = sigma[i]'s overlay over the base classes this shard owns
-	// (a mapped view of the shared PartitionCache base) plus append deltas.
-	parts []*relation.PartitionOverlay
-	// lhsIdx[i] maps the dict-encoded antecedent value tuple to the
-	// shard-local class holding it: values >= 0 are class ids, values
-	// <= -2 encode a lone (singleton) row as -(row+2). Keys absent from
-	// the index have never been routed here.
-	lhsIdx []map[string]int32
-	// counts[i][c] is the multiset of consequent values of local class c
-	// under sigma[i], as (value, multiplicity) pairs. Maintained on every
-	// write, it makes re-verification O(distinct values) — independent of
-	// class size.
-	counts [][][]valCount
+	// idx[i] = sigma[i]'s live class index for the classes this shard
+	// owns: Part is the overlay over the shared PartitionCache base (a
+	// mapped view plus append deltas), Keys the dict-encoded LHS-key map,
+	// Counts the consequent-value multisets.
+	idx []*live.ClassIndex
 	// viol[i][c] holds the materialized Violation record of currently
 	// violating local class c; fdOnly[i][c] holds the stable tuple list of
 	// a class a plain FD would flag that the ontology clears. Records are
@@ -36,12 +30,6 @@ type monitorShard struct {
 	// snap is the shard's latest published snapshot; replaced wholesale
 	// (never mutated) when the violation maps change.
 	snap *shardSnap
-
-	// frozen, set only on a snapshot-restored monitor, holds each lhsIdx
-	// in serialized array form until the first AppendRow hydrates the maps
-	// (see Monitor.hydrateIndexes). nil on built monitors and after
-	// hydration.
-	frozen []frozenIdx
 
 	reverified int // classes re-verified since construction
 
@@ -62,22 +50,12 @@ type shardBump struct {
 	from, to   relation.Value
 }
 
-// loneRow encodes a singleton row id for the LHS-key index (<= -2, so it
-// cannot collide with class ids or the -1 "no class" marker).
-func loneRow(t int32) int32 { return -(t + 2) }
-
 func newMonitorShard(nOFDs int) *monitorShard {
-	sh := &monitorShard{
-		parts:  make([]*relation.PartitionOverlay, nOFDs),
-		lhsIdx: make([]map[string]int32, nOFDs),
-		counts: make([][][]valCount, nOFDs),
+	return &monitorShard{
+		idx:    make([]*live.ClassIndex, nOFDs),
 		viol:   make([]map[int32]*Violation, nOFDs),
 		fdOnly: make([]map[int32][]int32, nOFDs),
 	}
-	for i := 0; i < nOFDs; i++ {
-		sh.lhsIdx[i] = make(map[string]int32)
-	}
-	return sh
 }
 
 // buildState computes the shard's multisets, initial class states, and
@@ -85,49 +63,53 @@ func newMonitorShard(nOFDs int) *monitorShard {
 // shard-local, so the monitor build fans it out over shards.
 func (sh *monitorShard) buildState(m *Monitor) {
 	for i := range m.sigma {
-		part := sh.parts[i]
-		col := m.rel.Column(m.sigma[i].RHS)
-		counts := make([][]valCount, part.NumClasses())
-		var scratch []int32
-		for ci := range counts {
-			pairs := make([]valCount, 0, 4)
-			for _, t := range part.View(ci, &scratch) {
-				pairs = bump(pairs, col.At(int(t)), 1)
-			}
-			counts[ci] = pairs
-		}
-		sh.counts[i] = counts
-		sh.viol[i] = make(map[int32]*Violation)
-		sh.fdOnly[i] = make(map[int32][]int32)
-		for ci := range counts {
-			st := sh.classState(m, i, ci)
-			if st == classOK {
-				continue
-			}
-			v, fd := sh.materialize(m, i, int32(ci), st)
-			if st == classViolating {
-				sh.viol[i][int32(ci)] = v
-			} else {
-				sh.fdOnly[i][int32(ci)] = fd
-			}
-		}
+		sh.buildStateOFD(m, i)
 	}
 	sh.rebuildSnap()
+}
+
+// buildStateOFD rebuilds dependency i's multisets and violation maps from
+// its routed overlay (buildState over one OFD; Register reuses it for the
+// OFD it adds).
+func (sh *monitorShard) buildStateOFD(m *Monitor, i int) {
+	ix := sh.idx[i]
+	part := ix.Part
+	col := m.rel.Column(m.sigma[i].RHS)
+	counts := make([][]live.ValCount, part.NumClasses())
+	var scratch []int32
+	for ci := range counts {
+		pairs := make([]live.ValCount, 0, 4)
+		for _, t := range part.View(ci, &scratch) {
+			pairs = live.Bump(pairs, col.At(int(t)), 1)
+		}
+		counts[ci] = pairs
+	}
+	ix.Counts = counts
+	sh.viol[i] = make(map[int32]*Violation)
+	sh.fdOnly[i] = make(map[int32][]int32)
+	for ci := range counts {
+		st := sh.classState(m, i, ci)
+		if st == classOK {
+			continue
+		}
+		v, fd := sh.materialize(m, i, int32(ci), st)
+		if st == classViolating {
+			sh.viol[i][int32(ci)] = v
+		} else {
+			sh.fdOnly[i][int32(ci)] = fd
+		}
+	}
 }
 
 // classState verifies local class ci of dependency i from its maintained
 // consequent-value multiset — O(distinct values), never a tuple scan.
 func (sh *monitorShard) classState(m *Monitor, i, ci int) uint8 {
-	pairs := sh.counts[i][ci]
+	pairs := sh.idx[i].Counts[ci]
 	if len(pairs) <= 1 {
 		return classOK // syntactically constant
 	}
-	vals := sh.vals[:0]
-	for _, p := range pairs {
-		vals = append(vals, p.val)
-	}
-	sh.vals = vals
-	if m.v.valuesSatisfied(m.sigma[i].RHS, vals) {
+	sh.vals = live.Distinct(pairs, sh.vals)
+	if m.v.valuesSatisfied(m.sigma[i].RHS, sh.vals) {
 		return classFDOnly
 	}
 	return classViolating
@@ -140,10 +122,10 @@ func (sh *monitorShard) classState(m *Monitor, i, ci int) uint8 {
 func (sh *monitorShard) materialize(m *Monitor, i int, ci int32, state uint8) (*Violation, []int32) {
 	switch state {
 	case classViolating:
-		rec := explain(m.rel, m.v.Ontology(), m.sigma[i], sh.parts[i].StableView(int(ci)))
+		rec := explain(m.rel, m.v.Ontology(), m.sigma[i], sh.idx[i].Part.StableView(int(ci)))
 		return &rec, nil
 	case classFDOnly:
-		return nil, sh.parts[i].StableView(int(ci))
+		return nil, sh.idx[i].Part.StableView(int(ci))
 	}
 	return nil, nil
 }
@@ -181,8 +163,7 @@ func (sh *monitorShard) reverifyOne(m *Monitor, i int, ci int32) bool {
 // — rollbackBatch reverses the deltas and discards the staging.
 func (sh *monitorShard) applyBatch(m *Monitor) {
 	for _, b := range sh.bumps {
-		c := sh.counts[b.ofd][b.class]
-		sh.counts[b.ofd][b.class] = bump(bump(c, b.from, -1), b.to, 1)
+		sh.idx[b.ofd].BumpVal(b.class, b.from, b.to)
 	}
 	slices.Sort(sh.dirty)
 	sh.dirty = slices.Compact(sh.dirty)
@@ -205,8 +186,7 @@ func (sh *monitorShard) applyBatch(m *Monitor) {
 func (sh *monitorShard) rollbackBatch() {
 	for k := len(sh.bumps) - 1; k >= 0; k-- {
 		b := sh.bumps[k]
-		c := sh.counts[b.ofd][b.class]
-		sh.counts[b.ofd][b.class] = bump(bump(c, b.to, -1), b.from, 1)
+		sh.idx[b.ofd].UnbumpVal(b.class, b.from, b.to)
 	}
 	sh.clearBatch()
 }

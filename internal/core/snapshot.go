@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/fastofd/fastofd/internal/exec"
+	"github.com/fastofd/fastofd/internal/live"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 	"github.com/fastofd/fastofd/internal/wire"
@@ -142,35 +143,34 @@ func AppendLHSIndex(w *wire.Writer, idx map[string]int32, width int) {
 	appendLHSIndex(w, idx, width)
 }
 
-// frozenIdx is one shard's serialized LHS-key index for one OFD: count
-// fixed-width keys concatenated in keys, the parallel encoded class ids in
-// vals. Hydrated into the live map only when the monitor appends again.
-type frozenIdx struct {
-	keys  []byte
-	vals  []int32
-	width int
+// AppendMonitor encodes m: the verifier tables first, then the monitor
+// body. Must not run concurrently with mutations.
+func AppendMonitor(w *wire.Writer, m *Monitor) {
+	appendVerifierTables(w, m.v)
+	AppendMonitorBody(w, m)
 }
 
-// AppendMonitor encodes m. Must not run concurrently with mutations.
-// Restored-and-not-yet-hydrated index state re-encodes from its frozen
-// form directly, so save → open → save round-trips without ever building
-// the maps.
-func AppendMonitor(w *wire.Writer, m *Monitor) {
+// AppendMonitorBody encodes everything of m except the verifier tables —
+// the pipeline snapshot writes one shared verifier section for both
+// engines and then each engine's body. Restored-and-not-yet-hydrated
+// index state re-encodes from its frozen form directly, so save → open →
+// save round-trips without ever building the maps.
+func AppendMonitorBody(w *wire.Writer, m *Monitor) {
 	AppendSet(w, m.sigma)
 	w.Int(m.nShards)
 	w.Uvarint(m.epoch)
-	appendVerifierTables(w, m.v)
 	for i := range m.sigma {
 		w.Int32s(m.classOf[i])
 		w.Uint8s(m.rowShard[i])
 		// All shards hold mapped views of one shared base partition per
 		// OFD; the overlay's base is the build-time snapshot (appended rows
 		// live in the deltas), so it is serialized as-is, never recomputed.
-		relation.AppendPartition(w, m.shards[0].parts[i].Base())
+		relation.AppendPartition(w, m.shards[0].idx[i].Part.Base())
 	}
 	for _, sh := range m.shards {
 		for i := range m.sigma {
-			ov := sh.parts[i]
+			ix := sh.idx[i]
+			ov := ix.Part
 			w.Int32s(ov.BaseMap())
 			// Deltas are sparse: most classes never see an append.
 			total := ov.NumClasses()
@@ -188,16 +188,15 @@ func AppendMonitor(w *wire.Writer, m *Monitor) {
 					w.Int32s(d)
 				}
 			}
-			if sh.lhsIdx[i] == nil && sh.frozen != nil {
-				fr := &sh.frozen[i]
-				w.Int(len(fr.vals))
-				w.Int(fr.width)
-				w.Blob(fr.keys)
-				w.Int32s(fr.vals)
+			if ix.NeedsHydrate() {
+				w.Int(len(ix.FrozenVals))
+				w.Int(ix.Width())
+				w.Blob(ix.FrozenKeys)
+				w.Int32s(ix.FrozenVals)
 			} else {
-				appendLHSIndex(w, sh.lhsIdx[i], 4*len(m.lhsCols[i]))
+				appendLHSIndex(w, ix.Keys, ix.Width())
 			}
-			appendCounts(w, sh.counts[i])
+			appendCounts(w, ix.Counts)
 		}
 	}
 }
@@ -225,7 +224,7 @@ func appendLHSIndex(w *wire.Writer, idx map[string]int32, width int) {
 // appendCounts encodes one OFD's per-class consequent multisets as three
 // bulk arrays: pairs-per-class, then the flattened values and
 // multiplicities.
-func appendCounts(w *wire.Writer, counts [][]valCount) {
+func appendCounts(w *wire.Writer, counts [][]live.ValCount) {
 	lens := make([]int32, len(counts))
 	total := 0
 	for ci, pairs := range counts {
@@ -236,8 +235,8 @@ func appendCounts(w *wire.Writer, counts [][]valCount) {
 	ns := make([]int32, 0, total)
 	for _, pairs := range counts {
 		for _, p := range pairs {
-			vals = append(vals, int32(p.val))
-			ns = append(ns, p.n)
+			vals = append(vals, int32(p.Val))
+			ns = append(ns, p.N)
 		}
 	}
 	w.Int32s(lens)
@@ -248,23 +247,23 @@ func appendCounts(w *wire.Writer, counts [][]valCount) {
 // decodeCounts is the inverse of appendCounts. The per-class pair slices
 // are freshly allocated (bump mutates them in place and appends), but the
 // three bulk reads are zero-copy, so the copy loop touches each pair once.
-func decodeCounts(r *wire.Reader) [][]valCount {
+func decodeCounts(r *wire.Reader) [][]live.ValCount {
 	lens := r.Int32s()
 	vals := r.Int32s()
 	ns := r.Int32s()
 	if len(vals) != len(ns) {
 		return nil
 	}
-	counts := make([][]valCount, len(lens))
+	counts := make([][]live.ValCount, len(lens))
 	pos := 0
 	for ci, l := range lens {
 		n := int(l)
 		if n < 0 || pos+n > len(vals) {
 			return nil
 		}
-		pairs := make([]valCount, n)
+		pairs := make([]live.ValCount, n)
 		for k := 0; k < n; k++ {
-			pairs[k] = valCount{val: relation.Value(vals[pos+k]), n: ns[pos+k]}
+			pairs[k] = live.ValCount{Val: relation.Value(vals[pos+k]), N: ns[pos+k]}
 		}
 		counts[ci] = pairs
 		pos += n
@@ -280,6 +279,19 @@ func decodeCounts(r *wire.Reader) [][]valCount {
 // configure the restored monitor exactly as NewMonitorSharded's parameters
 // would.
 func DecodeMonitor(r *wire.Reader, rel *relation.Relation, ont *ontology.Ontology, pc *relation.PartitionCache, workers int, stats *exec.Stats) (*Monitor, error) {
+	if pc == nil {
+		pc = relation.NewPartitionCache(rel)
+	}
+	v, err := decodeVerifier(r, rel, ont, pc)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMonitorBody(r, rel, v, workers, stats)
+}
+
+// DecodeMonitorBody rebuilds a monitor from a body written by
+// AppendMonitorBody over an already-decoded (typically shared) verifier.
+func DecodeMonitorBody(r *wire.Reader, rel *relation.Relation, v *Verifier, workers int, stats *exec.Stats) (*Monitor, error) {
 	sigma := DecodeSet(r)
 	nShards := r.Int()
 	epoch := r.Uvarint()
@@ -288,13 +300,6 @@ func DecodeMonitor(r *wire.Reader, rel *relation.Relation, ont *ontology.Ontolog
 	}
 	if nShards < 1 || nShards > maxShards {
 		return nil, fmt.Errorf("core: snapshot shard count %d out of range", nShards)
-	}
-	if pc == nil {
-		pc = relation.NewPartitionCache(rel)
-	}
-	v, err := decodeVerifier(r, rel, ont, pc)
-	if err != nil {
-		return nil, err
 	}
 	w := exec.Workers(workers)
 	span := stats.Span("monitor.restore")
@@ -344,7 +349,6 @@ func DecodeMonitor(r *wire.Reader, rel *relation.Relation, ont *ontology.Ontolog
 	}
 	for s := range m.shards {
 		sh := newMonitorShard(len(sigma))
-		sh.frozen = make([]frozenIdx, len(sigma))
 		for i := range sigma {
 			baseMap := r.Int32s()
 			total := r.Int()
@@ -367,24 +371,26 @@ func DecodeMonitor(r *wire.Reader, rel *relation.Relation, ont *ontology.Ontolog
 				}
 				deltas[ci] = d
 			}
-			sh.parts[i] = relation.RestoreOverlayShard(bases[i], baseMap, deltas)
+			ix := live.NewClassIndex(m.lhsCols[i], sigma[i].RHS)
+			ix.Part = relation.RestoreOverlayShard(bases[i], baseMap, deltas)
 			count := r.Int()
 			width := r.Int()
-			sh.frozen[i] = frozenIdx{keys: r.Blob(), vals: r.Int32s(), width: width}
+			keys, vals := r.Blob(), r.Int32s()
 			if r.Err() != nil {
 				return nil, r.Err()
 			}
-			if len(sh.frozen[i].vals) != count || len(sh.frozen[i].keys) != count*width {
+			if width != ix.Width() || len(vals) != count || len(keys) != count*width {
 				return nil, fmt.Errorf("core: snapshot LHS index shape mismatch (count %d, width %d)", count, width)
 			}
-			sh.lhsIdx[i] = nil // hydrated from frozen form on first append
-			sh.counts[i] = decodeCounts(r)
-			if sh.counts[i] == nil || len(sh.counts[i]) != total {
+			ix.SetFrozen(keys, vals) // hydrated on first append
+			ix.Counts = decodeCounts(r)
+			if ix.Counts == nil || len(ix.Counts) != total {
 				if r.Err() != nil {
 					return nil, r.Err()
 				}
 				return nil, fmt.Errorf("core: snapshot multisets inconsistent with overlay classes")
 			}
+			sh.idx[i] = ix
 		}
 		m.shards[s] = sh
 	}
@@ -394,10 +400,9 @@ func DecodeMonitor(r *wire.Reader, rel *relation.Relation, ont *ontology.Ontolog
 	// Re-materialize the violation records shard-parallel: the maintained
 	// multiset answers OK/FD-only/violating per class without a tuple scan,
 	// and only flagged classes pay explain().
-	err = exec.For(context.Background(), nShards, w, func(_, s int) {
+	if err := exec.For(context.Background(), nShards, w, func(_, s int) {
 		m.shards[s].restoreRecords(m)
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
 	m.publishInit()
@@ -417,7 +422,7 @@ func (sh *monitorShard) restoreRecords(m *Monitor) {
 	for i := range m.sigma {
 		sh.viol[i] = make(map[int32]*Violation)
 		sh.fdOnly[i] = make(map[int32][]int32)
-		for ci := range sh.counts[i] {
+		for ci := range sh.idx[i].Counts {
 			st := sh.classState(m, i, ci)
 			if st == classOK {
 				continue
@@ -440,24 +445,11 @@ func (sh *monitorShard) restoreRecords(m *Monitor) {
 // backing, so the whole index costs the map plus one slab allocation.
 func (m *Monitor) hydrateIndexes() {
 	_ = exec.For(context.Background(), m.nShards, exec.Workers(m.Workers), func(_, s int) {
-		sh := m.shards[s]
-		for i := range sh.frozen {
-			fr := &sh.frozen[i]
-			idx := make(map[string]int32, len(fr.vals))
-			if fr.width == 0 {
-				if len(fr.vals) > 0 {
-					idx[""] = fr.vals[0]
-				}
-			} else {
-				blob := string(fr.keys)
-				for k, val := range fr.vals {
-					idx[blob[k*fr.width:(k+1)*fr.width]] = val
-				}
+		for _, ix := range m.shards[s].idx {
+			if ix.NeedsHydrate() {
+				ix.Hydrate()
 			}
-			sh.lhsIdx[i] = idx
-			*fr = frozenIdx{}
 		}
-		sh.frozen = nil
 	})
 	m.needHydrate = false
 }

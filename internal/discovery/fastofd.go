@@ -70,6 +70,14 @@ type Options struct {
 	// mutation. Discover itself ignores this field — a discovery run
 	// drives its own level-by-level cache eviction.
 	Cache *relation.PartitionCache
+	// Verifier, when non-nil, is the pipeline's shared partition-cache-
+	// backed verifier: the maintainer adopts it for both tracker
+	// verification and the per-batch verify phase instead of building its
+	// own, so the monitor, the maintainer, and the repair search all
+	// consult one set of live partitions. Implies the verifier's cache is
+	// kept coherent by the caller's invalidation protocol (the Pipeline's
+	// ApplyBatch does this). Discover itself ignores this field.
+	Verifier *core.Verifier
 }
 
 // Mode selects which ontological relationship candidate dependencies use.

@@ -8,6 +8,7 @@ import (
 	"github.com/fastofd/fastofd/internal/core"
 	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/fd"
+	"github.com/fastofd/fastofd/internal/live"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 )
@@ -84,6 +85,18 @@ type Maintainer struct {
 	v       *core.Verifier
 	workers int
 	stats   *exec.Stats
+
+	// pv, in pipeline mode (Options.Verifier), is the partition-cache-
+	// backed verifier shared with the monitor and repair search: repair
+	// verification reuses its cache across batches instead of building a
+	// fresh PartitionCacheParallel per batch, with staleness handled by
+	// InvalidateTouched on updates and the cache's row stamps on appends.
+	// Nil in standalone mode (per-batch verifier, the historical shape).
+	pv *core.Verifier
+	// overlays, when set (SetOverlays), is the pipeline's live overlay
+	// registry: updates mark intersecting overlays stale, appends route
+	// into them, and cover churn adjusts their reference counts.
+	overlays *live.Overlays
 
 	all   relation.AttrSet
 	rhs   []*rhsState
@@ -172,11 +185,19 @@ func checkMaintainerOptions(opts Options) error {
 func buildFromCover(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, initial core.Set, opts Options) (*Maintainer, error) {
 	mt := &Maintainer{
 		rel:     rel,
-		v:       core.NewVerifier(rel, ont, nil),
 		workers: opts.Workers,
 		stats:   opts.Stats,
 		all:     rel.Schema().All(),
 		rhs:     make([]*rhsState, rel.NumCols()),
+	}
+	if opts.Verifier != nil {
+		// Pipeline mode: one partition-cache-backed verifier shared across
+		// the maintainer, the monitor, and the repair search — one names
+		// table, one cache, no per-batch verifier rebuilds.
+		mt.v = opts.Verifier
+		mt.pv = opts.Verifier
+	} else {
+		mt.v = core.NewVerifier(rel, ont, nil)
 	}
 	w := exec.Workers(opts.Workers)
 	span := mt.stats.Span("maintain.build")
@@ -193,11 +214,14 @@ func buildFromCover(ctx context.Context, rel *relation.Relation, ont *ontology.O
 	// subset products compound across the whole build. The cache is
 	// released with pv when the build returns, unless the caller supplied
 	// a pre-warmed snapshot-consistent one (opts.Cache).
-	bpc := opts.Cache
-	if bpc == nil {
-		bpc = relation.NewPartitionCacheParallel(rel, opts.Workers)
+	pv := mt.pv
+	if pv == nil {
+		bpc := opts.Cache
+		if bpc == nil {
+			bpc = relation.NewPartitionCacheParallel(rel, opts.Workers)
+		}
+		pv = core.NewVerifier(rel, ont, bpc)
 	}
-	pv := core.NewVerifier(rel, ont, bpc)
 	trackers := make([]*coverTracker, len(cover))
 	err := exec.For(ctx, len(cover), w, func(_, i int) {
 		trackers[i] = newCoverTrackerParts(pv, mt.v, cover[i])
@@ -356,21 +380,21 @@ func (mt *Maintainer) ApplyBatchContext(ctx context.Context, updates []core.Cell
 		id := mt.rel.Dict(u.Col).Intern(u.Value)
 		key := int64(u.Row)<<32 | int64(u.Col)
 		if k, ok := mt.pending[key]; ok {
-			mt.writes[k].new = id
+			mt.writes[k].New = id
 			continue
 		}
 		mt.pending[key] = len(mt.writes)
-		mt.writes = append(mt.writes, cellWrite{u.Row, u.Col, mt.rel.Value(u.Row, u.Col), id})
+		mt.writes = append(mt.writes, cellWrite{Row: u.Row, Col: u.Col, Old: mt.rel.Value(u.Row, u.Col), New: id})
 	}
 	eff := 0
 	var touched relation.AttrSet
 	for _, wr := range mt.writes {
-		if wr.new == wr.old {
+		if wr.New == wr.Old {
 			continue
 		}
 		mt.writes[eff] = wr
 		eff++
-		touched = touched.With(wr.col)
+		touched = touched.With(wr.Col)
 	}
 	mt.writes = mt.writes[:eff]
 	if eff == 0 {
@@ -378,10 +402,10 @@ func (mt *Maintainer) ApplyBatchContext(ctx context.Context, updates []core.Cell
 		return Diff{Epoch: mt.epoch}, nil
 	}
 	sort.Slice(mt.writes, func(i, j int) bool {
-		if mt.writes[i].row != mt.writes[j].row {
-			return mt.writes[i].row < mt.writes[j].row
+		if mt.writes[i].Row != mt.writes[j].Row {
+			return mt.writes[i].Row < mt.writes[j].Row
 		}
-		return mt.writes[i].col < mt.writes[j].col
+		return mt.writes[i].Col < mt.writes[j].Col
 	})
 	// Move the relation to the target state, then fold the write log into
 	// every tracker the batch can affect. The fan-out is uncancellable —
@@ -389,8 +413,9 @@ func (mt *Maintainer) ApplyBatchContext(ctx context.Context, updates []core.Cell
 	// require per-tracker undo logs; cancellation lands on the boundaries
 	// around it instead.
 	for _, wr := range mt.writes {
-		mt.rel.SetValue(wr.row, wr.col, wr.new)
+		mt.rel.SetValue(wr.Row, wr.Col, wr.New)
 	}
+	mt.invalidateTouched(touched)
 	active := mt.activeTrackers(touched)
 	_ = exec.For(context.Background(), len(active), w, func(_, i int) {
 		active[i].applyWrites(mt.rel, mt.v, mt.writes)
@@ -401,15 +426,19 @@ func (mt *Maintainer) ApplyBatchContext(ctx context.Context, updates []core.Cell
 		// inverted log through the same trackers: applyWrites transitions
 		// are symmetric, so tracker state is restored exactly (interned
 		// values linger in dictionaries and names tables — both monotone,
-		// harmless). Staged witness certificates are discarded.
+		// harmless). Staged witness certificates are discarded. Shared
+		// cache entries computed over the target state during the verify
+		// phase are evicted again — they describe a state that no longer
+		// exists.
 		inv := make([]cellWrite, len(mt.writes))
 		for k, wr := range mt.writes {
-			mt.rel.SetValue(wr.row, wr.col, wr.old)
-			inv[k] = cellWrite{wr.row, wr.col, wr.new, wr.old}
+			mt.rel.SetValue(wr.Row, wr.Col, wr.Old)
+			inv[k] = cellWrite{Row: wr.Row, Col: wr.Col, Old: wr.New, New: wr.Old}
 		}
 		_ = exec.For(context.Background(), len(active), w, func(_, i int) {
 			active[i].applyWrites(mt.rel, mt.v, inv)
 		})
+		mt.invalidateTouched(touched)
 		mt.clearPendings()
 	}
 	if err := exec.Interrupted(ctx, "maintain.dirty"); err != nil {
@@ -418,6 +447,32 @@ func (mt *Maintainer) ApplyBatchContext(ctx context.Context, updates []core.Cell
 	}
 	return mt.verifyAndCommit(ctx, touched, false, rollback)
 }
+
+// invalidateTouched evicts shared-state descriptions of attribute sets a
+// batch rewrote: the pipeline's partition-cache entries (row stamps only
+// catch appends, not in-place updates) and the live overlay registry's
+// intersecting overlays. No-op in standalone mode, where the repair
+// verifier's cache is built fresh per batch.
+func (mt *Maintainer) invalidateTouched(touched relation.AttrSet) {
+	if mt.pv != nil {
+		mt.pv.Partitions().InvalidateTouched(touched)
+	}
+	if mt.overlays != nil {
+		mt.overlays.InvalidateTouched(touched)
+	}
+}
+
+// SetOverlays connects the pipeline's live overlay registry: the
+// maintainer keeps it consistent across batches (staleness on updates,
+// routing on appends, refcounts on cover churn). Call once, right after
+// construction, before any batch.
+func (mt *Maintainer) SetOverlays(reg *live.Overlays) { mt.overlays = reg }
+
+// LastWrites returns the effective (deduplicated, no-op-free) cell writes
+// of the most recent successfully applied batch, sorted by (row, col) —
+// the log the pipeline feeds to the monitor's AbsorbBatch. Valid until the
+// next batch; empty after appends or an all-no-op batch.
+func (mt *Maintainer) LastWrites() []core.CellWrite { return mt.writes }
 
 // activeTrackers filters the fan-out list to trackers whose scope a
 // batch's touched columns intersect.
@@ -480,6 +535,13 @@ func (mt *Maintainer) AppendRows(rows [][]string) (Diff, error) {
 			mt.flat[i].appendRow(mt.rel, mt.v, t)
 		}
 	})
+	if mt.overlays != nil {
+		// Live overlays absorb the rows by key routing, so the verify
+		// phase's (and the monitor's) partition lookups materialize them
+		// instead of recomputing products over the grown relation.
+		mt.overlays.RouteAppends(int(t0), int(end))
+	}
+	mt.writes = mt.writes[:0] // appends produce no write log
 	dirtySpan.End()
 	return mt.verifyAndCommit(context.Background(), relation.EmptySet, true, nil)
 }
@@ -502,13 +564,16 @@ func (mt *Maintainer) verifyAndCommit(ctx context.Context, touched relation.Attr
 	var staged []stagedRHS
 	scans, skips := 0, 0
 	// Repair verification runs on a partition-backed verifier over the
-	// post-batch instance, built lazily on the first consequent that needs
-	// repair and shared by all of them (antecedent sets repeat across
-	// consequents, so cached subset partitions compound). It must be fresh
-	// per batch: partition caches are snapshots, invalid once the relation
-	// mutates — unlike the long-lived mt.v, whose names tables are monotone
-	// and mutation-safe.
-	var pv *core.Verifier
+	// post-batch instance. Standalone, it is built lazily on the first
+	// consequent that needs repair and shared by all of them (antecedent
+	// sets repeat across consequents, so cached subset partitions
+	// compound), then released with the batch: partition caches are
+	// snapshots, invalid once the relation mutates — unlike the long-lived
+	// mt.v, whose names tables are monotone and mutation-safe. In pipeline
+	// mode the persistent shared verifier serves instead; its cache stays
+	// valid across batches because invalidateTouched evicted the rewritten
+	// sets and row stamps age out pre-append entries.
+	pv := mt.pv
 	for _, rs := range mt.rhs {
 		var survivors, demoted []relation.AttrSet
 		for _, ct := range rs.cover {
@@ -578,9 +643,15 @@ func (mt *Maintainer) verifyAndCommit(ctx context.Context, touched relation.Attr
 		}
 		for _, x := range added {
 			diff.Added = append(diff.Added, core.OFD{LHS: x, RHS: st.rhs})
+			if mt.overlays != nil {
+				mt.overlays.Acquire(x)
+			}
 		}
 		for _, x := range removed {
 			diff.Removed = append(diff.Removed, core.OFD{LHS: x, RHS: st.rhs})
+			if mt.overlays != nil {
+				mt.overlays.Release(x)
+			}
 		}
 		// New cover tracker list: surviving elements keep their state, new
 		// elements are built fresh in parallel.

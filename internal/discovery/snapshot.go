@@ -5,6 +5,7 @@ import (
 
 	"github.com/fastofd/fastofd/internal/core"
 	"github.com/fastofd/fastofd/internal/exec"
+	"github.com/fastofd/fastofd/internal/live"
 	"github.com/fastofd/fastofd/internal/ontology"
 	"github.com/fastofd/fastofd/internal/relation"
 	"github.com/fastofd/fastofd/internal/wire"
@@ -20,35 +21,49 @@ import (
 // complement of transversal i by construction, so decode derives one from
 // the other and the pair can never disagree.
 //
+// The encoding splits verifier-first: AppendMaintainer writes the
+// verifier's tables then the body, while the pipeline section writes one
+// shared verifier up front and only the engine bodies after it — the two
+// engines' snapshots no longer duplicate the names tables or the
+// partition cache contents.
+//
 // Cover-tracker LHS-key indexes restore in frozen key/value array form
 // and hydrate into hash maps only when the maintainer mutates again,
 // exactly like the monitor's shard indexes — a restored maintainer that
 // only answers Cover() never builds a map.
 
-// AppendMaintainer encodes mt. Must not run concurrently with mutations.
-// Restored-and-not-yet-hydrated tracker indexes re-encode from their
-// frozen form directly, so save → open → save round-trips without ever
-// building the maps.
+// AppendMaintainer encodes mt, verifier tables first, then the body.
+// Must not run concurrently with mutations.
 func AppendMaintainer(w *wire.Writer, mt *Maintainer) {
+	core.AppendVerifier(w, mt.v)
+	AppendMaintainerBody(w, mt)
+}
+
+// AppendMaintainerBody encodes the maintainer's engine state without the
+// verifier tables — the pipeline section shares one verifier across both
+// engine bodies. Restored-and-not-yet-hydrated tracker indexes re-encode
+// from their frozen form directly, so save → open → save round-trips
+// without ever building the maps.
+func AppendMaintainerBody(w *wire.Writer, mt *Maintainer) {
 	w.Uvarint(mt.epoch)
 	w.Uvarint(uint64(mt.scans))
-	core.AppendVerifier(w, mt.v)
 	w.Int(len(mt.rhs))
 	for _, rs := range mt.rhs {
 		w.Int(len(rs.cover))
 		for _, ct := range rs.cover {
 			w.Uvarint(uint64(ct.d.LHS))
-			if ct.keyIdx == nil && (ct.frozenKeys != nil || ct.frozenVals != nil) {
-				w.Int(len(ct.frozenVals))
-				w.Int(4 * len(ct.cols))
-				w.Blob(ct.frozenKeys)
-				w.Int32s(ct.frozenVals)
+			ix := ct.ix
+			if ix.NeedsHydrate() {
+				w.Int(len(ix.FrozenVals))
+				w.Int(ix.Width())
+				w.Blob(ix.FrozenKeys)
+				w.Int32s(ix.FrozenVals)
 			} else {
-				core.AppendLHSIndex(w, ct.keyIdx, 4*len(ct.cols))
+				core.AppendLHSIndex(w, ix.Keys, ix.Width())
 			}
 			w.Int32s(ct.rowClass)
-			w.Int32s(ct.size)
-			appendVCTable(w, ct.vals)
+			w.Int32s(ix.Sizes)
+			appendVCTable(w, ix.Counts)
 			sat := make([]uint8, len(ct.sat))
 			for ci, s := range ct.sat {
 				if s {
@@ -70,7 +85,7 @@ func AppendMaintainer(w *wire.Writer, mt *Maintainer) {
 // appendVCTable encodes per-class consequent multisets as three bulk
 // arrays — pairs-per-class, then the flattened values and multiplicities
 // (the monitor's counts encoding).
-func appendVCTable(w *wire.Writer, vals [][]vc) {
+func appendVCTable(w *wire.Writer, vals [][]live.ValCount) {
 	lens := make([]int32, len(vals))
 	total := 0
 	for ci, pairs := range vals {
@@ -81,8 +96,8 @@ func appendVCTable(w *wire.Writer, vals [][]vc) {
 	flatN := make([]int32, 0, total)
 	for _, pairs := range vals {
 		for _, p := range pairs {
-			flatV = append(flatV, int32(p.val))
-			flatN = append(flatN, p.n)
+			flatV = append(flatV, int32(p.Val))
+			flatN = append(flatN, p.N)
 		}
 	}
 	w.Int32s(lens)
@@ -91,24 +106,25 @@ func appendVCTable(w *wire.Writer, vals [][]vc) {
 }
 
 // decodeVCTable is the inverse of appendVCTable. The per-class slices are
-// freshly allocated (bumpVC mutates and appends), the bulk reads zero-copy.
-func decodeVCTable(r *wire.Reader) [][]vc {
+// freshly allocated (live.Bump mutates and appends), the bulk reads
+// zero-copy.
+func decodeVCTable(r *wire.Reader) [][]live.ValCount {
 	lens := r.Int32s()
 	flatV := r.Int32s()
 	flatN := r.Int32s()
 	if len(flatV) != len(flatN) {
 		return nil
 	}
-	out := make([][]vc, len(lens))
+	out := make([][]live.ValCount, len(lens))
 	pos := 0
 	for ci, l := range lens {
 		n := int(l)
 		if n < 0 || pos+n > len(flatV) {
 			return nil
 		}
-		pairs := make([]vc, n)
+		pairs := make([]live.ValCount, n)
 		for k := 0; k < n; k++ {
-			pairs[k] = vc{val: relation.Value(flatV[pos+k]), n: flatN[pos+k]}
+			pairs[k] = live.ValCount{Val: relation.Value(flatV[pos+k]), N: flatN[pos+k]}
 		}
 		out[ci] = pairs
 		pos += n
@@ -118,45 +134,53 @@ func decodeVCTable(r *wire.Reader) [][]vc {
 
 // appendVCList encodes one class's multiset as parallel value and
 // multiplicity arrays.
-func appendVCList(w *wire.Writer, pairs []vc) {
+func appendVCList(w *wire.Writer, pairs []live.ValCount) {
 	flatV := make([]int32, len(pairs))
 	flatN := make([]int32, len(pairs))
 	for k, p := range pairs {
-		flatV[k] = int32(p.val)
-		flatN[k] = p.n
+		flatV[k] = int32(p.Val)
+		flatN[k] = p.N
 	}
 	w.Int32s(flatV)
 	w.Int32s(flatN)
 }
 
-func decodeVCList(r *wire.Reader) ([]vc, error) {
+func decodeVCList(r *wire.Reader) ([]live.ValCount, error) {
 	flatV := r.Int32s()
 	flatN := r.Int32s()
 	if len(flatV) != len(flatN) {
 		return nil, fmt.Errorf("discovery: snapshot multiset arrays disagree (%d values, %d counts)", len(flatV), len(flatN))
 	}
-	pairs := make([]vc, len(flatV))
+	pairs := make([]live.ValCount, len(flatV))
 	for k := range flatV {
-		pairs[k] = vc{val: relation.Value(flatV[k]), n: flatN[k]}
+		pairs[k] = live.ValCount{Val: relation.Value(flatV[k]), N: flatN[k]}
 	}
 	return pairs, nil
 }
 
 // DecodeMaintainer rebuilds a maintainer over rel/ont from a snapshot
-// written by AppendMaintainer. No discovery, tracker construction, or
-// candidate scan runs: the restored state is byte-for-byte the saved
-// trackers, so Cover() and all subsequent diffs are identical to the saved
-// maintainer's. workers and stats configure the restored maintainer
-// exactly as the construction-time parameters would.
+// written by AppendMaintainer: verifier tables first, then the body.
 func DecodeMaintainer(r *wire.Reader, rel *relation.Relation, ont *ontology.Ontology, workers int, stats *exec.Stats) (*Maintainer, error) {
-	span := stats.Span("maintain.restore")
-	defer span.End()
-	epoch := r.Uvarint()
-	scans := r.Uvarint()
 	v, err := core.DecodeVerifier(r, rel, ont, nil)
 	if err != nil {
 		return nil, err
 	}
+	return DecodeMaintainerBody(r, rel, v, workers, stats)
+}
+
+// DecodeMaintainerBody rebuilds a maintainer over rel and an already-
+// decoded verifier from a body written by AppendMaintainerBody — the
+// pipeline decodes one shared verifier and hands it to both engine body
+// decoders. No discovery, tracker construction, or candidate scan runs:
+// the restored state is byte-for-byte the saved trackers, so Cover() and
+// all subsequent diffs are identical to the saved maintainer's. workers
+// and stats configure the restored maintainer exactly as the
+// construction-time parameters would.
+func DecodeMaintainerBody(r *wire.Reader, rel *relation.Relation, v *core.Verifier, workers int, stats *exec.Stats) (*Maintainer, error) {
+	span := stats.Span("maintain.restore")
+	defer span.End()
+	epoch := r.Uvarint()
+	scans := r.Uvarint()
 	nCols := r.Int()
 	if r.Err() != nil {
 		return nil, r.Err()
@@ -184,34 +208,37 @@ func DecodeMaintainer(r *wire.Reader, rel *relation.Relation, ont *ontology.Onto
 		}
 		for k := 0; k < nCover; k++ {
 			lhs := relation.AttrSet(r.Uvarint())
+			d := core.OFD{LHS: lhs, RHS: c}
 			ct := &coverTracker{
-				d:      core.OFD{LHS: lhs, RHS: c},
+				d:      d,
 				cols:   lhs.Attrs(),
 				colSet: lhs.With(c),
+				ix:     newTrackerIndex(d),
 			}
 			count := r.Int()
 			width := r.Int()
-			ct.frozenKeys = r.Blob()
-			ct.frozenVals = r.Int32s()
+			keys := r.Blob()
+			vals := r.Int32s()
 			ct.rowClass = r.Int32s()
-			ct.size = r.Int32s()
-			ct.vals = decodeVCTable(r)
+			ct.ix.Sizes = r.Int32s()
+			ct.ix.Counts = decodeVCTable(r)
 			satBytes := r.Uint8s()
 			if r.Err() != nil {
 				return nil, r.Err()
 			}
-			if width != 4*len(ct.cols) {
+			if width != ct.ix.Width() {
 				return nil, fmt.Errorf("discovery: snapshot tracker key width %d for %d antecedent columns", width, len(ct.cols))
 			}
-			if len(ct.frozenVals) != count || len(ct.frozenKeys) != count*width {
+			if len(vals) != count || len(keys) != count*width {
 				return nil, fmt.Errorf("discovery: snapshot tracker index shape mismatch (count %d, width %d)", count, width)
 			}
 			if len(ct.rowClass) != nRows {
 				return nil, fmt.Errorf("discovery: snapshot tracker sized for %d rows, relation has %d", len(ct.rowClass), nRows)
 			}
-			if ct.vals == nil || len(ct.vals) != len(ct.size) || len(satBytes) != len(ct.size) {
+			if ct.ix.Counts == nil || len(ct.ix.Counts) != len(ct.ix.Sizes) || len(satBytes) != len(ct.ix.Sizes) {
 				return nil, fmt.Errorf("discovery: snapshot tracker class state inconsistent")
 			}
+			ct.ix.SetFrozen(keys, vals)
 			ct.sat = make([]bool, len(satBytes))
 			for ci, b := range satBytes {
 				ct.sat[ci] = b != 0

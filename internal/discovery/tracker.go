@@ -2,68 +2,32 @@ package discovery
 
 import (
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/live"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
 // cellWrite is one deduplicated effective cell write of a maintained
-// batch: old is the source-state value, new the target-state value. The
+// batch: Old is the source-state value, New the target-state value. The
 // maintainer applies batches forward with the relation already in target
 // state, and rolls them back by re-applying the inverted log after
 // reverting the relation — trackers therefore read "target" values from
-// the relation and "source" values from the log, in both directions.
-type cellWrite struct {
-	row, col int
-	old, new relation.Value
-}
+// the relation and "source" values from the log, in both directions. It
+// is the monitor's CellWrite: both engines speak the same write log, so
+// the merged pipeline hands one batch from engine to engine verbatim.
+type cellWrite = core.CellWrite
 
 // forEachRowSegment calls fn once per touched row with that row's write
 // segment. writes must be sorted by (row, col).
 func forEachRowSegment(writes []cellWrite, fn func(t int, seg []cellWrite)) {
 	for i := 0; i < len(writes); {
 		j := i + 1
-		for j < len(writes) && writes[j].row == writes[i].row {
+		for j < len(writes) && writes[j].Row == writes[i].Row {
 			j++
 		}
-		fn(writes[i].row, writes[i:j])
+		fn(writes[i].Row, writes[i:j])
 		i = j
 	}
 }
-
-// vc is one distinct consequent value of a tracked class with its
-// multiplicity — the same linear-probed multiset shape the monitor keeps
-// per class, so re-verification is O(distinct values), never O(class size).
-type vc struct {
-	val relation.Value
-	n   int32
-}
-
-// bumpVC adjusts v's multiplicity by delta, dropping the entry at zero.
-func bumpVC(pairs []vc, v relation.Value, delta int32) []vc {
-	for k := range pairs {
-		if pairs[k].val == v {
-			pairs[k].n += delta
-			if pairs[k].n == 0 {
-				pairs[k] = pairs[len(pairs)-1]
-				pairs = pairs[:len(pairs)-1]
-			}
-			return pairs
-		}
-	}
-	return append(pairs, vc{v, delta})
-}
-
-// distinctVals extracts the multiset's distinct values into scratch.
-func distinctVals(pairs []vc, scratch []relation.Value) []relation.Value {
-	scratch = scratch[:0]
-	for _, p := range pairs {
-		scratch = append(scratch, p.val)
-	}
-	return scratch
-}
-
-// lone encodes row t as a lone-row LHS-index entry, mirroring the
-// monitor's encoding: class ids are ≥ 0, lone rows ≤ −2 as −(t+2).
-func lone(t int32) int32 { return -t - 2 }
 
 // batchTracker is the per-candidate incremental state the maintainer fans
 // a batch out over: cover trackers (full class state) and witness trackers
@@ -79,36 +43,39 @@ type batchTracker interface {
 }
 
 // coverTracker maintains the exact equivalence-class state of one cover
-// element X → A: an LHS-key index over the antecedent projection, per-row
-// class assignment, and per-class consequent multisets, so a batch's
-// effect on the candidate's validity is known from O(touched rows) work.
-// The candidate is valid ⇔ unsat == 0. Singleton keys use the monitor's
-// lone-row encoding and carry no class state (they cannot violate), which
-// keeps superkey-shaped trackers at one index entry per row and nothing
-// else.
+// element X → A on a live.ClassIndex — the same key index, per-class
+// consequent multisets, and size tracking the monitor's shards run on —
+// plus a per-row class assignment and per-class satisfaction flags, so a
+// batch's effect on the candidate's validity is known from O(touched
+// rows) work. The candidate is valid ⇔ unsat == 0. Singleton keys use the
+// shared lone-row encoding and carry no class state (they cannot
+// violate), which keeps superkey-shaped trackers at one index entry per
+// row and nothing else.
 type coverTracker struct {
 	d      core.OFD
 	cols   []int
 	colSet relation.AttrSet // X ∪ {A}
 
-	keyIdx   map[string]int32 // ≥ 0 class id; ≤ −2 lone row −(t+2)
-	rowClass []int32          // ≥ 0 class id; −1 lone (or floating mid-batch)
-	size     []int32
-	vals     [][]vc
+	// ix owns the key index (≥ 0 class id; ≤ −2 lone row −(t+2)), the
+	// per-class sizes, and the consequent multisets. No overlay: trackers
+	// shrink classes on antecedent writes, which overlays cannot express.
+	ix       *live.ClassIndex
+	rowClass []int32 // ≥ 0 class id; −1 lone (or floating mid-batch)
 	sat      []bool
 	unsat    int
-
-	// frozen* hold the snapshot-restored key index (sorted concatenated
-	// fixed-width keys plus parallel encoded values) until the first batch
-	// hydrates keyIdx — restore stays O(memcpy) and a read-only restored
-	// maintainer never pays the map build. Nil on live-built trackers.
-	frozenKeys []byte
-	frozenVals []int32
 
 	dirty    []int32 // class ids touched by the in-flight batch
 	floating []int32 // rows between the leave and join phases
 	keyBuf   []byte
 	valBuf   []relation.Value
+}
+
+// newTrackerIndex builds the tracker's empty class index: sizes tracked,
+// no overlay.
+func newTrackerIndex(d core.OFD) *live.ClassIndex {
+	ix := live.NewClassIndex(d.LHS.Attrs(), d.RHS)
+	ix.TrackSizes = true
+	return ix
 }
 
 // newCoverTrackerParts builds the same tracker state as newCoverTracker
@@ -124,32 +91,34 @@ func newCoverTrackerParts(pv *core.Verifier, v *core.Verifier, d core.OFD) *cove
 		d:      d,
 		cols:   d.LHS.Attrs(),
 		colSet: d.LHS.With(d.RHS),
+		ix:     newTrackerIndex(d),
 	}
-	p := pv.Partitions().Get(d.LHS)
+	p := pv.Partitions().GetOverlay(d.LHS)
 	n := rel.NumRows()
 	nc := p.NumClasses()
-	ct.keyIdx = make(map[string]int32, nc+(n-p.Size())+1)
+	ix := ct.ix
+	ix.Keys = make(map[string]int32, nc+(n-p.Size())+1)
 	ct.rowClass = make([]int32, n)
 	for t := range ct.rowClass {
 		ct.rowClass[t] = -1
 	}
 	col := rel.Column(d.RHS)
-	ct.size = make([]int32, nc)
-	ct.vals = make([][]vc, nc)
+	ix.Sizes = make([]int32, nc)
+	ix.Counts = make([][]live.ValCount, nc)
 	ct.sat = make([]bool, nc)
 	covered := make([]bool, n)
 	for i := 0; i < nc; i++ {
 		class := p.Class(i)
 		ct.keyBuf = core.EncodeLHSKey(rel, ct.cols, int(class[0]), ct.keyBuf)
-		ct.keyIdx[string(ct.keyBuf)] = int32(i)
-		ct.size[i] = int32(len(class))
-		vals := make([]vc, 0, 2)
+		ix.Keys[string(ct.keyBuf)] = int32(i)
+		ix.Sizes[i] = int32(len(class))
+		vals := make([]live.ValCount, 0, 2)
 		for _, t := range class {
 			ct.rowClass[t] = int32(i)
 			covered[t] = true
-			vals = bumpVC(vals, col.At(int(t)), 1)
+			vals = live.Bump(vals, col.At(int(t)), 1)
 		}
-		ct.vals[i] = vals
+		ix.Counts[i] = vals
 	}
 	// Rows outside every stripped class are singleton keys: lone entries
 	// with no class state, and no two of them can collide on a key.
@@ -158,9 +127,9 @@ func newCoverTrackerParts(pv *core.Verifier, v *core.Verifier, d core.OFD) *cove
 			continue
 		}
 		ct.keyBuf = core.EncodeLHSKey(rel, ct.cols, t, ct.keyBuf)
-		ct.keyIdx[string(ct.keyBuf)] = lone(int32(t))
+		ix.Keys[string(ct.keyBuf)] = live.LoneRow(int32(t))
 	}
-	for ci := range ct.size {
+	for ci := range ix.Sizes {
 		ct.sat[ci] = ct.classSatisfied(v, int32(ci))
 		if !ct.sat[ci] {
 			ct.unsat++
@@ -174,34 +143,25 @@ func newCoverTracker(rel *relation.Relation, v *core.Verifier, d core.OFD) *cove
 		d:      d,
 		cols:   d.LHS.Attrs(),
 		colSet: d.LHS.With(d.RHS),
+		ix:     newTrackerIndex(d),
 	}
 	n := rel.NumRows()
-	ct.keyIdx = make(map[string]int32, n/2+1)
+	ct.ix.Keys = make(map[string]int32, n/2+1)
 	ct.rowClass = make([]int32, 0, n)
-	col := rel.Column(d.RHS)
 	for t := 0; t < n; t++ {
-		ct.keyBuf = core.EncodeLHSKey(rel, ct.cols, t, ct.keyBuf)
-		enc, seen := ct.keyIdx[string(ct.keyBuf)]
-		switch {
-		case !seen:
-			ct.keyIdx[string(ct.keyBuf)] = lone(int32(t))
+		ci, partner, kind := ct.ix.Join(rel, int32(t))
+		switch kind {
+		case live.JoinLone:
 			ct.rowClass = append(ct.rowClass, -1)
-		case enc <= -2:
-			r := -enc - 2
-			ci := int32(len(ct.size))
-			ct.keyIdx[string(ct.keyBuf)] = ci
-			ct.rowClass[r] = ci
+		case live.JoinBirth:
+			ct.rowClass[partner] = ci
 			ct.rowClass = append(ct.rowClass, ci)
-			ct.size = append(ct.size, 2)
-			ct.vals = append(ct.vals, bumpVC(bumpVC(make([]vc, 0, 2), col.At(int(r)), 1), col.At(t), 1))
 			ct.sat = append(ct.sat, true)
 		default:
-			ct.rowClass = append(ct.rowClass, enc)
-			ct.size[enc]++
-			ct.vals[enc] = bumpVC(ct.vals[enc], col.At(int(t)), 1)
+			ct.rowClass = append(ct.rowClass, ci)
 		}
 	}
-	for ci := range ct.size {
+	for ci := range ct.ix.Sizes {
 		ct.sat[ci] = ct.classSatisfied(v, int32(ci))
 		if !ct.sat[ci] {
 			ct.unsat++
@@ -212,30 +172,22 @@ func newCoverTracker(rel *relation.Relation, v *core.Verifier, d core.OFD) *cove
 
 func (ct *coverTracker) scope() relation.AttrSet { return ct.colSet }
 
-// hydrate builds the live key index from the frozen snapshot form: one
-// string conversion for the whole key blob, map keys sliced out of it.
-// No-op on live-built (or already hydrated) trackers.
+// hydrate builds the live key index from the frozen snapshot form. No-op
+// on live-built (or already hydrated) trackers.
 func (ct *coverTracker) hydrate() {
-	if ct.frozenKeys == nil && ct.frozenVals == nil {
-		return
+	if ct.ix.NeedsHydrate() {
+		ct.ix.Hydrate()
 	}
-	width := 4 * len(ct.cols)
-	blob := string(ct.frozenKeys)
-	ct.keyIdx = make(map[string]int32, len(ct.frozenVals))
-	for i, v := range ct.frozenVals {
-		ct.keyIdx[blob[i*width:(i+1)*width]] = v
-	}
-	ct.frozenKeys, ct.frozenVals = nil, nil
 }
 
 // valid reports the tracked candidate's current validity.
 func (ct *coverTracker) valid() bool { return ct.unsat == 0 }
 
 func (ct *coverTracker) classSatisfied(v *core.Verifier, ci int32) bool {
-	if ct.size[ci] <= 1 || len(ct.vals[ci]) <= 1 {
+	if ct.ix.Sizes[ci] <= 1 || len(ct.ix.Counts[ci]) <= 1 {
 		return true // singleton, empty, or syntactically constant (FD case)
 	}
-	ct.valBuf = distinctVals(ct.vals[ci], ct.valBuf)
+	ct.valBuf = live.Distinct(ct.ix.Counts[ci], ct.valBuf)
 	return v.ValuesSatisfied(ct.d.RHS, ct.valBuf)
 }
 
@@ -247,8 +199,8 @@ func (ct *coverTracker) sourceKey(rel *relation.Relation, seg []cellWrite, t int
 	for _, c := range ct.cols {
 		val := rel.Value(t, c)
 		for _, wr := range seg {
-			if wr.col == c {
-				val = wr.old
+			if wr.Col == c {
+				val = wr.Old
 				break
 			}
 		}
@@ -267,6 +219,7 @@ func (ct *coverTracker) sourceKey(rel *relation.Relation, seg []cellWrite, t int
 func (ct *coverTracker) applyWrites(rel *relation.Relation, v *core.Verifier, writes []cellWrite) {
 	ct.dirty = ct.dirty[:0]
 	ct.floating = ct.floating[:0]
+	ix := ct.ix
 	// Phase 1 — leave: rows whose antecedent projection changed exit their
 	// source-state key group; consequent-only changes adjust multisets in
 	// place.
@@ -274,9 +227,9 @@ func (ct *coverTracker) applyWrites(rel *relation.Relation, v *core.Verifier, wr
 		xChanged, hadA := false, false
 		var aOld relation.Value
 		for _, wr := range seg {
-			if wr.col == ct.d.RHS {
-				hadA, aOld = true, wr.old
-			} else if ct.d.LHS.Has(wr.col) {
+			if wr.Col == ct.d.RHS {
+				hadA, aOld = true, wr.Old
+			} else if ct.d.LHS.Has(wr.Col) {
 				xChanged = true
 			}
 		}
@@ -285,7 +238,7 @@ func (ct *coverTracker) applyWrites(rel *relation.Relation, v *core.Verifier, wr
 				return
 			}
 			if ci := ct.rowClass[t]; ci >= 0 {
-				ct.vals[ci] = bumpVC(bumpVC(ct.vals[ci], aOld, -1), rel.Value(t, ct.d.RHS), 1)
+				ix.BumpVal(ci, aOld, rel.Value(t, ct.d.RHS))
 				ct.dirty = append(ct.dirty, ci)
 			}
 			return
@@ -295,13 +248,12 @@ func (ct *coverTracker) applyWrites(rel *relation.Relation, v *core.Verifier, wr
 			preA = aOld
 		}
 		if ci := ct.rowClass[t]; ci >= 0 {
-			ct.size[ci]--
-			ct.vals[ci] = bumpVC(ct.vals[ci], preA, -1)
+			ix.Leave(ci, preA)
 			ct.dirty = append(ct.dirty, ci)
 			ct.rowClass[t] = -1
 		} else {
 			// Lone row: its index entry points at t and is now stale.
-			delete(ct.keyIdx, ct.sourceKey(rel, seg, t))
+			delete(ix.Keys, ct.sourceKey(rel, seg, t))
 		}
 		ct.floating = append(ct.floating, int32(t))
 	})
@@ -309,29 +261,17 @@ func (ct *coverTracker) applyWrites(rel *relation.Relation, v *core.Verifier, wr
 	// All reads are target-state (the relation), so ordering within the
 	// phase only affects internal ids, never class contents.
 	for _, t32 := range ct.floating {
-		t := int(t32)
-		ct.keyBuf = core.EncodeLHSKey(rel, ct.cols, t, ct.keyBuf)
-		postA := rel.Value(t, ct.d.RHS)
-		enc, seen := ct.keyIdx[string(ct.keyBuf)]
-		switch {
-		case !seen:
-			ct.keyIdx[string(ct.keyBuf)] = lone(t32)
-		case enc <= -2:
-			r := -enc - 2
-			ci := int32(len(ct.size))
-			ct.keyIdx[string(ct.keyBuf)] = ci
-			ct.rowClass[r] = ci
-			ct.rowClass[t] = ci
-			ct.size = append(ct.size, 2)
-			ct.vals = append(ct.vals, bumpVC(bumpVC(make([]vc, 0, 2), rel.Value(int(r), ct.d.RHS), 1), postA, 1))
+		ct.keyBuf = core.EncodeLHSKey(rel, ct.cols, int(t32), ct.keyBuf)
+		ci, partner, kind := ix.JoinKey(rel, ct.keyBuf, t32)
+		switch kind {
+		case live.JoinLone:
+			continue
+		case live.JoinBirth:
+			ct.rowClass[partner] = ci
 			ct.sat = append(ct.sat, true)
-			ct.dirty = append(ct.dirty, ci)
-		default:
-			ct.rowClass[t] = enc
-			ct.size[enc]++
-			ct.vals[enc] = bumpVC(ct.vals[enc], postA, 1)
-			ct.dirty = append(ct.dirty, enc)
 		}
+		ct.rowClass[t32] = ci
+		ct.dirty = append(ct.dirty, ci)
 	}
 	ct.recheckDirty(v)
 }
@@ -367,30 +307,18 @@ func (ct *coverTracker) recheckDirty(v *core.Verifier) {
 }
 
 func (ct *coverTracker) appendRow(rel *relation.Relation, v *core.Verifier, t int32) {
-	ct.keyBuf = core.EncodeLHSKey(rel, ct.cols, int(t), ct.keyBuf)
-	postA := rel.Value(int(t), ct.d.RHS)
-	enc, seen := ct.keyIdx[string(ct.keyBuf)]
 	ct.dirty = ct.dirty[:0]
-	switch {
-	case !seen:
-		ct.keyIdx[string(ct.keyBuf)] = lone(t)
+	ci, partner, kind := ct.ix.Join(rel, t)
+	switch kind {
+	case live.JoinLone:
 		ct.rowClass = append(ct.rowClass, -1)
-	case enc <= -2:
-		r := -enc - 2
-		ci := int32(len(ct.size))
-		ct.keyIdx[string(ct.keyBuf)] = ci
-		ct.rowClass[r] = ci
-		ct.rowClass = append(ct.rowClass, ci)
-		ct.size = append(ct.size, 2)
-		ct.vals = append(ct.vals, bumpVC(bumpVC(make([]vc, 0, 2), rel.Value(int(r), ct.d.RHS), 1), postA, 1))
+		return
+	case live.JoinBirth:
+		ct.rowClass[partner] = ci
 		ct.sat = append(ct.sat, true)
-		ct.dirty = append(ct.dirty, ci)
-	default:
-		ct.rowClass = append(ct.rowClass, enc)
-		ct.size[enc]++
-		ct.vals[enc] = bumpVC(ct.vals[enc], postA, 1)
-		ct.dirty = append(ct.dirty, enc)
 	}
+	ct.rowClass = append(ct.rowClass, ci)
+	ct.dirty = append(ct.dirty, ci)
 	ct.recheckDirty(v)
 }
 
@@ -410,7 +338,7 @@ type witnessTracker struct {
 
 	key  string // encoded antecedent key of the witness class
 	size int32
-	vals []vc
+	vals []live.ValCount
 
 	keyBuf []byte
 	valBuf []relation.Value
@@ -420,11 +348,11 @@ type witnessTracker struct {
 	// phase; it lands in commit, never inside the cancellable window.
 	pendingKey  string
 	pendingSize int32
-	pendingVals []vc
+	pendingVals []live.ValCount
 	hasPending  bool
 }
 
-func newWitnessTracker(d core.OFD, key string, size int32, vals []vc) *witnessTracker {
+func newWitnessTracker(d core.OFD, key string, size int32, vals []live.ValCount) *witnessTracker {
 	return &witnessTracker{
 		d:      d,
 		cols:   d.LHS.Attrs(),
@@ -442,12 +370,12 @@ func (wt *witnessTracker) violating(v *core.Verifier) bool {
 	if wt.size <= 1 || len(wt.vals) <= 1 {
 		return false
 	}
-	wt.valBuf = distinctVals(wt.vals, wt.valBuf)
+	wt.valBuf = live.Distinct(wt.vals, wt.valBuf)
 	return !v.ValuesSatisfied(wt.d.RHS, wt.valBuf)
 }
 
 // stagePending stages a replacement certificate found by a full rescan.
-func (wt *witnessTracker) stagePending(key string, size int32, vals []vc) {
+func (wt *witnessTracker) stagePending(key string, size int32, vals []live.ValCount) {
 	wt.pendingKey, wt.pendingSize, wt.pendingVals = key, size, vals
 	wt.hasPending = true
 }
@@ -472,8 +400,8 @@ func (wt *witnessTracker) sourceInClass(rel *relation.Relation, seg []cellWrite,
 	for k, c := range wt.cols {
 		val := rel.Value(t, c)
 		for _, wr := range seg {
-			if wr.col == c {
-				val = wr.old
+			if wr.Col == c {
+				val = wr.Old
 				break
 			}
 		}
@@ -495,10 +423,10 @@ func (wt *witnessTracker) applyWrites(rel *relation.Relation, v *core.Verifier, 
 		hadA := false
 		var aOld relation.Value
 		for _, wr := range seg {
-			if wr.col == wt.d.RHS {
-				hadA, aOld = true, wr.old
+			if wr.Col == wt.d.RHS {
+				hadA, aOld = true, wr.Old
 				relevant = true
-			} else if wt.d.LHS.Has(wr.col) {
+			} else if wt.d.LHS.Has(wr.Col) {
 				relevant = true
 			}
 		}
@@ -515,14 +443,14 @@ func (wt *witnessTracker) applyWrites(rel *relation.Relation, v *core.Verifier, 
 		switch {
 		case srcIn && tgtIn:
 			if hadA {
-				wt.vals = bumpVC(bumpVC(wt.vals, preA, -1), rel.Value(t, wt.d.RHS), 1)
+				wt.vals = live.Bump(live.Bump(wt.vals, preA, -1), rel.Value(t, wt.d.RHS), 1)
 			}
 		case srcIn && !tgtIn:
 			wt.size--
-			wt.vals = bumpVC(wt.vals, preA, -1)
+			wt.vals = live.Bump(wt.vals, preA, -1)
 		case !srcIn && tgtIn:
 			wt.size++
-			wt.vals = bumpVC(wt.vals, rel.Value(t, wt.d.RHS), 1)
+			wt.vals = live.Bump(wt.vals, rel.Value(t, wt.d.RHS), 1)
 		}
 	})
 }
@@ -533,7 +461,7 @@ func (wt *witnessTracker) appendRow(rel *relation.Relation, v *core.Verifier, t 
 		return
 	}
 	wt.size++
-	wt.vals = bumpVC(wt.vals, rel.Value(int(t), wt.d.RHS), 1)
+	wt.vals = live.Bump(wt.vals, rel.Value(int(t), wt.d.RHS), 1)
 }
 
 // scanResult is a one-shot verification of a candidate against the
@@ -544,7 +472,7 @@ type scanResult struct {
 	valid   bool
 	witKey  string
 	witSize int32
-	witVals []vc
+	witVals []live.ValCount
 }
 
 // witnessScanParts is scanCandidate(needWitness=true) answered from the
@@ -554,28 +482,28 @@ type scanResult struct {
 // is exactly the one scanCandidate pins, and the walk stops there.
 func witnessScanParts(pv *core.Verifier, d core.OFD) scanResult {
 	rel := pv.Relation()
-	p := pv.Partitions().Get(d.LHS)
+	p := pv.Partitions().GetOverlay(d.LHS)
 	col := rel.Column(d.RHS)
 	res := scanResult{valid: true}
-	var vals []vc
+	var vals []live.ValCount
 	var scratch []relation.Value
 	for i := 0; i < p.NumClasses(); i++ {
 		class := p.Class(i)
 		vals = vals[:0]
 		for _, t := range class {
-			vals = bumpVC(vals, col.At(int(t)), 1)
+			vals = live.Bump(vals, col.At(int(t)), 1)
 		}
 		if len(vals) <= 1 {
 			continue
 		}
-		scratch = distinctVals(vals, scratch)
+		scratch = live.Distinct(vals, scratch)
 		if pv.ValuesSatisfied(d.RHS, scratch) {
 			continue
 		}
 		res.valid = false
 		res.witKey = string(core.EncodeLHSKey(rel, d.LHS.Attrs(), int(class[0]), nil))
 		res.witSize = int32(len(class))
-		res.witVals = append([]vc(nil), vals...)
+		res.witVals = append([]live.ValCount(nil), vals...)
 		return res
 	}
 	return res
@@ -594,7 +522,7 @@ func witnessScanParts(pv *core.Verifier, d core.OFD) scanResult {
 func scanCandidate(rel *relation.Relation, v *core.Verifier, d core.OFD, needWitness bool) scanResult {
 	type grp struct {
 		size int32
-		vals []vc
+		vals []live.ValCount
 		rep  int32
 	}
 	cols := d.LHS.Attrs()
@@ -610,7 +538,7 @@ func scanCandidate(rel *relation.Relation, v *core.Verifier, d core.OFD, needWit
 			groups[string(buf)] = g
 		}
 		g.size++
-		g.vals = bumpVC(g.vals, col.At(int(t)), 1)
+		g.vals = live.Bump(g.vals, col.At(int(t)), 1)
 	}
 	res := scanResult{valid: true}
 	var scratch []relation.Value
@@ -619,7 +547,7 @@ func scanCandidate(rel *relation.Relation, v *core.Verifier, d core.OFD, needWit
 		if g.size <= 1 || len(g.vals) <= 1 {
 			continue
 		}
-		scratch = distinctVals(g.vals, scratch)
+		scratch = live.Distinct(g.vals, scratch)
 		if v.ValuesSatisfied(d.RHS, scratch) {
 			continue
 		}

@@ -6,14 +6,15 @@ import (
 	"testing"
 
 	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/live"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
 // sortedVC returns a canonical copy of a consequent multiset for
 // comparison across trackers with different class numbering.
-func sortedVC(pairs []vc) []vc {
-	out := append([]vc(nil), pairs...)
-	sort.Slice(out, func(i, j int) bool { return out[i].val < out[j].val })
+func sortedVC(pairs []live.ValCount) []live.ValCount {
+	out := append([]live.ValCount(nil), pairs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Val < out[j].Val })
 	return out
 }
 
@@ -46,11 +47,11 @@ func TestPartitionBackedBuildersMatchScan(t *testing.T) {
 				if got.valid() != ref.valid() {
 					t.Fatalf("trial %d %v: parts valid=%v, scan valid=%v", trial, d, got.valid(), ref.valid())
 				}
-				if len(got.keyIdx) != len(ref.keyIdx) {
-					t.Fatalf("trial %d %v: parts has %d keys, scan %d", trial, d, len(got.keyIdx), len(ref.keyIdx))
+				if len(got.ix.Keys) != len(ref.ix.Keys) {
+					t.Fatalf("trial %d %v: parts has %d keys, scan %d", trial, d, len(got.ix.Keys), len(ref.ix.Keys))
 				}
-				for key, refEnc := range ref.keyIdx {
-					gotEnc, ok := got.keyIdx[key]
+				for key, refEnc := range ref.ix.Keys {
+					gotEnc, ok := got.ix.Keys[key]
 					if !ok {
 						t.Fatalf("trial %d %v: key %q missing from parts build", trial, d, key)
 					}
@@ -60,11 +61,11 @@ func TestPartitionBackedBuildersMatchScan(t *testing.T) {
 						}
 						continue
 					}
-					if got.size[gotEnc] != ref.size[refEnc] {
+					if got.ix.Sizes[gotEnc] != ref.ix.Sizes[refEnc] {
 						t.Fatalf("trial %d %v: key %q size mismatch: parts %d, scan %d",
-							trial, d, key, got.size[gotEnc], ref.size[refEnc])
+							trial, d, key, got.ix.Sizes[gotEnc], ref.ix.Sizes[refEnc])
 					}
-					gv, rv := sortedVC(got.vals[gotEnc]), sortedVC(ref.vals[refEnc])
+					gv, rv := sortedVC(got.ix.Counts[gotEnc]), sortedVC(ref.ix.Counts[refEnc])
 					if len(gv) != len(rv) {
 						t.Fatalf("trial %d %v: key %q multiset mismatch: parts %v, scan %v", trial, d, key, gv, rv)
 					}

@@ -1,0 +1,251 @@
+// Package pipeline merges the two incremental engines — the violation
+// monitor (core.Monitor) and the minimal-cover maintainer
+// (discovery.Maintainer) — onto one shared live-index substrate: one
+// relation, one verifier, one partition cache, and one reference-counted
+// overlay registry serve maintenance, detection, and repair verification
+// together. A single ApplyBatch validates and applies a batch through the
+// maintainer's atomic protocol, hands the effective write log to the
+// monitor verbatim, and (optionally) keeps the monitored set following
+// the discovered cover as it drifts — so the merged pipeline answers
+// "what does this batch do to the dependencies AND to their violations"
+// from one pass over the shared index instead of two engines' private
+// copies of the same partitions.
+//
+// Everything observable is byte-identical to running the engines
+// separately: the maintained cover matches a fresh Discover and the
+// published reports match a fresh Detect over the final instance, for any
+// shard and worker count — including after a cancelled (rolled back)
+// batch. The substrate tests pin this down.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/discovery"
+	"github.com/fastofd/fastofd/internal/exec"
+	"github.com/fastofd/fastofd/internal/live"
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// Options configures a merged pipeline.
+type Options struct {
+	// Sigma is the dependency set to monitor. Nil monitors the discovered
+	// initial cover (the usual merged-pipeline shape); non-nil pins an
+	// explicit set instead.
+	Sigma core.Set
+	// FollowCover, when set, keeps the monitored set equal to the
+	// maintained cover: every batch's cover diff registers the added OFDs
+	// with the monitor and unregisters the removed ones before the batch
+	// returns. Requires Sigma == nil.
+	FollowCover bool
+	// Shards is the monitor's shard count (0 auto-sizes from Workers,
+	// exactly as core.NewMonitorSharded).
+	Shards int
+	// Workers parallelizes both engines on the shared exec substrate.
+	Workers int
+	// Stats, when non-nil, receives both engines' stage stats.
+	Stats *exec.Stats
+	// Discovery configures the initial cover discovery and the maintainer
+	// (Workers/Stats/Cache/Verifier are overridden by the pipeline's
+	// shared substrate). Zero value means discovery.DefaultOptions().
+	Discovery *discovery.Options
+}
+
+// BatchResult is one batch's combined outcome across the engines.
+type BatchResult struct {
+	// Diff is the batch's change to the maintained minimal cover.
+	Diff discovery.Diff
+	// Epoch is the monitor's published epoch after absorbing the batch;
+	// Report/ReportAt observe exactly this batch's violations.
+	Epoch uint64
+	// MaintainNanos is the wall time of the maintainer's validate + apply
+	// + repair-verify phase; DetectNanos the monitor's absorb + publish
+	// phase (plus cover registration when FollowCover).
+	MaintainNanos int64
+	DetectNanos   int64
+}
+
+// Pipeline is the merged engine pair over one shared substrate.
+type Pipeline struct {
+	rel *relation.Relation
+	pc  *relation.PartitionCache
+	reg *live.Overlays
+	v   *core.Verifier
+	mt  *discovery.Maintainer
+	m   *core.Monitor
+
+	followCover bool
+}
+
+// New builds the merged pipeline: one partition cache with the live
+// overlay registry installed as its provider, one verifier on top, the
+// maintainer (running the initial discovery) and the monitor both wired
+// to that verifier, and overlay references acquired for every monitored
+// antecedent, every cover element, and every single column.
+func New(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, opts Options) (*Pipeline, error) {
+	if opts.FollowCover && opts.Sigma != nil {
+		return nil, fmt.Errorf("pipeline: FollowCover requires Sigma == nil (the cover is the monitored set)")
+	}
+	dopts := discovery.DefaultOptions()
+	if opts.Discovery != nil {
+		dopts = *opts.Discovery
+	}
+	dopts.Workers = opts.Workers
+	dopts.Stats = opts.Stats
+
+	pc, err := relation.NewPartitionCacheContext(ctx, rel, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	reg := live.NewOverlays(rel, pc)
+	pc.SetOverlayProvider(reg)
+	v := core.NewVerifier(rel, ont, pc)
+	dopts.Cache = pc
+	dopts.Verifier = v
+
+	mt, err := discovery.NewMaintainerContext(ctx, rel, ont, dopts)
+	if err != nil {
+		return nil, err
+	}
+	mt.SetOverlays(reg)
+
+	sigma := opts.Sigma
+	if sigma == nil {
+		sigma = mt.Cover()
+	}
+	m, err := core.NewMonitorLive(ctx, rel, ont, sigma, opts.Shards, opts.Workers, opts.Stats, v)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference the live overlays the engines will keep consulting: one
+	// per cover element (tracker rebuilds on cover churn), one per
+	// monitored antecedent (re-routing), and one per single column
+	// (appends extend every single-column partition, and nearly every
+	// product starts from one).
+	for _, d := range mt.Cover() {
+		reg.Acquire(d.LHS)
+	}
+	for _, d := range sigma {
+		reg.Acquire(d.LHS)
+	}
+	for c := 0; c < rel.NumCols(); c++ {
+		reg.Acquire(relation.EmptySet.With(c))
+	}
+	return &Pipeline{rel: rel, pc: pc, reg: reg, v: v, mt: mt, m: m, followCover: opts.FollowCover}, nil
+}
+
+// ApplyBatch runs one update batch through the merged pipeline:
+//
+//  1. The maintainer validates, deduplicates, applies, and repair-verifies
+//     the batch atomically (a cancelled batch rolls everything back and
+//     leaves both engines at the pre-batch state).
+//  2. The monitor absorbs the committed effective write log — the same
+//     deduplicated cells, verbatim — and publishes one epoch.
+//  3. With FollowCover, the cover diff registers/unregisters monitored
+//     dependencies so the monitored set tracks the cover.
+//
+// The atomicity boundary is the maintainer's verify phase: once it
+// commits, the remaining steps are deterministic bookkeeping and run
+// uncancellable.
+func (p *Pipeline) ApplyBatch(ctx context.Context, updates []core.CellUpdate) (BatchResult, error) {
+	start := time.Now()
+	diff, err := p.mt.ApplyBatchContext(ctx, updates)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	maintainDone := time.Now()
+	p.m.AbsorbBatchPrewarmed(p.mt.LastWrites())
+	if err := p.followDiff(diff); err != nil {
+		return BatchResult{}, err
+	}
+	end := time.Now()
+	return BatchResult{
+		Diff:          diff,
+		Epoch:         p.m.Epoch(),
+		MaintainNanos: maintainDone.Sub(start).Nanoseconds(),
+		DetectNanos:   end.Sub(maintainDone).Nanoseconds(),
+	}, nil
+}
+
+// AppendRows appends a batch of tuples through the merged pipeline: the
+// maintainer appends and repairs (appends only demote, so this is
+// uncancellable-fast), the live overlays route the new rows, and the
+// monitor joins them under every dependency and publishes one epoch.
+func (p *Pipeline) AppendRows(rows [][]string) (BatchResult, error) {
+	start := time.Now()
+	t0 := p.rel.NumRows()
+	diff, err := p.mt.AppendRows(rows)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	maintainDone := time.Now()
+	p.m.AbsorbAppends(t0)
+	if err := p.followDiff(diff); err != nil {
+		return BatchResult{}, err
+	}
+	end := time.Now()
+	return BatchResult{
+		Diff:          diff,
+		Epoch:         p.m.Epoch(),
+		MaintainNanos: maintainDone.Sub(start).Nanoseconds(),
+		DetectNanos:   end.Sub(maintainDone).Nanoseconds(),
+	}, nil
+}
+
+// followDiff applies a cover diff to the monitored set (FollowCover
+// mode): removed dependencies unregister, added ones acquire their
+// overlay reference and register. The maintainer's commit already
+// adjusted the cover-side references; these are the monitor's.
+func (p *Pipeline) followDiff(diff discovery.Diff) error {
+	if !p.followCover || diff.Empty() {
+		return nil
+	}
+	for _, d := range diff.Removed {
+		if err := p.m.Unregister(d); err != nil {
+			return fmt.Errorf("pipeline: cover follow: %w", err)
+		}
+		p.reg.Release(d.LHS)
+	}
+	for _, d := range diff.Added {
+		p.reg.Acquire(d.LHS)
+		if err := p.m.Register(d); err != nil {
+			return fmt.Errorf("pipeline: cover follow: %w", err)
+		}
+	}
+	return nil
+}
+
+// FollowCover reports whether the monitored set tracks the cover.
+func (p *Pipeline) FollowCover() bool { return p.followCover }
+
+// Monitor returns the pipeline's monitor (reports, epochs, violating
+// classes). Mutate only through the pipeline.
+func (p *Pipeline) Monitor() *core.Monitor { return p.m }
+
+// Maintainer returns the pipeline's maintainer (cover, epochs). Mutate
+// only through the pipeline.
+func (p *Pipeline) Maintainer() *discovery.Maintainer { return p.mt }
+
+// Verifier returns the shared verifier all three roles consult.
+func (p *Pipeline) Verifier() *core.Verifier { return p.v }
+
+// Overlays returns the shared live overlay registry.
+func (p *Pipeline) Overlays() *live.Overlays { return p.reg }
+
+// Relation returns the shared relation.
+func (p *Pipeline) Relation() *relation.Relation { return p.rel }
+
+// Cover returns the maintained minimal cover (a fresh copy).
+func (p *Pipeline) Cover() core.Set { return p.mt.Cover() }
+
+// Report returns the monitor's latest published report.
+func (p *Pipeline) Report() *core.Report { return p.m.Report() }
+
+// CacheStats reports the shared partition cache's counters, including
+// overlay-resident bytes.
+func (p *Pipeline) CacheStats() relation.CacheStats { return p.pc.Stats() }

@@ -18,10 +18,14 @@ const cacheShardCount = 16
 // cacheEntry is one cached partition with its accounting: exact payload
 // bytes, the logical time of its last hit, and its hit count — the inputs
 // of the cost-model eviction score. lastUse and hits are atomics because
-// lookups touch them under the shard's read lock.
+// lookups touch them under the shard's read lock. rows is the relation's
+// row count when the entry was stored: a lookup finding a different count
+// treats the entry as a miss (appended tuples changed every partition),
+// so live engines never read a partition from before an append.
 type cacheEntry struct {
 	p       *Partition
 	bytes   int64
+	rows    int
 	lastUse atomic.Uint64
 	hits    atomic.Uint64
 }
@@ -80,7 +84,33 @@ type PartitionCache struct {
 	policy    atomic.Int32  // EvictionPolicy
 	clock     atomic.Uint64 // logical time: ticks once per lookup
 	evictMu   sync.Mutex    // serializes budget enforcement passes
+	// provider, when set, serves misses on attribute sets with a live
+	// partition overlay (the merged pipeline's registry) instead of a
+	// partition product; its resident bytes count against the budget.
+	provider OverlayProvider
 }
+
+// OverlayProvider serves live partition overlays to a cache. The merged
+// pipeline's live.Overlays registry implements it: registered attribute
+// sets whose overlay is current return it from LiveOverlay (nil
+// otherwise — unregistered, or stale after an update touched the set),
+// and OverlayBytes reports the overlays' resident delta bytes so the
+// cache's byte budget accounts for them. Offer runs the other direction:
+// every partition the cache stores is offered to the provider, so a
+// stale registered set whose partition the cache just computed on a real
+// demand miss can adopt it as its next overlay base instead of paying a
+// second computation when it rebuilds. Offer must be cheap and safe to
+// call concurrently (the cache's miss path fans out).
+type OverlayProvider interface {
+	LiveOverlay(attrs AttrSet) *PartitionOverlay
+	OverlayBytes() int64
+	Offer(attrs AttrSet, p *Partition)
+}
+
+// SetOverlayProvider installs (or, with nil, removes) the overlay
+// provider. Not synchronized with cache traffic: install it before the
+// cache is shared across goroutines.
+func (pc *PartitionCache) SetOverlayProvider(p OverlayProvider) { pc.provider = p }
 
 // CacheStats is a snapshot of cache effectiveness and footprint counters.
 type CacheStats struct {
@@ -91,6 +121,11 @@ type CacheStats struct {
 	PeakBytes int64  // high-water payload bytes since construction
 	Evictions uint64 // entries dropped (Evict sweeps + budget enforcement)
 	Budget    int64  // configured byte budget (0 = unbounded)
+	// OverlayBytes is the delta payload resident in the installed overlay
+	// provider's live overlays (0 without a provider). Charged against
+	// Budget by enforcement, so long-lived overlays can't silently push
+	// the process past the byte budget.
+	OverlayBytes int64
 }
 
 // Since returns the per-field change from prev to s: monotone counters
@@ -101,13 +136,14 @@ type CacheStats struct {
 // call site.
 func (s CacheStats) Since(prev CacheStats) CacheStats {
 	return CacheStats{
-		Hits:      s.Hits - prev.Hits,
-		Misses:    s.Misses - prev.Misses,
-		Entries:   s.Entries - prev.Entries,
-		Bytes:     s.Bytes - prev.Bytes,
-		PeakBytes: s.PeakBytes,
-		Evictions: s.Evictions - prev.Evictions,
-		Budget:    s.Budget,
+		Hits:         s.Hits - prev.Hits,
+		Misses:       s.Misses - prev.Misses,
+		Entries:      s.Entries - prev.Entries,
+		Bytes:        s.Bytes - prev.Bytes,
+		PeakBytes:    s.PeakBytes,
+		Evictions:    s.Evictions - prev.Evictions,
+		Budget:       s.Budget,
+		OverlayBytes: s.OverlayBytes,
 	}
 }
 
@@ -191,14 +227,22 @@ func (pc *PartitionCache) SetPolicy(p EvictionPolicy) { pc.policy.Store(int32(p)
 // Policy returns the configured budget-eviction policy.
 func (pc *PartitionCache) Policy() EvictionPolicy { return EvictionPolicy(pc.policy.Load()) }
 
-// lookup returns the cached partition for attrs, if present, stamping the
-// entry's recency and hit counters.
+// lookup returns the cached partition for attrs, if present and current,
+// stamping the entry's recency and hit counters. An entry stored before
+// an append (its row stamp trails the relation) is reported as a miss —
+// it stays resident until the recompute's store replaces it or eviction
+// claims it, and is never returned.
 func (pc *PartitionCache) lookup(attrs AttrSet) (*Partition, bool) {
 	now := pc.clock.Add(1)
+	rows := pc.r.NumRows()
 	s := pc.shardOf(attrs)
 	s.mu.RLock()
 	e, ok := s.m[attrs]
 	var p *Partition
+	if ok && e.rows != rows {
+		ok = false
+		e = nil
+	}
 	if ok {
 		p = e.p
 		e.lastUse.Store(now)
@@ -215,7 +259,7 @@ func (pc *PartitionCache) lookup(attrs AttrSet) (*Partition, bool) {
 func (pc *PartitionCache) store(attrs AttrSet, p *Partition) {
 	s := pc.shardOf(attrs)
 	nb := partitionBytes(p)
-	e := &cacheEntry{p: p, bytes: nb}
+	e := &cacheEntry{p: p, bytes: nb, rows: pc.r.NumRows()}
 	e.lastUse.Store(pc.clock.Load())
 	s.mu.Lock()
 	if old, present := s.m[attrs]; present {
@@ -233,9 +277,21 @@ func (pc *PartitionCache) store(attrs AttrSet, p *Partition) {
 			break
 		}
 	}
-	if b := pc.budget.Load(); b > 0 && total > b {
+	if b := pc.budget.Load(); b > 0 && total+pc.overlayBytes() > b {
 		pc.enforceBudget(attrs)
 	}
+	if prov := pc.provider; prov != nil {
+		prov.Offer(attrs, p)
+	}
+}
+
+// overlayBytes reports the provider's resident overlay payload (0 without
+// a provider) — the budget share live overlays consume.
+func (pc *PartitionCache) overlayBytes() int64 {
+	if prov := pc.provider; prov != nil {
+		return prov.OverlayBytes()
+	}
+	return 0
 }
 
 // evictLocked removes attrs from shard s (whose write lock the caller
@@ -292,7 +348,16 @@ func (pc *PartitionCache) enforceBudget(protect AttrSet) {
 	pc.evictMu.Lock()
 	defer pc.evictMu.Unlock()
 	budget := pc.budget.Load()
-	if budget <= 0 || pc.bytes.Load() <= budget {
+	if budget <= 0 {
+		return
+	}
+	// Live overlays share the byte budget: the cache may only keep what
+	// the overlays leave of it.
+	budget -= pc.overlayBytes()
+	if budget < 0 {
+		budget = 0
+	}
+	if pc.bytes.Load() <= budget {
 		return
 	}
 	if EvictionPolicy(pc.policy.Load()) == EvictLevelSweep {
@@ -385,6 +450,15 @@ func (pc *PartitionCache) GetWith(attrs AttrSet, buf *ProductBuffer) *Partition 
 		return p
 	}
 	pc.misses.Add(1)
+	if prov := pc.provider; prov != nil {
+		// A registered live overlay answers the miss in class order — its
+		// materialized form is byte-identical to the computed partition.
+		if ov := prov.LiveOverlay(attrs); ov != nil {
+			p := ov.Materialize(pc.r.NumRows())
+			pc.store(attrs, p)
+			return p
+		}
+	}
 	if buf == nil {
 		buf = &ProductBuffer{}
 	}
@@ -423,6 +497,40 @@ func (pc *PartitionCache) GetWith(attrs AttrSet, buf *ProductBuffer) *Partition 
 	return p
 }
 
+// GetOverlay is the overlay-aware partition path: identical to Get, but
+// named for call sites whose correctness story is "serve the live overlay
+// when one is registered" — the maintainer's repair verifier and the
+// monitor's re-route both read partitions through it, so a batch that
+// already maintains a live overlay never pays a cold partition product
+// for the same attribute set.
+func (pc *PartitionCache) GetOverlay(attrs AttrSet) *Partition {
+	return pc.GetWith(attrs, nil)
+}
+
+// InvalidateTouched evicts every cached partition whose attribute set
+// intersects touched — the update-batch counterpart of the row-stamp
+// staleness appends get for free. Live engines call it with a batch's
+// touched column set before re-reading partitions, so a long-lived cache
+// never serves pre-batch partitions of rewritten columns. Returns the
+// number of entries dropped.
+func (pc *PartitionCache) InvalidateTouched(touched AttrSet) int {
+	if touched.IsEmpty() {
+		return 0
+	}
+	n := 0
+	for i := range pc.shards {
+		s := &pc.shards[i]
+		s.mu.Lock()
+		for a := range s.m {
+			if !a.Intersect(touched).IsEmpty() && pc.evictLocked(s, a) {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Put stores a partition for attrs, typically one computed level-by-level
 // during lattice traversal. Safe for concurrent use.
 func (pc *PartitionCache) Put(attrs AttrSet, p *Partition) { pc.store(attrs, p.Strip()) }
@@ -452,12 +560,13 @@ func (pc *PartitionCache) Evict(k int) {
 // internally consistent enough for monitoring and tests.
 func (pc *PartitionCache) Stats() CacheStats {
 	st := CacheStats{
-		Hits:      pc.hits.Load(),
-		Misses:    pc.misses.Load(),
-		Bytes:     pc.bytes.Load(),
-		PeakBytes: pc.peakBytes.Load(),
-		Evictions: pc.evictions.Load(),
-		Budget:    pc.budget.Load(),
+		Hits:         pc.hits.Load(),
+		Misses:       pc.misses.Load(),
+		Bytes:        pc.bytes.Load(),
+		PeakBytes:    pc.peakBytes.Load(),
+		Evictions:    pc.evictions.Load(),
+		Budget:       pc.budget.Load(),
+		OverlayBytes: pc.overlayBytes(),
 	}
 	for i := range pc.shards {
 		s := &pc.shards[i]

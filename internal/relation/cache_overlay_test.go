@@ -1,0 +1,169 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// stubProvider is a test OverlayProvider: a fixed overlay per attribute
+// set plus a fixed resident-bytes figure, recording LiveOverlay calls
+// and the partitions the cache offers back on store.
+type stubProvider struct {
+	overlays map[AttrSet]*PartitionOverlay
+	bytes    int64
+	calls    map[AttrSet]int
+	offered  map[AttrSet]*Partition
+}
+
+func (s *stubProvider) LiveOverlay(attrs AttrSet) *PartitionOverlay {
+	if s.calls == nil {
+		s.calls = map[AttrSet]int{}
+	}
+	s.calls[attrs]++
+	return s.overlays[attrs]
+}
+
+func (s *stubProvider) OverlayBytes() int64 { return s.bytes }
+
+func (s *stubProvider) Offer(attrs AttrSet, p *Partition) {
+	if s.offered == nil {
+		s.offered = map[AttrSet]*Partition{}
+	}
+	s.offered[attrs] = p
+}
+
+// TestCacheServesProviderOverlay pins the miss path through an installed
+// overlay provider: a registered set's miss materializes the live overlay
+// (byte-identical to a fresh computation) instead of running the partition
+// product, and the materialized partition is cached for later hits.
+func TestCacheServesProviderOverlay(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rel := randRelation(t, rng, 200, 4, 3)
+	pc := NewPartitionCache(rel)
+	attrs := Single(0).With(1)
+	fresh := PartitionOf(rel, attrs).Strip()
+	prov := &stubProvider{overlays: map[AttrSet]*PartitionOverlay{
+		attrs: NewPartitionOverlay(fresh),
+	}}
+	pc.SetOverlayProvider(prov)
+
+	got := pc.Get(attrs) // miss: single columns are pre-warmed, pairs are not
+	if prov.calls[attrs] != 1 {
+		t.Fatalf("provider consulted %d times, want 1", prov.calls[attrs])
+	}
+	if !reflect.DeepEqual(got.Tuples, fresh.Tuples) || !reflect.DeepEqual(got.Offsets, fresh.Offsets) {
+		t.Fatalf("provider-served partition differs from fresh\n got: %v %v\nwant: %v %v",
+			got.Tuples, got.Offsets, fresh.Tuples, fresh.Offsets)
+	}
+	// The materialized partition was stored: the next Get is a hit and the
+	// provider is not consulted again.
+	before := pc.Stats()
+	pc.Get(attrs)
+	after := pc.Stats()
+	if after.Hits != before.Hits+1 || prov.calls[attrs] != 1 {
+		t.Fatalf("second Get: hits %d->%d, provider calls %d", before.Hits, after.Hits, prov.calls[attrs])
+	}
+	// An unregistered set falls through to the product path.
+	other := Single(2).With(3)
+	want := PartitionOf(rel, other).Strip()
+	if got := pc.Get(other); !reflect.DeepEqual(got.Tuples, want.Tuples) {
+		t.Fatalf("unregistered set mis-served")
+	}
+	if prov.calls[other] != 1 {
+		t.Fatalf("provider must still be consulted (and decline) for unregistered sets: %d", prov.calls[other])
+	}
+}
+
+// TestCacheInvalidateTouchedCount pins InvalidateTouched's return value:
+// exactly the number of resident entries intersecting the touched set.
+func TestCacheInvalidateTouchedCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	rel := randRelation(t, rng, 100, 4, 3)
+	pc := NewPartitionCache(rel) // pre-warms 4 single columns
+	pc.Get(Single(0).With(1))
+	pc.Get(Single(2).With(3))
+	pc.Get(Single(0).With(2).With(3))
+	if n := pc.InvalidateTouched(EmptySet); n != 0 {
+		t.Fatalf("empty touched dropped %d", n)
+	}
+	// Touching column 3 intersects {3}, {2,3}, {0,2,3}.
+	if n := pc.InvalidateTouched(Single(3)); n != 3 {
+		t.Fatalf("touched {3} dropped %d, want 3", n)
+	}
+	// Already dropped: a second invalidation finds nothing.
+	if n := pc.InvalidateTouched(Single(3)); n != 0 {
+		t.Fatalf("repeat invalidation dropped %d, want 0", n)
+	}
+	// The untouched entries survived.
+	st := pc.Stats()
+	if st.Entries != 4 { // {0}, {1}, {2}, {0,1}
+		t.Fatalf("entries after invalidation = %d, want 4", st.Entries)
+	}
+}
+
+// TestCacheStatsOverlayBytes pins the OverlayBytes surfaces: Stats reports
+// the provider's resident figure, and budget enforcement charges it
+// against the byte budget, leaving the cache only the remainder.
+func TestCacheStatsOverlayBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rel := randRelation(t, rng, 300, 5, 3)
+	pc := NewPartitionCache(rel)
+	if st := pc.Stats(); st.OverlayBytes != 0 {
+		t.Fatalf("no provider: OverlayBytes = %d", st.OverlayBytes)
+	}
+	prov := &stubProvider{bytes: 4096}
+	pc.SetOverlayProvider(prov)
+	if st := pc.Stats(); st.OverlayBytes != 4096 {
+		t.Fatalf("OverlayBytes = %d, want 4096", st.OverlayBytes)
+	}
+
+	// Fill the cache beyond what (budget - overlay bytes) allows, then arm
+	// the budget: enforcement must shed entries until cache payload fits in
+	// the remainder the overlays leave.
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			pc.Get(Single(a).With(b))
+		}
+	}
+	st := pc.Stats()
+	if st.Bytes <= 2048 {
+		t.Skipf("instance too small to exercise the budget: %d bytes", st.Bytes)
+	}
+	budget := st.Bytes // generous without overlays...
+	pc.SetBudget(budget)
+	st = pc.Stats()
+	if st.Bytes > budget-prov.bytes {
+		t.Fatalf("cache keeps %d bytes, budget %d minus overlay %d leaves %d",
+			st.Bytes, budget, prov.bytes, budget-prov.bytes)
+	}
+	if st.Budget != budget {
+		t.Fatalf("Stats budget = %d, want %d", st.Budget, budget)
+	}
+}
+
+// TestCacheOffersComputedPartitions pins the adoption direction of the
+// provider contract: every partition the cache computes and stores on a
+// miss is offered back to the provider (the registry adopts it as a
+// pending overlay base), and the offered pointer is exactly the stored
+// partition. Overlay-served misses are offered too — the provider
+// ignores offers for sets it already serves fresh.
+func TestCacheOffersComputedPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rel := randRelation(t, rng, 150, 3, 4)
+	pc := NewPartitionCache(rel)
+	prov := &stubProvider{}
+	pc.SetOverlayProvider(prov)
+
+	attrs := Single(0).With(2)
+	got := pc.Get(attrs) // miss: computed by product, stored, offered
+	if prov.offered[attrs] != got {
+		t.Fatalf("computed partition not offered back (offered %v)", prov.offered[attrs])
+	}
+	// A hit must not re-offer: drop the record and Get again.
+	delete(prov.offered, attrs)
+	pc.Get(attrs)
+	if _, ok := prov.offered[attrs]; ok {
+		t.Fatal("cache hit must not offer")
+	}
+}

@@ -1,0 +1,188 @@
+package snapshot
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/discovery"
+	"github.com/fastofd/fastofd/internal/gen"
+	"github.com/fastofd/fastofd/internal/pipeline"
+	"github.com/fastofd/fastofd/internal/relation"
+	"github.com/fastofd/fastofd/internal/wire"
+)
+
+// newTestPipeline builds a merged pipeline over a clinical projection and
+// returns it with a batch generator (updates drawn from the live value
+// pool) and an append-row generator.
+func newTestPipeline(t *testing.T, seed int64) (*pipeline.Pipeline, func() []core.CellUpdate, func() []string) {
+	t.Helper()
+	ds := gen.Generate(gen.Config{Rows: 120, Seed: 11, Preset: "clinical"})
+	sub, err := ds.Rel.ProjectColumns([]int{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.New(context.Background(), sub, ds.FullOnt, pipeline.Options{
+		FollowCover: true, Shards: 4, Workers: 2,
+	})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([][]string, sub.NumCols())
+	for c := range pool {
+		for r := 0; r < sub.NumRows(); r += 7 {
+			pool[c] = append(pool[c], sub.Dict(c).String(sub.Value(r, c)))
+		}
+	}
+	batch := func() []core.CellUpdate {
+		var ups []core.CellUpdate
+		for u := 0; u < 6; u++ {
+			c := rng.Intn(sub.NumCols())
+			ups = append(ups, core.CellUpdate{
+				Row: rng.Intn(p.Relation().NumRows()), Col: c, Value: pool[c][rng.Intn(len(pool[c]))],
+			})
+		}
+		return ups
+	}
+	appendRow := func() []string {
+		row := make([]string, sub.NumCols())
+		for c := range row {
+			row[c] = pool[c][rng.Intn(len(pool[c]))]
+		}
+		return row
+	}
+	return p, batch, appendRow
+}
+
+// TestPipelineRoundTrip is the merged-pipeline persistence gate: a
+// mutated pipeline saves and reopens with byte-identical report, cover,
+// and epoch; the restored pipeline co-evolves byte-identically with the
+// original under further batches; and both keep matching fresh engines
+// over the final instance.
+func TestPipelineRoundTrip(t *testing.T) {
+	p, batch, appendRow := newTestPipeline(t, 5)
+	for b := 0; b < 3; b++ {
+		if _, err := p.ApplyBatch(context.Background(), batch()); err != nil {
+			t.Fatalf("ApplyBatch: %v", err)
+		}
+	}
+	if _, err := p.AppendRows([][]string{appendRow(), appendRow()}); err != nil {
+		t.Fatalf("AppendRows: %v", err)
+	}
+	wantReport := reportJSON(t, p.Report())
+	wantCover := p.Cover()
+	wantEpoch := p.Monitor().Epoch()
+
+	got := saveOpen(t, &State{Pipeline: p}, Options{Workers: 2})
+	if got.Pipeline == nil {
+		t.Fatal("restored state has no pipeline")
+	}
+	if got.Monitor != nil || got.Maintainer != nil || got.Cache != nil {
+		t.Fatal("a pipeline state must own its engines and cache exclusively")
+	}
+	rp := got.Pipeline
+	if gotRep := reportJSON(t, rp.Report()); gotRep != wantReport {
+		t.Fatalf("restored report differs\n got: %s\nwant: %s", gotRep, wantReport)
+	}
+	if gotCover := rp.Cover(); !reflect.DeepEqual(gotCover, wantCover) {
+		t.Fatalf("restored cover differs\n got: %v\nwant: %v", gotCover, wantCover)
+	}
+	if gotEpoch := rp.Monitor().Epoch(); gotEpoch != wantEpoch {
+		t.Fatalf("restored epoch %d, want %d", gotEpoch, wantEpoch)
+	}
+
+	// Co-evolve the original and the restored pipeline with identical
+	// batches: every observable stays byte-identical, and both keep
+	// matching fresh engines over the current instance.
+	ont := rp.Monitor().Ontology()
+	for b := 0; b < 3; b++ {
+		ups := batch()
+		if _, err := p.ApplyBatch(context.Background(), ups); err != nil {
+			t.Fatalf("co-evolve batch %d (original): %v", b, err)
+		}
+		if _, err := rp.ApplyBatch(context.Background(), ups); err != nil {
+			t.Fatalf("co-evolve batch %d (restored): %v", b, err)
+		}
+		row := appendRow()
+		if _, err := p.AppendRows([][]string{row}); err != nil {
+			t.Fatalf("co-evolve append %d (original): %v", b, err)
+		}
+		if _, err := rp.AppendRows([][]string{row}); err != nil {
+			t.Fatalf("co-evolve append %d (restored): %v", b, err)
+		}
+		a, bb := reportJSON(t, p.Report()), reportJSON(t, rp.Report())
+		if a != bb {
+			t.Fatalf("co-evolve batch %d: reports diverged\noriginal: %s\nrestored: %s", b, a, bb)
+		}
+		if !reflect.DeepEqual(p.Cover(), rp.Cover()) {
+			t.Fatalf("co-evolve batch %d: covers diverged\noriginal: %v\nrestored: %v", b, p.Cover(), rp.Cover())
+		}
+	}
+	cover := rp.Cover()
+	want := discovery.Discover(rp.Relation(), ont, discovery.DefaultOptions()).OFDs
+	if !reflect.DeepEqual(cover, want) {
+		t.Fatalf("restored pipeline cover diverged from fresh discovery\n got: %v\nwant: %v", cover, want)
+	}
+	if gotRep, wantRep := reportJSON(t, rp.Report()), reportJSON(t, core.Detect(rp.Relation(), ont, cover)); gotRep != wantRep {
+		t.Fatalf("restored pipeline report diverged from fresh detect\n got: %s\nwant: %s", gotRep, wantRep)
+	}
+}
+
+// TestPipelineSnapshotSections pins the one-copy layout: a pipeline
+// snapshot holds exactly one relation, ontology, cache, and pipeline
+// section — no standalone monitor or maintainer sections, no duplicates.
+func TestPipelineSnapshotSections(t *testing.T) {
+	p, batch, _ := newTestPipeline(t, 7)
+	if _, err := p.ApplyBatch(context.Background(), batch()); err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	img, err := Encode(&State{Pipeline: p})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	r := wire.NewReader(img)
+	r.Uint64() // magic
+	r.Uint32() // version
+	n := int(r.Uint32())
+	seen := map[string]int{}
+	for k := 0; k < n; k++ {
+		name := r.String()
+		r.Uint32()
+		r.AlignedBlob()
+		seen[name]++
+	}
+	if r.Err() != nil {
+		t.Fatalf("section table: %v", r.Err())
+	}
+	for name, c := range seen {
+		if c != 1 {
+			t.Fatalf("section %q appears %d times", name, c)
+		}
+	}
+	for _, name := range []string{secRelation, secOntology, secCache, secPipeline} {
+		if seen[name] != 1 {
+			t.Fatalf("missing section %q (got %v)", name, seen)
+		}
+	}
+	if seen[secMonitor] != 0 || seen[secMaintainer] != 0 {
+		t.Fatalf("pipeline snapshot must not carry standalone engine sections (got %v)", seen)
+	}
+}
+
+// TestPipelineStateOwnership pins Save's exclusivity rule: a state with a
+// pipeline must leave the standalone engine and cache fields nil.
+func TestPipelineStateOwnership(t *testing.T) {
+	p, _, _ := newTestPipeline(t, 9)
+	for name, st := range map[string]*State{
+		"monitor":    {Pipeline: p, Monitor: p.Monitor()},
+		"maintainer": {Pipeline: p, Maintainer: p.Maintainer()},
+		"cache":      {Pipeline: p, Cache: relation.NewPartitionCache(p.Relation())},
+	} {
+		if _, err := Encode(st); err == nil {
+			t.Fatalf("Encode must reject pipeline + standalone %s", name)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"github.com/fastofd/fastofd/internal/discovery"
 	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/pipeline"
 	"github.com/fastofd/fastofd/internal/relation"
 	"github.com/fastofd/fastofd/internal/wire"
 )
@@ -48,8 +49,9 @@ const (
 	magic = uint64(0x50414e5344464f46)
 	// Version is the current format version. Bumped on any layout change
 	// inside a section; Open rejects other versions outright rather than
-	// guessing.
-	Version = uint32(1)
+	// guessing. Version 2: engine sections split verifier-first, and the
+	// pipeline section stores one shared verifier for both engine bodies.
+	Version = uint32(2)
 )
 
 // Section names. Order in the file is fixed (dependencies decode first);
@@ -60,6 +62,7 @@ const (
 	secCache      = "cache"
 	secMonitor    = "monitor"
 	secMaintainer = "maintainer"
+	secPipeline   = "pipeline"
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -75,6 +78,11 @@ type State struct {
 	Cache      *relation.PartitionCache
 	Monitor    *core.Monitor
 	Maintainer *discovery.Maintainer
+	// Pipeline is the merged engine pair over one shared substrate. It
+	// owns its monitor, maintainer, and cache: a state with Pipeline set
+	// must leave Monitor, Maintainer, and Cache nil (Save enforces it),
+	// and its snapshot stores the shared verifier and cache exactly once.
+	Pipeline *pipeline.Pipeline
 }
 
 // Options configures Open.
@@ -99,6 +107,7 @@ func (st *State) resolve() (*relation.Relation, *ontology.Ontology, error) {
 	}{
 		{secMonitor, relOf(st.Monitor), ontOf(st.Monitor)},
 		{secMaintainer, relOfMt(st.Maintainer), ontOfMt(st.Maintainer)},
+		{secPipeline, relOfP(st.Pipeline), ontOfP(st.Pipeline)},
 	} {
 		if c.rel == nil {
 			continue
@@ -141,6 +150,20 @@ func relOfMt(mt *discovery.Maintainer) *relation.Relation {
 	return mt.Relation()
 }
 
+func relOfP(p *pipeline.Pipeline) *relation.Relation {
+	if p == nil {
+		return nil
+	}
+	return p.Relation()
+}
+
+func ontOfP(p *pipeline.Pipeline) *ontology.Ontology {
+	if p == nil {
+		return nil
+	}
+	return p.Monitor().Ontology()
+}
+
 func ontOfMt(mt *discovery.Maintainer) *ontology.Ontology {
 	if mt == nil {
 		return nil
@@ -155,8 +178,11 @@ func Encode(st *State) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if (st.Monitor != nil || st.Maintainer != nil) && ont == nil {
-		return nil, fmt.Errorf("snapshot: monitor/maintainer sections require an ontology")
+	if (st.Monitor != nil || st.Maintainer != nil || st.Pipeline != nil) && ont == nil {
+		return nil, fmt.Errorf("snapshot: monitor/maintainer/pipeline sections require an ontology")
+	}
+	if st.Pipeline != nil && (st.Monitor != nil || st.Maintainer != nil || st.Cache != nil) {
+		return nil, fmt.Errorf("snapshot: a pipeline state owns its engines and cache; leave Monitor, Maintainer, and Cache nil")
 	}
 	type section struct {
 		name    string
@@ -187,9 +213,16 @@ func Encode(st *State) ([]byte, error) {
 			return nil, err
 		}
 	}
-	if st.Cache != nil {
+	// A pipeline snapshot stores the shared cache as the ordinary cache
+	// section — decode restores it first and hands it to the pipeline, so
+	// the reopened pipeline starts warm without a second copy.
+	cache := st.Cache
+	if cache == nil && st.Pipeline != nil {
+		cache = st.Pipeline.Cache()
+	}
+	if cache != nil {
 		_ = add(secCache, func(w *wire.Writer) error {
-			st.Cache.AppendTo(w)
+			cache.AppendTo(w)
 			return nil
 		})
 	}
@@ -202,6 +235,12 @@ func Encode(st *State) ([]byte, error) {
 	if st.Maintainer != nil {
 		_ = add(secMaintainer, func(w *wire.Writer) error {
 			discovery.AppendMaintainer(w, st.Maintainer)
+			return nil
+		})
+	}
+	if st.Pipeline != nil {
+		_ = add(secPipeline, func(w *wire.Writer) error {
+			pipeline.Append(w, st.Pipeline)
 			return nil
 		})
 	}
@@ -327,6 +366,18 @@ func Decode(img []byte, opts Options) (*State, error) {
 				return nil, fmt.Errorf("snapshot: maintainer: %w", err)
 			}
 			st.Maintainer = mt
+		case secPipeline:
+			if st.Relation == nil || st.Ontology == nil {
+				return nil, fmt.Errorf("snapshot: pipeline section requires relation and ontology sections")
+			}
+			p, err := pipeline.Decode(sr, st.Relation, st.Ontology, st.Cache, opts.Workers, opts.Stats)
+			if err != nil {
+				return nil, fmt.Errorf("snapshot: pipeline: %w", err)
+			}
+			st.Pipeline = p
+			// The cache belongs to the pipeline in this shape; the State
+			// field mirrors the ownership rule Save enforces.
+			st.Cache = nil
 		default:
 			// Unknown section: a newer writer added it; skip.
 		}
