@@ -42,12 +42,64 @@ type discoveryReport struct {
 	// across all batches).
 	CoverSize  int           `json:"cover_size"`
 	CoverChurn int           `json:"cover_churn"`
-	Results    []benchResult `json:"results"`
+	// Configs pins every (size, batch) combination's own speedup, cover
+	// identity, and repair-verifier counters — including the update-heavy
+	// configurations (small batches over sub-headline sizes) CI gates on.
+	Configs []discoveryConfig `json:"configs"`
+	Results []benchResult     `json:"results"`
 	// Stats carries the maintain.build / maintain.dirty / maintain.verify
 	// / maintain.diff spans (and the baselines' discover.* spans)
 	// accumulated across the runs; maintain.verify's skipped counter is
 	// the oracle's pruning rate.
 	Stats *exec.Stats `json:"stats"`
+}
+
+// discoveryVerifierStats is one maintained run's repair-verifier
+// telemetry: the oracle's pruning rate over re-opened lattice nodes, the
+// multi-RHS wave kernel's traversal sharing, and the persistent repair
+// cache's cross-batch behaviour (counters are deltas over the replay, so
+// construction-time warmup is excluded).
+type discoveryVerifierStats struct {
+	// Scans and Skips split the repaired lattice nodes into verified vs
+	// oracle-answered; OracleHitRate = skips / (scans + skips).
+	Scans         int64   `json:"scans"`
+	Skips         int64   `json:"skips"`
+	OracleHitRate float64 `json:"oracle_hit_rate"`
+	// RefinedProbes is the subset of Scans answered by root refinement —
+	// BFS climb nodes decided from the demoted seed's tracked unsatisfied
+	// classes without touching the wave kernel.
+	RefinedProbes int64 `json:"refined_probes"`
+	// KernelTraversals is the number of Π*_X partition walks the wave
+	// scheduler executed, KernelProbes the (LHS, RHS) verdicts those walks
+	// produced; KernelFanIn = probes / traversals is the number of
+	// per-pair walks each shared traversal replaced.
+	KernelTraversals int64   `json:"kernel_traversals"`
+	KernelProbes     int64   `json:"kernel_probes"`
+	KernelFanIn      float64 `json:"kernel_fan_in"`
+	// Cross-batch partition-cache effectiveness of the persistent repair
+	// substrate: hits answered from cache, misses recomputed, resident
+	// payload bytes at the end of the replay.
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheBytes     int64  `json:"cache_bytes"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+}
+
+// discoveryConfig summarizes one (size, batch) combination: its own
+// incremental speedup and cover identity, plus the best maintained run's
+// verifier telemetry. UpdateHeavy marks the pinned update-dominated
+// configurations (sub-headline sizes with 0.1%/1% batches) that CI's
+// smoke gate checks beyond the headline numbers.
+type discoveryConfig struct {
+	N               int                    `json:"n"`
+	BatchSize       int                    `json:"batch_size"`
+	AppendsPerBatch int                    `json:"appends_per_batch"`
+	UpdateHeavy     bool                   `json:"update_heavy"`
+	MaintainedNs    float64                `json:"maintained_ns_per_batch"`
+	RediscoverNs    float64                `json:"rediscover_ns_per_batch"`
+	Speedup         float64                `json:"incremental_speedup"`
+	CoverIdentical  bool                   `json:"cover_identical"`
+	Verifier        discoveryVerifierStats `json:"verifier"`
 }
 
 // discoveryStream builds a seeded stream of nBatches batches over the
@@ -202,8 +254,11 @@ func runDiscoveryBench(ctx context.Context, stats *exec.Stats, path string, rows
 	batchPcts := []float64{0.1, 1.0} // percent of rows updated per batch
 	nBatches := 4
 	if smoke {
+		// Two batch sizes even in smoke: the 0.1% config is the update-heavy
+		// gate (appends = batch/20 rounds to ~0, so batches are pure-update),
+		// the 1% config the headline speedup.
 		sizes = []int{rows}
-		batchPcts = []float64{1.0}
+		batchPcts = []float64{0.1, 1.0}
 		nBatches = 2
 	}
 	if len(cpuList) == 0 {
@@ -236,6 +291,7 @@ func runDiscoveryBench(ctx context.Context, stats *exec.Stats, path string, rows
 			// of the instance; effective worker counts dedup the grid.
 			seen := map[int]bool{}
 			var bestNs float64
+			var bestVerifier discoveryVerifierStats
 			var covers []string
 			churn := 0
 			for _, w := range cpuList {
@@ -254,12 +310,33 @@ func runDiscoveryBench(ctx context.Context, stats *exec.Stats, path string, rows
 				if err != nil {
 					return partial(err)
 				}
+				scans0, skips0 := mt.Scans(), mt.Skips()
+				refines0 := mt.Refines()
+				trav0, probes0 := mt.KernelStats()
+				cache0 := mt.RepairCache().Stats()
 				start := time.Now()
 				c, err := replayMaintained(ctx, mt, batches)
 				if err != nil {
 					return partial(err)
 				}
 				perBatch := float64(time.Since(start).Nanoseconds()) / float64(nBatches)
+				vs := discoveryVerifierStats{
+					Scans:         mt.Scans() - scans0,
+					Skips:         mt.Skips() - skips0,
+					RefinedProbes: mt.Refines() - refines0,
+				}
+				if total := vs.Scans + vs.Skips; total > 0 {
+					vs.OracleHitRate = float64(vs.Skips) / float64(total)
+				}
+				trav, probes := mt.KernelStats()
+				vs.KernelTraversals, vs.KernelProbes = trav-trav0, probes-probes0
+				if vs.KernelTraversals > 0 {
+					vs.KernelFanIn = float64(vs.KernelProbes) / float64(vs.KernelTraversals)
+				}
+				cs := mt.RepairCache().Stats().Since(cache0)
+				vs.CacheHits, vs.CacheMisses = cs.Hits, cs.Misses
+				vs.CacheBytes = mt.RepairCache().Stats().Bytes
+				vs.CacheEvictions = cs.Evictions
 				churn = c
 				cov, err := json.Marshal(mt.Cover())
 				if err != nil {
@@ -273,6 +350,7 @@ func runDiscoveryBench(ctx context.Context, stats *exec.Stats, path string, rows
 				})
 				if bestNs == 0 || perBatch < bestNs {
 					bestNs = perBatch
+					bestVerifier = vs
 				}
 			}
 
@@ -309,13 +387,29 @@ func runDiscoveryBench(ctx context.Context, stats *exec.Stats, path string, rows
 			if err != nil {
 				return partial(err)
 			}
+			cfgIdentical := true
 			for _, c := range covers {
 				if c != string(refJSON) {
 					report.CoverIdentical = false
+					cfgIdentical = false
 					fmt.Fprintf(os.Stderr, "discoverybench: n=%d batch=%d: maintained cover differs from fresh discovery\n", n, batchSize)
 					break
 				}
 			}
+			cfg := discoveryConfig{
+				N:               n,
+				BatchSize:       batchSize,
+				AppendsPerBatch: appends,
+				UpdateHeavy:     (n == rows/4 && pct == 1.0) || (n == rows/2 && pct == batchPcts[0]) || (smoke && pct == batchPcts[0]),
+				MaintainedNs:    bestNs,
+				RediscoverNs:    rediscoverNs,
+				CoverIdentical:  cfgIdentical,
+				Verifier:        bestVerifier,
+			}
+			if rediscoverNs > 0 && bestNs > 0 {
+				cfg.Speedup = rediscoverNs / bestNs
+			}
+			report.Configs = append(report.Configs, cfg)
 			if n == sizes[len(sizes)-1] && pct == batchPcts[len(batchPcts)-1] {
 				if rediscoverNs > 0 && bestNs > 0 {
 					report.IncrementalSpeedup = rediscoverNs / bestNs

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/fastofd/fastofd/internal/ontology"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// randomSynInstance builds a small random relation plus a random synonym
+// ontology over its value universe — covered and uncovered consequents mix
+// freely, so the multi-RHS kernel's two per-class branches (sense test and
+// FD-equality walk) both see traffic.
+func randomSynInstance(rng *rand.Rand) (*relation.Relation, *ontology.Ontology) {
+	cols := 2 + rng.Intn(4)
+	rows := 2 + rng.Intn(14)
+	domain := 1 + rng.Intn(5)
+	names := make([]string, cols)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%d", i)
+	}
+	rel := relation.New(relation.MustSchema(names...))
+	row := make([]string, cols)
+	for r := 0; r < rows; r++ {
+		for c := range row {
+			row[c] = fmt.Sprintf("v%d", rng.Intn(domain))
+		}
+		rel.AppendRow(row)
+	}
+	o := ontology.New()
+	numClasses := rng.Intn(5)
+	for c := 0; c < numClasses; c++ {
+		var syn []string
+		for v := 0; v < domain; v++ {
+			if rng.Intn(2) == 0 {
+				syn = append(syn, fmt.Sprintf("v%d", v))
+			}
+		}
+		o.MustAddClass(fmt.Sprintf("cls%d", c), fmt.Sprintf("sense%d", c%2), ontology.NoClass, syn...)
+	}
+	return rel, o
+}
+
+// TestHoldsSynMultiMatchesOnePass is the wave kernel's correctness
+// property: for every antecedent set and every consequent list,
+// HoldsSynMulti's k-th verdict equals HoldsSynOnePass on (lhs, rhs[k]) —
+// including trivial consequents inside the antecedent, duplicated
+// consequents, and single-element lists.
+func TestHoldsSynMultiMatchesOnePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		rel, ont := randomSynInstance(rng)
+		v := NewVerifier(rel, ont, nil)
+		nCols := rel.NumCols()
+		allRHS := make([]int, nCols)
+		for c := range allRHS {
+			allRHS[c] = c
+		}
+		for bits := 0; bits < 1<<nCols; bits++ {
+			lhs := relation.AttrSet(bits)
+			got := v.HoldsSynMulti(lhs, allRHS)
+			for k, rhs := range allRHS {
+				want := v.HoldsSynOnePass(OFD{LHS: lhs, RHS: rhs})
+				if got[k] != want {
+					t.Fatalf("trial %d: HoldsSynMulti(%v)[%d]=%v, HoldsSynOnePass(%v->%d)=%v",
+						trial, lhs, rhs, got[k], lhs, rhs, want)
+				}
+			}
+			// Duplicates and permutations answer per-slot, independent of
+			// the other slots sharing the traversal.
+			if nCols >= 2 {
+				dup := []int{allRHS[nCols-1], allRHS[0], allRHS[0]}
+				gotDup := v.HoldsSynMulti(lhs, dup)
+				for k, rhs := range dup {
+					if want := v.HoldsSynOnePass(OFD{LHS: lhs, RHS: rhs}); gotDup[k] != want {
+						t.Fatalf("trial %d: duplicated rhs list diverged at slot %d (%v->%d)", trial, k, lhs, rhs)
+					}
+				}
+			}
+		}
+		if out := v.HoldsSynMulti(relation.EmptySet, nil); len(out) != 0 {
+			t.Fatalf("trial %d: empty consequent list returned %v", trial, out)
+		}
+	}
+}
+
+// FuzzHoldsSynMulti drives the same equivalence from fuzzed instance
+// seeds and antecedent masks, so the corpus explores class shapes the
+// fixed-seed property test does not.
+func FuzzHoldsSynMulti(f *testing.F) {
+	f.Add(int64(1), uint8(0b01))
+	f.Add(int64(42), uint8(0b11))
+	f.Add(int64(-7), uint8(0xFF))
+	f.Fuzz(func(t *testing.T, seed int64, lhsBits uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		rel, ont := randomSynInstance(rng)
+		v := NewVerifier(rel, ont, nil)
+		nCols := rel.NumCols()
+		lhs := relation.AttrSet(lhsBits) & relation.AttrSet(uint64(1)<<uint(nCols)-1)
+		rhs := make([]int, nCols)
+		for c := range rhs {
+			rhs[c] = c
+		}
+		got := v.HoldsSynMulti(lhs, rhs)
+		if len(got) != len(rhs) {
+			t.Fatalf("verdict length %d for %d consequents", len(got), len(rhs))
+		}
+		for k, c := range rhs {
+			if want := v.HoldsSynOnePass(OFD{LHS: lhs, RHS: c}); got[k] != want {
+				t.Fatalf("seed %d lhs %v rhs %d: multi=%v one-pass=%v", seed, lhs, c, got[k], want)
+			}
+		}
+	})
+}

@@ -313,6 +313,70 @@ func (v *Verifier) HoldsSynOnePass(d OFD) bool {
 	return true
 }
 
+// HoldsSynMulti verifies X →_syn A for every consequent in rhs with ONE
+// traversal of Π*_X, returning per-consequent verdicts in rhs order. Each
+// verdict is exactly HoldsSynOnePass(OFD{lhs, rhs[k]}) — trivial
+// consequents (lhs ∋ A) answer true without work, covered consequents run
+// the per-class sense test, uncovered ones the inline FD-equality walk —
+// but the partition is fetched and walked once for all of them instead of
+// once per (LHS, RHS) pair. A consequent drops out of the walk at its
+// first violating class (the early-exit the one-pass form has), so the
+// per-class cost shrinks as verdicts settle; the walk stops entirely once
+// every consequent is decided. This is the repair scheduler's wave
+// kernel: co-probing consequents share the dominant partition cost.
+func (v *Verifier) HoldsSynMulti(lhs relation.AttrSet, rhs []int) []bool {
+	return v.HoldsSynMultiBuf(lhs, rhs, nil)
+}
+
+// HoldsSynMultiBuf is HoldsSynMulti with a caller-supplied ProductBuffer
+// for any partition products a cache miss needs. Hot repair loops hold
+// one buffer per worker; a nil buf falls back to transient scratch.
+func (v *Verifier) HoldsSynMultiBuf(lhs relation.AttrSet, rhs []int, buf *relation.ProductBuffer) []bool {
+	out := make([]bool, len(rhs))
+	pending := make([]int, 0, len(rhs))
+	for k := range rhs {
+		out[k] = true
+		if !lhs.Has(rhs[k]) {
+			pending = append(pending, k)
+		}
+	}
+	if len(pending) == 0 {
+		return out
+	}
+	p := v.pc.GetWith(lhs, buf)
+	cols := make([]*relation.Col, len(rhs))
+	for _, k := range pending {
+		cols[k] = v.rel.Column(rhs[k])
+	}
+	for i := 0; i < p.NumClasses() && len(pending) > 0; i++ {
+		class := p.Class(i)
+		kept := pending[:0]
+		for _, k := range pending {
+			ok := false
+			if v.covered[rhs[k]].Load() {
+				ok = v.classSatisfied(class, rhs[k])
+			} else {
+				col := cols[k]
+				first := col.At(int(class[0]))
+				ok = true
+				for _, t := range class[1:] {
+					if col.At(int(t)) != first {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				kept = append(kept, k)
+			} else {
+				out[k] = false
+			}
+		}
+		pending = kept
+	}
+	return out
+}
+
 // HoldsFD reports whether the traditional FD X → A holds (syntactic
 // equality), used by the Opt-4 pruning rule and by the FD baselines.
 // It uses TANE's partition-error comparison e(X) = e(X ∪ A), which is

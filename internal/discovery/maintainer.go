@@ -13,6 +13,13 @@ import (
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
+// DefaultRepairCacheBudget is the byte budget a standalone maintainer
+// puts on its persistent repair partition cache when Options leaves
+// RepairCacheBudget zero and supplies no cache of its own. Generous
+// enough that update streams over mid-size instances never evict, small
+// enough that a long-lived maintainer cannot grow without bound.
+const DefaultRepairCacheBudget int64 = 256 << 20
+
 // Diff is one batch's change to the maintained minimal cover: the OFDs
 // that entered and left it, each sorted in canonical core.Set order.
 // Epoch is the maintainer's state version after the batch; an unchanged
@@ -86,17 +93,26 @@ type Maintainer struct {
 	workers int
 	stats   *exec.Stats
 
-	// pv, in pipeline mode (Options.Verifier), is the partition-cache-
-	// backed verifier shared with the monitor and repair search: repair
-	// verification reuses its cache across batches instead of building a
-	// fresh PartitionCacheParallel per batch, with staleness handled by
-	// InvalidateTouched on updates and the cache's row stamps on appends.
-	// Nil in standalone mode (per-batch verifier, the historical shape).
+	// pv is the persistent partition-cache-backed verifier repair
+	// verification runs on: in pipeline mode (Options.Verifier) the one
+	// shared with the monitor, standalone the byte-budgeted substrate
+	// buildFromCover installs. Either way its cache is reused across
+	// batches instead of being rebuilt per batch, with staleness handled
+	// by InvalidateTouched on updates and the cache's row stamps on
+	// appends. Always non-nil after construction or restore; standalone,
+	// pv == v (one names table, one cache).
 	pv *core.Verifier
-	// overlays, when set (SetOverlays), is the pipeline's live overlay
-	// registry: updates mark intersecting overlays stale, appends route
-	// into them, and cover churn adjusts their reference counts.
+	// overlays is the live overlay registry over pv's cache: updates mark
+	// intersecting overlays stale, appends route into them, and cover
+	// churn adjusts their reference counts. The pipeline installs its
+	// shared registry via SetOverlays; standalone construction installs a
+	// private one.
 	overlays *live.Overlays
+
+	// serialRepair forces the per-batch repair to handle flipped
+	// consequents one at a time (Options.SerialRepair); the default stages
+	// all of them as concurrent tasks on the wave scheduler.
+	serialRepair bool
 
 	all   relation.AttrSet
 	rhs   []*rhsState
@@ -106,6 +122,16 @@ type Maintainer struct {
 	pending map[int64]int // (row,col) → writes index, batch scratch
 	writes  []cellWrite
 	scans   int64 // cumulative full-candidate verifications
+	skips   int64 // cumulative oracle-answered nodes (not persisted)
+	// Multi-RHS kernel counters: traversals is the number of Π*_X walks
+	// the wave scheduler executed, probes the (LHS, RHS) verdicts those
+	// walks produced — probes/traversals is the kernel's fan-in.
+	waveTraversals int64
+	waveProbes     int64
+	// refines counts the subset of scans answered by root refinement —
+	// climb nodes decided from the demoted seed's tracked unsatisfied
+	// classes instead of a wave-kernel partition walk (not persisted).
+	refines int64
 
 	// needHydrate marks a snapshot-restored maintainer whose cover-tracker
 	// key indexes are still in frozen array form; the first mutating
@@ -184,11 +210,12 @@ func checkMaintainerOptions(opts Options) error {
 // and border state.
 func buildFromCover(ctx context.Context, rel *relation.Relation, ont *ontology.Ontology, initial core.Set, opts Options) (*Maintainer, error) {
 	mt := &Maintainer{
-		rel:     rel,
-		workers: opts.Workers,
-		stats:   opts.Stats,
-		all:     rel.Schema().All(),
-		rhs:     make([]*rhsState, rel.NumCols()),
+		rel:          rel,
+		workers:      opts.Workers,
+		stats:        opts.Stats,
+		serialRepair: opts.SerialRepair,
+		all:          rel.Schema().All(),
+		rhs:          make([]*rhsState, rel.NumCols()),
 	}
 	if opts.Verifier != nil {
 		// Pipeline mode: one partition-cache-backed verifier shared across
@@ -197,7 +224,32 @@ func buildFromCover(ctx context.Context, rel *relation.Relation, ont *ontology.O
 		mt.v = opts.Verifier
 		mt.pv = opts.Verifier
 	} else {
-		mt.v = core.NewVerifier(rel, ont, nil)
+		// Standalone mode mirrors the pipeline's substrate instead of
+		// rebuilding it per batch: one long-lived byte-budgeted partition
+		// cache (opts.Cache when the caller restored a snapshot-consistent
+		// one) with a live overlay registry installed as its miss provider,
+		// and one verifier on top serving both tracker maintenance and
+		// repair verification. Quiet columns' partitions now survive across
+		// batches — invalidateTouched evicts exactly the rewritten sets, row
+		// stamps age out pre-append entries, and the budget's cost-model
+		// eviction bounds residency.
+		bpc := opts.Cache
+		if bpc == nil {
+			bpc = relation.NewPartitionCacheParallel(rel, opts.Workers)
+			if opts.RepairCacheBudget == 0 {
+				bpc.SetBudget(DefaultRepairCacheBudget)
+			}
+		}
+		switch {
+		case opts.RepairCacheBudget > 0:
+			bpc.SetBudget(opts.RepairCacheBudget)
+		case opts.RepairCacheBudget < 0:
+			bpc.SetBudget(0)
+		}
+		reg := live.NewOverlays(rel, bpc)
+		bpc.SetOverlayProvider(reg)
+		v := core.NewVerifier(rel, ont, bpc)
+		mt.v, mt.pv, mt.overlays = v, v, reg
 	}
 	w := exec.Workers(opts.Workers)
 	span := mt.stats.Span("maintain.build")
@@ -209,19 +261,11 @@ func buildFromCover(ctx context.Context, rel *relation.Relation, ont *ontology.O
 	cover := initial.Clone()
 	cover.Sort()
 	// Full class trackers for every cover element, built in parallel (each
-	// tracker is self-contained) against a build-time partition-backed
+	// tracker is self-contained) against the persistent partition-backed
 	// verifier — cover and border antecedents overlap heavily, so cached
-	// subset products compound across the whole build. The cache is
-	// released with pv when the build returns, unless the caller supplied
-	// a pre-warmed snapshot-consistent one (opts.Cache).
+	// subset products compound across the whole build and stay warm for
+	// the first batch's repair pass.
 	pv := mt.pv
-	if pv == nil {
-		bpc := opts.Cache
-		if bpc == nil {
-			bpc = relation.NewPartitionCacheParallel(rel, opts.Workers)
-		}
-		pv = core.NewVerifier(rel, ont, bpc)
-	}
 	trackers := make([]*coverTracker, len(cover))
 	err := exec.For(ctx, len(cover), w, func(_, i int) {
 		trackers[i] = newCoverTrackerParts(pv, mt.v, cover[i])
@@ -240,6 +284,18 @@ func buildFromCover(ctx context.Context, rel *relation.Relation, ont *ontology.O
 			return nil, err
 		}
 		span.Items(len(rs.border))
+	}
+	if opts.Verifier == nil {
+		// Reference the overlays the standalone maintainer keeps consulting
+		// (the pipeline acquires these itself for its registry): one per
+		// cover element and one per single column, so appends key-route into
+		// them instead of forcing partition rebuilds.
+		for _, d := range cover {
+			mt.overlays.Acquire(d.LHS)
+		}
+		for c := 0; c < rel.NumCols(); c++ {
+			mt.overlays.Acquire(relation.EmptySet.With(c))
+		}
 	}
 	mt.rebuildFlat()
 	return mt, nil
@@ -340,6 +396,38 @@ func (mt *Maintainer) Ontology() *ontology.Ontology { return mt.v.Ontology() }
 // would redo per node; the oracle-answered remainder is reported as
 // Skipped on the maintain.verify stage).
 func (mt *Maintainer) Scans() int64 { return mt.scans }
+
+// Skips returns the cumulative number of repair nodes the validity oracle
+// answered without verification since construction. scans/(scans+skips)
+// is the fraction of re-opened lattice nodes that actually paid a
+// partition walk. Unlike Scans, the counter is telemetry only and is not
+// persisted in snapshots.
+func (mt *Maintainer) Skips() int64 { return mt.skips }
+
+// Refines returns the cumulative number of scans (already counted in
+// Scans) that root refinement answered from tracked class state — BFS
+// climb nodes above a demoted cover element whose verdict came from
+// splitting the element's unsatisfied classes rather than from a
+// partition walk. Telemetry only; not persisted in snapshots.
+func (mt *Maintainer) Refines() int64 { return mt.refines }
+
+// KernelStats returns the multi-RHS verification kernel's cumulative
+// counters: traversals is the number of Π*_X partition walks the wave
+// scheduler executed, probes the (LHS, RHS) verdicts those walks
+// produced. probes/traversals is the kernel's fan-in — the number of
+// per-pair traversals each walk replaced.
+func (mt *Maintainer) KernelStats() (traversals, probes int64) {
+	return mt.waveTraversals, mt.waveProbes
+}
+
+// RepairCache returns the persistent partition cache repair verification
+// runs on (the pipeline's shared cache, or the standalone maintainer's
+// private budgeted one). Callers snapshot it alongside the maintainer so
+// a reopened maintainer starts warm, and read Stats() for cross-batch
+// hit/miss/byte counters.
+func (mt *Maintainer) RepairCache() *relation.PartitionCache {
+	return mt.pv.Partitions()
+}
 
 // ApplyBatch applies a batch of cell updates and returns the cover diff.
 // See ApplyBatchContext.
@@ -449,10 +537,10 @@ func (mt *Maintainer) ApplyBatchContext(ctx context.Context, updates []core.Cell
 }
 
 // invalidateTouched evicts shared-state descriptions of attribute sets a
-// batch rewrote: the pipeline's partition-cache entries (row stamps only
+// batch rewrote: the persistent repair cache's entries (row stamps only
 // catch appends, not in-place updates) and the live overlay registry's
-// intersecting overlays. No-op in standalone mode, where the repair
-// verifier's cache is built fresh per batch.
+// intersecting overlays. Everything untouched survives to the next
+// batch's repair pass.
 func (mt *Maintainer) invalidateTouched(touched relation.AttrSet) {
 	if mt.pv != nil {
 		mt.pv.Partitions().InvalidateTouched(touched)
@@ -530,6 +618,12 @@ func (mt *Maintainer) AppendRows(rows [][]string) (Diff, error) {
 		mt.rel.AppendRow(row)
 	}
 	end := int32(mt.rel.NumRows())
+	if mt.pv != nil {
+		// Every resident cache entry now trails the relation's row count.
+		// Lookup already refuses them; dropping them outright keeps dead
+		// partitions from holding the byte budget hostage across batches.
+		mt.pv.Partitions().InvalidateStale()
+	}
 	_ = exec.For(context.Background(), len(mt.flat), w, func(_, i int) {
 		for t := t0; t < end; t++ {
 			mt.flat[i].appendRow(mt.rel, mt.v, t)
@@ -561,26 +655,30 @@ type stagedRHS struct {
 func (mt *Maintainer) verifyAndCommit(ctx context.Context, touched relation.AttrSet, hasAppend bool, rollback func()) (Diff, error) {
 	verifySpan := mt.stats.Span("maintain.verify")
 	verifySpan.Workers(exec.Workers(mt.workers))
-	var staged []stagedRHS
-	scans, skips := 0, 0
-	// Repair verification runs on a partition-backed verifier over the
-	// post-batch instance. Standalone, it is built lazily on the first
-	// consequent that needs repair and shared by all of them (antecedent
-	// sets repeat across consequents, so cached subset partitions
-	// compound), then released with the batch: partition caches are
-	// snapshots, invalid once the relation mutates — unlike the long-lived
-	// mt.v, whose names tables are monotone and mutation-safe. In pipeline
-	// mode the persistent shared verifier serves instead; its cache stays
-	// valid across batches because invalidateTouched evicted the rewritten
-	// sets and row stamps age out pre-append entries.
+	// Repair verification runs on the maintainer's persistent partition-
+	// backed verifier over the post-batch instance — the pipeline's shared
+	// one, or the standalone substrate buildFromCover installed. Its cache
+	// stays valid across batches because invalidateTouched evicted the
+	// rewritten sets and row stamps age out pre-append entries, so only the
+	// touched slice of the partition lattice is repaid per batch.
 	pv := mt.pv
+	type flip struct {
+		rs         *rhsState
+		survivors  []relation.AttrSet
+		demoted    []relation.AttrSet
+		demotedTrk []*coverTracker
+		triggered  []*witnessTracker
+	}
+	var flips []flip
 	for _, rs := range mt.rhs {
 		var survivors, demoted []relation.AttrSet
+		var demotedTrk []*coverTracker
 		for _, ct := range rs.cover {
 			if ct.valid() {
 				survivors = append(survivors, ct.d.LHS)
 			} else {
 				demoted = append(demoted, ct.d.LHS)
+				demotedTrk = append(demotedTrk, ct)
 			}
 		}
 		var triggered []*witnessTracker
@@ -592,40 +690,83 @@ func (mt *Maintainer) verifyAndCommit(ctx context.Context, touched relation.Attr
 		if len(demoted) == 0 && len(triggered) == 0 {
 			continue
 		}
-		if pv == nil {
-			pv = core.NewVerifier(mt.rel, mt.v.Ontology(),
-				relation.NewPartitionCacheParallel(mt.rel, mt.workers))
-		}
+		flips = append(flips, flip{rs: rs, survivors: survivors, demoted: demoted, demotedTrk: demotedTrk, triggered: triggered})
+	}
+	// Cross-consequent parallel repair: every flipped consequent's repairer
+	// runs as its own task (repairers are disjoint in state — private memo,
+	// private border nodes — and the partition cache is sharded), with all
+	// verification rendezvousing at the wave scheduler so co-probing
+	// consequents share one Π*_X traversal per antecedent set. Outcomes are
+	// staged per flip slot and committed in canonical RHS order below;
+	// since every verdict is a pure function of the instance, the result is
+	// byte-identical to a serial repair for any worker count and either
+	// scheduling mode.
+	staged := make([]stagedRHS, len(flips))
+	errs := make([]error, len(flips))
+	scansPer := make([]int, len(flips))
+	skipsPer := make([]int, len(flips))
+	refinedPer := make([]int, len(flips))
+	runOne := func(i int, wv *waveVerifier) {
+		f := flips[i]
 		r := &repairer{
-			mt:        mt,
-			pv:        pv,
-			rhs:       rs.rhs,
-			space:     mt.all.Without(rs.rhs),
-			oldCover:  lhsSets(rs.cover),
-			survivors: survivors,
-			demoted:   demoted,
-			touched:   touched,
-			hasAppend: hasAppend,
-			memo:      make(map[relation.AttrSet]bool),
+			mt:         mt,
+			wv:         wv,
+			rhs:        f.rs.rhs,
+			space:      mt.all.Without(f.rs.rhs),
+			oldCover:   lhsSets(f.rs.cover),
+			survivors:  f.survivors,
+			demoted:    f.demoted,
+			demotedTrk: f.demotedTrk,
+			touched:    touched,
+			rhsTouched: touched.Has(f.rs.rhs),
+			hasAppend:  hasAppend,
+			memo:       make(map[relation.AttrSet]bool),
 		}
-		newCover, err := r.run(ctx, triggered)
-		scans += r.scans
-		skips += r.skips
-		if err != nil {
-			verifySpan.Items(scans)
-			verifySpan.Skipped(skips)
-			verifySpan.End()
-			if rollback != nil {
-				rollback()
+		newCover, err := r.run(ctx, f.triggered)
+		scansPer[i], skipsPer[i], refinedPer[i], errs[i] = r.scans, r.skips, r.refined, err
+		staged[i] = stagedRHS{rhs: f.rs.rhs, newCover: newCover, triggered: f.triggered}
+	}
+	if mt.serialRepair || len(flips) <= 1 {
+		for i := range flips {
+			wv := newWaveVerifier(ctx, pv, mt.workers, 1)
+			runOne(i, wv)
+			tr, pr := wv.kernelStats()
+			mt.waveTraversals += tr
+			mt.waveProbes += pr
+			if errs[i] != nil {
+				break
 			}
-			return Diff{}, err
 		}
-		staged = append(staged, stagedRHS{rhs: rs.rhs, newCover: newCover, triggered: triggered})
+	} else {
+		wv := newWaveVerifier(ctx, pv, mt.workers, len(flips))
+		exec.Tasks(len(flips), func(i int) {
+			defer wv.finish()
+			runOne(i, wv)
+		})
+		tr, pr := wv.kernelStats()
+		mt.waveTraversals += tr
+		mt.waveProbes += pr
+	}
+	scans, skips, refined := 0, 0, 0
+	for i := range flips {
+		scans += scansPer[i]
+		skips += skipsPer[i]
+		refined += refinedPer[i]
 	}
 	verifySpan.Items(scans)
 	verifySpan.Skipped(skips)
-	mt.scans += int64(scans)
 	verifySpan.End()
+	for i := range flips {
+		if errs[i] != nil {
+			if rollback != nil {
+				rollback()
+			}
+			return Diff{}, errs[i]
+		}
+	}
+	mt.scans += int64(scans)
+	mt.skips += int64(skips)
+	mt.refines += int64(refined)
 	// Commit — uncancellable: the batch's writes are already in, every
 	// remaining effect is deterministic bookkeeping.
 	diffSpan := mt.stats.Span("maintain.diff")

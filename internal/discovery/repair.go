@@ -3,9 +3,8 @@ package discovery
 import (
 	"context"
 	"fmt"
+	"sort"
 
-	"github.com/fastofd/fastofd/internal/core"
-	"github.com/fastofd/fastofd/internal/exec"
 	"github.com/fastofd/fastofd/internal/relation"
 )
 
@@ -36,18 +35,21 @@ import (
 //   - therefore the minimal antichain of survivors ∪ BFS boundary ∪
 //     descent results is exactly the post-state minimal cover.
 type repairer struct {
-	mt        *Maintainer
-	pv        *core.Verifier // per-batch partition-backed verifier (post state)
-	rhs       int
-	space     relation.AttrSet   // all attributes minus rhs
-	oldCover  []relation.AttrSet // pre-batch cover antichain (canonical order)
-	survivors []relation.AttrSet // old cover elements still valid
-	demoted   []relation.AttrSet // old cover elements now invalid
-	touched   relation.AttrSet   // columns the batch updated
-	hasAppend bool               // batch appended rows (demote-only signal)
-	memo      map[relation.AttrSet]bool
-	scans     int // one-shot verifications performed
-	skips     int // nodes answered by the oracle without verification
+	mt         *Maintainer
+	wv         *waveVerifier // wave-batched partition-backed verification (post state)
+	rhs        int
+	space      relation.AttrSet   // all attributes minus rhs
+	oldCover   []relation.AttrSet // pre-batch cover antichain (canonical order)
+	survivors  []relation.AttrSet // old cover elements still valid
+	demoted    []relation.AttrSet // old cover elements now invalid
+	demotedTrk []*coverTracker    // trackers aligned with demoted; nil falls back to the wave
+	touched    relation.AttrSet   // columns the batch updated
+	rhsTouched bool               // touched.Has(rhs), hoisted off the per-node oracle path
+	hasAppend  bool               // batch appended rows (demote-only signal)
+	memo       map[relation.AttrSet]bool
+	scans      int // one-shot verifications performed
+	skips      int // nodes answered by the oracle without verification
+	refined    int // of scans, climb nodes answered by root refinement
 }
 
 // oracleAnswer classifies a node without scanning: (valid, known). The
@@ -74,7 +76,7 @@ func (r *repairer) oracleAnswer(x relation.AttrSet) (bool, bool) {
 			break
 		}
 	}
-	updDirty := !r.touched.Intersect(x.With(r.rhs)).IsEmpty()
+	updDirty := r.rhsTouched || !r.touched.Intersect(x).IsEmpty()
 	if preValid {
 		if !r.hasAppend && !updDirty {
 			return true, true
@@ -88,26 +90,21 @@ func (r *repairer) oracleAnswer(x relation.AttrSet) (bool, bool) {
 }
 
 // resolve verifies the given nodes (deduplicated, sorted by the caller)
-// in parallel and memoizes the results. Verification goes through the
-// batch's partition-backed verifier — stripped-partition products answer a
-// node in microseconds where a raw candidate scan pays O(N·|X|), and the
-// cache shares subset partitions across the whole repair pass (every
-// consequent, every level). Cancellation leaves the memo untouched for
-// unfinished nodes; the caller aborts the repair.
-func (r *repairer) resolve(ctx context.Context, nodes []relation.AttrSet) error {
-	if len(nodes) == 0 {
-		return nil
-	}
-	results := make([]bool, len(nodes))
-	w := exec.Workers(r.mt.workers)
-	err := exec.For(ctx, len(nodes), w, func(_, i int) {
-		results[i] = r.pv.HoldsSynOnePass(core.OFD{LHS: nodes[i], RHS: r.rhs})
-	})
+// through the wave scheduler and memoizes the results. Verification goes
+// through the maintainer's partition-backed verifier — stripped-partition
+// products answer a node in microseconds where a raw candidate scan pays
+// O(N·|X|), the cache shares subset partitions across the whole repair
+// pass (every consequent, every level, and across batches), and the wave
+// merges co-probing consequents onto one traversal per antecedent set.
+// Cancellation leaves the memo untouched for unfinished nodes; the caller
+// aborts the repair.
+func (r *repairer) resolve(_ context.Context, nodes []relation.AttrSet) error {
+	verdicts, err := r.wv.verify(r.rhs, nodes)
 	if err != nil {
 		return err
 	}
 	for i, x := range nodes {
-		r.memo[x] = results[i]
+		r.memo[x] = verdicts[i]
 	}
 	r.scans += len(nodes)
 	return nil
@@ -118,12 +115,29 @@ func (r *repairer) resolve(ctx context.Context, nodes []relation.AttrSet) error 
 // the level. nodes must be deduplicated; order is canonicalized here.
 func (r *repairer) classify(ctx context.Context, nodes []relation.AttrSet) (map[relation.AttrSet]bool, error) {
 	relation.SortSets(nodes)
+	return r.classifySorted(ctx, nodes, nil, nil, nil)
+}
+
+// classifySorted is classify's core over canonically ordered nodes, with
+// an optional refinement channel: when roots is non-nil, roots[i] indexes
+// the demoted seed node i climbed from and parents[i] is the frontier
+// node that expanded it, and a node whose seed has a rootRefiner is
+// answered locally from tracked class state — the oracle still goes
+// first (its answers are free), and only refiner-less nodes fall through
+// to the wave kernel.
+func (r *repairer) classifySorted(ctx context.Context, nodes []relation.AttrSet, roots []int, parents []relation.AttrSet, refiners []*rootRefiner) (map[relation.AttrSet]bool, error) {
 	out := make(map[relation.AttrSet]bool, len(nodes))
 	var unknown []relation.AttrSet
-	for _, x := range nodes {
+	for i, x := range nodes {
 		if val, known := r.oracleAnswer(x); known {
 			out[x] = val
 			r.skips++
+		} else if roots != nil && refiners[roots[i]] != nil {
+			val := refiners[roots[i]].holds(x, parents[i])
+			r.memo[x] = val
+			out[x] = val
+			r.scans++
+			r.refined++
 		} else {
 			unknown = append(unknown, x)
 		}
@@ -141,11 +155,30 @@ func (r *repairer) classify(ctx context.Context, nodes []relation.AttrSet) (map[
 // level, returning every valid node found on its upper boundary. By
 // upward closure the boundary contains all minimal valid supersets of the
 // seeds; non-minimal boundary nodes are dropped by the final antichain.
+//
+// Every frontier node carries the demoted seed it grew from: a climb node
+// Y necessarily contains its seed X₀, so when X₀'s cover tracker is
+// available Y verifies through a rootRefiner — splitting X₀'s few
+// unsatisfied classes by Y \ X₀ — instead of paying the wave kernel a
+// partition product over the whole relation. A node reachable from
+// several seeds is claimed by whichever expansion reaches it first in
+// canonical frontier order; any containing seed yields the same verdict,
+// so the choice affects cost only, never the result.
 func (r *repairer) bfsUp(ctx context.Context) ([]relation.AttrSet, error) {
 	if len(r.demoted) == 0 {
 		return nil, nil
 	}
+	refiners := make([]*rootRefiner, len(r.demoted))
+	for i, ct := range r.demotedTrk {
+		if ct != nil {
+			refiners[i] = newRootRefiner(r.mt.v, ct)
+		}
+	}
 	frontier := append([]relation.AttrSet(nil), r.demoted...)
+	froots := make([]int, len(frontier))
+	for i := range froots {
+		froots[i] = i
+	}
 	visited := make(map[relation.AttrSet]bool, 4*len(frontier))
 	for _, x := range frontier {
 		visited[x] = true
@@ -153,29 +186,61 @@ func (r *repairer) bfsUp(ctx context.Context) ([]relation.AttrSet, error) {
 	var boundary []relation.AttrSet
 	for len(frontier) > 0 {
 		var children []relation.AttrSet
-		for _, x := range frontier {
+		var croots []int
+		var cparents []relation.AttrSet
+		for fi, x := range frontier {
 			for _, b := range r.space.Minus(x).Attrs() {
 				c := x.With(b)
 				if !visited[c] {
 					visited[c] = true
 					children = append(children, c)
+					croots = append(croots, froots[fi])
+					cparents = append(cparents, x)
 				}
 			}
 		}
-		verdicts, err := r.classify(ctx, children)
+		sortSetsWithRoots(children, croots, cparents)
+		verdicts, err := r.classifySorted(ctx, children, croots, cparents, refiners)
 		if err != nil {
 			return nil, err
 		}
 		frontier = frontier[:0]
-		for _, c := range children {
+		froots = froots[:0]
+		for i, c := range children {
 			if verdicts[c] {
 				boundary = append(boundary, c)
 			} else {
 				frontier = append(frontier, c)
+				froots = append(froots, croots[i])
 			}
 		}
 	}
 	return boundary, nil
+}
+
+// sortSetsWithRoots applies relation.SortSets's canonical order (length,
+// then bit pattern) to sets while keeping roots and parents aligned.
+func sortSetsWithRoots(sets []relation.AttrSet, roots []int, parents []relation.AttrSet) {
+	sort.Sort(&setsRootsSort{sets, roots, parents})
+}
+
+type setsRootsSort struct {
+	sets    []relation.AttrSet
+	roots   []int
+	parents []relation.AttrSet
+}
+
+func (s *setsRootsSort) Len() int { return len(s.sets) }
+func (s *setsRootsSort) Less(i, j int) bool {
+	if li, lj := s.sets[i].Len(), s.sets[j].Len(); li != lj {
+		return li < lj
+	}
+	return s.sets[i] < s.sets[j]
+}
+func (s *setsRootsSort) Swap(i, j int) {
+	s.sets[i], s.sets[j] = s.sets[j], s.sets[i]
+	s.roots[i], s.roots[j] = s.roots[j], s.roots[i]
+	s.parents[i], s.parents[j] = s.parents[j], s.parents[i]
 }
 
 // descend explores the valid region below the promoted node w level by
@@ -268,26 +333,29 @@ func (r *repairer) run(ctx context.Context, triggered []*witnessTracker) ([]rela
 	}
 	// Cheap partition-backed validity probe over every triggered node; only
 	// the still-invalid ones pay a full scan, which is what produces their
-	// next certificate anyway.
-	w := exec.Workers(r.mt.workers)
-	nowValid := make([]bool, len(triggered))
-	if err := exec.For(ctx, len(triggered), w, func(_, i int) {
-		nowValid[i] = r.pv.HoldsSynOnePass(triggered[i].d)
-	}); err != nil {
+	// next certificate anyway. Both rounds ride the wave scheduler, so
+	// consequents triggered by the same batch share each probed antecedent's
+	// traversal.
+	probeNodes := make([]relation.AttrSet, len(triggered))
+	for i, wt := range triggered {
+		probeNodes[i] = wt.d.LHS
+	}
+	nowValid, err := r.wv.verify(r.rhs, probeNodes)
+	if err != nil {
 		return nil, err
 	}
 	r.scans += len(triggered)
 	var rescan []int
+	var rescanNodes []relation.AttrSet
 	for i, wt := range triggered {
 		r.memo[wt.d.LHS] = nowValid[i]
 		if !nowValid[i] {
 			rescan = append(rescan, i)
+			rescanNodes = append(rescanNodes, wt.d.LHS)
 		}
 	}
-	wits := make([]scanResult, len(rescan))
-	if err := exec.For(ctx, len(rescan), w, func(_, k int) {
-		wits[k] = witnessScanParts(r.pv, triggered[rescan[k]].d)
-	}); err != nil {
+	wits, err := r.wv.witnessScan(r.rhs, rescanNodes)
+	if err != nil {
 		return nil, err
 	}
 	r.scans += len(rescan)

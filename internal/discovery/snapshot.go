@@ -158,14 +158,39 @@ func decodeVCList(r *wire.Reader) ([]live.ValCount, error) {
 	return pairs, nil
 }
 
-// DecodeMaintainer rebuilds a maintainer over rel/ont from a snapshot
-// written by AppendMaintainer: verifier tables first, then the body.
-func DecodeMaintainer(r *wire.Reader, rel *relation.Relation, ont *ontology.Ontology, workers int, stats *exec.Stats) (*Maintainer, error) {
-	v, err := core.DecodeVerifier(r, rel, ont, nil)
+// DecodeMaintainer rebuilds a standalone maintainer over rel/ont from a
+// snapshot written by AppendMaintainer: verifier tables first, then the
+// body. The restored maintainer gets the same persistent repair substrate
+// construction installs — a byte-budgeted partition cache (pc when the
+// caller restored a snapshot-consistent one, so the first batch's repair
+// starts warm; a fresh default-budget cache otherwise) with a live
+// overlay registry as its miss provider, referenced for every restored
+// cover element and single column.
+func DecodeMaintainer(r *wire.Reader, rel *relation.Relation, ont *ontology.Ontology, pc *relation.PartitionCache, workers int, stats *exec.Stats) (*Maintainer, error) {
+	if pc == nil {
+		pc = relation.NewPartitionCache(rel)
+		pc.SetBudget(DefaultRepairCacheBudget)
+	}
+	reg := live.NewOverlays(rel, pc)
+	pc.SetOverlayProvider(reg)
+	v, err := core.DecodeVerifier(r, rel, ont, pc)
 	if err != nil {
 		return nil, err
 	}
-	return DecodeMaintainerBody(r, rel, v, workers, stats)
+	mt, err := DecodeMaintainerBody(r, rel, v, workers, stats)
+	if err != nil {
+		return nil, err
+	}
+	mt.overlays = reg
+	for _, rs := range mt.rhs {
+		for _, ct := range rs.cover {
+			reg.Acquire(ct.d.LHS)
+		}
+	}
+	for c := 0; c < rel.NumCols(); c++ {
+		reg.Acquire(relation.EmptySet.With(c))
+	}
+	return mt, nil
 }
 
 // DecodeMaintainerBody rebuilds a maintainer over rel and an already-
@@ -189,8 +214,14 @@ func DecodeMaintainerBody(r *wire.Reader, rel *relation.Relation, v *core.Verifi
 		return nil, fmt.Errorf("discovery: snapshot maintainer has %d columns, relation has %d", nCols, rel.NumCols())
 	}
 	mt := &Maintainer{
-		rel:         rel,
-		v:           v,
+		rel: rel,
+		v:   v,
+		// The decoded verifier is partition-cache-backed (the pipeline's
+		// shared one, or DecodeMaintainer's standalone substrate), so
+		// repair verification reuses it across batches exactly like a
+		// constructed maintainer — and invalidateTouched keeps the cache
+		// coherent from the first restored batch on.
+		pv:          v,
 		workers:     workers,
 		stats:       stats,
 		all:         rel.Schema().All(),

@@ -1,0 +1,221 @@
+package discovery
+
+import (
+	"context"
+	"sync"
+
+	"github.com/fastofd/fastofd/internal/core"
+	"github.com/fastofd/fastofd/internal/exec"
+	"github.com/fastofd/fastofd/internal/relation"
+)
+
+// waveVerifier is the batched verification scheduler behind cross-
+// consequent parallel repair. Each flipped consequent's repairer runs as
+// its own task and explores its own lattice region, but verification
+// requests rendezvous here: a request blocks until every live repairer
+// has one pending (or has finished), then the whole wave executes at
+// once — requests are merged, grouped by antecedent set, and each group
+// is answered with a single Π*_X traversal (HoldsSynMulti for validity,
+// witnessScanMulti for certificate rescans) instead of one traversal per
+// (LHS, RHS) pair. Repairers working the same lattice region — the
+// common case, since one batch's touched columns drive every flip — stop
+// paying the partition walk k times for k consequents.
+//
+// The barrier cannot deadlock: live counts unfinished repairers, a
+// repairer is either running (and will submit or finish) or blocked here,
+// and both submission and finish re-check the all-waiting condition under
+// the lock. Zero-node requests return immediately without joining a wave.
+// Determinism: group answers depend only on (lhs, rhs set) and the
+// instance, never on arrival order, and every caller receives verdicts in
+// its own node order.
+//
+// Cancellation: a wave interrupted by ctx poisons the verifier — the
+// error is sticky, every waiter and subsequent request observes it, and
+// the repair pass aborts into the batch rollback.
+type waveVerifier struct {
+	pv      *core.Verifier
+	workers int
+	ctx     context.Context
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	live int // repairers not yet finished
+	reqs []*waveReq
+	err  error // sticky; first wave interruption
+
+	// bufs holds one ProductBuffer per wave-executor worker, reused across
+	// every wave this verifier runs: partition products on cache misses
+	// dominate wave cost, and a per-miss transient buffer would pay an
+	// n-row probe-table allocation and memset on each one.
+	bufs []relation.ProductBuffer
+
+	traversals int64 // kernel invocations (one Π*_X walk each)
+	probes     int64 // (LHS, RHS) verdicts those walks produced
+}
+
+// waveReq is one repairer's pending verification round: the nodes to
+// decide for its consequent, answered either as validity verdicts or as
+// full witness scans.
+type waveReq struct {
+	rhs   int
+	nodes []relation.AttrSet
+	scan  bool // witness scan (certificate) instead of validity verdict
+
+	verdicts []bool
+	scans    []scanResult
+	done     bool
+}
+
+func newWaveVerifier(ctx context.Context, pv *core.Verifier, workers, live int) *waveVerifier {
+	wv := &waveVerifier{pv: pv, workers: workers, ctx: ctx, live: live}
+	wv.cond = sync.NewCond(&wv.mu)
+	return wv
+}
+
+// verify answers HoldsSynOnePass for every node (all with the caller's
+// consequent), batched through the next wave. nodes must be deduplicated;
+// verdicts come back in node order.
+func (wv *waveVerifier) verify(rhs int, nodes []relation.AttrSet) ([]bool, error) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	req := &waveReq{rhs: rhs, nodes: nodes}
+	if err := wv.submit(req); err != nil {
+		return nil, err
+	}
+	return req.verdicts, nil
+}
+
+// witnessScan answers witnessScanParts for every node (all with the
+// caller's consequent), batched through the next wave.
+func (wv *waveVerifier) witnessScan(rhs int, nodes []relation.AttrSet) ([]scanResult, error) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	req := &waveReq{rhs: rhs, nodes: nodes, scan: true}
+	if err := wv.submit(req); err != nil {
+		return nil, err
+	}
+	return req.scans, nil
+}
+
+// finish retires one repairer from the barrier. If the remaining live
+// repairers are all blocked on pending requests, the retiring task runs
+// their wave — they cannot run it themselves, and no further submission
+// is coming to trip the barrier.
+func (wv *waveVerifier) finish() {
+	wv.mu.Lock()
+	wv.live--
+	if wv.err == nil && wv.live > 0 && len(wv.reqs) == wv.live {
+		wv.runWaveLocked()
+	}
+	wv.mu.Unlock()
+}
+
+// submit enqueues req and blocks until a wave answers it. The submitter
+// that completes the barrier (its request makes one per live repairer)
+// executes the wave itself, under the lock — late finishers and the next
+// round's submissions queue behind it.
+func (wv *waveVerifier) submit(req *waveReq) error {
+	wv.mu.Lock()
+	defer wv.mu.Unlock()
+	if wv.err != nil {
+		return wv.err
+	}
+	wv.reqs = append(wv.reqs, req)
+	if len(wv.reqs) == wv.live {
+		wv.runWaveLocked()
+	} else {
+		for !req.done && wv.err == nil {
+			wv.cond.Wait()
+		}
+	}
+	if req.done {
+		return nil
+	}
+	return wv.err
+}
+
+// runWaveLocked executes every pending request as one wave: merge the
+// requests' nodes, group by antecedent set, answer each group with one
+// multi-RHS kernel call (groups fan out over the exec substrate), then
+// release the waiters. Called with wv.mu held.
+func (wv *waveVerifier) runWaveLocked() {
+	reqs := wv.reqs
+	wv.reqs = nil
+	type slot struct {
+		req *waveReq
+		idx int
+	}
+	type group struct {
+		lhs   relation.AttrSet
+		scan  bool
+		slots []slot
+	}
+	type groupKey struct {
+		lhs  relation.AttrSet
+		scan bool
+	}
+	index := make(map[groupKey]int)
+	var groups []group
+	for _, req := range reqs {
+		if req.scan {
+			req.scans = make([]scanResult, len(req.nodes))
+		} else {
+			req.verdicts = make([]bool, len(req.nodes))
+		}
+		for i, x := range req.nodes {
+			k := groupKey{x, req.scan}
+			g, ok := index[k]
+			if !ok {
+				g = len(groups)
+				index[k] = g
+				groups = append(groups, group{lhs: x, scan: req.scan})
+			}
+			groups[g].slots = append(groups[g].slots, slot{req, i})
+		}
+	}
+	if wv.bufs == nil {
+		wv.bufs = make([]relation.ProductBuffer, exec.Workers(wv.workers))
+	}
+	err := exec.For(wv.ctx, len(groups), exec.Workers(wv.workers), func(w, gi int) {
+		g := &groups[gi]
+		buf := &wv.bufs[w]
+		rhs := make([]int, len(g.slots))
+		for k, s := range g.slots {
+			rhs[k] = s.req.rhs
+		}
+		if g.scan {
+			res := witnessScanMulti(wv.pv, g.lhs, rhs, buf)
+			for k, s := range g.slots {
+				s.req.scans[s.idx] = res[k]
+			}
+		} else {
+			res := wv.pv.HoldsSynMultiBuf(g.lhs, rhs, buf)
+			for k, s := range g.slots {
+				s.req.verdicts[s.idx] = res[k]
+			}
+		}
+	})
+	if err != nil {
+		wv.err = err
+		wv.cond.Broadcast()
+		return
+	}
+	wv.traversals += int64(len(groups))
+	for _, g := range groups {
+		wv.probes += int64(len(g.slots))
+	}
+	for _, req := range reqs {
+		req.done = true
+	}
+	wv.cond.Broadcast()
+}
+
+// kernelStats returns the traversal and probe counters (safe after all
+// repairers finished).
+func (wv *waveVerifier) kernelStats() (traversals, probes int64) {
+	wv.mu.Lock()
+	defer wv.mu.Unlock()
+	return wv.traversals, wv.probes
+}

@@ -1,0 +1,55 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTasksRunsEveryIndex: each index runs exactly once.
+func TestTasksRunsEveryIndex(t *testing.T) {
+	const n = 50
+	var counts [n]atomic.Int32
+	Tasks(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestTasksEdgeCases: non-positive n is a no-op, n=1 runs inline.
+func TestTasksEdgeCases(t *testing.T) {
+	ran := false
+	Tasks(0, func(int) { ran = true })
+	Tasks(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("n <= 0 must not invoke fn")
+	}
+	got := -1
+	Tasks(1, func(i int) { got = i })
+	if got != 0 {
+		t.Fatalf("n=1 ran with index %d", got)
+	}
+}
+
+// TestTasksHostsBarriers is the contract that separates Tasks from For:
+// every task gets its own goroutine, so tasks that block on a barrier
+// until all n have arrived still complete. Under For's bounded worker
+// pool the same workload deadlocks whenever n exceeds the worker count —
+// which is exactly why the repair scheduler's wave participants run on
+// Tasks.
+func TestTasksHostsBarriers(t *testing.T) {
+	const n = 32 // far above any worker pool bound
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	done := make(chan struct{})
+	go func() {
+		Tasks(n, func(i int) {
+			barrier.Done()
+			barrier.Wait() // blocks until all n tasks have started
+		})
+		close(done)
+	}()
+	<-done
+}

@@ -30,6 +30,16 @@ type cacheEntry struct {
 	hits    atomic.Uint64
 }
 
+// colLUT is one column's row→class lookup vector: v[t] is tuple t's
+// class index in Π*_c (−1 for stripped singleton rows), classes bounds
+// the ids, and rows is the relation's row count at build time — the
+// same staleness stamp cache entries carry. Immutable once published.
+type colLUT struct {
+	rows    int
+	classes int
+	v       []int32
+}
+
 // cacheShard is one lock domain of the cache. levels records, per
 // attribute-set cardinality, the keys inserted at that cardinality, so
 // Evict(k) walks only the level-k entries instead of the whole map.
@@ -88,6 +98,14 @@ type PartitionCache struct {
 	// partition overlay (the merged pipeline's registry) instead of a
 	// partition product; its resident bytes count against the budget.
 	provider OverlayProvider
+	// luts holds one lazily built row→class vector per column, the probe
+	// side of RefineByLUT — the derivation chain in GetWith refines by
+	// these instead of multiplying by ~n-payload single-column
+	// partitions. Rebuilt when the row stamp trails the relation and
+	// dropped by InvalidateTouched for rewritten columns; the few
+	// int32-per-row vectors are deliberately outside the byte budget
+	// (they are the cost of making every other entry cheap to derive).
+	luts []atomic.Pointer[colLUT]
 }
 
 // OverlayProvider serves live partition overlays to a cache. The merged
@@ -184,7 +202,7 @@ func NewPartitionCacheParallel(r *Relation, workers int) *PartitionCache {
 // cancellation is still safe to use — columns not yet built are simply not
 // pre-warmed and will be computed on first Get.
 func NewPartitionCacheContext(ctx context.Context, r *Relation, workers int) (*PartitionCache, error) {
-	pc := &PartitionCache{r: r}
+	pc := &PartitionCache{r: r, luts: make([]atomic.Pointer[colLUT], r.NumCols())}
 	for i := range pc.shards {
 		pc.shards[i].m = make(map[AttrSet]*cacheEntry)
 		pc.shards[i].levels = make(map[int][]AttrSet)
@@ -360,10 +378,20 @@ func (pc *PartitionCache) enforceBudget(protect AttrSet) {
 	if pc.bytes.Load() <= budget {
 		return
 	}
+	// Row-stale entries are free evictions — lookup will never serve
+	// them again — so shed those before touching anything live.
+	pc.invalidateStaleLocked()
+	if pc.bytes.Load() <= budget {
+		return
+	}
 	if EvictionPolicy(pc.policy.Load()) == EvictLevelSweep {
 		pc.levelSweep(budget, protect)
 		return
 	}
+	// Evict past the line by a 1/16 slack: each enforcement pass scans and
+	// scores the whole cache, so stopping exactly at the budget would make
+	// a stream of at-budget inserts pay that scan per store.
+	target := budget - budget/16
 	now := pc.clock.Load()
 	nRows := pc.r.NumRows()
 	var cands []evictCandidate
@@ -384,7 +412,7 @@ func (pc *PartitionCache) enforceBudget(protect AttrSet) {
 	// Highest score evicts first: big, cold, rarely-hit, cheap-to-rebuild.
 	sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
 	for _, c := range cands {
-		if pc.bytes.Load() <= budget {
+		if pc.bytes.Load() <= target {
 			return
 		}
 		c.shard.mu.Lock()
@@ -489,12 +517,46 @@ func (pc *PartitionCache) GetWith(attrs AttrSet, buf *ProductBuffer) *Partition 
 			best = Single(attrs.First())
 		}
 		p = pc.GetWith(best, buf)
+		cur := best
 		for _, i := range attrs.Minus(best).Attrs() {
-			p = buf.Product(p, pc.GetWith(Single(i), buf))
+			l := pc.lutFor(i, buf)
+			p = buf.RefineByLUT(p, l.v, l.classes)
+			// Cache the intermediate too: chains across a repair wave
+			// share ascending prefixes, so the next miss finds a longer
+			// drop-one subset and pays one refine instead of re-deriving
+			// the prefix. The budget bounds the extra residency.
+			if cur = cur.With(i); cur != attrs {
+				pc.store(cur, p)
+			}
 		}
 	}
 	pc.store(attrs, p)
 	return p
+}
+
+// lutFor returns column c's row→class vector, building it from the
+// cached (or recomputed) single-column partition when absent or stamped
+// with a stale row count. Concurrent builders may race; the duplicate
+// publish is idempotent because the vector is a pure function of the
+// column's current contents.
+func (pc *PartitionCache) lutFor(c int, buf *ProductBuffer) *colLUT {
+	rows := pc.r.NumRows()
+	if l := pc.luts[c].Load(); l != nil && l.rows == rows {
+		return l
+	}
+	p := pc.GetWith(Single(c), buf)
+	v := make([]int32, rows)
+	for i := range v {
+		v[i] = -1
+	}
+	for ci := 0; ci < p.NumClasses(); ci++ {
+		for _, t := range p.Class(ci) {
+			v[t] = int32(ci)
+		}
+	}
+	l := &colLUT{rows: rows, classes: p.NumClasses(), v: v}
+	pc.luts[c].Store(l)
+	return l
 }
 
 // GetOverlay is the overlay-aware partition path: identical to Get, but
@@ -507,6 +569,13 @@ func (pc *PartitionCache) GetOverlay(attrs AttrSet) *Partition {
 	return pc.GetWith(attrs, nil)
 }
 
+// GetOverlayWith is GetOverlay with a caller-supplied ProductBuffer — the
+// overlay-aware analogue of GetWith for hot repair loops that hold
+// per-worker scratch.
+func (pc *PartitionCache) GetOverlayWith(attrs AttrSet, buf *ProductBuffer) *Partition {
+	return pc.GetWith(attrs, buf)
+}
+
 // InvalidateTouched evicts every cached partition whose attribute set
 // intersects touched — the update-batch counterpart of the row-stamp
 // staleness appends get for free. Live engines call it with a batch's
@@ -517,12 +586,48 @@ func (pc *PartitionCache) InvalidateTouched(touched AttrSet) int {
 	if touched.IsEmpty() {
 		return 0
 	}
+	// Rewritten columns invalidate their row→class vectors too: the row
+	// stamp only catches appends, not in-place updates.
+	for c := range pc.luts {
+		if touched.Has(c) {
+			pc.luts[c].Store(nil)
+		}
+	}
 	n := 0
 	for i := range pc.shards {
 		s := &pc.shards[i]
 		s.mu.Lock()
 		for a := range s.m {
 			if !a.Intersect(touched).IsEmpty() && pc.evictLocked(s, a) {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// InvalidateStale evicts every cached partition whose row stamp trails
+// the relation — entries stored before an append. They are already
+// unservable (lookup reports them as misses), but left resident they are
+// dead weight: they hold budget hostage and stall every enforcement pass.
+// Engines that grow the relation call this right after appending, so the
+// resident set stays answerable. Returns the number of entries dropped.
+func (pc *PartitionCache) InvalidateStale() int {
+	pc.evictMu.Lock()
+	defer pc.evictMu.Unlock()
+	return pc.invalidateStaleLocked()
+}
+
+// invalidateStaleLocked is InvalidateStale under evictMu.
+func (pc *PartitionCache) invalidateStaleLocked() int {
+	rows := pc.r.NumRows()
+	n := 0
+	for i := range pc.shards {
+		s := &pc.shards[i]
+		s.mu.Lock()
+		for a, e := range s.m {
+			if e.rows != rows && pc.evictLocked(s, a) {
 				n++
 			}
 		}

@@ -227,7 +227,10 @@ type ProductBuffer struct {
 	// canonical reorder.
 	tuples []int32
 	starts []int32
-	order  []int32
+	// bucket maps representative tuple -> class index + 1 during the
+	// canonical reorder; all-zero between calls (the reorder scan clears
+	// the slots it reads).
+	bucket []int32
 }
 
 // Product computes the stripped partition Π*_{X∪Y} = Π*_X · Π*_Y in time
@@ -241,6 +244,14 @@ func Product(a, b *Partition) *Partition {
 // Product is the buffer-reusing form of the package-level Product.
 func (buf *ProductBuffer) Product(a, b *Partition) *Partition {
 	a, b = a.Strip(), b.Strip()
+	// The probe side costs two passes over its payload (fill + clear), the
+	// bucketing side three; giving the probe side the larger payload
+	// minimizes the total. It also makes emission follow the smaller —
+	// usually already-refined — side's class order, which is the order the
+	// sorted fast path below accepts.
+	if len(a.Tuples) < len(b.Tuples) {
+		a, b = b, a
+	}
 	if len(buf.probe) < a.N {
 		buf.probe = make([]int32, a.N)
 		for i := range buf.probe {
@@ -340,76 +351,154 @@ func (buf *ProductBuffer) Product(a, b *Partition) *Partition {
 		out.Offsets[nc] = pos
 		return out
 	}
-	order := buf.order[:0]
-	for k := 0; k < nc; k++ {
-		order = append(order, int32(k))
+	// Canonical reorder without a comparison sort: representatives are
+	// distinct tuple ids, so dropping each class index into a bucket keyed
+	// by its representative and sweeping the row space in ascending order
+	// yields rep-sorted classes in O(nc + max rep) sequential array work —
+	// the quicksort this replaces paid a cache-hostile indirect compare
+	// per element. The sweep clears every slot it reads, keeping the
+	// buffer's all-zero invariant without a separate pass.
+	if len(buf.bucket) < a.N {
+		buf.bucket = make([]int32, a.N)
 	}
-	sortByRep(order, scratch, starts, pos)
-	buf.order = order
+	bucket := buf.bucket
+	maxRep := int32(0)
+	for k := 0; k < nc; k++ {
+		rep := scratch[starts[k]]
+		bucket[rep] = int32(k) + 1
+		if rep > maxRep {
+			maxRep = rep
+		}
+	}
 	w := int32(0)
-	for i, k := range order {
+	i := 0
+	for t := int32(0); t <= maxRep; t++ {
+		k := bucket[t]
+		if k == 0 {
+			continue
+		}
+		bucket[t] = 0
 		out.Offsets[i] = w
-		w += int32(copy(out.Tuples[w:], scratch[starts[k]:classEnd(k)]))
+		i++
+		w += int32(copy(out.Tuples[w:], scratch[starts[k-1]:classEnd(k-1)]))
 	}
 	out.Offsets[nc] = w
 	return out
 }
 
-// sortByRep orders class indices by their representative (first tuple),
-// i.e. by scratch[starts[k]]. A hand-rolled quicksort (with insertion sort
-// for small ranges) keeps the product allocation-free; sort.Slice would
-// allocate its closure on every product.
-func sortByRep(order []int32, scratch, starts []int32, end int32) {
-	rep := func(k int32) int32 { return scratch[starts[k]] }
-	var qs func(lo, hi int)
-	qs = func(lo, hi int) {
-		for hi-lo > 12 {
-			// Median-of-three pivot.
-			mid := lo + (hi-lo)/2
-			if rep(order[mid]) < rep(order[lo]) {
-				order[mid], order[lo] = order[lo], order[mid]
-			}
-			if rep(order[hi]) < rep(order[lo]) {
-				order[hi], order[lo] = order[lo], order[hi]
-			}
-			if rep(order[hi]) < rep(order[mid]) {
-				order[hi], order[mid] = order[mid], order[hi]
-			}
-			pivot := rep(order[mid])
-			i, j := lo, hi
-			for i <= j {
-				for rep(order[i]) < pivot {
-					i++
+// RefineByLUT computes Π*_{X∪{c}} = Π*_X · Π*_c with the single column c
+// presented as a prebuilt row→class lookup vector (lut[t] = class index
+// of tuple t in Π*_c, −1 for stripped singleton rows) instead of a
+// partition. The vector is exactly the probe table the general Product
+// fills and clears per call — two O(n) passes over the column's ~n-row
+// payload — so refining by a column costs three passes over p's stripped
+// payload alone: the per-step cost of a repair-time partition chain
+// drops from O(n) to O(‖Π*_X‖). lut must cover every tuple of p (same
+// relation, same row count) and lutClasses must bound its class ids;
+// the output is canonical and byte-identical to Product(p, Π*_c).
+func (buf *ProductBuffer) RefineByLUT(p *Partition, lut []int32, lutClasses int) *Partition {
+	p = p.Strip()
+	if len(buf.counts) < lutClasses {
+		buf.counts = make([]int32, lutClasses)
+		buf.cursor = make([]int32, lutClasses)
+	}
+	counts, cursor := buf.counts, buf.cursor
+	if cap(buf.tuples) < len(p.Tuples) {
+		buf.tuples = make([]int32, len(p.Tuples))
+	}
+	scratch := buf.tuples[:cap(buf.tuples)]
+	starts := buf.starts[:0]
+	touched := buf.touched[:0]
+	// Bucket each p-class's tuples by their lut id, exactly as Product
+	// buckets a b-class by the probe table.
+	pos := int32(0)
+	for pcl := 0; pcl < p.NumClasses(); pcl++ {
+		class := p.Class(pcl)
+		for _, t := range class {
+			if ci := lut[t]; ci >= 0 {
+				if counts[ci] == 0 {
+					touched = append(touched, ci)
 				}
-				for rep(order[j]) > pivot {
-					j--
-				}
-				if i <= j {
-					order[i], order[j] = order[j], order[i]
-					i++
-					j--
-				}
+				counts[ci]++
 			}
-			// Recurse into the smaller half, loop on the larger.
-			if j-lo < hi-i {
-				qs(lo, j)
-				lo = i
+		}
+		filled := false
+		for _, ci := range touched {
+			if counts[ci] > 1 {
+				cursor[ci] = pos
+				starts = append(starts, pos)
+				pos += counts[ci]
+				filled = true
 			} else {
-				qs(i, hi)
-				hi = j
+				cursor[ci] = -1
 			}
 		}
-		for i := lo + 1; i <= hi; i++ {
-			k := order[i]
-			j := i - 1
-			for j >= lo && rep(order[j]) > rep(k) {
-				order[j+1] = order[j]
-				j--
+		if filled {
+			for _, t := range class {
+				if ci := lut[t]; ci >= 0 && cursor[ci] >= 0 {
+					scratch[cursor[ci]] = t
+					cursor[ci]++
+				}
 			}
-			order[j+1] = k
+		}
+		for _, ci := range touched {
+			counts[ci] = 0
+		}
+		touched = touched[:0]
+	}
+	buf.touched = touched
+	buf.starts = starts
+	out := &Partition{N: p.N, Stripped: true}
+	nc := len(starts)
+	if nc == 0 {
+		return out
+	}
+	classEnd := func(k int32) int32 {
+		if int(k+1) < nc {
+			return starts[k+1]
+		}
+		return pos
+	}
+	out.Tuples = make([]int32, pos)
+	out.Offsets = make([]int32, nc+1)
+	sorted := true
+	for k := 1; k < nc; k++ {
+		if scratch[starts[k]] < scratch[starts[k-1]] {
+			sorted = false
+			break
 		}
 	}
-	if len(order) > 1 {
-		qs(0, len(order)-1)
+	if sorted {
+		copy(out.Tuples, scratch[:pos])
+		copy(out.Offsets, starts)
+		out.Offsets[nc] = pos
+		return out
 	}
+	if len(buf.bucket) < p.N {
+		buf.bucket = make([]int32, p.N)
+	}
+	bucket := buf.bucket
+	maxRep := int32(0)
+	for k := 0; k < nc; k++ {
+		rep := scratch[starts[k]]
+		bucket[rep] = int32(k) + 1
+		if rep > maxRep {
+			maxRep = rep
+		}
+	}
+	w := int32(0)
+	i := 0
+	for t := int32(0); t <= maxRep; t++ {
+		k := bucket[t]
+		if k == 0 {
+			continue
+		}
+		bucket[t] = 0
+		out.Offsets[i] = w
+		i++
+		w += int32(copy(out.Tuples[w:], scratch[starts[k-1]:classEnd(k-1)]))
+	}
+	out.Offsets[nc] = w
+	return out
 }
+

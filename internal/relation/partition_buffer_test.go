@@ -123,9 +123,88 @@ func TestProductEmptyAndSingletonInputs(t *testing.T) {
 	samePartition(t, buf.Product(grp, grp), want, "buffer reuse after empty products")
 }
 
+// TestRefineByLUTMatchesProduct cross-checks the lookup-vector refinement
+// against the general product: for any Π*_X and single column c,
+// RefineByLUT(Π*_X, lut_c) must be byte-identical to Π*_X · Π*_c in
+// canonical form — including key columns (empty lut) and relations whose
+// canonical reorder path fires. One buffer serves every trial.
+func TestRefineByLUTMatchesProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf ProductBuffer
+	for trial := 0; trial < 80; trial++ {
+		rows := 1 + rng.Intn(300)
+		cols := 2 + rng.Intn(4)
+		// Occasionally a near-key domain so the single strips to (almost)
+		// nothing and the lut is mostly −1.
+		domain := 1 + rng.Intn(8)
+		if trial%7 == 0 {
+			domain = rows + 1
+		}
+		rel := randRelation(t, rng, rows, cols, domain)
+		x := Single(rng.Intn(cols))
+		if cols > 2 && rng.Intn(2) == 0 {
+			x = x.With(rng.Intn(cols))
+		}
+		c := rng.Intn(cols)
+		p := PartitionOf(rel, x).Strip()
+		single := SingleColumnPartition(rel, c).Strip()
+		lut := make([]int32, rows)
+		for i := range lut {
+			lut[i] = -1
+		}
+		for ci := 0; ci < single.NumClasses(); ci++ {
+			for _, tt := range single.Class(ci) {
+				lut[tt] = int32(ci)
+			}
+		}
+		want := PartitionOf(rel, x.With(c)).Strip()
+		got := buf.RefineByLUT(p, lut, single.NumClasses())
+		samePartition(t, got, want, fmt.Sprintf("trial %d (%v refined by %d, %d rows)", trial, x, c, rows))
+		// Buffer state stays clean for a subsequent general product.
+		samePartition(t, buf.Product(p, single), want, fmt.Sprintf("trial %d product after refine", trial))
+	}
+}
+
+// TestCacheLUTInvalidation pins the lookup-vector staleness contract: an
+// in-place update to a column must drop its lut (via InvalidateTouched)
+// so derivation chains never group by pre-update values, and an append
+// must rebuild luts through the row-count stamp.
+func TestCacheLUTInvalidation(t *testing.T) {
+	rel, err := FromRows(MustSchema("A", "B", "C"), [][]string{
+		{"a0", "b0", "c0"},
+		{"a0", "b0", "c1"},
+		{"a1", "b1", "c0"},
+		{"a1", "b1", "c1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPartitionCache(rel)
+	check := func(attrs AttrSet, msg string) {
+		t.Helper()
+		got := pc.Get(attrs)
+		want := PartitionOf(rel, attrs).Strip()
+		if !reflect.DeepEqual(got.ClassesAsInts(), want.ClassesAsInts()) {
+			t.Fatalf("%s: Get(%v) = %v, want %v", msg, attrs, got.ClassesAsInts(), want.ClassesAsInts())
+		}
+	}
+	abc := Single(0).With(1).With(2)
+	check(abc, "cold chain")
+	// Rewrite B for row 1 and invalidate: the chain must regroup by the
+	// new value, which only happens if B's lut was dropped too.
+	rel.SetString(1, 1, "b1")
+	pc.InvalidateTouched(Single(1))
+	check(abc, "after in-place update")
+	check(Single(1).With(2), "fresh pair after update")
+	// Appends shift every partition; the row stamp retires old luts.
+	rel.AppendRow([]string{"a0", "b0", "c0"})
+	pc.InvalidateStale()
+	check(abc, "after append")
+}
+
 // TestProductCanonicalOrder forces the non-sorted discovery order so the
-// reorder path (sortByRep) is exercised: class representatives from a later
-// b-class can precede those of an earlier one.
+// bucket-permutation reorder path is exercised: class representatives from
+// a later b-class can precede those of an earlier one.
 func TestProductCanonicalOrder(t *testing.T) {
 	// Column B visits class reps out of ascending order relative to A.
 	rel, err := FromRows(MustSchema("A", "B"), [][]string{

@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"unsafe"
 
 	"github.com/fastofd/fastofd/internal/wire"
@@ -106,6 +107,10 @@ func DecodePartition(r *wire.Reader) *Partition {
 // AppendTo encodes the cache's configuration and current entries, sorted
 // by attribute set so the encoding is deterministic. Counters (hits,
 // misses, evictions, peak) are runtime telemetry and are not persisted.
+// Row-stale entries (stored before an append, resident but never served)
+// are skipped: the decoder stamps every restored entry with the restored
+// relation's row count, so persisting a stale partition would launder it
+// into a servable one covering fewer rows than the relation has.
 // Not safe to call concurrently with cache mutation.
 func (pc *PartitionCache) AppendTo(w *wire.Writer) {
 	budget := pc.budget.Load()
@@ -118,11 +123,15 @@ func (pc *PartitionCache) AppendTo(w *wire.Writer) {
 		attrs AttrSet
 		p     *Partition
 	}
+	rows := pc.r.NumRows()
 	var entries []entry
 	for i := range pc.shards {
 		s := &pc.shards[i]
 		s.mu.RLock()
 		for attrs, e := range s.m {
+			if e.rows != rows {
+				continue
+			}
 			entries = append(entries, entry{attrs, e.p})
 		}
 		s.mu.RUnlock()
@@ -141,7 +150,7 @@ func (pc *PartitionCache) AppendTo(w *wire.Writer) {
 // before the save) rebuild on first Get exactly as they would have in the
 // saved process.
 func DecodePartitionCache(r *wire.Reader, rel *Relation) (*PartitionCache, error) {
-	pc := &PartitionCache{r: rel}
+	pc := &PartitionCache{r: rel, luts: make([]atomic.Pointer[colLUT], rel.NumCols())}
 	for i := range pc.shards {
 		pc.shards[i].m = make(map[AttrSet]*cacheEntry)
 		pc.shards[i].levels = make(map[int][]AttrSet)

@@ -361,7 +361,7 @@ func Decode(img []byte, opts Options) (*State, error) {
 			if st.Relation == nil || st.Ontology == nil {
 				return nil, fmt.Errorf("snapshot: maintainer section requires relation and ontology sections")
 			}
-			mt, err := discovery.DecodeMaintainer(sr, st.Relation, st.Ontology, opts.Workers, opts.Stats)
+			mt, err := discovery.DecodeMaintainer(sr, st.Relation, st.Ontology, st.Cache, opts.Workers, opts.Stats)
 			if err != nil {
 				return nil, fmt.Errorf("snapshot: maintainer: %w", err)
 			}
